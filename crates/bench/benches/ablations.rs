@@ -1,0 +1,16 @@
+//! Criterion bench for the ablation suite (DESIGN.md's design-choice table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gasnub_bench::ablations;
+
+fn bench_ablations(c: &mut Criterion) {
+    let all = ablations::run_all();
+    println!("\n==== ablations\n{}", ablations::render(&all));
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("run_all", |b| b.iter(ablations::run_all));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion benches for the large copy-transfer series (figs 9-14).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gasnub_bench::figure_by_id;
+
+fn bench_copies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("copies");
+    group.sample_size(10);
+    for id in ["fig09", "fig10", "fig11", "fig12", "fig13", "fig14"] {
+        let fig = figure_by_id(id).expect("figure exists");
+        let out = fig.run(true);
+        println!("\n==== {} — {}\n{}", fig.id, fig.title, out.text);
+        group.bench_function(id, |b| b.iter(|| fig.run(true)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_copies);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benches for the 2D-FFT application kernel (figs 15-17).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gasnub_bench::figure_by_id;
+use gasnub_fft::run_benchmark;
+use gasnub_machines::MachineId;
+
+fn bench_fft_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2d_figures");
+    group.sample_size(10);
+    for id in ["fig15", "fig16", "fig17"] {
+        let fig = figure_by_id(id).expect("figure exists");
+        let out = fig.run(true);
+        println!("\n==== {} — {}\n{}", fig.id, fig.title, out.text);
+        group.bench_function(id, |b| b.iter(|| fig.run(true)));
+    }
+    group.finish();
+}
+
+fn bench_single_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2d_single");
+    group.sample_size(10);
+    for machine in [MachineId::CrayT3d, MachineId::Dec8400, MachineId::CrayT3e] {
+        group.bench_with_input(
+            BenchmarkId::new("n256_4pe", machine.label()),
+            &machine,
+            |b, &m| b.iter(|| run_benchmark(m, 256, 4)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft_figures, bench_single_runs);
+criterion_main!(benches);

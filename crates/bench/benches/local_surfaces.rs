@@ -1,0 +1,24 @@
+//! Criterion benches for the local-load surfaces (figs 1, 3, 6).
+//!
+//! Each iteration regenerates the figure's data series on a reduced grid
+//! and reports the series once, so `cargo bench` both times the simulator
+//! and prints the reproduced rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gasnub_bench::figure_by_id;
+
+fn bench_local_surfaces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_surfaces");
+    group.sample_size(10);
+    for id in ["fig01", "fig03", "fig06"] {
+        let fig = figure_by_id(id).expect("figure exists");
+        // Print the series once per figure so bench output carries the data.
+        let out = fig.run(true);
+        println!("\n==== {} — {}\n{}", fig.id, fig.title, out.text);
+        group.bench_function(id, |b| b.iter(|| fig.run(true)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_surfaces);
+criterion_main!(benches);

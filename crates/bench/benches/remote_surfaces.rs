@@ -1,0 +1,19 @@
+//! Criterion benches for the remote-transfer surfaces (figs 2, 4, 5, 7, 8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gasnub_bench::figure_by_id;
+
+fn bench_remote_surfaces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remote_surfaces");
+    group.sample_size(10);
+    for id in ["fig02", "fig04", "fig05", "fig07", "fig08"] {
+        let fig = figure_by_id(id).expect("figure exists");
+        let out = fig.run(true);
+        println!("\n==== {} — {}\n{}", fig.id, fig.title, out.text);
+        group.bench_function(id, |b| b.iter(|| fig.run(true)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_remote_surfaces);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Regenerates `EXPERIMENTS.md`: paper-vs-measured for every calibration
+//! point and every figure-level claim.
+//!
+//! ```text
+//! cargo run --release -p gasnub-bench --bin experiments > EXPERIMENTS.md
+//! ```
+
+use gasnub_fft::run_benchmark;
+use gasnub_machines::calibration::run_calibration;
+use gasnub_machines::{Dec8400, Machine, MachineId, MeasureLimits, T3d, T3e};
+
+fn main() {
+    println!("# EXPERIMENTS — paper vs. measured");
+    println!();
+    println!("Regenerate with `cargo run --release -p gasnub-bench --bin experiments > EXPERIMENTS.md`.");
+    println!("All values are MB/s unless noted. \"Paper\" quotes the HPCA-3 text; tolerances");
+    println!("are the calibration table's accepted relative deviation (loose where the paper");
+    println!("itself is approximate). Shape claims (orderings, crossovers, who-wins) are");
+    println!("asserted by the test suite; this file records the magnitudes.");
+    println!();
+
+    // ---------------------------------------------------------------- 1
+    println!("## 1. Calibration table (prose-quoted bandwidths, figs 1-14)");
+    println!();
+    println!("| id | paper | measured | Δ | tol | source |");
+    println!("|---|---:|---:|---:|---:|---|");
+    let limits = MeasureLimits { max_measure_words: 32 * 1024, max_prime_words: 2 * 1024 * 1024 };
+    for id in [MachineId::Dec8400, MachineId::CrayT3d, MachineId::CrayT3e] {
+        let mut machine: Box<dyn Machine> = match id {
+            MachineId::Dec8400 => Box::new(Dec8400::new()),
+            MachineId::CrayT3d => Box::new(T3d::new()),
+            MachineId::CrayT3e => Box::new(T3e::new()),
+            MachineId::Custom => unreachable!("only the paper's machines are calibrated"),
+        };
+        machine.set_limits(limits);
+        for (point, measured) in run_calibration(machine.as_mut()) {
+            let delta = (measured - point.paper_mb_s) / point.paper_mb_s * 100.0;
+            let ok = if point.accepts(measured) { "" } else { " ⚠" };
+            println!(
+                "| {} | {:.0} | {:.1}{} | {:+.0}% | ±{:.0}% | {} |",
+                point.id,
+                point.paper_mb_s,
+                measured,
+                ok,
+                delta,
+                point.tolerance * 100.0,
+                point.source.replace('|', "/")
+            );
+        }
+    }
+    println!();
+    println!("Rows marked ⚠ (if any) exceed tolerance; the CI test `calibration` fails in");
+    println!("that case, so a clean build implies none.");
+    println!();
+
+    // ---------------------------------------------------------------- 2
+    println!("## 2. 2D-FFT application kernel (figs 15-17, 4 PEs)");
+    println!();
+    println!("Paper values at 256x256: T3D 133, DEC 8400 ~220, T3E ~330 MFlop/s total.");
+    println!();
+    println!("| n | T3D total | 8400 total | T3E total | T3D comp | 8400 comp | T3E comp | T3D comm | 8400 comm | T3E comm |");
+    println!("|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for n in [32usize, 64, 128, 256, 512, 1024] {
+        let t3d = run_benchmark(MachineId::CrayT3d, n, 4);
+        let dec = run_benchmark(MachineId::Dec8400, n, 4);
+        let t3e = run_benchmark(MachineId::CrayT3e, n, 4);
+        println!(
+            "| {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} |",
+            n,
+            t3d.total_mflops,
+            dec.total_mflops,
+            t3e.total_mflops,
+            t3d.compute_mflops_total,
+            dec.compute_mflops_total,
+            t3e.compute_mflops_total,
+            t3d.comm_mb_s_total,
+            dec.comm_mb_s_total,
+            t3e.comm_mb_s_total
+        );
+    }
+    println!();
+    println!("(totals/comp in MFlop/s across 4 PEs; comm in MB/s across 4 PEs)");
+    println!();
+    println!("Shape checks (asserted in `tests/headline_findings.rs`):");
+    println!();
+    println!("* fig 15: T3E > 8400 > T3D at every size; the 8400's overall lead over the");
+    println!("  T3D stays well below its >2x compute lead (paper: 1.65x vs 2.5x).");
+    println!("* fig 16: 8400 compute ≈ flat with n (L2/L3 hold the rows); T3D falls off at");
+    println!("  n=1024 (8 KB L1); T3E highest.");
+    println!("* fig 17: 8400 ≈ T3D (\"approximately the same performance level\"), T3E well above.");
+    println!();
+
+    // ---------------------------------------------------------------- 3
+    println!("## 3. §8 scalability projection");
+    println!();
+    let p512 = gasnub_fft::scalability::project(MachineId::CrayT3d, 2048, 512);
+    let p512e = gasnub_fft::scalability::project(MachineId::CrayT3e, 2048, 512);
+    let eff = gasnub_fft::scalability::efficiency(MachineId::CrayT3d, 2048, 16, 512);
+    println!("| quantity | paper | measured |");
+    println!("|---|---:|---:|");
+    println!("| T3D 512-PE aggregate (GFlop/s) | 8.75 | {:.1} |", p512.gflops_total);
+    println!("| T3D per-PE at 512 (MFlop/s) | ~20 | {:.1} |", p512.mflops_per_pe);
+    println!("| T3D efficiency 16→512 PEs | \"almost linear\" | {:.0}% |", eff * 100.0);
+    println!("| T3E 512-PE projection (GFlop/s) | ~20 | {:.1} |", p512e.gflops_total);
+    println!();
+
+    // ---------------------------------------------------------------- 4
+    println!("## 4. Known deviations");
+    println!();
+    println!("* The DEC 8400 contiguous local copy measures ~76 MB/s against the paper's");
+    println!("  ~57 MB/s (tolerance ±35%): the model under-charges the write-back traffic");
+    println!("  of the destination stream relative to the real machine.");
+    println!("* The T3D contiguous-load/strided-store copy lands at ~52 MB/s against the");
+    println!("  quoted \"up to 70 MByte/s\" (tolerance ±30%): the shared-DRAM-pipe model");
+    println!("  charges the read stream slightly more interference than the hardware did.");
+    println!("* The T3E streams-off ablation lands near ~150-200 MB/s against the");
+    println!("  footnote's ~120 MB/s test vehicle — the footnote machine likely also");
+    println!("  lacked other tuning; the >2x effect of the stream buffers reproduces.");
+    println!("* Fig 1's L1/L2 ridge fall-off at very large strides is a micro-benchmark");
+    println!("  measurement artifact the paper itself attributes to loop overhead (\"the");
+    println!("  diagram rather reflects what is achievable by a compiler\"); the simulator");
+    println!("  reports the hardware-achievable plateau instead.");
+}

@@ -1,0 +1,116 @@
+//! Regenerates the paper's figures from the command line.
+//!
+//! ```text
+//! cargo run --release -p gasnub-bench --bin figures -- list
+//! cargo run --release -p gasnub-bench --bin figures -- fig03 fig15
+//! cargo run --release -p gasnub-bench --bin figures -- all --quick
+//! cargo run --release -p gasnub-bench --bin figures -- ablations
+//! cargo run --release -p gasnub-bench --bin figures -- all --csv results/
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use gasnub_bench::{ablations, all_figures, figure_by_id};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures <list | all | ablations | figNN...> [--quick] [--csv DIR]\n\
+         \n\
+         list       print the figure index\n\
+         all        regenerate every figure\n\
+         ablations  run the ablation studies\n\
+         figNN      regenerate one figure (fig01 … fig17)\n\
+         --quick    reduced grids (seconds instead of minutes)\n\
+         --csv DIR  also write <DIR>/<figNN>.csv"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .map(|i| PathBuf::from(args.get(i + 1).cloned().unwrap_or_else(|| usage())));
+    // Drop flags and the --csv directory operand; what remains selects work.
+    let mut selectors: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--csv" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        selectors.push(a.clone());
+    }
+    if selectors.is_empty() {
+        usage();
+    }
+
+    if selectors.iter().any(|s| s == "list") {
+        for f in all_figures() {
+            println!("{:<7} {}\n        expect: {}", f.id, f.title, f.expectation);
+        }
+        return;
+    }
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv output directory");
+    }
+
+    let run_ablations = selectors.iter().any(|s| s == "ablations");
+    let figures = if selectors.iter().any(|s| s == "all") {
+        all_figures()
+    } else {
+        selectors
+            .iter()
+            .filter(|s| *s != "ablations" && *s != "extras")
+            .map(|s| figure_by_id(s).unwrap_or_else(|| {
+                eprintln!("unknown figure: {s}");
+                std::process::exit(2);
+            }))
+            .collect()
+    };
+
+    for f in figures {
+        eprintln!("[{}] {} …", f.id, f.title);
+        let out = f.run(quick);
+        println!("---- {} — {}", f.id, f.title);
+        println!("expectation: {}", f.expectation);
+        println!("{}", out.text);
+        if let Some(dir) = &csv_dir {
+            let path = dir.join(format!("{}.csv", f.id));
+            let mut file = std::fs::File::create(&path).expect("create csv file");
+            file.write_all(out.csv.as_bytes()).expect("write csv");
+            eprintln!("[{}] wrote {}", f.id, path.display());
+        }
+    }
+
+    if run_ablations {
+        eprintln!("[ablations] running …");
+        let all = ablations::run_all();
+        println!("---- ablations");
+        println!("{}", ablations::render(&all));
+    }
+
+    if selectors.iter().any(|s| s == "extras") {
+        eprintln!("[extras] running …");
+        println!("---- extras");
+        println!("{}", gasnub_bench::extras::comparison_table());
+        println!("{}", gasnub_bench::extras::gather_curves());
+        println!("{}", gasnub_bench::extras::fft_scaling(256));
+        println!("{}", gasnub_bench::extras::t3e_fetch_rewrite(256));
+        println!("{}", gasnub_bench::extras::false_sharing());
+    }
+}

@@ -1,0 +1,202 @@
+//! Line-granular ownership bookkeeping for the snooping system.
+//!
+//! A broadcast bus needs no directory in hardware — every cache snoops — but
+//! the simulator tracks, per line, the MESI state each processor's copy is
+//! in, so that a consumer pull can decide *who supplies the line* (dirty
+//! owner's cache vs. home memory) without scanning every tag array.
+
+use std::collections::HashMap;
+
+use gasnub_memsim::Addr;
+
+use crate::mesi::{MesiState, SnoopOp};
+
+/// Per-line sharing state across `n` processors.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    nodes: usize,
+    line_bytes: u64,
+    /// line index -> per-node MESI states (absent = all Invalid).
+    lines: HashMap<u64, Vec<MesiState>>,
+}
+
+impl Directory {
+    /// Creates a directory for `nodes` processors with `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or `line_bytes` is not a power of two.
+    pub fn new(nodes: usize, line_bytes: u64) -> Self {
+        assert!(nodes > 0, "directory needs at least one node");
+        assert!(line_bytes.is_power_of_two() && line_bytes > 0, "line size must be a power of two");
+        Directory { nodes, line_bytes, lines: HashMap::new() }
+    }
+
+    /// The line size this directory tracks.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    fn line_of(&self, addr: Addr) -> u64 {
+        addr / self.line_bytes
+    }
+
+    /// Current state of `node`'s copy of the line containing `addr`.
+    pub fn state(&self, node: usize, addr: Addr) -> MesiState {
+        let line = self.line_of(addr);
+        self.lines.get(&line).map(|v| v[node]).unwrap_or(MesiState::Invalid)
+    }
+
+    /// The node holding the line Modified, if any.
+    pub fn dirty_owner(&self, addr: Addr) -> Option<usize> {
+        let line = self.line_of(addr);
+        self.lines.get(&line)?.iter().position(|&s| s == MesiState::Modified)
+    }
+
+    /// Whether any node other than `node` has a valid copy.
+    pub fn others_have_copy(&self, node: usize, addr: Addr) -> bool {
+        let line = self.line_of(addr);
+        match self.lines.get(&line) {
+            Some(v) => v.iter().enumerate().any(|(i, &s)| i != node && s != MesiState::Invalid),
+            None => false,
+        }
+    }
+
+    fn entry(&mut self, addr: Addr) -> &mut Vec<MesiState> {
+        let line = self.line_of(addr);
+        let nodes = self.nodes;
+        self.lines.entry(line).or_insert_with(|| vec![MesiState::Invalid; nodes])
+    }
+
+    /// Records that `node` completed a read of the line, snooping all peers.
+    /// Returns `true` when a dirty peer supplied the data.
+    pub fn record_read(&mut self, node: usize, addr: Addr) -> bool {
+        let others = self.others_have_copy(node, addr);
+        let states = self.entry(addr);
+        let mut supplied = false;
+        for (i, s) in states.iter_mut().enumerate() {
+            if i == node {
+                continue;
+            }
+            let r = s.on_snoop(SnoopOp::BusRead);
+            supplied |= r.supplies_data;
+            *s = r.next;
+        }
+        let (next, _) = states[node].on_processor_op(crate::mesi::ProcessorOp::Read, others);
+        states[node] = next;
+        supplied
+    }
+
+    /// Records that `node` completed a write of the line, invalidating all
+    /// peers. Returns `true` when a dirty peer had to flush first.
+    pub fn record_write(&mut self, node: usize, addr: Addr) -> bool {
+        let states = self.entry(addr);
+        let mut supplied = false;
+        for (i, s) in states.iter_mut().enumerate() {
+            if i == node {
+                continue;
+            }
+            let r = s.on_snoop(SnoopOp::BusReadExclusive);
+            supplied |= r.supplies_data;
+            *s = r.next;
+        }
+        states[node] = MesiState::Modified;
+        supplied
+    }
+
+    /// Records that `node` evicted (wrote back) its copy of the line.
+    pub fn record_eviction(&mut self, node: usize, addr: Addr) {
+        let line = self.line_of(addr);
+        if let Some(v) = self.lines.get_mut(&line) {
+            v[node] = MesiState::Invalid;
+        }
+    }
+
+    /// Number of lines with any non-Invalid copy.
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.values().filter(|v| v.iter().any(|&s| s != MesiState::Invalid)).count()
+    }
+
+    /// Forgets all sharing state.
+    pub fn clear(&mut self) {
+        self.lines.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_lines_are_invalid_everywhere() {
+        let d = Directory::new(4, 64);
+        assert_eq!(d.state(0, 0), MesiState::Invalid);
+        assert_eq!(d.dirty_owner(0), None);
+        assert!(!d.others_have_copy(0, 0));
+    }
+
+    #[test]
+    fn cold_read_loads_exclusive() {
+        let mut d = Directory::new(2, 64);
+        assert!(!d.record_read(0, 128));
+        assert_eq!(d.state(0, 128), MesiState::Exclusive);
+    }
+
+    #[test]
+    fn second_reader_demotes_to_shared() {
+        let mut d = Directory::new(2, 64);
+        d.record_read(0, 0);
+        assert!(!d.record_read(1, 0));
+        assert_eq!(d.state(0, 0), MesiState::Shared);
+        assert_eq!(d.state(1, 0), MesiState::Shared);
+    }
+
+    #[test]
+    fn producer_consumer_pull_supplies_from_dirty_owner() {
+        let mut d = Directory::new(2, 64);
+        assert!(!d.record_write(1, 0));
+        assert_eq!(d.dirty_owner(0), Some(1));
+        // Consumer read: the dirty owner supplies and both end Shared.
+        assert!(d.record_read(0, 0));
+        assert_eq!(d.state(1, 0), MesiState::Shared);
+        assert_eq!(d.state(0, 0), MesiState::Shared);
+        assert_eq!(d.dirty_owner(0), None);
+    }
+
+    #[test]
+    fn write_invalidates_all_peers() {
+        let mut d = Directory::new(3, 64);
+        d.record_read(0, 0);
+        d.record_read(1, 0);
+        d.record_write(2, 0);
+        assert_eq!(d.state(0, 0), MesiState::Invalid);
+        assert_eq!(d.state(1, 0), MesiState::Invalid);
+        assert_eq!(d.state(2, 0), MesiState::Modified);
+    }
+
+    #[test]
+    fn eviction_clears_ownership() {
+        let mut d = Directory::new(2, 64);
+        d.record_write(1, 0);
+        d.record_eviction(1, 0);
+        assert_eq!(d.dirty_owner(0), None);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn addresses_share_line_state() {
+        let mut d = Directory::new(2, 64);
+        d.record_write(0, 0);
+        // Address 56 is in the same 64-byte line.
+        assert_eq!(d.dirty_owner(56), Some(0));
+        assert_eq!(d.dirty_owner(64), None);
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut d = Directory::new(2, 64);
+        d.record_write(0, 0);
+        d.clear();
+        assert_eq!(d.state(0, 0), MesiState::Invalid);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # gasnub-coherence
+//!
+//! MESI-style snooping cache coherence for the bus-based DEC 8400 model.
+//!
+//! On the 8400 "the cache coherency protocols decide to pull/push data
+//! between processors for certain load and store operations" (§6.2) and
+//! "the coherency mechanism detects misses on shared data and pulls the
+//! necessary cache lines over from a DRAM memory bank or from the caches of
+//! a remote processor board" (§5.2). The machine "does not have support for
+//! pushing data into memory or caches of a remote processor", so remote
+//! transfers are always consumer pulls.
+//!
+//! This crate provides:
+//!
+//! * [`mesi`] — the pure protocol state machine (unit-testable transition
+//!   table);
+//! * [`directory`] — line-granular bookkeeping of which processor owns a
+//!   dirty copy;
+//! * [`smp`] — [`smp::SnoopingSmp`], a complete N-processor bus-based
+//!   system: per-processor memory engines, a shared [`gasnub_interconnect::Bus`],
+//!   shared home DRAM, and producer-store / consumer-pull operations that
+//!   implement the paper's remote micro-benchmarks.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use gasnub_coherence::directory::Directory;
+//! use gasnub_coherence::mesi::MesiState;
+//!
+//! // Producer 1 writes a line; consumer 0 reads it after synchronization.
+//! let mut dir = Directory::new(2, 64);
+//! dir.record_write(1, 0x1000);
+//! assert_eq!(dir.dirty_owner(0x1000), Some(1));
+//! let supplied_cache_to_cache = dir.record_read(0, 0x1000);
+//! assert!(supplied_cache_to_cache);
+//! assert_eq!(dir.state(0, 0x1000), MesiState::Shared);
+//! ```
+
+pub mod directory;
+pub mod mesi;
+pub mod smp;
+
+pub use directory::Directory;
+pub use mesi::{BusAction, MesiState, ProcessorOp, SnoopOp};
+pub use smp::{ProtocolConfig, SmpConfig, SnoopingSmp};

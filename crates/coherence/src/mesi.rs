@@ -1,0 +1,196 @@
+//! The MESI protocol state machine (pure, side-effect free).
+//!
+//! The DEC 8400 maintains "a cache coherency model close to sequential
+//! consistency" (§2) in hardware over its broadcast bus. This module encodes
+//! the classic MESI transition table; the [`crate::smp`] layer uses it to
+//! decide who supplies a line and what bus traffic a processor operation
+//! generates, and the unit tests double as the protocol's specification.
+
+use serde::{Deserialize, Serialize};
+
+/// The four MESI states of a cache line in one processor's cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MesiState {
+    /// Dirty, exclusively owned: memory is stale, this cache must supply.
+    Modified,
+    /// Clean, exclusively owned: may be written without bus traffic.
+    Exclusive,
+    /// Clean, possibly replicated in other caches.
+    Shared,
+    /// Not present (or invalidated).
+    Invalid,
+}
+
+/// A local processor operation on a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcessorOp {
+    /// The processor reads the line.
+    Read,
+    /// The processor writes the line.
+    Write,
+}
+
+/// A snooped bus transaction issued by *another* processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SnoopOp {
+    /// Another processor's read miss (BusRd).
+    BusRead,
+    /// Another processor's write miss / upgrade (BusRdX).
+    BusReadExclusive,
+}
+
+/// Bus traffic a local operation generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BusAction {
+    /// No bus transaction needed (hit in a sufficient state).
+    None,
+    /// Read miss: fetch the line, others may supply or share.
+    BusRead,
+    /// Write miss or upgrade: fetch/invalidate for exclusive ownership.
+    BusReadExclusive,
+}
+
+/// Result of snooping a remote transaction: the follower's new state and
+/// whether it must flush (supply) its dirty copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnoopResult {
+    /// New state of the snooping cache's copy.
+    pub next: MesiState,
+    /// The snooping cache held the line Modified and supplies the data
+    /// (cache-to-cache intervention) while memory is updated.
+    pub supplies_data: bool,
+}
+
+impl MesiState {
+    /// Returns `true` when a processor operation hits without bus traffic.
+    pub fn satisfies(self, op: ProcessorOp) -> bool {
+        match (self, op) {
+            (MesiState::Invalid, _) => false,
+            (_, ProcessorOp::Read) => true,
+            (MesiState::Modified | MesiState::Exclusive, ProcessorOp::Write) => true,
+            (MesiState::Shared, ProcessorOp::Write) => false,
+        }
+    }
+
+    /// Transition for a local processor operation.
+    ///
+    /// `others_have_copy` tells a read miss whether it loads Shared or
+    /// Exclusive. Returns the new state and the bus action generated.
+    pub fn on_processor_op(self, op: ProcessorOp, others_have_copy: bool) -> (MesiState, BusAction) {
+        match (self, op) {
+            (MesiState::Modified, _) => (MesiState::Modified, BusAction::None),
+            (MesiState::Exclusive, ProcessorOp::Read) => (MesiState::Exclusive, BusAction::None),
+            (MesiState::Exclusive, ProcessorOp::Write) => (MesiState::Modified, BusAction::None),
+            (MesiState::Shared, ProcessorOp::Read) => (MesiState::Shared, BusAction::None),
+            (MesiState::Shared, ProcessorOp::Write) => (MesiState::Modified, BusAction::BusReadExclusive),
+            (MesiState::Invalid, ProcessorOp::Read) => {
+                let next = if others_have_copy { MesiState::Shared } else { MesiState::Exclusive };
+                (next, BusAction::BusRead)
+            }
+            (MesiState::Invalid, ProcessorOp::Write) => (MesiState::Modified, BusAction::BusReadExclusive),
+        }
+    }
+
+    /// Transition for a snooped remote transaction.
+    pub fn on_snoop(self, op: SnoopOp) -> SnoopResult {
+        match (self, op) {
+            (MesiState::Modified, SnoopOp::BusRead) => {
+                SnoopResult { next: MesiState::Shared, supplies_data: true }
+            }
+            (MesiState::Modified, SnoopOp::BusReadExclusive) => {
+                SnoopResult { next: MesiState::Invalid, supplies_data: true }
+            }
+            (MesiState::Exclusive, SnoopOp::BusRead) => {
+                SnoopResult { next: MesiState::Shared, supplies_data: false }
+            }
+            (MesiState::Exclusive, SnoopOp::BusReadExclusive) => {
+                SnoopResult { next: MesiState::Invalid, supplies_data: false }
+            }
+            (MesiState::Shared, SnoopOp::BusRead) => {
+                SnoopResult { next: MesiState::Shared, supplies_data: false }
+            }
+            (MesiState::Shared, SnoopOp::BusReadExclusive) => {
+                SnoopResult { next: MesiState::Invalid, supplies_data: false }
+            }
+            (MesiState::Invalid, _) => SnoopResult { next: MesiState::Invalid, supplies_data: false },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MesiState::*;
+
+    #[test]
+    fn hit_predicate() {
+        assert!(Modified.satisfies(ProcessorOp::Write));
+        assert!(Exclusive.satisfies(ProcessorOp::Write));
+        assert!(!Shared.satisfies(ProcessorOp::Write));
+        assert!(Shared.satisfies(ProcessorOp::Read));
+        assert!(!Invalid.satisfies(ProcessorOp::Read));
+    }
+
+    #[test]
+    fn read_miss_loads_shared_or_exclusive() {
+        assert_eq!(Invalid.on_processor_op(ProcessorOp::Read, true), (Shared, BusAction::BusRead));
+        assert_eq!(Invalid.on_processor_op(ProcessorOp::Read, false), (Exclusive, BusAction::BusRead));
+    }
+
+    #[test]
+    fn silent_upgrade_from_exclusive() {
+        assert_eq!(Exclusive.on_processor_op(ProcessorOp::Write, false), (Modified, BusAction::None));
+    }
+
+    #[test]
+    fn shared_write_invalidates_peers() {
+        let (next, action) = Shared.on_processor_op(ProcessorOp::Write, true);
+        assert_eq!(next, Modified);
+        assert_eq!(action, BusAction::BusReadExclusive);
+    }
+
+    #[test]
+    fn modified_owner_supplies_on_remote_read() {
+        let r = Modified.on_snoop(SnoopOp::BusRead);
+        assert!(r.supplies_data, "dirty owner must intervene");
+        assert_eq!(r.next, Shared);
+    }
+
+    #[test]
+    fn modified_owner_invalidates_on_remote_write() {
+        let r = Modified.on_snoop(SnoopOp::BusReadExclusive);
+        assert!(r.supplies_data);
+        assert_eq!(r.next, Invalid);
+    }
+
+    #[test]
+    fn clean_copies_never_supply() {
+        for s in [Exclusive, Shared, Invalid] {
+            assert!(!s.on_snoop(SnoopOp::BusRead).supplies_data);
+            assert!(!s.on_snoop(SnoopOp::BusReadExclusive).supplies_data);
+        }
+    }
+
+    #[test]
+    fn snoop_invalidation_table() {
+        for s in [Modified, Exclusive, Shared] {
+            assert_eq!(s.on_snoop(SnoopOp::BusReadExclusive).next, Invalid);
+        }
+        assert_eq!(Exclusive.on_snoop(SnoopOp::BusRead).next, Shared);
+        assert_eq!(Shared.on_snoop(SnoopOp::BusRead).next, Shared);
+    }
+
+    /// Exhaustive sanity: every (state, op) pair transitions to a state that
+    /// can satisfy the operation.
+    #[test]
+    fn transitions_always_satisfy_the_op() {
+        for s in [Modified, Exclusive, Shared, Invalid] {
+            for op in [ProcessorOp::Read, ProcessorOp::Write] {
+                for others in [false, true] {
+                    let (next, _) = s.on_processor_op(op, others);
+                    assert!(next.satisfies(op), "{s:?} {op:?} others={others} -> {next:?}");
+                }
+            }
+        }
+    }
+}

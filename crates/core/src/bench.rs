@@ -1,0 +1,181 @@
+//! The micro-benchmarks of §4.2, swept over a grid.
+//!
+//! "Two different basic memory operations are examined, all of them operate
+//! on 64 bit double words. **Load Sum** — a load operation and an
+//! add-summing operation … **Load/Store copy** — all data of the working
+//! set is copied by either loading it with a fixed stride and storing it
+//! contiguously, or by loading it contiguously and storing it with a fixed
+//! stride." A third **Store Constant** benchmark evaluates store
+//! performance.
+
+use gasnub_machines::Machine;
+
+use crate::surface::Surface;
+use crate::sweep::Grid;
+
+/// Which side of a copy is strided (the legend of figs 9-11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyVariant {
+    /// Strided loads, contiguous stores (the `o` series).
+    StridedLoads,
+    /// Contiguous loads, strided stores (the `◆`/`x` series).
+    StridedStores,
+}
+
+fn sweep(
+    title: String,
+    grid: &Grid,
+    mut probe: impl FnMut(u64, u64) -> Option<f64>,
+) -> Option<Surface> {
+    let mut values = Vec::with_capacity(grid.working_sets.len());
+    for &ws in &grid.working_sets {
+        let mut row = Vec::with_capacity(grid.strides.len());
+        for &stride in &grid.strides {
+            row.push(probe(ws, stride)?);
+        }
+        values.push(row);
+    }
+    Some(Surface::new(title, grid.strides.clone(), grid.working_sets.clone(), values))
+}
+
+/// Sweeps the Load-Sum benchmark (figs 1, 3, 6).
+pub fn local_load_surface(machine: &mut dyn Machine, grid: &Grid) -> Surface {
+    let title = format!("{} local loads", machine.name());
+    sweep(title, grid, |ws, stride| Some(machine.local_load(ws, stride).mb_s))
+        .expect("local loads are always supported")
+}
+
+/// Sweeps the Store-Constant benchmark.
+pub fn local_store_surface(machine: &mut dyn Machine, grid: &Grid) -> Surface {
+    let title = format!("{} local stores", machine.name());
+    sweep(title, grid, |ws, stride| Some(machine.local_store(ws, stride).mb_s))
+        .expect("local stores are always supported")
+}
+
+/// Sweeps the Load/Store copy benchmark (figs 9-11 fix the working set;
+/// the full surface also covers the cache-blocked regimes of §6.1).
+pub fn local_copy_surface(machine: &mut dyn Machine, grid: &Grid, variant: CopyVariant) -> Surface {
+    let title = format!(
+        "{} local copy ({})",
+        machine.name(),
+        match variant {
+            CopyVariant::StridedLoads => "strided loads/contiguous stores",
+            CopyVariant::StridedStores => "contiguous loads/strided stores",
+        }
+    );
+    sweep(title, grid, |ws, stride| {
+        let (ls, ss) = match variant {
+            CopyVariant::StridedLoads => (stride, 1),
+            CopyVariant::StridedStores => (1, stride),
+        };
+        Some(machine.local_copy(ws, ls, ss).mb_s)
+    })
+    .expect("local copies are always supported")
+}
+
+/// Sweeps pure remote loads (fig 2). `None` if unsupported.
+pub fn remote_load_surface(machine: &mut dyn Machine, grid: &Grid) -> Option<Surface> {
+    let title = format!("{} remote loads (pull)", machine.name());
+    sweep(title, grid, |ws, stride| machine.remote_load(ws, stride).map(|m| m.mb_s))
+}
+
+/// Sweeps fetch transfers (figs 4, 7). `None` if unsupported.
+pub fn remote_fetch_surface(machine: &mut dyn Machine, grid: &Grid) -> Option<Surface> {
+    let title = format!("{} remote fetch", machine.name());
+    sweep(title, grid, |ws, stride| machine.remote_fetch(ws, stride).map(|m| m.mb_s))
+}
+
+/// Sweeps deposit transfers (figs 5, 8). `None` if unsupported.
+pub fn remote_deposit_surface(machine: &mut dyn Machine, grid: &Grid) -> Option<Surface> {
+    let title = format!("{} remote deposit", machine.name());
+    sweep(title, grid, |ws, stride| machine.remote_deposit(ws, stride).map(|m| m.mb_s))
+}
+
+/// Sweeps the indexed (gather) benchmark along the working-set axis — a 1D
+/// curve, since a random permutation has no stride parameter.
+pub fn local_gather_curve(machine: &mut dyn Machine, working_sets: &[u64]) -> Vec<(u64, f64)> {
+    working_sets.iter().map(|&ws| (ws, machine.local_gather(ws).mb_s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gasnub_machines::{Dec8400, MeasureLimits, T3d, T3e};
+
+    fn fast<M: Machine>(mut m: M) -> M {
+        m.set_limits(MeasureLimits::fast());
+        m
+    }
+
+    #[test]
+    fn t3d_load_surface_has_two_plateaus() {
+        let mut m = fast(T3d::new());
+        let grid = Grid { strides: vec![1, 16], working_sets: vec![4 << 10, 4 << 20] };
+        let s = local_load_surface(&mut m, &grid);
+        let l1 = s.value(4 << 10, 1).unwrap();
+        let dram_contig = s.value(4 << 20, 1).unwrap();
+        let dram_strided = s.value(4 << 20, 16).unwrap();
+        assert!(l1 > 2.0 * dram_contig, "{l1} vs {dram_contig}");
+        assert!(dram_contig > 3.0 * dram_strided, "{dram_contig} vs {dram_strided}");
+    }
+
+    #[test]
+    fn dec8400_remote_surfaces() {
+        let mut m = fast(Dec8400::new());
+        let grid = Grid { strides: vec![1, 16], working_sets: vec![8 << 20] };
+        assert!(remote_load_surface(&mut m, &grid).is_some());
+        assert!(remote_fetch_surface(&mut m, &grid).is_some());
+        assert!(remote_deposit_surface(&mut m, &grid).is_none(), "8400 cannot push");
+    }
+
+    #[test]
+    fn t3e_deposit_surface_shows_ripples() {
+        let mut m = fast(T3e::new());
+        let grid = Grid { strides: vec![15, 16], working_sets: vec![4 << 20] };
+        let s = remote_deposit_surface(&mut m, &grid).unwrap();
+        let odd = s.value(4 << 20, 15).unwrap();
+        let even = s.value(4 << 20, 16).unwrap();
+        assert!(odd > 1.5 * even, "ripples: odd {odd} vs even {even}");
+    }
+
+    #[test]
+    fn copy_variants_differ_on_the_t3d() {
+        let mut m = fast(T3d::new());
+        let grid = Grid { strides: vec![16], working_sets: vec![4 << 20] };
+        let loads = local_copy_surface(&mut m, &grid, CopyVariant::StridedLoads);
+        let stores = local_copy_surface(&mut m, &grid, CopyVariant::StridedStores);
+        assert!(
+            stores.value(4 << 20, 16).unwrap() > loads.value(4 << 20, 16).unwrap(),
+            "T3D strided stores must beat strided loads"
+        );
+    }
+
+    #[test]
+    fn gather_curve_falls_with_working_set() {
+        let mut m = fast(T3d::new());
+        let curve = local_gather_curve(&mut m, &[4 << 10, 4 << 20]);
+        assert_eq!(curve.len(), 2);
+        assert!(curve[0].1 > 3.0 * curve[1].1, "cache-resident gathers must be far faster: {curve:?}");
+    }
+
+    #[test]
+    fn measured_surface_reveals_the_cache_sizes() {
+        // Working-set spectroscopy on the simulated T3D finds its 8 KB L1.
+        let mut m = fast(T3d::new());
+        let grid = Grid {
+            strides: vec![1],
+            working_sets: vec![2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10],
+        };
+        let s = local_load_surface(&mut m, &grid);
+        let caches = s.inferred_cache_bytes();
+        assert_eq!(caches, vec![8 << 10], "the T3D has exactly one 8 KB cache, got {caches:?}");
+    }
+
+    #[test]
+    fn store_surface_runs() {
+        let mut m = fast(T3e::new());
+        let grid = Grid { strides: vec![1], working_sets: vec![64 << 10] };
+        let s = local_store_surface(&mut m, &grid);
+        assert!(s.peak() > 0.0);
+    }
+}

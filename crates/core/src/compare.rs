@@ -1,0 +1,190 @@
+//! The §9 cross-machine comparison, derived from measurement.
+//!
+//! "Large strided remote transfers achieve only 22 MByte/s per processor on
+//! the DEC 8400, a factor of 2.5 less than the 55 MByte/s measured in the
+//! T3D, or a factor of 6.5 less than the 140 MByte/s measured in the T3E.
+//! An exception to these performance differences are the contiguous
+//! accesses and small strides where T3D and DEC 8400 perform alike — but
+//! still a factor 2 below the T3E. We attribute those differences to the
+//! memory systems design philosophies, i.e. a cache focus on the DEC
+//! machine and a streams focus on the Cray machines."
+
+use serde::{Deserialize, Serialize};
+
+use gasnub_machines::{Machine, MachineId};
+
+/// The §9 summary row for one machine (all MB/s, large working sets).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSummary {
+    /// Which machine.
+    pub machine: MachineId,
+    /// Contiguous local loads from DRAM.
+    pub local_load_contig: f64,
+    /// Strided (stride 16) local loads from DRAM.
+    pub local_load_strided: f64,
+    /// Contiguous local copies.
+    pub local_copy_contig: f64,
+    /// Best strided local copy (the better of the two variants).
+    pub local_copy_strided: f64,
+    /// Best contiguous remote transfer.
+    pub remote_contig: f64,
+    /// Best strided (stride 16) remote transfer.
+    pub remote_strided: f64,
+    /// Indexed (gather) loads from DRAM.
+    pub gather: f64,
+}
+
+impl MachineSummary {
+    /// Measures the summary for `machine` with a DRAM-resident working set.
+    pub fn measure(machine: &mut dyn Machine, ws_bytes: u64) -> Self {
+        let best_remote = |machine: &mut dyn Machine, stride: u64| {
+            let fetch = machine.remote_fetch(ws_bytes, stride).map(|m| m.mb_s);
+            let deposit = machine.remote_deposit(ws_bytes, stride).map(|m| m.mb_s);
+            match (fetch, deposit) {
+                (Some(f), Some(d)) => f.max(d),
+                (Some(f), None) => f,
+                (None, Some(d)) => d,
+                (None, None) => 0.0,
+            }
+        };
+        MachineSummary {
+            machine: machine.id(),
+            local_load_contig: machine.local_load(ws_bytes, 1).mb_s,
+            local_load_strided: machine.local_load(ws_bytes, 16).mb_s,
+            local_copy_contig: machine.local_copy(ws_bytes, 1, 1).mb_s,
+            local_copy_strided: machine
+                .local_copy(ws_bytes, 16, 1)
+                .mb_s
+                .max(machine.local_copy(ws_bytes, 1, 16).mb_s),
+            remote_contig: best_remote(machine, 1),
+            remote_strided: best_remote(machine, 16),
+            gather: machine.local_gather(ws_bytes).mb_s,
+        }
+    }
+
+    /// The paper's §9 observation that remote copies are never slower than
+    /// local copies on any of these machines.
+    pub fn remote_at_least_local_copy(&self) -> bool {
+        self.remote_contig >= 0.9 * self.local_copy_contig
+    }
+}
+
+/// The full §9 comparison across machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// One summary per machine, in the order measured.
+    pub rows: Vec<MachineSummary>,
+}
+
+impl Comparison {
+    /// Measures all `machines` at the given working set.
+    pub fn measure(machines: &mut [Box<dyn Machine>], ws_bytes: u64) -> Self {
+        Comparison { rows: machines.iter_mut().map(|m| MachineSummary::measure(m.as_mut(), ws_bytes)).collect() }
+    }
+
+    /// The summary for one machine, if measured.
+    pub fn row(&self, id: MachineId) -> Option<&MachineSummary> {
+        self.rows.iter().find(|r| r.machine == id)
+    }
+
+    /// Renders the comparison as an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<12}{:>12}{:>12}{:>12}{:>12}{:>12}{:>12}{:>10}\n",
+            "machine",
+            "load s1",
+            "load s16",
+            "copy s1",
+            "copy s16",
+            "remote s1",
+            "remote s16",
+            "gather"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<12}{:>12.0}{:>12.0}{:>12.0}{:>12.0}{:>12.0}{:>12.0}{:>10.0}\n",
+                r.machine.label(),
+                r.local_load_contig,
+                r.local_load_strided,
+                r.local_copy_contig,
+                r.local_copy_strided,
+                r.remote_contig,
+                r.remote_strided,
+                r.gather
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gasnub_machines::{Dec8400, MeasureLimits, T3d, T3e};
+
+    fn comparison() -> Comparison {
+        let mut machines: Vec<Box<dyn Machine>> =
+            vec![Box::new(Dec8400::new()), Box::new(T3d::new()), Box::new(T3e::new())];
+        for m in &mut machines {
+            m.set_limits(MeasureLimits::fast());
+        }
+        Comparison::measure(&mut machines, 32 << 20)
+    }
+
+    #[test]
+    fn section_9_strided_remote_ratios() {
+        // 22 (8400) vs 55 (T3D, factor ~2.5) vs 140 (T3E, factor ~6.5).
+        let c = comparison();
+        let dec = c.row(MachineId::Dec8400).unwrap().remote_strided;
+        let t3d = c.row(MachineId::CrayT3d).unwrap().remote_strided;
+        let t3e = c.row(MachineId::CrayT3e).unwrap().remote_strided;
+        let r_t3d = t3d / dec;
+        let r_t3e = t3e / dec;
+        assert!(r_t3d > 1.8 && r_t3d < 4.0, "T3D/8400 strided remote ratio {r_t3d} (paper 2.5)");
+        assert!(r_t3e > 4.5 && r_t3e < 9.0, "T3E/8400 strided remote ratio {r_t3e} (paper 6.5)");
+    }
+
+    #[test]
+    fn section_9_contiguous_exception() {
+        // "contiguous accesses ... where T3D and DEC 8400 perform alike —
+        // but still a factor 2 below the T3E."
+        let c = comparison();
+        let dec = c.row(MachineId::Dec8400).unwrap().remote_contig;
+        let t3d = c.row(MachineId::CrayT3d).unwrap().remote_contig;
+        let t3e = c.row(MachineId::CrayT3e).unwrap().remote_contig;
+        let alike = t3d / dec;
+        assert!(alike > 0.6 && alike < 1.5, "T3D ≈ 8400 contiguous remote: {alike}");
+        assert!(t3e / t3d > 1.8, "T3E factor ~2 above: {}", t3e / t3d);
+    }
+
+    #[test]
+    fn remote_copies_never_slower_than_local_copies() {
+        // §9: "On all three machines, the straight remote memory copy
+        // bandwidth ... is equal to or higher than the local copy
+        // performance."
+        for r in &comparison().rows {
+            assert!(r.remote_at_least_local_copy(), "{:?}: {r:?}", r.machine);
+        }
+    }
+
+    #[test]
+    fn gather_never_beats_strided() {
+        for r in &comparison().rows {
+            assert!(
+                r.gather <= r.local_load_strided * 1.1,
+                "{:?}: gather {} vs strided {}",
+                r.machine,
+                r.gather,
+                r.local_load_strided
+            );
+        }
+    }
+
+    #[test]
+    fn render_has_one_row_per_machine() {
+        let c = comparison();
+        let text = c.render();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("t3e"));
+    }
+}

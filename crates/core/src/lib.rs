@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! # gasnub-core
+//!
+//! The paper's primary contribution, as a library: an **extended
+//! copy-transfer model** for characterizing memory system performance of
+//! parallel systems with a global address space and non-uniform bandwidth.
+//!
+//! The copy-transfer model (Stricker & Gross, ISCA '95, extended in the
+//! HPCA-3 paper reproduced here) characterizes a memory system by the
+//! *bandwidth* of basic copy transfers, parameterized by
+//!
+//! * the **access pattern** — the stride between the 64-bit words touched —
+//!   capturing spatial locality, and
+//! * the **working set** — the bytes touched — capturing temporal locality
+//!   (the HPCA-3 extension: "we extend the copy transfer model by a working
+//!   set parameter", §4.1),
+//!
+//! for local accesses, remote accesses (communication), and both transfer
+//! styles (fetch/deposit).
+//!
+//! The crate provides:
+//!
+//! * [`mod@bench`] — the three micro-benchmarks of §4.2 (Load-Sum, Load/Store
+//!   copy, Store-Constant) dispatched onto any
+//!   [`gasnub_machines::Machine`];
+//! * [`sweep`] — the stride x working-set sweep driver with the paper's
+//!   grid axes;
+//! * [`surface`] — the 2D bandwidth surface (figs 1-8) with CSV and
+//!   terminal rendering;
+//! * [`profile`] — one-call characterization of a machine (all surfaces);
+//! * [`cost`] — the compiler-facing cost model: given the measured
+//!   characterization, pick the cheapest way to implement a transfer
+//!   (deposit vs. fetch vs. pack-then-send), reproducing the paper's §9
+//!   guidance.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use gasnub_core::sweep::Grid;
+//! use gasnub_core::bench::local_load_surface;
+//! use gasnub_machines::{Machine, MeasureLimits, T3d};
+//!
+//! let mut t3d = T3d::new();
+//! t3d.set_limits(MeasureLimits::fast());
+//! let surface = local_load_surface(&mut t3d, &Grid::quick());
+//! // Contiguous DRAM access is far faster than strided on the T3D.
+//! let ws = 4 * 1024 * 1024;
+//! assert!(surface.value(ws, 1).unwrap() > 2.0 * surface.value(ws, 16).unwrap());
+//! ```
+
+pub mod bench;
+pub mod compare;
+pub mod cost;
+pub mod profile;
+pub mod report;
+pub mod surface;
+pub mod sweep;
+
+pub use bench::{
+    local_copy_surface, local_load_surface, local_store_surface, remote_deposit_surface,
+    remote_fetch_surface, remote_load_surface, CopyVariant,
+};
+pub use compare::{Comparison, MachineSummary};
+pub use cost::{CostModel, Strategy, TransferEstimate};
+pub use profile::MachineProfile;
+pub use surface::Surface;
+pub use sweep::Grid;

@@ -1,0 +1,267 @@
+//! The 2D bandwidth surface: MB/s over (working set, stride).
+
+use serde::{Deserialize, Serialize};
+
+/// A measured bandwidth surface (one of the paper's figs 1-8).
+///
+/// Rows are working sets (ascending), columns are strides (ascending);
+/// `values[ws_idx][stride_idx]` is MB/s. Cells may be `NaN`-free by
+/// construction: the sweep driver only stores finite bandwidths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Surface {
+    title: String,
+    strides: Vec<u64>,
+    working_sets: Vec<u64>,
+    values: Vec<Vec<f64>>,
+}
+
+impl Surface {
+    /// Builds a surface from its axes and row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value matrix does not match the axes.
+    pub fn new(title: impl Into<String>, strides: Vec<u64>, working_sets: Vec<u64>, values: Vec<Vec<f64>>) -> Self {
+        assert_eq!(values.len(), working_sets.len(), "one row per working set");
+        for row in &values {
+            assert_eq!(row.len(), strides.len(), "one column per stride");
+        }
+        Surface { title: title.into(), strides, working_sets, values }
+    }
+
+    /// The surface's title (e.g. `"Cray T3E local loads"`).
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The stride axis.
+    pub fn strides(&self) -> &[u64] {
+        &self.strides
+    }
+
+    /// The working-set axis (bytes).
+    pub fn working_sets(&self) -> &[u64] {
+        &self.working_sets
+    }
+
+    /// Bandwidth at an exact grid point, if it exists.
+    pub fn value(&self, ws_bytes: u64, stride: u64) -> Option<f64> {
+        let r = self.working_sets.iter().position(|&w| w == ws_bytes)?;
+        let c = self.strides.iter().position(|&s| s == stride)?;
+        Some(self.values[r][c])
+    }
+
+    /// The maximum bandwidth anywhere on the surface.
+    pub fn peak(&self) -> f64 {
+        self.values.iter().flatten().cloned().fold(0.0, f64::max)
+    }
+
+    /// One row (fixed working set) as `(stride, MB/s)` pairs — the shape of
+    /// figs 9-14, which fix a large working set and vary the stride.
+    pub fn row(&self, ws_bytes: u64) -> Option<Vec<(u64, f64)>> {
+        let r = self.working_sets.iter().position(|&w| w == ws_bytes)?;
+        Some(self.strides.iter().cloned().zip(self.values[r].iter().cloned()).collect())
+    }
+
+    /// One column (fixed stride) as `(working set, MB/s)` pairs.
+    pub fn column(&self, stride: u64) -> Option<Vec<(u64, f64)>> {
+        let c = self.strides.iter().position(|&s| s == stride)?;
+        Some(self.working_sets.iter().cloned().zip(self.values.iter().map(|row| row[c])).collect())
+    }
+
+    /// Working-set spectroscopy: the knees of one stride's column.
+    ///
+    /// Returns the working sets at which bandwidth first drops below
+    /// `(1 - drop)` of the running plateau — i.e. where the working set has
+    /// just exceeded a level of the memory hierarchy. With the paper's
+    /// power-of-two axis the knee at `w` implies a cache of roughly `w / 2`
+    /// bytes, which [`Surface::inferred_cache_bytes`] reports directly.
+    pub fn knees(&self, stride: u64, drop: f64) -> Option<Vec<u64>> {
+        let column = self.column(stride)?;
+        let mut knees = Vec::new();
+        let mut plateau = column.first()?.1;
+        for &(ws, v) in column.iter().skip(1) {
+            if v < plateau * (1.0 - drop) {
+                knees.push(ws);
+            }
+            plateau = v.min(plateau);
+        }
+        Some(knees)
+    }
+
+    /// The cache capacities a contiguous-load column implies: half of each
+    /// knee working set (the largest measured set that still fit).
+    pub fn inferred_cache_bytes(&self) -> Vec<u64> {
+        self.knees(1, 0.2).unwrap_or_default().iter().map(|w| w / 2).collect()
+    }
+
+    /// Cell-wise ratio of two surfaces measured on the same grid: the shape
+    /// of the paper's cross-machine comparisons ("Contiguous loads from
+    /// local DRAM memory on the Cray T3D are about 30% faster than in the
+    /// DEC 8400", §5.3). Returns `None` if the grids differ.
+    pub fn ratio(&self, denominator: &Surface) -> Option<Surface> {
+        if self.strides != denominator.strides || self.working_sets != denominator.working_sets {
+            return None;
+        }
+        let values = self
+            .values
+            .iter()
+            .zip(&denominator.values)
+            .map(|(a, b)| {
+                a.iter().zip(b).map(|(x, y)| if *y > 0.0 { x / y } else { 0.0 }).collect()
+            })
+            .collect();
+        Some(Surface::new(
+            format!("{} / {}", self.title, denominator.title),
+            self.strides.clone(),
+            self.working_sets.clone(),
+            values,
+        ))
+    }
+
+    /// Renders the surface as CSV: header `ws_bytes,<stride>,...`, one line
+    /// per working set.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("ws_bytes");
+        for s in &self.strides {
+            out.push_str(&format!(",s{s}"));
+        }
+        out.push('\n');
+        for (ws, row) in self.working_sets.iter().zip(&self.values) {
+            out.push_str(&ws.to_string());
+            for v in row {
+                out.push_str(&format!(",{v:.1}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders an aligned text table (MB/s, integers) for terminals: the
+    /// repository's replacement for the paper's 3D plots.
+    pub fn render(&self) -> String {
+        fn human(ws: u64) -> String {
+            if ws >= 1 << 20 {
+                format!("{}M", ws >> 20)
+            } else if ws >= 1 << 10 {
+                format!("{}K", ws >> 10)
+            } else {
+                format!("{ws}B")
+            }
+        }
+        let mut out = format!("{} (MB/s; rows = working set, cols = stride)\n", self.title);
+        out.push_str(&format!("{:>8}", "ws"));
+        for s in &self.strides {
+            out.push_str(&format!("{s:>7}"));
+        }
+        out.push('\n');
+        for (ws, row) in self.working_sets.iter().zip(&self.values) {
+            out.push_str(&format!("{:>8}", human(*ws)));
+            for v in row {
+                out.push_str(&format!("{:>7.0}", v));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Surface {
+        Surface::new(
+            "test",
+            vec![1, 8],
+            vec![1024, 1 << 20],
+            vec![vec![800.0, 790.0], vec![150.0, 30.0]],
+        )
+    }
+
+    #[test]
+    fn value_lookup() {
+        let s = sample();
+        assert_eq!(s.value(1024, 1), Some(800.0));
+        assert_eq!(s.value(1 << 20, 8), Some(30.0));
+        assert_eq!(s.value(2048, 1), None);
+        assert_eq!(s.value(1024, 3), None);
+    }
+
+    #[test]
+    fn peak_row_column() {
+        let s = sample();
+        assert_eq!(s.peak(), 800.0);
+        assert_eq!(s.row(1 << 20).unwrap(), vec![(1, 150.0), (8, 30.0)]);
+        assert_eq!(s.column(8).unwrap(), vec![(1024, 790.0), (1 << 20, 30.0)]);
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "ws_bytes,s1,s8");
+        assert!(lines[1].starts_with("1024,800.0"));
+    }
+
+    #[test]
+    fn render_contains_axes() {
+        let text = sample().render();
+        assert!(text.contains("1K"));
+        assert!(text.contains("1M"));
+        assert!(text.contains("800"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one row per working set")]
+    fn mismatched_matrix_panics() {
+        Surface::new("bad", vec![1], vec![1, 2], vec![vec![1.0]]);
+    }
+
+    #[test]
+    fn knees_mark_hierarchy_boundaries() {
+        // Synthetic three-plateau column: 800 (cache) / 400 (L2) / 100 (DRAM).
+        let s = Surface::new(
+            "knees",
+            vec![1],
+            vec![4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10],
+            vec![
+                vec![800.0],
+                vec![800.0],
+                vec![400.0],
+                vec![400.0],
+                vec![100.0],
+                vec![100.0],
+            ],
+        );
+        assert_eq!(s.knees(1, 0.2).unwrap(), vec![16 << 10, 64 << 10]);
+        assert_eq!(s.inferred_cache_bytes(), vec![8 << 10, 32 << 10]);
+        assert_eq!(s.knees(3, 0.2), None, "unknown stride");
+    }
+
+    #[test]
+    fn ratio_divides_cell_wise() {
+        let a = sample();
+        let b = Surface::new(
+            "other",
+            vec![1, 8],
+            vec![1024, 1 << 20],
+            vec![vec![400.0, 395.0], vec![75.0, 0.0]],
+        );
+        let r = a.ratio(&b).unwrap();
+        assert_eq!(r.value(1024, 1), Some(2.0));
+        assert_eq!(r.value(1 << 20, 1), Some(2.0));
+        assert_eq!(r.value(1 << 20, 8), Some(0.0), "division by zero maps to zero");
+        assert!(r.title().contains('/'));
+        // Mismatched grids refuse.
+        let c = Surface::new("tiny", vec![1], vec![1024], vec![vec![1.0]]);
+        assert!(a.ratio(&c).is_none());
+    }
+
+    #[test]
+    fn flat_column_has_no_knees() {
+        let s = Surface::new("flat", vec![1], vec![1024, 2048], vec![vec![500.0], vec![495.0]]);
+        assert!(s.knees(1, 0.2).unwrap().is_empty());
+    }
+}

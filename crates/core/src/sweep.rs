@@ -1,0 +1,92 @@
+//! Sweep grids: the stride and working-set axes of the paper's figures.
+
+use serde::{Deserialize, Serialize};
+
+/// A sweep grid: which strides and working sets to measure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Strides between 64-bit words, ascending.
+    pub strides: Vec<u64>,
+    /// Working sets in bytes, ascending.
+    pub working_sets: Vec<u64>,
+}
+
+impl Grid {
+    /// The stride axis of figs 1-8:
+    /// 1..8, 12, 15, 16, 24, 31, 32, 48, 63, 64, 96, 127, 128, 192.
+    pub fn paper_strides() -> Vec<u64> {
+        vec![1, 2, 3, 4, 5, 6, 7, 8, 12, 15, 16, 24, 31, 32, 48, 63, 64, 96, 127, 128, 192]
+    }
+
+    /// The stride axis of the large-transfer figures 9-14:
+    /// 1..8, 12, 15, 16, 24, 31, 32, 48, 63, 64.
+    pub fn copy_strides() -> Vec<u64> {
+        vec![1, 2, 3, 4, 5, 6, 7, 8, 12, 15, 16, 24, 31, 32, 48, 63, 64]
+    }
+
+    /// The working-set axis of figs 1-8: 0.5 KB to `max` by powers of two.
+    pub fn paper_working_sets(max: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut ws = 512u64;
+        while ws <= max {
+            out.push(ws);
+            ws *= 2;
+        }
+        out
+    }
+
+    /// The full paper grid for local surfaces (up to 128 MB like Fig. 1).
+    pub fn paper_local() -> Self {
+        Grid { strides: Self::paper_strides(), working_sets: Self::paper_working_sets(128 << 20) }
+    }
+
+    /// The full paper grid for remote surfaces (up to 8 MB like figs 2/4-8).
+    pub fn paper_remote() -> Self {
+        Grid { strides: Self::paper_strides(), working_sets: Self::paper_working_sets(8 << 20) }
+    }
+
+    /// A small grid for tests and examples: six strides, working sets
+    /// 2 KB - 8 MB.
+    pub fn quick() -> Self {
+        Grid {
+            strides: vec![1, 2, 8, 16, 64],
+            working_sets: vec![2 << 10, 32 << 10, 512 << 10, 4 << 20, 8 << 20],
+        }
+    }
+
+    /// Number of cells this grid contains.
+    pub fn cells(&self) -> usize {
+        self.strides.len() * self.working_sets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_axes_match_figure_labels() {
+        let s = Grid::paper_strides();
+        assert_eq!(s.first(), Some(&1));
+        assert_eq!(s.last(), Some(&192));
+        assert!(s.contains(&31) && s.contains(&63) && s.contains(&127));
+        let ws = Grid::paper_working_sets(128 << 20);
+        assert_eq!(ws.first(), Some(&512));
+        assert_eq!(ws.last(), Some(&(128 << 20)));
+        assert_eq!(ws.len(), 19); // 0.5K .. 128M by powers of two
+    }
+
+    #[test]
+    fn axes_are_ascending() {
+        for grid in [Grid::paper_local(), Grid::paper_remote(), Grid::quick()] {
+            assert!(grid.strides.windows(2).all(|w| w[0] < w[1]));
+            assert!(grid.working_sets.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn cells_is_the_product() {
+        let g = Grid::quick();
+        assert_eq!(g.cells(), g.strides.len() * g.working_sets.len());
+    }
+}

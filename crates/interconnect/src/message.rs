@@ -1,0 +1,92 @@
+//! Generic per-message cost model.
+//!
+//! The T3D has "a 'per message' overhead for switching partners" (§3.2) and
+//! every network interface pays a fixed cost per injected packet plus a
+//! per-byte payload cost. This small model is shared by the NI
+//! implementations.
+
+use serde::{Deserialize, Serialize};
+
+use gasnub_memsim::ConfigError;
+
+/// Per-message cost parameters, in CPU cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MessageCostModel {
+    /// Fixed cycles per injected message/packet.
+    pub per_message_cycles: f64,
+    /// Cycles per payload byte.
+    pub per_byte_cycles: f64,
+    /// Extra cycles when the destination differs from the previous message's
+    /// destination (the T3D's partner-switch cost).
+    pub partner_switch_cycles: f64,
+}
+
+impl MessageCostModel {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any cost is negative.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.per_message_cycles < 0.0 || self.per_byte_cycles < 0.0 || self.partner_switch_cycles < 0.0 {
+            return Err(ConfigError::new("message cost model", "cycle costs must be non-negative"));
+        }
+        Ok(())
+    }
+
+    /// Cost of one message of `bytes` payload; `switched` marks a change of
+    /// communication partner since the previous message.
+    pub fn message_cycles(&self, bytes: u64, switched: bool) -> f64 {
+        self.per_message_cycles
+            + self.per_byte_cycles * bytes as f64
+            + if switched { self.partner_switch_cycles } else { 0.0 }
+    }
+
+    /// Asymptotic bandwidth in MB/s for back-to-back messages of `bytes` to
+    /// a fixed partner at a given clock.
+    pub fn bandwidth_mb_s(&self, bytes: u64, clock_mhz: f64) -> f64 {
+        let cycles = self.message_cycles(bytes, false);
+        if cycles <= 0.0 {
+            f64::INFINITY
+        } else {
+            bytes as f64 * clock_mhz / cycles
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MessageCostModel {
+        MessageCostModel { per_message_cycles: 12.0, per_byte_cycles: 0.5, partner_switch_cycles: 100.0 }
+    }
+
+    #[test]
+    fn validate_rejects_negative() {
+        let mut m = model();
+        m.per_byte_cycles = -1.0;
+        assert!(m.validate().is_err());
+        assert!(model().validate().is_ok());
+    }
+
+    #[test]
+    fn coalesced_packets_amortize_overhead() {
+        let m = model();
+        // A 32-byte packet costs 12 + 16 = 28 cycles; four 8-byte packets
+        // cost 4 * (12 + 4) = 64 cycles. Coalescing wins.
+        assert!(m.message_cycles(32, false) < 4.0 * m.message_cycles(8, false));
+    }
+
+    #[test]
+    fn partner_switch_is_charged() {
+        let m = model();
+        assert_eq!(m.message_cycles(8, true) - m.message_cycles(8, false), 100.0);
+    }
+
+    #[test]
+    fn bandwidth_grows_with_packet_size() {
+        let m = model();
+        assert!(m.bandwidth_mb_s(32, 150.0) > m.bandwidth_mb_s(8, 150.0));
+    }
+}

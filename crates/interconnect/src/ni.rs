@@ -1,0 +1,369 @@
+//! Network interface models.
+//!
+//! * [`T3dNi`] — the Cray T3D's ECL fetch/deposit circuitry: "Remote stores
+//!   are directly captured from the write back queues, while remote loads
+//!   can be performed in a transparent blocking manner at minimal speed, or
+//!   somewhat faster through an external FIFO pre-fetch queue located in the
+//!   support circuitry" (§3.2).
+//! * [`ERegisters`] — the Cray T3E's E-registers: "Remote stores and remote
+//!   loads are performed through a set of external E-registers located in
+//!   the support circuitry around the DEC Alpha processor" (§3.3).
+//!
+//! Both are *pipelines with a bounded number of in-flight slots*: a word
+//! operation occupies one slot for the full network round trip (or one-way
+//! delivery), and the issuing processor stalls only when every slot is in
+//! flight. A blocking T3D remote load is the degenerate single-slot case.
+
+use serde::{Deserialize, Serialize};
+
+use gasnub_memsim::ConfigError;
+
+use crate::message::MessageCostModel;
+
+/// A bounded set of in-flight transfer slots with a fixed per-operation
+/// latency — the shared skeleton of the prefetch FIFO and the E-registers.
+#[derive(Debug, Clone)]
+struct SlotPipeline {
+    slots: Vec<f64>,
+    next: usize,
+    latency: f64,
+}
+
+impl SlotPipeline {
+    fn new(depth: usize, latency: f64) -> Self {
+        SlotPipeline { slots: vec![f64::NEG_INFINITY; depth.max(1)], next: 0, latency }
+    }
+
+    /// Issues one operation at `now`; returns the stall the issuer observes
+    /// (zero when a slot is free).
+    fn issue(&mut self, now: f64) -> f64 {
+        let idx = self.next;
+        self.next = (self.next + 1) % self.slots.len();
+        let stall = (self.slots[idx] - now).max(0.0);
+        self.slots[idx] = now + stall + self.latency;
+        stall
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.slots {
+            *s = f64::NEG_INFINITY;
+        }
+        self.next = 0;
+    }
+}
+
+/// Static description of the T3D network interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct T3dNiConfig {
+    /// Packet injection cost model (per packet / per byte / partner switch).
+    pub message: MessageCostModel,
+    /// Network round-trip latency of a remote load, in CPU cycles.
+    pub remote_load_round_trip_cycles: f64,
+    /// Depth of the external FIFO pre-fetch queue. 1 models the
+    /// "transparent blocking" mode.
+    pub prefetch_fifo_depth: usize,
+    /// Whether this NI is shared by the two PEs of a T3D node pair
+    /// (footnote 1). The machine layer halves effective injection bandwidth
+    /// when both PEs communicate simultaneously.
+    pub shared_by_node_pair: bool,
+}
+
+impl T3dNiConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates message-model validation and rejects a zero-depth FIFO or
+    /// negative round trip.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.message.validate()?;
+        if self.prefetch_fifo_depth == 0 {
+            return Err(ConfigError::new("T3D NI", "prefetch FIFO depth must be at least 1"));
+        }
+        if self.remote_load_round_trip_cycles < 0.0 {
+            return Err(ConfigError::new("T3D NI", "round trip must be non-negative"));
+        }
+        Ok(())
+    }
+}
+
+/// Runtime state of the T3D network interface.
+#[derive(Debug, Clone)]
+pub struct T3dNi {
+    config: T3dNiConfig,
+    fetch_pipeline: SlotPipeline,
+    last_partner: Option<u32>,
+    packets: u64,
+    fetched_words: u64,
+}
+
+impl T3dNi {
+    /// Builds a T3D NI from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`T3dNiConfig::validate`] errors.
+    pub fn new(config: T3dNiConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let fetch_pipeline = SlotPipeline::new(config.prefetch_fifo_depth, config.remote_load_round_trip_cycles);
+        Ok(T3dNi { config, fetch_pipeline, last_partner: None, packets: 0, fetched_words: 0 })
+    }
+
+    /// The configuration this NI was built from.
+    pub fn config(&self) -> &T3dNiConfig {
+        &self.config
+    }
+
+    /// Packets injected so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Remote words fetched so far.
+    pub fn fetched_words(&self) -> u64 {
+        self.fetched_words
+    }
+
+    /// Resets all state and statistics.
+    pub fn reset(&mut self) {
+        self.fetch_pipeline.reset();
+        self.last_partner = None;
+        self.packets = 0;
+        self.fetched_words = 0;
+    }
+
+    /// Injects one deposit packet of `bytes` towards `partner`, returning
+    /// the injection cycles (partner switches pay extra).
+    pub fn deposit_packet(&mut self, bytes: u64, partner: u32) -> f64 {
+        self.packets += 1;
+        let switched = self.last_partner.is_some() && self.last_partner != Some(partner);
+        self.last_partner = Some(partner);
+        self.config.message.message_cycles(bytes, switched)
+    }
+
+    /// Issues one remote load word through the pre-fetch FIFO at `now`,
+    /// returning the cycles the processor observes. With depth 1 this is the
+    /// blocking mode (full round trip per word); deeper FIFOs pipeline.
+    pub fn fetch_word(&mut self, now: f64) -> f64 {
+        self.fetched_words += 1;
+        let stall = self.fetch_pipeline.issue(now);
+        // Issue cost of touching the FIFO, plus any pipeline stall.
+        self.config.message.per_message_cycles + stall
+    }
+}
+
+/// Static description of the T3E E-register file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ERegistersConfig {
+    /// Number of E-registers (512 on the T3E).
+    pub count: usize,
+    /// Cycles to issue one word-sized put/get through an E-register in a
+    /// tuned shmem loop.
+    pub word_issue_cycles: f64,
+    /// Fixed software overhead per `shmem_iput`/`shmem_iget` call.
+    pub call_setup_cycles: f64,
+    /// Network round trip one E-register stays occupied per operation.
+    pub round_trip_cycles: f64,
+}
+
+impl ERegistersConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for a zero register count or negative costs.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.count == 0 {
+            return Err(ConfigError::new("E-registers", "register count must be at least 1"));
+        }
+        if self.word_issue_cycles < 0.0 || self.call_setup_cycles < 0.0 || self.round_trip_cycles < 0.0 {
+            return Err(ConfigError::new("E-registers", "cycle costs must be non-negative"));
+        }
+        Ok(())
+    }
+}
+
+/// Runtime state of the E-register file.
+#[derive(Debug, Clone)]
+pub struct ERegisters {
+    config: ERegistersConfig,
+    pipeline: SlotPipeline,
+    words: u64,
+    calls: u64,
+}
+
+impl ERegisters {
+    /// Builds an E-register file from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ERegistersConfig::validate`] errors.
+    pub fn new(config: ERegistersConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let pipeline = SlotPipeline::new(config.count, config.round_trip_cycles);
+        Ok(ERegisters { config, pipeline, words: 0, calls: 0 })
+    }
+
+    /// The configuration this file was built from.
+    pub fn config(&self) -> &ERegistersConfig {
+        &self.config
+    }
+
+    /// Words transferred so far.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// shmem calls started so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Resets all state and statistics.
+    pub fn reset(&mut self) {
+        self.pipeline.reset();
+        self.words = 0;
+        self.calls = 0;
+    }
+
+    /// Charges the fixed software overhead of starting one shmem call.
+    pub fn begin_call(&mut self) -> f64 {
+        self.calls += 1;
+        self.config.call_setup_cycles
+    }
+
+    /// Transfers one word (put or get are symmetric through E-registers) at
+    /// `now`, returning the cycles the processor observes.
+    pub fn transfer_word(&mut self, now: f64) -> f64 {
+        self.words += 1;
+        let stall = self.pipeline.issue(now);
+        self.config.word_issue_cycles + stall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t3d_cfg(depth: usize) -> T3dNiConfig {
+        T3dNiConfig {
+            message: MessageCostModel {
+                per_message_cycles: 12.0,
+                per_byte_cycles: 0.5,
+                partner_switch_cycles: 80.0,
+            },
+            remote_load_round_trip_cycles: 300.0,
+            prefetch_fifo_depth: depth,
+            shared_by_node_pair: true,
+        }
+    }
+
+    fn ereg_cfg() -> ERegistersConfig {
+        ERegistersConfig {
+            count: 512,
+            word_issue_cycles: 6.0,
+            call_setup_cycles: 200.0,
+            round_trip_cycles: 240.0,
+        }
+    }
+
+    #[test]
+    fn configs_validate() {
+        assert!(t3d_cfg(8).validate().is_ok());
+        assert!(t3d_cfg(0).validate().is_err());
+        assert!(ereg_cfg().validate().is_ok());
+        let mut c = ereg_cfg();
+        c.count = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn deposit_partner_switch_costs_extra() {
+        let mut ni = T3dNi::new(t3d_cfg(8)).unwrap();
+        let first = ni.deposit_packet(32, 2);
+        let same = ni.deposit_packet(32, 2);
+        let switched = ni.deposit_packet(32, 3);
+        assert_eq!(first, same, "first packet sets the partner without penalty");
+        assert_eq!(switched - same, 80.0);
+        assert_eq!(ni.packets(), 3);
+    }
+
+    #[test]
+    fn blocking_fetch_pays_full_round_trip() {
+        let mut ni = T3dNi::new(t3d_cfg(1)).unwrap();
+        let mut now = 0.0;
+        let mut costs = Vec::new();
+        for _ in 0..4 {
+            let c = ni.fetch_word(now);
+            now += c;
+            costs.push(c);
+        }
+        // After the first issue, every word waits a full round trip.
+        assert!(costs[1] >= 300.0, "blocking mode must serialize: {costs:?}");
+    }
+
+    #[test]
+    fn prefetch_fifo_pipelines_fetches() {
+        let run = |depth: usize| {
+            let mut ni = T3dNi::new(t3d_cfg(depth)).unwrap();
+            let mut now = 0.0;
+            for _ in 0..64 {
+                now += ni.fetch_word(now);
+            }
+            now
+        };
+        let blocking = run(1);
+        let pipelined = run(8);
+        assert!(
+            pipelined * 4.0 < blocking,
+            "an 8-deep FIFO must be far faster than blocking: {pipelined} vs {blocking}"
+        );
+    }
+
+    #[test]
+    fn eregisters_are_issue_bound_in_steady_state() {
+        let mut er = ERegisters::new(ereg_cfg()).unwrap();
+        let mut now = 0.0;
+        for _ in 0..2048 {
+            now += er.transfer_word(now);
+        }
+        let per_word = now / 2048.0;
+        // 512 slots, 240-cycle round trip: slot recycling needs 240/512 < 1
+        // cycle per word, so issue (6 cycles) dominates.
+        assert!((per_word - 6.0).abs() < 0.5, "per-word cost {per_word}");
+    }
+
+    #[test]
+    fn tiny_eregister_file_throttles() {
+        let mut cfg = ereg_cfg();
+        cfg.count = 2;
+        let mut er = ERegisters::new(cfg).unwrap();
+        let mut now = 0.0;
+        for _ in 0..64 {
+            now += er.transfer_word(now);
+        }
+        let per_word = now / 64.0;
+        assert!(per_word > 100.0, "2 registers at 240-cycle RT must bottleneck: {per_word}");
+    }
+
+    #[test]
+    fn call_setup_accrues_per_call() {
+        let mut er = ERegisters::new(ereg_cfg()).unwrap();
+        assert_eq!(er.begin_call(), 200.0);
+        assert_eq!(er.begin_call(), 200.0);
+        assert_eq!(er.calls(), 2);
+    }
+
+    #[test]
+    fn reset_clears_pipelines() {
+        let mut ni = T3dNi::new(t3d_cfg(1)).unwrap();
+        let mut now = 0.0;
+        for _ in 0..4 {
+            now += ni.fetch_word(now);
+        }
+        ni.reset();
+        assert_eq!(ni.fetched_words(), 0);
+        let fresh = ni.fetch_word(0.0);
+        assert!(fresh < 300.0, "after reset the pipeline must be empty");
+    }
+}

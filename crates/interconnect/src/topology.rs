@@ -1,0 +1,273 @@
+//! 3D torus topology with dimension-order routing (Cray T3D/T3E fabric).
+
+use serde::{Deserialize, Serialize};
+
+use gasnub_memsim::ConfigError;
+
+/// Identifies one processing element in a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+/// A 3D torus of `x * y * z` nodes, as used by the Cray T3D and T3E.
+///
+/// Nodes are numbered in x-major order: `id = x + dims.x * (y + dims.y * z)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Torus3d {
+    dims: [u32; 3],
+}
+
+impl Torus3d {
+    /// Creates a torus with the given per-dimension extents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any dimension is zero.
+    pub fn new(dims: [u32; 3]) -> Result<Self, ConfigError> {
+        if dims.contains(&0) {
+            return Err(ConfigError::new("torus", "all dimensions must be non-zero"));
+        }
+        Ok(Torus3d { dims })
+    }
+
+    /// The per-dimension extents.
+    pub fn dims(&self) -> [u32; 3] {
+        self.dims
+    }
+
+    /// Total number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// The (x, y, z) coordinates of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coords(&self, node: NodeId) -> [u32; 3] {
+        assert!(node.0 < self.nodes(), "node {} out of range for {} nodes", node.0, self.nodes());
+        let x = node.0 % self.dims[0];
+        let y = (node.0 / self.dims[0]) % self.dims[1];
+        let z = node.0 / (self.dims[0] * self.dims[1]);
+        [x, y, z]
+    }
+
+    /// The node at coordinates (x, y, z) (taken modulo the torus extents).
+    pub fn node_at(&self, coords: [u32; 3]) -> NodeId {
+        let x = coords[0] % self.dims[0];
+        let y = coords[1] % self.dims[1];
+        let z = coords[2] % self.dims[2];
+        NodeId(x + self.dims[0] * (y + self.dims[1] * z))
+    }
+
+    /// Hop distance in one torus dimension (shorter way around).
+    fn dim_distance(extent: u32, a: u32, b: u32) -> u32 {
+        let d = a.abs_diff(b);
+        d.min(extent - d)
+    }
+
+    /// Number of network hops between two nodes under dimension-order
+    /// routing (the sum of per-dimension shortest torus distances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn hops(&self, from: NodeId, to: NodeId) -> u32 {
+        let a = self.coords(from);
+        let b = self.coords(to);
+        (0..3).map(|i| Self::dim_distance(self.dims[i], a[i], b[i])).sum()
+    }
+
+    /// The directed channels a packet traverses under dimension-order
+    /// routing (x, then y, then z; shortest way around each ring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Vec<(NodeId, NodeId)> {
+        let mut at = self.coords(from);
+        let goal = self.coords(to);
+        let mut channels = Vec::with_capacity(self.hops(from, to) as usize);
+        for dim in 0..3 {
+            let extent = self.dims[dim];
+            while at[dim] != goal[dim] {
+                let fwd = (goal[dim] + extent - at[dim]) % extent;
+                let step_up = fwd <= extent - fwd;
+                let here = self.node_at(at);
+                at[dim] = if step_up { (at[dim] + 1) % extent } else { (at[dim] + extent - 1) % extent };
+                channels.push((here, self.node_at(at)));
+            }
+        }
+        channels
+    }
+
+    /// Maximum per-channel load of an all-to-all personalized communication
+    /// (every node sends one unit to every other node) under
+    /// dimension-order routing — the congestion metric behind the paper's
+    /// remark that transposes scale "before bisection limits become
+    /// visible" (§6.2).
+    pub fn aapc_max_channel_load(&self) -> u32 {
+        use std::collections::HashMap;
+        let mut load: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+        let n = self.nodes();
+        for from in 0..n {
+            for to in 0..n {
+                if from == to {
+                    continue;
+                }
+                for ch in self.route(NodeId(from), NodeId(to)) {
+                    *load.entry(ch).or_insert(0) += 1;
+                }
+            }
+        }
+        load.values().cloned().max().unwrap_or(0)
+    }
+
+    /// Bisection width in links: the number of links crossing a bisection of
+    /// the largest dimension. For a torus each ring contributes two crossing
+    /// links. Used for the paper's §8 AAPC scalability estimate.
+    pub fn bisection_links(&self) -> u32 {
+        // Cut perpendicular to the largest dimension.
+        let (max_idx, _) = self
+            .dims
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &d)| d)
+            .expect("torus has three dimensions");
+        let cross_section: u32 = self.dims.iter().enumerate().filter(|&(i, _)| i != max_idx).map(|(_, &d)| d).product();
+        // Wrap-around means two links per ring cross the cut (if the
+        // dimension has more than two nodes; a 2-ring's links coincide).
+        let per_ring = if self.dims[max_idx] > 2 { 2 } else { 1 };
+        cross_section * per_ring
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_dimension() {
+        assert!(Torus3d::new([0, 2, 2]).is_err());
+        assert!(Torus3d::new([2, 2, 2]).is_ok());
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let t = Torus3d::new([4, 3, 2]).unwrap();
+        for id in 0..t.nodes() {
+            let n = NodeId(id);
+            assert_eq!(t.node_at(t.coords(n)), n);
+        }
+    }
+
+    #[test]
+    fn neighbor_hops() {
+        let t = Torus3d::new([4, 4, 4]).unwrap();
+        let origin = t.node_at([0, 0, 0]);
+        assert_eq!(t.hops(origin, t.node_at([1, 0, 0])), 1);
+        assert_eq!(t.hops(origin, t.node_at([1, 1, 0])), 2);
+        assert_eq!(t.hops(origin, t.node_at([1, 1, 1])), 3);
+        assert_eq!(t.hops(origin, origin), 0);
+    }
+
+    #[test]
+    fn torus_wraps_around() {
+        let t = Torus3d::new([8, 1, 1]).unwrap();
+        // 0 -> 7 is one hop the short way around the ring.
+        assert_eq!(t.hops(NodeId(0), NodeId(7)), 1);
+        assert_eq!(t.hops(NodeId(0), NodeId(4)), 4);
+        assert_eq!(t.hops(NodeId(0), NodeId(5)), 3);
+    }
+
+    #[test]
+    fn bisection_of_512_node_torus() {
+        // The paper's full-size machine: 8 x 8 x 8 = 512 PEs.
+        let t = Torus3d::new([8, 8, 8]).unwrap();
+        assert_eq!(t.nodes(), 512);
+        assert_eq!(t.bisection_links(), 8 * 8 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        let t = Torus3d::new([2, 2, 2]).unwrap();
+        let _ = t.coords(NodeId(8));
+    }
+
+    #[test]
+    fn route_length_equals_hop_count() {
+        let t = Torus3d::new([4, 3, 2]).unwrap();
+        for from in 0..t.nodes() {
+            for to in 0..t.nodes() {
+                let route = t.route(NodeId(from), NodeId(to));
+                assert_eq!(route.len() as u32, t.hops(NodeId(from), NodeId(to)), "{from}->{to}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_connected_and_ends_at_destination() {
+        let t = Torus3d::new([4, 4, 2]).unwrap();
+        let from = NodeId(1);
+        let to = NodeId(29);
+        let route = t.route(from, to);
+        assert_eq!(route.first().unwrap().0, from);
+        assert_eq!(route.last().unwrap().1, to);
+        for pair in route.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0, "channels must chain");
+        }
+    }
+
+    #[test]
+    fn route_takes_the_short_way_around() {
+        let t = Torus3d::new([8, 1, 1]).unwrap();
+        // 0 -> 7 should go backwards through the wraparound, one hop.
+        let route = t.route(NodeId(0), NodeId(7));
+        assert_eq!(route, vec![(NodeId(0), NodeId(7))]);
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let t = Torus3d::new([4, 4, 4]).unwrap();
+        assert!(t.route(NodeId(9), NodeId(9)).is_empty());
+    }
+
+    #[test]
+    fn aapc_congestion_grows_with_machine_size() {
+        let small = Torus3d::new([2, 2, 1]).unwrap();
+        let large = Torus3d::new([4, 4, 2]).unwrap();
+        let s = small.aapc_max_channel_load();
+        let l = large.aapc_max_channel_load();
+        assert!(s >= 1);
+        assert!(l > s, "AAPC congestion must grow: {s} vs {l}");
+    }
+
+    #[test]
+    fn aapc_load_is_at_least_the_bisection_bound() {
+        // Total cross-bisection traffic / bisection links lower-bounds the
+        // maximum channel load.
+        let t = Torus3d::new([4, 4, 1]).unwrap();
+        let n = t.nodes();
+        let cross_traffic = (n / 2) * (n / 2) * 2; // both directions
+        let bound = cross_traffic / (2 * t.bisection_links());
+        assert!(
+            t.aapc_max_channel_load() >= bound,
+            "{} >= {bound}",
+            t.aapc_max_channel_load()
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! User-defined machines: characterize your own node design.
+//!
+//! The three historical machines are fixed, but the methodology is not —
+//! the paper's closing argument is that memory-system models "can no longer
+//! be derived from the data sheets … but require measurements of micro
+//! benchmarks" (§9). [`CustomMachine`] lets a user describe any node
+//! (caches, DRAM, stream units, write buffers) and run the same
+//! characterization the paper ran, including sweeps and the cost model's
+//! local strategies.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use gasnub_machines::custom::CustomMachineBuilder;
+//! use gasnub_machines::{Machine, MeasureLimits};
+//! use gasnub_memsim::config::presets;
+//!
+//! let mut machine = CustomMachineBuilder::new("my node", presets::tiny_test_node())
+//!     .build()?;
+//! machine.set_limits(MeasureLimits::fast());
+//! let m = machine.local_load(64 * 1024, 1);
+//! assert!(m.mb_s > 0.0);
+//! # Ok::<(), gasnub_memsim::ConfigError>(())
+//! ```
+
+use gasnub_memsim::config::NodeConfig;
+use gasnub_memsim::engine::MemoryEngine;
+use gasnub_memsim::trace::{shuffled_indices, CopyPass, IndexedPass, StorePass, StridedPass};
+use gasnub_memsim::{ConfigError, WORD_BYTES};
+
+use crate::limits::MeasureLimits;
+use crate::machine::{Machine, MachineId, Measurement};
+
+/// Byte offset separating source and destination regions for copies.
+const DST_REGION: u64 = 1 << 32;
+
+/// Builder for a [`CustomMachine`].
+#[derive(Debug, Clone)]
+pub struct CustomMachineBuilder {
+    name: String,
+    node: NodeConfig,
+    limits: MeasureLimits,
+}
+
+impl CustomMachineBuilder {
+    /// Starts a builder from a node description.
+    pub fn new(name: impl Into<String>, node: NodeConfig) -> Self {
+        CustomMachineBuilder { name: name.into(), node, limits: MeasureLimits::new() }
+    }
+
+    /// Overrides the measurement caps.
+    pub fn limits(mut self, limits: MeasureLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Mutable access to the node description for incremental tweaks.
+    pub fn node_mut(&mut self) -> &mut NodeConfig {
+        &mut self.node
+    }
+
+    /// Validates the description and builds the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the node description is invalid.
+    pub fn build(self) -> Result<CustomMachine, ConfigError> {
+        let engine = MemoryEngine::try_new(self.node)?;
+        Ok(CustomMachine { name: self.name, engine, limits: self.limits })
+    }
+}
+
+/// A user-defined node running the paper's local micro-benchmarks.
+///
+/// Remote probes return `None`: a custom machine describes one node; remote
+/// paths need a full interconnect description, which the three built-in
+/// machines provide.
+#[derive(Debug)]
+pub struct CustomMachine {
+    name: String,
+    engine: MemoryEngine,
+    limits: MeasureLimits,
+}
+
+impl CustomMachine {
+    fn clock(&self) -> f64 {
+        self.engine.cpu().clock_mhz
+    }
+
+    fn words_of(ws_bytes: u64) -> u64 {
+        (ws_bytes / WORD_BYTES).max(1)
+    }
+}
+
+impl Machine for CustomMachine {
+    fn id(&self) -> MachineId {
+        MachineId::Custom
+    }
+
+    fn name(&self) -> String {
+        format!("{} ({} MHz)", self.name, self.clock())
+    }
+
+    fn clock_mhz(&self) -> f64 {
+        self.clock()
+    }
+
+    fn limits(&self) -> MeasureLimits {
+        self.limits
+    }
+
+    fn set_limits(&mut self, limits: MeasureLimits) {
+        self.limits = limits;
+    }
+
+    fn local_load(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
+        self.engine.flush();
+        let words = Self::words_of(ws_bytes);
+        let prime = StridedPass::new(0, words, stride).take(self.limits.prime_words(words) as usize);
+        let measured = self.limits.measure_words(words);
+        let measure = StridedPass::new(0, words, stride).take(measured as usize);
+        let stats = self.engine.prime_and_measure(prime, measure);
+        Measurement::new(stats.bytes, stats.cycles, self.clock())
+    }
+
+    fn local_store(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
+        self.engine.flush();
+        let words = Self::words_of(ws_bytes);
+        let prime = StorePass::new(0, words, stride).take(self.limits.prime_words(words) as usize);
+        let measured = self.limits.measure_words(words);
+        let measure = StorePass::new(0, words, stride).take(measured as usize);
+        let stats = self.engine.prime_and_measure(prime, measure);
+        Measurement::new(stats.bytes, stats.cycles, self.clock())
+    }
+
+    fn local_copy(&mut self, ws_bytes: u64, load_stride: u64, store_stride: u64) -> Measurement {
+        self.engine.flush();
+        let words = Self::words_of(ws_bytes);
+        let measured = self.limits.measure_words(words);
+        let prime = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
+            .take(2 * self.limits.prime_words(words) as usize);
+        let measure = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
+            .take(2 * measured as usize);
+        let stats = self.engine.prime_and_measure(prime, measure);
+        Measurement::new(measured * WORD_BYTES, stats.cycles, self.clock())
+    }
+
+    fn local_gather(&mut self, ws_bytes: u64) -> Measurement {
+        self.engine.flush();
+        let words = Self::words_of(ws_bytes);
+        let measured = self.limits.measure_words(words);
+        let prime = StridedPass::new(0, words, 1).take(self.limits.prime_words(words) as usize);
+        let indices = shuffled_indices(words, measured as usize, 0xC05705);
+        let measure = IndexedPass::new(0, indices);
+        let stats = self.engine.prime_and_measure(prime, measure);
+        Measurement::new(stats.bytes, stats.cycles, self.clock())
+    }
+
+    fn remote_load(&mut self, _ws_bytes: u64, _stride: u64) -> Option<Measurement> {
+        None
+    }
+
+    fn remote_fetch(&mut self, _ws_bytes: u64, _stride: u64) -> Option<Measurement> {
+        None
+    }
+
+    fn remote_deposit(&mut self, _ws_bytes: u64, _stride: u64) -> Option<Measurement> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gasnub_memsim::config::presets;
+
+    fn machine() -> CustomMachine {
+        CustomMachineBuilder::new("test node", presets::tiny_test_node())
+            .limits(MeasureLimits::fast())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates() {
+        let mut b = CustomMachineBuilder::new("bad", presets::tiny_test_node());
+        b.node_mut().cpu.clock_mhz = 0.0;
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn custom_machine_has_plateaus() {
+        let mut m = machine();
+        let l1 = m.local_load(4 << 10, 1).mb_s;
+        let dram = m.local_load(2 << 20, 1).mb_s;
+        assert!(l1 > 2.0 * dram, "L1 {l1} vs DRAM {dram}");
+    }
+
+    #[test]
+    fn custom_machine_sweeps_through_core_apis() {
+        // A custom machine is a first-class `Machine`: the generic sweep
+        // infrastructure accepts it.
+        let mut m = machine();
+        let probe: &mut dyn Machine = &mut m;
+        assert_eq!(probe.id(), MachineId::Custom);
+        assert!(probe.remote_fetch(1 << 20, 1).is_none());
+        let copy = probe.local_copy(1 << 20, 1, 1);
+        assert!(copy.mb_s > 0.0);
+        let gather = probe.local_gather(1 << 20);
+        assert!(gather.mb_s > 0.0);
+    }
+
+    #[test]
+    fn name_includes_clock() {
+        let m = machine();
+        assert!(m.name().contains("test node"));
+        assert!(m.name().contains("100"));
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # gasnub-machines
+//!
+//! Machine models of the three parallel systems characterized by Stricker &
+//! Gross (HPCA-3, 1997), assembled from the `gasnub-memsim`,
+//! `gasnub-interconnect` and `gasnub-coherence` substrates with the paper's
+//! §3 parameters:
+//!
+//! * [`dec8400::Dec8400`] — 300 MHz 21164 (EV-5), three cache levels
+//!   (8 KB L1 / 96 KB L2 / 4 MB L3), interleaved DRAM, 256-bit 75 MHz
+//!   coherent bus; remote transfers are coherent consumer *pulls*.
+//! * [`t3d::T3d`] — 150 MHz 21064 (EV-4), 8 KB L1 only, external read-ahead
+//!   logic and coalescing write-back queue, 3D torus with fetch/deposit
+//!   circuitry; deposit ≫ naive fetch.
+//! * [`t3e::T3e`] — 300 MHz 21164, L1/L2 on chip, six stream buffers, no L3,
+//!   512 E-registers; fetch ≈ deposit at 4x the T3D's remote bandwidth.
+//!
+//! Every machine implements the [`machine::Machine`] trait: the probe
+//! surface the characterization layer (`gasnub-core`) sweeps. Absolute
+//! cycle parameters are calibrated against the ~30 bandwidth figures quoted
+//! in the paper's prose; [`calibration`] holds that table and the test
+//! suite asserts it (see `EXPERIMENTS.md` for paper-vs-measured).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use gasnub_machines::{Machine, MeasureLimits, T3d};
+//!
+//! let mut t3d = T3d::new();
+//! t3d.set_limits(MeasureLimits::fast());
+//! // The read-ahead logic makes contiguous DRAM loads far faster than
+//! // strided ones (fig 3).
+//! let contiguous = t3d.local_load(8 << 20, 1).mb_s;
+//! let strided = t3d.local_load(8 << 20, 16).mb_s;
+//! assert!(contiguous > 3.0 * strided);
+//! ```
+
+pub mod calibration;
+pub mod custom;
+pub mod dec8400;
+pub mod limits;
+pub mod machine;
+pub mod params;
+pub mod t3d;
+pub mod t3e;
+
+pub use custom::{CustomMachine, CustomMachineBuilder};
+pub use dec8400::Dec8400;
+pub use limits::MeasureLimits;
+pub use machine::{Machine, MachineId, Measurement};
+pub use t3d::T3d;
+pub use t3e::T3e;
+
+/// Builds all three machines with paper parameters and default limits.
+pub fn all_machines() -> Vec<Box<dyn Machine>> {
+    vec![Box::new(Dec8400::new()), Box::new(T3d::new()), Box::new(T3e::new())]
+}

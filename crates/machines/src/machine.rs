@@ -1,0 +1,138 @@
+//! The common probe surface of a characterized machine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::limits::MeasureLimits;
+
+/// Which of the paper's three systems a model represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MachineId {
+    /// DEC AlphaServer 8400 (bus-based cache-coherent SMP).
+    Dec8400,
+    /// Cray T3D (150 MHz EV-4 PEs on a 3D torus).
+    CrayT3d,
+    /// Cray T3E (300 MHz EV-5 PEs, E-registers, stream buffers).
+    CrayT3e,
+    /// A user-defined machine (see [`crate::custom::CustomMachine`]).
+    Custom,
+}
+
+impl MachineId {
+    /// Short ASCII label used in tables and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MachineId::Dec8400 => "dec8400",
+            MachineId::CrayT3d => "t3d",
+            MachineId::CrayT3e => "t3e",
+            MachineId::Custom => "custom",
+        }
+    }
+}
+
+impl std::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            MachineId::Dec8400 => "DEC 8400",
+            MachineId::CrayT3d => "Cray T3D",
+            MachineId::CrayT3e => "Cray T3E",
+            MachineId::Custom => "custom machine",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One benchmark result: payload moved, simulated cycles, and the bandwidth
+/// those imply at the machine's clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Payload bytes (copied words are counted once).
+    pub bytes: u64,
+    /// Simulated CPU cycles of the measured pass.
+    pub cycles: f64,
+    /// `bytes * clock_mhz / cycles`, in MB/s.
+    pub mb_s: f64,
+}
+
+impl Measurement {
+    /// Builds a measurement, computing the bandwidth from the clock.
+    pub fn new(bytes: u64, cycles: f64, clock_mhz: f64) -> Self {
+        let mb_s = if cycles > 0.0 { bytes as f64 * clock_mhz / cycles } else { 0.0 };
+        Measurement { bytes, cycles, mb_s }
+    }
+}
+
+/// A machine that can run the paper's micro-benchmarks.
+///
+/// All working sets are in bytes, all strides in 64-bit words, matching the
+/// paper's axes. Each probe starts from a cold machine (implementations
+/// flush first), primes the hierarchy with one pass over the working set,
+/// and measures a second pass — the paper's §5 methodology.
+pub trait Machine {
+    /// Which system this is.
+    fn id(&self) -> MachineId;
+
+    /// Human-readable name (includes the clock).
+    fn name(&self) -> String {
+        format!("{} ({} MHz)", self.id(), self.clock_mhz())
+    }
+
+    /// Processor clock in MHz.
+    fn clock_mhz(&self) -> f64;
+
+    /// Current measurement caps.
+    fn limits(&self) -> MeasureLimits;
+
+    /// Replaces the measurement caps (tests use [`MeasureLimits::fast`]).
+    fn set_limits(&mut self, limits: MeasureLimits);
+
+    /// Local Load-Sum: strided loads over a primed working set (figs 1/3/6).
+    fn local_load(&mut self, ws_bytes: u64, stride: u64) -> Measurement;
+
+    /// Local Store-Constant: strided stores over a working set (§4.2's third
+    /// benchmark, reported in the text only).
+    fn local_store(&mut self, ws_bytes: u64, stride: u64) -> Measurement;
+
+    /// Local memory copy with one strided side (figs 9-11). Payload counts
+    /// the copied words once.
+    fn local_copy(&mut self, ws_bytes: u64, load_stride: u64, store_stride: u64) -> Measurement;
+
+    /// Local indexed (gather) loads: the working set visited in a
+    /// deterministic pseudo-random permutation — the paper's third access
+    /// pattern class ("contiguous, strided, and indexed accesses", §4),
+    /// the pattern of sparse-matrix codes. Neither read-ahead logic nor
+    /// stream buffers can help here.
+    fn local_gather(&mut self, ws_bytes: u64) -> Measurement;
+
+    /// Pure remote loads (fig 2's pull on the 8400). `None` when the machine
+    /// has no such mode.
+    fn remote_load(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement>;
+
+    /// Fetch transfer: strided remote loads + contiguous local stores
+    /// (figs 4/7, and the fetch series of figs 12-14).
+    fn remote_fetch(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement>;
+
+    /// Deposit transfer: contiguous local loads + strided remote stores
+    /// (figs 5/8, and the deposit series of figs 13-14). `None` on the
+    /// DEC 8400, which "does not have support for pushing data into memory
+    /// or caches of a remote processor" (§5.2).
+    fn remote_deposit(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_bandwidth_formula() {
+        let m = Measurement::new(8, 2.0, 300.0);
+        assert!((m.mb_s - 1200.0).abs() < 1e-9);
+        let empty = Measurement::new(8, 0.0, 300.0);
+        assert_eq!(empty.mb_s, 0.0);
+    }
+
+    #[test]
+    fn machine_labels() {
+        assert_eq!(MachineId::Dec8400.label(), "dec8400");
+        assert_eq!(MachineId::CrayT3d.to_string(), "Cray T3D");
+    }
+}

@@ -1,0 +1,448 @@
+//! The Cray T3D model.
+//!
+//! A 150 MHz 21064 PE with only an 8 KB on-chip L1, external read-ahead
+//! logic, a coalescing write-back queue, and ECL fetch/deposit circuitry on
+//! a 3D torus (§3.2). Remote stores are "directly captured from the write
+//! back queues" and coalesced into 32-byte packets; remote loads either
+//! block for a full network round trip or pipeline through an external
+//! prefetch FIFO.
+
+use gasnub_interconnect::link::Link;
+use gasnub_interconnect::ni::T3dNi;
+use gasnub_memsim::dram::Dram;
+use gasnub_memsim::engine::MemoryEngine;
+use gasnub_memsim::trace::{CopyPass, StorePass, StridedOrder, StridedPass};
+use gasnub_memsim::write_buffer::WriteBuffer;
+use gasnub_memsim::WORD_BYTES;
+
+use crate::limits::MeasureLimits;
+use crate::machine::{Machine, MachineId, Measurement};
+use crate::params::{self, T3dRemoteParams};
+
+/// Byte offset separating source and destination regions.
+const DST_REGION: u64 = 1 << 32;
+
+/// Destination PE number used for partner-switch accounting.
+const DEST_PE: u32 = 2;
+
+/// The Cray T3D machine model (one active PE plus the remote paths).
+#[derive(Debug)]
+pub struct T3d {
+    engine: MemoryEngine,
+    remote: T3dRemoteParams,
+    ni: T3dNi,
+    link: Link,
+    /// Destination-side write path driven by the deposit circuitry:
+    /// coalescing window per the WBQ shape, service time from the
+    /// destination DRAM's row state (large-stride deposits reopen a row
+    /// per word).
+    dest_write: WriteBuffer,
+    dest_dram: Dram,
+    dest_busy_until: f64,
+    /// Remote source DRAM as read by the fetch circuitry.
+    remote_dram: Dram,
+    limits: MeasureLimits,
+}
+
+impl T3d {
+    /// Builds the paper's T3D PE with default limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the built-in parameter table is inconsistent (a bug).
+    pub fn new() -> Self {
+        Self::with_params(params::t3d_node(), params::t3d_remote())
+            .expect("built-in T3D parameters must validate")
+    }
+
+    /// Builds a T3D variant from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying configuration error.
+    pub fn with_params(
+        node: gasnub_memsim::NodeConfig,
+        remote: T3dRemoteParams,
+    ) -> Result<Self, gasnub_memsim::ConfigError> {
+        let engine = MemoryEngine::try_new(node.clone())?;
+        let ni = T3dNi::new(remote.ni.clone())?;
+        let link = Link::new(remote.link.clone())?;
+        let dest_write = WriteBuffer::new(remote.dest_write.clone())?;
+        let dest_dram = Dram::new(remote.dest_dram.clone())?;
+        let remote_dram = Dram::new(node.hierarchy.dram.clone())?;
+        Ok(T3d {
+            engine,
+            remote,
+            ni,
+            link,
+            dest_write,
+            dest_dram,
+            dest_busy_until: 0.0,
+            remote_dram,
+            limits: MeasureLimits::new(),
+        })
+    }
+
+    /// The T3D ablation with the external read-ahead logic disabled
+    /// ("can be turned on/off at program load time", §3.2).
+    pub fn new_without_read_ahead() -> Self {
+        let mut node = params::t3d_node();
+        node.hierarchy.dram_stream = None;
+        Self::with_params(node, params::t3d_remote()).expect("ablation parameters must validate")
+    }
+
+    /// The T3D ablation with write-buffer coalescing disabled.
+    pub fn new_without_coalescing() -> Self {
+        let mut node = params::t3d_node();
+        if let Some(wb) = &mut node.hierarchy.write_buffer {
+            wb.coalesce = false;
+        }
+        let mut remote = params::t3d_remote();
+        remote.dest_write.coalesce = false;
+        Self::with_params(node, remote).expect("ablation parameters must validate")
+    }
+
+    /// The footnote-1 variant where both PEs of the node pair communicate
+    /// simultaneously: per-PE link bandwidth halves (≈ 70 MB/s each).
+    pub fn new_with_paired_traffic() -> Self {
+        let mut remote = params::t3d_remote();
+        // Both the link payload rate and the shared NI's injection port are
+        // split between the pair.
+        remote.link.cycles_per_byte *= 2.0;
+        remote.ni.message.per_message_cycles *= 2.0;
+        remote.ni.message.per_byte_cycles *= 2.0;
+        Self::with_params(params::t3d_node(), remote).expect("paired-traffic parameters must validate")
+    }
+
+    /// The blocking-fetch variant (prefetch FIFO unused): "remote loads can
+    /// be performed in a transparent blocking manner at minimal speed".
+    pub fn new_with_blocking_fetch() -> Self {
+        let mut remote = params::t3d_remote();
+        remote.ni.prefetch_fifo_depth = 1;
+        Self::with_params(params::t3d_node(), remote).expect("blocking-fetch parameters must validate")
+    }
+
+    fn clock(&self) -> f64 {
+        self.engine.cpu().clock_mhz
+    }
+
+    fn words_of(ws_bytes: u64) -> u64 {
+        (ws_bytes / WORD_BYTES).max(1)
+    }
+
+    fn reset_remote_paths(&mut self) {
+        self.ni.reset();
+        self.link.reset();
+        self.dest_write.reset();
+        self.dest_dram.reset();
+        self.dest_busy_until = 0.0;
+        self.remote_dram.reset();
+    }
+
+    /// Runs a deposit transfer: contiguous local loads feed strided remote
+    /// stores, coalesced into packets by the write-back queue and injected
+    /// by the NI.
+    fn run_deposit(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
+        self.engine.flush();
+        self.reset_remote_paths();
+        let words = Self::words_of(ws_bytes);
+        let measured = self.limits.measure_words(words);
+
+        // Prime the source region so cache effects along the working-set
+        // axis match the paper's methodology.
+        let prime = StridedPass::new(0, words, 1).take(self.limits.prime_words(words) as usize);
+        let _ = self.engine.run_trace(prime);
+
+        let cpu = self.engine.cpu().clone();
+        let window = self.remote.dest_write.entry_bytes;
+        let header = self.remote.header_bytes;
+        let hops = self.remote.hops;
+        let coalesce = self.remote.dest_write.coalesce;
+
+        let mut now = self.engine.now();
+        let start = now;
+        let mut open_window: Option<u64> = None;
+        let mut open_bytes: u64 = 0;
+
+        for (k, idx) in StridedOrder::new(words, stride).take(measured as usize).enumerate() {
+            // Contiguous local load of the outgoing word.
+            let local_addr = k as u64 * WORD_BYTES;
+            let load = self.engine.hierarchy_mut().load(local_addr, now);
+            now += cpu.load_issue_cycles + cpu.loop_overhead_cycles + load.cycles;
+
+            // Remote store: coalesce into packets of `window` bytes.
+            let remote_addr = DST_REGION + idx * WORD_BYTES;
+            now += cpu.store_issue_cycles;
+            let this_window = remote_addr / window;
+            let coalesced = coalesce && open_window == Some(this_window);
+            if coalesced {
+                open_bytes += WORD_BYTES;
+            } else {
+                if open_window.is_some() {
+                    now += self.flush_packet(open_bytes + header, hops, now);
+                }
+                open_window = Some(this_window);
+                open_bytes = WORD_BYTES;
+                // The deposit circuitry writes one entity into destination
+                // DRAM per window; page-mode keeps low-stride deposits
+                // cheap, but each large-stride word reopens a row. A busy
+                // destination back-pressures the sender.
+                let stall = (self.dest_busy_until - now).max(0.0);
+                let service = self.dest_dram.access(remote_addr, now + stall).cycles;
+                self.dest_busy_until = now + stall + service;
+                now += stall;
+            }
+        }
+        if open_window.is_some() {
+            now += self.flush_packet(open_bytes + header, hops, now);
+        }
+        now = now.max(self.dest_busy_until);
+        Measurement::new(measured * WORD_BYTES, now - start, self.clock())
+    }
+
+    /// Injects one packet; the sender observes injection cost plus link
+    /// back-pressure (transfer itself is fire-and-forget).
+    fn flush_packet(&mut self, wire_bytes: u64, hops: u32, now: f64) -> f64 {
+        let inject = self.ni.deposit_packet(wire_bytes, DEST_PE);
+        let link_total = self.link.send(wire_bytes, hops, now + inject);
+        let link_occupancy = self.link.config().transfer_cycles(wire_bytes, hops);
+        let link_stall = (link_total - link_occupancy).max(0.0);
+        inject + link_stall
+    }
+
+    /// Runs a fetch transfer: strided remote loads through the prefetch
+    /// FIFO, contiguous local stores through the write-back queue.
+    fn run_fetch(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
+        self.engine.flush();
+        self.reset_remote_paths();
+        let words = Self::words_of(ws_bytes);
+        let measured = self.limits.measure_words(words);
+        let cpu = self.engine.cpu().clone();
+        let row_hit = self.remote_dram.config().row_hit_cycles;
+
+        let mut now = self.engine.now();
+        let start = now;
+        for (k, idx) in StridedOrder::new(words, stride).take(measured as usize).enumerate() {
+            let remote_addr = idx * WORD_BYTES;
+            // Remote load through the FIFO (round trip amortized by depth).
+            now += self.ni.fetch_word(now);
+            // Extra penalty when the remote DRAM row must be reopened.
+            let dram = self.remote_dram.access(remote_addr, now);
+            now += (dram.cycles - row_hit).max(0.0) + dram.bank_stall_cycles;
+            // Contiguous local store of the fetched word.
+            let local_addr = DST_REGION + k as u64 * WORD_BYTES;
+            let store = self.engine.hierarchy_mut().store(local_addr, now);
+            now += cpu.store_issue_cycles + cpu.loop_overhead_cycles + store.cycles;
+        }
+        now += self.engine.hierarchy_mut().drain_writes(now);
+        Measurement::new(measured * WORD_BYTES, now - start, self.clock())
+    }
+}
+
+impl Default for T3d {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Machine for T3d {
+    fn id(&self) -> MachineId {
+        MachineId::CrayT3d
+    }
+
+    fn clock_mhz(&self) -> f64 {
+        self.clock()
+    }
+
+    fn limits(&self) -> MeasureLimits {
+        self.limits
+    }
+
+    fn set_limits(&mut self, limits: MeasureLimits) {
+        self.limits = limits;
+    }
+
+    fn local_load(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
+        self.engine.flush();
+        let words = Self::words_of(ws_bytes);
+        let prime = StridedPass::new(0, words, stride).take(self.limits.prime_words(words) as usize);
+        let measured = self.limits.measure_words(words);
+        let measure = StridedPass::new(0, words, stride).take(measured as usize);
+        let stats = self.engine.prime_and_measure(prime, measure);
+        Measurement::new(stats.bytes, stats.cycles, self.clock())
+    }
+
+    fn local_store(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
+        self.engine.flush();
+        let words = Self::words_of(ws_bytes);
+        let prime = StorePass::new(0, words, stride).take(self.limits.prime_words(words) as usize);
+        let measured = self.limits.measure_words(words);
+        let measure = StorePass::new(0, words, stride).take(measured as usize);
+        let stats = self.engine.prime_and_measure(prime, measure);
+        Measurement::new(stats.bytes, stats.cycles, self.clock())
+    }
+
+    fn local_copy(&mut self, ws_bytes: u64, load_stride: u64, store_stride: u64) -> Measurement {
+        self.engine.flush();
+        let words = Self::words_of(ws_bytes);
+        let measured = self.limits.measure_words(words);
+        let prime = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
+            .take(2 * self.limits.prime_words(words) as usize);
+        let measure = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
+            .take(2 * measured as usize);
+        let stats = self.engine.prime_and_measure(prime, measure);
+        Measurement::new(measured * WORD_BYTES, stats.cycles, self.clock())
+    }
+
+    fn local_gather(&mut self, ws_bytes: u64) -> Measurement {
+        self.engine.flush();
+        let words = Self::words_of(ws_bytes);
+        let measured = self.limits.measure_words(words);
+        let prime = StridedPass::new(0, words, 1).take(self.limits.prime_words(words) as usize);
+        let indices = gasnub_memsim::trace::shuffled_indices(words, measured as usize, 0x73d);
+        let measure = gasnub_memsim::trace::IndexedPass::new(0, indices);
+        let stats = self.engine.prime_and_measure(prime, measure);
+        Measurement::new(stats.bytes, stats.cycles, self.clock())
+    }
+
+    fn remote_load(&mut self, _ws_bytes: u64, _stride: u64) -> Option<Measurement> {
+        // Pure remote loads without a local destination are not one of the
+        // paper's T3D benchmarks (fig 4 measures shmem_iget transfers).
+        None
+    }
+
+    fn remote_fetch(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
+        Some(self.run_fetch(ws_bytes, stride))
+    }
+
+    fn remote_deposit(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
+        Some(self.run_deposit(ws_bytes, stride))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+    const KB: u64 = 1024;
+
+    fn machine() -> T3d {
+        let mut m = T3d::new();
+        m.set_limits(MeasureLimits { max_measure_words: 16 * 1024, max_prime_words: 2 * 1024 * 1024 });
+        m
+    }
+
+    #[test]
+    fn l1_plateau_near_600() {
+        let m = machine().local_load(4 * KB, 1);
+        assert!((m.mb_s - 600.0).abs() / 600.0 < 0.15, "L1: got {}", m.mb_s);
+    }
+
+    #[test]
+    fn dram_contiguous_near_195() {
+        let m = machine().local_load(8 * MB, 1);
+        assert!((m.mb_s - 195.0).abs() / 195.0 < 0.2, "DRAM contig: got {}", m.mb_s);
+    }
+
+    #[test]
+    fn dram_strided_near_43() {
+        let m = machine().local_load(8 * MB, 16);
+        assert!((m.mb_s - 43.0).abs() / 43.0 < 0.3, "DRAM strided: got {}", m.mb_s);
+    }
+
+    #[test]
+    fn contiguous_dram_beats_dec8400_by_30_percent() {
+        // §5.3: "Contiguous loads from local DRAM memory on the Cray T3D are
+        // about 30% faster than in the DEC 8400."
+        let t3d = machine().local_load(8 * MB, 1).mb_s;
+        let mut dec = crate::Dec8400::new();
+        dec.set_limits(MeasureLimits { max_measure_words: 16 * 1024, max_prime_words: 2 * 1024 * 1024 });
+        let dec_bw = dec.local_load(32 * MB, 1).mb_s;
+        let ratio = t3d / dec_bw;
+        assert!(ratio > 1.1 && ratio < 1.6, "T3D/8400 contiguous DRAM ratio {ratio}");
+    }
+
+    #[test]
+    fn read_ahead_ablation_loses_the_edge() {
+        let with = machine().local_load(8 * MB, 1).mb_s;
+        let mut without = T3d::new_without_read_ahead();
+        without.set_limits(machine().limits());
+        let wo = without.local_load(8 * MB, 1).mb_s;
+        assert!(with / wo > 1.2, "read-ahead must matter: {with} vs {wo}");
+    }
+
+    #[test]
+    fn local_copy_contiguous_near_100() {
+        let m = machine().local_copy(8 * MB, 1, 1);
+        assert!((m.mb_s - 100.0).abs() / 100.0 < 0.25, "copy contig: got {}", m.mb_s);
+    }
+
+    #[test]
+    fn strided_stores_beat_strided_loads_locally() {
+        // Fig 10: the write-back queue makes contiguous-load/strided-store
+        // copies (~70 MB/s) much faster than strided-load/contiguous-store
+        // copies (~40 MB/s).
+        let mut mach = machine();
+        let strided_stores = mach.local_copy(8 * MB, 1, 16).mb_s;
+        let strided_loads = mach.local_copy(8 * MB, 16, 1).mb_s;
+        assert!(
+            strided_stores > 1.3 * strided_loads,
+            "strided stores {strided_stores} vs strided loads {strided_loads}"
+        );
+        assert!((strided_stores - 70.0).abs() / 70.0 < 0.3, "got {strided_stores}");
+    }
+
+    #[test]
+    fn deposit_contiguous_near_120() {
+        let m = machine().remote_deposit(8 * MB, 1).unwrap();
+        assert!((m.mb_s - 120.0).abs() / 120.0 < 0.25, "deposit contig: got {}", m.mb_s);
+    }
+
+    #[test]
+    fn deposit_strided_near_60() {
+        let m = machine().remote_deposit(8 * MB, 16).unwrap();
+        assert!(m.mb_s > 45.0 && m.mb_s < 80.0, "deposit strided: got {}", m.mb_s);
+    }
+
+    #[test]
+    fn fetch_is_much_slower_than_deposit() {
+        // §5.4: deposits preferred; naive remote loads are an order of
+        // magnitude below the network bandwidth.
+        let mut mach = machine();
+        let deposit = mach.remote_deposit(8 * MB, 1).unwrap().mb_s;
+        let fetch = mach.remote_fetch(8 * MB, 1).unwrap().mb_s;
+        assert!(deposit > 3.0 * fetch, "deposit {deposit} vs fetch {fetch}");
+        assert!(fetch > 15.0 && fetch < 40.0, "fetch: got {fetch}");
+    }
+
+    #[test]
+    fn blocking_fetch_is_worse_than_fifo_fetch() {
+        let mut fifo = machine();
+        let mut blocking = T3d::new_with_blocking_fetch();
+        blocking.set_limits(fifo.limits());
+        let f = fifo.remote_fetch(MB, 1).unwrap().mb_s;
+        let b = blocking.remote_fetch(MB, 1).unwrap().mb_s;
+        assert!(f > 2.0 * b, "FIFO {f} vs blocking {b}");
+    }
+
+    #[test]
+    fn coalescing_ablation_hurts_contiguous_deposits() {
+        let mut with = machine();
+        let mut without = T3d::new_without_coalescing();
+        without.set_limits(with.limits());
+        let w = with.remote_deposit(MB, 1).unwrap().mb_s;
+        let wo = without.remote_deposit(MB, 1).unwrap().mb_s;
+        assert!(w > 1.3 * wo, "coalescing must matter: {w} vs {wo}");
+    }
+
+    #[test]
+    fn paired_traffic_halves_link_bandwidth_effect() {
+        let mut single = machine();
+        let mut paired = T3d::new_with_paired_traffic();
+        paired.set_limits(single.limits());
+        let s = single.remote_deposit(MB, 1).unwrap().mb_s;
+        let p = paired.remote_deposit(MB, 1).unwrap().mb_s;
+        assert!(p < s, "paired traffic must reduce deposit bandwidth: {p} vs {s}");
+    }
+}

@@ -1,0 +1,371 @@
+//! The Cray T3E model.
+//!
+//! A 300 MHz 21164 PE (on-chip L1/L2, no L3) with six stream buffers in the
+//! support circuitry and 512 E-registers for remote transfers (§3.3).
+//! Fetch and deposit are symmetric through the E-registers ("Unlike on the
+//! T3D, the deposit model enjoys no performance advantages over the fetch
+//! model", §5.6); unit-stride transfers move coalesced blocks at
+//! ~350 MB/s, strided transfers move single words, and strided *deposits*
+//! additionally serialize on destination memory banks — the even-stride
+//! ripples of Fig. 8.
+
+use gasnub_interconnect::link::Link;
+use gasnub_interconnect::ni::ERegisters;
+use gasnub_memsim::dram::Dram;
+use gasnub_memsim::engine::MemoryEngine;
+use gasnub_memsim::trace::{CopyPass, StorePass, StridedOrder, StridedPass};
+use gasnub_memsim::WORD_BYTES;
+
+use crate::limits::MeasureLimits;
+use crate::machine::{Machine, MachineId, Measurement};
+use crate::params::{self, T3eRemoteParams};
+
+/// Byte offset separating source and destination regions.
+const DST_REGION: u64 = 1 << 32;
+
+/// Which side of a strided word transfer serializes on memory banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Puts: incoming words are stored in arrival order, so destination
+    /// bank busy windows stall the stream.
+    Deposit,
+    /// Gets: the deeply pipelined E-register reads reorder across banks.
+    Fetch,
+}
+
+/// The Cray T3E machine model (one active PE plus the remote paths).
+#[derive(Debug)]
+pub struct T3e {
+    engine: MemoryEngine,
+    remote: T3eRemoteParams,
+    eregs: ERegisters,
+    link: Link,
+    /// Destination memory banks as seen by incoming single-word puts.
+    dest_banks: Dram,
+    limits: MeasureLimits,
+}
+
+impl T3e {
+    /// Builds the paper's T3E PE with default limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the built-in parameter table is inconsistent (a bug).
+    pub fn new() -> Self {
+        Self::with_params(params::t3e_node(), params::t3e_remote())
+            .expect("built-in T3E parameters must validate")
+    }
+
+    /// Builds a T3E variant from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying configuration error.
+    pub fn with_params(
+        node: gasnub_memsim::NodeConfig,
+        remote: T3eRemoteParams,
+    ) -> Result<Self, gasnub_memsim::ConfigError> {
+        let engine = MemoryEngine::try_new(node)?;
+        let eregs = ERegisters::new(remote.eregs.clone())?;
+        let link = Link::new(remote.link.clone())?;
+        let dest_banks = Dram::new(remote.dest_word_banks.clone())?;
+        Ok(T3e { engine, remote, eregs, link, dest_banks, limits: MeasureLimits::new() })
+    }
+
+    /// The footnote-3 ablation: the early T3E test vehicle with streaming
+    /// support disabled (measured ~120 MB/s contiguous from DRAM).
+    pub fn new_without_streams() -> Self {
+        let mut node = params::t3e_node();
+        node.hierarchy.dram_stream = None;
+        // Without stream buffers the 21164 cannot overlap its misses either:
+        // each fill blocks for the full access.
+        node.cpu.miss_overlap = 1.0;
+        Self::with_params(node, params::t3e_remote()).expect("ablation parameters must validate")
+    }
+
+    fn clock(&self) -> f64 {
+        self.engine.cpu().clock_mhz
+    }
+
+    fn words_of(ws_bytes: u64) -> u64 {
+        (ws_bytes / WORD_BYTES).max(1)
+    }
+
+    fn reset_remote_paths(&mut self) {
+        self.eregs.reset();
+        self.link.reset();
+        self.dest_banks.reset();
+    }
+
+    /// Runs one remote transfer of `words` words at `stride` through the
+    /// E-registers in the given direction. Unit-stride data moves as
+    /// coalesced blocks; non-unit strides move single words.
+    fn run_remote(&mut self, ws_bytes: u64, stride: u64, dir: Direction) -> Measurement {
+        self.engine.flush();
+        self.reset_remote_paths();
+        let words = Self::words_of(ws_bytes);
+        let measured = self.limits.measure_words(words);
+        let hops = self.remote.hops;
+
+        let mut now = 0.0;
+        now += self.eregs.begin_call();
+        let start = now;
+
+        if stride == 1 {
+            // Block path: the E-registers gather/scatter whole cache-line
+            // sized blocks without per-word processor involvement.
+            let block_words = self.remote.block_bytes / WORD_BYTES;
+            let blocks = measured.div_ceil(block_words);
+            for b in 0..blocks {
+                let wire = self.remote.block_bytes + WORD_BYTES; // block + address
+                let link_total = self.link.send(wire, hops, now);
+                let occupancy = self.link.config().transfer_cycles(wire, hops);
+                let link_stall = (link_total - occupancy).max(0.0);
+                now += self.remote.block_cycles + link_stall;
+                let _ = b;
+            }
+        } else {
+            for idx in StridedOrder::new(words, stride).take(measured as usize) {
+                let word_cost = self.eregs.transfer_word(now) + self.remote.strided_word_extra_cycles;
+                now += word_cost;
+                if dir == Direction::Deposit {
+                    // Incoming words commit to destination banks in arrival
+                    // order; a busy bank stalls the stream (Fig. 8 ripples).
+                    let addr = DST_REGION + idx * WORD_BYTES;
+                    let out = self.dest_banks.access(addr, now);
+                    now += out.bank_stall_cycles;
+                }
+            }
+        }
+        Measurement::new(measured * WORD_BYTES, now - start, self.clock())
+    }
+}
+
+impl Default for T3e {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Machine for T3e {
+    fn id(&self) -> MachineId {
+        MachineId::CrayT3e
+    }
+
+    fn clock_mhz(&self) -> f64 {
+        self.clock()
+    }
+
+    fn limits(&self) -> MeasureLimits {
+        self.limits
+    }
+
+    fn set_limits(&mut self, limits: MeasureLimits) {
+        self.limits = limits;
+    }
+
+    fn local_load(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
+        self.engine.flush();
+        let words = Self::words_of(ws_bytes);
+        let prime = StridedPass::new(0, words, stride).take(self.limits.prime_words(words) as usize);
+        let measured = self.limits.measure_words(words);
+        let measure = StridedPass::new(0, words, stride).take(measured as usize);
+        let stats = self.engine.prime_and_measure(prime, measure);
+        Measurement::new(stats.bytes, stats.cycles, self.clock())
+    }
+
+    fn local_store(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
+        self.engine.flush();
+        let words = Self::words_of(ws_bytes);
+        let prime = StorePass::new(0, words, stride).take(self.limits.prime_words(words) as usize);
+        let measured = self.limits.measure_words(words);
+        let measure = StorePass::new(0, words, stride).take(measured as usize);
+        let stats = self.engine.prime_and_measure(prime, measure);
+        Measurement::new(stats.bytes, stats.cycles, self.clock())
+    }
+
+    fn local_copy(&mut self, ws_bytes: u64, load_stride: u64, store_stride: u64) -> Measurement {
+        self.engine.flush();
+        let words = Self::words_of(ws_bytes);
+        let measured = self.limits.measure_words(words);
+        let prime = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
+            .take(2 * self.limits.prime_words(words) as usize);
+        let measure = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
+            .take(2 * measured as usize);
+        let stats = self.engine.prime_and_measure(prime, measure);
+        Measurement::new(measured * WORD_BYTES, stats.cycles, self.clock())
+    }
+
+    fn local_gather(&mut self, ws_bytes: u64) -> Measurement {
+        self.engine.flush();
+        let words = Self::words_of(ws_bytes);
+        let measured = self.limits.measure_words(words);
+        let prime = StridedPass::new(0, words, 1).take(self.limits.prime_words(words) as usize);
+        let indices = gasnub_memsim::trace::shuffled_indices(words, measured as usize, 0x73e);
+        let measure = gasnub_memsim::trace::IndexedPass::new(0, indices);
+        let stats = self.engine.prime_and_measure(prime, measure);
+        Measurement::new(stats.bytes, stats.cycles, self.clock())
+    }
+
+    fn remote_load(&mut self, _ws_bytes: u64, _stride: u64) -> Option<Measurement> {
+        None
+    }
+
+    fn remote_fetch(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
+        Some(self.run_remote(ws_bytes, stride, Direction::Fetch))
+    }
+
+    fn remote_deposit(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
+        Some(self.run_remote(ws_bytes, stride, Direction::Deposit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+    const KB: u64 = 1024;
+
+    fn machine() -> T3e {
+        let mut m = T3e::new();
+        m.set_limits(MeasureLimits { max_measure_words: 16 * 1024, max_prime_words: 2 * 1024 * 1024 });
+        m
+    }
+
+    #[test]
+    fn l1_and_l2_match_the_8400() {
+        // §5.5: "the local memory access performance of the T3E resembles
+        // the picture of the DEC 8400 in the performance of its L1 and L2".
+        let mut t3e = machine();
+        let l1 = t3e.local_load(4 * KB, 1).mb_s;
+        let l2 = t3e.local_load(64 * KB, 1).mb_s;
+        assert!((l1 - 1100.0).abs() / 1100.0 < 0.15, "L1: got {l1}");
+        assert!((l2 - 700.0).abs() / 700.0 < 0.15, "L2: got {l2}");
+    }
+
+    #[test]
+    fn dram_contiguous_near_430() {
+        let m = machine().local_load(8 * MB, 1);
+        assert!((m.mb_s - 430.0).abs() / 430.0 < 0.2, "DRAM contig: got {}", m.mb_s);
+    }
+
+    #[test]
+    fn dram_strided_near_42_matching_t3d() {
+        // §5.5: "These accesses seem stuck at about 42 MByte/s on the T3E
+        // (43 MByte/s on the T3D)."
+        let t3e = machine().local_load(8 * MB, 16).mb_s;
+        assert!((t3e - 42.0).abs() / 42.0 < 0.3, "T3E strided: got {t3e}");
+        let mut t3d = crate::T3d::new();
+        t3d.set_limits(machine().limits());
+        let t3d_bw = t3d.local_load(8 * MB, 16).mb_s;
+        let ratio = t3e / t3d_bw;
+        assert!(ratio > 0.7 && ratio < 1.4, "strided DRAM stuck across generations: {ratio}");
+    }
+
+    #[test]
+    fn streams_ablation_collapses_contiguous_dram() {
+        // Footnote 3: the test vehicle without streaming measured about
+        // 120 MB/s.
+        let with = machine().local_load(8 * MB, 1).mb_s;
+        let mut without = T3e::new_without_streams();
+        without.set_limits(machine().limits());
+        let wo = without.local_load(8 * MB, 1).mb_s;
+        assert!(with / wo > 2.0, "streams must matter: {with} vs {wo}");
+        assert!(wo < 250.0, "streams-off must fall well below 430: got {wo}");
+    }
+
+    #[test]
+    fn remote_contiguous_near_350_both_directions() {
+        let mut mach = machine();
+        let put = mach.remote_deposit(8 * MB, 1).unwrap().mb_s;
+        let get = mach.remote_fetch(8 * MB, 1).unwrap().mb_s;
+        assert!((put - 350.0).abs() / 350.0 < 0.15, "put contig: got {put}");
+        assert!((get - 350.0).abs() / 350.0 < 0.15, "get contig: got {get}");
+    }
+
+    #[test]
+    fn strided_fetch_near_140() {
+        let m = machine().remote_fetch(8 * MB, 16).unwrap();
+        assert!((m.mb_s - 140.0).abs() / 140.0 < 0.2, "get strided: got {}", m.mb_s);
+    }
+
+    #[test]
+    fn strided_deposit_near_70_for_power_of_two_strides() {
+        let mut mach = machine();
+        for stride in [8u64, 16, 32, 64] {
+            let m = mach.remote_deposit(8 * MB, stride).unwrap();
+            assert!(
+                (m.mb_s - 70.0).abs() / 70.0 < 0.25,
+                "put stride {stride}: got {}",
+                m.mb_s
+            );
+        }
+    }
+
+    #[test]
+    fn odd_stride_deposits_ripple_upwards() {
+        // Fig 8/14: odd strides avoid the destination bank conflicts.
+        let mut mach = machine();
+        let odd = mach.remote_deposit(8 * MB, 15).unwrap().mb_s;
+        let even = mach.remote_deposit(8 * MB, 16).unwrap().mb_s;
+        assert!(odd > 1.5 * even, "odd {odd} vs even {even}");
+    }
+
+    #[test]
+    fn fetch_beats_deposit_for_even_strides() {
+        // §5.6: "fetches are more advantageous for even strides than
+        // deposits."
+        let mut mach = machine();
+        let get = mach.remote_fetch(8 * MB, 16).unwrap().mb_s;
+        let put = mach.remote_deposit(8 * MB, 16).unwrap().mb_s;
+        assert!(get > 1.5 * put, "get {get} vs put {put}");
+    }
+
+    #[test]
+    fn remote_contiguous_is_4x_t3d_and_2x_8400() {
+        // §5.6: "This is more than four times the bandwidth in the Cray T3D
+        // and twice the bandwidth in the DEC 8400."
+        let t3e = machine().remote_deposit(8 * MB, 1).unwrap().mb_s;
+        let mut t3d = crate::T3d::new();
+        t3d.set_limits(machine().limits());
+        let t3d_bw = t3d.remote_deposit(8 * MB, 1).unwrap().mb_s;
+        let mut dec = crate::Dec8400::new();
+        dec.set_limits(machine().limits());
+        let dec_bw = dec.remote_load(32 * MB, 1).unwrap().mb_s;
+        assert!(t3e / t3d_bw > 2.4, "T3E/T3D remote ratio {}", t3e / t3d_bw);
+        assert!(t3e / dec_bw > 1.7, "T3E/8400 remote ratio {}", t3e / dec_bw);
+    }
+
+    #[test]
+    fn local_copy_contiguous_near_200() {
+        let m = machine().local_copy(8 * MB, 1, 1);
+        assert!((m.mb_s - 200.0).abs() / 200.0 < 0.3, "copy contig: got {}", m.mb_s);
+    }
+
+    #[test]
+    fn gather_is_the_slowest_dram_pattern() {
+        // Indexed accesses defeat both the line overfetch amortization and
+        // the stream buffers *and* thrash DRAM rows.
+        let mut mach = machine();
+        let gather = mach.local_gather(8 * MB).mb_s;
+        let strided = mach.local_load(8 * MB, 16).mb_s;
+        let contig = mach.local_load(8 * MB, 1).mb_s;
+        assert!(gather <= strided * 1.05, "gather {gather} vs strided {strided}");
+        assert!(gather < contig / 5.0, "gather {gather} vs contig {contig}");
+        // But cache-resident gathers run at the L1 plateau.
+        let small = mach.local_gather(4 * KB).mb_s;
+        assert!(small > 800.0, "L1-resident gather: {small}");
+    }
+
+    #[test]
+    fn remote_copy_bandwidth_at_least_local_copy_bandwidth() {
+        // §9: "On all three machines, the straight remote memory copy
+        // bandwidth (or communication performance) is equal to or higher
+        // than the local copy performance."
+        let mut mach = machine();
+        let local = mach.local_copy(8 * MB, 1, 1).mb_s;
+        let remote = mach.remote_deposit(8 * MB, 1).unwrap().mb_s;
+        assert!(remote >= 0.9 * local, "remote {remote} vs local {local}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Configuration types behave as value types: cloneable, comparable, and
+//! (for the enums users store in results files) serde round-trippable.
+
+use gasnub_machines::calibration::calibration_table;
+use gasnub_machines::machine::{MachineId, Measurement};
+use gasnub_machines::params;
+use serde::de::value::{Error as ValueError, StrDeserializer};
+use serde::Deserialize;
+
+#[test]
+fn machine_id_round_trips_through_serde() {
+    for (id, name) in [
+        (MachineId::Dec8400, "Dec8400"),
+        (MachineId::CrayT3d, "CrayT3d"),
+        (MachineId::CrayT3e, "CrayT3e"),
+        (MachineId::Custom, "Custom"),
+    ] {
+        // The derive serializes unit variants as their names; deserialize
+        // the name back through serde's string deserializer.
+        let de: StrDeserializer<ValueError> = serde::de::IntoDeserializer::into_deserializer(name);
+        let back = MachineId::deserialize(de).expect("variant name deserializes");
+        assert_eq!(back, id);
+    }
+}
+
+#[test]
+fn unknown_machine_id_is_rejected() {
+    let de: StrDeserializer<ValueError> =
+        serde::de::IntoDeserializer::into_deserializer("Paragon");
+    assert!(MachineId::deserialize(de).is_err());
+}
+
+#[test]
+fn measurement_is_a_value_type() {
+    let m = Measurement::new(4096, 128.0, 300.0);
+    let copied = m;
+    assert_eq!(m, copied);
+    assert!((m.mb_s - 4096.0 * 300.0 / 128.0).abs() < 1e-9);
+}
+
+#[test]
+fn configs_are_cloneable_and_stable() {
+    let node = params::t3e_node();
+    assert_eq!(node, node.clone(), "machine descriptions must be value types");
+    assert_eq!(params::dec8400_smp(), params::dec8400_smp().clone());
+    assert_eq!(params::t3d_remote(), params::t3d_remote().clone());
+    assert_eq!(params::t3e_remote(), params::t3e_remote().clone());
+}
+
+#[test]
+fn calibration_table_is_self_consistent() {
+    let table = calibration_table();
+    assert!(table.len() >= 28, "the table covers the paper's quoted values");
+    for p in &table {
+        assert!(p.paper_mb_s > 0.0, "{}: paper value must be positive", p.id);
+        assert!(p.tolerance > 0.0 && p.tolerance < 1.0, "{}: tolerance sane", p.id);
+        assert!(!p.source.is_empty());
+        assert_eq!(table.iter().filter(|q| q.id == p.id).count(), 1, "duplicate id {}", p.id);
+    }
+}

@@ -1,0 +1,109 @@
+//! Basic address and access types shared by every component.
+
+use serde::{Deserialize, Serialize};
+
+/// A physical byte address in the simulated node's memory.
+///
+/// The simulator models physical = virtual (the paper's micro-benchmarks are
+/// constructed to avoid TLB effects, see DESIGN.md §6).
+pub type Addr = u64;
+
+/// Size of the 64-bit double words all of the paper's benchmarks operate on.
+pub const WORD_BYTES: u64 = 8;
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load (read) of a 64-bit word.
+    Read,
+    /// A store (write) of a 64-bit word.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+
+    /// Returns `true` for [`AccessKind::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// A single 64-bit memory access, the unit all traces are made of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Access {
+    /// Byte address of the access (word aligned in all generated traces).
+    pub addr: Addr,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Creates a read access at `addr`.
+    pub fn read(addr: Addr) -> Self {
+        Access { addr, kind: AccessKind::Read }
+    }
+
+    /// Creates a write access at `addr`.
+    pub fn write(addr: Addr) -> Self {
+        Access { addr, kind: AccessKind::Write }
+    }
+
+    /// The cache-line index of this access for a given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero.
+    pub fn line_index(&self, line_bytes: u64) -> u64 {
+        assert!(line_bytes > 0, "line size must be non-zero");
+        self.addr / line_bytes
+    }
+}
+
+/// Returns the line index of a byte address for a given line size.
+///
+/// # Panics
+///
+/// Panics if `line_bytes` is zero.
+pub fn line_index(addr: Addr, line_bytes: u64) -> u64 {
+    assert!(line_bytes > 0, "line size must be non-zero");
+    addr / line_bytes
+}
+
+/// Aligns an address down to the start of its line.
+pub fn line_base(addr: Addr, line_bytes: u64) -> Addr {
+    line_index(addr, line_bytes) * line_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_constructors() {
+        let r = Access::read(64);
+        assert_eq!(r.addr, 64);
+        assert!(r.kind.is_read());
+        assert!(!r.kind.is_write());
+        let w = Access::write(8);
+        assert!(w.kind.is_write());
+    }
+
+    #[test]
+    fn line_math() {
+        assert_eq!(line_index(0, 32), 0);
+        assert_eq!(line_index(31, 32), 0);
+        assert_eq!(line_index(32, 32), 1);
+        assert_eq!(line_base(33, 32), 32);
+        assert_eq!(Access::read(100).line_index(32), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_line_size_panics() {
+        line_index(0, 0);
+    }
+}

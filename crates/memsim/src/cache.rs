@@ -1,0 +1,424 @@
+//! Tag-array cache simulation.
+//!
+//! Each [`Cache`] simulates real set/way tag state so that working-set
+//! plateaus, conflict behaviour and line-granularity overfetch emerge from
+//! mechanism rather than from a formula. Data values are not stored — only
+//! tags, valid and dirty bits — because the paper's characterization depends
+//! only on hit/miss behaviour and transfer sizes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::access::{Addr, AccessKind};
+use crate::error::ConfigError;
+
+/// Write policy of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Stores update the line (if present) and are always forwarded to the
+    /// next level (the Alpha 21064/21164 on-chip L1 caches).
+    WriteThrough,
+    /// Stores dirty the line; data moves to the next level only on eviction
+    /// (the 8400's L2/L3 and the T3E's L2).
+    WriteBack,
+}
+
+/// Allocation policy on a store miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocatePolicy {
+    /// Lines are allocated on read misses only ("read-allocate"); a store
+    /// miss bypasses the cache. This is the policy of the write-through
+    /// Alpha L1 caches.
+    ReadAllocate,
+    /// Lines are allocated on both read and store misses; a store miss first
+    /// fetches the line (read-modify-write). Typical for write-back caches.
+    ReadWriteAllocate,
+}
+
+/// Static description of one cache level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Human-readable name used in diagnostics ("L1", "L2", "L3").
+    pub name: String,
+    /// Total capacity in bytes. Must be a power of two.
+    pub capacity_bytes: u64,
+    /// Line size in bytes. Must be a power of two and divide the capacity.
+    pub line_bytes: u64,
+    /// Number of ways. `1` is direct mapped. Must divide
+    /// `capacity_bytes / line_bytes`.
+    pub associativity: u64,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+    /// Allocation-on-store-miss policy.
+    pub allocate_policy: AllocatePolicy,
+}
+
+impl CacheConfig {
+    /// Validates the structural invariants of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when capacity or line size are not powers of
+    /// two, when the line does not divide the capacity, or when the
+    /// associativity does not divide the number of lines.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let component = format!("cache {}", self.name);
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::new(component, "line size must be a non-zero power of two"));
+        }
+        if self.capacity_bytes == 0 || !self.capacity_bytes.is_multiple_of(self.line_bytes) {
+            return Err(ConfigError::new(component, "capacity must be a non-zero multiple of the line size"));
+        }
+        let lines = self.capacity_bytes / self.line_bytes;
+        if self.associativity == 0 || self.associativity > lines || !lines.is_multiple_of(self.associativity) {
+            return Err(ConfigError::new(component, "associativity must be in 1..=lines and divide the line count"));
+        }
+        // Sets index the address with a modulo, so the *set count* must be a
+        // power of two (the capacity itself need not be: the 21164's 96 KB
+        // 3-way L2 has 512 sets).
+        let sets = lines / self.associativity;
+        if !sets.is_power_of_two() {
+            return Err(ConfigError::new(component, "the set count (lines / associativity) must be a power of two"));
+        }
+        Ok(())
+    }
+
+    /// Number of sets implied by capacity, line size and associativity.
+    pub fn num_sets(&self) -> u64 {
+        self.capacity_bytes / self.line_bytes / self.associativity
+    }
+}
+
+/// The outcome of presenting one access to a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent.
+    Miss {
+        /// A dirty line had to be evicted to make room (write-back cost).
+        victim_dirty: bool,
+        /// Whether the line was brought in at all (store misses on
+        /// read-allocate caches are not).
+        allocated: bool,
+    },
+}
+
+impl LookupOutcome {
+    /// Returns `true` if the access hit in this level.
+    pub fn is_hit(self) -> bool {
+        matches!(self, LookupOutcome::Hit)
+    }
+}
+
+/// One way of one set: tag plus valid/dirty state and an LRU stamp.
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    /// Monotonic "last used" stamp for LRU replacement.
+    lru: u64,
+}
+
+/// A simulated cache level (tags only).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    ways: Vec<Way>, // sets * associativity, row-major by set
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    write_backs: u64,
+}
+
+impl Cache {
+    /// Builds a cache from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CacheConfig::validate`] errors.
+    pub fn new(config: CacheConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let slots = (config.num_sets() * config.associativity) as usize;
+        Ok(Cache { config, ways: vec![Way::default(); slots], tick: 0, hits: 0, misses: 0, write_backs: 0 })
+    }
+
+    /// The configuration this cache was built from.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Line size in bytes (convenience accessor).
+    pub fn line_bytes(&self) -> u64 {
+        self.config.line_bytes
+    }
+
+    /// Total hits observed since construction or the last [`Cache::reset_stats`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses observed since construction or the last [`Cache::reset_stats`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of dirty evictions performed.
+    pub fn write_backs(&self) -> u64 {
+        self.write_backs
+    }
+
+    /// Clears hit/miss/write-back counters (tag state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.write_backs = 0;
+    }
+
+    /// Invalidates all lines and clears statistics.
+    pub fn flush(&mut self) {
+        for w in &mut self.ways {
+            *w = Way::default();
+        }
+        self.reset_stats();
+    }
+
+    /// Invalidates the line containing `addr` if present, returning whether
+    /// the invalidated line was dirty. Used by coherence (remote stores /
+    /// synchronization-point invalidation on the T3D).
+    pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
+        let (set, tag) = self.locate(addr);
+        let base = set * self.config.associativity as usize;
+        for i in 0..self.config.associativity as usize {
+            let w = &mut self.ways[base + i];
+            if w.valid && w.tag == tag {
+                let dirty = w.dirty;
+                *w = Way::default();
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if the line containing `addr` is currently present.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let (set, tag) = self.locate(addr);
+        let base = set * self.config.associativity as usize;
+        (0..self.config.associativity as usize).any(|i| {
+            let w = &self.ways[base + i];
+            w.valid && w.tag == tag
+        })
+    }
+
+    /// Returns `true` if the line containing `addr` is present and dirty.
+    pub fn probe_dirty(&self, addr: Addr) -> bool {
+        let (set, tag) = self.locate(addr);
+        let base = set * self.config.associativity as usize;
+        (0..self.config.associativity as usize).any(|i| {
+            let w = &self.ways[base + i];
+            w.valid && w.tag == tag && w.dirty
+        })
+    }
+
+    fn locate(&self, addr: Addr) -> (usize, u64) {
+        let line = addr / self.config.line_bytes;
+        let set = (line % self.config.num_sets()) as usize;
+        let tag = line / self.config.num_sets();
+        (set, tag)
+    }
+
+    /// Presents one access to the cache, updating tag state and statistics.
+    ///
+    /// On a miss the LRU way of the set is replaced (when the policy
+    /// allocates). The caller is responsible for charging fill and
+    /// write-back costs based on the returned [`LookupOutcome`].
+    pub fn access(&mut self, addr: Addr, kind: AccessKind) -> LookupOutcome {
+        self.tick += 1;
+        let (set, tag) = self.locate(addr);
+        let assoc = self.config.associativity as usize;
+        let base = set * assoc;
+
+        // Hit path.
+        for i in 0..assoc {
+            let w = &mut self.ways[base + i];
+            if w.valid && w.tag == tag {
+                w.lru = self.tick;
+                if kind.is_write() && self.config.write_policy == WritePolicy::WriteBack {
+                    w.dirty = true;
+                }
+                self.hits += 1;
+                return LookupOutcome::Hit;
+            }
+        }
+
+        // Miss path.
+        self.misses += 1;
+        let allocate = match (kind, self.config.allocate_policy) {
+            (AccessKind::Read, _) => true,
+            (AccessKind::Write, AllocatePolicy::ReadWriteAllocate) => true,
+            (AccessKind::Write, AllocatePolicy::ReadAllocate) => false,
+        };
+        if !allocate {
+            return LookupOutcome::Miss { victim_dirty: false, allocated: false };
+        }
+
+        // Choose victim: first invalid way, else LRU.
+        let mut victim = base;
+        let mut best_lru = u64::MAX;
+        for i in 0..assoc {
+            let w = &self.ways[base + i];
+            if !w.valid {
+                victim = base + i;
+                break;
+            }
+            if w.lru < best_lru {
+                best_lru = w.lru;
+                victim = base + i;
+            }
+        }
+        let victim_dirty = self.ways[victim].valid && self.ways[victim].dirty;
+        if victim_dirty {
+            self.write_backs += 1;
+        }
+        self.ways[victim] = Way {
+            valid: true,
+            dirty: kind.is_write() && self.config.write_policy == WritePolicy::WriteBack,
+            tag,
+            lru: self.tick,
+        };
+        LookupOutcome::Miss { victim_dirty, allocated: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(capacity: u64, line: u64, assoc: u64, wp: WritePolicy, ap: AllocatePolicy) -> CacheConfig {
+        CacheConfig {
+            name: "test".to_string(),
+            capacity_bytes: capacity,
+            line_bytes: line,
+            associativity: assoc,
+            write_policy: wp,
+            allocate_policy: ap,
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        assert!(cfg(0, 32, 1, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate).validate().is_err());
+        assert!(cfg(1024, 0, 1, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate).validate().is_err());
+        assert!(cfg(1024, 48, 1, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate).validate().is_err());
+        assert!(cfg(1024, 2048, 1, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate).validate().is_err());
+        assert!(cfg(1024, 32, 0, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate).validate().is_err());
+        assert!(cfg(1024, 32, 64, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate).validate().is_err());
+        assert!(cfg(1024, 32, 2, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate).validate().is_ok());
+        // 96 KB 3-way with 64 B lines has 512 sets: valid (the 21164 L2).
+        assert!(cfg(96 * 1024, 64, 3, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate).validate().is_ok());
+        // 96 KB direct-mapped would need 1536 sets: invalid.
+        assert!(cfg(96 * 1024, 64, 1, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate).validate().is_err());
+    }
+
+    #[test]
+    fn direct_mapped_hit_and_miss() {
+        let mut c = Cache::new(cfg(256, 32, 1, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate)).unwrap();
+        assert!(!c.access(0, AccessKind::Read).is_hit());
+        assert!(c.access(8, AccessKind::Read).is_hit()); // same line
+        assert!(c.access(16, AccessKind::Read).is_hit());
+        // 256 B / 32 B = 8 sets; address 256 maps to set 0 and evicts line 0.
+        assert!(!c.access(256, AccessKind::Read).is_hit());
+        assert!(!c.access(0, AccessKind::Read).is_hit());
+        assert_eq!(c.misses(), 3);
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
+    fn lru_replacement_in_two_way_set() {
+        // 2 ways, 2 sets, 32 B lines => capacity 128 B.
+        let mut c = Cache::new(cfg(128, 32, 2, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate)).unwrap();
+        // Lines 0, 2, 4 all map to set 0 (line % 2 == 0).
+        c.access(0, AccessKind::Read); // miss, fill way 0
+        c.access(128, AccessKind::Read); // line 4 -> set 0, miss, fill way 1
+        c.access(0, AccessKind::Read); // hit, refresh LRU of line 0
+        c.access(256, AccessKind::Read); // line 8 -> set 0, evicts line 4 (LRU)
+        assert!(c.probe(0), "line 0 must survive (recently used)");
+        assert!(!c.probe(128), "line 4 must have been evicted");
+        assert!(c.probe(256));
+    }
+
+    #[test]
+    fn write_back_dirty_eviction_counted() {
+        let mut c = Cache::new(cfg(64, 32, 1, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate)).unwrap();
+        c.access(0, AccessKind::Write); // allocate dirty (write-allocate)
+        assert!(c.probe_dirty(0));
+        let out = c.access(64, AccessKind::Read); // same set, evicts dirty line
+        match out {
+            LookupOutcome::Miss { victim_dirty, allocated } => {
+                assert!(victim_dirty);
+                assert!(allocated);
+            }
+            LookupOutcome::Hit => panic!("expected a miss"),
+        }
+        assert_eq!(c.write_backs(), 1);
+    }
+
+    #[test]
+    fn write_through_store_miss_does_not_allocate() {
+        let mut c = Cache::new(cfg(64, 32, 1, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate)).unwrap();
+        let out = c.access(0, AccessKind::Write);
+        assert_eq!(out, LookupOutcome::Miss { victim_dirty: false, allocated: false });
+        assert!(!c.probe(0));
+        // A read allocates; a subsequent store hits and stays clean.
+        c.access(0, AccessKind::Read);
+        assert!(c.access(0, AccessKind::Write).is_hit());
+        assert!(!c.probe_dirty(0), "write-through lines never become dirty");
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = Cache::new(cfg(64, 32, 1, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate)).unwrap();
+        c.access(0, AccessKind::Write);
+        assert_eq!(c.invalidate(0), Some(true));
+        assert_eq!(c.invalidate(0), None);
+        c.access(0, AccessKind::Read);
+        assert_eq!(c.invalidate(0), Some(false));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = Cache::new(cfg(64, 32, 2, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate)).unwrap();
+        c.access(0, AccessKind::Read);
+        c.flush();
+        assert!(!c.probe(0));
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn working_set_fits_iff_capacity() {
+        // 1 KB, 32 B lines, 4-way. Touch exactly 1 KB twice: second pass all hits.
+        let mut c = Cache::new(cfg(1024, 32, 4, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate)).unwrap();
+        for pass in 0..2 {
+            for w in 0..(1024 / 8) {
+                c.access(w * 8, AccessKind::Read);
+            }
+            if pass == 0 {
+                c.reset_stats();
+            }
+        }
+        assert_eq!(c.misses(), 0, "primed working set equal to capacity must fully hit");
+        // Now 2 KB: second pass must miss every line again (LRU over a looped pattern).
+        let mut c2 = Cache::new(cfg(1024, 32, 4, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate)).unwrap();
+        for pass in 0..2 {
+            for w in 0..(2048 / 8) {
+                c2.access(w * 8, AccessKind::Read);
+            }
+            if pass == 0 {
+                c2.reset_stats();
+            }
+        }
+        assert_eq!(c2.hits() % 4, 0);
+        assert!(c2.misses() >= 2048 / 32, "2x-capacity loop must keep missing");
+    }
+}

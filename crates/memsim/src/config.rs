@@ -1,0 +1,143 @@
+//! Whole-node configuration and generic presets.
+//!
+//! Machine-accurate presets for the DEC 8400, Cray T3D and Cray T3E live in
+//! the `gasnub-machines` crate; this module only provides neutral test
+//! configurations so the simulator substrate can be exercised standalone.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpu::CpuConfig;
+use crate::error::ConfigError;
+use crate::hierarchy::HierarchyConfig;
+
+/// Static description of one processing node: CPU front end + memory system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Diagnostic name ("DEC 8400 node", "T3D PE", …).
+    pub name: String,
+    /// Processor issue model.
+    pub cpu: CpuConfig,
+    /// Cache/DRAM hierarchy.
+    pub hierarchy: HierarchyConfig,
+}
+
+impl NodeConfig {
+    /// Validates both halves of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuConfig::validate`] and [`HierarchyConfig::validate`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.cpu.validate()?;
+        self.hierarchy.validate()
+    }
+}
+
+/// Neutral configurations for tests, examples and documentation.
+pub mod presets {
+    use super::*;
+    use crate::cache::{AllocatePolicy, CacheConfig, WritePolicy};
+    use crate::dram::DramConfig;
+    use crate::hierarchy::LevelConfig;
+    use crate::stream::StreamConfig;
+
+    /// A small, fast two-level node used throughout the test suites.
+    ///
+    /// 8 KB direct-mapped write-through L1 (32 B lines), 64 KB 4-way
+    /// write-back L2 (64 B lines), 4-bank DRAM with stream support.
+    pub fn tiny_test_node() -> NodeConfig {
+        NodeConfig {
+            name: "tiny test node".to_string(),
+            cpu: CpuConfig {
+                clock_mhz: 100.0,
+                load_issue_cycles: 1.0,
+                store_issue_cycles: 1.0,
+                loop_overhead_cycles: 0.0,
+                miss_overlap: 1.0,
+            },
+            hierarchy: HierarchyConfig {
+                levels: vec![
+                    LevelConfig {
+                        cache: CacheConfig {
+                            name: "L1".to_string(),
+                            capacity_bytes: 8 * 1024,
+                            line_bytes: 32,
+                            associativity: 1,
+                            write_policy: WritePolicy::WriteThrough,
+                            allocate_policy: AllocatePolicy::ReadAllocate,
+                        },
+                        fill_cycles: 4.0,
+                        streamed_fill_cycles: 2.0,
+                        stream: None,
+                        write_back_cycles: 2.0,
+                    },
+                    LevelConfig {
+                        cache: CacheConfig {
+                            name: "L2".to_string(),
+                            capacity_bytes: 64 * 1024,
+                            line_bytes: 64,
+                            associativity: 4,
+                            write_policy: WritePolicy::WriteBack,
+                            allocate_policy: AllocatePolicy::ReadWriteAllocate,
+                        },
+                        fill_cycles: 10.0,
+                        streamed_fill_cycles: 5.0,
+                        stream: Some(StreamConfig::default()),
+                        write_back_cycles: 6.0,
+                    },
+                ],
+                dram: DramConfig {
+                    banks: 4,
+                    interleave_bytes: 64,
+                    row_bytes: 4096,
+                    row_hit_cycles: 16.0,
+                    row_miss_extra_cycles: 24.0,
+                    bank_busy_cycles: 8.0,
+                },
+                dram_stream: Some(StreamConfig { slots: 2, train_length: 2 }),
+                dram_streamed_line_cycles: 8.0,
+                dram_store_word_cycles: 6.0,
+                write_buffer: None,
+                dram_contention: 1.0,
+                dram_stream_contention: 1.0,
+            },
+        }
+    }
+
+    /// A single-level write-through node with a coalescing write buffer —
+    /// structurally a miniature Cray T3D PE.
+    pub fn tiny_streamed_node() -> NodeConfig {
+        use crate::write_buffer::WriteBufferConfig;
+        let mut node = tiny_test_node();
+        node.name = "tiny streamed node".to_string();
+        node.hierarchy.levels.truncate(1);
+        node.hierarchy.write_buffer = Some(WriteBufferConfig {
+            entries: 8,
+            entry_bytes: 32,
+            drain_cycles_per_entry: 12.0,
+            coalesce: true,
+        });
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        presets::tiny_test_node().validate().unwrap();
+        presets::tiny_streamed_node().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_propagates_component_errors() {
+        let mut node = presets::tiny_test_node();
+        node.cpu.clock_mhz = -1.0;
+        assert!(node.validate().is_err());
+        let mut node = presets::tiny_test_node();
+        node.hierarchy.dram.banks = 3;
+        assert!(node.validate().is_err());
+    }
+}

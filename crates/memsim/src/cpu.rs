@@ -1,0 +1,113 @@
+//! Processor front-end issue model.
+//!
+//! The paper measures *compiled* benchmarks: "With a lot of careful C-code
+//! tuning and much hand-holding, we measured about half of the peak bandwidth
+//! for loads out of L1 cache with compiler generated benchmarks" (§4.2). The
+//! issue model therefore expresses what a well-scheduled compiled loop
+//! achieves, not the theoretical pipe width: a per-access issue cost plus a
+//! per-element residual loop overhead (the benchmarks are unrolled, so the
+//! overhead is fractional), and a bounded-overlap factor for outstanding
+//! misses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+
+/// Static description of the processor front end of a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Processor clock in MHz; converts cycles to time (and so to MB/s).
+    pub clock_mhz: f64,
+    /// Cycles to issue one load in a well-scheduled unrolled loop, including
+    /// the consuming add of the Load-Sum benchmark.
+    pub load_issue_cycles: f64,
+    /// Cycles to issue one store in a well-scheduled unrolled loop.
+    pub store_issue_cycles: f64,
+    /// Residual per-element loop overhead after unrolling.
+    pub loop_overhead_cycles: f64,
+    /// How many outstanding cache misses overlap: the effective latency of an
+    /// untrained (non-streamed) DRAM access is divided by this factor.
+    /// `1.0` means fully serialized misses.
+    pub miss_overlap: f64,
+}
+
+impl CpuConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the clock is not positive, any issue cost
+    /// is negative, or the overlap factor is below one.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let c = "cpu";
+        if self.clock_mhz.is_nan() || self.clock_mhz <= 0.0 {
+            return Err(ConfigError::new(c, "clock must be positive"));
+        }
+        if self.load_issue_cycles < 0.0 || self.store_issue_cycles < 0.0 || self.loop_overhead_cycles < 0.0 {
+            return Err(ConfigError::new(c, "issue and overhead cycles must be non-negative"));
+        }
+        if self.miss_overlap < 1.0 {
+            return Err(ConfigError::new(c, "miss overlap factor must be at least 1.0"));
+        }
+        Ok(())
+    }
+
+    /// Converts a cycle count into microseconds on this clock.
+    pub fn cycles_to_us(&self, cycles: f64) -> f64 {
+        cycles / self.clock_mhz
+    }
+
+    /// Converts `bytes` moved in `cycles` into MB/s on this clock.
+    ///
+    /// Returns 0.0 when no cycles elapsed.
+    pub fn bandwidth_mb_s(&self, bytes: f64, cycles: f64) -> f64 {
+        if cycles <= 0.0 {
+            return 0.0;
+        }
+        bytes * self.clock_mhz / cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CpuConfig {
+        CpuConfig {
+            clock_mhz: 300.0,
+            load_issue_cycles: 2.0,
+            store_issue_cycles: 1.0,
+            loop_overhead_cycles: 0.25,
+            miss_overlap: 2.0,
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_values() {
+        let mut c = cfg();
+        c.clock_mhz = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.load_issue_cycles = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.miss_overlap = 0.5;
+        assert!(c.validate().is_err());
+        assert!(cfg().validate().is_ok());
+    }
+
+    #[test]
+    fn bandwidth_formula() {
+        let c = cfg();
+        // 8 bytes per 2 cycles at 300 MHz = 1200 MB/s.
+        let bw = c.bandwidth_mb_s(8.0, 2.0);
+        assert!((bw - 1200.0).abs() < 1e-9);
+        assert_eq!(c.bandwidth_mb_s(8.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn time_conversion() {
+        let c = cfg();
+        assert!((c.cycles_to_us(300.0) - 1.0).abs() < 1e-12);
+    }
+}

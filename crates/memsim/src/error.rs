@@ -1,0 +1,55 @@
+//! Configuration validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid simulator configuration.
+///
+/// Returned by the `validate` methods of the various `*Config` types. The
+/// simulator constructors validate eagerly so that a bad machine description
+/// fails at build time, not with a nonsense cycle count later.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    component: String,
+    problem: String,
+}
+
+impl ConfigError {
+    /// Creates a new error for `component` describing `problem`.
+    pub fn new(component: impl Into<String>, problem: impl Into<String>) -> Self {
+        ConfigError { component: component.into(), problem: problem.into() }
+    }
+
+    /// The component (e.g. `"cache L1"`) whose configuration is invalid.
+    pub fn component(&self) -> &str {
+        &self.component
+    }
+
+    /// Human-readable description of what is wrong.
+    pub fn problem(&self) -> &str {
+        &self.problem
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration for {}: {}", self.component, self.problem)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_component_and_problem() {
+        let e = ConfigError::new("cache L1", "line size must be a power of two");
+        let s = e.to_string();
+        assert!(s.contains("cache L1"));
+        assert!(s.contains("power of two"));
+        assert_eq!(e.component(), "cache L1");
+        assert_eq!(e.problem(), "line size must be a power of two");
+    }
+}

@@ -1,0 +1,812 @@
+//! The multi-level memory hierarchy walk.
+//!
+//! A [`MemoryHierarchy`] owns the per-level caches, the stream detectors at
+//! each fill boundary, the DRAM model, and (optionally) a coalescing write
+//! buffer. It exposes one operation: charge the cycle cost of a single
+//! 64-bit access, updating all component state.
+//!
+//! ## Cost structure
+//!
+//! For a **load**, the tags of each level are walked top-down until a hit.
+//! Every missed level charges a *fill*: the cost of delivering one of its
+//! lines from the level below, where the boundary's stream detector picks
+//! between the untrained cost (`fill_cycles`) and the trained, pipelined
+//! cost (`streamed_fill_cycles`). A miss in the last cache level goes to
+//! DRAM: trained streams are charged the prefetch-pipeline rate, untrained
+//! accesses pay the banked open-row model divided by the CPU's miss-overlap
+//! factor. Dirty victims charge their write-back cost.
+//!
+//! For a **store**, write-through levels forward the store downward (the
+//! Alpha L1s); a write-back level absorbs it, charging a read-modify-write
+//! fill on a store miss. A store that falls through every cache level lands
+//! in the write buffer when one is configured (T3D), otherwise directly in
+//! DRAM.
+
+use serde::{Deserialize, Serialize};
+
+use crate::access::{line_index, AccessKind, Addr};
+use crate::cache::{Cache, CacheConfig, LookupOutcome, WritePolicy};
+use crate::dram::{Dram, DramConfig};
+use crate::error::ConfigError;
+use crate::stats::{LevelStats, RunStats};
+use crate::stream::{StreamConfig, StreamDetector};
+use crate::write_buffer::{WriteBuffer, WriteBufferConfig};
+
+/// Static description of one cache level plus its fill boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelConfig {
+    /// Tag-array geometry and policies of this level.
+    pub cache: CacheConfig,
+    /// Cycles to deliver one line of this cache from the level below when the
+    /// fill is not part of a trained stream.
+    pub fill_cycles: f64,
+    /// Cycles per line when the boundary's stream detector has trained on the
+    /// access pattern (pipelined/read-ahead transfer).
+    pub streamed_fill_cycles: f64,
+    /// Stream detector at this fill boundary; `None` disables read-ahead.
+    pub stream: Option<StreamConfig>,
+    /// Cycles to write back one dirty victim line.
+    pub write_back_cycles: f64,
+}
+
+impl LevelConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache and stream validation and rejects negative costs.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.cache.validate()?;
+        if let Some(s) = &self.stream {
+            s.validate()?;
+        }
+        if self.fill_cycles < 0.0 || self.streamed_fill_cycles < 0.0 || self.write_back_cycles < 0.0 {
+            return Err(ConfigError::new(format!("cache {}", self.cache.name), "cycle costs must be non-negative"));
+        }
+        Ok(())
+    }
+}
+
+/// Static description of a whole node memory hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Cache levels, L1 first. May be empty (a cacheless node).
+    pub levels: Vec<LevelConfig>,
+    /// DRAM geometry and timing.
+    pub dram: DramConfig,
+    /// Stream detector watching last-level fill requests to DRAM.
+    pub dram_stream: Option<StreamConfig>,
+    /// Cycles to deliver one last-level line from DRAM when the stream
+    /// detector has trained (the read-ahead / stream-buffer pipeline rate).
+    pub dram_streamed_line_cycles: f64,
+    /// Cycles DRAM needs to absorb one stored word that bypasses all caches
+    /// (write-through chains without a write buffer).
+    pub dram_store_word_cycles: f64,
+    /// Coalescing write buffer in front of DRAM, if the machine has one.
+    pub write_buffer: Option<WriteBufferConfig>,
+    /// Multiplier (>= 1.0) applied to *untrained* (random) DRAM access costs
+    /// to model competing processors on a shared memory system (DEC 8400
+    /// §5.1 reports -25% for strided accesses under full four-processor
+    /// load). 1.0 = idle machine.
+    pub dram_contention: f64,
+    /// Multiplier (>= 1.0) applied to *streamed* DRAM fills under load
+    /// (§5.1 reports only -8% for contiguous accesses). 1.0 = idle machine.
+    pub dram_stream_contention: f64,
+}
+
+impl HierarchyConfig {
+    /// Validates every component configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component errors; rejects negative costs and a contention
+    /// factor below one.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for l in &self.levels {
+            l.validate()?;
+        }
+        self.dram.validate()?;
+        if let Some(s) = &self.dram_stream {
+            s.validate()?;
+        }
+        if let Some(w) = &self.write_buffer {
+            w.validate()?;
+        }
+        if self.dram_streamed_line_cycles < 0.0 || self.dram_store_word_cycles < 0.0 {
+            return Err(ConfigError::new("hierarchy", "cycle costs must be non-negative"));
+        }
+        if self.dram_contention < 1.0 || self.dram_stream_contention < 1.0 {
+            return Err(ConfigError::new("hierarchy", "DRAM contention factors must be at least 1.0"));
+        }
+        Ok(())
+    }
+
+    /// Line size of the last cache level (the DRAM transfer granularity), or
+    /// one word for a cacheless hierarchy.
+    pub fn last_level_line_bytes(&self) -> u64 {
+        self.levels.last().map(|l| l.cache.line_bytes).unwrap_or(crate::access::WORD_BYTES)
+    }
+
+    /// Total cache capacity in bytes across all levels.
+    pub fn total_cache_bytes(&self) -> u64 {
+        self.levels.iter().map(|l| l.cache.capacity_bytes).sum()
+    }
+}
+
+/// Where an access was finally served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Cache level (0 = L1).
+    Level(usize),
+    /// Main memory.
+    Dram,
+    /// Absorbed by the write buffer (stores only).
+    WriteBuffer,
+}
+
+/// The cycle cost of a single access, with its provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessCost {
+    /// Cycles charged (excluding CPU issue cost, which the engine adds).
+    pub cycles: f64,
+    /// Which component satisfied the access.
+    pub served_by: ServedBy,
+}
+
+/// Runtime state of a node memory hierarchy.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    config: HierarchyConfig,
+    caches: Vec<Cache>,
+    streams: Vec<Option<StreamDetector>>,
+    dram_stream: Option<StreamDetector>,
+    dram: Dram,
+    write_buffer: Option<WriteBuffer>,
+    miss_overlap: f64,
+    /// Scratch per-level stats for the current measurement window.
+    level_stats: Vec<LevelStats>,
+    dram_accesses: u64,
+    dram_row_hits: u64,
+    dram_bank_conflicts: u64,
+    dram_streamed_fills: u64,
+    wb_stalls: f64,
+    /// Outstanding write-buffer drain work (cycles) that the next DRAM fill
+    /// must wait behind: reads and write drains share one DRAM pipe. Capped
+    /// at the queue's total capacity — older entries have already drained.
+    write_debt: f64,
+    /// Origin of the most recent DRAM fill, for mixed-traffic detection.
+    last_fill_origin: Option<FillOrigin>,
+    /// Counts down from [`MIXED_TRAFFIC_WINDOW`] after load- and
+    /// store-originated fills interleave. While positive, untrained fills
+    /// lose their miss overlap: the processor's few outstanding-miss slots
+    /// are split between the two streams.
+    mixed_countdown: u32,
+}
+
+/// How many fills mixed-traffic mode persists after the last alternation.
+const MIXED_TRAFFIC_WINDOW: u32 = 16;
+
+/// Whether a DRAM fill serves a load walk or a store's read-modify-write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FillOrigin {
+    Load,
+    Store,
+}
+
+impl MemoryHierarchy {
+    /// Builds a hierarchy, validating the configuration.
+    ///
+    /// `miss_overlap` comes from the CPU configuration (outstanding-miss
+    /// capability) and divides untrained DRAM latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HierarchyConfig::validate`] errors.
+    pub fn new(config: HierarchyConfig, miss_overlap: f64) -> Result<Self, ConfigError> {
+        config.validate()?;
+        if miss_overlap < 1.0 {
+            return Err(ConfigError::new("hierarchy", "miss overlap factor must be at least 1.0"));
+        }
+        let caches = config
+            .levels
+            .iter()
+            .map(|l| Cache::new(l.cache.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let streams = config
+            .levels
+            .iter()
+            .map(|l| l.stream.clone().map(StreamDetector::new).transpose())
+            .collect::<Result<Vec<_>, _>>()?;
+        let dram_stream = config.dram_stream.clone().map(StreamDetector::new).transpose()?;
+        let dram = Dram::new(config.dram.clone())?;
+        let write_buffer = config.write_buffer.clone().map(WriteBuffer::new).transpose()?;
+        let n = config.levels.len();
+        Ok(MemoryHierarchy {
+            config,
+            caches,
+            streams,
+            dram_stream,
+            dram,
+            write_buffer,
+            miss_overlap,
+            level_stats: vec![LevelStats::default(); n],
+            dram_accesses: 0,
+            dram_row_hits: 0,
+            dram_bank_conflicts: 0,
+            dram_streamed_fills: 0,
+            wb_stalls: 0.0,
+            write_debt: 0.0,
+            last_fill_origin: None,
+            mixed_countdown: 0,
+        })
+    }
+
+    /// The configuration this hierarchy was built from.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Read access to a level's cache (for probing in tests / coherence).
+    pub fn cache(&self, level: usize) -> Option<&Cache> {
+        self.caches.get(level)
+    }
+
+    /// Invalidates the line containing `addr` in every level (coherence /
+    /// synchronization-point invalidation). Returns `true` if any level held
+    /// the line dirty.
+    pub fn invalidate(&mut self, addr: Addr) -> bool {
+        let mut any_dirty = false;
+        for c in &mut self.caches {
+            if let Some(dirty) = c.invalidate(addr) {
+                any_dirty |= dirty;
+            }
+        }
+        any_dirty
+    }
+
+    /// Flushes all cache, stream, DRAM and write-buffer state.
+    pub fn flush(&mut self) {
+        for c in &mut self.caches {
+            c.flush();
+        }
+        for s in self.streams.iter_mut().flatten() {
+            s.reset();
+        }
+        if let Some(s) = &mut self.dram_stream {
+            s.reset();
+        }
+        self.dram.reset();
+        if let Some(w) = &mut self.write_buffer {
+            w.reset();
+        }
+        self.write_debt = 0.0;
+        self.reset_window_stats();
+    }
+
+    /// Clears the per-window statistics without touching tag/row state.
+    /// Used between the priming pass and the measured pass.
+    pub fn reset_window_stats(&mut self) {
+        for s in &mut self.level_stats {
+            *s = LevelStats::default();
+        }
+        self.dram_accesses = 0;
+        self.dram_row_hits = 0;
+        self.dram_bank_conflicts = 0;
+        self.dram_streamed_fills = 0;
+        self.wb_stalls = 0.0;
+    }
+
+    /// Copies the current window statistics into `stats`.
+    pub fn export_stats(&self, stats: &mut RunStats) {
+        stats.levels = self.level_stats.clone();
+        stats.dram_accesses = self.dram_accesses;
+        stats.dram_row_hits = self.dram_row_hits;
+        stats.dram_bank_conflicts = self.dram_bank_conflicts;
+        stats.dram_streamed_fills = self.dram_streamed_fills;
+        stats.write_buffer_stall_cycles = self.wb_stalls;
+    }
+
+    /// Cost of fetching one last-level line from DRAM at simulated time
+    /// `now`, applying stream detection, overlap and contention.
+    fn dram_fill_cost(&mut self, addr: Addr, now: f64, origin: FillOrigin) -> f64 {
+        self.dram_accesses += 1;
+        // Pay for any write-buffer drains queued ahead of this read: DRAM
+        // serves one stream at a time (this is what keeps the T3D's copy
+        // bandwidth at ~100 MB/s although reads alone sustain ~195 MB/s).
+        let debt = std::mem::take(&mut self.write_debt);
+        // Mixed load/store fill traffic splits the outstanding-miss slots
+        // between the two streams, killing the untrained-access overlap
+        // (figs 9-11: both strided copy variants collapse to ~18 MB/s on
+        // the write-back-cache machines although strided loads alone run
+        // at 28 MB/s).
+        if self.last_fill_origin.is_some() && self.last_fill_origin != Some(origin) {
+            self.mixed_countdown = MIXED_TRAFFIC_WINDOW;
+        } else {
+            self.mixed_countdown = self.mixed_countdown.saturating_sub(1);
+        }
+        self.last_fill_origin = Some(origin);
+        let overlap = if self.mixed_countdown > 0 { 1.0 } else { self.miss_overlap };
+        let line_bytes = self.config.last_level_line_bytes();
+        let line = line_index(addr, line_bytes);
+        let streamed = self.dram_stream.as_mut().map(|s| s.observe(line)).unwrap_or(false);
+        debt + if streamed {
+            self.dram_streamed_fills += 1;
+            // The prefetch pipeline still occupies the bank, so row/bank
+            // state advances, but the processor sees the pipelined rate.
+            let _ = self.dram.access(addr, now);
+            self.dram_streamed_line_cycles() * self.config.dram_stream_contention
+        } else {
+            let out = self.dram.access(addr, now);
+            if out.row_hit {
+                self.dram_row_hits += 1;
+            }
+            if out.bank_stall_cycles > 0.0 {
+                self.dram_bank_conflicts += 1;
+            }
+            out.cycles / overlap * self.config.dram_contention
+        }
+    }
+
+    fn dram_streamed_line_cycles(&self) -> f64 {
+        self.config.dram_streamed_line_cycles
+    }
+
+    /// Charges one load at simulated time `now`.
+    pub fn load(&mut self, addr: Addr, now: f64) -> AccessCost {
+        let mut cycles = 0.0;
+        let n = self.caches.len();
+        let mut supplier: Option<usize> = None; // level that hit
+        let mut missed_through = 0usize;
+
+        for i in 0..n {
+            let outcome = self.caches[i].access(addr, AccessKind::Read);
+            match outcome {
+                LookupOutcome::Hit => {
+                    self.level_stats[i].hits += 1;
+                    supplier = Some(i);
+                    break;
+                }
+                LookupOutcome::Miss { victim_dirty, .. } => {
+                    self.level_stats[i].misses += 1;
+                    if victim_dirty {
+                        self.level_stats[i].write_backs += 1;
+                        cycles += self.config.levels[i].write_back_cycles;
+                    }
+                    missed_through = i + 1;
+                }
+            }
+        }
+
+        // Charge fills for every level that missed. The fill of level i is
+        // delivered by level i+1 (or DRAM for the last level).
+        for i in (0..missed_through).rev() {
+            let level_cfg = &self.config.levels[i];
+            let line = line_index(addr, level_cfg.cache.line_bytes);
+            let fills_from_dram = i + 1 == n && supplier.is_none();
+            if fills_from_dram {
+                cycles += self.dram_fill_cost(addr, now + cycles, FillOrigin::Load);
+            } else {
+                let streamed = match &mut self.streams[i] {
+                    Some(det) => det.observe(line),
+                    None => false,
+                };
+                if streamed {
+                    self.level_stats[i].streamed_fills += 1;
+                    cycles += level_cfg.streamed_fill_cycles;
+                } else {
+                    self.level_stats[i].unstreamed_fills += 1;
+                    cycles += level_cfg.fill_cycles;
+                }
+            }
+        }
+
+        let served_by = match supplier {
+            Some(i) => ServedBy::Level(i),
+            None => {
+                if n == 0 {
+                    // Cacheless node: the load itself is a DRAM word access.
+                    cycles += self.dram_fill_cost(addr, now, FillOrigin::Load);
+                }
+                ServedBy::Dram
+            }
+        };
+        AccessCost { cycles, served_by }
+    }
+
+    /// Charges one load whose last-level fill is supplied *remotely* (over a
+    /// bus or network) instead of by local DRAM.
+    ///
+    /// The walk and intermediate fill accounting are identical to
+    /// [`MemoryHierarchy::load`], but when the line would have to come from
+    /// DRAM the cost is obtained from `remote_fill` (called with the
+    /// simulated time at which the fill starts). This is how the coherence
+    /// layer models the DEC 8400's pull: a consumer miss becomes a coherent
+    /// bus transaction supplied by the owner's cache or home memory.
+    pub fn load_remote(
+        &mut self,
+        addr: Addr,
+        now: f64,
+        remote_fill: &mut dyn FnMut(f64) -> f64,
+    ) -> AccessCost {
+        let mut cycles = 0.0;
+        let n = self.caches.len();
+        let mut supplier: Option<usize> = None;
+        let mut missed_through = 0usize;
+
+        for i in 0..n {
+            let outcome = self.caches[i].access(addr, AccessKind::Read);
+            match outcome {
+                LookupOutcome::Hit => {
+                    self.level_stats[i].hits += 1;
+                    supplier = Some(i);
+                    break;
+                }
+                LookupOutcome::Miss { victim_dirty, .. } => {
+                    self.level_stats[i].misses += 1;
+                    if victim_dirty {
+                        self.level_stats[i].write_backs += 1;
+                        cycles += self.config.levels[i].write_back_cycles;
+                    }
+                    missed_through = i + 1;
+                }
+            }
+        }
+
+        for i in (0..missed_through).rev() {
+            let level_cfg = &self.config.levels[i];
+            let line = line_index(addr, level_cfg.cache.line_bytes);
+            let fills_remotely = i + 1 == n && supplier.is_none();
+            if fills_remotely {
+                cycles += remote_fill(now + cycles);
+            } else {
+                let streamed = match &mut self.streams[i] {
+                    Some(det) => det.observe(line),
+                    None => false,
+                };
+                if streamed {
+                    self.level_stats[i].streamed_fills += 1;
+                    cycles += level_cfg.streamed_fill_cycles;
+                } else {
+                    self.level_stats[i].unstreamed_fills += 1;
+                    cycles += level_cfg.fill_cycles;
+                }
+            }
+        }
+
+        let served_by = match supplier {
+            Some(i) => ServedBy::Level(i),
+            None => {
+                if n == 0 {
+                    cycles += remote_fill(now);
+                }
+                ServedBy::Dram
+            }
+        };
+        AccessCost { cycles, served_by }
+    }
+
+    /// Charges one store at simulated time `now`.
+    pub fn store(&mut self, addr: Addr, now: f64) -> AccessCost {
+        let mut cycles = 0.0;
+        let n = self.caches.len();
+
+        for i in 0..n {
+            let policy = self.config.levels[i].cache.write_policy;
+            let outcome = self.caches[i].access(addr, AccessKind::Write);
+            match (policy, outcome) {
+                (WritePolicy::WriteBack, LookupOutcome::Hit) => {
+                    // Absorbed: line dirtied in place.
+                    self.level_stats[i].hits += 1;
+                    return AccessCost { cycles, served_by: ServedBy::Level(i) };
+                }
+                (WritePolicy::WriteBack, LookupOutcome::Miss { victim_dirty, allocated }) => {
+                    self.level_stats[i].misses += 1;
+                    if victim_dirty {
+                        self.level_stats[i].write_backs += 1;
+                        cycles += self.config.levels[i].write_back_cycles;
+                    }
+                    if allocated {
+                        // Read-modify-write: fetch the line from below, then
+                        // the store is absorbed here.
+                        cycles += self.fill_chain(i, addr, now + cycles);
+                        return AccessCost { cycles, served_by: ServedBy::Level(i) };
+                    }
+                    // Non-allocating store miss continues downward.
+                }
+                (WritePolicy::WriteThrough, LookupOutcome::Hit) => {
+                    // Updated in place but still forwarded downward.
+                    self.level_stats[i].hits += 1;
+                }
+                (WritePolicy::WriteThrough, LookupOutcome::Miss { .. }) => {
+                    self.level_stats[i].misses += 1;
+                }
+            }
+        }
+
+        // The store fell through every cache level.
+        if let Some(wb) = &mut self.write_buffer {
+            let out = wb.push(addr, now + cycles);
+            self.wb_stalls += out.stall_cycles;
+            cycles += out.stall_cycles;
+            if !out.coalesced {
+                // A new entry means one more drain the DRAM pipe owes; the
+                // debt is bounded by the queue depth (older entries drained).
+                let drain = wb.config().drain_cycles_per_entry;
+                let cap = wb.config().entries as f64 * drain;
+                self.write_debt = (self.write_debt + drain).min(cap);
+            }
+            return AccessCost { cycles, served_by: ServedBy::WriteBuffer };
+        }
+        cycles += self.config.dram_store_word_cycles * self.config.dram_contention;
+        AccessCost { cycles, served_by: ServedBy::Dram }
+    }
+
+    /// Cost of bringing the line containing `addr` into level `i` from the
+    /// levels below, walking tags downward (used by store write-allocate).
+    fn fill_chain(&mut self, i: usize, addr: Addr, now: f64) -> f64 {
+        let n = self.caches.len();
+        let mut cycles = 0.0;
+        let mut supplier: Option<usize> = None;
+        let mut missed_through = i + 1;
+        for j in (i + 1)..n {
+            let outcome = self.caches[j].access(addr, AccessKind::Read);
+            match outcome {
+                LookupOutcome::Hit => {
+                    self.level_stats[j].hits += 1;
+                    supplier = Some(j);
+                    break;
+                }
+                LookupOutcome::Miss { victim_dirty, .. } => {
+                    self.level_stats[j].misses += 1;
+                    if victim_dirty {
+                        self.level_stats[j].write_backs += 1;
+                        cycles += self.config.levels[j].write_back_cycles;
+                    }
+                    missed_through = j + 1;
+                }
+            }
+        }
+        for j in (i..missed_through).rev() {
+            let level_cfg = &self.config.levels[j];
+            let line = line_index(addr, level_cfg.cache.line_bytes);
+            let fills_from_dram = j + 1 == n && supplier.is_none();
+            if fills_from_dram {
+                cycles += self.dram_fill_cost(addr, now + cycles, FillOrigin::Store);
+            } else {
+                let streamed = match &mut self.streams[j] {
+                    Some(det) => det.observe(line),
+                    None => false,
+                };
+                if streamed {
+                    self.level_stats[j].streamed_fills += 1;
+                    cycles += level_cfg.streamed_fill_cycles;
+                } else {
+                    self.level_stats[j].unstreamed_fills += 1;
+                    cycles += level_cfg.fill_cycles;
+                }
+            }
+        }
+        cycles
+    }
+
+    /// Drains any pending write-buffer entries, returning the cost.
+    pub fn drain_writes(&mut self, now: f64) -> f64 {
+        match &mut self.write_buffer {
+            Some(wb) => wb.flush(now),
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::AllocatePolicy;
+
+    fn l1() -> LevelConfig {
+        LevelConfig {
+            cache: CacheConfig {
+                name: "L1".into(),
+                capacity_bytes: 8 * 1024,
+                line_bytes: 32,
+                associativity: 1,
+                write_policy: WritePolicy::WriteThrough,
+                allocate_policy: AllocatePolicy::ReadAllocate,
+            },
+            fill_cycles: 6.0,
+            streamed_fill_cycles: 4.0,
+            stream: None,
+            write_back_cycles: 4.0,
+        }
+    }
+
+    fn l2() -> LevelConfig {
+        LevelConfig {
+            cache: CacheConfig {
+                name: "L2".into(),
+                capacity_bytes: 64 * 1024,
+                line_bytes: 64,
+                associativity: 4,
+                write_policy: WritePolicy::WriteBack,
+                allocate_policy: AllocatePolicy::ReadWriteAllocate,
+            },
+            fill_cycles: 12.0,
+            streamed_fill_cycles: 6.0,
+            stream: Some(StreamConfig::default()),
+            write_back_cycles: 8.0,
+        }
+    }
+
+    fn dram() -> DramConfig {
+        DramConfig {
+            banks: 4,
+            interleave_bytes: 64,
+            row_bytes: 4096,
+            row_hit_cycles: 20.0,
+            row_miss_extra_cycles: 30.0,
+            bank_busy_cycles: 10.0,
+        }
+    }
+
+    fn two_level() -> HierarchyConfig {
+        HierarchyConfig {
+            levels: vec![l1(), l2()],
+            dram: dram(),
+            dram_stream: Some(StreamConfig::default()),
+            dram_streamed_line_cycles: 10.0,
+            dram_store_word_cycles: 5.0,
+            write_buffer: None,
+            dram_contention: 1.0,
+            dram_stream_contention: 1.0,
+        }
+    }
+
+    #[test]
+    fn l1_hits_are_free_of_fill_cost() {
+        let mut h = MemoryHierarchy::new(two_level(), 1.0).unwrap();
+        h.load(0, 0.0); // cold miss
+        let c = h.load(8, 1.0); // same L1 line
+        assert_eq!(c.cycles, 0.0);
+        assert_eq!(c.served_by, ServedBy::Level(0));
+    }
+
+    #[test]
+    fn l2_hit_charges_one_l1_fill() {
+        let mut h = MemoryHierarchy::new(two_level(), 1.0).unwrap();
+        h.load(0, 0.0); // brings 64 B into L2, 32 B into L1
+        let c = h.load(32, 1.0); // second half of the L2 line: L1 miss, L2 hit
+        assert_eq!(c.served_by, ServedBy::Level(1));
+        assert_eq!(c.cycles, 6.0, "exactly one untrained L1 fill");
+    }
+
+    #[test]
+    fn cold_miss_charges_full_chain() {
+        let mut h = MemoryHierarchy::new(two_level(), 1.0).unwrap();
+        let c = h.load(1 << 20, 0.0);
+        assert_eq!(c.served_by, ServedBy::Dram);
+        // L1 fill (6) + DRAM row miss (20 + 30) = 56; DRAM stream untrained.
+        assert_eq!(c.cycles, 56.0);
+    }
+
+    #[test]
+    fn streamed_dram_fills_use_pipeline_rate() {
+        let mut h = MemoryHierarchy::new(two_level(), 1.0).unwrap();
+        // Walk contiguous lines; after training, DRAM fills cost the
+        // streamed rate (10) instead of the row model.
+        let mut last = 0.0;
+        let mut now = 0.0;
+        for i in 0..16u64 {
+            let c = h.load(i * 64, now);
+            now += c.cycles + 1.0;
+            last = c.cycles;
+        }
+        // Final fill: L1 fill 6 + streamed 10 = 16.
+        assert_eq!(last, 16.0);
+    }
+
+    #[test]
+    fn miss_overlap_divides_untrained_dram_cost() {
+        let mut h1 = MemoryHierarchy::new(two_level(), 1.0).unwrap();
+        let mut h2 = MemoryHierarchy::new(two_level(), 2.0).unwrap();
+        let c1 = h1.load(1 << 20, 0.0);
+        let c2 = h2.load(1 << 20, 0.0);
+        assert!(c2.cycles < c1.cycles);
+    }
+
+    #[test]
+    fn store_hit_in_write_back_level_is_absorbed() {
+        let mut h = MemoryHierarchy::new(two_level(), 1.0).unwrap();
+        h.load(0, 0.0); // line now in L1 + L2
+        let c = h.store(0, 1.0);
+        // Write-through L1 hit forwards to L2 which absorbs it.
+        assert_eq!(c.served_by, ServedBy::Level(1));
+        assert_eq!(c.cycles, 0.0);
+        assert!(h.cache(1).unwrap().probe_dirty(0));
+    }
+
+    #[test]
+    fn store_miss_in_write_back_level_pays_rmw_fill() {
+        let mut h = MemoryHierarchy::new(two_level(), 1.0).unwrap();
+        let c = h.store(1 << 20, 0.0);
+        assert_eq!(c.served_by, ServedBy::Level(1));
+        assert!(c.cycles >= 50.0, "RMW must fetch the line from DRAM, got {}", c.cycles);
+    }
+
+    #[test]
+    fn store_through_cacheless_chain_reaches_write_buffer() {
+        let mut cfg = two_level();
+        cfg.levels = vec![l1()]; // write-through only
+        cfg.write_buffer = Some(WriteBufferConfig {
+            entries: 4,
+            entry_bytes: 32,
+            drain_cycles_per_entry: 8.0,
+            coalesce: true,
+        });
+        let mut h = MemoryHierarchy::new(cfg, 1.0).unwrap();
+        let c = h.store(0, 0.0);
+        assert_eq!(c.served_by, ServedBy::WriteBuffer);
+    }
+
+    #[test]
+    fn dirty_eviction_charges_write_back() {
+        let mut cfg = two_level();
+        // Shrink L2 to 128 B so evictions happen quickly.
+        cfg.levels[1].cache.capacity_bytes = 128;
+        cfg.levels[1].cache.associativity = 1;
+        let mut h = MemoryHierarchy::new(cfg, 1.0).unwrap();
+        h.store(0, 0.0); // dirty line in L2 set 0
+        let mut stats = RunStats::default();
+        h.reset_window_stats();
+        h.store(128, 100.0); // same set, evicts dirty line
+        h.export_stats(&mut stats);
+        assert_eq!(stats.levels[1].write_backs, 1);
+    }
+
+    #[test]
+    fn invalidate_clears_all_levels() {
+        let mut h = MemoryHierarchy::new(two_level(), 1.0).unwrap();
+        h.load(0, 0.0);
+        assert!(h.cache(0).unwrap().probe(0));
+        assert!(h.cache(1).unwrap().probe(0));
+        h.invalidate(0);
+        assert!(!h.cache(0).unwrap().probe(0));
+        assert!(!h.cache(1).unwrap().probe(0));
+    }
+
+    #[test]
+    fn contention_scales_dram_cost() {
+        let mut cfg = two_level();
+        cfg.dram_contention = 2.0;
+        let mut loaded = MemoryHierarchy::new(cfg, 1.0).unwrap();
+        let mut idle = MemoryHierarchy::new(two_level(), 1.0).unwrap();
+        let c_loaded = loaded.load(1 << 20, 0.0);
+        let c_idle = idle.load(1 << 20, 0.0);
+        assert!(c_loaded.cycles > c_idle.cycles);
+    }
+
+    #[test]
+    fn load_remote_replaces_dram_fill() {
+        let mut h = MemoryHierarchy::new(two_level(), 1.0).unwrap();
+        let mut calls = 0;
+        let c = h.load_remote(1 << 20, 0.0, &mut |_t| {
+            calls += 1;
+            100.0
+        });
+        assert_eq!(calls, 1);
+        // L1 fill (6) + remote fill (100).
+        assert_eq!(c.cycles, 106.0);
+        // A hit afterwards never consults the remote supplier.
+        let c2 = h.load_remote(1 << 20, 1.0, &mut |_t| panic!("must not be called"));
+        assert_eq!(c2.cycles, 0.0);
+    }
+
+    #[test]
+    fn cacheless_hierarchy_loads_from_dram() {
+        let mut cfg = two_level();
+        cfg.levels.clear();
+        let mut h = MemoryHierarchy::new(cfg, 1.0).unwrap();
+        let c = h.load(0, 0.0);
+        assert_eq!(c.served_by, ServedBy::Dram);
+        assert!(c.cycles > 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Replay of externally captured address traces.
+//!
+//! The paper's closing argument — realistic memory models "require
+//! measurements of micro benchmarks" (§9) — applies to applications too: a
+//! captured address trace replayed through a machine model yields the
+//! application's achievable bandwidth on that memory system. This module
+//! parses a minimal text trace format and replays it through a
+//! [`MemoryEngine`].
+//!
+//! ## Trace format
+//!
+//! One access per line: `R <addr>` or `W <addr>`, address in decimal or
+//! `0x`-prefixed hex. Blank lines and lines starting with `#` are ignored.
+//!
+//! ```text
+//! # a tiny producer/consumer trace
+//! W 0x1000
+//! W 0x1008
+//! R 4096
+//! ```
+
+use crate::access::{Access, Addr};
+use crate::engine::MemoryEngine;
+use crate::error::ConfigError;
+use crate::stats::RunStats;
+
+/// Parses the text trace format into accesses.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] with the offending line number for malformed
+/// lines.
+pub fn parse_trace(text: &str) -> Result<Vec<Access>, ConfigError> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().unwrap_or_default();
+        let addr_text = parts.next().ok_or_else(|| {
+            ConfigError::new("trace", format!("line {}: missing address", lineno + 1))
+        })?;
+        if parts.next().is_some() {
+            return Err(ConfigError::new("trace", format!("line {}: trailing tokens", lineno + 1)));
+        }
+        let addr = parse_addr(addr_text).ok_or_else(|| {
+            ConfigError::new("trace", format!("line {}: bad address {addr_text:?}", lineno + 1))
+        })?;
+        let access = match kind {
+            "R" | "r" => Access::read(addr),
+            "W" | "w" => Access::write(addr),
+            other => {
+                return Err(ConfigError::new(
+                    "trace",
+                    format!("line {}: unknown access kind {other:?}", lineno + 1),
+                ))
+            }
+        };
+        out.push(access);
+    }
+    Ok(out)
+}
+
+fn parse_addr(text: &str) -> Option<Addr> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Addr::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// Renders accesses back into the text format (round-trips with
+/// [`parse_trace`]).
+pub fn format_trace(accesses: &[Access]) -> String {
+    let mut out = String::new();
+    for a in accesses {
+        let k = if a.kind.is_read() { 'R' } else { 'W' };
+        out.push_str(&format!("{k} {:#x}\n", a.addr));
+    }
+    out
+}
+
+/// Replays a parsed trace through `engine`, returning the run statistics
+/// and the achieved bandwidth in MB/s.
+pub fn replay(engine: &mut MemoryEngine, accesses: &[Access]) -> (RunStats, f64) {
+    let stats = engine.run_trace(accesses.iter().copied());
+    let mb_s = engine.bandwidth_mb_s(&stats);
+    (stats, mb_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessKind;
+    use crate::config::presets;
+
+    #[test]
+    fn parses_decimal_hex_comments_and_blanks() {
+        let text = "# header\n\nR 4096\nW 0x2000\nr 8\nw 0X10\n";
+        let t = parse_trace(text).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0], Access::read(4096));
+        assert_eq!(t[1], Access::write(0x2000));
+        assert_eq!(t[2], Access::read(8));
+        assert_eq!(t[3], Access::write(16));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        assert!(parse_trace("R").unwrap_err().problem().contains("line 1"));
+        assert!(parse_trace("R 1 2").unwrap_err().problem().contains("line 1"));
+        assert!(parse_trace("X 1").unwrap_err().problem().contains("line 1"));
+        assert!(parse_trace("\n\nR zzz").unwrap_err().problem().contains("line 3"));
+    }
+
+    #[test]
+    fn format_round_trips() {
+        let t = vec![Access::read(64), Access::write(0x1000)];
+        let parsed = parse_trace(&format_trace(&t)).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn replay_reports_bandwidth() {
+        let mut engine = MemoryEngine::new(presets::tiny_test_node());
+        let trace: Vec<Access> = (0..1024u64).map(|w| Access::read(w * 8)).collect();
+        let (stats, mb_s) = replay(&mut engine, &trace);
+        assert_eq!(stats.accesses, 1024);
+        assert_eq!(stats.reads, 1024);
+        assert!(mb_s > 0.0);
+    }
+
+    #[test]
+    fn replay_distinguishes_access_kinds() {
+        let mut engine = MemoryEngine::new(presets::tiny_test_node());
+        let trace = parse_trace("R 0\nW 8\nR 16\n").unwrap();
+        let (stats, _) = replay(&mut engine, &trace);
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(trace[1].kind, AccessKind::Write);
+    }
+}

@@ -1,0 +1,244 @@
+//! Run statistics produced by the trace engine.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-cache-level counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Accesses that hit in this level.
+    pub hits: u64,
+    /// Accesses that missed in this level (and went further down).
+    pub misses: u64,
+    /// Line fills into this level that were classified as streamed.
+    pub streamed_fills: u64,
+    /// Line fills into this level charged the full (untrained) cost.
+    pub unstreamed_fills: u64,
+    /// Dirty victim lines written back out of this level.
+    pub write_backs: u64,
+}
+
+impl LevelStats {
+    /// Hit rate in `[0, 1]`; 0 when the level saw no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A power-of-two latency histogram of per-access costs.
+///
+/// Bucket `k` counts accesses whose cycle cost `c` satisfies
+/// `2^(k-1) < c <= 2^k` (bucket 0 counts `c <= 1`). Useful for spotting a
+/// bimodal hit/miss split that an average would hide.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// Records one access of `cycles` cost.
+    pub fn record(&mut self, cycles: f64) {
+        let bucket = if cycles <= 1.0 {
+            0usize
+        } else {
+            (cycles.log2().ceil() as usize).min(63)
+        };
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+
+    /// Counts per bucket, lowest latency first.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total accesses recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The upper cycle bound of the bucket containing the `q`-quantile
+    /// access (`q` in `[0, 1]`), or `None` when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (k, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some((1u64 << k) as f64);
+            }
+        }
+        Some((1u64 << (self.buckets.len() - 1)) as f64)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+}
+
+/// Aggregate result of running a trace through a [`crate::engine::MemoryEngine`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total accesses processed.
+    pub accesses: u64,
+    /// Read accesses processed.
+    pub reads: u64,
+    /// Write accesses processed.
+    pub writes: u64,
+    /// Total simulated cycles consumed.
+    pub cycles: f64,
+    /// Bytes the trace touched (8 per access).
+    pub bytes: u64,
+    /// One entry per configured cache level, L1 first.
+    pub levels: Vec<LevelStats>,
+    /// Accesses served by DRAM.
+    pub dram_accesses: u64,
+    /// DRAM accesses that hit an open row.
+    pub dram_row_hits: u64,
+    /// DRAM accesses that stalled on a busy bank.
+    pub dram_bank_conflicts: u64,
+    /// DRAM fills that were streamed (served by the prefetch pipeline).
+    pub dram_streamed_fills: u64,
+    /// Processor stall cycles caused by a saturated write buffer.
+    pub write_buffer_stall_cycles: f64,
+    /// Per-access latency distribution (includes issue cost).
+    pub latency: LatencyHistogram,
+}
+
+impl RunStats {
+    /// Cycles per access; 0 when the run was empty.
+    pub fn cycles_per_access(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.cycles / self.accesses as f64
+        }
+    }
+
+    /// Merges another run's counters into this one (used by multi-phase
+    /// benchmarks that time several traces as one measurement).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.accesses += other.accesses;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.cycles += other.cycles;
+        self.bytes += other.bytes;
+        if self.levels.len() < other.levels.len() {
+            self.levels.resize(other.levels.len(), LevelStats::default());
+        }
+        for (mine, theirs) in self.levels.iter_mut().zip(other.levels.iter()) {
+            mine.hits += theirs.hits;
+            mine.misses += theirs.misses;
+            mine.streamed_fills += theirs.streamed_fills;
+            mine.unstreamed_fills += theirs.unstreamed_fills;
+            mine.write_backs += theirs.write_backs;
+        }
+        self.dram_accesses += other.dram_accesses;
+        self.dram_row_hits += other.dram_row_hits;
+        self.dram_bank_conflicts += other.dram_bank_conflicts;
+        self.dram_streamed_fills += other.dram_streamed_fills;
+        self.write_buffer_stall_cycles += other.write_buffer_stall_cycles;
+        self.latency.merge(&other.latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty() {
+        assert_eq!(LevelStats::default().hit_rate(), 0.0);
+        let s = LevelStats { hits: 3, misses: 1, ..Default::default() };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_per_access_handles_empty() {
+        assert_eq!(RunStats::default().cycles_per_access(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let mut h = LatencyHistogram::default();
+        h.record(0.5); // bucket 0
+        h.record(1.0); // bucket 0
+        h.record(2.0); // bucket 1
+        h.record(3.0); // bucket 2 (2 < 3 <= 4)
+        h.record(100.0); // bucket 7 (64 < 100 <= 128)
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 1);
+        assert_eq!(h.buckets()[7], 1);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(1.0);
+        }
+        for _ in 0..10 {
+            h.record(100.0);
+        }
+        assert_eq!(h.quantile_upper_bound(0.5), Some(1.0));
+        assert_eq!(h.quantile_upper_bound(0.99), Some(128.0));
+        assert_eq!(LatencyHistogram::default().quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = LatencyHistogram::default();
+        a.record(1.0);
+        let mut b = LatencyHistogram::default();
+        b.record(50.0);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = RunStats {
+            accesses: 10,
+            reads: 10,
+            cycles: 100.0,
+            bytes: 80,
+            levels: vec![LevelStats { hits: 5, misses: 5, ..Default::default() }],
+            ..Default::default()
+        };
+        let b = RunStats {
+            accesses: 6,
+            writes: 6,
+            cycles: 30.0,
+            bytes: 48,
+            levels: vec![
+                LevelStats { hits: 1, misses: 5, ..Default::default() },
+                LevelStats { hits: 2, misses: 3, ..Default::default() },
+            ],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 16);
+        assert_eq!(a.cycles, 130.0);
+        assert_eq!(a.levels.len(), 2);
+        assert_eq!(a.levels[0].hits, 6);
+        assert_eq!(a.levels[1].misses, 3);
+    }
+}

@@ -1,0 +1,367 @@
+//! Access-pattern generators.
+//!
+//! The paper's micro-benchmarks "access all locations of the working set
+//! exactly once" (§5) in strided order: for stride *s*, the loop makes *s*
+//! interleaved passes over the array so that every word is touched once
+//! (classic wrap-around strided access). These generators reproduce those
+//! loops as address streams.
+
+use crate::access::{Access, Addr, WORD_BYTES};
+
+/// Enumerates the word offsets of a wrap-around strided pass.
+///
+/// Yields each of `words` indices exactly once, in the order
+/// `0, s, 2s, …, 1, s+1, …` — the order a strided benchmark loop visits an
+/// array while still covering it completely.
+#[derive(Debug, Clone)]
+pub struct StridedOrder {
+    words: u64,
+    stride: u64,
+    offset: u64,
+    index: u64,
+    emitted: u64,
+}
+
+impl StridedOrder {
+    /// Creates the order for `words` elements at `stride` (in words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn new(words: u64, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be non-zero");
+        StridedOrder { words, stride, offset: 0, index: 0, emitted: 0 }
+    }
+}
+
+impl Iterator for StridedOrder {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.emitted >= self.words {
+            return None;
+        }
+        // Advance to the next valid index, wrapping to the next offset lane.
+        while self.index >= self.words {
+            self.offset += 1;
+            if self.offset >= self.stride {
+                return None;
+            }
+            self.index = self.offset;
+        }
+        let out = self.index;
+        self.index += self.stride;
+        self.emitted += 1;
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.words - self.emitted) as usize;
+        (left, Some(left))
+    }
+}
+
+/// A load-only strided pass over a working set (the Load-Sum benchmark's
+/// address stream).
+#[derive(Debug, Clone)]
+pub struct StridedPass {
+    base: Addr,
+    order: StridedOrder,
+}
+
+impl StridedPass {
+    /// A pass over `words` 64-bit words starting at byte address `base`,
+    /// visited at `stride` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn new(base: Addr, words: u64, stride: u64) -> Self {
+        StridedPass { base, order: StridedOrder::new(words, stride) }
+    }
+}
+
+impl Iterator for StridedPass {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        self.order.next().map(|w| Access::read(self.base + w * WORD_BYTES))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.order.size_hint()
+    }
+}
+
+/// A store-only strided pass (the Store-Constant benchmark's stream).
+#[derive(Debug, Clone)]
+pub struct StorePass {
+    base: Addr,
+    order: StridedOrder,
+}
+
+impl StorePass {
+    /// A store pass over `words` words starting at `base` at `stride` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn new(base: Addr, words: u64, stride: u64) -> Self {
+        StorePass { base, order: StridedOrder::new(words, stride) }
+    }
+}
+
+impl Iterator for StorePass {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        self.order.next().map(|w| Access::write(self.base + w * WORD_BYTES))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.order.size_hint()
+    }
+}
+
+/// A copy pass: loads from a source region, stores to a destination region.
+///
+/// One side is strided, the other contiguous — "loading it with a fixed
+/// stride and storing it contiguously, or … loading it contiguously and
+/// storing it with a fixed stride. Such copy transfers are common in
+/// transpose operations" (§4.2). Iteration order follows the strided side.
+#[derive(Debug, Clone)]
+pub struct CopyPass {
+    src_base: Addr,
+    dst_base: Addr,
+    load_stride: u64,
+    store_stride: u64,
+    strided_order: StridedOrder,
+    seq: u64,
+    pending_store: Option<Addr>,
+}
+
+impl CopyPass {
+    /// A copy of `words` words from `src_base` to `dst_base`.
+    ///
+    /// Exactly one of `load_stride` / `store_stride` is normally greater
+    /// than one; if both are 1 the copy is contiguous-to-contiguous, and if
+    /// both are greater than one both sides follow the same strided order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either stride is zero.
+    pub fn new(src_base: Addr, dst_base: Addr, words: u64, load_stride: u64, store_stride: u64) -> Self {
+        assert!(load_stride > 0 && store_stride > 0, "strides must be non-zero");
+        let strided = load_stride.max(store_stride);
+        CopyPass {
+            src_base,
+            dst_base,
+            load_stride,
+            store_stride,
+            strided_order: StridedOrder::new(words, strided),
+            seq: 0,
+            pending_store: None,
+        }
+    }
+}
+
+impl Iterator for CopyPass {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        if let Some(addr) = self.pending_store.take() {
+            return Some(Access::write(addr));
+        }
+        let strided_idx = self.strided_order.next()?;
+        let seq_idx = self.seq;
+        self.seq += 1;
+        // The side with the larger stride follows the strided order; the
+        // other side walks sequentially.
+        let (load_idx, store_idx) = if self.load_stride >= self.store_stride {
+            (strided_idx, if self.store_stride == 1 { seq_idx } else { strided_idx })
+        } else {
+            (if self.load_stride == 1 { seq_idx } else { strided_idx }, strided_idx)
+        };
+        self.pending_store = Some(self.dst_base + store_idx * WORD_BYTES);
+        Some(Access::read(self.src_base + load_idx * WORD_BYTES))
+    }
+}
+
+/// A tiny deterministic xorshift64 PRNG for index shuffling (no external
+/// dependency, bit-stable across platforms).
+#[derive(Debug, Clone)]
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Deterministic pseudo-random word indices over `[0, words)` for the
+/// indexed (gather) pattern.
+///
+/// When `words <= max` the result is a full Fisher-Yates permutation (each
+/// word visited exactly once, like the strided benchmarks); otherwise `max`
+/// indices are sampled uniformly (collisions are negligible for
+/// `max << words` and the working set is far beyond any cache anyway).
+pub fn shuffled_indices(words: u64, max: usize, seed: u64) -> Vec<u64> {
+    let mut rng = XorShift64::new(seed);
+    if words as usize <= max {
+        let mut v: Vec<u64> = (0..words).collect();
+        for i in (1..v.len()).rev() {
+            let j = (rng.next() % (i as u64 + 1)) as usize;
+            v.swap(i, j);
+        }
+        v
+    } else {
+        (0..max).map(|_| rng.next() % words).collect()
+    }
+}
+
+/// An indexed (gather) pass following an arbitrary permutation of word
+/// offsets — the "indexed accesses" (sparse matrix) pattern of §4.
+#[derive(Debug, Clone)]
+pub struct IndexedPass {
+    base: Addr,
+    indices: Vec<u64>,
+    pos: usize,
+}
+
+impl IndexedPass {
+    /// A read pass that visits `base + indices[k] * 8` in order.
+    pub fn new(base: Addr, indices: Vec<u64>) -> Self {
+        IndexedPass { base, indices, pos: 0 }
+    }
+}
+
+impl Iterator for IndexedPass {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        let idx = *self.indices.get(self.pos)?;
+        self.pos += 1;
+        Some(Access::read(self.base + idx * WORD_BYTES))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn strided_order_is_a_permutation() {
+        for &stride in &[1u64, 2, 3, 5, 8, 13, 64, 100] {
+            for &words in &[1u64, 7, 64, 100] {
+                let seen: Vec<u64> = StridedOrder::new(words, stride).collect();
+                assert_eq!(seen.len() as u64, words, "stride {stride} words {words}");
+                let set: HashSet<u64> = seen.iter().copied().collect();
+                assert_eq!(set.len() as u64, words, "duplicates at stride {stride}");
+                assert!(set.iter().all(|&w| w < words));
+            }
+        }
+    }
+
+    #[test]
+    fn stride_one_is_sequential() {
+        let seen: Vec<u64> = StridedOrder::new(8, 1).collect();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn stride_three_interleaves_lanes() {
+        let seen: Vec<u64> = StridedOrder::new(8, 3).collect();
+        assert_eq!(seen, vec![0, 3, 6, 1, 4, 7, 2, 5]);
+    }
+
+    #[test]
+    fn stride_larger_than_words_still_covers() {
+        let seen: Vec<u64> = StridedOrder::new(4, 100).collect();
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn strided_pass_addresses_are_word_scaled() {
+        let accs: Vec<Access> = StridedPass::new(1024, 4, 2).collect();
+        assert_eq!(accs[0].addr, 1024);
+        assert_eq!(accs[1].addr, 1024 + 16);
+        assert!(accs.iter().all(|a| a.kind.is_read()));
+    }
+
+    #[test]
+    fn store_pass_yields_writes() {
+        let accs: Vec<Access> = StorePass::new(0, 4, 1).collect();
+        assert!(accs.iter().all(|a| a.kind.is_write()));
+        assert_eq!(accs.len(), 4);
+    }
+
+    #[test]
+    fn copy_pass_alternates_read_write_and_covers_both_regions() {
+        let accs: Vec<Access> = CopyPass::new(0, 1 << 20, 8, 4, 1).collect();
+        assert_eq!(accs.len(), 16);
+        for pair in accs.chunks(2) {
+            assert!(pair[0].kind.is_read());
+            assert!(pair[1].kind.is_write());
+            assert!(pair[0].addr < 1 << 20);
+            assert!(pair[1].addr >= 1 << 20);
+        }
+        // Stores are contiguous (store_stride == 1).
+        let stores: Vec<Addr> = accs.iter().filter(|a| a.kind.is_write()).map(|a| a.addr).collect();
+        let expect: Vec<Addr> = (0..8).map(|k| (1 << 20) + k * 8).collect();
+        assert_eq!(stores, expect);
+        // Loads follow the strided order.
+        let loads: Vec<Addr> = accs.iter().filter(|a| a.kind.is_read()).map(|a| a.addr).collect();
+        assert_eq!(loads[0], 0);
+        assert_eq!(loads[1], 32);
+    }
+
+    #[test]
+    fn copy_pass_strided_stores() {
+        let accs: Vec<Access> = CopyPass::new(0, 4096, 8, 1, 4).collect();
+        let loads: Vec<Addr> = accs.iter().filter(|a| a.kind.is_read()).map(|a| a.addr).collect();
+        assert_eq!(loads, (0..8).map(|k| k * 8).collect::<Vec<_>>());
+        let stores: Vec<Addr> = accs.iter().filter(|a| a.kind.is_write()).map(|a| a.addr).collect();
+        assert_eq!(stores[0], 4096);
+        assert_eq!(stores[1], 4096 + 32);
+    }
+
+    #[test]
+    fn indexed_pass_follows_permutation() {
+        let accs: Vec<Access> = IndexedPass::new(0, vec![5, 0, 3]).collect();
+        assert_eq!(accs.iter().map(|a| a.addr).collect::<Vec<_>>(), vec![40, 0, 24]);
+    }
+
+    #[test]
+    fn shuffled_indices_is_a_permutation_when_small() {
+        let v = shuffled_indices(1000, 4096, 42);
+        assert_eq!(v.len(), 1000);
+        let set: HashSet<u64> = v.iter().copied().collect();
+        assert_eq!(set.len(), 1000, "every word exactly once");
+        assert!(v.iter().all(|&w| w < 1000));
+        // And it is actually shuffled, not identity.
+        assert_ne!(v, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffled_indices_samples_when_large() {
+        let v = shuffled_indices(1 << 30, 1024, 7);
+        assert_eq!(v.len(), 1024);
+        assert!(v.iter().all(|&w| w < 1 << 30));
+    }
+
+    #[test]
+    fn shuffled_indices_is_deterministic() {
+        assert_eq!(shuffled_indices(500, 4096, 9), shuffled_indices(500, 4096, 9));
+        assert_ne!(shuffled_indices(500, 4096, 9), shuffled_indices(500, 4096, 10));
+    }
+}

@@ -1,0 +1,206 @@
+//! Collective operations built on the one-sided primitives.
+//!
+//! The paper's motivating communication step is the **AAPC** ("all-to-all
+//! personalized communication") of an array redistribution: "For many
+//! distributions, every processor must exchange data with every other
+//! processor. These 'all-to-all personalized communication' (AAPC)
+//! operations have received considerable interest by researchers" (§6).
+//!
+//! These collectives move real data through the [`ShmemCtx`] and charge the
+//! participating PEs' clocks through its cost model, so an application (or
+//! a test) can compare deposit- and fetch-based implementations the same
+//! way the paper compares transpose implementations.
+
+use crate::cost::TransferCost;
+use crate::ctx::ShmemCtx;
+use crate::heap::Pe;
+
+/// Which one-sided primitive a collective uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveStyle {
+    /// Senders push (deposit model).
+    Push,
+    /// Receivers pull (fetch model).
+    Pull,
+}
+
+/// Broadcasts `n` words from `root`'s `src_off` to `dst_off` on every PE
+/// (including the root's own `dst_off`).
+///
+/// Push style: the root puts to every peer (root's clock pays all
+/// transfers). Pull style: every peer gets from the root (cost spreads).
+/// A barrier closes the operation either way.
+///
+/// # Panics
+///
+/// Panics on out-of-range PEs or offsets.
+pub fn broadcast<C: TransferCost>(
+    ctx: &mut ShmemCtx<C>,
+    style: CollectiveStyle,
+    root: Pe,
+    dst_off: usize,
+    src_off: usize,
+    n: usize,
+) {
+    let npes = ctx.npes();
+    match style {
+        CollectiveStyle::Push => {
+            for pe in 0..npes {
+                if pe != root.0 {
+                    ctx.put(root, Pe(pe), dst_off, src_off, n);
+                }
+            }
+        }
+        CollectiveStyle::Pull => {
+            for pe in 0..npes {
+                if pe != root.0 {
+                    ctx.get(Pe(pe), root, dst_off, src_off, n);
+                }
+            }
+        }
+    }
+    // The root's own copy is a local move.
+    ctx.heap_mut().copy_strided(root, src_off, 1, root, dst_off, 1, n);
+    ctx.barrier();
+}
+
+/// All-to-all personalized communication: every PE sends a distinct block
+/// of `block_words` to every PE. PE `p`'s block for PE `q` starts at
+/// `src_off + q * block_words` and lands at `dst_off + p * block_words` on
+/// `q` — exactly the block exchange of a distributed transpose.
+///
+/// # Panics
+///
+/// Panics on out-of-range PEs or offsets.
+pub fn alltoall<C: TransferCost>(
+    ctx: &mut ShmemCtx<C>,
+    style: CollectiveStyle,
+    dst_off: usize,
+    src_off: usize,
+    block_words: usize,
+) {
+    let npes = ctx.npes();
+    for me in 0..npes {
+        for other in 0..npes {
+            let (src, dst) = (src_off + other * block_words, dst_off + me * block_words);
+            if other == me {
+                ctx.heap_mut().copy_strided(Pe(me), src, 1, Pe(me), dst_off + me * block_words, 1, block_words);
+                continue;
+            }
+            match style {
+                CollectiveStyle::Push => {
+                    // I push my block for `other` into their slot `me`.
+                    ctx.put(Pe(me), Pe(other), dst, src, block_words);
+                }
+                CollectiveStyle::Pull => {
+                    // I pull `other`'s block for me into my slot `other`.
+                    ctx.get(
+                        Pe(me),
+                        Pe(other),
+                        dst_off + other * block_words,
+                        src_off + me * block_words,
+                        block_words,
+                    );
+                }
+            }
+        }
+    }
+    ctx.barrier();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UniformCost;
+
+    fn ctx(npes: usize, words: usize) -> ShmemCtx<UniformCost> {
+        ShmemCtx::new(npes, words, UniformCost::new())
+    }
+
+    #[test]
+    fn broadcast_push_reaches_every_pe() {
+        let mut c = ctx(4, 16);
+        c.heap_mut().local_mut(Pe(1))[..3].copy_from_slice(&[7.0, 8.0, 9.0]);
+        broadcast(&mut c, CollectiveStyle::Push, Pe(1), 8, 0, 3);
+        for pe in 0..4 {
+            assert_eq!(&c.heap().local(Pe(pe))[8..11], &[7.0, 8.0, 9.0], "PE{pe}");
+        }
+        // Root paid for the pushes.
+        assert!(c.comm_cycles(Pe(1)) > 0.0);
+        assert_eq!(c.comm_cycles(Pe(0)), 0.0);
+    }
+
+    #[test]
+    fn broadcast_pull_spreads_the_cost() {
+        let mut c = ctx(4, 16);
+        c.heap_mut().local_mut(Pe(0))[0] = 5.0;
+        broadcast(&mut c, CollectiveStyle::Pull, Pe(0), 4, 0, 1);
+        for pe in 0..4 {
+            assert_eq!(c.heap().local(Pe(pe))[4], 5.0);
+        }
+        assert_eq!(c.comm_cycles(Pe(0)), 0.0, "the root does not pull");
+        assert!(c.comm_cycles(Pe(3)) > 0.0);
+    }
+
+    fn fill_alltoall_source(c: &mut ShmemCtx<UniformCost>, block: usize) {
+        let npes = c.npes();
+        for p in 0..npes {
+            for q in 0..npes {
+                for w in 0..block {
+                    // Value encodes (sender, receiver, word).
+                    c.heap_mut().local_mut(Pe(p))[q * block + w] =
+                        (p * 100 + q * 10 + w) as f64;
+                }
+            }
+        }
+    }
+
+    fn check_alltoall(c: &ShmemCtx<UniformCost>, dst_off: usize, block: usize) {
+        let npes = c.npes();
+        for q in 0..npes {
+            for p in 0..npes {
+                for w in 0..block {
+                    let got = c.heap().local(Pe(q))[dst_off + p * block + w];
+                    let want = (p * 100 + q * 10 + w) as f64;
+                    assert_eq!(got, want, "receiver {q}, sender {p}, word {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_push_exchanges_every_block() {
+        let mut c = ctx(4, 64);
+        fill_alltoall_source(&mut c, 2);
+        alltoall(&mut c, CollectiveStyle::Push, 16, 0, 2);
+        check_alltoall(&c, 16, 2);
+        assert_eq!(c.barriers(), 1);
+    }
+
+    #[test]
+    fn alltoall_pull_matches_push_result() {
+        let mut push = ctx(3, 64);
+        fill_alltoall_source(&mut push, 4);
+        alltoall(&mut push, CollectiveStyle::Push, 32, 0, 4);
+
+        let mut pull = ctx(3, 64);
+        fill_alltoall_source(&mut pull, 4);
+        alltoall(&mut pull, CollectiveStyle::Pull, 32, 0, 4);
+
+        for pe in 0..3 {
+            assert_eq!(push.heap().local(Pe(pe)), pull.heap().local(Pe(pe)));
+        }
+    }
+
+    #[test]
+    fn alltoall_charges_every_pe_symmetrically_under_uniform_cost() {
+        let mut c = ctx(4, 64);
+        fill_alltoall_source(&mut c, 2);
+        alltoall(&mut c, CollectiveStyle::Push, 16, 0, 2);
+        // After the closing barrier every clock is synchronized.
+        let c0 = c.clock_cycles(Pe(0));
+        for pe in 1..4 {
+            assert_eq!(c.clock_cycles(Pe(pe)), c0);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Transfer cost models.
+//!
+//! [`MeasuredCost`] prices every shmem call from the *measured* machine
+//! characterization — the paper's central proposal: "These micro-benchmarks
+//! allow the compiler writer, the compiler or the runtime-system to pick the
+//! least expensive way to move data in the system" (§2.1).
+
+use std::collections::HashMap;
+
+use gasnub_machines::{Machine, MachineId, MeasureLimits};
+use gasnub_memsim::WORD_BYTES;
+
+/// Which direction a transfer moves relative to the initiating PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferKind {
+    /// The initiator pushes data into a remote PE's memory (remote stores).
+    Deposit,
+    /// The initiator pulls data from a remote PE's memory (remote loads).
+    Fetch,
+}
+
+/// Prices shmem operations in CPU cycles of the initiating PE.
+pub trait TransferCost {
+    /// The machine clock, for converting cycles to time.
+    fn clock_mhz(&self) -> f64;
+
+    /// Cycles one call moving `nelems` 64-bit words costs, where
+    /// `remote_stride` is the stride (in words) on the remote side.
+    fn call_cycles(&mut self, kind: TransferKind, nelems: u64, remote_stride: u64) -> f64;
+
+    /// Cycles a barrier costs each participating PE.
+    fn barrier_cycles(&mut self) -> f64;
+}
+
+/// A trivial cost model for tests: fixed per-call and per-word costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformCost {
+    /// Clock in MHz.
+    pub clock_mhz: f64,
+    /// Cycles per transferred word.
+    pub per_word_cycles: f64,
+    /// Fixed cycles per call.
+    pub per_call_cycles: f64,
+    /// Cycles per barrier.
+    pub barrier: f64,
+}
+
+impl UniformCost {
+    /// A convenient 100 MHz model: 1 cycle/word, 10 cycles/call.
+    pub fn new() -> Self {
+        UniformCost { clock_mhz: 100.0, per_word_cycles: 1.0, per_call_cycles: 10.0, barrier: 5.0 }
+    }
+}
+
+impl Default for UniformCost {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TransferCost for UniformCost {
+    fn clock_mhz(&self) -> f64 {
+        self.clock_mhz
+    }
+
+    fn call_cycles(&mut self, _kind: TransferKind, nelems: u64, _remote_stride: u64) -> f64 {
+        self.per_call_cycles + self.per_word_cycles * nelems as f64
+    }
+
+    fn barrier_cycles(&mut self) -> f64 {
+        self.barrier
+    }
+}
+
+/// Fixed per-machine software overheads not covered by the bandwidth
+/// characterization (call startup, barrier implementation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CallOverheads {
+    /// Cycles per shmem call (library entry, argument checks, E-register or
+    /// NI setup).
+    pub per_call_cycles: f64,
+    /// Cycles per barrier.
+    pub barrier_cycles: f64,
+}
+
+impl CallOverheads {
+    /// Built-in overheads per machine. The T3E's large per-call cost
+    /// reflects §7.3: "a mismatch between the required memory access
+    /// patterns for the transpose … and the simple capabilities of the
+    /// shmem_iput primitive" — every row of a block needs its own call.
+    pub fn for_machine(id: MachineId) -> Self {
+        match id {
+            // Software synchronization over the coherent bus; no special
+            // transfer call (the consumer's copy loop just runs).
+            MachineId::Dec8400 => CallOverheads { per_call_cycles: 60.0, barrier_cycles: 1500.0 },
+            // Dedicated hardware barrier network; deposits are captured
+            // straight from the write-back queue but switching partners
+            // costs ("per message overhead for switching partners").
+            MachineId::CrayT3d => CallOverheads { per_call_cycles: 100.0, barrier_cycles: 150.0 },
+            // First-generation shmem_iput/iget library on the T3E.
+            MachineId::CrayT3e => CallOverheads { per_call_cycles: 400.0, barrier_cycles: 200.0 },
+            // No measured library for user-defined machines: a neutral,
+            // modest software overhead.
+            MachineId::Custom => CallOverheads { per_call_cycles: 200.0, barrier_cycles: 500.0 },
+        }
+    }
+}
+
+/// Prices calls from the measured remote bandwidth of a [`Machine`].
+///
+/// Per (kind, stride) the model measures the machine's steady-state remote
+/// bandwidth once (1 MB working set) and caches the resulting cycles/word;
+/// calls then cost `per_call + words * cycles_per_word`. Machines without a
+/// deposit path (the DEC 8400) price deposits as fetches: the data is pulled
+/// by the consumer after synchronization.
+pub struct MeasuredCost {
+    machine: Box<dyn Machine>,
+    overheads: CallOverheads,
+    cycles_per_word: HashMap<(TransferKind, u64), f64>,
+}
+
+impl std::fmt::Debug for MeasuredCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeasuredCost")
+            .field("machine", &self.machine.id())
+            .field("overheads", &self.overheads)
+            .field("cached_strides", &self.cycles_per_word.len())
+            .finish()
+    }
+}
+
+/// Working set used for the one-off bandwidth measurements.
+const PROBE_WS_BYTES: u64 = 1024 * 1024;
+
+impl MeasuredCost {
+    /// Builds a measured cost model around `machine` with its built-in
+    /// overhead table.
+    pub fn new(mut machine: Box<dyn Machine>) -> Self {
+        // Probing needs steady state, not the full default sweep budget.
+        machine.set_limits(MeasureLimits { max_measure_words: 16 * 1024, max_prime_words: 256 * 1024 });
+        let overheads = CallOverheads::for_machine(machine.id());
+        MeasuredCost { machine, overheads, cycles_per_word: HashMap::new() }
+    }
+
+    /// The machine being priced.
+    pub fn machine_id(&self) -> MachineId {
+        self.machine.id()
+    }
+
+    /// The fixed overhead table in use.
+    pub fn overheads(&self) -> CallOverheads {
+        self.overheads
+    }
+
+    fn cycles_per_word(&mut self, kind: TransferKind, stride: u64) -> f64 {
+        let key = (kind, stride);
+        if let Some(&c) = self.cycles_per_word.get(&key) {
+            return c;
+        }
+        let m = match kind {
+            TransferKind::Deposit => self
+                .machine
+                .remote_deposit(PROBE_WS_BYTES, stride)
+                .or_else(|| self.machine.remote_fetch(PROBE_WS_BYTES, stride)),
+            TransferKind::Fetch => self.machine.remote_fetch(PROBE_WS_BYTES, stride),
+        }
+        .expect("machine supports neither deposit nor fetch");
+        let per_word = if m.mb_s > 0.0 {
+            WORD_BYTES as f64 * self.machine.clock_mhz() / m.mb_s
+        } else {
+            f64::INFINITY
+        };
+        self.cycles_per_word.insert(key, per_word);
+        per_word
+    }
+}
+
+impl TransferCost for MeasuredCost {
+    fn clock_mhz(&self) -> f64 {
+        self.machine.clock_mhz()
+    }
+
+    fn call_cycles(&mut self, kind: TransferKind, nelems: u64, remote_stride: u64) -> f64 {
+        if nelems == 0 {
+            return 0.0;
+        }
+        let per_word = self.cycles_per_word(kind, remote_stride.max(1));
+        self.overheads.per_call_cycles + per_word * nelems as f64
+    }
+
+    fn barrier_cycles(&mut self) -> f64 {
+        self.overheads.barrier_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gasnub_machines::{Dec8400, T3d, T3e};
+
+    #[test]
+    fn uniform_cost_is_linear() {
+        let mut c = UniformCost::new();
+        assert_eq!(c.call_cycles(TransferKind::Deposit, 100, 1), 110.0);
+        assert_eq!(c.barrier_cycles(), 5.0);
+    }
+
+    #[test]
+    fn measured_cost_caches_probes() {
+        let mut c = MeasuredCost::new(Box::new(T3e::new()));
+        let first = c.call_cycles(TransferKind::Deposit, 1000, 1);
+        let second = c.call_cycles(TransferKind::Deposit, 1000, 1);
+        assert_eq!(first, second);
+        assert_eq!(c.cycles_per_word.len(), 1);
+    }
+
+    #[test]
+    fn t3e_contiguous_call_tracks_350_mb_s() {
+        let mut c = MeasuredCost::new(Box::new(T3e::new()));
+        let cycles = c.call_cycles(TransferKind::Deposit, 100_000, 1);
+        let mb_s = 100_000.0 * 8.0 * c.clock_mhz() / cycles;
+        assert!((mb_s - 350.0).abs() / 350.0 < 0.2, "got {mb_s}");
+    }
+
+    #[test]
+    fn t3d_deposit_cheaper_than_fetch() {
+        let mut c = MeasuredCost::new(Box::new(T3d::new()));
+        let dep = c.call_cycles(TransferKind::Deposit, 10_000, 1);
+        let fetch = c.call_cycles(TransferKind::Fetch, 10_000, 1);
+        assert!(dep * 2.0 < fetch, "deposit {dep} vs fetch {fetch}");
+    }
+
+    #[test]
+    fn dec8400_deposit_falls_back_to_pull() {
+        let mut c = MeasuredCost::new(Box::new(Dec8400::new()));
+        let dep = c.call_cycles(TransferKind::Deposit, 10_000, 1);
+        let fetch = c.call_cycles(TransferKind::Fetch, 10_000, 1);
+        let ratio = dep / fetch;
+        assert!((ratio - 1.0).abs() < 0.2, "8400 deposit ≈ fetch, got ratio {ratio}");
+    }
+
+    #[test]
+    fn per_call_overheads_match_machine() {
+        assert!(CallOverheads::for_machine(MachineId::CrayT3e).per_call_cycles
+            > CallOverheads::for_machine(MachineId::CrayT3d).per_call_cycles);
+        assert!(CallOverheads::for_machine(MachineId::Dec8400).barrier_cycles
+            > CallOverheads::for_machine(MachineId::CrayT3d).barrier_cycles);
+    }
+
+    #[test]
+    fn zero_element_calls_are_free() {
+        let mut c = MeasuredCost::new(Box::new(T3e::new()));
+        assert_eq!(c.call_cycles(TransferKind::Fetch, 0, 1), 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! The timed shmem context: data movement plus per-PE simulated clocks.
+
+use crate::cost::{TransferCost, TransferKind};
+use crate::heap::{Pe, SymmetricHeap};
+
+/// A global-address-space execution context.
+///
+/// Owns the [`SymmetricHeap`] and one simulated clock per PE. Transfer calls
+/// move real data *and* advance the initiating PE's clock by the priced
+/// cost; [`ShmemCtx::barrier`] synchronizes all clocks to the maximum (plus
+/// the barrier cost) — the paper's separation of data transfer from
+/// synchronization ("data messages are sent only when the receiver has
+/// signaled its willingness to accept them", §2.2).
+#[derive(Debug)]
+pub struct ShmemCtx<C: TransferCost> {
+    heap: SymmetricHeap,
+    cost: C,
+    clocks: Vec<f64>,
+    comm_cycles: Vec<f64>,
+    barriers: u64,
+}
+
+impl<C: TransferCost> ShmemCtx<C> {
+    /// Creates a context of `npes` PEs with `words_per_pe` symmetric words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `npes` is zero.
+    pub fn new(npes: usize, words_per_pe: usize, cost: C) -> Self {
+        ShmemCtx {
+            heap: SymmetricHeap::new(npes, words_per_pe),
+            cost,
+            clocks: vec![0.0; npes],
+            comm_cycles: vec![0.0; npes],
+            barriers: 0,
+        }
+    }
+
+    /// Number of PEs.
+    pub fn npes(&self) -> usize {
+        self.heap.npes()
+    }
+
+    /// The heap (read access).
+    pub fn heap(&self) -> &SymmetricHeap {
+        &self.heap
+    }
+
+    /// The heap (mutable access for local initialization).
+    pub fn heap_mut(&mut self) -> &mut SymmetricHeap {
+        &mut self.heap
+    }
+
+    /// The cost model.
+    pub fn cost_mut(&mut self) -> &mut C {
+        &mut self.cost
+    }
+
+    /// Simulated clock of `pe` in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub fn clock_cycles(&self, pe: Pe) -> f64 {
+        self.clocks[pe.0]
+    }
+
+    /// Cycles `pe` has spent inside communication calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub fn comm_cycles(&self, pe: Pe) -> f64 {
+        self.comm_cycles[pe.0]
+    }
+
+    /// Simulated elapsed time of `pe` in microseconds.
+    pub fn elapsed_us(&self, pe: Pe) -> f64 {
+        self.clocks[pe.0] / self.cost.clock_mhz()
+    }
+
+    /// Barriers executed so far.
+    pub fn barriers(&self) -> u64 {
+        self.barriers
+    }
+
+    /// Charges local (non-communication) work to `pe`'s clock — how the
+    /// application kernel accounts its compute phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range or `cycles` is negative.
+    pub fn advance_local(&mut self, pe: Pe, cycles: f64) {
+        assert!(cycles >= 0.0, "cannot rewind a PE clock");
+        self.clocks[pe.0] += cycles;
+    }
+
+    /// Contiguous deposit: `from` pushes `n` words from its own
+    /// `src_off` into `dst`'s `dst_off` (shmem_put).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range PEs or offsets.
+    pub fn put(&mut self, from: Pe, dst: Pe, dst_off: usize, src_off: usize, n: usize) {
+        self.iput(from, dst, dst_off, 1, src_off, 1, n);
+    }
+
+    /// Strided deposit (shmem_iput): word `k` moves from
+    /// `src_off + k*src_stride` on `from` to `dst_off + k*dst_stride` on
+    /// `dst`. The initiating PE pays the cost; the target PE does not
+    /// participate (direct deposit).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range PEs, offsets or zero strides.
+    #[allow(clippy::too_many_arguments)] // mirrors the shmem C API
+    pub fn iput(
+        &mut self,
+        from: Pe,
+        dst: Pe,
+        dst_off: usize,
+        dst_stride: usize,
+        src_off: usize,
+        src_stride: usize,
+        n: usize,
+    ) {
+        assert!(dst_stride > 0 && src_stride > 0, "strides must be non-zero");
+        self.heap.copy_strided(from, src_off, src_stride, dst, dst_off, dst_stride, n);
+        let cycles = self.cost.call_cycles(TransferKind::Deposit, n as u64, dst_stride as u64);
+        self.clocks[from.0] += cycles;
+        self.comm_cycles[from.0] += cycles;
+    }
+
+    /// Contiguous fetch: `on` pulls `n` words from `src`'s `src_off` into
+    /// its own `dst_off` (shmem_get).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range PEs or offsets.
+    pub fn get(&mut self, on: Pe, src: Pe, dst_off: usize, src_off: usize, n: usize) {
+        self.iget(on, src, dst_off, 1, src_off, 1, n);
+    }
+
+    /// Strided fetch (shmem_iget): the initiating PE pulls; the remote
+    /// stride prices the call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range PEs, offsets or zero strides.
+    #[allow(clippy::too_many_arguments)] // mirrors the shmem C API
+    pub fn iget(
+        &mut self,
+        on: Pe,
+        src: Pe,
+        dst_off: usize,
+        dst_stride: usize,
+        src_off: usize,
+        src_stride: usize,
+        n: usize,
+    ) {
+        assert!(dst_stride > 0 && src_stride > 0, "strides must be non-zero");
+        self.heap.copy_strided(src, src_off, src_stride, on, dst_off, dst_stride, n);
+        let cycles = self.cost.call_cycles(TransferKind::Fetch, n as u64, src_stride as u64);
+        self.clocks[on.0] += cycles;
+        self.comm_cycles[on.0] += cycles;
+    }
+
+    /// Block-strided deposit: `nblocks` runs of `block_words` contiguous
+    /// words, scattered with `dst_stride` on the target. The whole call is
+    /// priced as one strided transfer of `nblocks * block_words` words at
+    /// the destination's *element* stride — the word-granular pricing the
+    /// paper blames for the T3E transpose shortfall (§7.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range PEs/offsets or strides smaller than the block.
+    #[allow(clippy::too_many_arguments)]
+    pub fn iput_blocks(
+        &mut self,
+        from: Pe,
+        dst: Pe,
+        dst_off: usize,
+        dst_stride: usize,
+        src_off: usize,
+        src_stride: usize,
+        block_words: usize,
+        nblocks: usize,
+    ) {
+        self.heap.copy_blocks(from, src_off, src_stride, dst, dst_off, dst_stride, block_words, nblocks);
+        let words = (nblocks * block_words) as u64;
+        let cycles = self.cost.call_cycles(TransferKind::Deposit, words, dst_stride as u64);
+        self.clocks[from.0] += cycles;
+        self.comm_cycles[from.0] += cycles;
+    }
+
+    /// Block-strided fetch: the dual of [`ShmemCtx::iput_blocks`], priced at
+    /// the *source's* stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range PEs/offsets or strides smaller than the block.
+    #[allow(clippy::too_many_arguments)]
+    pub fn iget_blocks(
+        &mut self,
+        on: Pe,
+        src: Pe,
+        dst_off: usize,
+        dst_stride: usize,
+        src_off: usize,
+        src_stride: usize,
+        block_words: usize,
+        nblocks: usize,
+    ) {
+        self.heap.copy_blocks(src, src_off, src_stride, on, dst_off, dst_stride, block_words, nblocks);
+        let words = (nblocks * block_words) as u64;
+        let cycles = self.cost.call_cycles(TransferKind::Fetch, words, src_stride as u64);
+        self.clocks[on.0] += cycles;
+        self.comm_cycles[on.0] += cycles;
+    }
+
+    /// Synchronizes every PE: all clocks advance to the global maximum plus
+    /// the barrier cost.
+    pub fn barrier(&mut self) {
+        self.barriers += 1;
+        let max = self.clocks.iter().cloned().fold(0.0, f64::max);
+        let cost = self.cost.barrier_cycles();
+        for c in &mut self.clocks {
+            *c = max + cost;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UniformCost;
+
+    fn ctx() -> ShmemCtx<UniformCost> {
+        ShmemCtx::new(4, 64, UniformCost::new())
+    }
+
+    #[test]
+    fn put_moves_data_and_charges_sender() {
+        let mut c = ctx();
+        c.heap_mut().local_mut(Pe(0))[..4].copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        c.put(Pe(0), Pe(1), 8, 0, 4);
+        assert_eq!(&c.heap().local(Pe(1))[8..12], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.clock_cycles(Pe(0)), 14.0); // 10 per call + 4 words
+        assert_eq!(c.clock_cycles(Pe(1)), 0.0, "the receiver does not participate");
+        assert_eq!(c.comm_cycles(Pe(0)), 14.0);
+    }
+
+    #[test]
+    fn get_charges_the_puller() {
+        let mut c = ctx();
+        c.heap_mut().local_mut(Pe(2))[0] = 7.0;
+        c.get(Pe(1), Pe(2), 0, 0, 1);
+        assert_eq!(c.heap().local(Pe(1))[0], 7.0);
+        assert!(c.clock_cycles(Pe(1)) > 0.0);
+        assert_eq!(c.clock_cycles(Pe(2)), 0.0);
+    }
+
+    #[test]
+    fn iput_scatters_with_stride() {
+        let mut c = ctx();
+        c.heap_mut().local_mut(Pe(0))[..3].copy_from_slice(&[1.0, 2.0, 3.0]);
+        c.iput(Pe(0), Pe(3), 0, 4, 0, 1, 3);
+        let d = c.heap().local(Pe(3));
+        assert_eq!((d[0], d[4], d[8]), (1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let mut c = ctx();
+        c.advance_local(Pe(0), 100.0);
+        c.advance_local(Pe(1), 50.0);
+        c.barrier();
+        for pe in 0..4 {
+            assert_eq!(c.clock_cycles(Pe(pe)), 105.0); // max + 5 barrier
+        }
+        assert_eq!(c.barriers(), 1);
+    }
+
+    #[test]
+    fn elapsed_time_uses_the_clock_rate() {
+        let mut c = ctx();
+        c.advance_local(Pe(0), 200.0);
+        assert!((c.elapsed_us(Pe(0)) - 2.0).abs() < 1e-12); // 200 cy @ 100 MHz
+    }
+
+    #[test]
+    fn comm_and_compute_are_accounted_separately() {
+        let mut c = ctx();
+        c.advance_local(Pe(0), 100.0);
+        c.put(Pe(0), Pe(1), 0, 0, 4);
+        assert_eq!(c.comm_cycles(Pe(0)), 14.0);
+        assert_eq!(c.clock_cycles(Pe(0)), 114.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rewind")]
+    fn negative_local_advance_panics() {
+        ctx().advance_local(Pe(0), -1.0);
+    }
+}

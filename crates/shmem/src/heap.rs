@@ -1,0 +1,237 @@
+//! The symmetric heap: one equally-sized `f64` region per PE.
+//!
+//! Cray's shmem library addresses remote data through *symmetric* objects:
+//! the same object exists at the same offset on every PE. The heap models
+//! exactly that — word offsets are valid on every PE.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a processing element within a [`SymmetricHeap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pe(pub usize);
+
+impl std::fmt::Display for Pe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+/// Per-PE symmetric storage of 64-bit floating point words.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymmetricHeap {
+    words_per_pe: usize,
+    data: Vec<Vec<f64>>,
+}
+
+impl SymmetricHeap {
+    /// Creates a heap of `npes` PEs with `words_per_pe` words each, zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `npes` is zero.
+    pub fn new(npes: usize, words_per_pe: usize) -> Self {
+        assert!(npes > 0, "a heap needs at least one PE");
+        SymmetricHeap { words_per_pe, data: vec![vec![0.0; words_per_pe]; npes] }
+    }
+
+    /// Number of PEs.
+    pub fn npes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Words available per PE.
+    pub fn words_per_pe(&self) -> usize {
+        self.words_per_pe
+    }
+
+    /// Read-only view of one PE's local memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub fn local(&self, pe: Pe) -> &[f64] {
+        &self.data[pe.0]
+    }
+
+    /// Mutable view of one PE's local memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub fn local_mut(&mut self, pe: Pe) -> &mut [f64] {
+        &mut self.data[pe.0]
+    }
+
+    /// Copies `nblocks` blocks of `block_words` contiguous words between
+    /// PEs, where block `k` starts at `src_off + k*src_stride` on `src` and
+    /// `dst_off + k*dst_stride` on `dst`. A complex-number transfer is the
+    /// `block_words == 2` case — "the transpose of a distributed, two
+    /// dimensional array of complex numbers" (§7.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range, or a stride is smaller than the
+    /// block (blocks would overlap).
+    #[allow(clippy::too_many_arguments)] // mirrors the shmem C API
+    pub fn copy_blocks(
+        &mut self,
+        src: Pe,
+        src_off: usize,
+        src_stride: usize,
+        dst: Pe,
+        dst_off: usize,
+        dst_stride: usize,
+        block_words: usize,
+        nblocks: usize,
+    ) {
+        assert!(block_words > 0, "blocks must be non-empty");
+        assert!(
+            src_stride >= block_words && dst_stride >= block_words,
+            "strides must be at least the block size"
+        );
+        for w in 0..block_words {
+            self.copy_strided(
+                src,
+                src_off + w,
+                src_stride,
+                dst,
+                dst_off + w,
+                dst_stride,
+                nblocks,
+            );
+        }
+    }
+
+    /// Copies `n` words between PEs with independent strides: word `k` moves
+    /// from `src_off + k*src_stride` on `src` to `dst_off + k*dst_stride`
+    /// on `dst`. This is the data movement of `shmem_iput`/`shmem_iget`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[allow(clippy::too_many_arguments)] // mirrors the shmem C API
+    pub fn copy_strided(
+        &mut self,
+        src: Pe,
+        src_off: usize,
+        src_stride: usize,
+        dst: Pe,
+        dst_off: usize,
+        dst_stride: usize,
+        n: usize,
+    ) {
+        if n == 0 {
+            return;
+        }
+        if src == dst {
+            // Local rearrangement; gather then scatter to allow overlap.
+            let gathered: Vec<f64> =
+                (0..n).map(|k| self.data[src.0][src_off + k * src_stride]).collect();
+            for (k, v) in gathered.into_iter().enumerate() {
+                self.data[dst.0][dst_off + k * dst_stride] = v;
+            }
+            return;
+        }
+        let (a, b) = if src.0 < dst.0 {
+            let (lo, hi) = self.data.split_at_mut(dst.0);
+            (&lo[src.0], &mut hi[0])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(src.0);
+            (&hi[0] as &Vec<f64>, &mut lo[dst.0])
+        };
+        for k in 0..n {
+            b[dst_off + k * dst_stride] = a[src_off + k * src_stride];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_starts_zeroed() {
+        let h = SymmetricHeap::new(2, 8);
+        assert_eq!(h.npes(), 2);
+        assert!(h.local(Pe(0)).iter().all(|&x| x == 0.0));
+        assert_eq!(h.words_per_pe(), 8);
+    }
+
+    #[test]
+    fn contiguous_copy_between_pes() {
+        let mut h = SymmetricHeap::new(2, 8);
+        h.local_mut(Pe(0))[..4].copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        h.copy_strided(Pe(0), 0, 1, Pe(1), 2, 1, 4);
+        assert_eq!(&h.local(Pe(1))[2..6], &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn strided_scatter_is_a_transpose_column() {
+        let mut h = SymmetricHeap::new(2, 16);
+        h.local_mut(Pe(0))[..4].copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        // Scatter into a 4x4 row-major array's first column.
+        h.copy_strided(Pe(0), 0, 1, Pe(1), 0, 4, 4);
+        let d = h.local(Pe(1));
+        assert_eq!((d[0], d[4], d[8], d[12]), (1.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn strided_gather_from_remote() {
+        let mut h = SymmetricHeap::new(2, 16);
+        for (i, v) in h.local_mut(Pe(1)).iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        h.copy_strided(Pe(1), 1, 4, Pe(0), 0, 1, 4);
+        assert_eq!(&h.local(Pe(0))[..4], &[1.0, 5.0, 9.0, 13.0]);
+    }
+
+    #[test]
+    fn local_rearrangement_works() {
+        let mut h = SymmetricHeap::new(1, 8);
+        h.local_mut(Pe(0)).copy_from_slice(&[0.0, 1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0]);
+        h.copy_strided(Pe(0), 0, 1, Pe(0), 4, 1, 4);
+        assert_eq!(&h.local(Pe(0))[4..], &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reverse_direction_split_borrow() {
+        let mut h = SymmetricHeap::new(3, 4);
+        h.local_mut(Pe(2))[0] = 9.0;
+        h.copy_strided(Pe(2), 0, 1, Pe(0), 3, 1, 1);
+        assert_eq!(h.local(Pe(0))[3], 9.0);
+    }
+
+    #[test]
+    fn zero_length_copy_is_a_noop() {
+        let mut h = SymmetricHeap::new(2, 4);
+        h.copy_strided(Pe(0), 0, 1, Pe(1), 0, 1, 0);
+        assert!(h.local(Pe(1)).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn block_copy_preserves_pairs() {
+        let mut h = SymmetricHeap::new(2, 32);
+        // Two complex numbers (1+2i, 3+4i) stored interleaved.
+        h.local_mut(Pe(0))[..4].copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        // Scatter them 8 words apart on PE 1.
+        h.copy_blocks(Pe(0), 0, 2, Pe(1), 0, 8, 2, 2);
+        let d = h.local(Pe(1));
+        assert_eq!((d[0], d[1]), (1.0, 2.0));
+        assert_eq!((d[8], d[9]), (3.0, 4.0));
+        assert_eq!(d[2], 0.0, "nothing between the blocks");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the block size")]
+    fn overlapping_blocks_panic() {
+        let mut h = SymmetricHeap::new(2, 32);
+        h.copy_blocks(Pe(0), 0, 1, Pe(1), 0, 8, 2, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let mut h = SymmetricHeap::new(2, 4);
+        h.copy_strided(Pe(0), 0, 1, Pe(1), 2, 1, 4);
+    }
+}

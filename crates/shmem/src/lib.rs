@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # gasnub-shmem
+//!
+//! A global-address-space layer over the simulated machines: the paper's
+//! **direct deposit/fetch model** (§2.2). "In the deposit model — or its
+//! dual counterpart, the fetch model — only one of the two node processors
+//! (sender, receiver) actively participates in a data transfer. For
+//! deposits, the sender 'drops' the data into the address space of the
+//! receiver, without participation of the receiver process."
+//!
+//! The layer is *functional*: [`heap::SymmetricHeap`] holds real `f64` data
+//! per PE and `put`/`get`/`iput`/`iget` actually move it (the 2D-FFT kernel
+//! in `gasnub-fft` computes verifiable numerical results through this API).
+//! It is also *timed*: every call advances the initiating PE's simulated
+//! clock by a cost obtained from a [`cost::TransferCost`] model.
+//! [`cost::MeasuredCost`] derives those costs from the machine models by
+//! measurement — which is precisely how the paper proposes a compiler
+//! runtime should pick transfer costs ("realistic models based on
+//! measurement", §9).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use gasnub_shmem::{Pe, ShmemCtx, UniformCost};
+//!
+//! let mut ctx = ShmemCtx::new(2, 64, UniformCost::new());
+//! ctx.heap_mut().local_mut(Pe(0))[0] = 42.0;
+//! // Direct deposit: PE 0 drops the word into PE 1's space; only the
+//! // sender's clock advances.
+//! ctx.put(Pe(0), Pe(1), 0, 0, 1);
+//! assert_eq!(ctx.heap().local(Pe(1))[0], 42.0);
+//! assert!(ctx.clock_cycles(Pe(0)) > 0.0);
+//! assert_eq!(ctx.clock_cycles(Pe(1)), 0.0);
+//! ```
+
+pub mod collectives;
+pub mod cost;
+pub mod ctx;
+pub mod heap;
+pub mod redistribute;
+
+pub use collectives::{alltoall, broadcast, CollectiveStyle};
+pub use redistribute::{block_to_cyclic, cyclic_to_block, RedistStyle};
+pub use cost::{MeasuredCost, TransferCost, TransferKind, UniformCost};
+pub use ctx::ShmemCtx;
+pub use heap::{Pe, SymmetricHeap};

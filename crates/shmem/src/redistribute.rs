@@ -1,0 +1,210 @@
+//! HPF array redistribution: BLOCK ↔ CYCLIC.
+//!
+//! The paper's compiler back end "provides a general way of generating
+//! communication code for all array assignment statements and array
+//! distributions, not just for transposes of two dimensional, block
+//! distributed data" (§2.1). This module implements the other canonical
+//! redistribution: a 1D array moving between HPF's `BLOCK` layout (PE `p`
+//! owns one contiguous chunk) and `CYCLIC` layout (element `i` lives on PE
+//! `i mod P`).
+//!
+//! The interesting property: in **block → cyclic**, each (sender, receiver)
+//! pair exchanges elements that are *strided on the block side and
+//! contiguous on the cyclic side* — so deposits see a contiguous remote
+//! pattern and fetches a strided one. **Cyclic → block** is the mirror
+//! image. The best transfer style therefore flips with the direction,
+//! which is exactly the kind of decision the paper's measured cost model
+//! exists to make.
+
+use crate::cost::TransferCost;
+use crate::ctx::ShmemCtx;
+use crate::heap::Pe;
+
+/// Which one-sided primitive performs the redistribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedistStyle {
+    /// Owners of the source layout push into the target layout.
+    Push,
+    /// Owners of the target layout pull from the source layout.
+    Pull,
+}
+
+/// Redistributes `n` words from BLOCK layout at `src_off` to CYCLIC layout
+/// at `dst_off`.
+///
+/// BLOCK: element `i` lives on PE `i / (n/P)` at `src_off + i mod (n/P)`.
+/// CYCLIC: element `i` lives on PE `i mod P` at `dst_off + i / P`.
+///
+/// # Panics
+///
+/// Panics unless `n` is divisible by `npes * npes` (keeps every
+/// (sender, receiver) chunk equal-sized) or if offsets are out of range.
+pub fn block_to_cyclic<C: TransferCost>(
+    ctx: &mut ShmemCtx<C>,
+    style: RedistStyle,
+    dst_off: usize,
+    src_off: usize,
+    n: usize,
+) {
+    let p = ctx.npes();
+    assert!(n.is_multiple_of(p * p), "n ({n}) must be divisible by npes^2 ({})", p * p);
+    let block = n / p;
+    for owner in 0..p {
+        for target in 0..p {
+            // Elements i in owner's block with i ≡ target (mod P):
+            // the first is the smallest i >= owner*block with i % p == target.
+            let base = owner * block;
+            let first = base + ((target + p - base % p) % p);
+            let count = block / p;
+            let src_local = src_off + (first - base); // then stride p
+            let dst_local = dst_off + first / p; // then stride 1 (consecutive)
+            match style {
+                RedistStyle::Push => {
+                    ctx.iput(Pe(owner), Pe(target), dst_local, 1, src_local, p, count);
+                }
+                RedistStyle::Pull => {
+                    ctx.iget(Pe(target), Pe(owner), dst_local, 1, src_local, p, count);
+                }
+            }
+        }
+    }
+    ctx.barrier();
+}
+
+/// Redistributes `n` words from CYCLIC layout at `src_off` back to BLOCK
+/// layout at `dst_off` (the inverse of [`block_to_cyclic`]).
+///
+/// # Panics
+///
+/// Panics unless `n` is divisible by `npes * npes` or offsets are out of
+/// range.
+pub fn cyclic_to_block<C: TransferCost>(
+    ctx: &mut ShmemCtx<C>,
+    style: RedistStyle,
+    dst_off: usize,
+    src_off: usize,
+    n: usize,
+) {
+    let p = ctx.npes();
+    assert!(n.is_multiple_of(p * p), "n ({n}) must be divisible by npes^2 ({})", p * p);
+    let block = n / p;
+    for owner in 0..p {
+        // `owner` holds the cyclic elements ≡ owner (mod P).
+        for target in 0..p {
+            // Elements going to block owner `target`: i in target's block
+            // with i ≡ owner (mod P).
+            let base = target * block;
+            let first = base + ((owner + p - base % p) % p);
+            let count = block / p;
+            let src_local = src_off + first / p; // contiguous on the cyclic side
+            let dst_local = dst_off + (first - base); // stride p on the block side
+            match style {
+                RedistStyle::Push => {
+                    ctx.iput(Pe(owner), Pe(target), dst_local, p, src_local, 1, count);
+                }
+                RedistStyle::Pull => {
+                    ctx.iget(Pe(target), Pe(owner), dst_local, p, src_local, 1, count);
+                }
+            }
+        }
+    }
+    ctx.barrier();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UniformCost;
+
+    fn ctx(npes: usize, words: usize) -> ShmemCtx<UniformCost> {
+        ShmemCtx::new(npes, words, UniformCost::new())
+    }
+
+    /// Fill the BLOCK layout with the global element index as value.
+    fn fill_block(c: &mut ShmemCtx<UniformCost>, src_off: usize, n: usize) {
+        let p = c.npes();
+        let block = n / p;
+        for i in 0..n {
+            c.heap_mut().local_mut(Pe(i / block))[src_off + i % block] = i as f64;
+        }
+    }
+
+    fn check_cyclic(c: &ShmemCtx<UniformCost>, dst_off: usize, n: usize) {
+        let p = c.npes();
+        for i in 0..n {
+            let got = c.heap().local(Pe(i % p))[dst_off + i / p];
+            assert_eq!(got, i as f64, "cyclic element {i}");
+        }
+    }
+
+    fn check_block(c: &ShmemCtx<UniformCost>, dst_off: usize, n: usize) {
+        let p = c.npes();
+        let block = n / p;
+        for i in 0..n {
+            let got = c.heap().local(Pe(i / block))[dst_off + i % block];
+            assert_eq!(got, i as f64, "block element {i}");
+        }
+    }
+
+    #[test]
+    fn block_to_cyclic_push_is_correct() {
+        let mut c = ctx(4, 64);
+        fill_block(&mut c, 0, 32);
+        block_to_cyclic(&mut c, RedistStyle::Push, 32, 0, 32);
+        check_cyclic(&c, 32, 32);
+    }
+
+    #[test]
+    fn block_to_cyclic_pull_matches_push() {
+        let mut a = ctx(4, 64);
+        fill_block(&mut a, 0, 32);
+        block_to_cyclic(&mut a, RedistStyle::Push, 32, 0, 32);
+        let mut b = ctx(4, 64);
+        fill_block(&mut b, 0, 32);
+        block_to_cyclic(&mut b, RedistStyle::Pull, 32, 0, 32);
+        for pe in 0..4 {
+            assert_eq!(a.heap().local(Pe(pe))[32..], b.heap().local(Pe(pe))[32..]);
+        }
+    }
+
+    #[test]
+    fn round_trip_restores_block_layout() {
+        let mut c = ctx(2, 96);
+        fill_block(&mut c, 0, 32);
+        block_to_cyclic(&mut c, RedistStyle::Push, 32, 0, 32);
+        cyclic_to_block(&mut c, RedistStyle::Push, 64, 32, 32);
+        check_block(&c, 64, 32);
+    }
+
+    #[test]
+    fn cyclic_to_block_pull_is_correct() {
+        let mut c = ctx(4, 96);
+        fill_block(&mut c, 0, 32);
+        block_to_cyclic(&mut c, RedistStyle::Push, 32, 0, 32);
+        cyclic_to_block(&mut c, RedistStyle::Pull, 64, 32, 32);
+        check_block(&c, 64, 32);
+    }
+
+    #[test]
+    fn remote_strides_flip_with_direction() {
+        // block->cyclic deposits land contiguously (remote stride 1);
+        // cyclic->block deposits scatter (remote stride P). With a uniform
+        // cost model the clocks are equal, but the *call pattern* is what a
+        // measured model would price differently — assert the data movement
+        // is stride-correct by checking both directions round trip at a
+        // larger size.
+        let mut c = ctx(4, 512);
+        fill_block(&mut c, 0, 128);
+        block_to_cyclic(&mut c, RedistStyle::Push, 128, 0, 128);
+        check_cyclic(&c, 128, 128);
+        cyclic_to_block(&mut c, RedistStyle::Pull, 256, 128, 128);
+        check_block(&c, 256, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by npes^2")]
+    fn indivisible_size_panics() {
+        let mut c = ctx(4, 64);
+        block_to_cyclic(&mut c, RedistStyle::Push, 32, 0, 20);
+    }
+}

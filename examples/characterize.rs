@@ -1,0 +1,42 @@
+//! Full memory-system characterization of one machine: every surface the
+//! paper draws for it, rendered as terminal tables.
+//!
+//! ```text
+//! cargo run --release --example characterize -- t3e
+//! cargo run --release --example characterize -- dec8400 --full
+//! ```
+
+use gasnub::core::profile::MachineProfile;
+use gasnub::core::sweep::Grid;
+use gasnub::machines::{Dec8400, Machine, MeasureLimits, T3d, T3e};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("t3d");
+    let full = args.iter().any(|a| a == "--full");
+
+    let mut machine: Box<dyn Machine> = match which {
+        "dec8400" => Box::new(Dec8400::new()),
+        "t3d" => Box::new(T3d::new()),
+        "t3e" => Box::new(T3e::new()),
+        other => {
+            eprintln!("unknown machine {other:?}; use dec8400 | t3d | t3e");
+            std::process::exit(2);
+        }
+    };
+
+    let (local_grid, remote_grid) = if full {
+        machine.set_limits(MeasureLimits::new());
+        (Grid::paper_local(), Grid::paper_remote())
+    } else {
+        machine.set_limits(MeasureLimits::fast());
+        (
+            Grid { strides: vec![1, 2, 4, 8, 16, 64], working_sets: Grid::paper_working_sets(16 << 20) },
+            Grid { strides: vec![1, 2, 4, 8, 16, 64], working_sets: Grid::paper_working_sets(8 << 20) },
+        )
+    };
+
+    eprintln!("characterizing {} ({} cells per surface) …", machine.name(), local_grid.cells());
+    let profile = MachineProfile::measure(machine.as_mut(), &local_grid, &remote_grid);
+    println!("{}", profile.report());
+}

@@ -1,0 +1,64 @@
+//! Characterize a machine that never existed: a "T3D with a big L2" —
+//! the methodology applied to a design question instead of a data sheet.
+//!
+//! ```text
+//! cargo run --release --example custom_machine
+//! ```
+
+use gasnub::core::report::{machine_report, ReportOptions};
+use gasnub::machines::custom::CustomMachineBuilder;
+use gasnub::machines::{Machine, MeasureLimits};
+use gasnub::memsim::cache::{AllocatePolicy, CacheConfig, WritePolicy};
+use gasnub::memsim::hierarchy::LevelConfig;
+use gasnub::memsim::stream::StreamConfig;
+
+fn main() {
+    // Start from the T3D node and graft a 512 KB L2 behind its L1 — the
+    // design question the paper's §7.3 raises implicitly: would a board
+    // cache have fixed the T3D's large-FFT falloff?
+    let mut node = gasnub::machines::params::t3d_node();
+    node.name = "T3D + 512 KB L2 (what-if)".to_string();
+    // The L1's fill cost was the DRAM interface's; refilling from a nearby
+    // SRAM L2 is much faster.
+    node.hierarchy.levels[0].fill_cycles = 5.0;
+    node.hierarchy.levels[0].streamed_fill_cycles = 5.0;
+    node.hierarchy.levels.push(LevelConfig {
+        cache: CacheConfig {
+            name: "L2".to_string(),
+            capacity_bytes: 512 << 10,
+            line_bytes: 64,
+            associativity: 4,
+            write_policy: WritePolicy::WriteBack,
+            allocate_policy: AllocatePolicy::ReadWriteAllocate,
+        },
+        fill_cycles: 10.0,
+        streamed_fill_cycles: 5.0,
+        stream: Some(StreamConfig { slots: 2, train_length: 2 }),
+        write_back_cycles: 8.0,
+    });
+
+    let mut what_if = CustomMachineBuilder::new("T3D+L2", node)
+        .limits(MeasureLimits::fast())
+        .build()
+        .expect("valid design");
+
+    // Compare against the real T3D at an FFT-row-sized working set (64 KB:
+    // a 4096-point complex row).
+    let mut real = gasnub::machines::T3d::new();
+    real.set_limits(MeasureLimits::fast());
+    let ws = 64 << 10;
+    println!("64 KB working set (a 4096-point complex FFT row):");
+    println!(
+        "  real T3D : {:>6.0} MB/s contiguous, {:>6.0} MB/s strided",
+        real.local_load(ws, 1).mb_s,
+        real.local_load(ws, 16).mb_s
+    );
+    println!(
+        "  T3D + L2 : {:>6.0} MB/s contiguous, {:>6.0} MB/s strided",
+        what_if.local_load(ws, 1).mb_s,
+        what_if.local_load(ws, 16).mb_s
+    );
+    println!();
+
+    println!("{}", machine_report(&mut what_if, &ReportOptions::quick()));
+}

@@ -1,0 +1,46 @@
+//! Quickstart: measure a few memory-system bandwidths on the three
+//! machines and let the cost model pick a transfer strategy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gasnub::core::cost::CostModel;
+use gasnub::core::sweep::Grid;
+use gasnub::machines::{Dec8400, Machine, MeasureLimits, T3d, T3e};
+
+fn main() {
+    let mut machines: Vec<Box<dyn Machine>> =
+        vec![Box::new(Dec8400::new()), Box::new(T3d::new()), Box::new(T3e::new())];
+
+    println!("== Local load bandwidth (MB/s), 8 MB working set ==");
+    println!("{:<22}{:>12}{:>12}", "machine", "stride 1", "stride 16");
+    for m in &mut machines {
+        m.set_limits(MeasureLimits::fast());
+        let contig = m.local_load(8 << 20, 1).mb_s;
+        let strided = m.local_load(8 << 20, 16).mb_s;
+        println!("{:<22}{:>12.0}{:>12.0}", m.name(), contig, strided);
+    }
+
+    println!("\n== Remote transfer bandwidth (MB/s), 8 MB working set ==");
+    println!("{:<22}{:>14}{:>14}", "machine", "fetch s16", "deposit s16");
+    for m in &mut machines {
+        let fetch = m.remote_fetch(8 << 20, 16).map(|r| r.mb_s);
+        let deposit = m.remote_deposit(8 << 20, 16).map(|r| r.mb_s);
+        let fmt = |v: Option<f64>| v.map(|v| format!("{v:.0}")).unwrap_or_else(|| "n/a".into());
+        println!("{:<22}{:>14}{:>14}", m.name(), fmt(fetch), fmt(deposit));
+    }
+
+    println!("\n== Cheapest way to move 1M words at stride 16 (the compiler's question) ==");
+    for m in &mut machines {
+        let model = CostModel::characterize(m.as_mut(), &Grid::copy_strides(), 32 << 20);
+        let best = model.best(1 << 20, 16);
+        println!(
+            "{:<22}{} ({:.0} MB/s, {:.1} ms)",
+            m.name(),
+            best.strategy,
+            best.mb_s,
+            best.us / 1000.0
+        );
+    }
+}

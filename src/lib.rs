@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # gasnub — Global Address Space, Non-uniform Bandwidth
+//!
+//! Facade crate for the GASNUB workspace: a production-quality Rust
+//! reproduction of T. Stricker and T. Gross, *"Global Address Space,
+//! Non-Uniform Bandwidth: A Memory System Performance Characterization of
+//! Parallel Systems"* (HPCA-3, 1997).
+//!
+//! This crate re-exports the workspace's public API under one roof:
+//!
+//! * [`memsim`] — trace-driven memory hierarchy simulator (caches, banked
+//!   DRAM, stream prefetchers, coalescing write buffers);
+//! * [`interconnect`] — 8400 bus, 3D torus and network interface models;
+//! * [`coherence`] — MESI-style snooping coherence for the 8400;
+//! * [`machines`] — the three characterized machines (DEC 8400, Cray T3D,
+//!   Cray T3E) with the paper's parameters;
+//! * [`shmem`] — global-address-space layer (put/get/iput/iget, barriers);
+//! * [`core`] — the extended copy-transfer model: micro-benchmarks, sweep
+//!   driver, characterization surfaces and the transfer cost model;
+//! * [`fft`] — the 2D-FFT application kernel of the paper's §7.
+//!
+//! See the repository README for a tour and `DESIGN.md` for the experiment
+//! index mapping every figure of the paper to a reproduction target.
+
+pub use gasnub_coherence as coherence;
+pub use gasnub_core as core;
+pub use gasnub_fft as fft;
+pub use gasnub_interconnect as interconnect;
+pub use gasnub_machines as machines;
+pub use gasnub_memsim as memsim;
+pub use gasnub_shmem as shmem;

@@ -1,0 +1,160 @@
+//! The `gasnub` command-line tool: one front door to the reproduction.
+//!
+//! ```text
+//! gasnub figures list
+//! gasnub figures fig15 --quick
+//! gasnub compare
+//! gasnub fft 512
+//! gasnub scale t3d 2048 512
+//! ```
+
+use gasnub::core::compare::Comparison;
+use gasnub::fft::run_benchmark;
+use gasnub::fft::scalability;
+use gasnub::machines::{Dec8400, Machine, MachineId, MeasureLimits, T3d, T3e};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gasnub <command> [args]\n\
+         \n\
+         figures <list|all|figNN...> [--quick]   regenerate paper figures\n\
+         compare                                 the §9 cross-machine table\n\
+         fft [n]                                 2D-FFT benchmark (figs 15-17) at size n\n\
+         scale <t3d|t3e> <n> <npes>              §8 scalability projection\n\
+         report <dec8400|t3d|t3e>                full markdown characterization report\n\
+         \n\
+         (see also: cargo run -p gasnub-bench --bin figures / --bin experiments)"
+    );
+    std::process::exit(2);
+}
+
+fn all_machines() -> Vec<Box<dyn Machine>> {
+    let mut v: Vec<Box<dyn Machine>> =
+        vec![Box::new(Dec8400::new()), Box::new(T3d::new()), Box::new(T3e::new())];
+    for m in &mut v {
+        m.set_limits(MeasureLimits::fast());
+    }
+    v
+}
+
+fn machine_id(label: &str) -> Option<MachineId> {
+    match label {
+        "dec8400" | "8400" => Some(MachineId::Dec8400),
+        "t3d" => Some(MachineId::CrayT3d),
+        "t3e" => Some(MachineId::CrayT3e),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+
+    match command.as_str() {
+        "figures" => {
+            // Delegate to the bench harness logic by shelling through its
+            // library API.
+            let quick = args.iter().any(|a| a == "--quick");
+            let rest: Vec<&String> =
+                args.iter().skip(1).filter(|a| !a.starts_with("--")).collect();
+            if rest.iter().any(|s| s.as_str() == "list") || rest.is_empty() {
+                for f in gasnub_bench_figures() {
+                    println!("{:<7} {}", f.0, f.1);
+                }
+                return;
+            }
+            for sel in rest {
+                let figures = if sel == "all" {
+                    gasnub_bench_run_all(quick)
+                } else {
+                    vec![gasnub_bench_run_one(sel, quick).unwrap_or_else(|| {
+                        eprintln!("unknown figure {sel}");
+                        std::process::exit(2);
+                    })]
+                };
+                for (id, title, text) in figures {
+                    println!("---- {id} — {title}\n{text}");
+                }
+            }
+        }
+        "compare" => {
+            let mut machines = all_machines();
+            let c = Comparison::measure(&mut machines, 32 << 20);
+            println!("Cross-machine summary, 32 MB working sets (MB/s):\n");
+            println!("{}", c.render());
+        }
+        "fft" => {
+            let n: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(256);
+            println!("2D-FFT on 4 PEs, n = {n}:");
+            println!(
+                "{:<12}{:>16}{:>18}{:>16}",
+                "machine", "total MFlop/s", "compute MFlop/s", "comm MB/s"
+            );
+            for id in [MachineId::CrayT3d, MachineId::Dec8400, MachineId::CrayT3e] {
+                let r = run_benchmark(id, n, 4);
+                println!(
+                    "{:<12}{:>16.0}{:>18.0}{:>16.0}",
+                    id.label(),
+                    r.total_mflops,
+                    r.compute_mflops_total,
+                    r.comm_mb_s_total
+                );
+            }
+        }
+        "report" => {
+            let Some(mid) = args.get(1).and_then(|a| machine_id(a)) else { usage() };
+            use gasnub::core::report::{machine_report, ReportOptions};
+            let mut machine: Box<dyn Machine> = match mid {
+                MachineId::Dec8400 => Box::new(Dec8400::new()),
+                MachineId::CrayT3d => Box::new(T3d::new()),
+                MachineId::CrayT3e => Box::new(T3e::new()),
+                MachineId::Custom => unreachable!("machine_id never returns Custom"),
+            };
+            machine.set_limits(MeasureLimits::fast());
+            println!("{}", machine_report(machine.as_mut(), &ReportOptions::quick()));
+        }
+        "scale" => {
+            let (Some(mid), Some(n), Some(p)) = (
+                args.get(1).and_then(|a| machine_id(a)),
+                args.get(2).and_then(|a| a.parse::<u64>().ok()),
+                args.get(3).and_then(|a| a.parse::<u64>().ok()),
+            ) else {
+                usage()
+            };
+            let point = scalability::project(mid, n, p);
+            println!(
+                "{} 2D-FFT({}x{}) on {} PEs: {:.1} GFlop/s total, {:.1} MFlop/s per PE{}",
+                mid,
+                n,
+                n,
+                p,
+                point.gflops_total,
+                point.mflops_per_pe,
+                if point.bisection_limited { " (bisection limited)" } else { "" }
+            );
+        }
+        _ => usage(),
+    }
+}
+
+// Thin wrappers so the binary does not need gasnub-bench as a public
+// dependency of the facade library (it is a dev-style tool dependency).
+fn gasnub_bench_figures() -> Vec<(&'static str, &'static str)> {
+    gasnub_bench::all_figures().into_iter().map(|f| (f.id, f.title)).collect()
+}
+
+fn gasnub_bench_run_all(quick: bool) -> Vec<(&'static str, &'static str, String)> {
+    gasnub_bench::all_figures()
+        .into_iter()
+        .map(|f| {
+            let out = f.run(quick);
+            (f.id, f.title, out.text)
+        })
+        .collect()
+}
+
+fn gasnub_bench_run_one(id: &str, quick: bool) -> Option<(&'static str, &'static str, String)> {
+    let f = gasnub_bench::figure_by_id(id)?;
+    let out = f.run(quick);
+    Some((f.id, f.title, out.text))
+}

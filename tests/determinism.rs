@@ -1,0 +1,70 @@
+//! Every layer of the stack is deterministic: identical configurations and
+//! inputs produce bit-identical results. This is the property that makes
+//! the characterization reproducible and the figures stable.
+
+use gasnub::core::sweep::Grid;
+use gasnub::core::{local_load_surface, CostModel};
+use gasnub::fft::run_benchmark;
+use gasnub::machines::{Dec8400, Machine, MachineId, MeasureLimits, T3d, T3e};
+
+fn fast<M: Machine>(mut m: M) -> M {
+    m.set_limits(MeasureLimits::fast());
+    m
+}
+
+#[test]
+fn machine_probes_are_deterministic() {
+    let probe = |m: &mut dyn Machine| {
+        (
+            m.local_load(8 << 20, 7).cycles,
+            m.local_copy(4 << 20, 16, 1).cycles,
+            m.remote_fetch(4 << 20, 3).map(|r| r.cycles),
+            m.remote_deposit(4 << 20, 3).map(|r| r.cycles),
+        )
+    };
+    let mut a = fast(T3d::new());
+    let mut b = fast(T3d::new());
+    assert_eq!(probe(&mut a), probe(&mut b));
+
+    let mut a = fast(T3e::new());
+    let mut b = fast(T3e::new());
+    assert_eq!(probe(&mut a), probe(&mut b));
+
+    let mut a = fast(Dec8400::new());
+    let mut b = fast(Dec8400::new());
+    assert_eq!(probe(&mut a), probe(&mut b));
+}
+
+#[test]
+fn repeated_probes_on_one_machine_are_stable() {
+    // Each probe flushes, so state from a previous probe must not leak.
+    let mut m = fast(T3e::new());
+    let first = m.local_load(4 << 20, 5).cycles;
+    let _ = m.remote_deposit(4 << 20, 16);
+    let second = m.local_load(4 << 20, 5).cycles;
+    assert_eq!(first, second);
+}
+
+#[test]
+fn surfaces_are_deterministic() {
+    let grid = Grid { strides: vec![1, 8], working_sets: vec![64 << 10, 4 << 20] };
+    let mut a = fast(T3d::new());
+    let mut b = fast(T3d::new());
+    assert_eq!(local_load_surface(&mut a, &grid), local_load_surface(&mut b, &grid));
+}
+
+#[test]
+fn cost_models_are_deterministic() {
+    let mut a = fast(T3e::new());
+    let mut b = fast(T3e::new());
+    let ma = CostModel::characterize(&mut a, &[1, 16], 32 << 20);
+    let mb = CostModel::characterize(&mut b, &[1, 16], 32 << 20);
+    assert_eq!(ma, mb);
+}
+
+#[test]
+fn fft_benchmark_is_deterministic() {
+    let a = run_benchmark(MachineId::CrayT3d, 64, 4);
+    let b = run_benchmark(MachineId::CrayT3d, 64, 4);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,155 @@
+//! Integration tests for the six headline findings of the paper, as listed
+//! in DESIGN.md §1 — each asserted end-to-end through the facade crate.
+
+use gasnub::core::cost::{CostModel, Strategy};
+use gasnub::fft::run_benchmark;
+use gasnub::machines::{Dec8400, Machine, MachineId, MeasureLimits, T3d, T3e};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+fn fast<M: Machine>(mut m: M) -> M {
+    m.set_limits(MeasureLimits::fast());
+    m
+}
+
+/// Finding 1: local bandwidth plateaus track the cache hierarchy, and
+/// strided DRAM accesses collapse by an order of magnitude vs. contiguous.
+#[test]
+fn finding_1_plateaus_track_the_hierarchy() {
+    let mut dec = fast(Dec8400::new());
+    let l1 = dec.local_load(4 * KB, 1).mb_s;
+    let l2 = dec.local_load(64 * KB, 1).mb_s;
+    let l3 = dec.local_load(2 * MB, 1).mb_s;
+    let dram = dec.local_load(32 * MB, 1).mb_s;
+    assert!(l1 > l2 && l2 > l3 && l3 > dram, "{l1} > {l2} > {l3} > {dram} expected");
+
+    let dram_strided = dec.local_load(32 * MB, 16).mb_s;
+    assert!(dram / dram_strided > 4.0, "strided collapse: {dram} vs {dram_strided}");
+
+    // The T3D has only two tiers.
+    let mut t3d = fast(T3d::new());
+    let t3d_l1 = t3d.local_load(4 * KB, 1).mb_s;
+    let t3d_dram = t3d.local_load(8 * MB, 1).mb_s;
+    assert!(t3d_l1 > 2.0 * t3d_dram);
+}
+
+/// Finding 2: remote bandwidth on the 8400 is an order of magnitude below
+/// its local peak (1100 -> 140 MB/s).
+#[test]
+fn finding_2_remote_is_an_order_of_magnitude_below_local() {
+    let mut dec = fast(Dec8400::new());
+    let local_peak = dec.local_load(4 * KB, 1).mb_s;
+    let remote_peak = dec.remote_load(32 * MB, 1).unwrap().mb_s;
+    let ratio = local_peak / remote_peak;
+    assert!(ratio > 5.0 && ratio < 12.0, "local/remote ratio {ratio} (paper: 1100/140 ≈ 7.9)");
+}
+
+/// Finding 3: the T3D's streams-focused design beats the cache-focused
+/// 8400 for large strided transfers despite half the clock, and deposit
+/// beats naive fetch on the T3D.
+#[test]
+fn finding_3_t3d_streams_beat_8400_caches_for_strided_transfers() {
+    let mut t3d = fast(T3d::new());
+    let mut dec = fast(Dec8400::new());
+    let t3d_strided = t3d.remote_deposit(8 * MB, 16).unwrap().mb_s;
+    let dec_strided = dec.remote_fetch(32 * MB, 16).unwrap().mb_s;
+    assert!(
+        t3d_strided > 2.0 * dec_strided,
+        "paper: 55 vs 22 MB/s; got {t3d_strided} vs {dec_strided}"
+    );
+
+    let deposit = t3d.remote_deposit(8 * MB, 1).unwrap().mb_s;
+    let fetch = t3d.remote_fetch(8 * MB, 1).unwrap().mb_s;
+    assert!(deposit > 3.0 * fetch, "deposit {deposit} must dominate naive fetch {fetch}");
+}
+
+/// Finding 4: the T3E's E-registers make fetch and deposit symmetric at
+/// ~350 MB/s contiguous — 4x the T3D and 2x the 8400 — but even-stride
+/// deposits ripple down with destination bank conflicts.
+#[test]
+fn finding_4_t3e_eregisters() {
+    let mut t3e = fast(T3e::new());
+    let put = t3e.remote_deposit(8 * MB, 1).unwrap().mb_s;
+    let get = t3e.remote_fetch(8 * MB, 1).unwrap().mb_s;
+    assert!((put - get).abs() / put < 0.1, "symmetry: {put} vs {get}");
+
+    let mut t3d = fast(T3d::new());
+    let mut dec = fast(Dec8400::new());
+    assert!(put / t3d.remote_deposit(8 * MB, 1).unwrap().mb_s > 2.4);
+    assert!(put / dec.remote_load(32 * MB, 1).unwrap().mb_s > 1.7);
+
+    let even = t3e.remote_deposit(8 * MB, 16).unwrap().mb_s;
+    let odd = t3e.remote_deposit(8 * MB, 15).unwrap().mb_s;
+    assert!(odd > 1.5 * even, "even-stride ripples: odd {odd} vs even {even}");
+}
+
+/// Finding 5: strided DRAM load bandwidth is stuck across Cray generations
+/// (43 -> 42 MB/s) while contiguous more than doubled.
+#[test]
+fn finding_5_strided_dram_stuck_across_generations() {
+    let mut t3d = fast(T3d::new());
+    let mut t3e = fast(T3e::new());
+    let t3d_strided = t3d.local_load(8 * MB, 16).mb_s;
+    let t3e_strided = t3e.local_load(8 * MB, 16).mb_s;
+    let stuck_ratio = t3e_strided / t3d_strided;
+    assert!(stuck_ratio > 0.7 && stuck_ratio < 1.4, "stuck: {t3d_strided} -> {t3e_strided}");
+
+    let t3d_contig = t3d.local_load(8 * MB, 1).mb_s;
+    let t3e_contig = t3e.local_load(8 * MB, 1).mb_s;
+    assert!(t3e_contig / t3d_contig > 1.8, "contiguous doubled: {t3d_contig} -> {t3e_contig}");
+}
+
+/// Finding 6: in the 2D-FFT the 8400's ~2.5x compute advantage over the T3D
+/// shrinks to well under 2x overall because its communication is no better,
+/// and the T3E wins overall.
+#[test]
+fn finding_6_fft_compute_advantage_shrinks() {
+    let t3d = run_benchmark(MachineId::CrayT3d, 256, 4);
+    let dec = run_benchmark(MachineId::Dec8400, 256, 4);
+    let t3e = run_benchmark(MachineId::CrayT3e, 256, 4);
+
+    let compute_ratio = dec.compute_mflops_total / t3d.compute_mflops_total;
+    assert!(compute_ratio > 2.0, "compute advantage {compute_ratio} (paper: >2.5)");
+
+    let overall_ratio = dec.total_mflops / t3d.total_mflops;
+    assert!(
+        overall_ratio < compute_ratio * 0.8 && overall_ratio > 1.2,
+        "overall advantage {overall_ratio} must shrink below compute advantage {compute_ratio}"
+    );
+
+    // Communication: "approximately the same performance level".
+    let comm_ratio = dec.comm_mb_s_total / t3d.comm_mb_s_total;
+    assert!(comm_ratio > 0.5 && comm_ratio < 2.0, "8400 ≈ T3D comm: {comm_ratio}");
+
+    // The T3E wins overall.
+    assert!(t3e.total_mflops > dec.total_mflops);
+    assert!(t3e.total_mflops > 2.0 * t3d.total_mflops);
+}
+
+/// §9's compiler guidance falls out of the measured cost model.
+#[test]
+fn cost_model_reproduces_section_9_guidance() {
+    let strides = [15u64, 16];
+    let words = 1 << 20;
+
+    let mut t3d = fast(T3d::new());
+    let model = CostModel::characterize(&mut t3d, &strides, 32 * MB);
+    for &s in &strides {
+        assert_eq!(model.best(words, s).strategy, Strategy::Deposit, "T3D pushes");
+    }
+
+    let mut t3e = fast(T3e::new());
+    let model = CostModel::characterize(&mut t3e, &strides, 32 * MB);
+    assert_eq!(model.best(words, 16).strategy, Strategy::Fetch, "T3E pulls even strides");
+
+    let mut dec = fast(Dec8400::new());
+    let model = CostModel::characterize(&mut dec, &strides, 32 * MB);
+    for &s in &strides {
+        let best = model.best(words, s);
+        assert!(
+            matches!(best.strategy, Strategy::Fetch | Strategy::BlockedFetch),
+            "the 8400 can only pull (blocked or straight), and packing must not win: {best:?}"
+        );
+    }
+}
