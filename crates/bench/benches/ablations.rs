@@ -1,16 +1,17 @@
-//! Criterion bench for the ablation suite (DESIGN.md's design-choice table).
+//! Bench for the ablation suite (DESIGN.md's design-choice table).
+//! Plain `std::time::Instant` timing — no external harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use gasnub_bench::ablations;
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     let all = ablations::run_all();
     println!("\n==== ablations\n{}", ablations::render(&all));
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
-    group.bench_function("run_all", |b| b.iter(ablations::run_all));
-    group.finish();
+    let iters = 10u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(ablations::run_all());
+    }
+    println!("ablations/run_all  {:?}/iter", start.elapsed() / iters);
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

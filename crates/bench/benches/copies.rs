@@ -1,19 +1,20 @@
-//! Criterion benches for the large copy-transfer series (figs 9-14).
+//! Benches for the large copy-transfer series (figs 9-14).
+//! Plain `std::time::Instant` timing — no external harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use gasnub_bench::figure_by_id;
 
-fn bench_copies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("copies");
-    group.sample_size(10);
+fn main() {
     for id in ["fig09", "fig10", "fig11", "fig12", "fig13", "fig14"] {
         let fig = figure_by_id(id).expect("figure exists");
         let out = fig.run(true);
         println!("\n==== {} — {}\n{}", fig.id, fig.title, out.text);
-        group.bench_function(id, |b| b.iter(|| fig.run(true)));
+        let iters = 10u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(fig.run(true));
+        }
+        println!("{id}  {:?}/iter", start.elapsed() / iters);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_copies);
-criterion_main!(benches);

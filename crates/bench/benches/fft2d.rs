@@ -1,34 +1,31 @@
-//! Criterion benches for the 2D-FFT application kernel (figs 15-17).
+//! Benches for the 2D-FFT application kernel (figs 15-17).
+//! Plain `std::time::Instant` timing — no external harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use gasnub_bench::figure_by_id;
 use gasnub_fft::run_benchmark;
 use gasnub_machines::MachineId;
 
-fn bench_fft_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft2d_figures");
-    group.sample_size(10);
+fn main() {
     for id in ["fig15", "fig16", "fig17"] {
         let fig = figure_by_id(id).expect("figure exists");
         let out = fig.run(true);
         println!("\n==== {} — {}\n{}", fig.id, fig.title, out.text);
-        group.bench_function(id, |b| b.iter(|| fig.run(true)));
+        let iters = 10u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(fig.run(true));
+        }
+        println!("{id}  {:?}/iter", start.elapsed() / iters);
     }
-    group.finish();
-}
 
-fn bench_single_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft2d_single");
-    group.sample_size(10);
     for machine in [MachineId::CrayT3d, MachineId::Dec8400, MachineId::CrayT3e] {
-        group.bench_with_input(
-            BenchmarkId::new("n256_4pe", machine.label()),
-            &machine,
-            |b, &m| b.iter(|| run_benchmark(m, 256, 4)),
-        );
+        let iters = 10u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(run_benchmark(machine, 256, 4));
+        }
+        println!("fft2d_single/n256_4pe/{}  {:?}/iter", machine.label(), start.elapsed() / iters);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fft_figures, bench_single_runs);
-criterion_main!(benches);

@@ -1,24 +1,24 @@
-//! Criterion benches for the local-load surfaces (figs 1, 3, 6).
+//! Benches for the local-load surfaces (figs 1, 3, 6).
 //!
-//! Each iteration regenerates the figure's data series on a reduced grid
-//! and reports the series once, so `cargo bench` both times the simulator
-//! and prints the reproduced rows.
+//! Each run regenerates the figure's data series on a reduced grid and
+//! reports the series once, so `cargo bench` both times the simulator and
+//! prints the reproduced rows. Plain `std::time::Instant` timing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use gasnub_bench::figure_by_id;
 
-fn bench_local_surfaces(c: &mut Criterion) {
-    let mut group = c.benchmark_group("local_surfaces");
-    group.sample_size(10);
+fn main() {
     for id in ["fig01", "fig03", "fig06"] {
         let fig = figure_by_id(id).expect("figure exists");
         // Print the series once per figure so bench output carries the data.
         let out = fig.run(true);
         println!("\n==== {} — {}\n{}", fig.id, fig.title, out.text);
-        group.bench_function(id, |b| b.iter(|| fig.run(true)));
+        let iters = 10u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(fig.run(true));
+        }
+        println!("{id}  {:?}/iter", start.elapsed() / iters);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_local_surfaces);
-criterion_main!(benches);

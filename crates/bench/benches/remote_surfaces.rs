@@ -1,19 +1,20 @@
-//! Criterion benches for the remote-transfer surfaces (figs 2, 4, 5, 7, 8).
+//! Benches for the remote-transfer surfaces (figs 2, 4, 5, 7, 8).
+//! Plain `std::time::Instant` timing — no external harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use gasnub_bench::figure_by_id;
 
-fn bench_remote_surfaces(c: &mut Criterion) {
-    let mut group = c.benchmark_group("remote_surfaces");
-    group.sample_size(10);
+fn main() {
     for id in ["fig02", "fig04", "fig05", "fig07", "fig08"] {
         let fig = figure_by_id(id).expect("figure exists");
         let out = fig.run(true);
         println!("\n==== {} — {}\n{}", fig.id, fig.title, out.text);
-        group.bench_function(id, |b| b.iter(|| fig.run(true)));
+        let iters = 10u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(fig.run(true));
+        }
+        println!("{id}  {:?}/iter", start.elapsed() / iters);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_remote_surfaces);
-criterion_main!(benches);

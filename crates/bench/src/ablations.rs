@@ -5,10 +5,9 @@
 //! mechanism alone.
 
 use gasnub_machines::{Dec8400, Machine, MachineId, MeasureLimits, T3d, T3e};
-use serde::{Deserialize, Serialize};
 
 /// One ablation result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ablation {
     /// Stable identifier.
     pub id: &'static str,

@@ -6,10 +6,9 @@
 //! decide who supplies a line and what bus traffic a processor operation
 //! generates, and the unit tests double as the protocol's specification.
 
-use serde::{Deserialize, Serialize};
 
 /// The four MESI states of a cache line in one processor's cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MesiState {
     /// Dirty, exclusively owned: memory is stale, this cache must supply.
     Modified,
@@ -22,7 +21,7 @@ pub enum MesiState {
 }
 
 /// A local processor operation on a line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcessorOp {
     /// The processor reads the line.
     Read,
@@ -31,7 +30,7 @@ pub enum ProcessorOp {
 }
 
 /// A snooped bus transaction issued by *another* processor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SnoopOp {
     /// Another processor's read miss (BusRd).
     BusRead,
@@ -40,7 +39,7 @@ pub enum SnoopOp {
 }
 
 /// Bus traffic a local operation generates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BusAction {
     /// No bus transaction needed (hit in a sufficient state).
     None,
@@ -52,7 +51,7 @@ pub enum BusAction {
 
 /// Result of snooping a remote transaction: the follower's new state and
 /// whether it must flush (supply) its dirty copy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SnoopResult {
     /// New state of the snooping cache's copy.
     pub next: MesiState,

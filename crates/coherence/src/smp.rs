@@ -9,9 +9,8 @@
 //! point. We measure the transfer bandwidth of the second processor while it
 //! is pulling the data over."
 
-use serde::{Deserialize, Serialize};
 
-use gasnub_interconnect::bus::{Bus, BusConfig};
+use gasnub_interconnect::bus::{Bus, BusConfig, BusJitterConfig};
 use gasnub_memsim::access::Access;
 use gasnub_memsim::config::NodeConfig;
 use gasnub_memsim::dram::{Dram, DramConfig};
@@ -22,7 +21,7 @@ use gasnub_memsim::{Addr, ConfigError, WORD_BYTES};
 use crate::directory::Directory;
 
 /// Coherence-protocol cost parameters (CPU cycles).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolConfig {
     /// Fixed protocol latency per coherent miss beyond bus occupancy and the
     /// supplier (miss detection, snoop response collection).
@@ -53,7 +52,7 @@ impl ProtocolConfig {
 }
 
 /// Static description of the whole SMP.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SmpConfig {
     /// Number of processors on the bus.
     pub nodes: usize,
@@ -150,6 +149,18 @@ impl SnoopingSmp {
     /// Total coherent bus transactions so far.
     pub fn bus_transactions(&self) -> u64 {
         self.bus.transactions()
+    }
+
+    /// Attaches (or removes) deterministic arbitration-stall jitter on the
+    /// shared bus — the degraded-arbiter fault model. The jitter stream is
+    /// indexed by transaction count, so a [`SnoopingSmp::flush`] restarts it
+    /// and repeated runs stay reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusJitterConfig::validate`] errors.
+    pub fn set_bus_jitter(&mut self, jitter: Option<BusJitterConfig>) -> Result<(), ConfigError> {
+        self.bus.set_jitter(jitter)
     }
 
     /// Flushes all caches, the bus, home memory and the directory.
@@ -474,6 +485,23 @@ mod tests {
             shared > 5.0 * private,
             "false sharing must ping-pong: {shared} vs {private} cycles/store"
         );
+    }
+
+    #[test]
+    fn bus_jitter_slows_pulls_deterministically() {
+        let words = 64 * 1024 / 8;
+        let run = |jitter: Option<BusJitterConfig>| {
+            let mut sys = smp();
+            sys.set_bus_jitter(jitter).unwrap();
+            sys.producer_store(1, StorePass::new(0, words, 1));
+            let stats = sys.consumer_pull(0, StridedPass::new(0, words, 1));
+            stats.cycles
+        };
+        let clean = run(None);
+        let jitter = BusJitterConfig { amplitude_bus_cycles: 8.0, seed: 42 };
+        let jittered = run(Some(jitter.clone()));
+        assert!(jittered > clean, "arbitration jitter must cost cycles: {jittered} vs {clean}");
+        assert_eq!(jittered, run(Some(jitter)), "same seed, same cycle count");
     }
 
     #[test]

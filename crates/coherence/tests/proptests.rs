@@ -3,7 +3,7 @@
 
 use gasnub_coherence::directory::Directory;
 use gasnub_coherence::mesi::MesiState;
-use proptest::prelude::*;
+use gasnub_memsim::rng::{run_cases, Rng};
 
 /// One random protocol event.
 #[derive(Debug, Clone, Copy)]
@@ -13,12 +13,14 @@ enum Op {
     Evict { node: usize, line: u64 },
 }
 
-fn arb_op(nodes: usize, lines: u64) -> impl Strategy<Value = Op> {
-    (0..nodes, 0..lines, 0u8..3).prop_map(move |(node, line, kind)| match kind {
+fn arb_op(rng: &mut Rng, nodes: u64, lines: u64) -> Op {
+    let node = rng.gen_range(0, nodes) as usize;
+    let line = rng.gen_range(0, lines);
+    match rng.gen_range(0, 3) {
         0 => Op::Read { node, line },
         1 => Op::Write { node, line },
         _ => Op::Evict { node, line },
-    })
+    }
 }
 
 fn apply(dir: &mut Directory, op: Op, line_bytes: u64) {
@@ -35,80 +37,86 @@ fn apply(dir: &mut Directory, op: Op, line_bytes: u64) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// SWMR (single writer, multiple readers): after any event sequence,
-    /// no line has a Modified copy coexisting with any other valid copy.
-    #[test]
-    fn single_writer_invariant(
-        ops in prop::collection::vec(arb_op(4, 16), 1..200),
-    ) {
+/// SWMR (single writer, multiple readers): after any event sequence,
+/// no line has a Modified copy coexisting with any other valid copy.
+#[test]
+fn single_writer_invariant() {
+    run_cases(0x5312, 128, |rng| {
         let line_bytes = 64;
         let mut dir = Directory::new(4, line_bytes);
-        for &op in &ops {
+        for _ in 0..rng.gen_range(1, 200) {
+            let op = arb_op(rng, 4, 16);
             apply(&mut dir, op, line_bytes);
             for line in 0..16u64 {
                 let addr = line * line_bytes;
                 let states: Vec<MesiState> = (0..4).map(|n| dir.state(n, addr)).collect();
                 let modified = states.iter().filter(|&&s| s == MesiState::Modified).count();
                 let valid = states.iter().filter(|&&s| s != MesiState::Invalid).count();
-                prop_assert!(modified <= 1, "two writers on line {line}: {states:?}");
+                assert!(modified <= 1, "two writers on line {line}: {states:?}");
                 if modified == 1 {
-                    prop_assert_eq!(valid, 1, "Modified must be exclusive on line {}: {:?}",
-                        line, states);
+                    assert_eq!(valid, 1, "Modified must be exclusive on line {line}: {states:?}");
                 }
                 // Exclusive is exclusive too.
                 let exclusive = states.iter().filter(|&&s| s == MesiState::Exclusive).count();
                 if exclusive == 1 {
-                    prop_assert_eq!(valid, 1, "Exclusive must be alone on line {}: {:?}",
-                        line, states);
+                    assert_eq!(valid, 1, "Exclusive must be alone on line {line}: {states:?}");
                 }
             }
         }
-    }
+    });
+}
 
-    /// A write always leaves the writer as the (only) dirty owner.
-    #[test]
-    fn writer_becomes_dirty_owner(
-        prefix in prop::collection::vec(arb_op(4, 8), 0..100),
-        node in 0usize..4,
-        line in 0u64..8,
-    ) {
+/// A write always leaves the writer as the (only) dirty owner.
+#[test]
+fn writer_becomes_dirty_owner() {
+    run_cases(0x3317E2, 128, |rng| {
         let line_bytes = 64;
         let mut dir = Directory::new(4, line_bytes);
-        for &op in &prefix {
+        for _ in 0..rng.gen_range(0, 100) {
+            let op = arb_op(rng, 4, 8);
             apply(&mut dir, op, line_bytes);
         }
+        let node = rng.gen_range(0, 4) as usize;
+        let line = rng.gen_range(0, 8);
         dir.record_write(node, line * line_bytes);
-        prop_assert_eq!(dir.dirty_owner(line * line_bytes), Some(node));
-    }
+        assert_eq!(dir.dirty_owner(line * line_bytes), Some(node));
+    });
+}
 
-    /// A read after a remote write is supplied by the dirty owner, and the
-    /// ownership is gone afterwards.
-    #[test]
-    fn read_after_write_is_supplied_and_downgrades(
-        writer in 0usize..4,
-        reader in 0usize..4,
-        line in 0u64..8,
-    ) {
-        prop_assume!(writer != reader);
+/// A read after a remote write is supplied by the dirty owner, and the
+/// ownership is gone afterwards.
+#[test]
+fn read_after_write_is_supplied_and_downgrades() {
+    run_cases(0x3EAD, 128, |rng| {
+        let writer = rng.gen_range(0, 4) as usize;
+        let reader = rng.gen_range(0, 4) as usize;
+        if writer == reader {
+            return;
+        }
+        let line = rng.gen_range(0, 8);
         let line_bytes = 64;
         let mut dir = Directory::new(4, line_bytes);
         let addr = line * line_bytes;
         dir.record_write(writer, addr);
         let supplied = dir.record_read(reader, addr);
-        prop_assert!(supplied, "the dirty owner must intervene");
-        prop_assert_eq!(dir.dirty_owner(addr), None);
-        prop_assert_eq!(dir.state(writer, addr), MesiState::Shared);
-        prop_assert_eq!(dir.state(reader, addr), MesiState::Shared);
-    }
+        assert!(supplied, "the dirty owner must intervene");
+        assert_eq!(dir.dirty_owner(addr), None);
+        assert_eq!(dir.state(writer, addr), MesiState::Shared);
+        assert_eq!(dir.state(reader, addr), MesiState::Shared);
+    });
+}
 
-    /// Lines never interfere: operations on one line leave every other
-    /// line's state untouched.
-    #[test]
-    fn line_isolation(a in 0u64..8, b in 0u64..8, node in 0usize..4) {
-        prop_assume!(a != b);
+/// Lines never interfere: operations on one line leave every other
+/// line's state untouched.
+#[test]
+fn line_isolation() {
+    run_cases(0x11EA, 128, |rng| {
+        let a = rng.gen_range(0, 8);
+        let b = rng.gen_range(0, 8);
+        let node = rng.gen_range(0, 4) as usize;
+        if a == b {
+            return;
+        }
         let line_bytes = 64;
         let mut dir = Directory::new(4, line_bytes);
         dir.record_write(0, b * line_bytes);
@@ -116,6 +124,6 @@ proptest! {
         dir.record_write(node, a * line_bytes);
         dir.record_read((node + 1) % 4, a * line_bytes);
         let after: Vec<MesiState> = (0..4).map(|n| dir.state(n, b * line_bytes)).collect();
-        prop_assert_eq!(before, after);
-    }
+        assert_eq!(before, after);
+    });
 }

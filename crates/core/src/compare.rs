@@ -9,12 +9,11 @@
 //! memory systems design philosophies, i.e. a cache focus on the DEC
 //! machine and a streams focus on the Cray machines."
 
-use serde::{Deserialize, Serialize};
 
 use gasnub_machines::{Machine, MachineId};
 
 /// The §9 summary row for one machine (all MB/s, large working sets).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineSummary {
     /// Which machine.
     pub machine: MachineId,
@@ -70,7 +69,7 @@ impl MachineSummary {
 }
 
 /// The full §9 comparison across machines.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
     /// One summary per machine, in the order measured.
     pub rows: Vec<MachineSummary>,

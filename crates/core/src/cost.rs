@@ -17,13 +17,12 @@
 //!   that this "never pays off" on these machines because remote bandwidth
 //!   is at least local copy bandwidth.
 
-use serde::{Deserialize, Serialize};
 
 use gasnub_machines::{Machine, MachineId};
 use gasnub_memsim::WORD_BYTES;
 
 /// A candidate implementation of a strided remote transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Strided remote stores (push).
     Deposit,
@@ -66,7 +65,7 @@ impl std::fmt::Display for Strategy {
 }
 
 /// A priced strategy for a concrete transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransferEstimate {
     /// The strategy priced.
     pub strategy: Strategy,
@@ -77,7 +76,7 @@ pub struct TransferEstimate {
 }
 
 /// Bandwidths (MB/s) measured for one stride.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct StrideRates {
     stride: u64,
     deposit: Option<f64>,
@@ -93,7 +92,7 @@ struct StrideRates {
 const BLOCK_SYNC_US: f64 = 20.0;
 
 /// A measured per-machine cost model over a set of strides.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     machine: MachineId,
     clock_mhz: f64,

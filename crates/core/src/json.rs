@@ -1,0 +1,363 @@
+//! A minimal JSON reader/writer for sweep checkpoints.
+//!
+//! The repository builds without external crates, so the resilient sweep
+//! runner persists its checkpoints through this small, dependency-free
+//! module. It covers exactly the JSON subset the checkpoints use — objects,
+//! arrays, strings, booleans, `null`, and *unsigned integers* — and nothing
+//! more. Floating-point bandwidths are stored as their IEEE-754 bit
+//! patterns (`f64::to_bits`), which round-trip exactly where a decimal
+//! rendering would not; that is what makes resumed sweeps bit-identical.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use gasnub_memsim::SimError;
+
+/// A JSON value (checkpoint subset: numbers are unsigned integers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (covers counts, axes, and `f64::to_bits`).
+    U64(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object. Keys are sorted (BTreeMap), so rendering is canonical:
+    /// the same value always serializes to the same bytes.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// The value of an object's field, if this is an object holding it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// This value as a `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value's elements, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value to canonical (sorted-key, no-whitespace) JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Malformed`] on any syntax error, trailing
+    /// garbage, or a number outside the supported unsigned-integer subset.
+    pub fn parse(text: &str) -> Result<Json, SimError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(SimError::malformed(format!("trailing data at byte {pos}")));
+        }
+        Ok(value)
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), SimError> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(SimError::malformed(format!("expected '{}' at byte {}", b as char, *pos)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, SimError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() => parse_number(bytes, pos),
+        _ => Err(SimError::malformed(format!("unexpected input at byte {}", *pos))),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, SimError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(SimError::malformed(format!("expected '{word}' at byte {}", *pos)))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, SimError> {
+    let start = *pos;
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if let Some(b'.' | b'e' | b'E' | b'-' | b'+') = bytes.get(*pos) {
+        return Err(SimError::malformed(format!(
+            "only unsigned integers are supported (byte {start})"
+        )));
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| SimError::malformed("non-utf8 number"))?;
+    text.parse::<u64>()
+        .map(Json::U64)
+        .map_err(|_| SimError::malformed(format!("number out of range at byte {start}")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, SimError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(SimError::malformed("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| SimError::malformed("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| SimError::malformed("non-utf8 \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| SimError::malformed("bad \\u escape"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| SimError::malformed("invalid \\u code point"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(SimError::malformed("unknown escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one (possibly multi-byte) UTF-8 character.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| SimError::malformed("non-utf8 string"))?;
+                let c = rest.chars().next().ok_or_else(|| SimError::malformed("empty char"))?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, SimError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(SimError::malformed(format!("expected ',' or ']' at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, SimError> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            _ => return Err(SimError::malformed(format!("expected ',' or '}}' at byte {}", *pos))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "18446744073709551615", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.render(), text);
+            assert_eq!(Json::parse(&v.render()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn f64_bits_round_trip_exactly() {
+        for x in [0.0, -0.0, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE, f64::NAN] {
+            let v = Json::U64(x.to_bits());
+            let back = Json::parse(&v.render()).unwrap().as_u64().unwrap();
+            assert_eq!(back, x.to_bits());
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::object([
+            ("title", Json::Str("T3E remote deposit (\"fig 8\")\n".into())),
+            ("axes", Json::Array(vec![Json::U64(1), Json::U64(2)])),
+            ("done", Json::Bool(false)),
+            ("gap", Json::Null),
+        ]);
+        let text = v.render();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn canonical_rendering_sorts_keys() {
+        let a = Json::object([("b", Json::U64(1)), ("a", Json::U64(2))]);
+        assert_eq!(a.render(), "{\"a\":2,\"b\":1}");
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = Json::parse(" { \"k\" : [ 1 , 2 ] , \"s\" : \"x\" } ").unwrap();
+        assert_eq!(v.get("k").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for text in ["", "{", "[1,", "\"open", "{\"a\" 1}", "1.5", "-3", "1e9", "true false", "{]"] {
+            assert!(Json::parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn accessors_reject_wrong_shapes() {
+        let v = Json::U64(3);
+        assert!(v.get("x").is_none());
+        assert!(v.as_str().is_none());
+        assert!(v.as_array().is_none());
+        assert_eq!(v.as_u64(), Some(3));
+    }
+}

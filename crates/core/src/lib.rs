@@ -28,6 +28,9 @@
 //!   grid axes;
 //! * [`surface`] — the 2D bandwidth surface (figs 1-8) with CSV and
 //!   terminal rendering;
+//! * [`resilient`] — a checkpointed, resumable, panic-isolating sweep
+//!   runner (with [`json`] as its dependency-free persistence format) for
+//!   long or degraded-machine sweeps;
 //! * [`profile`] — one-call characterization of a machine (all surfaces);
 //! * [`cost`] — the compiler-facing cost model: given the measured
 //!   characterization, pick the cheapest way to implement a transfer
@@ -52,8 +55,10 @@
 pub mod bench;
 pub mod compare;
 pub mod cost;
+pub mod json;
 pub mod profile;
 pub mod report;
+pub mod resilient;
 pub mod surface;
 pub mod sweep;
 
@@ -64,5 +69,6 @@ pub use bench::{
 pub use compare::{Comparison, MachineSummary};
 pub use cost::{CostModel, Strategy, TransferEstimate};
 pub use profile::MachineProfile;
+pub use resilient::{FailedCell, ResilientSweep, SweepOutcome};
 pub use surface::Surface;
 pub use sweep::Grid;

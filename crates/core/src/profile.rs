@@ -1,7 +1,6 @@
 //! One-call characterization of a machine: every surface the paper draws
 //! for it, bundled with a text report.
 
-use serde::{Deserialize, Serialize};
 
 use gasnub_machines::{Machine, MachineId};
 
@@ -13,7 +12,7 @@ use crate::surface::Surface;
 use crate::sweep::Grid;
 
 /// The full characterization of one machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineProfile {
     /// Which machine was profiled.
     pub machine: MachineId,

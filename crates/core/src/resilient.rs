@@ -1,0 +1,435 @@
+//! A resilient sweep runner: checkpointed, resumable, panic-isolating.
+//!
+//! The paper's surfaces are thousands of simulated measurements; on a
+//! degraded machine model (or a buggy experimental one) a single cell can
+//! panic, and a long sweep can outlive a batch-queue time slot. This runner
+//! makes the sweep loop of [`crate::bench`] robust:
+//!
+//! * **Checkpointing** — after every measured cell the partial surface is
+//!   written to a JSON checkpoint (atomically: temp file + rename), so an
+//!   interrupted sweep loses at most one cell.
+//! * **Resume** — re-running with the same checkpoint path skips every cell
+//!   already recorded and produces a surface *bit-identical* to an
+//!   uninterrupted run: bandwidths are persisted as `f64::to_bits`.
+//! * **Panic isolation** — a cell that panics is caught with
+//!   `catch_unwind`, recorded as failed (its cell renders as `NaN`), and
+//!   the sweep moves on.
+//! * **Wall-clock budget** — an optional time budget stops the sweep
+//!   between cells and reports the remainder as pending instead of running
+//!   past a deadline.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use gasnub_memsim::SimError;
+
+use crate::json::Json;
+use crate::surface::Surface;
+use crate::sweep::Grid;
+
+/// A cell whose probe panicked or reported the operation unsupported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedCell {
+    /// The cell's working set in bytes.
+    pub ws_bytes: u64,
+    /// The cell's stride in words.
+    pub stride: u64,
+    /// The panic message or failure reason.
+    pub error: String,
+}
+
+/// The result of a resilient sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// The (possibly partial) surface. Failed and pending cells are `NaN`.
+    pub surface: Surface,
+    /// Cells measured during *this* run.
+    pub measured: usize,
+    /// Cells restored from the checkpoint instead of re-measured.
+    pub resumed: usize,
+    /// Cells whose probe panicked or was unsupported (never retried).
+    pub failed: Vec<FailedCell>,
+    /// Cells not attempted because the budget or cell cap ran out.
+    pub pending: usize,
+}
+
+impl SweepOutcome {
+    /// Whether every cell was either measured or recorded as failed.
+    pub fn is_complete(&self) -> bool {
+        self.pending == 0
+    }
+}
+
+/// Checkpointed sweep driver; see the module docs.
+#[derive(Debug, Clone)]
+pub struct ResilientSweep {
+    checkpoint: PathBuf,
+    budget: Option<Duration>,
+    max_cells: Option<usize>,
+}
+
+impl ResilientSweep {
+    /// Creates a runner persisting its checkpoint at `checkpoint`.
+    pub fn new(checkpoint: impl Into<PathBuf>) -> Self {
+        ResilientSweep { checkpoint: checkpoint.into(), budget: None, max_cells: None }
+    }
+
+    /// Limits the wall-clock time spent measuring. The budget is checked
+    /// *between* cells: a sweep never abandons a cell mid-measurement.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Limits how many cells this run may measure (useful for slot-sized
+    /// chunks of a long sweep, and for testing resume).
+    pub fn with_max_cells(mut self, max_cells: usize) -> Self {
+        self.max_cells = Some(max_cells);
+        self
+    }
+
+    /// The checkpoint path.
+    pub fn checkpoint_path(&self) -> &Path {
+        &self.checkpoint
+    }
+
+    /// Removes the checkpoint, so the next run starts from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] if the file exists but cannot be removed.
+    pub fn clear_checkpoint(&self) -> Result<(), SimError> {
+        match std::fs::remove_file(&self.checkpoint) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(SimError::io(format!("removing {}: {e}", self.checkpoint.display()))),
+        }
+    }
+
+    /// Runs (or resumes) the sweep of `grid` with `probe`.
+    ///
+    /// `probe` returns the cell's bandwidth in MB/s, or `None` when the
+    /// operation is unsupported on this machine (recorded as failed).
+    /// The checkpoint is rewritten after every attempted cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Malformed`] when an existing checkpoint does not
+    /// parse or belongs to a different sweep (title or axes differ), and
+    /// [`SimError::Io`] when the checkpoint cannot be read or written.
+    pub fn run(
+        &self,
+        title: &str,
+        grid: &Grid,
+        mut probe: impl FnMut(u64, u64) -> Option<f64>,
+    ) -> Result<SweepOutcome, SimError> {
+        let mut state = self.load_state(title, grid)?;
+        let resumed = state.done.len();
+        let started = Instant::now();
+        let mut measured = 0usize;
+        let mut pending = 0usize;
+
+        for &ws in &grid.working_sets {
+            for &stride in &grid.strides {
+                let key = (ws, stride);
+                if state.done.contains_key(&key) || state.failed.contains_key(&key) {
+                    continue;
+                }
+                let over_budget = self.budget.is_some_and(|b| started.elapsed() >= b);
+                let over_cells = self.max_cells.is_some_and(|m| measured >= m);
+                if over_budget || over_cells {
+                    pending += 1;
+                    continue;
+                }
+                match catch_unwind(AssertUnwindSafe(|| probe(ws, stride))) {
+                    Ok(Some(mb_s)) => {
+                        state.done.insert(key, mb_s.to_bits());
+                    }
+                    Ok(None) => {
+                        state.failed.insert(key, "operation unsupported on this machine".into());
+                    }
+                    Err(panic) => {
+                        state.failed.insert(key, panic_text(panic.as_ref()));
+                    }
+                }
+                measured += 1;
+                self.save_state(title, grid, &state)?;
+            }
+        }
+
+        let values = grid
+            .working_sets
+            .iter()
+            .map(|&ws| {
+                grid.strides
+                    .iter()
+                    .map(|&stride| {
+                        state.done.get(&(ws, stride)).map_or(f64::NAN, |&bits| f64::from_bits(bits))
+                    })
+                    .collect()
+            })
+            .collect();
+        let surface =
+            Surface::new(title, grid.strides.clone(), grid.working_sets.clone(), values);
+        let failed = state
+            .failed
+            .iter()
+            .map(|(&(ws_bytes, stride), error)| FailedCell { ws_bytes, stride, error: error.clone() })
+            .collect();
+        Ok(SweepOutcome { surface, measured, resumed, failed, pending })
+    }
+
+    fn load_state(&self, title: &str, grid: &Grid) -> Result<SweepState, SimError> {
+        let text = match std::fs::read_to_string(&self.checkpoint) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(SweepState::default());
+            }
+            Err(e) => {
+                return Err(SimError::io(format!("reading {}: {e}", self.checkpoint.display())))
+            }
+        };
+        let doc = Json::parse(&text)?;
+        let stored_title = doc.get("title").and_then(Json::as_str);
+        if stored_title != Some(title) {
+            return Err(SimError::malformed(format!(
+                "checkpoint {} belongs to sweep {:?}, not {title:?}",
+                self.checkpoint.display(),
+                stored_title.unwrap_or("<missing>")
+            )));
+        }
+        let axis = |key: &str| -> Result<Vec<u64>, SimError> {
+            doc.get(key)
+                .and_then(Json::as_array)
+                .map(|items| items.iter().filter_map(Json::as_u64).collect::<Vec<_>>())
+                .ok_or_else(|| SimError::malformed(format!("checkpoint missing axis {key:?}")))
+        };
+        if axis("strides")? != grid.strides || axis("working_sets")? != grid.working_sets {
+            return Err(SimError::malformed(format!(
+                "checkpoint {} was taken on a different grid",
+                self.checkpoint.display()
+            )));
+        }
+        let mut state = SweepState::default();
+        for cell in doc.get("cells").and_then(Json::as_array).unwrap_or(&[]) {
+            let (ws, stride, bits) = (
+                cell.get("ws").and_then(Json::as_u64),
+                cell.get("stride").and_then(Json::as_u64),
+                cell.get("bits").and_then(Json::as_u64),
+            );
+            match (ws, stride, bits) {
+                (Some(ws), Some(stride), Some(bits)) => {
+                    state.done.insert((ws, stride), bits);
+                }
+                _ => return Err(SimError::malformed("checkpoint cell missing ws/stride/bits")),
+            }
+        }
+        for cell in doc.get("failed").and_then(Json::as_array).unwrap_or(&[]) {
+            let (ws, stride, error) = (
+                cell.get("ws").and_then(Json::as_u64),
+                cell.get("stride").and_then(Json::as_u64),
+                cell.get("error").and_then(Json::as_str),
+            );
+            match (ws, stride, error) {
+                (Some(ws), Some(stride), Some(error)) => {
+                    state.failed.insert((ws, stride), error.to_string());
+                }
+                _ => return Err(SimError::malformed("checkpoint failure missing ws/stride/error")),
+            }
+        }
+        Ok(state)
+    }
+
+    fn save_state(&self, title: &str, grid: &Grid, state: &SweepState) -> Result<(), SimError> {
+        let cells = state
+            .done
+            .iter()
+            .map(|(&(ws, stride), &bits)| {
+                Json::object([
+                    ("ws", Json::U64(ws)),
+                    ("stride", Json::U64(stride)),
+                    ("bits", Json::U64(bits)),
+                ])
+            })
+            .collect();
+        let failed = state
+            .failed
+            .iter()
+            .map(|(&(ws, stride), error)| {
+                Json::object([
+                    ("ws", Json::U64(ws)),
+                    ("stride", Json::U64(stride)),
+                    ("error", Json::Str(error.clone())),
+                ])
+            })
+            .collect();
+        let doc = Json::object([
+            ("title", Json::Str(title.to_string())),
+            ("strides", Json::Array(grid.strides.iter().map(|&s| Json::U64(s)).collect())),
+            (
+                "working_sets",
+                Json::Array(grid.working_sets.iter().map(|&w| Json::U64(w)).collect()),
+            ),
+            ("cells", Json::Array(cells)),
+            ("failed", Json::Array(failed)),
+        ]);
+        let tmp = self.checkpoint.with_extension("tmp");
+        std::fs::write(&tmp, doc.render())
+            .map_err(|e| SimError::io(format!("writing {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &self.checkpoint)
+            .map_err(|e| SimError::io(format!("renaming into {}: {e}", self.checkpoint.display())))
+    }
+}
+
+/// In-memory checkpoint state: measured bandwidths (as bits) and failures.
+#[derive(Debug, Default)]
+struct SweepState {
+    done: BTreeMap<(u64, u64), u64>,
+    failed: BTreeMap<(u64, u64), String>,
+}
+
+fn panic_text(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "cell panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A unique checkpoint path per test (tests run concurrently).
+    fn scratch(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("gasnub-ckpt-{}-{tag}-{n}.json", std::process::id()))
+    }
+
+    fn grid() -> Grid {
+        Grid { strides: vec![1, 2, 4], working_sets: vec![1024, 2048] }
+    }
+
+    /// A deterministic synthetic probe.
+    fn model(ws: u64, stride: u64) -> f64 {
+        (ws as f64).sqrt() / stride as f64 + 1.0 / 3.0
+    }
+
+    #[test]
+    fn complete_run_matches_direct_sweep() {
+        let runner = ResilientSweep::new(scratch("complete"));
+        let out = runner.run("t", &grid(), |ws, s| Some(model(ws, s))).unwrap();
+        assert!(out.is_complete());
+        assert_eq!(out.measured, grid().cells());
+        assert_eq!(out.resumed, 0);
+        assert!(out.failed.is_empty());
+        assert_eq!(out.surface.value(2048, 4), Some(model(2048, 4)));
+        runner.clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn interrupted_then_resumed_is_bit_identical() {
+        let path = scratch("resume");
+        let uninterrupted = ResilientSweep::new(scratch("direct"))
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap();
+
+        let first = ResilientSweep::new(&path)
+            .with_max_cells(3)
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap();
+        assert_eq!(first.measured, 3);
+        assert_eq!(first.pending, grid().cells() - 3);
+        assert!(!first.is_complete());
+
+        let second =
+            ResilientSweep::new(&path).run("t", &grid(), |ws, s| Some(model(ws, s))).unwrap();
+        assert_eq!(second.resumed, 3);
+        assert_eq!(second.measured, grid().cells() - 3);
+        assert!(second.is_complete());
+        // Bit-identical: compare the stored bit patterns cell by cell.
+        for &ws in &grid().working_sets {
+            for &s in &grid().strides {
+                let a = uninterrupted.surface.value(ws, s).unwrap().to_bits();
+                let b = second.surface.value(ws, s).unwrap().to_bits();
+                assert_eq!(a, b, "cell ({ws}, {s})");
+            }
+        }
+        ResilientSweep::new(&path).clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn panicking_cell_is_recorded_and_isolated() {
+        let runner = ResilientSweep::new(scratch("panic"));
+        // Silence the default panic hook's backtrace chatter for this test.
+        let prior = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = runner
+            .run("t", &grid(), |ws, s| {
+                assert!(!(ws == 2048 && s == 2), "injected failure");
+                Some(model(ws, s))
+            })
+            .unwrap();
+        std::panic::set_hook(prior);
+        assert!(out.is_complete());
+        assert_eq!(out.failed.len(), 1);
+        assert_eq!((out.failed[0].ws_bytes, out.failed[0].stride), (2048, 2));
+        assert!(out.failed[0].error.contains("injected failure"), "got {:?}", out.failed[0].error);
+        assert!(out.surface.value(2048, 2).unwrap().is_nan());
+        assert_eq!(out.surface.value(2048, 4), Some(model(2048, 4)));
+        // A resumed run does not retry the failed cell.
+        let again = runner.run("t", &grid(), |ws, s| Some(model(ws, s))).unwrap();
+        assert_eq!(again.failed.len(), 1);
+        assert_eq!(again.measured, 0);
+        runner.clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn unsupported_cells_fail_rather_than_abort() {
+        let runner = ResilientSweep::new(scratch("unsupported"));
+        let out = runner.run("t", &grid(), |_, _| None).unwrap();
+        assert_eq!(out.failed.len(), grid().cells());
+        assert!(out.failed.iter().all(|f| f.error.contains("unsupported")));
+        runner.clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn zero_budget_attempts_nothing() {
+        let runner = ResilientSweep::new(scratch("budget")).with_budget(Duration::ZERO);
+        let out = runner.run("t", &grid(), |ws, s| Some(model(ws, s))).unwrap();
+        assert_eq!(out.measured, 0);
+        assert_eq!(out.pending, grid().cells());
+        runner.clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn foreign_checkpoints_are_rejected() {
+        let path = scratch("foreign");
+        let runner = ResilientSweep::new(&path);
+        runner.run("t", &grid(), |ws, s| Some(model(ws, s))).unwrap();
+        // Different title.
+        assert!(matches!(
+            runner.run("other", &grid(), |ws, s| Some(model(ws, s))),
+            Err(SimError::Malformed { .. })
+        ));
+        // Different grid.
+        let other = Grid { strides: vec![1], working_sets: vec![1024] };
+        assert!(matches!(
+            runner.run("t", &other, |ws, s| Some(model(ws, s))),
+            Err(SimError::Malformed { .. })
+        ));
+        // Corrupt file.
+        std::fs::write(&path, "not json").unwrap();
+        assert!(matches!(
+            runner.run("t", &grid(), |ws, s| Some(model(ws, s))),
+            Err(SimError::Malformed { .. })
+        ));
+        runner.clear_checkpoint().unwrap();
+    }
+}

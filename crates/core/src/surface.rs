@@ -1,13 +1,12 @@
 //! The 2D bandwidth surface: MB/s over (working set, stride).
 
-use serde::{Deserialize, Serialize};
 
 /// A measured bandwidth surface (one of the paper's figs 1-8).
 ///
 /// Rows are working sets (ascending), columns are strides (ascending);
 /// `values[ws_idx][stride_idx]` is MB/s. Cells may be `NaN`-free by
 /// construction: the sweep driver only stores finite bandwidths.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Surface {
     title: String,
     strides: Vec<u64>,

@@ -1,9 +1,8 @@
 //! Sweep grids: the stride and working-set axes of the paper's figures.
 
-use serde::{Deserialize, Serialize};
 
 /// A sweep grid: which strides and working sets to measure.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Grid {
     /// Strides between 64-bit words, ascending.
     pub strides: Vec<u64>,

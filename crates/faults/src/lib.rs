@@ -1,0 +1,304 @@
+#![warn(missing_docs)]
+
+//! # gasnub-faults
+//!
+//! Deterministic fault-injection plans for the GASNUB machine models.
+//!
+//! The paper characterizes the *healthy* memory systems of the DEC 8400 and
+//! the Cray T3D/T3E. Real installations degrade: torus links fail or train
+//! down to a fraction of their capacity, network interfaces drop packets and
+//! pay retry timeouts, and a shared bus picks up arbitration noise from
+//! agents outside the model. A [`FaultPlan`] bundles all three effects
+//! behind a single `(seed, severity)` pair and derives, reproducibly:
+//!
+//! * [`FaultPlan::channel_faults_for`] — failed and degraded directed
+//!   channels of a [`Torus3d`], consumed by
+//!   `Torus3d::route_avoiding` and `netsim::simulate_with_faults`;
+//! * [`FaultPlan::ni_loss`] — a [`NiLossConfig`] message-loss model for the
+//!   T3D fetch/deposit circuitry and the T3E E-registers;
+//! * [`FaultPlan::bus_jitter`] — a [`BusJitterConfig`] arbitration-stall
+//!   model for the 8400 system bus;
+//! * [`FaultPlan::remote_impact`] — the hop-count and capacity impact of
+//!   the channel faults on a representative nearest-neighbour route, used
+//!   by the machine models' scalar link paths.
+//!
+//! Everything is a pure function of the plan: two plans built from the same
+//! seed and severity produce byte-identical fault sets and, downstream,
+//! identical cycle counts.
+
+use gasnub_interconnect::bus::BusJitterConfig;
+use gasnub_interconnect::ni::NiLossConfig;
+use gasnub_interconnect::topology::{ChannelFaults, NodeId, Torus3d};
+use gasnub_memsim::rng::Rng;
+use gasnub_memsim::{ConfigError, SimError};
+
+/// Stream tags separating the per-subsystem random streams derived from one
+/// plan seed (mixed through splitmix64, so related seeds stay uncorrelated).
+const STREAM_CHANNELS: u64 = 0xC4A7;
+const STREAM_NI: u64 = 0x17FA;
+const STREAM_BUS: u64 = 0xB05;
+
+/// Probability scale of a *failed* directed channel at severity 1.
+const FAIL_SCALE: f64 = 0.06;
+/// Probability scale of a *degraded* directed channel at severity 1.
+const DEGRADE_SCALE: f64 = 0.25;
+/// Per-attempt message-loss probability at severity 1.
+const LOSS_SCALE: f64 = 0.10;
+/// Bus arbitration jitter amplitude at severity 1, in bus cycles.
+const JITTER_SCALE_BUS_CYCLES: f64 = 6.0;
+/// Floor on a degraded channel's capacity factor.
+const MIN_CAPACITY: f64 = 0.05;
+
+/// The canonical fabric the machine models degrade against: the paper's
+/// full-size 8 x 8 x 8 torus of 512 PEs.
+///
+/// # Panics
+///
+/// Never — the dimensions are a compile-time constant that validates.
+pub fn canonical_torus() -> Torus3d {
+    Torus3d::new([8, 8, 8]).expect("the canonical 8x8x8 torus always validates")
+}
+
+/// The representative remote pair for the scalar machine paths: a
+/// nearest-neighbour transfer, matching the `hops: 1` of the healthy
+/// T3D/T3E remote parameter tables.
+pub fn canonical_pair() -> (NodeId, NodeId) {
+    (NodeId(0), NodeId(1))
+}
+
+/// Impact of a plan's channel faults on one route, expressed in the terms
+/// the machine models' scalar link paths understand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteImpact {
+    /// Hops of the healthy dimension-order route.
+    pub healthy_hops: u32,
+    /// Hops of the fault-avoiding route (≥ `healthy_hops`).
+    pub hops: u32,
+    /// Smallest capacity factor along the fault-avoiding route, in
+    /// `(0, 1]`; the route's bottleneck channel.
+    pub min_capacity_factor: f64,
+}
+
+impl RouteImpact {
+    /// Factor by which per-byte link occupancy grows: the bottleneck
+    /// channel paces the whole pipelined transfer.
+    pub fn per_byte_scale(&self) -> f64 {
+        1.0 / self.min_capacity_factor
+    }
+}
+
+/// A seedable, fully deterministic fault-injection plan.
+///
+/// `severity` in `[0, 1]` scales every effect; severity 0 is a healthy
+/// machine (empty channel faults, zero loss probability, zero jitter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    severity: f64,
+}
+
+impl FaultPlan {
+    /// Builds a plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] unless `severity` is in `[0, 1]`.
+    pub fn new(seed: u64, severity: f64) -> Result<Self, ConfigError> {
+        if !(0.0..=1.0).contains(&severity) {
+            return Err(ConfigError::new("fault plan", "severity must be in [0, 1]"));
+        }
+        Ok(FaultPlan { seed, severity })
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's severity.
+    pub fn severity(&self) -> f64 {
+        self.severity
+    }
+
+    /// Seed of one subsystem's derived random stream.
+    fn stream_seed(&self, tag: u64) -> u64 {
+        Rng::new(self.seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+    }
+
+    /// Derives the failed/degraded directed channels of `torus`.
+    ///
+    /// Each directed channel's fate is a pure function of the plan seed and
+    /// the channel's endpoints, so the result does not depend on iteration
+    /// order and is stable across calls.
+    pub fn channel_faults_for(&self, torus: &Torus3d) -> ChannelFaults {
+        let mut faults = ChannelFaults::none();
+        if self.severity == 0.0 {
+            return faults;
+        }
+        let base = self.stream_seed(STREAM_CHANNELS);
+        let fail_p = FAIL_SCALE * self.severity;
+        let degrade_p = DEGRADE_SCALE * self.severity;
+        for node in 0..torus.nodes() {
+            let from = NodeId(node);
+            for to in torus.neighbors(from) {
+                let key = (u64::from(from.0) << 32) | u64::from(to.0);
+                let mut rng = Rng::new(base ^ key);
+                let roll = rng.gen_f64();
+                if roll < fail_p {
+                    faults.fail_channel(from, to);
+                } else if roll < fail_p + degrade_p {
+                    let factor =
+                        (1.0 - self.severity * (0.2 + 0.6 * rng.gen_f64())).max(MIN_CAPACITY);
+                    faults
+                        .degrade_channel(from, to, factor)
+                        .expect("derived capacity factor is always in (0, 1]");
+                }
+            }
+        }
+        faults
+    }
+
+    /// The plan's network-interface message-loss model.
+    pub fn ni_loss(&self) -> NiLossConfig {
+        NiLossConfig {
+            loss_probability: LOSS_SCALE * self.severity,
+            timeout_cycles: 250.0,
+            backoff_multiplier: 2.0,
+            max_retries: 6,
+            seed: self.stream_seed(STREAM_NI),
+        }
+    }
+
+    /// The plan's bus arbitration-jitter model.
+    pub fn bus_jitter(&self) -> BusJitterConfig {
+        BusJitterConfig {
+            amplitude_bus_cycles: JITTER_SCALE_BUS_CYCLES * self.severity,
+            seed: self.stream_seed(STREAM_BUS),
+        }
+    }
+
+    /// Assesses how the plan's channel faults reshape the route
+    /// `from -> to` on `torus`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when an endpoint is out of range or the faults
+    /// disconnect the pair entirely.
+    pub fn assess_route(
+        &self,
+        torus: &Torus3d,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<RouteImpact, SimError> {
+        let faults = self.channel_faults_for(torus);
+        let path = torus.route_avoiding(from, to, &faults)?;
+        let min_capacity_factor = path
+            .iter()
+            .map(|&(a, b)| faults.capacity_factor(a, b))
+            .fold(1.0_f64, f64::min);
+        Ok(RouteImpact {
+            healthy_hops: torus.hops(from, to),
+            hops: path.len() as u32,
+            min_capacity_factor,
+        })
+    }
+
+    /// [`Self::assess_route`] on the canonical torus and remote pair — the
+    /// single number pair the scalar machine models consume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the faults disconnect the canonical pair.
+    pub fn remote_impact(&self) -> Result<RouteImpact, SimError> {
+        let (from, to) = canonical_pair();
+        self.assess_route(&canonical_torus(), from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_is_validated() {
+        assert!(FaultPlan::new(1, 0.0).is_ok());
+        assert!(FaultPlan::new(1, 1.0).is_ok());
+        assert!(FaultPlan::new(1, -0.1).is_err());
+        assert!(FaultPlan::new(1, 1.1).is_err());
+        assert!(FaultPlan::new(1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zero_severity_is_a_healthy_machine() {
+        let plan = FaultPlan::new(99, 0.0).unwrap();
+        assert!(plan.channel_faults_for(&canonical_torus()).is_empty());
+        assert_eq!(plan.ni_loss().loss_probability, 0.0);
+        assert_eq!(plan.bus_jitter().amplitude_bus_cycles, 0.0);
+        let impact = plan.remote_impact().unwrap();
+        assert_eq!(impact.hops, impact.healthy_hops);
+        assert_eq!(impact.min_capacity_factor, 1.0);
+    }
+
+    #[test]
+    fn same_plan_derives_identical_faults() {
+        let torus = canonical_torus();
+        let a = FaultPlan::new(42, 0.5).unwrap();
+        let b = FaultPlan::new(42, 0.5).unwrap();
+        let fa = a.channel_faults_for(&torus);
+        let fb = b.channel_faults_for(&torus);
+        assert_eq!(fa.failed_channels().collect::<Vec<_>>(), fb.failed_channels().collect::<Vec<_>>());
+        let da: Vec<_> = fa.degraded_channels().collect();
+        let db: Vec<_> = fb.degraded_channels().collect();
+        assert_eq!(da, db);
+        assert_eq!(a.ni_loss(), b.ni_loss());
+        assert_eq!(a.bus_jitter(), b.bus_jitter());
+        assert_eq!(a.remote_impact().unwrap(), b.remote_impact().unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let torus = canonical_torus();
+        let a = FaultPlan::new(1, 0.8).unwrap().channel_faults_for(&torus);
+        let b = FaultPlan::new(2, 0.8).unwrap().channel_faults_for(&torus);
+        assert_ne!(
+            a.failed_channels().collect::<Vec<_>>(),
+            b.failed_channels().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn severity_scales_fault_counts() {
+        let torus = canonical_torus();
+        let mild = FaultPlan::new(7, 0.1).unwrap().channel_faults_for(&torus);
+        let harsh = FaultPlan::new(7, 0.9).unwrap().channel_faults_for(&torus);
+        assert!(harsh.failed_count() > mild.failed_count());
+        assert!(harsh.failed_count() + harsh.degraded_count() > mild.failed_count() + mild.degraded_count());
+    }
+
+    #[test]
+    fn derived_configs_validate() {
+        for s in [0.0, 0.3, 1.0] {
+            let plan = FaultPlan::new(13, s).unwrap();
+            assert!(plan.ni_loss().validate().is_ok(), "severity {s}");
+            assert!(plan.bus_jitter().validate().is_ok(), "severity {s}");
+        }
+    }
+
+    #[test]
+    fn route_impact_never_improves_on_healthy() {
+        for seed in 0..32 {
+            let plan = FaultPlan::new(seed, 0.7).unwrap();
+            if let Ok(impact) = plan.remote_impact() {
+                assert!(impact.hops >= impact.healthy_hops, "seed {seed}");
+                assert!(impact.min_capacity_factor > 0.0 && impact.min_capacity_factor <= 1.0);
+                assert!(impact.per_byte_scale() >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn subsystem_streams_are_decorrelated() {
+        let plan = FaultPlan::new(5, 0.5).unwrap();
+        assert_ne!(plan.ni_loss().seed, plan.bus_jitter().seed);
+    }
+}

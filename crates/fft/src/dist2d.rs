@@ -9,14 +9,13 @@
 
 use gasnub_machines::MachineId;
 use gasnub_shmem::{Pe, ShmemCtx, TransferCost};
-use serde::{Deserialize, Serialize};
 
 use crate::complex::Complex;
 use crate::fft1d::{fft_flops, fft_forward};
 use crate::perf::{ComputeModel, FleetCost, COMPLEX_BYTES};
 
 /// How the global transposes move data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransposeStyle {
     /// Senders push column segments into the destination rows (remote
     /// strided stores).
@@ -305,7 +304,7 @@ impl<C: TransferCost> Dist2dFft<C> {
 
 /// The measured outcome of one 2D-FFT benchmark run (one cluster of bars in
 /// figs 15-17).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FftRunResult {
     /// Which machine ran.
     pub machine: MachineId,

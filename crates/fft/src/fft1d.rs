@@ -96,12 +96,13 @@ pub fn fft_flops(n: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use gasnub_memsim::rng::Rng;
 
     fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| Complex::new(2.0 * rng.gen_f64() - 1.0, 2.0 * rng.gen_f64() - 1.0))
+            .collect()
     }
 
     fn close(a: Complex, b: Complex, tol: f64) -> bool {

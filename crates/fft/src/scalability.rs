@@ -14,13 +14,12 @@
 use gasnub_interconnect::topology::Torus3d;
 use gasnub_machines::MachineId;
 use gasnub_shmem::{TransferCost, TransferKind};
-use serde::{Deserialize, Serialize};
 
 use crate::dist2d::total_flops;
 use crate::perf::{ComputeModel, FleetCost, COMPLEX_BYTES};
 
 /// Result of projecting the 2D-FFT to `npes` processors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalabilityPoint {
     /// Machine projected.
     pub machine: MachineId,

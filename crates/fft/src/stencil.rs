@@ -15,7 +15,6 @@
 
 use gasnub_machines::MachineId;
 use gasnub_shmem::{Pe, ShmemCtx, TransferCost};
-use serde::{Deserialize, Serialize};
 
 use crate::perf::FleetCost;
 
@@ -129,7 +128,7 @@ impl<C: TransferCost> Jacobi1d<C> {
 }
 
 /// Per-machine result of the stencil benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StencilRunResult {
     /// Which machine ran.
     pub machine: MachineId,

@@ -11,13 +11,45 @@
 //! CPU cycles. Occupancy is tracked so that several processors sharing the
 //! bus (the Fig. 15-17 four-processor runs) serialize.
 
-use serde::{Deserialize, Serialize};
 
+use gasnub_memsim::rng::Rng;
 use gasnub_memsim::ConfigError;
+
+/// Deterministic arbitration-stall jitter: a degraded arbiter (or a bus
+/// shared with unmodelled agents) adds a pseudo-random extra stall of up to
+/// `amplitude_bus_cycles` bus cycles per transaction. The stall sequence is
+/// a pure function of the seed and the transaction index, so cycle counts
+/// stay reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusJitterConfig {
+    /// Maximum extra arbitration stall per transaction, in bus cycles.
+    pub amplitude_bus_cycles: f64,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl BusJitterConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for a negative or non-finite amplitude.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.amplitude_bus_cycles < 0.0 || !self.amplitude_bus_cycles.is_finite() {
+            return Err(ConfigError::new("bus jitter", "amplitude must be finite and non-negative"));
+        }
+        Ok(())
+    }
+
+    /// The jitter of transaction number `index`, in bus cycles.
+    fn stall_bus_cycles(&self, index: u64) -> f64 {
+        Rng::new(self.seed ^ index).gen_f64() * self.amplitude_bus_cycles
+    }
+}
 
 /// Static description of the shared bus (costs in *bus* cycles; the model
 /// converts using the clock ratio).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BusConfig {
     /// Bus clock in MHz (75 for the 8400).
     pub bus_clock_mhz: f64,
@@ -100,6 +132,7 @@ pub struct Bus {
     busy_until: f64,
     stall_total: f64,
     transactions: u64,
+    jitter: Option<BusJitterConfig>,
 }
 
 impl Bus {
@@ -110,7 +143,25 @@ impl Bus {
     /// Propagates [`BusConfig::validate`] errors.
     pub fn new(config: BusConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        Ok(Bus { config, busy_until: 0.0, stall_total: 0.0, transactions: 0 })
+        Ok(Bus { config, busy_until: 0.0, stall_total: 0.0, transactions: 0, jitter: None })
+    }
+
+    /// Attaches (or removes) deterministic arbitration jitter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusJitterConfig::validate`] errors.
+    pub fn set_jitter(&mut self, jitter: Option<BusJitterConfig>) -> Result<(), ConfigError> {
+        if let Some(j) = &jitter {
+            j.validate()?;
+        }
+        self.jitter = jitter;
+        Ok(())
+    }
+
+    /// The attached jitter model, if any.
+    pub fn jitter(&self) -> Option<&BusJitterConfig> {
+        self.jitter.as_ref()
     }
 
     /// The configuration this bus was built from.
@@ -136,10 +187,16 @@ impl Bus {
     }
 
     /// Performs one coherent transaction moving `bytes` at CPU time `now`,
-    /// returning the CPU cycles the requester observes.
+    /// returning the CPU cycles the requester observes (attached jitter adds
+    /// its deterministic arbitration stall).
     pub fn transaction(&mut self, bytes: u64, now: f64) -> f64 {
+        let index = self.transactions;
         self.transactions += 1;
-        let stall = (self.busy_until - now).max(0.0);
+        let jitter_cpu = self
+            .jitter
+            .as_ref()
+            .map_or(0.0, |j| j.stall_bus_cycles(index) * self.config.cpu_cycles_per_bus_cycle());
+        let stall = (self.busy_until - now).max(0.0) + jitter_cpu;
         self.stall_total += stall;
         let occupancy = self.config.transaction_cpu_cycles(bytes);
         self.busy_until = now + stall + occupancy;
@@ -218,5 +275,38 @@ mod tests {
         bus.transaction(64, 0.0);
         let late = bus.transaction(64, 500.0);
         assert!((late - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_config_validates() {
+        assert!(BusJitterConfig { amplitude_bus_cycles: 2.0, seed: 1 }.validate().is_ok());
+        assert!(BusJitterConfig { amplitude_bus_cycles: -1.0, seed: 1 }.validate().is_err());
+        assert!(BusJitterConfig { amplitude_bus_cycles: f64::NAN, seed: 1 }.validate().is_err());
+    }
+
+    #[test]
+    fn jitter_slows_transactions_deterministically() {
+        let run = |jitter: Option<BusJitterConfig>| {
+            let mut bus = Bus::new(dec8400_bus()).unwrap();
+            bus.set_jitter(jitter).unwrap();
+            let mut now = 0.0;
+            for _ in 0..256 {
+                now += bus.transaction(64, now);
+            }
+            now
+        };
+        let clean = run(None);
+        let jitter = BusJitterConfig { amplitude_bus_cycles: 3.0, seed: 7 };
+        let jittered = run(Some(jitter.clone()));
+        assert!(jittered > clean, "{jittered} vs {clean}");
+        assert_eq!(jittered, run(Some(jitter)), "same seed must give the same cycle count");
+    }
+
+    #[test]
+    fn zero_amplitude_jitter_is_free() {
+        let mut bus = Bus::new(dec8400_bus()).unwrap();
+        bus.set_jitter(Some(BusJitterConfig { amplitude_bus_cycles: 0.0, seed: 3 })).unwrap();
+        let c = bus.transaction(64, 0.0);
+        assert!((c - 12.0).abs() < 1e-9);
     }
 }

@@ -40,9 +40,9 @@ pub mod netsim;
 pub mod ni;
 pub mod topology;
 
-pub use bus::{Bus, BusConfig};
+pub use bus::{Bus, BusConfig, BusJitterConfig};
 pub use link::{Link, LinkConfig};
 pub use message::MessageCostModel;
-pub use netsim::{simulate, simulate_aapc, Flow, NetSimResult};
-pub use ni::{ERegisters, ERegistersConfig, T3dNi, T3dNiConfig};
-pub use topology::{NodeId, Torus3d};
+pub use netsim::{simulate, simulate_aapc, simulate_with_faults, Flow, NetSimResult};
+pub use ni::{ERegisters, ERegistersConfig, NiLossConfig, NiLossModel, T3dNi, T3dNiConfig};
+pub use topology::{ChannelFaults, NodeId, Torus3d};

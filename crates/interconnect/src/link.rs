@@ -6,13 +6,12 @@
 //! arrangement of footnote 1 — throttle each other: "the effective link
 //! speed seen by each of the two processors falls back to 70 MByte/s".
 
-use serde::{Deserialize, Serialize};
 
 use gasnub_memsim::ConfigError;
 
 /// Static description of a link (all costs in *CPU* cycles of the machine
 /// under test, so they compose directly with the memory model).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkConfig {
     /// Payload cycles per byte once a transfer streams.
     pub cycles_per_byte: f64,

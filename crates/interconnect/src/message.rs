@@ -5,12 +5,11 @@
 //! per-byte payload cost. This small model is shared by the NI
 //! implementations.
 
-use serde::{Deserialize, Serialize};
 
 use gasnub_memsim::ConfigError;
 
 /// Per-message cost parameters, in CPU cycles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MessageCostModel {
     /// Fixed cycles per injected message/packet.
     pub per_message_cycles: f64,

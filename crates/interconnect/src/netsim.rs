@@ -14,8 +14,10 @@
 
 use std::collections::HashMap;
 
+use gasnub_memsim::SimError;
+
 use crate::link::LinkConfig;
-use crate::topology::{NodeId, Torus3d};
+use crate::topology::{ChannelFaults, NodeId, Torus3d};
 
 /// One bulk transfer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,11 +51,30 @@ pub struct NetSimResult {
 /// iterating max-min fair fluid rates until all flows finish. Hop latency
 /// adds once per flow (pipelined wormhole head).
 pub fn simulate(torus: &Torus3d, link: &LinkConfig, flows: &[Flow]) -> NetSimResult {
+    simulate_with_faults(torus, link, flows, &ChannelFaults::none())
+        .expect("a fault-free fabric routes every flow")
+}
+
+/// [`simulate`] on a fabric carrying `faults`: flows detour around failed
+/// channels (dimension-order fallback routing) and degraded channels serve
+/// at their reduced capacity.
+///
+/// # Errors
+///
+/// Returns [`SimError::Unroutable`] when the failed channels disconnect a
+/// flow's endpoints, and [`SimError::OutOfRange`] for flows naming nodes
+/// outside the torus.
+pub fn simulate_with_faults(
+    torus: &Torus3d,
+    link: &LinkConfig,
+    flows: &[Flow],
+    faults: &ChannelFaults,
+) -> Result<NetSimResult, SimError> {
     // Route every flow and index channel membership.
     let mut channel_flows: HashMap<(NodeId, NodeId), Vec<usize>> = HashMap::new();
     let mut routes: Vec<Vec<(NodeId, NodeId)>> = Vec::with_capacity(flows.len());
     for (i, f) in flows.iter().enumerate() {
-        let route = torus.route(f.from, f.to);
+        let route = torus.route_avoiding(f.from, f.to, faults)?;
         for &ch in &route {
             channel_flows.entry(ch).or_default().push(i);
         }
@@ -81,7 +102,8 @@ pub fn simulate(torus: &Torus3d, link: &LinkConfig, flows: &[Flow]) -> NetSimRes
             for ch in &routes[i] {
                 let sharers =
                     channel_flows[ch].iter().filter(|&&j| active[j]).count().max(1) as f64;
-                rate = rate.min(capacity / sharers);
+                let cap = capacity * faults.capacity_factor(ch.0, ch.1);
+                rate = rate.min(cap / sharers);
             }
             *r = rate;
         }
@@ -109,12 +131,13 @@ pub fn simulate(torus: &Torus3d, link: &LinkConfig, flows: &[Flow]) -> NetSimRes
         }
     }
 
-    // Channel occupancies (total bytes crossing x cycles/byte).
+    // Channel occupancies (total bytes crossing x cycles/byte, scaled up on
+    // degraded channels that serve those bytes more slowly).
     let mut max_channel_cycles = 0.0f64;
     for (ch, members) in &channel_flows {
         let bytes: f64 = members.iter().map(|&i| flows[i].bytes as f64).sum();
-        max_channel_cycles = max_channel_cycles.max(bytes * link.cycles_per_byte);
-        let _ = ch;
+        let factor = faults.capacity_factor(ch.0, ch.1).max(f64::MIN_POSITIVE);
+        max_channel_cycles = max_channel_cycles.max(bytes * link.cycles_per_byte / factor);
     }
 
     // Head latency of the longest route that actually carried data.
@@ -127,12 +150,12 @@ pub fn simulate(torus: &Torus3d, link: &LinkConfig, flows: &[Flow]) -> NetSimRes
         .unwrap_or(0);
     let makespan = now + link.per_hop_cycles * max_hops as f64;
     let total_bytes: f64 = flows.iter().filter(|f| f.from != f.to).map(|f| f.bytes as f64).sum();
-    NetSimResult {
+    Ok(NetSimResult {
         makespan_cycles: makespan,
         max_channel_cycles,
         channels_used: channel_flows.len(),
         delivered_bytes_per_cycle: if makespan > 0.0 { total_bytes / makespan } else { 0.0 },
-    }
+    })
 }
 
 /// Simulates the AAPC pattern of a transpose: every node sends
@@ -236,6 +259,61 @@ mod tests {
             "makespan {} unreasonably above the bound {lower}",
             r.makespan_cycles
         );
+    }
+
+    #[test]
+    fn degraded_channel_slows_the_flow_through_it() {
+        let torus = Torus3d::new([4, 1, 1]).unwrap();
+        let flows = [Flow { from: NodeId(0), to: NodeId(1), bytes: 1000 }];
+        let mut faults = ChannelFaults::none();
+        faults.degrade_channel(NodeId(0), NodeId(1), 0.5).unwrap();
+        let healthy = simulate(&torus, &link(), &flows);
+        let degraded = simulate_with_faults(&torus, &link(), &flows, &faults).unwrap();
+        assert!(
+            degraded.makespan_cycles > 1.5 * healthy.makespan_cycles,
+            "half capacity must roughly double the drain: {} vs {}",
+            degraded.makespan_cycles,
+            healthy.makespan_cycles
+        );
+    }
+
+    #[test]
+    fn failed_channel_forces_a_longer_detour() {
+        let torus = Torus3d::new([4, 4, 1]).unwrap();
+        let flows = [Flow { from: NodeId(0), to: NodeId(1), bytes: 1000 }];
+        let mut faults = ChannelFaults::none();
+        faults.fail_channel(NodeId(0), NodeId(1));
+        let healthy = simulate(&torus, &link(), &flows);
+        let rerouted = simulate_with_faults(&torus, &link(), &flows, &faults).unwrap();
+        assert!(
+            rerouted.makespan_cycles > healthy.makespan_cycles,
+            "a detour cannot be faster: {} vs {}",
+            rerouted.makespan_cycles,
+            healthy.makespan_cycles
+        );
+    }
+
+    #[test]
+    fn disconnected_flow_is_an_error() {
+        let torus = Torus3d::new([2, 1, 1]).unwrap();
+        let flows = [Flow { from: NodeId(0), to: NodeId(1), bytes: 8 }];
+        let mut faults = ChannelFaults::none();
+        faults.fail_channel(NodeId(0), NodeId(1));
+        assert!(simulate_with_faults(&torus, &link(), &flows, &faults).is_err());
+    }
+
+    #[test]
+    fn fault_simulation_is_deterministic() {
+        let torus = Torus3d::new([4, 4, 2]).unwrap();
+        let mut faults = ChannelFaults::none();
+        faults.fail_channel(NodeId(0), NodeId(1));
+        faults.degrade_channel(NodeId(1), NodeId(2), 0.4).unwrap();
+        let flows: Vec<Flow> = (0..16)
+            .map(|i| Flow { from: NodeId(i), to: NodeId((i * 7 + 3) % 32), bytes: 4096 })
+            .collect();
+        let a = simulate_with_faults(&torus, &link(), &flows, &faults).unwrap();
+        let b = simulate_with_faults(&torus, &link(), &flows, &faults).unwrap();
+        assert_eq!(a, b, "same faults must give bit-identical results");
     }
 
     #[test]

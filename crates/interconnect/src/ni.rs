@@ -14,11 +14,127 @@
 //! delivery), and the issuing processor stalls only when every slot is in
 //! flight. A blocking T3D remote load is the degenerate single-slot case.
 
-use serde::{Deserialize, Serialize};
 
+use gasnub_memsim::rng::Rng;
 use gasnub_memsim::ConfigError;
 
 use crate::message::MessageCostModel;
+
+/// Configuration of the message-loss fault model an NI can carry.
+///
+/// When a packet (or word operation) is lost, the sender notices after
+/// `timeout_cycles`, retransmits, and doubles the wait on each further loss
+/// (exponential backoff: `timeout * backoff_multiplier^attempt`). Losses are
+/// decided by a deterministic per-operation hash of `(seed, operation
+/// index, attempt)`, so the same configuration always produces the same
+/// cycle counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NiLossConfig {
+    /// Probability an individual transmission attempt is lost, in `[0, 1)`.
+    pub loss_probability: f64,
+    /// Cycles before a lost transmission is detected and retried.
+    pub timeout_cycles: f64,
+    /// Multiplier applied to the timeout on each successive retry (≥ 1).
+    pub backoff_multiplier: f64,
+    /// Retries after the first attempt before the NI gives up and charges
+    /// the final timeout anyway (the operation is then counted as dropped).
+    pub max_retries: u32,
+    /// Seed of the deterministic loss stream.
+    pub seed: u64,
+}
+
+impl NiLossConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for a probability outside `[0, 1)`, a
+    /// negative timeout, or a backoff multiplier below 1.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let c = "NI loss model";
+        if !(0.0..1.0).contains(&self.loss_probability) {
+            return Err(ConfigError::new(c, "loss probability must be in [0, 1)"));
+        }
+        if self.timeout_cycles < 0.0 || self.timeout_cycles.is_nan() {
+            return Err(ConfigError::new(c, "timeout must be non-negative"));
+        }
+        if self.backoff_multiplier < 1.0 || self.backoff_multiplier.is_nan() {
+            return Err(ConfigError::new(c, "backoff multiplier must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Runtime state of the message-loss model: a deterministic loss stream plus
+/// retry statistics.
+#[derive(Debug, Clone)]
+pub struct NiLossModel {
+    config: NiLossConfig,
+    operations: u64,
+    retries: u64,
+    dropped: u64,
+}
+
+impl NiLossModel {
+    /// Builds the model from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NiLossConfig::validate`] errors.
+    pub fn new(config: NiLossConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(NiLossModel { config, operations: 0, retries: 0, dropped: 0 })
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &NiLossConfig {
+        &self.config
+    }
+
+    /// Retransmissions charged so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Operations abandoned after exhausting every retry.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Resets the loss stream and statistics.
+    pub fn reset(&mut self) {
+        self.operations = 0;
+        self.retries = 0;
+        self.dropped = 0;
+    }
+
+    /// Charges the loss/retry penalty of the next operation: 0 when the
+    /// first attempt delivers, otherwise the sum of timeouts with
+    /// exponential backoff until an attempt delivers (or retries run out).
+    pub fn delivery_penalty(&mut self) -> f64 {
+        let op = self.operations;
+        self.operations += 1;
+        if self.config.loss_probability == 0.0 {
+            return 0.0;
+        }
+        let mut penalty = 0.0;
+        let mut timeout = self.config.timeout_cycles;
+        for attempt in 0..=self.config.max_retries {
+            // One independent, reproducible draw per (operation, attempt).
+            let mut rng = Rng::new(self.config.seed ^ (op << 8) ^ attempt as u64);
+            if !rng.gen_bool(self.config.loss_probability) {
+                return penalty;
+            }
+            penalty += timeout;
+            timeout *= self.config.backoff_multiplier;
+            if attempt < self.config.max_retries {
+                self.retries += 1;
+            }
+        }
+        self.dropped += 1;
+        penalty
+    }
+}
 
 /// A bounded set of in-flight transfer slots with a fixed per-operation
 /// latency — the shared skeleton of the prefetch FIFO and the E-registers.
@@ -53,7 +169,7 @@ impl SlotPipeline {
 }
 
 /// Static description of the T3D network interface.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct T3dNiConfig {
     /// Packet injection cost model (per packet / per byte / partner switch).
     pub message: MessageCostModel,
@@ -95,6 +211,7 @@ pub struct T3dNi {
     last_partner: Option<u32>,
     packets: u64,
     fetched_words: u64,
+    loss: Option<NiLossModel>,
 }
 
 impl T3dNi {
@@ -106,7 +223,18 @@ impl T3dNi {
     pub fn new(config: T3dNiConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         let fetch_pipeline = SlotPipeline::new(config.prefetch_fifo_depth, config.remote_load_round_trip_cycles);
-        Ok(T3dNi { config, fetch_pipeline, last_partner: None, packets: 0, fetched_words: 0 })
+        Ok(T3dNi { config, fetch_pipeline, last_partner: None, packets: 0, fetched_words: 0, loss: None })
+    }
+
+    /// Attaches (or removes) a message-loss fault model. Every subsequent
+    /// packet injection and word fetch pays its deterministic retry penalty.
+    pub fn set_loss_model(&mut self, loss: Option<NiLossModel>) {
+        self.loss = loss;
+    }
+
+    /// The attached loss model, if any.
+    pub fn loss_model(&self) -> Option<&NiLossModel> {
+        self.loss.as_ref()
     }
 
     /// The configuration this NI was built from.
@@ -130,15 +258,20 @@ impl T3dNi {
         self.last_partner = None;
         self.packets = 0;
         self.fetched_words = 0;
+        if let Some(loss) = &mut self.loss {
+            loss.reset();
+        }
     }
 
     /// Injects one deposit packet of `bytes` towards `partner`, returning
-    /// the injection cycles (partner switches pay extra).
+    /// the injection cycles (partner switches pay extra; an attached loss
+    /// model adds its retry penalty).
     pub fn deposit_packet(&mut self, bytes: u64, partner: u32) -> f64 {
         self.packets += 1;
         let switched = self.last_partner.is_some() && self.last_partner != Some(partner);
         self.last_partner = Some(partner);
-        self.config.message.message_cycles(bytes, switched)
+        let penalty = self.loss.as_mut().map_or(0.0, NiLossModel::delivery_penalty);
+        self.config.message.message_cycles(bytes, switched) + penalty
     }
 
     /// Issues one remote load word through the pre-fetch FIFO at `now`,
@@ -147,13 +280,14 @@ impl T3dNi {
     pub fn fetch_word(&mut self, now: f64) -> f64 {
         self.fetched_words += 1;
         let stall = self.fetch_pipeline.issue(now);
+        let penalty = self.loss.as_mut().map_or(0.0, NiLossModel::delivery_penalty);
         // Issue cost of touching the FIFO, plus any pipeline stall.
-        self.config.message.per_message_cycles + stall
+        self.config.message.per_message_cycles + stall + penalty
     }
 }
 
 /// Static description of the T3E E-register file.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ERegistersConfig {
     /// Number of E-registers (512 on the T3E).
     pub count: usize,
@@ -190,6 +324,7 @@ pub struct ERegisters {
     pipeline: SlotPipeline,
     words: u64,
     calls: u64,
+    loss: Option<NiLossModel>,
 }
 
 impl ERegisters {
@@ -201,7 +336,18 @@ impl ERegisters {
     pub fn new(config: ERegistersConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         let pipeline = SlotPipeline::new(config.count, config.round_trip_cycles);
-        Ok(ERegisters { config, pipeline, words: 0, calls: 0 })
+        Ok(ERegisters { config, pipeline, words: 0, calls: 0, loss: None })
+    }
+
+    /// Attaches (or removes) a message-loss fault model. Every subsequent
+    /// word transfer pays its deterministic retry penalty.
+    pub fn set_loss_model(&mut self, loss: Option<NiLossModel>) {
+        self.loss = loss;
+    }
+
+    /// The attached loss model, if any.
+    pub fn loss_model(&self) -> Option<&NiLossModel> {
+        self.loss.as_ref()
     }
 
     /// The configuration this file was built from.
@@ -224,6 +370,9 @@ impl ERegisters {
         self.pipeline.reset();
         self.words = 0;
         self.calls = 0;
+        if let Some(loss) = &mut self.loss {
+            loss.reset();
+        }
     }
 
     /// Charges the fixed software overhead of starting one shmem call.
@@ -233,11 +382,13 @@ impl ERegisters {
     }
 
     /// Transfers one word (put or get are symmetric through E-registers) at
-    /// `now`, returning the cycles the processor observes.
+    /// `now`, returning the cycles the processor observes (an attached loss
+    /// model adds its retry penalty).
     pub fn transfer_word(&mut self, now: f64) -> f64 {
         self.words += 1;
         let stall = self.pipeline.issue(now);
-        self.config.word_issue_cycles + stall
+        let penalty = self.loss.as_mut().map_or(0.0, NiLossModel::delivery_penalty);
+        self.config.word_issue_cycles + stall + penalty
     }
 }
 
@@ -352,6 +503,104 @@ mod tests {
         assert_eq!(er.begin_call(), 200.0);
         assert_eq!(er.begin_call(), 200.0);
         assert_eq!(er.calls(), 2);
+    }
+
+    fn loss_cfg(p: f64) -> NiLossConfig {
+        NiLossConfig {
+            loss_probability: p,
+            timeout_cycles: 500.0,
+            backoff_multiplier: 2.0,
+            max_retries: 4,
+            seed: 0xFA17,
+        }
+    }
+
+    #[test]
+    fn loss_config_validates() {
+        assert!(loss_cfg(0.1).validate().is_ok());
+        assert!(loss_cfg(1.0).validate().is_err());
+        assert!(loss_cfg(-0.1).validate().is_err());
+        let mut c = loss_cfg(0.1);
+        c.backoff_multiplier = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = loss_cfg(0.1);
+        c.timeout_cycles = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_loss_charges_nothing() {
+        let mut model = NiLossModel::new(loss_cfg(0.0)).unwrap();
+        for _ in 0..1000 {
+            assert_eq!(model.delivery_penalty(), 0.0);
+        }
+        assert_eq!(model.retries(), 0);
+        assert_eq!(model.dropped(), 0);
+    }
+
+    #[test]
+    fn loss_model_is_deterministic() {
+        let run = || {
+            let mut model = NiLossModel::new(loss_cfg(0.2)).unwrap();
+            (0..2000).map(|_| model.delivery_penalty()).collect::<Vec<f64>>()
+        };
+        assert_eq!(run(), run(), "same seed must give an identical penalty stream");
+    }
+
+    #[test]
+    fn penalties_use_exponential_backoff() {
+        let mut model = NiLossModel::new(loss_cfg(0.3)).unwrap();
+        let mut penalties: Vec<f64> = (0..5000).map(|_| model.delivery_penalty()).collect();
+        penalties.retain(|&p| p > 0.0);
+        assert!(!penalties.is_empty(), "30% loss must produce some retries");
+        // Every non-zero penalty is a partial sum of 500 * 2^k.
+        for &p in &penalties {
+            let mut sum = 0.0;
+            let mut t = 500.0;
+            let mut matched = false;
+            for _ in 0..=4 {
+                sum += t;
+                t *= 2.0;
+                if (p - sum).abs() < 1e-9 {
+                    matched = true;
+                    break;
+                }
+            }
+            assert!(matched, "penalty {p} is not a backoff partial sum");
+        }
+        assert!(model.retries() > 0);
+    }
+
+    #[test]
+    fn lossy_ni_is_slower_and_reset_restores_the_stream() {
+        let mut clean = T3dNi::new(t3d_cfg(8)).unwrap();
+        let mut lossy = T3dNi::new(t3d_cfg(8)).unwrap();
+        lossy.set_loss_model(Some(NiLossModel::new(loss_cfg(0.2)).unwrap()));
+        let run = |ni: &mut T3dNi| {
+            let mut now = 0.0;
+            for _ in 0..256 {
+                now += ni.fetch_word(now);
+            }
+            now
+        };
+        let clean_cycles = run(&mut clean);
+        let lossy_cycles = run(&mut lossy);
+        assert!(lossy_cycles > clean_cycles, "{lossy_cycles} vs {clean_cycles}");
+        lossy.reset();
+        assert_eq!(run(&mut lossy), lossy_cycles, "reset must restore the loss stream");
+    }
+
+    #[test]
+    fn lossy_eregisters_pay_retry_penalties() {
+        let mut er = ERegisters::new(ereg_cfg()).unwrap();
+        er.set_loss_model(Some(NiLossModel::new(loss_cfg(0.3)).unwrap()));
+        let mut now = 0.0;
+        for _ in 0..512 {
+            now += er.transfer_word(now);
+        }
+        let clean_estimate = 512.0 * 6.0;
+        assert!(now > clean_estimate * 1.5, "losses must hurt: {now} vs {clean_estimate}");
+        assert!(er.loss_model().unwrap().retries() > 0);
     }
 
     #[test]

@@ -1,11 +1,12 @@
-//! 3D torus topology with dimension-order routing (Cray T3D/T3E fabric).
+//! 3D torus topology with dimension-order routing (Cray T3D/T3E fabric),
+//! plus fault-aware fallback routing around failed or degraded channels.
 
-use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use gasnub_memsim::ConfigError;
+use gasnub_memsim::{ConfigError, SimError};
 
 /// Identifies one processing element in a machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -21,10 +22,97 @@ impl std::fmt::Display for NodeId {
     }
 }
 
+/// The fault state of a torus fabric: which directed channels are dead and
+/// which still work at a fraction of their healthy capacity.
+///
+/// Channels are directed `(from, to)` neighbor pairs, matching what
+/// [`Torus3d::route`] emits. Collections are B-tree based so iteration order
+/// (and therefore every downstream cycle count) is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChannelFaults {
+    failed: BTreeSet<(NodeId, NodeId)>,
+    degraded: BTreeMap<(NodeId, NodeId), f64>,
+}
+
+impl ChannelFaults {
+    /// A fabric with no faults.
+    pub fn none() -> Self {
+        ChannelFaults::default()
+    }
+
+    /// Marks a directed channel as completely failed (carries no traffic).
+    pub fn fail_channel(&mut self, from: NodeId, to: NodeId) {
+        self.degraded.remove(&(from, to));
+        self.failed.insert((from, to));
+    }
+
+    /// Marks a directed channel as degraded to `factor` of its healthy
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] unless `0 < factor <= 1`.
+    pub fn degrade_channel(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        factor: f64,
+    ) -> Result<(), ConfigError> {
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(ConfigError::new("channel faults", "degradation factor must be in (0, 1]"));
+        }
+        if !self.failed.contains(&(from, to)) {
+            self.degraded.insert((from, to), factor);
+        }
+        Ok(())
+    }
+
+    /// Whether a directed channel is completely failed.
+    pub fn is_failed(&self, from: NodeId, to: NodeId) -> bool {
+        self.failed.contains(&(from, to))
+    }
+
+    /// The fraction of healthy capacity this channel still delivers:
+    /// 0 when failed, the degradation factor when degraded, 1 otherwise.
+    pub fn capacity_factor(&self, from: NodeId, to: NodeId) -> f64 {
+        if self.failed.contains(&(from, to)) {
+            0.0
+        } else {
+            self.degraded.get(&(from, to)).copied().unwrap_or(1.0)
+        }
+    }
+
+    /// True when no channel is failed or degraded.
+    pub fn is_empty(&self) -> bool {
+        self.failed.is_empty() && self.degraded.is_empty()
+    }
+
+    /// Number of failed channels.
+    pub fn failed_count(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// Number of degraded (but live) channels.
+    pub fn degraded_count(&self) -> usize {
+        self.degraded.len()
+    }
+
+    /// Iterates the failed channels in deterministic order.
+    pub fn failed_channels(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.failed.iter().copied()
+    }
+
+    /// Iterates `(channel, factor)` for the degraded channels in
+    /// deterministic order.
+    pub fn degraded_channels(&self) -> impl Iterator<Item = ((NodeId, NodeId), f64)> + '_ {
+        self.degraded.iter().map(|(&ch, &f)| (ch, f))
+    }
+}
+
 /// A 3D torus of `x * y * z` nodes, as used by the Cray T3D and T3E.
 ///
 /// Nodes are numbered in x-major order: `id = x + dims.x * (y + dims.y * z)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Torus3d {
     dims: [u32; 3],
 }
@@ -112,6 +200,97 @@ impl Torus3d {
             }
         }
         channels
+    }
+
+    /// The distinct torus neighbors of a node, in deterministic order
+    /// (±x, ±y, ±z; duplicates collapse on extents of 1 or 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let c = self.coords(node);
+        let mut out = Vec::with_capacity(6);
+        for dim in 0..3 {
+            let extent = self.dims[dim];
+            for step in [1, extent - 1] {
+                let mut n = c;
+                n[dim] = (c[dim] + step) % extent;
+                let id = self.node_at(n);
+                if id != node && !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// The directed channels a packet traverses from `from` to `to` when the
+    /// fabric carries `faults`: dimension-order routing when its route is
+    /// intact, otherwise a deterministic breadth-first detour over the
+    /// remaining live channels (degraded channels stay routable — only
+    /// *failed* ones are avoided).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfRange`] when either node is outside the
+    /// torus, and [`SimError::Unroutable`] when the failed channels
+    /// disconnect `from` from `to`.
+    pub fn route_avoiding(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        faults: &ChannelFaults,
+    ) -> Result<Vec<(NodeId, NodeId)>, SimError> {
+        for n in [from, to] {
+            if n.0 >= self.nodes() {
+                return Err(SimError::out_of_range(
+                    "torus",
+                    format!("node {} with {} nodes", n.0, self.nodes()),
+                ));
+            }
+        }
+        if from == to {
+            return Ok(Vec::new());
+        }
+        let preferred = self.route(from, to);
+        if preferred.iter().all(|&(a, b)| !faults.is_failed(a, b)) {
+            return Ok(preferred);
+        }
+        // Breadth-first search over live channels. Neighbor expansion order
+        // is fixed, so the detour (and every cycle count derived from it) is
+        // deterministic.
+        let mut prev: Vec<Option<NodeId>> = vec![None; self.nodes() as usize];
+        let mut seen = vec![false; self.nodes() as usize];
+        seen[from.index()] = true;
+        let mut queue = VecDeque::from([from]);
+        'search: while let Some(here) = queue.pop_front() {
+            for next in self.neighbors(here) {
+                if seen[next.index()] || faults.is_failed(here, next) {
+                    continue;
+                }
+                seen[next.index()] = true;
+                prev[next.index()] = Some(here);
+                if next == to {
+                    break 'search;
+                }
+                queue.push_back(next);
+            }
+        }
+        if !seen[to.index()] {
+            return Err(SimError::unroutable(format!(
+                "{from} -> {to}: {} failed channels disconnect the pair",
+                faults.failed_count()
+            )));
+        }
+        let mut channels = Vec::new();
+        let mut at = to;
+        while let Some(p) = prev[at.index()] {
+            channels.push((p, at));
+            at = p;
+        }
+        channels.reverse();
+        Ok(channels)
     }
 
     /// Maximum per-channel load of an all-to-all personalized communication
@@ -254,6 +433,95 @@ mod tests {
         let l = large.aapc_max_channel_load();
         assert!(s >= 1);
         assert!(l > s, "AAPC congestion must grow: {s} vs {l}");
+    }
+
+    #[test]
+    fn neighbors_of_interior_node() {
+        let t = Torus3d::new([4, 4, 4]).unwrap();
+        let n = t.neighbors(t.node_at([1, 1, 1]));
+        assert_eq!(n.len(), 6);
+        let t2 = Torus3d::new([2, 1, 1]).unwrap();
+        // A 2-ring has a single distinct neighbor.
+        assert_eq!(t2.neighbors(NodeId(0)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn route_avoiding_matches_dimension_order_when_healthy() {
+        let t = Torus3d::new([4, 3, 2]).unwrap();
+        let faults = ChannelFaults::none();
+        for from in 0..t.nodes() {
+            for to in 0..t.nodes() {
+                let healthy = t.route(NodeId(from), NodeId(to));
+                let routed = t.route_avoiding(NodeId(from), NodeId(to), &faults).unwrap();
+                assert_eq!(healthy, routed, "{from}->{to}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_avoiding_detours_around_a_failed_channel() {
+        let t = Torus3d::new([4, 4, 1]).unwrap();
+        let from = t.node_at([0, 0, 0]);
+        let to = t.node_at([2, 0, 0]);
+        let healthy = t.route(from, to);
+        let mut faults = ChannelFaults::none();
+        let (a, b) = healthy[0];
+        faults.fail_channel(a, b);
+        let detour = t.route_avoiding(from, to, &faults).unwrap();
+        assert_eq!(detour.first().unwrap().0, from);
+        assert_eq!(detour.last().unwrap().1, to);
+        for &(x, y) in &detour {
+            assert!(!faults.is_failed(x, y), "detour uses failed channel {x}->{y}");
+        }
+        for pair in detour.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0, "channels must chain");
+        }
+    }
+
+    #[test]
+    fn route_avoiding_reports_disconnection() {
+        let t = Torus3d::new([2, 1, 1]).unwrap();
+        let mut faults = ChannelFaults::none();
+        faults.fail_channel(NodeId(0), NodeId(1));
+        let err = t.route_avoiding(NodeId(0), NodeId(1), &faults).unwrap_err();
+        assert!(matches!(err, SimError::Unroutable { .. }), "{err}");
+        // The reverse direction is untouched.
+        assert!(t.route_avoiding(NodeId(1), NodeId(0), &faults).is_ok());
+    }
+
+    #[test]
+    fn route_avoiding_rejects_out_of_range_nodes() {
+        let t = Torus3d::new([2, 2, 1]).unwrap();
+        let err = t.route_avoiding(NodeId(0), NodeId(9), &ChannelFaults::none()).unwrap_err();
+        assert!(matches!(err, SimError::OutOfRange { .. }), "{err}");
+    }
+
+    #[test]
+    fn degraded_channels_stay_routable() {
+        let t = Torus3d::new([4, 1, 1]).unwrap();
+        let mut faults = ChannelFaults::none();
+        faults.degrade_channel(NodeId(0), NodeId(1), 0.25).unwrap();
+        let route = t.route_avoiding(NodeId(0), NodeId(1), &faults).unwrap();
+        assert_eq!(route, vec![(NodeId(0), NodeId(1))]);
+        assert_eq!(faults.capacity_factor(NodeId(0), NodeId(1)), 0.25);
+        assert_eq!(faults.capacity_factor(NodeId(1), NodeId(2)), 1.0);
+    }
+
+    #[test]
+    fn channel_faults_validate_and_count() {
+        let mut faults = ChannelFaults::none();
+        assert!(faults.is_empty());
+        assert!(faults.degrade_channel(NodeId(0), NodeId(1), 0.0).is_err());
+        assert!(faults.degrade_channel(NodeId(0), NodeId(1), 1.5).is_err());
+        faults.degrade_channel(NodeId(0), NodeId(1), 0.5).unwrap();
+        faults.fail_channel(NodeId(2), NodeId(3));
+        assert_eq!(faults.degraded_count(), 1);
+        assert_eq!(faults.failed_count(), 1);
+        assert_eq!(faults.capacity_factor(NodeId(2), NodeId(3)), 0.0);
+        // Failing a degraded channel supersedes the degradation.
+        faults.fail_channel(NodeId(0), NodeId(1));
+        assert_eq!(faults.degraded_count(), 0);
+        assert_eq!(faults.capacity_factor(NodeId(0), NodeId(1)), 0.0);
     }
 
     #[test]

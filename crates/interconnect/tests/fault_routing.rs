@@ -1,0 +1,168 @@
+//! Property tests for fault-aware torus routing: whatever links fail, a
+//! returned route is loop-free, complete, and live; and faults only ever
+//! reduce delivered bandwidth.
+
+use std::collections::HashSet;
+
+use gasnub_interconnect::link::LinkConfig;
+use gasnub_interconnect::netsim::{simulate, simulate_with_faults, Flow};
+use gasnub_interconnect::topology::{ChannelFaults, NodeId, Torus3d};
+use gasnub_memsim::rng::{run_cases, Rng};
+use gasnub_memsim::SimError;
+
+fn arb_torus(rng: &mut Rng) -> Torus3d {
+    let dim = |rng: &mut Rng| rng.gen_range(1, 5) as u32;
+    Torus3d::new([dim(rng), dim(rng), dim(rng)]).unwrap()
+}
+
+/// Fails a random subset of directed channels and degrades another.
+fn arb_faults(rng: &mut Rng, torus: &Torus3d) -> ChannelFaults {
+    let mut faults = ChannelFaults::none();
+    for node in 0..torus.nodes() {
+        let from = NodeId(node);
+        for to in torus.neighbors(from) {
+            let roll = rng.gen_f64();
+            if roll < 0.15 {
+                faults.fail_channel(from, to);
+            } else if roll < 0.35 {
+                faults.degrade_channel(from, to, 0.1 + 0.9 * rng.gen_f64()).unwrap();
+            }
+        }
+    }
+    faults
+}
+
+fn arb_pair(rng: &mut Rng, torus: &Torus3d) -> (NodeId, NodeId) {
+    let n = u64::from(torus.nodes());
+    (NodeId(rng.gen_range(0, n) as u32), NodeId(rng.gen_range(0, n) as u32))
+}
+
+#[test]
+fn routes_around_faults_are_loop_free_live_and_complete() {
+    run_cases(0xFA_017, 200, |rng| {
+        let torus = arb_torus(rng);
+        let faults = arb_faults(rng, &torus);
+        let (from, to) = arb_pair(rng, &torus);
+        match torus.route_avoiding(from, to, &faults) {
+            Ok(path) => {
+                if from == to {
+                    assert!(path.is_empty());
+                    return;
+                }
+                // Complete: starts at `from`, ends at `to`, hops chain up.
+                assert_eq!(path.first().unwrap().0, from);
+                assert_eq!(path.last().unwrap().1, to);
+                for pair in path.windows(2) {
+                    assert_eq!(pair[0].1, pair[1].0, "hops must chain");
+                }
+                // Loop-free: no node is visited twice.
+                let mut seen = HashSet::new();
+                assert!(seen.insert(from));
+                for &(_, next) in &path {
+                    assert!(seen.insert(next), "route revisits {next:?}");
+                }
+                // Live: every hop is an intact neighbor channel.
+                for &(a, b) in &path {
+                    assert!(!faults.is_failed(a, b), "route uses failed channel {a:?}->{b:?}");
+                    assert!(
+                        torus.neighbors(a).contains(&b),
+                        "route teleports {a:?}->{b:?}"
+                    );
+                }
+            }
+            Err(SimError::Unroutable { .. }) => {
+                // Acceptable only when the faults really disconnect the pair:
+                // an exhaustive reachability check must agree.
+                let mut reached = HashSet::from([from]);
+                let mut frontier = vec![from];
+                while let Some(node) = frontier.pop() {
+                    for next in torus.neighbors(node) {
+                        if !faults.is_failed(node, next) && reached.insert(next) {
+                            frontier.push(next);
+                        }
+                    }
+                }
+                assert!(!reached.contains(&to), "reported unroutable but a live path exists");
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    });
+}
+
+#[test]
+fn healthy_routes_match_dimension_order() {
+    run_cases(0xD10D, 100, |rng| {
+        let torus = arb_torus(rng);
+        let (from, to) = arb_pair(rng, &torus);
+        let route = torus.route_avoiding(from, to, &ChannelFaults::none()).unwrap();
+        assert_eq!(route, torus.route(from, to), "no faults must mean dimension order");
+    });
+}
+
+#[test]
+fn degraded_fabric_never_delivers_more_bandwidth() {
+    let link = LinkConfig { cycles_per_byte: 0.5, per_hop_cycles: 4.0 };
+    run_cases(0xBA_2D, 60, |rng| {
+        let torus = arb_torus(rng);
+        if torus.nodes() < 2 {
+            return;
+        }
+        // Degrade only (no failures): routes stay identical, so bandwidth
+        // must be monotonically <= the healthy fabric's cell by cell.
+        let mut faults = ChannelFaults::none();
+        for node in 0..torus.nodes() {
+            let from = NodeId(node);
+            for to in torus.neighbors(from) {
+                if rng.gen_bool(0.4) {
+                    faults.degrade_channel(from, to, 0.1 + 0.9 * rng.gen_f64()).unwrap();
+                }
+            }
+        }
+        let flows: Vec<Flow> = (0..4)
+            .map(|_| {
+                let (from, to) = arb_pair(rng, &torus);
+                Flow { from, to, bytes: 1 + rng.gen_range(0, 1 << 16) }
+            })
+            .filter(|f| f.from != f.to)
+            .collect();
+        if flows.is_empty() {
+            return;
+        }
+        let healthy = simulate(&torus, &link, &flows);
+        let degraded = simulate_with_faults(&torus, &link, &flows, &faults).unwrap();
+        assert!(
+            degraded.delivered_bytes_per_cycle <= healthy.delivered_bytes_per_cycle + 1e-9,
+            "degraded links must not speed up the fabric: {} vs {}",
+            degraded.delivered_bytes_per_cycle,
+            healthy.delivered_bytes_per_cycle
+        );
+        assert!(degraded.makespan_cycles >= healthy.makespan_cycles - 1e-9);
+    });
+}
+
+#[test]
+fn fault_simulation_is_reproducible() {
+    let link = LinkConfig { cycles_per_byte: 0.25, per_hop_cycles: 3.0 };
+    let torus = Torus3d::new([4, 4, 2]).unwrap();
+    let mut rng = Rng::new(77);
+    let faults = arb_faults(&mut rng, &torus);
+    let flows =
+        vec![Flow { from: NodeId(0), to: NodeId(9), bytes: 4096 }, Flow {
+            from: NodeId(3),
+            to: NodeId(12),
+            bytes: 1 << 20,
+        }];
+    let a = simulate_with_faults(&torus, &link, &flows, &faults);
+    let b = simulate_with_faults(&torus, &link, &flows, &faults);
+    match (a, b) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.makespan_cycles.to_bits(), b.makespan_cycles.to_bits());
+            assert_eq!(
+                a.delivered_bytes_per_cycle.to_bits(),
+                b.delivered_bytes_per_cycle.to_bits()
+            );
+        }
+        (Err(_), Err(_)) => {}
+        _ => panic!("the two runs disagreed about routability"),
+    }
+}

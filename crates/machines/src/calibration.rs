@@ -6,7 +6,8 @@
 //! deliberately loose for values the paper itself gives approximately
 //! ("about", "up to"), tighter for exact plateau numbers.
 
-use serde::{Deserialize, Serialize};
+
+use gasnub_memsim::SimError;
 
 use crate::machine::{Machine, MachineId};
 
@@ -16,7 +17,7 @@ const MB: u64 = 1024 * 1024;
 /// Which micro-benchmark probe reproduces a quoted number.
 ///
 /// `ws` is the working set in bytes; strides are in 64-bit words.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[allow(missing_docs)] // field meanings are uniform across variants (see above)
 pub enum Probe {
     /// Local Load-Sum at (working set bytes, stride words).
@@ -32,7 +33,7 @@ pub enum Probe {
 }
 
 /// One calibration target: a number quoted in the paper.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CalibrationPoint {
     /// Stable identifier, e.g. `"dec8400.l1_plateau"`.
     pub id: &'static str,
@@ -54,24 +55,48 @@ impl CalibrationPoint {
     /// # Panics
     ///
     /// Panics if the probe is not supported by the machine (table error) or
-    /// if `machine` is not the machine this point targets.
+    /// if `machine` is not the machine this point targets; use
+    /// [`CalibrationPoint::try_measure`] to handle those cases gracefully.
     pub fn measure(&self, machine: &mut dyn Machine) -> f64 {
-        assert_eq!(machine.id(), self.machine, "calibration point {} run against wrong machine", self.id);
-        match self.probe {
+        match self.try_measure(machine) {
+            Ok(mb_s) => mb_s,
+            Err(e) => panic!("calibration point {}: {e}", self.id),
+        }
+    }
+
+    /// Runs the probe against `machine`, returning the measured MB/s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unsupported`] when `machine` is not the machine
+    /// this point targets or does not support the probed remote operation.
+    pub fn try_measure(&self, machine: &mut dyn Machine) -> Result<f64, SimError> {
+        if machine.id() != self.machine {
+            return Err(SimError::unsupported(format!(
+                "calibration point {} targets {}, not {}",
+                self.id,
+                self.machine,
+                machine.id()
+            )));
+        }
+        let unsupported =
+            || SimError::unsupported(format!("calibration point {}: probe unsupported", self.id));
+        let mb_s = match self.probe {
             Probe::LocalLoad { ws, stride } => machine.local_load(ws, stride).mb_s,
             Probe::LocalCopy { ws, load_stride, store_stride } => {
                 machine.local_copy(ws, load_stride, store_stride).mb_s
             }
             Probe::RemoteLoad { ws, stride } => {
-                machine.remote_load(ws, stride).expect("probe unsupported").mb_s
+                machine.remote_load(ws, stride).ok_or_else(unsupported)?.mb_s
             }
             Probe::RemoteFetch { ws, stride } => {
-                machine.remote_fetch(ws, stride).expect("probe unsupported").mb_s
+                machine.remote_fetch(ws, stride).ok_or_else(unsupported)?.mb_s
             }
             Probe::RemoteDeposit { ws, stride } => {
-                machine.remote_deposit(ws, stride).expect("probe unsupported").mb_s
+                machine.remote_deposit(ws, stride).ok_or_else(unsupported)?.mb_s
             }
-        }
+        };
+        Ok(mb_s)
     }
 
     /// Whether `measured` is within tolerance of the paper's value.

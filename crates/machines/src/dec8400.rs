@@ -8,6 +8,7 @@
 //! or by home memory.
 
 use gasnub_coherence::smp::{SmpConfig, SnoopingSmp};
+use gasnub_faults::FaultPlan;
 use gasnub_memsim::trace::{CopyPass, StorePass, StridedPass};
 use gasnub_memsim::WORD_BYTES;
 
@@ -53,6 +54,21 @@ impl Dec8400 {
         cfg.node.hierarchy.dram_stream_contention = stream;
         cfg.node.hierarchy.dram_contention = random;
         Self::with_config(cfg).expect("built-in contended parameters must validate")
+    }
+
+    /// Builds an 8400 degraded by `plan`: the shared system bus picks up
+    /// the plan's deterministic arbitration-stall jitter (a degraded
+    /// arbiter, or agents outside the model competing for the bus). Same
+    /// plan, same cycle counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gasnub_memsim::SimError`] when a derived configuration
+    /// fails validation.
+    pub fn with_faults(plan: &FaultPlan) -> Result<Self, gasnub_memsim::SimError> {
+        let mut machine = Self::with_config(params::dec8400_smp())?;
+        machine.smp.set_bus_jitter(Some(plan.bus_jitter()))?;
+        Ok(machine)
     }
 
     /// Builds an 8400 with a different processor count (the paper "repeated

@@ -16,6 +16,11 @@
 //! * [`t3e::T3e`] — 300 MHz 21164, L1/L2 on chip, six stream buffers, no L3,
 //!   512 E-registers; fetch ≈ deposit at 4x the T3D's remote bandwidth.
 //!
+//! Each machine also exposes a `with_faults` constructor taking a
+//! [`FaultPlan`] (from `gasnub-faults`), which re-parameterizes the remote
+//! paths for a deterministically degraded installation — failed/degraded
+//! torus channels, lossy network interfaces, a jittery bus arbiter.
+//!
 //! Every machine implements the [`machine::Machine`] trait: the probe
 //! surface the characterization layer (`gasnub-core`) sweeps. Absolute
 //! cycle parameters are calibrated against the ~30 bandwidth figures quoted
@@ -47,6 +52,7 @@ pub mod t3e;
 
 pub use custom::{CustomMachine, CustomMachineBuilder};
 pub use dec8400::Dec8400;
+pub use gasnub_faults::{FaultPlan, RouteImpact};
 pub use limits::MeasureLimits;
 pub use machine::{Machine, MachineId, Measurement};
 pub use t3d::T3d;

@@ -7,10 +7,9 @@
 //! cache completely and (b) the measured prefix runs long enough to reach
 //! steady state. Results remain deterministic.
 
-use serde::{Deserialize, Serialize};
 
 /// Caps on the simulated portion of a benchmark pass (in 64-bit words).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MeasureLimits {
     /// Maximum words simulated in the measured pass.
     pub max_measure_words: u64,

@@ -1,11 +1,10 @@
 //! The common probe surface of a characterized machine.
 
-use serde::{Deserialize, Serialize};
 
 use crate::limits::MeasureLimits;
 
 /// Which of the paper's three systems a model represents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MachineId {
     /// DEC AlphaServer 8400 (bus-based cache-coherent SMP).
     Dec8400,
@@ -27,6 +26,26 @@ impl MachineId {
             MachineId::Custom => "custom",
         }
     }
+
+    /// Parses a label (as produced by [`MachineId::label`]) or a common
+    /// alias back into an id. Returns `None` for unknown names.
+    pub fn from_label(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "dec8400" | "8400" | "alphaserver" => Some(MachineId::Dec8400),
+            "t3d" | "crayt3d" | "cray-t3d" => Some(MachineId::CrayT3d),
+            "t3e" | "crayt3e" | "cray-t3e" => Some(MachineId::CrayT3e),
+            "custom" => Some(MachineId::Custom),
+            _ => None,
+        }
+    }
+}
+
+impl std::str::FromStr for MachineId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        MachineId::from_label(s).ok_or_else(|| format!("unknown machine '{s}'"))
+    }
 }
 
 impl std::fmt::Display for MachineId {
@@ -43,7 +62,7 @@ impl std::fmt::Display for MachineId {
 
 /// One benchmark result: payload moved, simulated cycles, and the bandwidth
 /// those imply at the machine's clock.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measurement {
     /// Payload bytes (copied words are counted once).
     pub bytes: u64,

@@ -7,8 +7,9 @@
 //! block for a full network round trip or pipeline through an external
 //! prefetch FIFO.
 
+use gasnub_faults::FaultPlan;
 use gasnub_interconnect::link::Link;
-use gasnub_interconnect::ni::T3dNi;
+use gasnub_interconnect::ni::{NiLossModel, T3dNi};
 use gasnub_memsim::dram::Dram;
 use gasnub_memsim::engine::MemoryEngine;
 use gasnub_memsim::trace::{CopyPass, StorePass, StridedOrder, StridedPass};
@@ -112,6 +113,25 @@ impl T3d {
         remote.ni.message.per_message_cycles *= 2.0;
         remote.ni.message.per_byte_cycles *= 2.0;
         Self::with_params(params::t3d_node(), remote).expect("paired-traffic parameters must validate")
+    }
+
+    /// Builds a T3D degraded by `plan`: the remote path detours around the
+    /// plan's failed torus channels (more hops, bottleneck capacity scales
+    /// the per-byte link rate) and the NI retries lost messages with
+    /// exponential-backoff timeouts. Same plan, same cycle counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gasnub_memsim::SimError`] when the plan disconnects the
+    /// canonical remote pair or a derived configuration fails validation.
+    pub fn with_faults(plan: &FaultPlan) -> Result<Self, gasnub_memsim::SimError> {
+        let impact = plan.remote_impact()?;
+        let mut remote = params::t3d_remote();
+        remote.hops = impact.hops.max(remote.hops);
+        remote.link.cycles_per_byte *= impact.per_byte_scale();
+        let mut t3d = Self::with_params(params::t3d_node(), remote)?;
+        t3d.ni.set_loss_model(Some(NiLossModel::new(plan.ni_loss())?));
+        Ok(t3d)
     }
 
     /// The blocking-fetch variant (prefetch FIFO unused): "remote loads can

@@ -9,8 +9,9 @@
 //! additionally serialize on destination memory banks — the even-stride
 //! ripples of Fig. 8.
 
+use gasnub_faults::FaultPlan;
 use gasnub_interconnect::link::Link;
-use gasnub_interconnect::ni::ERegisters;
+use gasnub_interconnect::ni::{ERegisters, NiLossModel};
 use gasnub_memsim::dram::Dram;
 use gasnub_memsim::engine::MemoryEngine;
 use gasnub_memsim::trace::{CopyPass, StorePass, StridedOrder, StridedPass};
@@ -70,6 +71,27 @@ impl T3e {
         let link = Link::new(remote.link.clone())?;
         let dest_banks = Dram::new(remote.dest_word_banks.clone())?;
         Ok(T3e { engine, remote, eregs, link, dest_banks, limits: MeasureLimits::new() })
+    }
+
+    /// Builds a T3E degraded by `plan`: the remote path detours around the
+    /// plan's failed torus channels (more hops, bottleneck capacity scales
+    /// the per-byte link rate) and the E-registers retry lost transfers
+    /// with exponential-backoff timeouts. Same plan, same cycle counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gasnub_memsim::SimError`] when the plan disconnects the
+    /// canonical remote pair or a derived configuration fails validation.
+    pub fn with_faults(plan: &FaultPlan) -> Result<Self, gasnub_memsim::SimError> {
+        let impact = plan.remote_impact()?;
+        let mut remote = params::t3e_remote();
+        remote.hops = impact.hops.max(remote.hops);
+        remote.link.cycles_per_byte *= impact.per_byte_scale();
+        // The coalesced block path is paced by the same bottleneck channel.
+        remote.block_cycles *= impact.per_byte_scale();
+        let mut t3e = Self::with_params(params::t3e_node(), remote)?;
+        t3e.eregs.set_loss_model(Some(NiLossModel::new(plan.ni_loss())?));
+        Ok(t3e)
     }
 
     /// The footnote-3 ablation: the early T3E test vehicle with streaming

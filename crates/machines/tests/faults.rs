@@ -1,0 +1,105 @@
+//! Degraded-machine invariants: a `FaultPlan` only ever slows a machine
+//! down, and does so deterministically.
+
+use gasnub_machines::{Dec8400, FaultPlan, Machine, MeasureLimits, T3d, T3e};
+
+fn fast() -> MeasureLimits {
+    MeasureLimits { max_measure_words: 8 * 1024, max_prime_words: 64 * 1024 }
+}
+
+const WS: u64 = 1 << 20;
+
+#[test]
+fn zero_severity_plan_matches_healthy_t3d() {
+    let plan = FaultPlan::new(11, 0.0).unwrap();
+    let mut healthy = T3d::new();
+    let mut degraded = T3d::with_faults(&plan).unwrap();
+    healthy.set_limits(fast());
+    degraded.set_limits(fast());
+    let h = healthy.remote_deposit(WS, 1).unwrap();
+    let d = degraded.remote_deposit(WS, 1).unwrap();
+    assert_eq!(h.cycles, d.cycles, "severity 0 must be a healthy machine");
+}
+
+#[test]
+fn degraded_t3d_is_never_faster() {
+    for seed in [1_u64, 7, 42] {
+        let plan = FaultPlan::new(seed, 0.6).unwrap();
+        let mut healthy = T3d::new();
+        let mut degraded = T3d::with_faults(&plan).unwrap();
+        healthy.set_limits(fast());
+        degraded.set_limits(fast());
+        for stride in [1_u64, 8] {
+            let h = healthy.remote_deposit(WS, stride).unwrap();
+            let d = degraded.remote_deposit(WS, stride).unwrap();
+            assert!(d.cycles >= h.cycles, "seed {seed} stride {stride}: {} < {}", d.cycles, h.cycles);
+            let h = healthy.remote_fetch(WS, stride).unwrap();
+            let d = degraded.remote_fetch(WS, stride).unwrap();
+            assert!(d.cycles >= h.cycles, "fetch seed {seed} stride {stride}");
+        }
+    }
+}
+
+#[test]
+fn degraded_t3e_is_never_faster() {
+    for seed in [3_u64, 19] {
+        let plan = FaultPlan::new(seed, 0.6).unwrap();
+        let mut healthy = T3e::new();
+        let mut degraded = T3e::with_faults(&plan).unwrap();
+        healthy.set_limits(fast());
+        degraded.set_limits(fast());
+        for stride in [1_u64, 4] {
+            let h = healthy.remote_deposit(WS, stride).unwrap();
+            let d = degraded.remote_deposit(WS, stride).unwrap();
+            assert!(d.cycles >= h.cycles, "seed {seed} stride {stride}");
+        }
+    }
+}
+
+#[test]
+fn degraded_dec8400_pull_is_never_faster() {
+    let plan = FaultPlan::new(5, 0.8).unwrap();
+    let mut healthy = Dec8400::new();
+    let mut degraded = Dec8400::with_faults(&plan).unwrap();
+    healthy.set_limits(fast());
+    degraded.set_limits(fast());
+    let h = healthy.remote_load(WS, 1).unwrap();
+    let d = degraded.remote_load(WS, 1).unwrap();
+    assert!(d.cycles > h.cycles, "jittered bus must slow the coherent pull");
+}
+
+#[test]
+fn same_plan_gives_identical_cycle_counts() {
+    let plan = FaultPlan::new(42, 0.5).unwrap();
+    let run = |plan: &FaultPlan| {
+        let mut t3d = T3d::with_faults(plan).unwrap();
+        t3d.set_limits(fast());
+        let a = t3d.remote_deposit(WS, 1).unwrap().cycles;
+        let b = t3d.remote_fetch(WS, 8).unwrap().cycles;
+        let mut t3e = T3e::with_faults(plan).unwrap();
+        t3e.set_limits(fast());
+        let c = t3e.remote_deposit(WS, 2).unwrap().cycles;
+        let mut dec = Dec8400::with_faults(plan).unwrap();
+        dec.set_limits(fast());
+        let d = dec.remote_load(WS, 1).unwrap().cycles;
+        (a.to_bits(), b.to_bits(), c.to_bits(), d.to_bits())
+    };
+    assert_eq!(run(&plan), run(&plan), "same FaultPlan must give bit-identical cycles");
+}
+
+#[test]
+fn harsher_plans_hurt_more_on_average() {
+    // Not guaranteed per-seed (a mild plan can happen to hit the canonical
+    // route), so compare totals over a handful of seeds.
+    let total = |severity: f64| -> f64 {
+        (0..6_u64)
+            .map(|seed| {
+                let plan = FaultPlan::new(seed, severity).unwrap();
+                let mut t3d = T3d::with_faults(&plan).unwrap();
+                t3d.set_limits(fast());
+                t3d.remote_deposit(WS, 1).unwrap().cycles
+            })
+            .sum()
+    };
+    assert!(total(0.9) > total(0.1));
+}

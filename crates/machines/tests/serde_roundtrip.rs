@@ -1,33 +1,25 @@
 //! Configuration types behave as value types: cloneable, comparable, and
-//! (for the enums users store in results files) serde round-trippable.
+//! (for the enums users store in results files) label round-trippable.
 
 use gasnub_machines::calibration::calibration_table;
 use gasnub_machines::machine::{MachineId, Measurement};
 use gasnub_machines::params;
-use serde::de::value::{Error as ValueError, StrDeserializer};
-use serde::Deserialize;
 
 #[test]
-fn machine_id_round_trips_through_serde() {
-    for (id, name) in [
-        (MachineId::Dec8400, "Dec8400"),
-        (MachineId::CrayT3d, "CrayT3d"),
-        (MachineId::CrayT3e, "CrayT3e"),
-        (MachineId::Custom, "Custom"),
-    ] {
-        // The derive serializes unit variants as their names; deserialize
-        // the name back through serde's string deserializer.
-        let de: StrDeserializer<ValueError> = serde::de::IntoDeserializer::into_deserializer(name);
-        let back = MachineId::deserialize(de).expect("variant name deserializes");
-        assert_eq!(back, id);
+fn machine_id_round_trips_through_labels() {
+    for id in [MachineId::Dec8400, MachineId::CrayT3d, MachineId::CrayT3e, MachineId::Custom] {
+        let label = id.label();
+        let back = MachineId::from_label(label).expect("labels parse back");
+        assert_eq!(back, id, "round trip through '{label}'");
+        let parsed: MachineId = label.parse().expect("FromStr agrees with from_label");
+        assert_eq!(parsed, id);
     }
 }
 
 #[test]
 fn unknown_machine_id_is_rejected() {
-    let de: StrDeserializer<ValueError> =
-        serde::de::IntoDeserializer::into_deserializer("Paragon");
-    assert!(MachineId::deserialize(de).is_err());
+    assert_eq!(MachineId::from_label("Paragon"), None);
+    assert!("Paragon".parse::<MachineId>().is_err());
 }
 
 #[test]

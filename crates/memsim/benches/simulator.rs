@@ -1,7 +1,9 @@
-//! Criterion micro-benchmarks of the simulator itself: how fast the
-//! substrate processes accesses (useful when sizing sweep grids).
+//! Micro-benchmarks of the simulator itself: how fast the substrate
+//! processes accesses (useful when sizing sweep grids). Plain
+//! `std::time::Instant` timing — no external harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
+
 use gasnub_memsim::access::AccessKind;
 use gasnub_memsim::cache::Cache;
 use gasnub_memsim::config::presets;
@@ -9,57 +11,57 @@ use gasnub_memsim::dram::Dram;
 use gasnub_memsim::engine::MemoryEngine;
 use gasnub_memsim::trace::StridedPass;
 
-fn bench_cache_access(c: &mut Criterion) {
+fn time<R>(label: &str, elements: u64, mut f: impl FnMut() -> R) {
+    // One warmup, then enough iterations for a stable few-millisecond sample.
+    std::hint::black_box(f());
+    let iters = 50u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    let per_elem_ns = per_iter.as_nanos() as f64 / elements as f64;
+    println!("{label:<32} {per_iter:>12.2?}/iter   {per_elem_ns:>8.1} ns/elem");
+}
+
+fn bench_cache_access() {
     let cfg = presets::tiny_test_node().hierarchy.levels[1].cache.clone();
-    let mut group = c.benchmark_group("cache_access");
-    group.throughput(Throughput::Elements(1024));
-    group.bench_function("l2_hits", |b| {
-        let mut cache = Cache::new(cfg.clone()).unwrap();
+    let mut cache = Cache::new(cfg).unwrap();
+    for w in 0..1024u64 {
+        cache.access(w * 8 % (32 * 1024), AccessKind::Read);
+    }
+    time("cache_access/l2_hits", 1024, || {
         for w in 0..1024u64 {
-            cache.access(w * 8 % (32 * 1024), AccessKind::Read);
+            std::hint::black_box(cache.access(w * 8 % (32 * 1024), AccessKind::Read));
         }
-        b.iter(|| {
-            for w in 0..1024u64 {
-                std::hint::black_box(cache.access(w * 8 % (32 * 1024), AccessKind::Read));
-            }
-        })
     });
-    group.finish();
 }
 
-fn bench_dram_access(c: &mut Criterion) {
+fn bench_dram_access() {
     let cfg = presets::tiny_test_node().hierarchy.dram.clone();
-    let mut group = c.benchmark_group("dram_access");
-    group.throughput(Throughput::Elements(1024));
-    group.bench_function("strided", |b| {
-        let mut dram = Dram::new(cfg.clone()).unwrap();
-        b.iter(|| {
-            let mut now = 0.0;
-            for w in 0..1024u64 {
-                let out = dram.access(w * 512, now);
-                now += out.cycles;
-            }
-            std::hint::black_box(now)
-        })
+    let mut dram = Dram::new(cfg).unwrap();
+    time("dram_access/strided", 1024, || {
+        let mut now = 0.0;
+        for w in 0..1024u64 {
+            let out = dram.access(w * 512, now);
+            now += out.cycles;
+        }
+        now
     });
-    group.finish();
 }
 
-fn bench_engine_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_throughput");
+fn bench_engine_throughput() {
     for &stride in &[1u64, 16] {
         let words = 64 * 1024 / 8;
-        group.throughput(Throughput::Elements(words));
-        group.bench_with_input(BenchmarkId::new("strided_pass", stride), &stride, |b, &s| {
-            let mut engine = MemoryEngine::new(presets::tiny_test_node());
-            b.iter(|| {
-                let stats = engine.run_trace(StridedPass::new(0, words, s));
-                std::hint::black_box(stats.cycles)
-            })
+        let mut engine = MemoryEngine::new(presets::tiny_test_node());
+        time(&format!("engine/strided_pass/{stride}"), words, || {
+            engine.run_trace(StridedPass::new(0, words, stride)).cycles
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_cache_access, bench_dram_access, bench_engine_throughput);
-criterion_main!(benches);
+fn main() {
+    bench_cache_access();
+    bench_dram_access();
+    bench_engine_throughput();
+}

@@ -1,6 +1,5 @@
 //! Basic address and access types shared by every component.
 
-use serde::{Deserialize, Serialize};
 
 /// A physical byte address in the simulated node's memory.
 ///
@@ -12,7 +11,7 @@ pub type Addr = u64;
 pub const WORD_BYTES: u64 = 8;
 
 /// Whether an access reads or writes memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A load (read) of a 64-bit word.
     Read,
@@ -33,7 +32,7 @@ impl AccessKind {
 }
 
 /// A single 64-bit memory access, the unit all traces are made of.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Access {
     /// Byte address of the access (word aligned in all generated traces).
     pub addr: Addr,

@@ -6,13 +6,12 @@
 //! tags, valid and dirty bits — because the paper's characterization depends
 //! only on hit/miss behaviour and transfer sizes.
 
-use serde::{Deserialize, Serialize};
 
 use crate::access::{Addr, AccessKind};
 use crate::error::ConfigError;
 
 /// Write policy of a cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WritePolicy {
     /// Stores update the line (if present) and are always forwarded to the
     /// next level (the Alpha 21064/21164 on-chip L1 caches).
@@ -23,7 +22,7 @@ pub enum WritePolicy {
 }
 
 /// Allocation policy on a store miss.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocatePolicy {
     /// Lines are allocated on read misses only ("read-allocate"); a store
     /// miss bypasses the cache. This is the policy of the write-through
@@ -35,7 +34,7 @@ pub enum AllocatePolicy {
 }
 
 /// Static description of one cache level.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheConfig {
     /// Human-readable name used in diagnostics ("L1", "L2", "L3").
     pub name: String,

@@ -4,14 +4,13 @@
 //! the `gasnub-machines` crate; this module only provides neutral test
 //! configurations so the simulator substrate can be exercised standalone.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cpu::CpuConfig;
 use crate::error::ConfigError;
 use crate::hierarchy::HierarchyConfig;
 
 /// Static description of one processing node: CPU front end + memory system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeConfig {
     /// Diagnostic name ("DEC 8400 node", "T3D PE", …).
     pub name: String,

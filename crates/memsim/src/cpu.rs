@@ -9,12 +9,11 @@
 //! overhead is fractional), and a bounded-overlap factor for outstanding
 //! misses.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::ConfigError;
 
 /// Static description of the processor front end of a node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuConfig {
     /// Processor clock in MHz; converts cycles to time (and so to MB/s).
     pub clock_mhz: f64,

@@ -11,13 +11,12 @@
 //!   the same bank is hit in consecutive receives" (§5.6) — modelled by
 //!   per-bank busy windows that stall same-bank back-to-back accesses.
 
-use serde::{Deserialize, Serialize};
 
 use crate::access::Addr;
 use crate::error::ConfigError;
 
 /// Static description of a DRAM subsystem.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DramConfig {
     /// Number of independent banks. Must be a power of two.
     pub banks: u64,
@@ -78,7 +77,7 @@ impl DramConfig {
 }
 
 /// What one DRAM access experienced, for statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramOutcome {
     /// Total cycles charged for this access (including any bank stall).
     pub cycles: f64,

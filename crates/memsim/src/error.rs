@@ -39,6 +39,103 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+/// A runtime simulation error.
+///
+/// Where [`ConfigError`] reports an invalid machine *description*, this
+/// reports a request the simulator cannot satisfy at run time: an address or
+/// node outside the modelled range, a transfer that no live route can carry,
+/// or malformed persisted state (e.g. a corrupt sweep checkpoint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The machine description itself is invalid.
+    Config(ConfigError),
+    /// An index, address or node lies outside the modelled range.
+    OutOfRange {
+        /// The component that rejected the request (e.g. `"torus"`).
+        component: String,
+        /// What was out of range.
+        detail: String,
+    },
+    /// No route exists between two endpoints (e.g. faults partitioned the
+    /// network).
+    Unroutable {
+        /// Human-readable description of the failed routing request.
+        detail: String,
+    },
+    /// The request is structurally valid but not supported by this model.
+    Unsupported {
+        /// What was requested and why it is unsupported.
+        detail: String,
+    },
+    /// Persisted state (checkpoint, results file) could not be parsed.
+    Malformed {
+        /// What failed to parse and why.
+        detail: String,
+    },
+    /// An I/O operation on persisted state failed.
+    Io {
+        /// The operation and the underlying error text.
+        detail: String,
+    },
+}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::OutOfRange`].
+    pub fn out_of_range(component: impl Into<String>, detail: impl Into<String>) -> Self {
+        SimError::OutOfRange { component: component.into(), detail: detail.into() }
+    }
+
+    /// Convenience constructor for [`SimError::Unroutable`].
+    pub fn unroutable(detail: impl Into<String>) -> Self {
+        SimError::Unroutable { detail: detail.into() }
+    }
+
+    /// Convenience constructor for [`SimError::Unsupported`].
+    pub fn unsupported(detail: impl Into<String>) -> Self {
+        SimError::Unsupported { detail: detail.into() }
+    }
+
+    /// Convenience constructor for [`SimError::Malformed`].
+    pub fn malformed(detail: impl Into<String>) -> Self {
+        SimError::Malformed { detail: detail.into() }
+    }
+
+    /// Convenience constructor for [`SimError::Io`].
+    pub fn io(detail: impl Into<String>) -> Self {
+        SimError::Io { detail: detail.into() }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => e.fmt(f),
+            SimError::OutOfRange { component, detail } => {
+                write!(f, "{component}: out of range: {detail}")
+            }
+            SimError::Unroutable { detail } => write!(f, "unroutable: {detail}"),
+            SimError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
+            SimError::Malformed { detail } => write!(f, "malformed data: {detail}"),
+            SimError::Io { detail } => write!(f, "i/o error: {detail}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,5 +148,22 @@ mod tests {
         assert!(s.contains("power of two"));
         assert_eq!(e.component(), "cache L1");
         assert_eq!(e.problem(), "line size must be a power of two");
+    }
+
+    #[test]
+    fn sim_error_wraps_config_error() {
+        let cfg = ConfigError::new("torus", "all dimensions must be non-zero");
+        let sim: SimError = cfg.clone().into();
+        assert_eq!(sim, SimError::Config(cfg));
+        assert!(sim.to_string().contains("torus"));
+        assert!(Error::source(&sim).is_some());
+    }
+
+    #[test]
+    fn sim_error_variants_display_their_detail() {
+        assert!(SimError::out_of_range("torus", "node 99").to_string().contains("node 99"));
+        assert!(SimError::unroutable("0 -> 5").to_string().contains("0 -> 5"));
+        assert!(SimError::unsupported("negative stride").to_string().contains("stride"));
+        assert!(SimError::malformed("bad checkpoint").to_string().contains("checkpoint"));
     }
 }

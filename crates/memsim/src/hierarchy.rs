@@ -22,7 +22,6 @@
 //! in the write buffer when one is configured (T3D), otherwise directly in
 //! DRAM.
 
-use serde::{Deserialize, Serialize};
 
 use crate::access::{line_index, AccessKind, Addr};
 use crate::cache::{Cache, CacheConfig, LookupOutcome, WritePolicy};
@@ -33,7 +32,7 @@ use crate::stream::{StreamConfig, StreamDetector};
 use crate::write_buffer::{WriteBuffer, WriteBufferConfig};
 
 /// Static description of one cache level plus its fill boundary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LevelConfig {
     /// Tag-array geometry and policies of this level.
     pub cache: CacheConfig,
@@ -68,7 +67,7 @@ impl LevelConfig {
 }
 
 /// Static description of a whole node memory hierarchy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HierarchyConfig {
     /// Cache levels, L1 first. May be empty (a cacheless node).
     pub levels: Vec<LevelConfig>,

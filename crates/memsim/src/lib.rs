@@ -54,6 +54,7 @@ pub mod engine;
 pub mod error;
 pub mod hierarchy;
 pub mod replay;
+pub mod rng;
 pub mod stats;
 pub mod stream;
 pub mod trace;
@@ -62,5 +63,5 @@ pub mod write_buffer;
 pub use access::{Access, AccessKind, Addr, WORD_BYTES};
 pub use config::NodeConfig;
 pub use engine::MemoryEngine;
-pub use error::ConfigError;
+pub use error::{ConfigError, SimError};
 pub use stats::{LevelStats, RunStats};

@@ -1,0 +1,152 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The repository must produce bit-identical results for a given seed on
+//! every platform, without external dependencies, so this module provides a
+//! small splitmix64/xoshiro-style generator used by the fault-injection
+//! plans, the gather benchmarks, and the in-repo property-test harness.
+//! It is **not** cryptographic.
+
+/// A deterministic 64-bit PRNG (splitmix64 stepping).
+///
+/// The same seed always yields the same stream, on every platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. All seeds (including 0) are valid.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64 (Steele, Lea, Flood 2014): a full-period generator with
+        // excellent avalanche behaviour from any seed.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Derives an independent generator for a named sub-stream, so that
+    /// drawing more values for one purpose never shifts another purpose's
+    /// stream (the property that keeps fault plans stable as features grow).
+    pub fn fork(&self, stream: u64) -> Rng {
+        let mut child = Rng::new(self.state ^ stream.wrapping_mul(0xA076_1D64_78BD_642F));
+        // Burn one output so forks of adjacent streams decorrelate.
+        let _ = child.next_u64();
+        child
+    }
+
+    /// Fisher-Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Runs `cases` deterministic pseudo-random test cases, passing each a
+/// seeded [`Rng`]. The in-repo replacement for an external property-testing
+/// framework: on failure the panic message of the failing case includes its
+/// case index (re-run with `Rng::new(seed ^ index)` to reproduce).
+pub fn run_cases(seed: u64, cases: u64, mut f: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let mut rng = Rng::new(seed ^ case);
+        f(&mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Rng::new(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = Rng::new(3);
+        for _ in 0..1000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_consumption() {
+        let parent = Rng::new(99);
+        let mut f1 = parent.fork(1);
+        let mut f2 = parent.fork(1);
+        assert_eq!(f1.next_u64(), f2.next_u64());
+        let mut other = parent.fork(2);
+        assert_ne!(f1.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "a 100-element shuffle is never identity in practice");
+    }
+
+    #[test]
+    fn run_cases_covers_all_cases() {
+        let mut n = 0;
+        run_cases(0, 16, |_| n += 1);
+        assert_eq!(n, 16);
+    }
+}

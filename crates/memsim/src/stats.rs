@@ -1,9 +1,8 @@
 //! Run statistics produced by the trace engine.
 
-use serde::{Deserialize, Serialize};
 
 /// Per-cache-level counters for one run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LevelStats {
     /// Accesses that hit in this level.
     pub hits: u64,
@@ -34,7 +33,7 @@ impl LevelStats {
 /// Bucket `k` counts accesses whose cycle cost `c` satisfies
 /// `2^(k-1) < c <= 2^k` (bucket 0 counts `c <= 1`). Useful for spotting a
 /// bimodal hit/miss split that an average would hide.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LatencyHistogram {
     buckets: Vec<u64>,
 }
@@ -93,7 +92,7 @@ impl LatencyHistogram {
 }
 
 /// Aggregate result of running a trace through a [`crate::engine::MemoryEngine`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Total accesses processed.
     pub accesses: u64,

@@ -13,12 +13,11 @@
 //! consecutive lines to train. Streamed fills are charged the pipelined
 //! transfer cost instead of the full access latency.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::ConfigError;
 
 /// Static description of a stream detector at one hierarchy boundary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamConfig {
     /// Number of independent streams tracked simultaneously. The T3E has six
     /// stream buffers; the T3D read-ahead logic follows one stream.

@@ -12,13 +12,12 @@
 //! what gives the T3D its strided-store advantage (contiguous stores share a
 //! 32-byte entry, strided stores each pay for a full entry drain).
 
-use serde::{Deserialize, Serialize};
 
 use crate::access::{line_index, Addr};
 use crate::error::ConfigError;
 
 /// Static description of a write buffer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WriteBufferConfig {
     /// Number of entries the queue holds. The queue only throttles once it is
     /// full, so small counts make stalls visible earlier.
@@ -56,7 +55,7 @@ impl WriteBufferConfig {
 }
 
 /// Outcome of pushing one store into the buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PushOutcome {
     /// Cycles the processor stalled because the queue was full.
     pub stall_cycles: f64,

@@ -1,4 +1,5 @@
-//! Property-based tests for the simulator substrate.
+//! Property-based tests for the simulator substrate, driven by the in-repo
+//! deterministic case generator ([`gasnub_memsim::rng::run_cases`]).
 //!
 //! The central test checks the tag-array [`Cache`] against an *independent
 //! reference model* (a straightforward map-of-vecs LRU implementation) on
@@ -11,9 +12,9 @@ use gasnub_memsim::cache::{AllocatePolicy, Cache, CacheConfig, WritePolicy};
 use gasnub_memsim::config::presets;
 use gasnub_memsim::dram::{Dram, DramConfig};
 use gasnub_memsim::engine::MemoryEngine;
+use gasnub_memsim::rng::{run_cases, Rng};
 use gasnub_memsim::trace::{StridedOrder, StridedPass};
 use gasnub_memsim::write_buffer::{WriteBuffer, WriteBufferConfig};
-use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
 // Reference cache model
@@ -59,109 +60,113 @@ impl ReferenceCache {
     }
 }
 
-fn arb_cache_config() -> impl Strategy<Value = CacheConfig> {
-    (1u32..4, 0u32..3, 0u32..2, any::<bool>()).prop_map(|(sets_log, assoc_idx, line_idx, wb)| {
-        let assoc = [1u64, 2, 4][assoc_idx as usize];
-        let line = [32u64, 64][line_idx as usize];
-        let sets = 1u64 << (sets_log + 2); // 8..32 sets: small enough to thrash
-        CacheConfig {
-            name: "prop".to_string(),
-            capacity_bytes: sets * assoc * line,
-            line_bytes: line,
-            associativity: assoc,
-            write_policy: if wb { WritePolicy::WriteBack } else { WritePolicy::WriteThrough },
-            allocate_policy: if wb {
-                AllocatePolicy::ReadWriteAllocate
-            } else {
-                AllocatePolicy::ReadAllocate
-            },
-        }
-    })
+fn arb_cache_config(rng: &mut Rng) -> CacheConfig {
+    let assoc = [1u64, 2, 4][rng.gen_range(0, 3) as usize];
+    let line = [32u64, 64][rng.gen_range(0, 2) as usize];
+    let sets = 1u64 << rng.gen_range(3, 6); // 8..32 sets: small enough to thrash
+    let wb = rng.gen_bool(0.5);
+    CacheConfig {
+        name: "prop".to_string(),
+        capacity_bytes: sets * assoc * line,
+        line_bytes: line,
+        associativity: assoc,
+        write_policy: if wb { WritePolicy::WriteBack } else { WritePolicy::WriteThrough },
+        allocate_policy: if wb {
+            AllocatePolicy::ReadWriteAllocate
+        } else {
+            AllocatePolicy::ReadAllocate
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The tag-array cache and the naive reference agree on every access.
-    #[test]
-    fn cache_matches_reference_model(
-        cfg in arb_cache_config(),
-        accesses in prop::collection::vec((0u64..4096, any::<bool>()), 1..400),
-    ) {
+/// The tag-array cache and the naive reference agree on every access.
+#[test]
+fn cache_matches_reference_model() {
+    run_cases(0xCAC4E, 64, |rng| {
+        let cfg = arb_cache_config(rng);
         let mut cache = Cache::new(cfg.clone()).expect("generated configs are valid");
         let mut reference = ReferenceCache::new(&cfg);
-        for (word, is_write) in accesses {
-            let addr = word * 8;
-            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+        for _ in 0..rng.gen_range(1, 400) {
+            let addr = rng.gen_range(0, 4096) * 8;
+            let kind = if rng.gen_bool(0.5) { AccessKind::Write } else { AccessKind::Read };
             let got = cache.access(addr, kind).is_hit();
             let want = reference.access(addr, kind);
-            prop_assert_eq!(got, want, "divergence at addr {} ({:?})", addr, kind);
+            assert_eq!(got, want, "divergence at addr {addr} ({kind:?}) with {cfg:?}");
         }
-    }
+    });
+}
 
-    /// Hits + misses always equals the number of accesses.
-    #[test]
-    fn cache_counters_are_conserved(
-        cfg in arb_cache_config(),
-        words in prop::collection::vec(0u64..2048, 1..300),
-    ) {
+/// Hits + misses always equals the number of accesses.
+#[test]
+fn cache_counters_are_conserved() {
+    run_cases(0xC0117, 64, |rng| {
+        let cfg = arb_cache_config(rng);
         let mut cache = Cache::new(cfg).unwrap();
-        for &w in &words {
-            let _ = cache.access(w * 8, AccessKind::Read);
+        let n = rng.gen_range(1, 300);
+        for _ in 0..n {
+            let _ = cache.access(rng.gen_range(0, 2048) * 8, AccessKind::Read);
         }
-        prop_assert_eq!(cache.hits() + cache.misses(), words.len() as u64);
-    }
+        assert_eq!(cache.hits() + cache.misses(), n);
+    });
+}
 
-    /// StridedOrder visits every index exactly once, for any (words, stride).
-    #[test]
-    fn strided_order_is_always_a_permutation(words in 1u64..5000, stride in 1u64..300) {
+/// StridedOrder visits every index exactly once, for any (words, stride).
+#[test]
+fn strided_order_is_always_a_permutation() {
+    run_cases(0x57D, 64, |rng| {
+        let words = rng.gen_range(1, 5000);
+        let stride = rng.gen_range(1, 300);
         let mut seen = vec![false; words as usize];
         let mut count = 0u64;
         for idx in StridedOrder::new(words, stride) {
-            prop_assert!(idx < words);
-            prop_assert!(!seen[idx as usize], "index {} visited twice", idx);
+            assert!(idx < words);
+            assert!(!seen[idx as usize], "index {idx} visited twice (words {words}, stride {stride})");
             seen[idx as usize] = true;
             count += 1;
         }
-        prop_assert_eq!(count, words);
-    }
+        assert_eq!(count, words, "words {words}, stride {stride}");
+    });
+}
 
-    /// The write buffer conserves stores: every store either coalesces or
-    /// opens an entry, and flush drains everything.
-    #[test]
-    fn write_buffer_conserves_entries(
-        words in prop::collection::vec(0u64..512, 1..200),
-        coalesce in any::<bool>(),
-    ) {
+/// The write buffer conserves stores: every store either coalesces or
+/// opens an entry, and flush drains everything.
+#[test]
+fn write_buffer_conserves_entries() {
+    run_cases(0x3B, 64, |rng| {
+        let coalesce = rng.gen_bool(0.5);
         let mut wb = WriteBuffer::new(WriteBufferConfig {
             entries: 4,
             entry_bytes: 32,
             drain_cycles_per_entry: 10.0,
             coalesce,
-        }).unwrap();
+        })
+        .unwrap();
         let mut now = 0.0;
         let mut opened = 0u64;
-        for &w in &words {
-            let out = wb.push(w * 8, now);
-            prop_assert!(out.stall_cycles >= 0.0);
+        let n = rng.gen_range(1, 200);
+        for _ in 0..n {
+            let out = wb.push(rng.gen_range(0, 512) * 8, now);
+            assert!(out.stall_cycles >= 0.0);
             if !out.coalesced {
                 opened += 1;
             }
             now += 1.0 + out.stall_cycles;
         }
-        prop_assert_eq!(wb.stores(), words.len() as u64);
-        prop_assert_eq!(wb.coalesced_stores() + opened, words.len() as u64);
+        assert_eq!(wb.stores(), n);
+        assert_eq!(wb.coalesced_stores() + opened, n);
         let _ = wb.flush(now);
-        prop_assert_eq!(wb.entries_drained(), opened, "flush must drain every opened entry");
+        assert_eq!(wb.entries_drained(), opened, "flush must drain every opened entry");
         if !coalesce {
-            prop_assert_eq!(wb.coalesced_stores(), 0u64);
+            assert_eq!(wb.coalesced_stores(), 0u64);
         }
-    }
+    });
+}
 
-    /// DRAM row-hit semantics: a second access to the same bank and row with
-    /// no interference is always a row hit and never stalls once idle.
-    #[test]
-    fn dram_row_hit_semantics(word in 0u64..100_000) {
+/// DRAM row-hit semantics: a second access to the same bank and row with
+/// no interference is always a row hit and never stalls once idle.
+#[test]
+fn dram_row_hit_semantics() {
+    run_cases(0xD7A5, 64, |rng| {
         let cfg = DramConfig {
             banks: 4,
             interleave_bytes: 64,
@@ -170,26 +175,29 @@ proptest! {
             row_miss_extra_cycles: 30.0,
             bank_busy_cycles: 20.0,
         };
-        let addr = word * 8;
+        let addr = rng.gen_range(0, 100_000) * 8;
         let mut dram = Dram::new(cfg).unwrap();
         let first = dram.access(addr, 0.0);
-        prop_assert!(!first.row_hit, "cold access opens the row");
+        assert!(!first.row_hit, "cold access opens the row");
         let second = dram.access(addr, 1_000.0);
-        prop_assert!(second.row_hit);
-        prop_assert_eq!(second.bank_stall_cycles, 0.0);
-        prop_assert!(second.cycles < first.cycles);
-    }
+        assert!(second.row_hit);
+        assert_eq!(second.bank_stall_cycles, 0.0);
+        assert!(second.cycles < first.cycles);
+    });
+}
 
-    /// Engine cycle counts are positive, finite, and additive over splits of
-    /// a trace.
-    #[test]
-    fn engine_cycles_are_additive(words in 16u64..2048, split in 1u64..15) {
+/// Engine cycle counts are positive, finite, and additive over splits of
+/// a trace.
+#[test]
+fn engine_cycles_are_additive() {
+    run_cases(0xADD, 32, |rng| {
+        let words = rng.gen_range(16, 2048);
+        let split = (words * rng.gen_range(1, 15) / 16).max(1).min(words - 1);
         let node = presets::tiny_test_node();
-        let split = (words * split / 16).max(1).min(words - 1);
 
         let mut whole = MemoryEngine::new(node.clone());
         let all = whole.run_trace(StridedPass::new(0, words, 1));
-        prop_assert!(all.cycles.is_finite() && all.cycles > 0.0);
+        assert!(all.cycles.is_finite() && all.cycles > 0.0);
 
         let mut parts = MemoryEngine::new(node);
         let head: Vec<Access> = StridedPass::new(0, words, 1).take(split as usize).collect();
@@ -197,19 +205,27 @@ proptest! {
         let a = parts.run_trace(head);
         let b = parts.run_trace(tail);
         let sum = a.cycles + b.cycles;
-        prop_assert!((sum - all.cycles).abs() < 1e-6 * all.cycles.max(1.0),
-            "split run must cost the same: {} vs {}", sum, all.cycles);
-    }
+        assert!(
+            (sum - all.cycles).abs() < 1e-6 * all.cycles.max(1.0),
+            "split run must cost the same: {} vs {} (words {words}, split {split})",
+            sum,
+            all.cycles
+        );
+    });
+}
 
-    /// Flushing an engine restores the cold-start cost exactly.
-    #[test]
-    fn flush_restores_cold_state(words in 16u64..1024, stride in 1u64..32) {
+/// Flushing an engine restores the cold-start cost exactly.
+#[test]
+fn flush_restores_cold_state() {
+    run_cases(0xF1054, 32, |rng| {
+        let words = rng.gen_range(16, 1024);
+        let stride = rng.gen_range(1, 32);
         let mut e = MemoryEngine::new(presets::tiny_test_node());
         let cold = e.run_trace(StridedPass::new(0, words, stride)).cycles;
         let warm = e.run_trace(StridedPass::new(0, words, stride)).cycles;
         e.flush();
         let again = e.run_trace(StridedPass::new(0, words, stride)).cycles;
-        prop_assert_eq!(cold, again, "flush must reproduce the cold run");
-        prop_assert!(warm <= cold, "a warm run is never slower than a cold one");
-    }
+        assert_eq!(cold, again, "flush must reproduce the cold run (words {words}, stride {stride})");
+        assert!(warm <= cold, "a warm run is never slower than a cold one");
+    });
 }

@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 
 use gasnub_machines::{Machine, MachineId, MeasureLimits};
-use gasnub_memsim::WORD_BYTES;
+use gasnub_memsim::{SimError, WORD_BYTES};
 
 /// Which direction a transfer moves relative to the initiating PE.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,11 +135,36 @@ const PROBE_WS_BYTES: u64 = 1024 * 1024;
 impl MeasuredCost {
     /// Builds a measured cost model around `machine` with its built-in
     /// overhead table.
+    ///
+    /// A machine supporting neither remote transfer direction prices every
+    /// call at infinite cycles; use [`MeasuredCost::try_new`] to reject such
+    /// machines up front instead.
     pub fn new(mut machine: Box<dyn Machine>) -> Self {
         // Probing needs steady state, not the full default sweep budget.
         machine.set_limits(MeasureLimits { max_measure_words: 16 * 1024, max_prime_words: 256 * 1024 });
         let overheads = CallOverheads::for_machine(machine.id());
         MeasuredCost { machine, overheads, cycles_per_word: HashMap::new() }
+    }
+
+    /// Builds a measured cost model, verifying the machine can actually
+    /// move data remotely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unsupported`] when `machine` supports neither
+    /// remote deposit nor remote fetch (its shmem calls could never
+    /// complete).
+    pub fn try_new(machine: Box<dyn Machine>) -> Result<Self, SimError> {
+        let mut cost = Self::new(machine);
+        if cost.machine.remote_deposit(PROBE_WS_BYTES, 1).is_none()
+            && cost.machine.remote_fetch(PROBE_WS_BYTES, 1).is_none()
+        {
+            return Err(SimError::unsupported(format!(
+                "{} supports neither remote deposit nor remote fetch",
+                cost.machine.name()
+            )));
+        }
+        Ok(cost)
     }
 
     /// The machine being priced.
@@ -163,12 +188,13 @@ impl MeasuredCost {
                 .remote_deposit(PROBE_WS_BYTES, stride)
                 .or_else(|| self.machine.remote_fetch(PROBE_WS_BYTES, stride)),
             TransferKind::Fetch => self.machine.remote_fetch(PROBE_WS_BYTES, stride),
-        }
-        .expect("machine supports neither deposit nor fetch");
-        let per_word = if m.mb_s > 0.0 {
-            WORD_BYTES as f64 * self.machine.clock_mhz() / m.mb_s
-        } else {
-            f64::INFINITY
+        };
+        // An unsupported transfer direction is priced as infinitely
+        // expensive rather than a panic: the strategy chooser then simply
+        // never picks it.
+        let per_word = match m {
+            Some(m) if m.mb_s > 0.0 => WORD_BYTES as f64 * self.machine.clock_mhz() / m.mb_s,
+            _ => f64::INFINITY,
         };
         self.cycles_per_word.insert(key, per_word);
         per_word
@@ -251,5 +277,28 @@ mod tests {
     fn zero_element_calls_are_free() {
         let mut c = MeasuredCost::new(Box::new(T3e::new()));
         assert_eq!(c.call_cycles(TransferKind::Fetch, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn try_new_validates_remote_support() {
+        assert!(MeasuredCost::try_new(Box::new(T3d::new())).is_ok());
+        // A local-only machine is rejected up front...
+        let node = gasnub_machines::CustomMachineBuilder::new(
+            "local-only",
+            gasnub_memsim::config::presets::tiny_test_node(),
+        )
+        .build()
+        .unwrap();
+        let err = MeasuredCost::try_new(Box::new(node)).unwrap_err();
+        assert!(err.to_string().contains("neither"), "{err}");
+        // ...while the panic-free pricing path charges it infinite cycles.
+        let node = gasnub_machines::CustomMachineBuilder::new(
+            "local-only",
+            gasnub_memsim::config::presets::tiny_test_node(),
+        )
+        .build()
+        .unwrap();
+        let mut c = MeasuredCost::new(Box::new(node));
+        assert!(c.call_cycles(TransferKind::Fetch, 10, 1).is_infinite());
     }
 }

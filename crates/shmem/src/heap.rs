@@ -4,10 +4,9 @@
 //! the same object exists at the same offset on every PE. The heap models
 //! exactly that — word offsets are valid on every PE.
 
-use serde::{Deserialize, Serialize};
 
 /// Identifies a processing element within a [`SymmetricHeap`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pe(pub usize);
 
 impl std::fmt::Display for Pe {
@@ -17,7 +16,7 @@ impl std::fmt::Display for Pe {
 }
 
 /// Per-PE symmetric storage of 64-bit floating point words.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SymmetricHeap {
     words_per_pe: usize,
     data: Vec<Vec<f64>>,

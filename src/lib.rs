@@ -15,6 +15,8 @@
 //! * [`coherence`] — MESI-style snooping coherence for the 8400;
 //! * [`machines`] — the three characterized machines (DEC 8400, Cray T3D,
 //!   Cray T3E) with the paper's parameters;
+//! * [`faults`] — deterministic fault-injection plans for degraded-machine
+//!   characterization;
 //! * [`shmem`] — global-address-space layer (put/get/iput/iget, barriers);
 //! * [`core`] — the extended copy-transfer model: micro-benchmarks, sweep
 //!   driver, characterization surfaces and the transfer cost model;
@@ -25,6 +27,7 @@
 
 pub use gasnub_coherence as coherence;
 pub use gasnub_core as core;
+pub use gasnub_faults as faults;
 pub use gasnub_fft as fft;
 pub use gasnub_interconnect as interconnect;
 pub use gasnub_machines as machines;

@@ -6,12 +6,24 @@
 //! gasnub compare
 //! gasnub fft 512
 //! gasnub scale t3d 2048 512
+//! gasnub faults t3d --seed 7 --severity 0.5
+//! gasnub sweep t3e deposit --checkpoint /tmp/t3e.json --max-cells 10
 //! ```
+//!
+//! Every usage error (unknown subcommand, unknown figure or machine,
+//! malformed numeric argument) prints a message to stderr and exits with
+//! code 2; the tool never panics on bad input.
+
+use std::time::Duration;
 
 use gasnub::core::compare::Comparison;
+use gasnub::core::{Grid, ResilientSweep};
 use gasnub::fft::run_benchmark;
 use gasnub::fft::scalability;
-use gasnub::machines::{Dec8400, Machine, MachineId, MeasureLimits, T3d, T3e};
+use gasnub::machines::{
+    Dec8400, FaultPlan, Machine, MachineId, MeasureLimits, T3d, T3e,
+};
+use gasnub::memsim::SimError;
 
 fn usage() -> ! {
     eprintln!(
@@ -22,9 +34,21 @@ fn usage() -> ! {
          fft [n]                                 2D-FFT benchmark (figs 15-17) at size n\n\
          scale <t3d|t3e> <n> <npes>              §8 scalability projection\n\
          report <dec8400|t3d|t3e>                full markdown characterization report\n\
+         faults <machine> [--seed N] [--severity S]\n\
+         \x20                                        healthy-vs-degraded remote bandwidth\n\
+         sweep <machine> <op> --checkpoint FILE [--max-cells N] [--budget-secs N]\n\
+         \x20       [--seed N] [--severity S]        checkpointed/resumable surface sweep\n\
+         \x20                                        (op: load, store, pull, fetch, deposit)\n\
          \n\
          (see also: cargo run -p gasnub-bench --bin figures / --bin experiments)"
     );
+    std::process::exit(2);
+}
+
+/// Exits with code 2 after printing a specific usage error.
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("gasnub: {message}");
+    eprintln!("(run `gasnub` with no arguments for usage)");
     std::process::exit(2);
 }
 
@@ -37,12 +61,183 @@ fn all_machines() -> Vec<Box<dyn Machine>> {
     v
 }
 
-fn machine_id(label: &str) -> Option<MachineId> {
-    match label {
-        "dec8400" | "8400" => Some(MachineId::Dec8400),
-        "t3d" => Some(MachineId::CrayT3d),
-        "t3e" => Some(MachineId::CrayT3e),
-        _ => None,
+fn machine_id(label: &str) -> MachineId {
+    match MachineId::from_label(label) {
+        Some(MachineId::Custom) | None => fail(format!(
+            "unknown machine {label:?} (expected dec8400, t3d or t3e)"
+        )),
+        Some(id) => id,
+    }
+}
+
+/// Parses a required numeric argument, failing with exit code 2 on garbage.
+fn parse_num<T: std::str::FromStr>(what: &str, text: &str) -> T {
+    text.parse().unwrap_or_else(|_| fail(format!("{what}: malformed number {text:?}")))
+}
+
+/// Minimal flag parser: `--flag value` pairs plus positional arguments.
+/// Unknown flags are usage errors.
+fn split_flags(args: &[String], known: &[&str]) -> (Vec<String>, Vec<(String, String)>) {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if !known.contains(&name) {
+                fail(format!("unknown flag --{name}"));
+            }
+            let Some(value) = it.next() else { fail(format!("--{name} needs a value")) };
+            flags.push((name.to_string(), value.clone()));
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    (positional, flags)
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+}
+
+/// Builds one machine, healthy or degraded by `plan`, with fast limits.
+fn build_machine(id: MachineId, plan: Option<&FaultPlan>) -> Result<Box<dyn Machine>, SimError> {
+    let mut machine: Box<dyn Machine> = match (id, plan) {
+        (MachineId::Dec8400, None) => Box::new(Dec8400::new()),
+        (MachineId::Dec8400, Some(p)) => Box::new(Dec8400::with_faults(p)?),
+        (MachineId::CrayT3d, None) => Box::new(T3d::new()),
+        (MachineId::CrayT3d, Some(p)) => Box::new(T3d::with_faults(p)?),
+        (MachineId::CrayT3e, None) => Box::new(T3e::new()),
+        (MachineId::CrayT3e, Some(p)) => Box::new(T3e::with_faults(p)?),
+        (MachineId::Custom, _) => return Err(SimError::unsupported("custom machine in CLI")),
+    };
+    machine.set_limits(MeasureLimits::fast());
+    Ok(machine)
+}
+
+/// The plan described by `--seed` / `--severity` flags (defaults 0 / 0.5).
+fn plan_from_flags(flags: &[(String, String)]) -> FaultPlan {
+    let seed: u64 = flag(flags, "seed").map_or(0, |v| parse_num("--seed", v));
+    let severity: f64 = flag(flags, "severity").map_or(0.5, |v| parse_num("--severity", v));
+    FaultPlan::new(seed, severity).unwrap_or_else(|e| fail(e))
+}
+
+/// Probes one remote operation at (working set, stride), in MB/s.
+type RemoteProbe = fn(&mut dyn Machine, u64, u64) -> Option<f64>;
+
+/// The remote operations of the `faults` comparison table.
+fn remote_ops() -> Vec<(&'static str, RemoteProbe)> {
+    vec![
+        ("pull", |m, ws, s| m.remote_load(ws, s).map(|r| r.mb_s)),
+        ("fetch", |m, ws, s| m.remote_fetch(ws, s).map(|r| r.mb_s)),
+        ("deposit", |m, ws, s| m.remote_deposit(ws, s).map(|r| r.mb_s)),
+    ]
+}
+
+fn faults_cmd(args: &[String]) {
+    let (positional, flags) = split_flags(args, &["seed", "severity"]);
+    let [label] = positional.as_slice() else {
+        fail("faults takes exactly one machine argument");
+    };
+    let id = machine_id(label);
+    let plan = plan_from_flags(&flags);
+
+    let torus = gasnub::faults::canonical_torus();
+    let channel_faults = plan.channel_faults_for(&torus);
+    let impact = plan.remote_impact().unwrap_or_else(|e| fail(e));
+    let mut healthy = build_machine(id, None).unwrap_or_else(|e| fail(e));
+    let mut degraded = build_machine(id, Some(&plan)).unwrap_or_else(|e| fail(e));
+
+    println!(
+        "Fault plan seed={} severity={:.2}: {} failed / {} degraded channels on the 8x8x8 torus,",
+        plan.seed(),
+        plan.severity(),
+        channel_faults.failed_count(),
+        channel_faults.degraded_count(),
+    );
+    println!(
+        "remote route {} -> {} hops, bottleneck capacity {:.0}%, NI loss {:.1}%/attempt.\n",
+        impact.healthy_hops,
+        impact.hops,
+        impact.min_capacity_factor * 100.0,
+        plan.ni_loss().loss_probability * 100.0,
+    );
+    println!("{} remote bandwidth, healthy vs degraded (MB/s):\n", healthy.name());
+    println!(
+        "{:<9}{:>10}{:>8}{:>12}{:>12}{:>10}",
+        "op", "ws", "stride", "healthy", "degraded", "ratio"
+    );
+    let ws = 4 << 20;
+    for (op, probe) in remote_ops() {
+        for stride in [1u64, 8, 64] {
+            let h = probe(healthy.as_mut(), ws, stride);
+            let d = probe(degraded.as_mut(), ws, stride);
+            let (Some(h), Some(d)) = (h, d) else { continue };
+            println!(
+                "{op:<9}{:>9}M{stride:>8}{h:>12.1}{d:>12.1}{:>10.2}",
+                ws >> 20,
+                if h > 0.0 { d / h } else { 0.0 }
+            );
+        }
+    }
+}
+
+fn sweep_cmd(args: &[String]) {
+    let (positional, flags) =
+        split_flags(args, &["checkpoint", "max-cells", "budget-secs", "seed", "severity"]);
+    let [label, op] = positional.as_slice() else {
+        fail("sweep takes a machine and an operation (load, store, pull, fetch, deposit)");
+    };
+    let id = machine_id(label);
+    let Some(checkpoint) = flag(&flags, "checkpoint") else {
+        fail("sweep needs --checkpoint FILE (re-run with the same file to resume)");
+    };
+
+    let plan = (flag(&flags, "seed").is_some() || flag(&flags, "severity").is_some())
+        .then(|| plan_from_flags(&flags));
+    let mut machine = build_machine(id, plan.as_ref()).unwrap_or_else(|e| fail(e));
+
+    let mut runner = ResilientSweep::new(checkpoint);
+    if let Some(n) = flag(&flags, "max-cells") {
+        runner = runner.with_max_cells(parse_num("--max-cells", n));
+    }
+    if let Some(secs) = flag(&flags, "budget-secs") {
+        runner = runner.with_budget(Duration::from_secs(parse_num("--budget-secs", secs)));
+    }
+
+    let title = format!(
+        "{} {} {op}",
+        machine.name(),
+        if plan.is_some() { "degraded" } else { "healthy" }
+    );
+    let grid = Grid::quick();
+    type Probe = fn(&mut dyn Machine, u64, u64) -> Option<f64>;
+    let probe: Probe = match op.as_str() {
+        "load" => |m, ws, s| Some(m.local_load(ws, s).mb_s),
+        "store" => |m, ws, s| Some(m.local_store(ws, s).mb_s),
+        "pull" => |m, ws, s| m.remote_load(ws, s).map(|r| r.mb_s),
+        "fetch" => |m, ws, s| m.remote_fetch(ws, s).map(|r| r.mb_s),
+        "deposit" => |m, ws, s| m.remote_deposit(ws, s).map(|r| r.mb_s),
+        other => fail(format!("unknown operation {other:?}")),
+    };
+    let outcome = runner
+        .run(&title, &grid, |ws, s| probe(machine.as_mut(), ws, s))
+        .unwrap_or_else(|e| fail(e));
+
+    println!("{}", outcome.surface.render());
+    println!(
+        "cells: {} measured, {} resumed from checkpoint, {} failed, {} pending",
+        outcome.measured,
+        outcome.resumed,
+        outcome.failed.len(),
+        outcome.pending
+    );
+    for f in &outcome.failed {
+        println!("  failed ws={} stride={}: {}", f.ws_bytes, f.stride, f.error);
+    }
+    if outcome.is_complete() {
+        println!("sweep complete (checkpoint kept at {checkpoint})");
+    } else {
+        println!("sweep interrupted; re-run the same command to resume from {checkpoint}");
     }
 }
 
@@ -67,10 +262,8 @@ fn main() {
                 let figures = if sel == "all" {
                     gasnub_bench_run_all(quick)
                 } else {
-                    vec![gasnub_bench_run_one(sel, quick).unwrap_or_else(|| {
-                        eprintln!("unknown figure {sel}");
-                        std::process::exit(2);
-                    })]
+                    vec![gasnub_bench_run_one(sel, quick)
+                        .unwrap_or_else(|| fail(format!("unknown figure {sel:?}")))]
                 };
                 for (id, title, text) in figures {
                     println!("---- {id} — {title}\n{text}");
@@ -84,7 +277,10 @@ fn main() {
             println!("{}", c.render());
         }
         "fft" => {
-            let n: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(256);
+            let n: usize = match args.get(1) {
+                None => 256,
+                Some(a) => parse_num("fft size", a),
+            };
             println!("2D-FFT on 4 PEs, n = {n}:");
             println!(
                 "{:<12}{:>16}{:>18}{:>16}",
@@ -102,25 +298,19 @@ fn main() {
             }
         }
         "report" => {
-            let Some(mid) = args.get(1).and_then(|a| machine_id(a)) else { usage() };
+            let Some(label) = args.get(1) else { usage() };
+            let mid = machine_id(label);
             use gasnub::core::report::{machine_report, ReportOptions};
-            let mut machine: Box<dyn Machine> = match mid {
-                MachineId::Dec8400 => Box::new(Dec8400::new()),
-                MachineId::CrayT3d => Box::new(T3d::new()),
-                MachineId::CrayT3e => Box::new(T3e::new()),
-                MachineId::Custom => unreachable!("machine_id never returns Custom"),
-            };
-            machine.set_limits(MeasureLimits::fast());
+            let mut machine = build_machine(mid, None).unwrap_or_else(|e| fail(e));
             println!("{}", machine_report(machine.as_mut(), &ReportOptions::quick()));
         }
         "scale" => {
-            let (Some(mid), Some(n), Some(p)) = (
-                args.get(1).and_then(|a| machine_id(a)),
-                args.get(2).and_then(|a| a.parse::<u64>().ok()),
-                args.get(3).and_then(|a| a.parse::<u64>().ok()),
-            ) else {
+            let (Some(label), Some(n), Some(p)) = (args.get(1), args.get(2), args.get(3)) else {
                 usage()
             };
+            let mid = machine_id(label);
+            let n: u64 = parse_num("scale size", n);
+            let p: u64 = parse_num("scale PE count", p);
             let point = scalability::project(mid, n, p);
             println!(
                 "{} 2D-FFT({}x{}) on {} PEs: {:.1} GFlop/s total, {:.1} MFlop/s per PE{}",
@@ -133,6 +323,8 @@ fn main() {
                 if point.bisection_limited { " (bisection limited)" } else { "" }
             );
         }
+        "faults" => faults_cmd(&args[1..]),
+        "sweep" => sweep_cmd(&args[1..]),
         _ => usage(),
     }
 }

@@ -1,0 +1,93 @@
+//! Integration tests for the `gasnub` binary: usage errors must exit with
+//! code 2 (never panic), and the fault/sweep subcommands must be
+//! deterministic.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn gasnub(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gasnub"))
+        .args(args)
+        .output()
+        .expect("the gasnub binary must spawn")
+}
+
+fn assert_usage_error(args: &[&str]) {
+    let out = gasnub(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2, stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "{args:?} must not panic: {stderr}");
+    assert!(
+        stderr.contains("usage") || stderr.contains("gasnub:"),
+        "{args:?} must print a usage error: {stderr}"
+    );
+}
+
+#[test]
+fn bad_invocations_exit_2_without_panicking() {
+    assert_usage_error(&[]);
+    assert_usage_error(&["frobnicate"]);
+    assert_usage_error(&["figures", "fig99"]);
+    assert_usage_error(&["fft", "banana"]);
+    assert_usage_error(&["scale", "t3d", "many", "512"]);
+    assert_usage_error(&["scale", "paragon", "512", "512"]);
+    assert_usage_error(&["report", "paragon"]);
+    assert_usage_error(&["faults"]);
+    assert_usage_error(&["faults", "t3x"]);
+    assert_usage_error(&["faults", "t3d", "--seed", "NaN"]);
+    assert_usage_error(&["faults", "t3d", "--severity", "2.0"]);
+    assert_usage_error(&["faults", "t3d", "--frob", "1"]);
+    assert_usage_error(&["sweep", "t3d"]);
+    assert_usage_error(&["sweep", "t3d", "deposit"]); // missing --checkpoint
+    assert_usage_error(&["sweep", "t3d", "teleport", "--checkpoint", "/tmp/x.json"]);
+}
+
+#[test]
+fn faults_tables_are_byte_identical_across_runs() {
+    let args = ["faults", "t3d", "--seed", "7", "--severity", "0.6"];
+    let a = gasnub(&args);
+    let b = gasnub(&args);
+    assert_eq!(a.status.code(), Some(0));
+    assert_eq!(a.stdout, b.stdout, "same seed must print a byte-identical table");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("healthy"), "table header missing: {text}");
+    assert!(text.contains("deposit"), "T3D deposit rows missing: {text}");
+}
+
+#[test]
+fn interrupted_sweep_resumes_to_the_same_surface() {
+    let scratch = |tag: &str| -> PathBuf {
+        std::env::temp_dir().join(format!("gasnub-cli-sweep-{}-{tag}.json", std::process::id()))
+    };
+    let direct_ckpt = scratch("direct");
+    let resumed_ckpt = scratch("resumed");
+    let run = |ckpt: &PathBuf, extra: &[&str]| -> Output {
+        let mut args =
+            vec!["sweep", "t3d", "deposit", "--checkpoint", ckpt.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        gasnub(&args)
+    };
+
+    let direct = run(&direct_ckpt, &[]);
+    assert_eq!(direct.status.code(), Some(0));
+
+    let first = run(&resumed_ckpt, &["--max-cells", "5"]);
+    assert_eq!(first.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&first.stdout).contains("pending"));
+    let second = run(&resumed_ckpt, &[]);
+    assert_eq!(second.status.code(), Some(0));
+
+    let surface_of = |out: &Output| -> String {
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        // Everything up to the cell-accounting line is the rendered surface.
+        text.split("\ncells:").next().unwrap_or_default().to_string()
+    };
+    assert_eq!(
+        surface_of(&direct),
+        surface_of(&second),
+        "resumed sweep must render the identical surface"
+    );
+
+    let _ = std::fs::remove_file(&direct_ckpt);
+    let _ = std::fs::remove_file(&resumed_ckpt);
+}

@@ -2,7 +2,7 @@
 //! stride and working set, not just the calibrated grid points.
 
 use gasnub::machines::{Dec8400, Machine, MeasureLimits, T3d, T3e};
-use proptest::prelude::*;
+use gasnub_memsim::rng::run_cases;
 
 fn fast_t3d() -> T3d {
     let mut m = T3d::new();
@@ -22,76 +22,90 @@ fn fast_dec() -> Dec8400 {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Bandwidth is always positive and never exceeds the machine's
-    /// theoretical issue-limited peak (one word per cycle).
-    #[test]
-    fn local_load_bandwidth_is_bounded(
-        ws_kb in 1u64..4096,
-        stride in 1u64..256,
-    ) {
+/// Bandwidth is always positive and never exceeds the machine's
+/// theoretical issue-limited peak (one word per cycle).
+#[test]
+fn local_load_bandwidth_is_bounded() {
+    run_cases(0xB0B0, 24, |rng| {
+        let ws_kb = rng.gen_range(1, 4096);
+        let stride = rng.gen_range(1, 256);
         let mut m = fast_t3d();
         let bw = m.local_load(ws_kb * 1024, stride).mb_s;
-        prop_assert!(bw > 0.0, "bandwidth must be positive");
+        assert!(bw > 0.0, "bandwidth must be positive");
         let peak = 8.0 * m.clock_mhz(); // one 64-bit word per cycle
-        prop_assert!(bw <= peak * 1.01, "bw {bw} exceeds the issue peak {peak}");
-    }
+        assert!(bw <= peak * 1.01, "bw {bw} exceeds the issue peak {peak}");
+    });
+}
 
-    /// Contiguous access is never slower than the same working set at a
-    /// larger stride on the streams-focused T3D (its surface is monotone in
-    /// stride for DRAM-resident sets).
-    #[test]
-    fn t3d_contiguous_dominates_strided(ws_mb in 1u64..8, stride in 2u64..128) {
+/// Contiguous access is never slower than the same working set at a
+/// larger stride on the streams-focused T3D (its surface is monotone in
+/// stride for DRAM-resident sets).
+#[test]
+fn t3d_contiguous_dominates_strided() {
+    run_cases(0xC0411, 24, |rng| {
+        let ws_mb = rng.gen_range(1, 8);
+        let stride = rng.gen_range(2, 128);
         let mut m = fast_t3d();
         let contig = m.local_load(ws_mb << 20, 1).mb_s;
         let strided = m.local_load(ws_mb << 20, stride).mb_s;
-        prop_assert!(contig >= strided * 0.95, "contig {contig} vs stride-{stride} {strided}");
-    }
+        assert!(contig >= strided * 0.95, "contig {contig} vs stride-{stride} {strided}");
+    });
+}
 
-    /// Copy payload bandwidth never exceeds pure load bandwidth at the same
-    /// stride (a copy does strictly more work per word).
-    #[test]
-    fn copy_never_beats_loads(stride in 1u64..64) {
+/// Copy payload bandwidth never exceeds pure load bandwidth at the same
+/// stride (a copy does strictly more work per word).
+#[test]
+fn copy_never_beats_loads() {
+    run_cases(0xC09E, 24, |rng| {
+        let stride = rng.gen_range(1, 64);
         let mut m = fast_t3e();
         let ws = 4 << 20;
         let load = m.local_load(ws, stride).mb_s;
         let copy = m.local_copy(ws, stride, 1).mb_s;
-        prop_assert!(copy <= load * 1.05, "copy {copy} vs load {load} at stride {stride}");
-    }
+        assert!(copy <= load * 1.05, "copy {copy} vs load {load} at stride {stride}");
+    });
+}
 
-    /// Remote transfers never exceed the same machine's contiguous remote
-    /// peak, for any stride.
-    #[test]
-    fn remote_peak_is_at_unit_stride(stride in 2u64..128) {
+/// Remote transfers never exceed the same machine's contiguous remote
+/// peak, for any stride.
+#[test]
+fn remote_peak_is_at_unit_stride() {
+    run_cases(0x3E40, 24, |rng| {
+        let stride = rng.gen_range(2, 128);
         let mut m = fast_t3e();
         let ws = 4 << 20;
         let peak = m.remote_deposit(ws, 1).unwrap().mb_s;
         let strided = m.remote_deposit(ws, stride).unwrap().mb_s;
-        prop_assert!(strided <= peak * 1.05, "stride {stride}: {strided} vs peak {peak}");
-    }
+        assert!(strided <= peak * 1.05, "stride {stride}: {strided} vs peak {peak}");
+    });
+}
 
-    /// The 8400's pull bandwidth is bounded by the bus burst ceiling.
-    #[test]
-    fn dec8400_pull_below_bus_ceiling(stride in 1u64..64, ws_mb in 1u64..16) {
+/// The 8400's pull bandwidth is bounded by the bus burst ceiling.
+#[test]
+fn dec8400_pull_below_bus_ceiling() {
+    run_cases(0x8400, 24, |rng| {
+        let stride = rng.gen_range(1, 64);
+        let ws_mb = rng.gen_range(1, 16);
         let mut m = fast_dec();
         let bw = m.remote_load(ws_mb << 20, stride).unwrap().mb_s;
-        prop_assert!(bw > 0.0);
-        prop_assert!(bw < 1600.0, "pulls cannot exceed the 1.6 GB/s burst ceiling: {bw}");
-    }
+        assert!(bw > 0.0);
+        assert!(bw < 1600.0, "pulls cannot exceed the 1.6 GB/s burst ceiling: {bw}");
+    });
+}
 
-    /// Measurements scale: the cycle count grows with the measured words
-    /// (same stride, larger working set ⇒ at least as many cycles until the
-    /// measure cap).
-    #[test]
-    fn cycles_grow_with_working_set(stride in 1u64..32) {
+/// Measurements scale: the cycle count grows with the measured words
+/// (same stride, larger working set ⇒ at least as many cycles until the
+/// measure cap).
+#[test]
+fn cycles_grow_with_working_set() {
+    run_cases(0x9120, 24, |rng| {
+        let stride = rng.gen_range(1, 32);
         let mut m = fast_t3d();
         let small = m.local_load(64 << 10, stride).cycles;
         let large = m.local_load(4 << 20, stride).cycles;
         // Both runs measure the same capped word count; the larger set must
         // not be meaningfully cheaper (small pattern-dependent wiggle from
         // DRAM row reuse is tolerated).
-        prop_assert!(large >= small * 0.9, "{large} >= {small}");
-    }
+        assert!(large >= small * 0.9, "{large} >= {small}");
+    });
 }
