@@ -26,6 +26,10 @@ fn main() {
         for _ in 0..iters {
             std::hint::black_box(run_benchmark(machine, 256, 4));
         }
-        println!("fft2d_single/n256_4pe/{}  {:?}/iter", machine.label(), start.elapsed() / iters);
+        println!(
+            "fft2d_single/n256_4pe/{}  {:?}/iter",
+            machine.label(),
+            start.elapsed() / iters
+        );
     }
 }

@@ -29,7 +29,10 @@ impl Ablation {
 }
 
 fn limits() -> MeasureLimits {
-    MeasureLimits { max_measure_words: 32 * 1024, max_prime_words: 2 * 1024 * 1024 }
+    MeasureLimits {
+        max_measure_words: 32 * 1024,
+        max_prime_words: 2 * 1024 * 1024,
+    }
 }
 
 /// Runs every ablation study.
@@ -192,7 +195,11 @@ mod tests {
     fn streams_matter_most_on_the_t3e() {
         let all = run_all();
         let streams = all.iter().find(|a| a.id == "t3e-streams-off").unwrap();
-        assert!(streams.speedup() > 2.0, "stream buffers are worth >2x: {}", streams.speedup());
+        assert!(
+            streams.speedup() > 2.0,
+            "stream buffers are worth >2x: {}",
+            streams.speedup()
+        );
     }
 
     #[test]

@@ -76,10 +76,12 @@ fn main() {
         selectors
             .iter()
             .filter(|s| *s != "ablations" && *s != "extras")
-            .map(|s| figure_by_id(s).unwrap_or_else(|| {
-                eprintln!("unknown figure: {s}");
-                std::process::exit(2);
-            }))
+            .map(|s| {
+                figure_by_id(s).unwrap_or_else(|| {
+                    eprintln!("unknown figure: {s}");
+                    std::process::exit(2);
+                })
+            })
             .collect()
     };
 

@@ -7,8 +7,11 @@ use gasnub_core::sweep::Grid;
 use gasnub_machines::{Dec8400, Machine, MeasureLimits, T3d, T3e};
 
 fn machines() -> Vec<Box<dyn Machine>> {
-    let mut v: Vec<Box<dyn Machine>> =
-        vec![Box::new(Dec8400::new()), Box::new(T3d::new()), Box::new(T3e::new())];
+    let mut v: Vec<Box<dyn Machine>> = vec![
+        Box::new(Dec8400::new()),
+        Box::new(T3d::new()),
+        Box::new(T3e::new()),
+    ];
     for m in &mut v {
         m.set_limits(MeasureLimits::fast());
     }
@@ -19,7 +22,10 @@ fn machines() -> Vec<Box<dyn Machine>> {
 pub fn comparison_table() -> String {
     let mut ms = machines();
     let c = Comparison::measure(&mut ms, 32 << 20);
-    format!("Cross-machine summary, 32 MB working sets (MB/s):\n\n{}", c.render())
+    format!(
+        "Cross-machine summary, 32 MB working sets (MB/s):\n\n{}",
+        c.render()
+    )
 }
 
 /// Gather (indexed access) curves along the working-set axis.
@@ -32,8 +38,10 @@ pub fn gather_curves() -> String {
         out.push_str(&format!("{:>10}", m.id().label()));
     }
     out.push('\n');
-    let curves: Vec<Vec<(u64, f64)>> =
-        ms.iter_mut().map(|m| local_gather_curve(m.as_mut(), &ws)).collect();
+    let curves: Vec<Vec<(u64, f64)>> = ms
+        .iter_mut()
+        .map(|m| local_gather_curve(m.as_mut(), &ws))
+        .collect();
     for (i, &w) in ws.iter().enumerate() {
         let human = if w >= 1 << 20 {
             format!("{}M", w >> 20)
@@ -90,9 +98,15 @@ pub fn t3e_fetch_rewrite(n: usize) -> String {
     format!(
         "T3E 2D-FFT({n}x{n}) transpose primitive (the §7.3 planned rewrite):\n\n\
          {:<22}{:>14}{:>14}\n{:<22}{:>14.0}{:>14.1}\n{:<22}{:>14.0}{:>14.1}\n",
-        "primitive", "MFlop/s", "comm ms",
-        "shmem_iput (paper)", iput.total_mflops, iput.comm_us / 1000.0,
-        "fetch rewrite", fetch.total_mflops, fetch.comm_us / 1000.0,
+        "primitive",
+        "MFlop/s",
+        "comm ms",
+        "shmem_iput (paper)",
+        iput.total_mflops,
+        iput.comm_us / 1000.0,
+        "fetch rewrite",
+        fetch.total_mflops,
+        fetch.comm_us / 1000.0,
     )
 }
 

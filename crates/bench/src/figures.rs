@@ -39,7 +39,10 @@ impl Figure {
 
 impl std::fmt::Debug for Figure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Figure").field("id", &self.id).field("title", &self.title).finish()
+        f.debug_struct("Figure")
+            .field("id", &self.id)
+            .field("title", &self.title)
+            .finish()
     }
 }
 
@@ -50,7 +53,10 @@ fn machine(id: MachineId) -> Box<dyn Machine> {
         MachineId::CrayT3e => Box::new(T3e::new()),
         MachineId::Custom => unreachable!("figures cover only the paper's machines"),
     };
-    m.set_limits(MeasureLimits { max_measure_words: 32 * 1024, max_prime_words: 2 * 1024 * 1024 });
+    m.set_limits(MeasureLimits {
+        max_measure_words: 32 * 1024,
+        max_prime_words: 2 * 1024 * 1024,
+    });
     m
 }
 
@@ -64,12 +70,18 @@ fn local_grid(quick: bool, max_ws: u64) -> Grid {
                 .collect(),
         }
     } else {
-        Grid { strides: Grid::paper_strides(), working_sets: Grid::paper_working_sets(max_ws) }
+        Grid {
+            strides: Grid::paper_strides(),
+            working_sets: Grid::paper_working_sets(max_ws),
+        }
     }
 }
 
 fn surface_output(s: Surface) -> FigureOutput {
-    FigureOutput { text: s.render(), csv: s.to_csv() }
+    FigureOutput {
+        text: s.render(),
+        csv: s.to_csv(),
+    }
 }
 
 fn surface_figure(
@@ -87,35 +99,51 @@ fn surface_figure(
 // ---------------------------------------------------------------- figs 1-8
 
 fn fig01(quick: bool) -> FigureOutput {
-    surface_figure(MachineId::Dec8400, quick, 128 << 20, |m, g| Some(local_load_surface(m, g)))
+    surface_figure(MachineId::Dec8400, quick, 128 << 20, |m, g| {
+        Some(local_load_surface(m, g))
+    })
 }
 
 fn fig02(quick: bool) -> FigureOutput {
-    surface_figure(MachineId::Dec8400, quick, 8 << 20, |m, g| remote_load_surface(m, g))
+    surface_figure(MachineId::Dec8400, quick, 8 << 20, |m, g| {
+        remote_load_surface(m, g)
+    })
 }
 
 fn fig03(quick: bool) -> FigureOutput {
-    surface_figure(MachineId::CrayT3d, quick, 16 << 20, |m, g| Some(local_load_surface(m, g)))
+    surface_figure(MachineId::CrayT3d, quick, 16 << 20, |m, g| {
+        Some(local_load_surface(m, g))
+    })
 }
 
 fn fig04(quick: bool) -> FigureOutput {
-    surface_figure(MachineId::CrayT3d, quick, 8 << 20, |m, g| remote_fetch_surface(m, g))
+    surface_figure(MachineId::CrayT3d, quick, 8 << 20, |m, g| {
+        remote_fetch_surface(m, g)
+    })
 }
 
 fn fig05(quick: bool) -> FigureOutput {
-    surface_figure(MachineId::CrayT3d, quick, 8 << 20, |m, g| remote_deposit_surface(m, g))
+    surface_figure(MachineId::CrayT3d, quick, 8 << 20, |m, g| {
+        remote_deposit_surface(m, g)
+    })
 }
 
 fn fig06(quick: bool) -> FigureOutput {
-    surface_figure(MachineId::CrayT3e, quick, 8 << 20, |m, g| Some(local_load_surface(m, g)))
+    surface_figure(MachineId::CrayT3e, quick, 8 << 20, |m, g| {
+        Some(local_load_surface(m, g))
+    })
 }
 
 fn fig07(quick: bool) -> FigureOutput {
-    surface_figure(MachineId::CrayT3e, quick, 8 << 20, |m, g| remote_fetch_surface(m, g))
+    surface_figure(MachineId::CrayT3e, quick, 8 << 20, |m, g| {
+        remote_fetch_surface(m, g)
+    })
 }
 
 fn fig08(quick: bool) -> FigureOutput {
-    surface_figure(MachineId::CrayT3e, quick, 8 << 20, |m, g| remote_deposit_surface(m, g))
+    surface_figure(MachineId::CrayT3e, quick, 8 << 20, |m, g| {
+        remote_deposit_surface(m, g)
+    })
 }
 
 // -------------------------------------------------------------- figs 9-14
@@ -129,7 +157,11 @@ const BIG_WS: u64 = 64 << 20;
 type SeriesProbe<'a> = (&'a str, Box<dyn FnMut(u64) -> Option<f64> + 'a>);
 
 fn stride_series(title: &str, quick: bool, series: Vec<SeriesProbe<'_>>) -> FigureOutput {
-    let strides = if quick { vec![1, 2, 4, 8, 16, 64] } else { Grid::copy_strides() };
+    let strides = if quick {
+        vec![1, 2, 4, 8, 16, 64]
+    } else {
+        Grid::copy_strides()
+    };
     let mut rows: Vec<(String, Vec<Option<f64>>)> = Vec::new();
     let mut columns: Vec<Vec<Option<f64>>> = Vec::new();
     let mut names = Vec::new();
@@ -255,12 +287,25 @@ enum FftMetric {
 }
 
 fn fft_figure(metric: FftMetric, quick: bool) -> FigureOutput {
-    let sizes: Vec<usize> = if quick { vec![32, 64, 256] } else { vec![32, 64, 128, 256, 512, 1024] };
+    let sizes: Vec<usize> = if quick {
+        vec![32, 64, 256]
+    } else {
+        vec![32, 64, 128, 256, 512, 1024]
+    };
     let machines = [MachineId::CrayT3d, MachineId::Dec8400, MachineId::CrayT3e];
     let (title, unit) = match metric {
-        FftMetric::Total => ("2D-FFT overall application performance, 4 PEs", "MFlop/s total"),
-        FftMetric::Compute => ("2D-FFT local computation performance, 4 PEs", "MFlop/s total"),
-        FftMetric::Comm => ("2D-FFT communication performance (transposes), 4 PEs", "MB/s total"),
+        FftMetric::Total => (
+            "2D-FFT overall application performance, 4 PEs",
+            "MFlop/s total",
+        ),
+        FftMetric::Compute => (
+            "2D-FFT local computation performance, 4 PEs",
+            "MFlop/s total",
+        ),
+        FftMetric::Comm => (
+            "2D-FFT communication performance (transposes), 4 PEs",
+            "MB/s total",
+        ),
     };
     let mut text = format!("{title} [{unit}]\n{:>8}", "n");
     let mut csv = String::from("n");
@@ -304,23 +349,108 @@ fn fig17(quick: bool) -> FigureOutput {
 /// The complete figure index, in paper order.
 pub fn all_figures() -> Vec<Figure> {
     vec![
-        Figure { id: "fig01", title: "DEC 8400 local load bandwidth (stride x working set)", expectation: "plateaus ~1100/700/600c-120s/150c-28s MB/s", runner: fig01 },
-        Figure { id: "fig02", title: "DEC 8400 remote (pull) load bandwidth", expectation: "<=140 MB/s contiguous, ~22 strided", runner: fig02 },
-        Figure { id: "fig03", title: "Cray T3D local load bandwidth", expectation: "~600 L1; 195 contiguous / 43 strided DRAM", runner: fig03 },
-        Figure { id: "fig04", title: "Cray T3D fetch transfers (remote loads)", expectation: "~25 MB/s, far below deposits", runner: fig04 },
-        Figure { id: "fig05", title: "Cray T3D deposit transfers (remote stores)", expectation: "~120 contiguous / 55-70 strided", runner: fig05 },
-        Figure { id: "fig06", title: "Cray T3E local load bandwidth", expectation: "L1/L2 like the 8400; 430 contiguous / 42 strided DRAM", runner: fig06 },
-        Figure { id: "fig07", title: "Cray T3E fetch transfers (E-registers)", expectation: "350 contiguous / ~140 strided, smooth", runner: fig07 },
-        Figure { id: "fig08", title: "Cray T3E deposit transfers (E-registers)", expectation: "350 contiguous; even-stride ripples down to ~70", runner: fig08 },
-        Figure { id: "fig09", title: "DEC 8400 local copies vs stride", expectation: "57 contiguous -> ~18-26 strided, both variants alike", runner: fig09 },
-        Figure { id: "fig10", title: "Cray T3D local copies vs stride", expectation: "100 contiguous; strided stores ~70 >> strided loads ~40", runner: fig10 },
-        Figure { id: "fig11", title: "Cray T3E local copies vs stride", expectation: "200 contiguous; strided resembles the 8400, not the T3D", runner: fig11 },
-        Figure { id: "fig12", title: "DEC 8400 remote copies vs stride", expectation: "~140 contiguous -> ~20 strided", runner: fig12 },
-        Figure { id: "fig13", title: "Cray T3D remote copies vs stride", expectation: "deposit >> fetch; strided deposits ~55-70", runner: fig13 },
-        Figure { id: "fig14", title: "Cray T3E remote copies vs stride", expectation: "350 contiguous; fetch 140 / deposit 70 strided, odd-stride ripples", runner: fig14 },
-        Figure { id: "fig15", title: "2D-FFT overall performance (4 PEs)", expectation: "T3E > 8400 > T3D; 8400/T3D ~1.5x despite 2.5x compute", runner: fig15 },
-        Figure { id: "fig16", title: "2D-FFT local computation performance", expectation: "8400 ~2.5x T3D, flat; T3D falls off at n=1024; T3E highest", runner: fig16 },
-        Figure { id: "fig17", title: "2D-FFT communication performance", expectation: "8400 ~ T3D; T3E well above both", runner: fig17 },
+        Figure {
+            id: "fig01",
+            title: "DEC 8400 local load bandwidth (stride x working set)",
+            expectation: "plateaus ~1100/700/600c-120s/150c-28s MB/s",
+            runner: fig01,
+        },
+        Figure {
+            id: "fig02",
+            title: "DEC 8400 remote (pull) load bandwidth",
+            expectation: "<=140 MB/s contiguous, ~22 strided",
+            runner: fig02,
+        },
+        Figure {
+            id: "fig03",
+            title: "Cray T3D local load bandwidth",
+            expectation: "~600 L1; 195 contiguous / 43 strided DRAM",
+            runner: fig03,
+        },
+        Figure {
+            id: "fig04",
+            title: "Cray T3D fetch transfers (remote loads)",
+            expectation: "~25 MB/s, far below deposits",
+            runner: fig04,
+        },
+        Figure {
+            id: "fig05",
+            title: "Cray T3D deposit transfers (remote stores)",
+            expectation: "~120 contiguous / 55-70 strided",
+            runner: fig05,
+        },
+        Figure {
+            id: "fig06",
+            title: "Cray T3E local load bandwidth",
+            expectation: "L1/L2 like the 8400; 430 contiguous / 42 strided DRAM",
+            runner: fig06,
+        },
+        Figure {
+            id: "fig07",
+            title: "Cray T3E fetch transfers (E-registers)",
+            expectation: "350 contiguous / ~140 strided, smooth",
+            runner: fig07,
+        },
+        Figure {
+            id: "fig08",
+            title: "Cray T3E deposit transfers (E-registers)",
+            expectation: "350 contiguous; even-stride ripples down to ~70",
+            runner: fig08,
+        },
+        Figure {
+            id: "fig09",
+            title: "DEC 8400 local copies vs stride",
+            expectation: "57 contiguous -> ~18-26 strided, both variants alike",
+            runner: fig09,
+        },
+        Figure {
+            id: "fig10",
+            title: "Cray T3D local copies vs stride",
+            expectation: "100 contiguous; strided stores ~70 >> strided loads ~40",
+            runner: fig10,
+        },
+        Figure {
+            id: "fig11",
+            title: "Cray T3E local copies vs stride",
+            expectation: "200 contiguous; strided resembles the 8400, not the T3D",
+            runner: fig11,
+        },
+        Figure {
+            id: "fig12",
+            title: "DEC 8400 remote copies vs stride",
+            expectation: "~140 contiguous -> ~20 strided",
+            runner: fig12,
+        },
+        Figure {
+            id: "fig13",
+            title: "Cray T3D remote copies vs stride",
+            expectation: "deposit >> fetch; strided deposits ~55-70",
+            runner: fig13,
+        },
+        Figure {
+            id: "fig14",
+            title: "Cray T3E remote copies vs stride",
+            expectation: "350 contiguous; fetch 140 / deposit 70 strided, odd-stride ripples",
+            runner: fig14,
+        },
+        Figure {
+            id: "fig15",
+            title: "2D-FFT overall performance (4 PEs)",
+            expectation: "T3E > 8400 > T3D; 8400/T3D ~1.5x despite 2.5x compute",
+            runner: fig15,
+        },
+        Figure {
+            id: "fig16",
+            title: "2D-FFT local computation performance",
+            expectation: "8400 ~2.5x T3D, flat; T3D falls off at n=1024; T3E highest",
+            runner: fig16,
+        },
+        Figure {
+            id: "fig17",
+            title: "2D-FFT communication performance",
+            expectation: "8400 ~ T3D; T3E well above both",
+            runner: fig17,
+        },
     ]
 }
 
@@ -361,7 +491,10 @@ mod tests {
         let out = figure_by_id("fig13").unwrap().run(true);
         assert!(out.text.contains("fetch"));
         assert!(out.text.contains("deposit"));
-        assert!(!out.text.contains("n/a"), "the T3D supports both directions");
+        assert!(
+            !out.text.contains("n/a"),
+            "the T3D supports both directions"
+        );
     }
 
     #[test]
@@ -375,7 +508,14 @@ mod tests {
     fn quick_fig15_shows_the_ordering() {
         let out = figure_by_id("fig15").unwrap().run(true);
         let last = out.csv.lines().last().unwrap(); // n=256 row: n,t3d,dec,t3e
-        let vals: Vec<f64> = last.split(',').skip(1).map(|v| v.parse().unwrap()).collect();
-        assert!(vals[2] > vals[1] && vals[1] > vals[0], "T3E > 8400 > T3D: {vals:?}");
+        let vals: Vec<f64> = last
+            .split(',')
+            .skip(1)
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert!(
+            vals[2] > vals[1] && vals[1] > vals[0],
+            "T3E > 8400 > T3D: {vals:?}"
+        );
     }
 }

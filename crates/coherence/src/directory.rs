@@ -28,8 +28,15 @@ impl Directory {
     /// Panics if `nodes` is zero or `line_bytes` is not a power of two.
     pub fn new(nodes: usize, line_bytes: u64) -> Self {
         assert!(nodes > 0, "directory needs at least one node");
-        assert!(line_bytes.is_power_of_two() && line_bytes > 0, "line size must be a power of two");
-        Directory { nodes, line_bytes, lines: HashMap::new() }
+        assert!(
+            line_bytes.is_power_of_two() && line_bytes > 0,
+            "line size must be a power of two"
+        );
+        Directory {
+            nodes,
+            line_bytes,
+            lines: HashMap::new(),
+        }
     }
 
     /// The line size this directory tracks.
@@ -44,20 +51,29 @@ impl Directory {
     /// Current state of `node`'s copy of the line containing `addr`.
     pub fn state(&self, node: usize, addr: Addr) -> MesiState {
         let line = self.line_of(addr);
-        self.lines.get(&line).map(|v| v[node]).unwrap_or(MesiState::Invalid)
+        self.lines
+            .get(&line)
+            .map(|v| v[node])
+            .unwrap_or(MesiState::Invalid)
     }
 
     /// The node holding the line Modified, if any.
     pub fn dirty_owner(&self, addr: Addr) -> Option<usize> {
         let line = self.line_of(addr);
-        self.lines.get(&line)?.iter().position(|&s| s == MesiState::Modified)
+        self.lines
+            .get(&line)?
+            .iter()
+            .position(|&s| s == MesiState::Modified)
     }
 
     /// Whether any node other than `node` has a valid copy.
     pub fn others_have_copy(&self, node: usize, addr: Addr) -> bool {
         let line = self.line_of(addr);
         match self.lines.get(&line) {
-            Some(v) => v.iter().enumerate().any(|(i, &s)| i != node && s != MesiState::Invalid),
+            Some(v) => v
+                .iter()
+                .enumerate()
+                .any(|(i, &s)| i != node && s != MesiState::Invalid),
             None => false,
         }
     }
@@ -65,7 +81,9 @@ impl Directory {
     fn entry(&mut self, addr: Addr) -> &mut Vec<MesiState> {
         let line = self.line_of(addr);
         let nodes = self.nodes;
-        self.lines.entry(line).or_insert_with(|| vec![MesiState::Invalid; nodes])
+        self.lines
+            .entry(line)
+            .or_insert_with(|| vec![MesiState::Invalid; nodes])
     }
 
     /// Records that `node` completed a read of the line, snooping all peers.
@@ -114,7 +132,10 @@ impl Directory {
 
     /// Number of lines with any non-Invalid copy.
     pub fn tracked_lines(&self) -> usize {
-        self.lines.values().filter(|v| v.iter().any(|&s| s != MesiState::Invalid)).count()
+        self.lines
+            .values()
+            .filter(|v| v.iter().any(|&s| s != MesiState::Invalid))
+            .count()
     }
 
     /// Forgets all sharing state.

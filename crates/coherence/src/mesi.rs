@@ -6,7 +6,6 @@
 //! decide who supplies a line and what bus traffic a processor operation
 //! generates, and the unit tests double as the protocol's specification.
 
-
 /// The four MESI states of a cache line in one processor's cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MesiState {
@@ -75,43 +74,64 @@ impl MesiState {
     ///
     /// `others_have_copy` tells a read miss whether it loads Shared or
     /// Exclusive. Returns the new state and the bus action generated.
-    pub fn on_processor_op(self, op: ProcessorOp, others_have_copy: bool) -> (MesiState, BusAction) {
+    pub fn on_processor_op(
+        self,
+        op: ProcessorOp,
+        others_have_copy: bool,
+    ) -> (MesiState, BusAction) {
         match (self, op) {
             (MesiState::Modified, _) => (MesiState::Modified, BusAction::None),
             (MesiState::Exclusive, ProcessorOp::Read) => (MesiState::Exclusive, BusAction::None),
             (MesiState::Exclusive, ProcessorOp::Write) => (MesiState::Modified, BusAction::None),
             (MesiState::Shared, ProcessorOp::Read) => (MesiState::Shared, BusAction::None),
-            (MesiState::Shared, ProcessorOp::Write) => (MesiState::Modified, BusAction::BusReadExclusive),
+            (MesiState::Shared, ProcessorOp::Write) => {
+                (MesiState::Modified, BusAction::BusReadExclusive)
+            }
             (MesiState::Invalid, ProcessorOp::Read) => {
-                let next = if others_have_copy { MesiState::Shared } else { MesiState::Exclusive };
+                let next = if others_have_copy {
+                    MesiState::Shared
+                } else {
+                    MesiState::Exclusive
+                };
                 (next, BusAction::BusRead)
             }
-            (MesiState::Invalid, ProcessorOp::Write) => (MesiState::Modified, BusAction::BusReadExclusive),
+            (MesiState::Invalid, ProcessorOp::Write) => {
+                (MesiState::Modified, BusAction::BusReadExclusive)
+            }
         }
     }
 
     /// Transition for a snooped remote transaction.
     pub fn on_snoop(self, op: SnoopOp) -> SnoopResult {
         match (self, op) {
-            (MesiState::Modified, SnoopOp::BusRead) => {
-                SnoopResult { next: MesiState::Shared, supplies_data: true }
-            }
-            (MesiState::Modified, SnoopOp::BusReadExclusive) => {
-                SnoopResult { next: MesiState::Invalid, supplies_data: true }
-            }
-            (MesiState::Exclusive, SnoopOp::BusRead) => {
-                SnoopResult { next: MesiState::Shared, supplies_data: false }
-            }
-            (MesiState::Exclusive, SnoopOp::BusReadExclusive) => {
-                SnoopResult { next: MesiState::Invalid, supplies_data: false }
-            }
-            (MesiState::Shared, SnoopOp::BusRead) => {
-                SnoopResult { next: MesiState::Shared, supplies_data: false }
-            }
-            (MesiState::Shared, SnoopOp::BusReadExclusive) => {
-                SnoopResult { next: MesiState::Invalid, supplies_data: false }
-            }
-            (MesiState::Invalid, _) => SnoopResult { next: MesiState::Invalid, supplies_data: false },
+            (MesiState::Modified, SnoopOp::BusRead) => SnoopResult {
+                next: MesiState::Shared,
+                supplies_data: true,
+            },
+            (MesiState::Modified, SnoopOp::BusReadExclusive) => SnoopResult {
+                next: MesiState::Invalid,
+                supplies_data: true,
+            },
+            (MesiState::Exclusive, SnoopOp::BusRead) => SnoopResult {
+                next: MesiState::Shared,
+                supplies_data: false,
+            },
+            (MesiState::Exclusive, SnoopOp::BusReadExclusive) => SnoopResult {
+                next: MesiState::Invalid,
+                supplies_data: false,
+            },
+            (MesiState::Shared, SnoopOp::BusRead) => SnoopResult {
+                next: MesiState::Shared,
+                supplies_data: false,
+            },
+            (MesiState::Shared, SnoopOp::BusReadExclusive) => SnoopResult {
+                next: MesiState::Invalid,
+                supplies_data: false,
+            },
+            (MesiState::Invalid, _) => SnoopResult {
+                next: MesiState::Invalid,
+                supplies_data: false,
+            },
         }
     }
 }
@@ -132,13 +152,22 @@ mod tests {
 
     #[test]
     fn read_miss_loads_shared_or_exclusive() {
-        assert_eq!(Invalid.on_processor_op(ProcessorOp::Read, true), (Shared, BusAction::BusRead));
-        assert_eq!(Invalid.on_processor_op(ProcessorOp::Read, false), (Exclusive, BusAction::BusRead));
+        assert_eq!(
+            Invalid.on_processor_op(ProcessorOp::Read, true),
+            (Shared, BusAction::BusRead)
+        );
+        assert_eq!(
+            Invalid.on_processor_op(ProcessorOp::Read, false),
+            (Exclusive, BusAction::BusRead)
+        );
     }
 
     #[test]
     fn silent_upgrade_from_exclusive() {
-        assert_eq!(Exclusive.on_processor_op(ProcessorOp::Write, false), (Modified, BusAction::None));
+        assert_eq!(
+            Exclusive.on_processor_op(ProcessorOp::Write, false),
+            (Modified, BusAction::None)
+        );
     }
 
     #[test]
@@ -187,7 +216,10 @@ mod tests {
             for op in [ProcessorOp::Read, ProcessorOp::Write] {
                 for others in [false, true] {
                     let (next, _) = s.on_processor_op(op, others);
-                    assert!(next.satisfies(op), "{s:?} {op:?} others={others} -> {next:?}");
+                    assert!(
+                        next.satisfies(op),
+                        "{s:?} {op:?} others={others} -> {next:?}"
+                    );
                 }
             }
         }

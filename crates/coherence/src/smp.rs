@@ -9,7 +9,6 @@
 //! point. We measure the transfer bandwidth of the second processor while it
 //! is pulling the data over."
 
-
 use gasnub_interconnect::bus::{Bus, BusConfig, BusJitterConfig};
 use gasnub_memsim::access::Access;
 use gasnub_memsim::config::NodeConfig;
@@ -42,10 +41,16 @@ impl ProtocolConfig {
     /// Returns [`ConfigError`] for negative costs or an overlap below one.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.read_overhead_cycles < 0.0 || self.cache_to_cache_cycles < 0.0 {
-            return Err(ConfigError::new("coherence protocol", "cycle costs must be non-negative"));
+            return Err(ConfigError::new(
+                "coherence protocol",
+                "cycle costs must be non-negative",
+            ));
         }
         if self.pull_overlap < 1.0 {
-            return Err(ConfigError::new("coherence protocol", "pull overlap must be at least 1.0"));
+            return Err(ConfigError::new(
+                "coherence protocol",
+                "pull overlap must be at least 1.0",
+            ));
         }
         Ok(())
     }
@@ -110,7 +115,13 @@ impl SnoopingSmp {
         let home = Dram::new(config.home_dram.clone())?;
         let line_bytes = config.node.hierarchy.last_level_line_bytes();
         let directory = Directory::new(config.nodes, line_bytes);
-        Ok(SnoopingSmp { config, engines, bus, home, directory })
+        Ok(SnoopingSmp {
+            config,
+            engines,
+            bus,
+            home,
+            directory,
+        })
     }
 
     /// The configuration this system was built from.
@@ -190,7 +201,11 @@ impl SnoopingSmp {
     /// # Panics
     ///
     /// Panics if `node` is out of range.
-    pub fn producer_store(&mut self, node: usize, trace: impl IntoIterator<Item = Access>) -> RunStats {
+    pub fn producer_store(
+        &mut self,
+        node: usize,
+        trace: impl IntoIterator<Item = Access>,
+    ) -> RunStats {
         let line_bytes = self.directory.line_bytes();
         let mut last_line = u64::MAX;
         let trace = trace.into_iter().inspect(|a| {
@@ -230,7 +245,11 @@ impl SnoopingSmp {
     /// # Panics
     ///
     /// Panics if `consumer` is out of range.
-    pub fn consumer_pull(&mut self, consumer: usize, trace: impl IntoIterator<Item = Access>) -> RunStats {
+    pub fn consumer_pull(
+        &mut self,
+        consumer: usize,
+        trace: impl IntoIterator<Item = Access>,
+    ) -> RunStats {
         let line_bytes = self.directory.line_bytes();
         let cpu = self.engines[consumer].cpu().clone();
         let mut stats = RunStats::default();
@@ -280,7 +299,10 @@ impl SnoopingSmp {
                 };
                 (bus_cycles + supply + protocol.read_overhead_cycles) / protocol.pull_overlap
             };
-            let cost = self.engines[consumer].hierarchy_mut().load_remote(addr, now, &mut remote_fill);
+            let cost =
+                self.engines[consumer]
+                    .hierarchy_mut()
+                    .load_remote(addr, now, &mut remote_fill);
             now += issue + cost.cycles;
             if fetched_remotely {
                 if owner_dirty {
@@ -296,7 +318,9 @@ impl SnoopingSmp {
 
         stats.cycles = now - start;
         stats.bytes = stats.accesses * WORD_BYTES;
-        self.engines[consumer].hierarchy_mut().export_stats(&mut stats);
+        self.engines[consumer]
+            .hierarchy_mut()
+            .export_stats(&mut stats);
         // Re-purpose the DRAM counters for supplier provenance.
         stats.dram_accesses = cache_supplies + home_supplies;
         stats.dram_row_hits = 0;
@@ -308,7 +332,9 @@ impl SnoopingSmp {
 
     /// Bandwidth of a pull run in MB/s.
     pub fn bandwidth_mb_s(&self, consumer: usize, stats: &RunStats) -> f64 {
-        self.engines[consumer].cpu().bandwidth_mb_s(stats.bytes as f64, stats.cycles)
+        self.engines[consumer]
+            .cpu()
+            .bandwidth_mb_s(stats.bytes as f64, stats.cycles)
     }
 
     /// One coherent store by `node`: pays bus + invalidation costs whenever
@@ -354,7 +380,10 @@ impl SnoopingSmp {
     /// Panics if the system has fewer than two processors or `iterations`
     /// is zero.
     pub fn alternating_store_cycles(&mut self, iterations: u64, words_apart: u64) -> f64 {
-        assert!(self.engines.len() >= 2, "the experiment needs two processors");
+        assert!(
+            self.engines.len() >= 2,
+            "the experiment needs two processors"
+        );
         assert!(iterations > 0, "at least one iteration");
         self.flush();
         let mut now = 0.0;
@@ -431,8 +460,14 @@ mod tests {
         let mut sys = smp();
         sys.producer_store(1, StorePass::new(0, words, 1));
         let stats = sys.consumer_pull(0, StridedPass::new(0, words, 1));
-        assert!(stats.dram_streamed_fills > 0, "expected cache-to-cache supplies");
-        assert_eq!(stats.dram_streamed_fills, stats.dram_accesses, "all supplies from the dirty owner");
+        assert!(
+            stats.dram_streamed_fills > 0,
+            "expected cache-to-cache supplies"
+        );
+        assert_eq!(
+            stats.dram_streamed_fills, stats.dram_accesses,
+            "all supplies from the dirty owner"
+        );
     }
 
     #[test]
@@ -443,7 +478,10 @@ mod tests {
         sys.producer_store(1, StorePass::new(0, words, 1));
         let stats = sys.consumer_pull(0, StridedPass::new(0, words, 1));
         let cache_frac = stats.dram_streamed_fills as f64 / stats.dram_accesses as f64;
-        assert!(cache_frac < 0.2, "most supplies must come from home memory, got {cache_frac}");
+        assert!(
+            cache_frac < 0.2,
+            "most supplies must come from home memory, got {cache_frac}"
+        );
     }
 
     #[test]
@@ -470,7 +508,10 @@ mod tests {
         sys.producer_store(1, StorePass::new(0, words, 1));
         let first = sys.consumer_pull(0, StridedPass::new(0, words, 1));
         let second = sys.consumer_pull(0, StridedPass::new(0, words, 1));
-        assert!(second.cycles < first.cycles / 2.0, "pulled data must now be cached locally");
+        assert!(
+            second.cycles < first.cycles / 2.0,
+            "pulled data must now be cached locally"
+        );
         assert_eq!(second.dram_accesses, 0, "no bus traffic on re-read");
     }
 
@@ -498,9 +539,15 @@ mod tests {
             stats.cycles
         };
         let clean = run(None);
-        let jitter = BusJitterConfig { amplitude_bus_cycles: 8.0, seed: 42 };
+        let jitter = BusJitterConfig {
+            amplitude_bus_cycles: 8.0,
+            seed: 42,
+        };
         let jittered = run(Some(jitter.clone()));
-        assert!(jittered > clean, "arbitration jitter must cost cycles: {jittered} vs {clean}");
+        assert!(
+            jittered > clean,
+            "arbitration jitter must cost cycles: {jittered} vs {clean}"
+        );
         assert_eq!(jittered, run(Some(jitter)), "same seed, same cycle count");
     }
 

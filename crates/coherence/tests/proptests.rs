@@ -54,12 +54,21 @@ fn single_writer_invariant() {
                 let valid = states.iter().filter(|&&s| s != MesiState::Invalid).count();
                 assert!(modified <= 1, "two writers on line {line}: {states:?}");
                 if modified == 1 {
-                    assert_eq!(valid, 1, "Modified must be exclusive on line {line}: {states:?}");
+                    assert_eq!(
+                        valid, 1,
+                        "Modified must be exclusive on line {line}: {states:?}"
+                    );
                 }
                 // Exclusive is exclusive too.
-                let exclusive = states.iter().filter(|&&s| s == MesiState::Exclusive).count();
+                let exclusive = states
+                    .iter()
+                    .filter(|&&s| s == MesiState::Exclusive)
+                    .count();
                 if exclusive == 1 {
-                    assert_eq!(valid, 1, "Exclusive must be alone on line {line}: {states:?}");
+                    assert_eq!(
+                        valid, 1,
+                        "Exclusive must be alone on line {line}: {states:?}"
+                    );
                 }
             }
         }

@@ -8,8 +8,10 @@
 //! stride." A third **Store Constant** benchmark evaluates store
 //! performance.
 
-use gasnub_machines::Machine;
+use gasnub_machines::{Machine, SpawnEngine};
+use gasnub_memsim::SimError;
 
+use crate::pool::run_indexed;
 use crate::surface::Surface;
 use crate::sweep::Grid;
 
@@ -20,6 +22,142 @@ pub enum CopyVariant {
     StridedLoads,
     /// Contiguous loads, strided stores (the `◆`/`x` series).
     StridedStores,
+}
+
+/// One sweepable benchmark, as a value: the operation the CLI names on the
+/// command line and the parallel sweep dispatches per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepOp {
+    /// Load-Sum (figs 1/3/6).
+    LocalLoad,
+    /// Store-Constant.
+    LocalStore,
+    /// Copy with strided loads / contiguous stores.
+    CopyStridedLoads,
+    /// Copy with contiguous loads / strided stores.
+    CopyStridedStores,
+    /// Pure remote loads (fig 2's pull).
+    RemoteLoad,
+    /// Fetch transfers (figs 4/7).
+    RemoteFetch,
+    /// Deposit transfers (figs 5/8).
+    RemoteDeposit,
+}
+
+impl SweepOp {
+    /// Every operation, in the order reports list them.
+    pub fn all() -> [SweepOp; 7] {
+        [
+            SweepOp::LocalLoad,
+            SweepOp::LocalStore,
+            SweepOp::CopyStridedLoads,
+            SweepOp::CopyStridedStores,
+            SweepOp::RemoteLoad,
+            SweepOp::RemoteFetch,
+            SweepOp::RemoteDeposit,
+        ]
+    }
+
+    /// Parses the CLI label of an operation.
+    pub fn parse(label: &str) -> Option<SweepOp> {
+        match label {
+            "load" => Some(SweepOp::LocalLoad),
+            "store" => Some(SweepOp::LocalStore),
+            "copy-loads" => Some(SweepOp::CopyStridedLoads),
+            "copy-stores" => Some(SweepOp::CopyStridedStores),
+            "pull" => Some(SweepOp::RemoteLoad),
+            "fetch" => Some(SweepOp::RemoteFetch),
+            "deposit" => Some(SweepOp::RemoteDeposit),
+            _ => None,
+        }
+    }
+
+    /// The CLI label of this operation.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepOp::LocalLoad => "load",
+            SweepOp::LocalStore => "store",
+            SweepOp::CopyStridedLoads => "copy-loads",
+            SweepOp::CopyStridedStores => "copy-stores",
+            SweepOp::RemoteLoad => "pull",
+            SweepOp::RemoteFetch => "fetch",
+            SweepOp::RemoteDeposit => "deposit",
+        }
+    }
+
+    /// The surface title for a machine called `name` — identical to the
+    /// titles the per-surface sweep functions use, so checkpoints written
+    /// by either path interoperate.
+    pub fn title_for(self, name: &str) -> String {
+        match self {
+            SweepOp::LocalLoad => format!("{name} local loads"),
+            SweepOp::LocalStore => format!("{name} local stores"),
+            SweepOp::CopyStridedLoads => {
+                format!("{name} local copy (strided loads/contiguous stores)")
+            }
+            SweepOp::CopyStridedStores => {
+                format!("{name} local copy (contiguous loads/strided stores)")
+            }
+            SweepOp::RemoteLoad => format!("{name} remote loads (pull)"),
+            SweepOp::RemoteFetch => format!("{name} remote fetch"),
+            SweepOp::RemoteDeposit => format!("{name} remote deposit"),
+        }
+    }
+
+    /// Measures one cell on `machine`. `None` when the operation is
+    /// unsupported there.
+    pub fn probe(self, machine: &mut dyn Machine, ws_bytes: u64, stride: u64) -> Option<f64> {
+        match self {
+            SweepOp::LocalLoad => Some(machine.local_load(ws_bytes, stride).mb_s),
+            SweepOp::LocalStore => Some(machine.local_store(ws_bytes, stride).mb_s),
+            SweepOp::CopyStridedLoads => Some(machine.local_copy(ws_bytes, stride, 1).mb_s),
+            SweepOp::CopyStridedStores => Some(machine.local_copy(ws_bytes, 1, stride).mb_s),
+            SweepOp::RemoteLoad => machine.remote_load(ws_bytes, stride).map(|m| m.mb_s),
+            SweepOp::RemoteFetch => machine.remote_fetch(ws_bytes, stride).map(|m| m.mb_s),
+            SweepOp::RemoteDeposit => machine.remote_deposit(ws_bytes, stride).map(|m| m.mb_s),
+        }
+    }
+}
+
+/// Sweeps `op` over `grid` with one fresh engine per cell, cells running on
+/// `threads` workers. Results are gathered in grid order, so the surface is
+/// bit-identical to a sequential sweep of the same spec (every probe starts
+/// from flushed state, so a fresh engine measures what a reused one would).
+///
+/// Returns `Ok(None)` when the machine does not support `op`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the spec fails to build an engine.
+pub fn sweep_surface_par<S: SpawnEngine>(
+    spawner: &S,
+    op: SweepOp,
+    grid: &Grid,
+    threads: usize,
+) -> Result<Option<Surface>, SimError> {
+    let title = op.title_for(&spawner.spawn_engine()?.name());
+    let cells = run_indexed(threads, grid.cells(), |idx| {
+        let (ws, stride) = grid.cell(idx);
+        let mut engine = spawner.spawn_engine()?;
+        Ok::<Option<f64>, SimError>(op.probe(&mut engine, ws, stride))
+    });
+    let mut values = Vec::with_capacity(grid.working_sets.len());
+    let mut row = Vec::with_capacity(grid.strides.len());
+    for cell in cells {
+        match cell? {
+            Some(mb_s) => row.push(mb_s),
+            None => return Ok(None),
+        }
+        if row.len() == grid.strides.len() {
+            values.push(std::mem::take(&mut row));
+        }
+    }
+    Ok(Some(Surface::new(
+        title,
+        grid.strides.clone(),
+        grid.working_sets.clone(),
+        values,
+    )))
 }
 
 fn sweep(
@@ -35,21 +173,30 @@ fn sweep(
         }
         values.push(row);
     }
-    Some(Surface::new(title, grid.strides.clone(), grid.working_sets.clone(), values))
+    Some(Surface::new(
+        title,
+        grid.strides.clone(),
+        grid.working_sets.clone(),
+        values,
+    ))
 }
 
 /// Sweeps the Load-Sum benchmark (figs 1, 3, 6).
 pub fn local_load_surface(machine: &mut dyn Machine, grid: &Grid) -> Surface {
     let title = format!("{} local loads", machine.name());
-    sweep(title, grid, |ws, stride| Some(machine.local_load(ws, stride).mb_s))
-        .expect("local loads are always supported")
+    sweep(title, grid, |ws, stride| {
+        Some(machine.local_load(ws, stride).mb_s)
+    })
+    .expect("local loads are always supported")
 }
 
 /// Sweeps the Store-Constant benchmark.
 pub fn local_store_surface(machine: &mut dyn Machine, grid: &Grid) -> Surface {
     let title = format!("{} local stores", machine.name());
-    sweep(title, grid, |ws, stride| Some(machine.local_store(ws, stride).mb_s))
-        .expect("local stores are always supported")
+    sweep(title, grid, |ws, stride| {
+        Some(machine.local_store(ws, stride).mb_s)
+    })
+    .expect("local stores are always supported")
 }
 
 /// Sweeps the Load/Store copy benchmark (figs 9-11 fix the working set;
@@ -76,25 +223,34 @@ pub fn local_copy_surface(machine: &mut dyn Machine, grid: &Grid, variant: CopyV
 /// Sweeps pure remote loads (fig 2). `None` if unsupported.
 pub fn remote_load_surface(machine: &mut dyn Machine, grid: &Grid) -> Option<Surface> {
     let title = format!("{} remote loads (pull)", machine.name());
-    sweep(title, grid, |ws, stride| machine.remote_load(ws, stride).map(|m| m.mb_s))
+    sweep(title, grid, |ws, stride| {
+        machine.remote_load(ws, stride).map(|m| m.mb_s)
+    })
 }
 
 /// Sweeps fetch transfers (figs 4, 7). `None` if unsupported.
 pub fn remote_fetch_surface(machine: &mut dyn Machine, grid: &Grid) -> Option<Surface> {
     let title = format!("{} remote fetch", machine.name());
-    sweep(title, grid, |ws, stride| machine.remote_fetch(ws, stride).map(|m| m.mb_s))
+    sweep(title, grid, |ws, stride| {
+        machine.remote_fetch(ws, stride).map(|m| m.mb_s)
+    })
 }
 
 /// Sweeps deposit transfers (figs 5, 8). `None` if unsupported.
 pub fn remote_deposit_surface(machine: &mut dyn Machine, grid: &Grid) -> Option<Surface> {
     let title = format!("{} remote deposit", machine.name());
-    sweep(title, grid, |ws, stride| machine.remote_deposit(ws, stride).map(|m| m.mb_s))
+    sweep(title, grid, |ws, stride| {
+        machine.remote_deposit(ws, stride).map(|m| m.mb_s)
+    })
 }
 
 /// Sweeps the indexed (gather) benchmark along the working-set axis — a 1D
 /// curve, since a random permutation has no stride parameter.
 pub fn local_gather_curve(machine: &mut dyn Machine, working_sets: &[u64]) -> Vec<(u64, f64)> {
-    working_sets.iter().map(|&ws| (ws, machine.local_gather(ws).mb_s)).collect()
+    working_sets
+        .iter()
+        .map(|&ws| (ws, machine.local_gather(ws).mb_s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -110,28 +266,43 @@ mod tests {
     #[test]
     fn t3d_load_surface_has_two_plateaus() {
         let mut m = fast(T3d::new());
-        let grid = Grid { strides: vec![1, 16], working_sets: vec![4 << 10, 4 << 20] };
+        let grid = Grid {
+            strides: vec![1, 16],
+            working_sets: vec![4 << 10, 4 << 20],
+        };
         let s = local_load_surface(&mut m, &grid);
         let l1 = s.value(4 << 10, 1).unwrap();
         let dram_contig = s.value(4 << 20, 1).unwrap();
         let dram_strided = s.value(4 << 20, 16).unwrap();
         assert!(l1 > 2.0 * dram_contig, "{l1} vs {dram_contig}");
-        assert!(dram_contig > 3.0 * dram_strided, "{dram_contig} vs {dram_strided}");
+        assert!(
+            dram_contig > 3.0 * dram_strided,
+            "{dram_contig} vs {dram_strided}"
+        );
     }
 
     #[test]
     fn dec8400_remote_surfaces() {
         let mut m = fast(Dec8400::new());
-        let grid = Grid { strides: vec![1, 16], working_sets: vec![8 << 20] };
+        let grid = Grid {
+            strides: vec![1, 16],
+            working_sets: vec![8 << 20],
+        };
         assert!(remote_load_surface(&mut m, &grid).is_some());
         assert!(remote_fetch_surface(&mut m, &grid).is_some());
-        assert!(remote_deposit_surface(&mut m, &grid).is_none(), "8400 cannot push");
+        assert!(
+            remote_deposit_surface(&mut m, &grid).is_none(),
+            "8400 cannot push"
+        );
     }
 
     #[test]
     fn t3e_deposit_surface_shows_ripples() {
         let mut m = fast(T3e::new());
-        let grid = Grid { strides: vec![15, 16], working_sets: vec![4 << 20] };
+        let grid = Grid {
+            strides: vec![15, 16],
+            working_sets: vec![4 << 20],
+        };
         let s = remote_deposit_surface(&mut m, &grid).unwrap();
         let odd = s.value(4 << 20, 15).unwrap();
         let even = s.value(4 << 20, 16).unwrap();
@@ -141,7 +312,10 @@ mod tests {
     #[test]
     fn copy_variants_differ_on_the_t3d() {
         let mut m = fast(T3d::new());
-        let grid = Grid { strides: vec![16], working_sets: vec![4 << 20] };
+        let grid = Grid {
+            strides: vec![16],
+            working_sets: vec![4 << 20],
+        };
         let loads = local_copy_surface(&mut m, &grid, CopyVariant::StridedLoads);
         let stores = local_copy_surface(&mut m, &grid, CopyVariant::StridedStores);
         assert!(
@@ -155,7 +329,10 @@ mod tests {
         let mut m = fast(T3d::new());
         let curve = local_gather_curve(&mut m, &[4 << 10, 4 << 20]);
         assert_eq!(curve.len(), 2);
-        assert!(curve[0].1 > 3.0 * curve[1].1, "cache-resident gathers must be far faster: {curve:?}");
+        assert!(
+            curve[0].1 > 3.0 * curve[1].1,
+            "cache-resident gathers must be far faster: {curve:?}"
+        );
     }
 
     #[test]
@@ -168,14 +345,86 @@ mod tests {
         };
         let s = local_load_surface(&mut m, &grid);
         let caches = s.inferred_cache_bytes();
-        assert_eq!(caches, vec![8 << 10], "the T3D has exactly one 8 KB cache, got {caches:?}");
+        assert_eq!(
+            caches,
+            vec![8 << 10],
+            "the T3D has exactly one 8 KB cache, got {caches:?}"
+        );
     }
 
     #[test]
     fn store_surface_runs() {
         let mut m = fast(T3e::new());
-        let grid = Grid { strides: vec![1], working_sets: vec![64 << 10] };
+        let grid = Grid {
+            strides: vec![1],
+            working_sets: vec![64 << 10],
+        };
         let s = local_store_surface(&mut m, &grid);
         assert!(s.peak() > 0.0);
+    }
+
+    #[test]
+    fn sweep_op_labels_round_trip() {
+        for op in SweepOp::all() {
+            assert_eq!(SweepOp::parse(op.label()), Some(op));
+        }
+        assert_eq!(SweepOp::parse("teleport"), None);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        use gasnub_machines::MachineSpec;
+        let spec = MachineSpec::t3d().with_limits(MeasureLimits::fast());
+        let grid = Grid {
+            strides: vec![1, 8, 16],
+            working_sets: vec![32 << 10, 4 << 20],
+        };
+        let mut m = fast(T3d::new());
+        let sequential = remote_deposit_surface(&mut m, &grid).unwrap();
+        let parallel = sweep_surface_par(&spec, SweepOp::RemoteDeposit, &grid, 4)
+            .unwrap()
+            .unwrap();
+        assert_eq!(parallel.title(), sequential.title());
+        for &ws in &grid.working_sets {
+            for &stride in &grid.strides {
+                let a = sequential.value(ws, stride).unwrap().to_bits();
+                let b = parallel.value(ws, stride).unwrap().to_bits();
+                assert_eq!(a, b, "cell ({ws}, {stride})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_of_unsupported_op_is_none() {
+        use gasnub_machines::MachineSpec;
+        let spec = MachineSpec::dec8400().with_limits(MeasureLimits::fast());
+        let grid = Grid {
+            strides: vec![1],
+            working_sets: vec![32 << 10],
+        };
+        let got = sweep_surface_par(&spec, SweepOp::RemoteDeposit, &grid, 2).unwrap();
+        assert!(got.is_none(), "the 8400 cannot push");
+    }
+
+    #[test]
+    fn parallel_sweep_titles_match_sequential_titles() {
+        let mut m = fast(T3d::new());
+        let name = m.name();
+        let grid = Grid {
+            strides: vec![1],
+            working_sets: vec![32 << 10],
+        };
+        assert_eq!(
+            local_load_surface(&mut m, &grid).title(),
+            SweepOp::LocalLoad.title_for(&name)
+        );
+        assert_eq!(
+            local_copy_surface(&mut m, &grid, CopyVariant::StridedStores).title(),
+            SweepOp::CopyStridedStores.title_for(&name)
+        );
+        assert_eq!(
+            remote_fetch_surface(&mut m, &grid).unwrap().title(),
+            SweepOp::RemoteFetch.title_for(&name)
+        );
     }
 }

@@ -9,7 +9,6 @@
 //! memory systems design philosophies, i.e. a cache focus on the DEC
 //! machine and a streams focus on the Cray machines."
 
-
 use gasnub_machines::{Machine, MachineId};
 
 /// The §9 summary row for one machine (all MB/s, large working sets).
@@ -78,7 +77,12 @@ pub struct Comparison {
 impl Comparison {
     /// Measures all `machines` at the given working set.
     pub fn measure(machines: &mut [Box<dyn Machine>], ws_bytes: u64) -> Self {
-        Comparison { rows: machines.iter_mut().map(|m| MachineSummary::measure(m.as_mut(), ws_bytes)).collect() }
+        Comparison {
+            rows: machines
+                .iter_mut()
+                .map(|m| MachineSummary::measure(m.as_mut(), ws_bytes))
+                .collect(),
+        }
     }
 
     /// The summary for one machine, if measured.
@@ -122,8 +126,11 @@ mod tests {
     use gasnub_machines::{Dec8400, MeasureLimits, T3d, T3e};
 
     fn comparison() -> Comparison {
-        let mut machines: Vec<Box<dyn Machine>> =
-            vec![Box::new(Dec8400::new()), Box::new(T3d::new()), Box::new(T3e::new())];
+        let mut machines: Vec<Box<dyn Machine>> = vec![
+            Box::new(Dec8400::new()),
+            Box::new(T3d::new()),
+            Box::new(T3e::new()),
+        ];
         for m in &mut machines {
             m.set_limits(MeasureLimits::fast());
         }
@@ -139,8 +146,14 @@ mod tests {
         let t3e = c.row(MachineId::CrayT3e).unwrap().remote_strided;
         let r_t3d = t3d / dec;
         let r_t3e = t3e / dec;
-        assert!(r_t3d > 1.8 && r_t3d < 4.0, "T3D/8400 strided remote ratio {r_t3d} (paper 2.5)");
-        assert!(r_t3e > 4.5 && r_t3e < 9.0, "T3E/8400 strided remote ratio {r_t3e} (paper 6.5)");
+        assert!(
+            r_t3d > 1.8 && r_t3d < 4.0,
+            "T3D/8400 strided remote ratio {r_t3d} (paper 2.5)"
+        );
+        assert!(
+            r_t3e > 4.5 && r_t3e < 9.0,
+            "T3E/8400 strided remote ratio {r_t3e} (paper 6.5)"
+        );
     }
 
     #[test]
@@ -152,7 +165,10 @@ mod tests {
         let t3d = c.row(MachineId::CrayT3d).unwrap().remote_contig;
         let t3e = c.row(MachineId::CrayT3e).unwrap().remote_contig;
         let alike = t3d / dec;
-        assert!(alike > 0.6 && alike < 1.5, "T3D ≈ 8400 contiguous remote: {alike}");
+        assert!(
+            alike > 0.6 && alike < 1.5,
+            "T3D ≈ 8400 contiguous remote: {alike}"
+        );
         assert!(t3e / t3d > 1.8, "T3E factor ~2 above: {}", t3e / t3d);
     }
 

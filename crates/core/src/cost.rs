@@ -17,7 +17,6 @@
 //!   that this "never pays off" on these machines because remote bandwidth
 //!   is at least local copy bandwidth.
 
-
 use gasnub_machines::{Machine, MachineId};
 use gasnub_memsim::WORD_BYTES;
 
@@ -161,7 +160,12 @@ impl CostModel {
     /// Prices one strategy for moving `words` words at `stride`, or `None`
     /// when the machine does not support it (or the stride was not
     /// characterized).
-    pub fn estimate(&self, strategy: Strategy, words: u64, stride: u64) -> Option<TransferEstimate> {
+    pub fn estimate(
+        &self,
+        strategy: Strategy,
+        words: u64,
+        stride: u64,
+    ) -> Option<TransferEstimate> {
         let r = self.rate_for(stride)?;
         let bytes = (words * WORD_BYTES) as f64;
         let us_at = |mb_s: f64| bytes / mb_s; // bytes / (MB/s) = µs
@@ -175,13 +179,19 @@ impl CostModel {
                 us_at(r.blocked_fetch?) + blocks * BLOCK_SYNC_US
             }
         };
-        Some(TransferEstimate { strategy, us, mb_s: bytes / us })
+        Some(TransferEstimate {
+            strategy,
+            us,
+            mb_s: bytes / us,
+        })
     }
 
     /// Prices every supported strategy, cheapest first.
     pub fn rank(&self, words: u64, stride: u64) -> Vec<TransferEstimate> {
-        let mut out: Vec<TransferEstimate> =
-            Strategy::all().iter().filter_map(|&s| self.estimate(s, words, stride)).collect();
+        let mut out: Vec<TransferEstimate> = Strategy::all()
+            .iter()
+            .filter_map(|&s| self.estimate(s, words, stride))
+            .collect();
         out.sort_by(|a, b| a.us.partial_cmp(&b.us).expect("estimates are finite"));
         out
     }
@@ -193,7 +203,10 @@ impl CostModel {
     /// Panics if no strategy is supported for `stride` (stride not in the
     /// characterized set).
     pub fn best(&self, words: u64, stride: u64) -> TransferEstimate {
-        self.rank(words, stride).into_iter().next().expect("at least one strategy must be supported")
+        self.rank(words, stride)
+            .into_iter()
+            .next()
+            .expect("at least one strategy must be supported")
     }
 }
 
@@ -218,7 +231,11 @@ mod tests {
         let m = model(T3d::new());
         for stride in [1, 15, 16] {
             let best = m.best(100_000, stride);
-            assert_eq!(best.strategy, Strategy::Deposit, "stride {stride}: {best:?}");
+            assert_eq!(
+                best.strategy,
+                Strategy::Deposit,
+                "stride {stride}: {best:?}"
+            );
         }
     }
 
@@ -271,7 +288,12 @@ mod tests {
         // directly), so blocking only adds synchronization.
         for m in [model(T3d::new()), model(T3e::new())] {
             let best = m.best(1 << 20, 16);
-            assert_ne!(best.strategy, Strategy::BlockedFetch, "{:?}: {best:?}", m.machine());
+            assert_ne!(
+                best.strategy,
+                Strategy::BlockedFetch,
+                "{:?}: {best:?}",
+                m.machine()
+            );
         }
     }
 
@@ -283,7 +305,10 @@ mod tests {
             for stride in [15, 16] {
                 let best = m.best(100_000, stride);
                 assert!(
-                    !matches!(best.strategy, Strategy::PackAndDeposit | Strategy::PackAndFetch),
+                    !matches!(
+                        best.strategy,
+                        Strategy::PackAndDeposit | Strategy::PackAndFetch
+                    ),
                     "{:?}: packing won at stride {stride}: {best:?}",
                     m.machine()
                 );

@@ -156,7 +156,10 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), SimError> {
         *pos += 1;
         Ok(())
     } else {
-        Err(SimError::malformed(format!("expected '{}' at byte {}", b as char, *pos)))
+        Err(SimError::malformed(format!(
+            "expected '{}' at byte {}",
+            b as char, *pos
+        )))
     }
 }
 
@@ -170,7 +173,10 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, SimError> {
         Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
         Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
         Some(c) if c.is_ascii_digit() => parse_number(bytes, pos),
-        _ => Err(SimError::malformed(format!("unexpected input at byte {}", *pos))),
+        _ => Err(SimError::malformed(format!(
+            "unexpected input at byte {}",
+            *pos
+        ))),
     }
 }
 
@@ -179,7 +185,10 @@ fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Resu
         *pos += word.len();
         Ok(value)
     } else {
-        Err(SimError::malformed(format!("expected '{word}' at byte {}", *pos)))
+        Err(SimError::malformed(format!(
+            "expected '{word}' at byte {}",
+            *pos
+        )))
     }
 }
 
@@ -241,7 +250,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, SimError> {
                 // Consume one (possibly multi-byte) UTF-8 character.
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| SimError::malformed("non-utf8 string"))?;
-                let c = rest.chars().next().ok_or_else(|| SimError::malformed("empty char"))?;
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| SimError::malformed("empty char"))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -266,7 +278,12 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, SimError> {
                 *pos += 1;
                 return Ok(Json::Array(items));
             }
-            _ => return Err(SimError::malformed(format!("expected ',' or ']' at byte {}", *pos))),
+            _ => {
+                return Err(SimError::malformed(format!(
+                    "expected ',' or ']' at byte {}",
+                    *pos
+                )))
+            }
         }
     }
 }
@@ -293,7 +310,12 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, SimError> {
                 *pos += 1;
                 return Ok(Json::Object(map));
             }
-            _ => return Err(SimError::malformed(format!("expected ',' or '}}' at byte {}", *pos))),
+            _ => {
+                return Err(SimError::malformed(format!(
+                    "expected ',' or '}}' at byte {}",
+                    *pos
+                )))
+            }
         }
     }
 }
@@ -304,7 +326,14 @@ mod tests {
 
     #[test]
     fn scalar_round_trips() {
-        for text in ["null", "true", "false", "0", "18446744073709551615", "\"hi\""] {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "18446744073709551615",
+            "\"hi\"",
+        ] {
             let v = Json::parse(text).unwrap();
             assert_eq!(v.render(), text);
             assert_eq!(Json::parse(&v.render()).unwrap(), v);
@@ -323,7 +352,10 @@ mod tests {
     #[test]
     fn nested_structures_round_trip() {
         let v = Json::object([
-            ("title", Json::Str("T3E remote deposit (\"fig 8\")\n".into())),
+            (
+                "title",
+                Json::Str("T3E remote deposit (\"fig 8\")\n".into()),
+            ),
             ("axes", Json::Array(vec![Json::U64(1), Json::U64(2)])),
             ("done", Json::Bool(false)),
             ("gap", Json::Null),
@@ -347,7 +379,18 @@ mod tests {
 
     #[test]
     fn malformed_documents_are_rejected() {
-        for text in ["", "{", "[1,", "\"open", "{\"a\" 1}", "1.5", "-3", "1e9", "true false", "{]"] {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "\"open",
+            "{\"a\" 1}",
+            "1.5",
+            "-3",
+            "1e9",
+            "true false",
+            "{]",
+        ] {
             assert!(Json::parse(text).is_err(), "{text:?} should fail");
         }
     }

@@ -26,6 +26,12 @@
 //!   [`gasnub_machines::Machine`];
 //! * [`sweep`] — the stride x working-set sweep driver with the paper's
 //!   grid axes;
+//! * [`mod@pool`] — a dependency-free work-distributing thread pool;
+//!   [`bench::sweep_surface_par`] and
+//!   [`resilient::ResilientSweep::run_parallel`] use it to spread grid
+//!   cells across workers, one fresh engine (spawned from a
+//!   [`gasnub_machines::MachineSpec`]) per cell, with results gathered in
+//!   grid order so parallel sweeps are bit-identical to sequential ones;
 //! * [`surface`] — the 2D bandwidth surface (figs 1-8) with CSV and
 //!   terminal rendering;
 //! * [`resilient`] — a checkpointed, resumable, panic-isolating sweep
@@ -56,6 +62,7 @@ pub mod bench;
 pub mod compare;
 pub mod cost;
 pub mod json;
+pub mod pool;
 pub mod profile;
 pub mod report;
 pub mod resilient;
@@ -64,10 +71,11 @@ pub mod sweep;
 
 pub use bench::{
     local_copy_surface, local_load_surface, local_store_surface, remote_deposit_surface,
-    remote_fetch_surface, remote_load_surface, CopyVariant,
+    remote_fetch_surface, remote_load_surface, sweep_surface_par, CopyVariant, SweepOp,
 };
 pub use compare::{Comparison, MachineSummary};
 pub use cost::{CostModel, Strategy, TransferEstimate};
+pub use pool::{auto_threads, run_indexed};
 pub use profile::MachineProfile;
 pub use resilient::{FailedCell, ResilientSweep, SweepOutcome};
 pub use surface::Surface;

@@ -1,0 +1,111 @@
+//! A minimal work-distributing thread pool for embarrassingly parallel
+//! grids.
+//!
+//! The sweep layer needs exactly one primitive: run `n` independent jobs on
+//! `threads` workers and return the results *in job order*, regardless of
+//! which worker finished which job when. Workers claim jobs dynamically
+//! from a shared atomic counter (the work-stealing degenerate case for
+//! independent equal-rights jobs), so a slow cell — a 128 MB working set —
+//! does not leave the other workers idle. Built on `std::thread::scope`;
+//! the repository carries no external dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Runs `f(0..n)` across `threads` workers, returning results indexed by
+/// job number — byte-for-byte the same `Vec` a sequential loop would build,
+/// as long as `f` itself is deterministic per index.
+///
+/// `threads <= 1` (or `n <= 1`) runs inline on the caller's thread with no
+/// pool at all.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after the remaining workers drain.
+pub fn run_indexed<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // The receiver outlives the scope; a send only fails if the
+                // parent panicked, in which case unwinding is underway.
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, value) in rx {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job sends exactly one result"))
+        .collect()
+}
+
+/// The number of worker threads a `--threads 0`-style "auto" request maps
+/// to: the machine's available parallelism, or 1 if unknown.
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = run_indexed(threads, 100, |i| i * i);
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * i).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_threads_are_fine() {
+        assert!(run_indexed(4, 0, |i| i).is_empty());
+        assert_eq!(run_indexed(0, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uneven_job_costs_still_cover_every_index() {
+        // Jobs with wildly different costs: dynamic claiming must still
+        // produce one result per index.
+        let out = run_indexed(3, 37, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i + 1
+        });
+        assert_eq!(out.len(), 37);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn auto_threads_is_at_least_one() {
+        assert!(auto_threads() >= 1);
+    }
+}

@@ -1,12 +1,12 @@
 //! One-call characterization of a machine: every surface the paper draws
 //! for it, bundled with a text report.
 
-
-use gasnub_machines::{Machine, MachineId};
+use gasnub_machines::{Machine, MachineId, SpawnEngine};
+use gasnub_memsim::SimError;
 
 use crate::bench::{
     local_copy_surface, local_load_surface, remote_deposit_surface, remote_fetch_surface,
-    remote_load_surface, CopyVariant,
+    remote_load_surface, sweep_surface_par, CopyVariant, SweepOp,
 };
 use crate::surface::Surface;
 use crate::sweep::Grid;
@@ -41,16 +41,56 @@ impl MachineProfile {
             name: machine.name(),
             local_loads: local_load_surface(machine, local_grid),
             copy_strided_loads: local_copy_surface(machine, local_grid, CopyVariant::StridedLoads),
-            copy_strided_stores: local_copy_surface(machine, local_grid, CopyVariant::StridedStores),
+            copy_strided_stores: local_copy_surface(
+                machine,
+                local_grid,
+                CopyVariant::StridedStores,
+            ),
             remote_loads: remote_load_surface(machine, remote_grid),
             remote_fetch: remote_fetch_surface(machine, remote_grid),
             remote_deposit: remote_deposit_surface(machine, remote_grid),
         }
     }
 
+    /// Measures the same profile as [`MachineProfile::measure`], but with
+    /// each grid cell on a fresh engine spawned from `spawner` and the
+    /// cells of every surface spread across `threads` workers. Because each
+    /// probe is deterministic on a fresh engine, the profile is
+    /// bit-identical to the sequential one for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`SimError`] from `spawner`.
+    pub fn measure_parallel<S: SpawnEngine>(
+        spawner: &S,
+        local_grid: &Grid,
+        remote_grid: &Grid,
+        threads: usize,
+    ) -> Result<Self, SimError> {
+        let probe = spawner.spawn_engine()?;
+        let surface = |op: SweepOp, grid: &Grid| sweep_surface_par(spawner, op, grid, threads);
+        Ok(MachineProfile {
+            machine: probe.id(),
+            name: probe.name(),
+            local_loads: surface(SweepOp::LocalLoad, local_grid)?
+                .expect("local loads are supported everywhere"),
+            copy_strided_loads: surface(SweepOp::CopyStridedLoads, local_grid)?
+                .expect("local copies are supported everywhere"),
+            copy_strided_stores: surface(SweepOp::CopyStridedStores, local_grid)?
+                .expect("local copies are supported everywhere"),
+            remote_loads: surface(SweepOp::RemoteLoad, remote_grid)?,
+            remote_fetch: surface(SweepOp::RemoteFetch, remote_grid)?,
+            remote_deposit: surface(SweepOp::RemoteDeposit, remote_grid)?,
+        })
+    }
+
     /// All surfaces present in this profile, in a stable order.
     pub fn surfaces(&self) -> Vec<&Surface> {
-        let mut out = vec![&self.local_loads, &self.copy_strided_loads, &self.copy_strided_stores];
+        let mut out = vec![
+            &self.local_loads,
+            &self.copy_strided_loads,
+            &self.copy_strided_stores,
+        ];
         out.extend(self.remote_loads.iter());
         out.extend(self.remote_fetch.iter());
         out.extend(self.remote_deposit.iter());
@@ -77,7 +117,10 @@ mod tests {
     fn t3d_profile_has_both_remote_directions() {
         let mut m = T3d::new();
         m.set_limits(MeasureLimits::fast());
-        let grid = Grid { strides: vec![1, 16], working_sets: vec![1 << 20] };
+        let grid = Grid {
+            strides: vec![1, 16],
+            working_sets: vec![1 << 20],
+        };
         let p = MachineProfile::measure(&mut m, &grid, &grid);
         assert!(p.remote_fetch.is_some());
         assert!(p.remote_deposit.is_some());
@@ -87,10 +130,28 @@ mod tests {
     }
 
     #[test]
+    fn parallel_profile_is_bit_identical_to_sequential() {
+        use gasnub_machines::MachineSpec;
+        let spec = MachineSpec::t3e().with_limits(MeasureLimits::fast());
+        let grid = Grid {
+            strides: vec![1, 16],
+            working_sets: vec![1 << 20],
+        };
+        let mut m = gasnub_machines::T3e::new();
+        m.set_limits(MeasureLimits::fast());
+        let sequential = MachineProfile::measure(&mut m, &grid, &grid);
+        let parallel = MachineProfile::measure_parallel(&spec, &grid, &grid, 4).unwrap();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
     fn dec8400_profile_has_pull_only() {
         let mut m = Dec8400::new();
         m.set_limits(MeasureLimits::fast());
-        let grid = Grid { strides: vec![1], working_sets: vec![1 << 20] };
+        let grid = Grid {
+            strides: vec![1],
+            working_sets: vec![1 << 20],
+        };
         let p = MachineProfile::measure(&mut m, &grid, &grid);
         assert!(p.remote_loads.is_some());
         assert!(p.remote_deposit.is_none());

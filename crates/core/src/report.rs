@@ -46,7 +46,10 @@ impl ReportOptions {
 /// Generates the full markdown report for `machine`.
 pub fn machine_report(machine: &mut dyn Machine, options: &ReportOptions) -> String {
     let mut out = String::new();
-    out.push_str(&format!("# Memory system characterization — {}\n\n", machine.name()));
+    out.push_str(&format!(
+        "# Memory system characterization — {}\n\n",
+        machine.name()
+    ));
 
     // 1. Working-set spectroscopy.
     let loads = local_load_surface(machine, &options.local_grid);
@@ -125,11 +128,17 @@ mod tests {
         let report = machine_report(&mut m, &ReportOptions::quick());
         assert!(report.contains("# Memory system characterization — Cray T3D"));
         assert!(report.contains("## Inferred cache structure"));
-        assert!(report.contains("8 KB"), "the T3D's 8 KB L1 must be inferred:\n{report}");
+        assert!(
+            report.contains("8 KB"),
+            "the T3D's 8 KB L1 must be inferred:\n{report}"
+        );
         assert!(report.contains("## Plateaus"));
         assert!(report.contains("## Surfaces"));
         assert!(report.contains("## Transfer strategy rankings"));
-        assert!(report.contains("deposit"), "T3D rankings must mention deposits");
+        assert!(
+            report.contains("deposit"),
+            "T3D rankings must mention deposits"
+        );
     }
 
     #[test]

@@ -21,8 +21,11 @@
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use gasnub_machines::SpawnEngine;
 use gasnub_memsim::SimError;
 
 use crate::json::Json;
@@ -73,7 +76,11 @@ pub struct ResilientSweep {
 impl ResilientSweep {
     /// Creates a runner persisting its checkpoint at `checkpoint`.
     pub fn new(checkpoint: impl Into<PathBuf>) -> Self {
-        ResilientSweep { checkpoint: checkpoint.into(), budget: None, max_cells: None }
+        ResilientSweep {
+            checkpoint: checkpoint.into(),
+            budget: None,
+            max_cells: None,
+        }
     }
 
     /// Limits the wall-clock time spent measuring. The budget is checked
@@ -104,7 +111,10 @@ impl ResilientSweep {
         match std::fs::remove_file(&self.checkpoint) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(SimError::io(format!("removing {}: {e}", self.checkpoint.display()))),
+            Err(e) => Err(SimError::io(format!(
+                "removing {}: {e}",
+                self.checkpoint.display()
+            ))),
         }
     }
 
@@ -148,7 +158,7 @@ impl ResilientSweep {
                         state.done.insert(key, mb_s.to_bits());
                     }
                     Ok(None) => {
-                        state.failed.insert(key, "operation unsupported on this machine".into());
+                        state.failed.insert(key, UNSUPPORTED.to_string());
                     }
                     Err(panic) => {
                         state.failed.insert(key, panic_text(panic.as_ref()));
@@ -159,6 +169,131 @@ impl ResilientSweep {
             }
         }
 
+        Ok(self.outcome(title, grid, state, measured, resumed, pending))
+    }
+
+    /// Runs (or resumes) the sweep of `grid` across `threads` workers, each
+    /// cell on a fresh engine spawned from `spawner`.
+    ///
+    /// Because every cell gets its own engine and each probe is
+    /// deterministic, the outcome — surface values, checkpoint bytes, failed
+    /// cells — is bit-identical to [`ResilientSweep::run`] with the
+    /// equivalent probe, regardless of thread count or completion order:
+    /// the checkpoint keeps cells in a `BTreeMap` and the surface is
+    /// assembled in grid order after the pool drains. `threads <= 1` still
+    /// measures every cell on a fresh engine, sequentially.
+    ///
+    /// A wall-clock budget is checked when a worker *claims* a cell, so an
+    /// over-budget sweep finishes only the cells already in flight; a cell
+    /// cap bounds the cells claimed in total across all workers.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ResilientSweep::run`] returns, plus any [`SimError`]
+    /// from `spawner` — a spawn failure stops the pool and fails the sweep
+    /// (the checkpoint keeps all cells finished before the failure).
+    pub fn run_parallel<S, P>(
+        &self,
+        title: &str,
+        grid: &Grid,
+        threads: usize,
+        spawner: &S,
+        probe: P,
+    ) -> Result<SweepOutcome, SimError>
+    where
+        S: SpawnEngine,
+        P: Fn(&mut S::Engine, u64, u64) -> Option<f64> + Sync,
+    {
+        let state = self.load_state(title, grid)?;
+        let resumed = state.done.len();
+        let started = Instant::now();
+
+        // The cells left to measure, in grid order. The cell cap splits off
+        // the tail up front — unlike the budget, it is deterministic.
+        let work: Vec<(u64, u64)> = (0..grid.cells())
+            .map(|i| grid.cell(i))
+            .filter(|key| !state.done.contains_key(key) && !state.failed.contains_key(key))
+            .collect();
+        let allowed = work.len().min(self.max_cells.unwrap_or(usize::MAX));
+        let (attempt, capped) = work.split_at(allowed);
+
+        let state = Mutex::new(state);
+        let fatal: Mutex<Option<SimError>> = Mutex::new(None);
+        let stop = AtomicBool::new(false);
+        let next = AtomicUsize::new(0);
+        // Cells claimed after the budget expired: pending, not measured.
+        let deferred = AtomicUsize::new(0);
+
+        let workers = threads.max(1).min(attempt.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= attempt.len() {
+                        break;
+                    }
+                    if self.budget.is_some_and(|b| started.elapsed() >= b) {
+                        // Keep claiming so every remaining cell is counted.
+                        deferred.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let (ws, stride) = attempt[i];
+                    let mut engine = match spawner.spawn_engine() {
+                        Ok(engine) => engine,
+                        Err(err) => {
+                            *fatal.lock().unwrap() = Some(err);
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    };
+                    let result = catch_unwind(AssertUnwindSafe(|| probe(&mut engine, ws, stride)));
+                    let mut state = state.lock().unwrap();
+                    match result {
+                        Ok(Some(mb_s)) => {
+                            state.done.insert((ws, stride), mb_s.to_bits());
+                        }
+                        Ok(None) => {
+                            state.failed.insert((ws, stride), UNSUPPORTED.to_string());
+                        }
+                        Err(panic) => {
+                            state
+                                .failed
+                                .insert((ws, stride), panic_text(panic.as_ref()));
+                        }
+                    }
+                    if let Err(err) = self.save_state(title, grid, &state) {
+                        drop(state);
+                        *fatal.lock().unwrap() = Some(err);
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                });
+            }
+        });
+
+        if let Some(err) = fatal.into_inner().unwrap() {
+            return Err(err);
+        }
+        let deferred = deferred.into_inner();
+        let measured = attempt.len() - deferred;
+        let pending = capped.len() + deferred;
+        let state = state.into_inner().unwrap();
+        Ok(self.outcome(title, grid, state, measured, resumed, pending))
+    }
+
+    /// Assembles the surface and outcome from the final checkpoint state.
+    fn outcome(
+        &self,
+        title: &str,
+        grid: &Grid,
+        state: SweepState,
+        measured: usize,
+        resumed: usize,
+        pending: usize,
+    ) -> SweepOutcome {
         let values = grid
             .working_sets
             .iter()
@@ -166,19 +301,36 @@ impl ResilientSweep {
                 grid.strides
                     .iter()
                     .map(|&stride| {
-                        state.done.get(&(ws, stride)).map_or(f64::NAN, |&bits| f64::from_bits(bits))
+                        state
+                            .done
+                            .get(&(ws, stride))
+                            .map_or(f64::NAN, |&bits| f64::from_bits(bits))
                     })
                     .collect()
             })
             .collect();
-        let surface =
-            Surface::new(title, grid.strides.clone(), grid.working_sets.clone(), values);
+        let surface = Surface::new(
+            title,
+            grid.strides.clone(),
+            grid.working_sets.clone(),
+            values,
+        );
         let failed = state
             .failed
             .iter()
-            .map(|(&(ws_bytes, stride), error)| FailedCell { ws_bytes, stride, error: error.clone() })
+            .map(|(&(ws_bytes, stride), error)| FailedCell {
+                ws_bytes,
+                stride,
+                error: error.clone(),
+            })
             .collect();
-        Ok(SweepOutcome { surface, measured, resumed, failed, pending })
+        SweepOutcome {
+            surface,
+            measured,
+            resumed,
+            failed,
+            pending,
+        }
     }
 
     fn load_state(&self, title: &str, grid: &Grid) -> Result<SweepState, SimError> {
@@ -188,7 +340,10 @@ impl ResilientSweep {
                 return Ok(SweepState::default());
             }
             Err(e) => {
-                return Err(SimError::io(format!("reading {}: {e}", self.checkpoint.display())))
+                return Err(SimError::io(format!(
+                    "reading {}: {e}",
+                    self.checkpoint.display()
+                )))
             }
         };
         let doc = Json::parse(&text)?;
@@ -223,7 +378,11 @@ impl ResilientSweep {
                 (Some(ws), Some(stride), Some(bits)) => {
                     state.done.insert((ws, stride), bits);
                 }
-                _ => return Err(SimError::malformed("checkpoint cell missing ws/stride/bits")),
+                _ => {
+                    return Err(SimError::malformed(
+                        "checkpoint cell missing ws/stride/bits",
+                    ))
+                }
             }
         }
         for cell in doc.get("failed").and_then(Json::as_array).unwrap_or(&[]) {
@@ -236,7 +395,11 @@ impl ResilientSweep {
                 (Some(ws), Some(stride), Some(error)) => {
                     state.failed.insert((ws, stride), error.to_string());
                 }
-                _ => return Err(SimError::malformed("checkpoint failure missing ws/stride/error")),
+                _ => {
+                    return Err(SimError::malformed(
+                        "checkpoint failure missing ws/stride/error",
+                    ))
+                }
             }
         }
         Ok(state)
@@ -267,7 +430,10 @@ impl ResilientSweep {
             .collect();
         let doc = Json::object([
             ("title", Json::Str(title.to_string())),
-            ("strides", Json::Array(grid.strides.iter().map(|&s| Json::U64(s)).collect())),
+            (
+                "strides",
+                Json::Array(grid.strides.iter().map(|&s| Json::U64(s)).collect()),
+            ),
             (
                 "working_sets",
                 Json::Array(grid.working_sets.iter().map(|&w| Json::U64(w)).collect()),
@@ -282,6 +448,9 @@ impl ResilientSweep {
             .map_err(|e| SimError::io(format!("renaming into {}: {e}", self.checkpoint.display())))
     }
 }
+
+/// The failure reason recorded for a probe returning `None`.
+const UNSUPPORTED: &str = "operation unsupported on this machine";
 
 /// In-memory checkpoint state: measured bandwidths (as bits) and failures.
 #[derive(Debug, Default)]
@@ -313,7 +482,10 @@ mod tests {
     }
 
     fn grid() -> Grid {
-        Grid { strides: vec![1, 2, 4], working_sets: vec![1024, 2048] }
+        Grid {
+            strides: vec![1, 2, 4],
+            working_sets: vec![1024, 2048],
+        }
     }
 
     /// A deterministic synthetic probe.
@@ -324,7 +496,9 @@ mod tests {
     #[test]
     fn complete_run_matches_direct_sweep() {
         let runner = ResilientSweep::new(scratch("complete"));
-        let out = runner.run("t", &grid(), |ws, s| Some(model(ws, s))).unwrap();
+        let out = runner
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap();
         assert!(out.is_complete());
         assert_eq!(out.measured, grid().cells());
         assert_eq!(out.resumed, 0);
@@ -348,8 +522,9 @@ mod tests {
         assert_eq!(first.pending, grid().cells() - 3);
         assert!(!first.is_complete());
 
-        let second =
-            ResilientSweep::new(&path).run("t", &grid(), |ws, s| Some(model(ws, s))).unwrap();
+        let second = ResilientSweep::new(&path)
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap();
         assert_eq!(second.resumed, 3);
         assert_eq!(second.measured, grid().cells() - 3);
         assert!(second.is_complete());
@@ -380,11 +555,17 @@ mod tests {
         assert!(out.is_complete());
         assert_eq!(out.failed.len(), 1);
         assert_eq!((out.failed[0].ws_bytes, out.failed[0].stride), (2048, 2));
-        assert!(out.failed[0].error.contains("injected failure"), "got {:?}", out.failed[0].error);
+        assert!(
+            out.failed[0].error.contains("injected failure"),
+            "got {:?}",
+            out.failed[0].error
+        );
         assert!(out.surface.value(2048, 2).unwrap().is_nan());
         assert_eq!(out.surface.value(2048, 4), Some(model(2048, 4)));
         // A resumed run does not retry the failed cell.
-        let again = runner.run("t", &grid(), |ws, s| Some(model(ws, s))).unwrap();
+        let again = runner
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap();
         assert_eq!(again.failed.len(), 1);
         assert_eq!(again.measured, 0);
         runner.clear_checkpoint().unwrap();
@@ -402,9 +583,178 @@ mod tests {
     #[test]
     fn zero_budget_attempts_nothing() {
         let runner = ResilientSweep::new(scratch("budget")).with_budget(Duration::ZERO);
-        let out = runner.run("t", &grid(), |ws, s| Some(model(ws, s))).unwrap();
+        let out = runner
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap();
         assert_eq!(out.measured, 0);
         assert_eq!(out.pending, grid().cells());
+        runner.clear_checkpoint().unwrap();
+    }
+
+    use gasnub_machines::{Machine, MachineId, MeasureLimits, Measurement};
+
+    /// A trivial deterministic machine whose every probe reports the
+    /// synthetic [`model`] bandwidth; lets the parallel tests exercise the
+    /// pool without simulating a real hierarchy.
+    struct Synthetic;
+
+    impl Synthetic {
+        fn meas(ws: u64, stride: u64) -> Measurement {
+            Measurement {
+                bytes: ws,
+                cycles: 1.0,
+                mb_s: model(ws, stride),
+            }
+        }
+    }
+
+    impl Machine for Synthetic {
+        fn id(&self) -> MachineId {
+            MachineId::Custom
+        }
+        fn clock_mhz(&self) -> f64 {
+            100.0
+        }
+        fn limits(&self) -> MeasureLimits {
+            MeasureLimits::fast()
+        }
+        fn set_limits(&mut self, _limits: MeasureLimits) {}
+        fn local_load(&mut self, ws: u64, stride: u64) -> Measurement {
+            Self::meas(ws, stride)
+        }
+        fn local_store(&mut self, ws: u64, stride: u64) -> Measurement {
+            Self::meas(ws, stride)
+        }
+        fn local_copy(&mut self, ws: u64, load_stride: u64, _store_stride: u64) -> Measurement {
+            Self::meas(ws, load_stride)
+        }
+        fn local_gather(&mut self, ws: u64) -> Measurement {
+            Self::meas(ws, 1)
+        }
+        fn remote_load(&mut self, _ws: u64, _stride: u64) -> Option<Measurement> {
+            None
+        }
+        fn remote_fetch(&mut self, ws: u64, stride: u64) -> Option<Measurement> {
+            Some(Self::meas(ws, stride))
+        }
+        fn remote_deposit(&mut self, ws: u64, stride: u64) -> Option<Measurement> {
+            Some(Self::meas(ws, stride))
+        }
+    }
+
+    fn synthetic_probe(m: &mut Synthetic, ws: u64, stride: u64) -> Option<f64> {
+        Some(m.local_load(ws, stride).mb_s)
+    }
+
+    #[test]
+    fn parallel_run_writes_the_same_checkpoint_bytes_as_sequential() {
+        let seq_path = scratch("par-seq");
+        let par_path = scratch("par-par");
+        let sequential = ResilientSweep::new(&seq_path)
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap();
+        for threads in [1, 4] {
+            let parallel = ResilientSweep::new(&par_path)
+                .run_parallel("t", &grid(), threads, &(|| Synthetic), synthetic_probe)
+                .unwrap();
+            assert_eq!(parallel.measured, sequential.measured, "threads={threads}");
+            assert_eq!(
+                std::fs::read(&seq_path).unwrap(),
+                std::fs::read(&par_path).unwrap(),
+                "threads={threads}"
+            );
+            ResilientSweep::new(&par_path).clear_checkpoint().unwrap();
+        }
+        ResilientSweep::new(&seq_path).clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn parallel_run_resumes_a_sequential_checkpoint() {
+        let path = scratch("par-resume");
+        let first = ResilientSweep::new(&path)
+            .with_max_cells(2)
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap();
+        assert_eq!(first.measured, 2);
+        let second = ResilientSweep::new(&path)
+            .run_parallel("t", &grid(), 4, &(|| Synthetic), synthetic_probe)
+            .unwrap();
+        assert_eq!(second.resumed, 2);
+        assert_eq!(second.measured, grid().cells() - 2);
+        assert!(second.is_complete());
+        for &ws in &grid().working_sets {
+            for &s in &grid().strides {
+                assert_eq!(second.surface.value(ws, s), Some(model(ws, s)));
+            }
+        }
+        ResilientSweep::new(&path).clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn parallel_panics_are_isolated_per_cell() {
+        let runner = ResilientSweep::new(scratch("par-panic"));
+        let prior = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = runner
+            .run_parallel(
+                "t",
+                &grid(),
+                3,
+                &(|| Synthetic),
+                |m: &mut Synthetic, ws, s| {
+                    assert!(!(ws == 2048 && s == 2), "injected parallel failure");
+                    synthetic_probe(m, ws, s)
+                },
+            )
+            .unwrap();
+        std::panic::set_hook(prior);
+        assert!(out.is_complete());
+        assert_eq!(out.failed.len(), 1);
+        assert_eq!((out.failed[0].ws_bytes, out.failed[0].stride), (2048, 2));
+        assert!(out.surface.value(2048, 2).unwrap().is_nan());
+        runner.clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn parallel_unsupported_cells_are_recorded() {
+        let runner = ResilientSweep::new(scratch("par-unsupported"));
+        let out = runner
+            .run_parallel(
+                "t",
+                &grid(),
+                2,
+                &(|| Synthetic),
+                |m: &mut Synthetic, ws, s| m.remote_load(ws, s).map(|r| r.mb_s),
+            )
+            .unwrap();
+        assert_eq!(out.failed.len(), grid().cells());
+        assert!(out.failed.iter().all(|f| f.error.contains("unsupported")));
+        runner.clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn parallel_zero_budget_attempts_nothing() {
+        let runner = ResilientSweep::new(scratch("par-budget")).with_budget(Duration::ZERO);
+        let out = runner
+            .run_parallel("t", &grid(), 4, &(|| Synthetic), synthetic_probe)
+            .unwrap();
+        assert_eq!(out.measured, 0);
+        assert_eq!(out.pending, grid().cells());
+        runner.clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn parallel_spawn_failures_stop_the_sweep() {
+        struct FailingSpawner;
+        impl SpawnEngine for FailingSpawner {
+            type Engine = Synthetic;
+            fn spawn_engine(&self) -> Result<Synthetic, SimError> {
+                Err(SimError::malformed("no engines today"))
+            }
+        }
+        let runner = ResilientSweep::new(scratch("par-spawn-fail"));
+        let got = runner.run_parallel("t", &grid(), 2, &FailingSpawner, synthetic_probe);
+        assert!(matches!(got, Err(SimError::Malformed { .. })));
         runner.clear_checkpoint().unwrap();
     }
 
@@ -412,14 +762,19 @@ mod tests {
     fn foreign_checkpoints_are_rejected() {
         let path = scratch("foreign");
         let runner = ResilientSweep::new(&path);
-        runner.run("t", &grid(), |ws, s| Some(model(ws, s))).unwrap();
+        runner
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap();
         // Different title.
         assert!(matches!(
             runner.run("other", &grid(), |ws, s| Some(model(ws, s))),
             Err(SimError::Malformed { .. })
         ));
         // Different grid.
-        let other = Grid { strides: vec![1], working_sets: vec![1024] };
+        let other = Grid {
+            strides: vec![1],
+            working_sets: vec![1024],
+        };
         assert!(matches!(
             runner.run("t", &other, |ws, s| Some(model(ws, s))),
             Err(SimError::Malformed { .. })

@@ -1,6 +1,5 @@
 //! The 2D bandwidth surface: MB/s over (working set, stride).
 
-
 /// A measured bandwidth surface (one of the paper's figs 1-8).
 ///
 /// Rows are working sets (ascending), columns are strides (ascending);
@@ -20,12 +19,22 @@ impl Surface {
     /// # Panics
     ///
     /// Panics if the value matrix does not match the axes.
-    pub fn new(title: impl Into<String>, strides: Vec<u64>, working_sets: Vec<u64>, values: Vec<Vec<f64>>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        strides: Vec<u64>,
+        working_sets: Vec<u64>,
+        values: Vec<Vec<f64>>,
+    ) -> Self {
         assert_eq!(values.len(), working_sets.len(), "one row per working set");
         for row in &values {
             assert_eq!(row.len(), strides.len(), "one column per stride");
         }
-        Surface { title: title.into(), strides, working_sets, values }
+        Surface {
+            title: title.into(),
+            strides,
+            working_sets,
+            values,
+        }
     }
 
     /// The surface's title (e.g. `"Cray T3E local loads"`).
@@ -59,13 +68,25 @@ impl Surface {
     /// figs 9-14, which fix a large working set and vary the stride.
     pub fn row(&self, ws_bytes: u64) -> Option<Vec<(u64, f64)>> {
         let r = self.working_sets.iter().position(|&w| w == ws_bytes)?;
-        Some(self.strides.iter().cloned().zip(self.values[r].iter().cloned()).collect())
+        Some(
+            self.strides
+                .iter()
+                .cloned()
+                .zip(self.values[r].iter().cloned())
+                .collect(),
+        )
     }
 
     /// One column (fixed stride) as `(working set, MB/s)` pairs.
     pub fn column(&self, stride: u64) -> Option<Vec<(u64, f64)>> {
         let c = self.strides.iter().position(|&s| s == stride)?;
-        Some(self.working_sets.iter().cloned().zip(self.values.iter().map(|row| row[c])).collect())
+        Some(
+            self.working_sets
+                .iter()
+                .cloned()
+                .zip(self.values.iter().map(|row| row[c]))
+                .collect(),
+        )
     }
 
     /// Working-set spectroscopy: the knees of one stride's column.
@@ -91,7 +112,11 @@ impl Surface {
     /// The cache capacities a contiguous-load column implies: half of each
     /// knee working set (the largest measured set that still fit).
     pub fn inferred_cache_bytes(&self) -> Vec<u64> {
-        self.knees(1, 0.2).unwrap_or_default().iter().map(|w| w / 2).collect()
+        self.knees(1, 0.2)
+            .unwrap_or_default()
+            .iter()
+            .map(|w| w / 2)
+            .collect()
     }
 
     /// Cell-wise ratio of two surfaces measured on the same grid: the shape
@@ -107,7 +132,10 @@ impl Surface {
             .iter()
             .zip(&denominator.values)
             .map(|(a, b)| {
-                a.iter().zip(b).map(|(x, y)| if *y > 0.0 { x / y } else { 0.0 }).collect()
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| if *y > 0.0 { x / y } else { 0.0 })
+                    .collect()
             })
             .collect();
         Some(Surface::new(
@@ -251,7 +279,11 @@ mod tests {
         let r = a.ratio(&b).unwrap();
         assert_eq!(r.value(1024, 1), Some(2.0));
         assert_eq!(r.value(1 << 20, 1), Some(2.0));
-        assert_eq!(r.value(1 << 20, 8), Some(0.0), "division by zero maps to zero");
+        assert_eq!(
+            r.value(1 << 20, 8),
+            Some(0.0),
+            "division by zero maps to zero"
+        );
         assert!(r.title().contains('/'));
         // Mismatched grids refuse.
         let c = Surface::new("tiny", vec![1], vec![1024], vec![vec![1.0]]);
@@ -260,7 +292,12 @@ mod tests {
 
     #[test]
     fn flat_column_has_no_knees() {
-        let s = Surface::new("flat", vec![1], vec![1024, 2048], vec![vec![500.0], vec![495.0]]);
+        let s = Surface::new(
+            "flat",
+            vec![1],
+            vec![1024, 2048],
+            vec![vec![500.0], vec![495.0]],
+        );
         assert!(s.knees(1, 0.2).unwrap().is_empty());
     }
 }

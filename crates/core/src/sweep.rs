@@ -1,6 +1,5 @@
 //! Sweep grids: the stride and working-set axes of the paper's figures.
 
-
 /// A sweep grid: which strides and working sets to measure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Grid {
@@ -14,7 +13,9 @@ impl Grid {
     /// The stride axis of figs 1-8:
     /// 1..8, 12, 15, 16, 24, 31, 32, 48, 63, 64, 96, 127, 128, 192.
     pub fn paper_strides() -> Vec<u64> {
-        vec![1, 2, 3, 4, 5, 6, 7, 8, 12, 15, 16, 24, 31, 32, 48, 63, 64, 96, 127, 128, 192]
+        vec![
+            1, 2, 3, 4, 5, 6, 7, 8, 12, 15, 16, 24, 31, 32, 48, 63, 64, 96, 127, 128, 192,
+        ]
     }
 
     /// The stride axis of the large-transfer figures 9-14:
@@ -36,12 +37,18 @@ impl Grid {
 
     /// The full paper grid for local surfaces (up to 128 MB like Fig. 1).
     pub fn paper_local() -> Self {
-        Grid { strides: Self::paper_strides(), working_sets: Self::paper_working_sets(128 << 20) }
+        Grid {
+            strides: Self::paper_strides(),
+            working_sets: Self::paper_working_sets(128 << 20),
+        }
     }
 
     /// The full paper grid for remote surfaces (up to 8 MB like figs 2/4-8).
     pub fn paper_remote() -> Self {
-        Grid { strides: Self::paper_strides(), working_sets: Self::paper_working_sets(8 << 20) }
+        Grid {
+            strides: Self::paper_strides(),
+            working_sets: Self::paper_working_sets(8 << 20),
+        }
     }
 
     /// A small grid for tests and examples: six strides, working sets
@@ -56,6 +63,19 @@ impl Grid {
     /// Number of cells this grid contains.
     pub fn cells(&self) -> usize {
         self.strides.len() * self.working_sets.len()
+    }
+
+    /// The `(working_set, stride)` of cell `idx` in row-major order
+    /// (working sets outer, strides inner) — the order every sweep
+    /// iterates and every checkpoint records.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx >= self.cells()`.
+    pub fn cell(&self, idx: usize) -> (u64, u64) {
+        let ws = self.working_sets[idx / self.strides.len()];
+        let stride = self.strides[idx % self.strides.len()];
+        (ws, stride)
     }
 }
 
@@ -87,5 +107,18 @@ mod tests {
     fn cells_is_the_product() {
         let g = Grid::quick();
         assert_eq!(g.cells(), g.strides.len() * g.working_sets.len());
+    }
+
+    #[test]
+    fn cell_indexing_matches_the_nested_loop_order() {
+        let g = Grid::quick();
+        let mut idx = 0;
+        for &ws in &g.working_sets {
+            for &stride in &g.strides {
+                assert_eq!(g.cell(idx), (ws, stride));
+                idx += 1;
+            }
+        }
+        assert_eq!(idx, g.cells());
     }
 }

@@ -246,7 +246,10 @@ mod tests {
         let b = FaultPlan::new(42, 0.5).unwrap();
         let fa = a.channel_faults_for(&torus);
         let fb = b.channel_faults_for(&torus);
-        assert_eq!(fa.failed_channels().collect::<Vec<_>>(), fb.failed_channels().collect::<Vec<_>>());
+        assert_eq!(
+            fa.failed_channels().collect::<Vec<_>>(),
+            fb.failed_channels().collect::<Vec<_>>()
+        );
         let da: Vec<_> = fa.degraded_channels().collect();
         let db: Vec<_> = fb.degraded_channels().collect();
         assert_eq!(da, db);
@@ -272,7 +275,10 @@ mod tests {
         let mild = FaultPlan::new(7, 0.1).unwrap().channel_faults_for(&torus);
         let harsh = FaultPlan::new(7, 0.9).unwrap().channel_faults_for(&torus);
         assert!(harsh.failed_count() > mild.failed_count());
-        assert!(harsh.failed_count() + harsh.degraded_count() > mild.failed_count() + mild.degraded_count());
+        assert!(
+            harsh.failed_count() + harsh.degraded_count()
+                > mild.failed_count() + mild.degraded_count()
+        );
     }
 
     #[test]

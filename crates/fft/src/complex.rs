@@ -29,12 +29,18 @@ impl Complex {
 
     /// `e^(i*theta)` — the twiddle factor at angle `theta`.
     pub fn from_polar(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// The complex conjugate.
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// The squared magnitude.
@@ -49,14 +55,20 @@ impl Complex {
 
     /// Scales by a real factor.
     pub fn scale(self, k: f64) -> Self {
-        Complex { re: self.re * k, im: self.im * k }
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 }
 
 impl Add for Complex {
     type Output = Complex;
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -70,7 +82,10 @@ impl AddAssign for Complex {
 impl Sub for Complex {
     type Output = Complex;
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -87,7 +102,10 @@ impl Mul for Complex {
 impl Neg for Complex {
     type Output = Complex;
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -59,7 +59,10 @@ impl<C: TransferCost> Dist2dFft<C> {
     /// Panics unless `n` is a power of two divisible by `npes`.
     pub fn new(n: usize, npes: usize, cost: C, style: TransposeStyle) -> Self {
         assert!(n.is_power_of_two(), "n must be a power of two, got {n}");
-        assert!(npes > 0 && n.is_multiple_of(npes), "npes must divide n ({n} / {npes})");
+        assert!(
+            npes > 0 && n.is_multiple_of(npes),
+            "npes must divide n ({n} / {npes})"
+        );
         let rows = n / npes;
         // Two buffers (A and B) of rows x n complex numbers per PE.
         let words_per_pe = 2 * rows * n * 2;
@@ -101,7 +104,11 @@ impl<C: TransferCost> Dist2dFft<C> {
     ///
     /// Panics if `i` or `j` is out of range.
     pub fn set(&mut self, i: usize, j: usize, v: Complex) {
-        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range for n={}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i},{j}) out of range for n={}",
+            self.n
+        );
         let rows = self.rows_per_pe();
         let pe = Pe(i / rows);
         let w = self.a_word(i % rows, j);
@@ -116,7 +123,11 @@ impl<C: TransferCost> Dist2dFft<C> {
     ///
     /// Panics if `i` or `j` is out of range.
     pub fn get(&self, i: usize, j: usize) -> Complex {
-        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range for n={}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i},{j}) out of range for n={}",
+            self.n
+        );
         let rows = self.rows_per_pe();
         let pe = Pe(i / rows);
         let w = self.a_word(i % rows, j);
@@ -132,7 +143,11 @@ impl<C: TransferCost> Dist2dFft<C> {
         let mut scratch = vec![Complex::ZERO; n];
         for pe in 0..self.npes {
             for r in 0..rows {
-                let base = if use_b { self.b_word(r, 0) } else { self.a_word(r, 0) };
+                let base = if use_b {
+                    self.b_word(r, 0)
+                } else {
+                    self.a_word(r, 0)
+                };
                 {
                     let mem = self.ctx.heap().local(Pe(pe));
                     for c in 0..n {
@@ -226,7 +241,7 @@ impl<C: TransferCost> Dist2dFft<C> {
                                 rows,
                             );
                         }
-        TransposeStyle::Fetch => {
+                        TransposeStyle::Fetch => {
                             // I am the receiver. The cost-model-optimal
                             // orientation on a pull machine reads the
                             // producer's rows *contiguously* and scatters
@@ -293,12 +308,16 @@ impl<C: TransferCost> Dist2dFft<C> {
 
     /// Maximum per-PE communication cycles charged so far.
     pub fn max_comm_cycles(&self) -> f64 {
-        (0..self.npes).map(|p| self.ctx.comm_cycles(Pe(p))).fold(0.0, f64::max)
+        (0..self.npes)
+            .map(|p| self.ctx.comm_cycles(Pe(p)))
+            .fold(0.0, f64::max)
     }
 
     /// Maximum per-PE total clock so far.
     pub fn max_clock_cycles(&self) -> f64 {
-        (0..self.npes).map(|p| self.ctx.clock_cycles(Pe(p))).fold(0.0, f64::max)
+        (0..self.npes)
+            .map(|p| self.ctx.clock_cycles(Pe(p)))
+            .fold(0.0, f64::max)
     }
 }
 

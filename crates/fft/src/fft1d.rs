@@ -26,7 +26,10 @@ fn permute(data: &mut [Complex]) {
 
 fn fft_in_place(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -160,7 +163,10 @@ mod tests {
         let mut freq = signal;
         fft_forward(&mut freq);
         let freq_energy: f64 = freq.iter().map(|z| z.norm_sq()).sum::<f64>() / 128.0;
-        assert!((time_energy - freq_energy).abs() < 1e-9, "{time_energy} vs {freq_energy}");
+        assert!(
+            (time_energy - freq_energy).abs() < 1e-9,
+            "{time_energy} vs {freq_energy}"
+        );
     }
 
     #[test]

@@ -13,7 +13,10 @@ use crate::fft1d::fft_flops;
 pub const COMPLEX_BYTES: u64 = 16;
 
 fn fast_machine(id: MachineId) -> Box<dyn Machine> {
-    let limits = MeasureLimits { max_measure_words: 16 * 1024, max_prime_words: 2 * 1024 * 1024 };
+    let limits = MeasureLimits {
+        max_measure_words: 16 * 1024,
+        max_prime_words: 2 * 1024 * 1024,
+    };
     let mut m: Box<dyn Machine> = match id {
         MachineId::Dec8400 => Box::new(Dec8400::new()),
         MachineId::CrayT3d => Box::new(T3d::new()),
@@ -65,7 +68,9 @@ impl ComputeModel {
             MachineId::Dec8400 => (135.0, 0.5),
             MachineId::CrayT3d => (55.0, 0.5),
             MachineId::CrayT3e => (230.0, 0.5),
-            MachineId::Custom => panic!("FFT performance models exist only for the paper's machines"),
+            MachineId::Custom => {
+                panic!("FFT performance models exist only for the paper's machines")
+            }
         };
         let machine = fast_machine(id);
         ComputeModel {
@@ -91,7 +96,10 @@ impl ComputeModel {
     /// Measured contiguous local copy bandwidth at working set `ws` bytes.
     fn copy_bw(&mut self, ws: u64) -> f64 {
         let machine = &mut self.machine;
-        *self.copy_bw_cache.entry(ws).or_insert_with(|| machine.local_copy(ws, 1, 1).mb_s)
+        *self
+            .copy_bw_cache
+            .entry(ws)
+            .or_insert_with(|| machine.local_copy(ws, 1, 1).mb_s)
     }
 
     /// Time of one n-point 1D-FFT in microseconds.
@@ -154,12 +162,17 @@ impl FleetCost {
     /// Panics if `npes` is zero.
     pub fn new(id: MachineId, npes: usize) -> Self {
         assert!(npes > 0, "a fleet needs at least one PE");
-        let limits = MeasureLimits { max_measure_words: 16 * 1024, max_prime_words: 256 * 1024 };
+        let limits = MeasureLimits {
+            max_measure_words: 16 * 1024,
+            max_prime_words: 256 * 1024,
+        };
         let (mut machine, aggregate_cap): (Box<dyn Machine>, bool) = match id {
             MachineId::Dec8400 => (Box::new(Dec8400::new_contended()), true),
             MachineId::CrayT3d => (Box::new(T3d::new_with_paired_traffic()), false),
             MachineId::CrayT3e => (Box::new(T3e::new()), false),
-            MachineId::Custom => panic!("FFT performance models exist only for the paper's machines"),
+            MachineId::Custom => {
+                panic!("FFT performance models exist only for the paper's machines")
+            }
         };
         machine.set_limits(limits);
         let cap = if aggregate_cap {
@@ -247,7 +260,10 @@ mod tests {
         let mut m = ComputeModel::new(MachineId::Dec8400);
         let small = m.row_fft_mflops(256);
         let large = m.row_fft_mflops(1024);
-        assert!((small - large).abs() / small < 0.25, "8400 flat: {small} vs {large}");
+        assert!(
+            (small - large).abs() / small < 0.25,
+            "8400 flat: {small} vs {large}"
+        );
     }
 
     #[test]
@@ -268,11 +284,17 @@ mod tests {
         // Contiguous: bus bound, per-PE cost must grow ~4x with 4 PEs.
         let c1 = single.call_cycles(TransferKind::Fetch, 10_000, 1);
         let c4 = four.call_cycles(TransferKind::Fetch, 10_000, 1);
-        assert!(c4 > 3.0 * c1, "contiguous pulls share the bus: {c1} vs {c4}");
+        assert!(
+            c4 > 3.0 * c1,
+            "contiguous pulls share the bus: {c1} vs {c4}"
+        );
         // Strided: latency bound, nearly unaffected by fleet size.
         let s1 = single.call_cycles(TransferKind::Fetch, 10_000, 512);
         let s4 = four.call_cycles(TransferKind::Fetch, 10_000, 512);
-        assert!(s4 < 1.5 * s1, "strided pulls are latency bound: {s1} vs {s4}");
+        assert!(
+            s4 < 1.5 * s1,
+            "strided pulls are latency bound: {s1} vs {s4}"
+        );
     }
 
     #[test]

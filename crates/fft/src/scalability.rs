@@ -131,7 +131,11 @@ mod tests {
             "T3D @512: {} GFlops",
             p.gflops_total
         );
-        assert!(p.mflops_per_pe > 8.0 && p.mflops_per_pe < 30.0, "{} MF/PE", p.mflops_per_pe);
+        assert!(
+            p.mflops_per_pe > 8.0 && p.mflops_per_pe < 30.0,
+            "{} MF/PE",
+            p.mflops_per_pe
+        );
     }
 
     #[test]
@@ -148,7 +152,10 @@ mod tests {
         let t3d = project(MachineId::CrayT3d, 2048, 512);
         let t3e = project(MachineId::CrayT3e, 2048, 512);
         let ratio = t3e.gflops_total / t3d.gflops_total;
-        assert!(ratio > 1.5 && ratio < 5.0, "T3E/T3D aggregate ratio {ratio}");
+        assert!(
+            ratio > 1.5 && ratio < 5.0,
+            "T3E/T3D aggregate ratio {ratio}"
+        );
     }
 
     #[test]
@@ -174,7 +181,10 @@ mod tests {
         use gasnub_interconnect::netsim::simulate_aapc;
 
         let torus = torus_for(64);
-        let link = LinkConfig { cycles_per_byte: 0.25, per_hop_cycles: 3.0 };
+        let link = LinkConfig {
+            cycles_per_byte: 0.25,
+            per_hop_cycles: 3.0,
+        };
         let n: u64 = 1024;
         let npes: u64 = 64;
         let bytes_per_pair = (n * n) as f64 * 16.0 / (npes * npes) as f64;
@@ -191,7 +201,10 @@ mod tests {
         // up to ~2x faster; congestion can also make it slower. Same order
         // of magnitude either way.
         let ratio = sim_us / analytic_us;
-        assert!(ratio > 0.4 && ratio < 10.0, "sim {sim_us} vs bound {analytic_us} (ratio {ratio})");
+        assert!(
+            ratio > 0.4 && ratio < 10.0,
+            "sim {sim_us} vs bound {analytic_us} (ratio {ratio})"
+        );
     }
 
     #[test]
@@ -199,7 +212,10 @@ mod tests {
         let t = torus_for(512);
         assert_eq!(t.nodes(), 512);
         let dims = t.dims();
-        assert!(dims.iter().all(|&d| d == 8), "512 nodes should form 8x8x8, got {dims:?}");
+        assert!(
+            dims.iter().all(|&d| d == 8),
+            "512 nodes should form 8x8x8, got {dims:?}"
+        );
     }
 
     #[test]

@@ -48,7 +48,13 @@ impl<C: TransferCost> Jacobi1d<C> {
         ctx.heap_mut().local_mut(Pe(0))[0] = left;
         let last = npes - 1;
         ctx.heap_mut().local_mut(Pe(last))[points_per_pe + 1] = right;
-        Jacobi1d { ctx, points_per_pe, left, right, steps: 0 }
+        Jacobi1d {
+            ctx,
+            points_per_pe,
+            left,
+            right,
+            steps: 0,
+        }
     }
 
     /// Number of PEs.
@@ -156,8 +162,12 @@ pub fn run_stencil(machine: MachineId, points_per_pe: usize, steps: u64) -> Sten
     for _ in 0..steps {
         solver.step(cycles_per_point);
     }
-    let total = (0..4).map(|p| solver.ctx().clock_cycles(Pe(p))).fold(0.0, f64::max);
-    let comm = (0..4).map(|p| solver.ctx().comm_cycles(Pe(p))).fold(0.0, f64::max);
+    let total = (0..4)
+        .map(|p| solver.ctx().clock_cycles(Pe(p)))
+        .fold(0.0, f64::max);
+    let comm = (0..4)
+        .map(|p| solver.ctx().comm_cycles(Pe(p)))
+        .fold(0.0, f64::max);
     StencilRunResult {
         machine,
         points_per_pe,
@@ -202,7 +212,11 @@ mod tests {
         }
         // Jacobi's spectral radius on 8 points is cos(pi/9) ≈ 0.94, so 600
         // sweeps shrink the initial error below 1e-9.
-        assert!(s.error() < 1e-9, "constant boundary must converge, error {}", s.error());
+        assert!(
+            s.error() < 1e-9,
+            "constant boundary must converge, error {}",
+            s.error()
+        );
     }
 
     #[test]

@@ -11,7 +11,6 @@
 //! CPU cycles. Occupancy is tracked so that several processors sharing the
 //! bus (the Fig. 15-17 four-processor runs) serialize.
 
-
 use gasnub_memsim::rng::Rng;
 use gasnub_memsim::ConfigError;
 
@@ -36,7 +35,10 @@ impl BusJitterConfig {
     /// Returns [`ConfigError`] for a negative or non-finite amplitude.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.amplitude_bus_cycles < 0.0 || !self.amplitude_bus_cycles.is_finite() {
-            return Err(ConfigError::new("bus jitter", "amplitude must be finite and non-negative"));
+            return Err(ConfigError::new(
+                "bus jitter",
+                "amplitude must be finite and non-negative",
+            ));
         }
         Ok(())
     }
@@ -76,7 +78,10 @@ impl BusConfig {
     /// any overhead is negative.
     pub fn validate(&self) -> Result<(), ConfigError> {
         let c = "bus";
-        if [self.bus_clock_mhz, self.cpu_clock_mhz].iter().any(|c| c.is_nan() || *c <= 0.0) {
+        if [self.bus_clock_mhz, self.cpu_clock_mhz]
+            .iter()
+            .any(|c| c.is_nan() || *c <= 0.0)
+        {
             return Err(ConfigError::new(c, "clocks must be positive"));
         }
         if self.width_bytes == 0 || !self.width_bytes.is_power_of_two() {
@@ -143,7 +148,13 @@ impl Bus {
     /// Propagates [`BusConfig::validate`] errors.
     pub fn new(config: BusConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        Ok(Bus { config, busy_until: 0.0, stall_total: 0.0, transactions: 0, jitter: None })
+        Ok(Bus {
+            config,
+            busy_until: 0.0,
+            stall_total: 0.0,
+            transactions: 0,
+            jitter: None,
+        })
     }
 
     /// Attaches (or removes) deterministic arbitration jitter.
@@ -192,10 +203,9 @@ impl Bus {
     pub fn transaction(&mut self, bytes: u64, now: f64) -> f64 {
         let index = self.transactions;
         self.transactions += 1;
-        let jitter_cpu = self
-            .jitter
-            .as_ref()
-            .map_or(0.0, |j| j.stall_bus_cycles(index) * self.config.cpu_cycles_per_bus_cycle());
+        let jitter_cpu = self.jitter.as_ref().map_or(0.0, |j| {
+            j.stall_bus_cycles(index) * self.config.cpu_cycles_per_bus_cycle()
+        });
         let stall = (self.busy_until - now).max(0.0) + jitter_cpu;
         self.stall_total += stall;
         let occupancy = self.config.transaction_cpu_cycles(bytes);
@@ -279,9 +289,24 @@ mod tests {
 
     #[test]
     fn jitter_config_validates() {
-        assert!(BusJitterConfig { amplitude_bus_cycles: 2.0, seed: 1 }.validate().is_ok());
-        assert!(BusJitterConfig { amplitude_bus_cycles: -1.0, seed: 1 }.validate().is_err());
-        assert!(BusJitterConfig { amplitude_bus_cycles: f64::NAN, seed: 1 }.validate().is_err());
+        assert!(BusJitterConfig {
+            amplitude_bus_cycles: 2.0,
+            seed: 1
+        }
+        .validate()
+        .is_ok());
+        assert!(BusJitterConfig {
+            amplitude_bus_cycles: -1.0,
+            seed: 1
+        }
+        .validate()
+        .is_err());
+        assert!(BusJitterConfig {
+            amplitude_bus_cycles: f64::NAN,
+            seed: 1
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -296,16 +321,27 @@ mod tests {
             now
         };
         let clean = run(None);
-        let jitter = BusJitterConfig { amplitude_bus_cycles: 3.0, seed: 7 };
+        let jitter = BusJitterConfig {
+            amplitude_bus_cycles: 3.0,
+            seed: 7,
+        };
         let jittered = run(Some(jitter.clone()));
         assert!(jittered > clean, "{jittered} vs {clean}");
-        assert_eq!(jittered, run(Some(jitter)), "same seed must give the same cycle count");
+        assert_eq!(
+            jittered,
+            run(Some(jitter)),
+            "same seed must give the same cycle count"
+        );
     }
 
     #[test]
     fn zero_amplitude_jitter_is_free() {
         let mut bus = Bus::new(dec8400_bus()).unwrap();
-        bus.set_jitter(Some(BusJitterConfig { amplitude_bus_cycles: 0.0, seed: 3 })).unwrap();
+        bus.set_jitter(Some(BusJitterConfig {
+            amplitude_bus_cycles: 0.0,
+            seed: 3,
+        }))
+        .unwrap();
         let c = bus.transaction(64, 0.0);
         assert!((c - 12.0).abs() < 1e-9);
     }

@@ -6,7 +6,6 @@
 //! arrangement of footnote 1 — throttle each other: "the effective link
 //! speed seen by each of the two processors falls back to 70 MByte/s".
 
-
 use gasnub_memsim::ConfigError;
 
 /// Static description of a link (all costs in *CPU* cycles of the machine
@@ -65,7 +64,12 @@ impl Link {
     /// Propagates [`LinkConfig::validate`] errors.
     pub fn new(config: LinkConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        Ok(Link { config, busy_until: 0.0, stall_total: 0.0, transfers: 0 })
+        Ok(Link {
+            config,
+            busy_until: 0.0,
+            stall_total: 0.0,
+            transfers: 0,
+        })
     }
 
     /// The configuration this link was built from.
@@ -109,12 +113,20 @@ mod tests {
     use super::*;
 
     fn cfg() -> LinkConfig {
-        LinkConfig { cycles_per_byte: 0.5, per_hop_cycles: 4.0 }
+        LinkConfig {
+            cycles_per_byte: 0.5,
+            per_hop_cycles: 4.0,
+        }
     }
 
     #[test]
     fn validate_rejects_negative_costs() {
-        assert!(LinkConfig { cycles_per_byte: -0.1, per_hop_cycles: 0.0 }.validate().is_err());
+        assert!(LinkConfig {
+            cycles_per_byte: -0.1,
+            per_hop_cycles: 0.0
+        }
+        .validate()
+        .is_err());
         assert!(cfg().validate().is_ok());
     }
 
@@ -138,7 +150,10 @@ mod tests {
         assert_eq!(first, 4.0 + 32.0);
         // A second transfer at the same instant queues behind the payload.
         let second = l.send(64, 1, 0.0);
-        assert!(second > first, "second sender must stall: {second} vs {first}");
+        assert!(
+            second > first,
+            "second sender must stall: {second} vs {first}"
+        );
         assert!(l.total_stall_cycles() > 0.0);
     }
 

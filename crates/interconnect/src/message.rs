@@ -5,7 +5,6 @@
 //! per-byte payload cost. This small model is shared by the NI
 //! implementations.
 
-
 use gasnub_memsim::ConfigError;
 
 /// Per-message cost parameters, in CPU cycles.
@@ -27,8 +26,14 @@ impl MessageCostModel {
     ///
     /// Returns [`ConfigError`] if any cost is negative.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.per_message_cycles < 0.0 || self.per_byte_cycles < 0.0 || self.partner_switch_cycles < 0.0 {
-            return Err(ConfigError::new("message cost model", "cycle costs must be non-negative"));
+        if self.per_message_cycles < 0.0
+            || self.per_byte_cycles < 0.0
+            || self.partner_switch_cycles < 0.0
+        {
+            return Err(ConfigError::new(
+                "message cost model",
+                "cycle costs must be non-negative",
+            ));
         }
         Ok(())
     }
@@ -38,7 +43,11 @@ impl MessageCostModel {
     pub fn message_cycles(&self, bytes: u64, switched: bool) -> f64 {
         self.per_message_cycles
             + self.per_byte_cycles * bytes as f64
-            + if switched { self.partner_switch_cycles } else { 0.0 }
+            + if switched {
+                self.partner_switch_cycles
+            } else {
+                0.0
+            }
     }
 
     /// Asymptotic bandwidth in MB/s for back-to-back messages of `bytes` to
@@ -58,7 +67,11 @@ mod tests {
     use super::*;
 
     fn model() -> MessageCostModel {
-        MessageCostModel { per_message_cycles: 12.0, per_byte_cycles: 0.5, partner_switch_cycles: 100.0 }
+        MessageCostModel {
+            per_message_cycles: 12.0,
+            per_byte_cycles: 0.5,
+            partner_switch_cycles: 100.0,
+        }
     }
 
     #[test]
@@ -80,7 +93,10 @@ mod tests {
     #[test]
     fn partner_switch_is_charged() {
         let m = model();
-        assert_eq!(m.message_cycles(8, true) - m.message_cycles(8, false), 100.0);
+        assert_eq!(
+            m.message_cycles(8, true) - m.message_cycles(8, false),
+            100.0
+        );
     }
 
     #[test]

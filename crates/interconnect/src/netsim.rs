@@ -81,9 +81,16 @@ pub fn simulate_with_faults(
         routes.push(route);
     }
 
-    let capacity = if link.cycles_per_byte > 0.0 { 1.0 / link.cycles_per_byte } else { f64::INFINITY };
+    let capacity = if link.cycles_per_byte > 0.0 {
+        1.0 / link.cycles_per_byte
+    } else {
+        f64::INFINITY
+    };
     let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes as f64).collect();
-    let mut active: Vec<bool> = flows.iter().map(|f| f.bytes > 0 && f.from != f.to).collect();
+    let mut active: Vec<bool> = flows
+        .iter()
+        .map(|f| f.bytes > 0 && f.from != f.to)
+        .collect();
     let mut now = 0.0;
 
     // Progressive max-min filling: in each epoch, every active flow gets an
@@ -100,8 +107,11 @@ pub fn simulate_with_faults(
             // Bottleneck share across this flow's channels.
             let mut rate = f64::INFINITY;
             for ch in &routes[i] {
-                let sharers =
-                    channel_flows[ch].iter().filter(|&&j| active[j]).count().max(1) as f64;
+                let sharers = channel_flows[ch]
+                    .iter()
+                    .filter(|&&j| active[j])
+                    .count()
+                    .max(1) as f64;
                 let cap = capacity * faults.capacity_factor(ch.0, ch.1);
                 rate = rate.min(cap / sharers);
             }
@@ -149,12 +159,20 @@ pub fn simulate_with_faults(
         .max()
         .unwrap_or(0);
     let makespan = now + link.per_hop_cycles * max_hops as f64;
-    let total_bytes: f64 = flows.iter().filter(|f| f.from != f.to).map(|f| f.bytes as f64).sum();
+    let total_bytes: f64 = flows
+        .iter()
+        .filter(|f| f.from != f.to)
+        .map(|f| f.bytes as f64)
+        .sum();
     Ok(NetSimResult {
         makespan_cycles: makespan,
         max_channel_cycles,
         channels_used: channel_flows.len(),
-        delivered_bytes_per_cycle: if makespan > 0.0 { total_bytes / makespan } else { 0.0 },
+        delivered_bytes_per_cycle: if makespan > 0.0 {
+            total_bytes / makespan
+        } else {
+            0.0
+        },
     })
 }
 
@@ -166,7 +184,11 @@ pub fn simulate_aapc(torus: &Torus3d, link: &LinkConfig, bytes_per_pair: u64) ->
     for from in 0..n {
         for to in 0..n {
             if from != to {
-                flows.push(Flow { from: NodeId(from), to: NodeId(to), bytes: bytes_per_pair });
+                flows.push(Flow {
+                    from: NodeId(from),
+                    to: NodeId(to),
+                    bytes: bytes_per_pair,
+                });
             }
         }
     }
@@ -178,17 +200,28 @@ mod tests {
     use super::*;
 
     fn link() -> LinkConfig {
-        LinkConfig { cycles_per_byte: 0.5, per_hop_cycles: 4.0 }
+        LinkConfig {
+            cycles_per_byte: 0.5,
+            per_hop_cycles: 4.0,
+        }
     }
 
     #[test]
     fn single_flow_runs_at_link_rate() {
         let torus = Torus3d::new([4, 1, 1]).unwrap();
-        let flows = [Flow { from: NodeId(0), to: NodeId(1), bytes: 1000 }];
+        let flows = [Flow {
+            from: NodeId(0),
+            to: NodeId(1),
+            bytes: 1000,
+        }];
         let r = simulate(&torus, &link(), &flows);
         // 1000 bytes at 2 bytes/cycle... capacity = 1/0.5 = 2? No: 0.5
         // cycles/byte -> 2 bytes/cycle is wrong; capacity = 1/0.5 = 2.
-        assert!((r.makespan_cycles - (500.0 + 4.0)).abs() < 1e-6, "got {}", r.makespan_cycles);
+        assert!(
+            (r.makespan_cycles - (500.0 + 4.0)).abs() < 1e-6,
+            "got {}",
+            r.makespan_cycles
+        );
         assert_eq!(r.channels_used, 1);
     }
 
@@ -197,8 +230,16 @@ mod tests {
         let torus = Torus3d::new([4, 1, 1]).unwrap();
         // Both flows cross channel 1->2.
         let flows = [
-            Flow { from: NodeId(0), to: NodeId(2), bytes: 1000 },
-            Flow { from: NodeId(1), to: NodeId(2), bytes: 1000 },
+            Flow {
+                from: NodeId(0),
+                to: NodeId(2),
+                bytes: 1000,
+            },
+            Flow {
+                from: NodeId(1),
+                to: NodeId(2),
+                bytes: 1000,
+            },
         ];
         let shared = simulate(&torus, &link(), &flows);
         let alone = simulate(&torus, &link(), &flows[..1]);
@@ -213,11 +254,23 @@ mod tests {
     #[test]
     fn disjoint_flows_do_not_interfere() {
         let torus = Torus3d::new([4, 4, 1]).unwrap();
-        let a = [Flow { from: NodeId(0), to: NodeId(1), bytes: 4000 }];
+        let a = [Flow {
+            from: NodeId(0),
+            to: NodeId(1),
+            bytes: 4000,
+        }];
         let both = [
-            Flow { from: NodeId(0), to: NodeId(1), bytes: 4000 },
+            Flow {
+                from: NodeId(0),
+                to: NodeId(1),
+                bytes: 4000,
+            },
             // A disjoint link on the other side of the torus.
-            Flow { from: NodeId(10), to: NodeId(11), bytes: 4000 },
+            Flow {
+                from: NodeId(10),
+                to: NodeId(11),
+                bytes: 4000,
+            },
         ];
         let ra = simulate(&torus, &link(), &a);
         let rb = simulate(&torus, &link(), &both);
@@ -228,8 +281,16 @@ mod tests {
     fn self_flows_and_empty_flows_are_ignored() {
         let torus = Torus3d::new([2, 2, 1]).unwrap();
         let flows = [
-            Flow { from: NodeId(0), to: NodeId(0), bytes: 1 << 20 },
-            Flow { from: NodeId(0), to: NodeId(1), bytes: 0 },
+            Flow {
+                from: NodeId(0),
+                to: NodeId(0),
+                bytes: 1 << 20,
+            },
+            Flow {
+                from: NodeId(0),
+                to: NodeId(1),
+                bytes: 0,
+            },
         ];
         let r = simulate(&torus, &link(), &flows);
         assert_eq!(r.makespan_cycles, 0.0 + 0.0);
@@ -264,7 +325,11 @@ mod tests {
     #[test]
     fn degraded_channel_slows_the_flow_through_it() {
         let torus = Torus3d::new([4, 1, 1]).unwrap();
-        let flows = [Flow { from: NodeId(0), to: NodeId(1), bytes: 1000 }];
+        let flows = [Flow {
+            from: NodeId(0),
+            to: NodeId(1),
+            bytes: 1000,
+        }];
         let mut faults = ChannelFaults::none();
         faults.degrade_channel(NodeId(0), NodeId(1), 0.5).unwrap();
         let healthy = simulate(&torus, &link(), &flows);
@@ -280,7 +345,11 @@ mod tests {
     #[test]
     fn failed_channel_forces_a_longer_detour() {
         let torus = Torus3d::new([4, 4, 1]).unwrap();
-        let flows = [Flow { from: NodeId(0), to: NodeId(1), bytes: 1000 }];
+        let flows = [Flow {
+            from: NodeId(0),
+            to: NodeId(1),
+            bytes: 1000,
+        }];
         let mut faults = ChannelFaults::none();
         faults.fail_channel(NodeId(0), NodeId(1));
         let healthy = simulate(&torus, &link(), &flows);
@@ -296,7 +365,11 @@ mod tests {
     #[test]
     fn disconnected_flow_is_an_error() {
         let torus = Torus3d::new([2, 1, 1]).unwrap();
-        let flows = [Flow { from: NodeId(0), to: NodeId(1), bytes: 8 }];
+        let flows = [Flow {
+            from: NodeId(0),
+            to: NodeId(1),
+            bytes: 8,
+        }];
         let mut faults = ChannelFaults::none();
         faults.fail_channel(NodeId(0), NodeId(1));
         assert!(simulate_with_faults(&torus, &link(), &flows, &faults).is_err());
@@ -309,7 +382,11 @@ mod tests {
         faults.fail_channel(NodeId(0), NodeId(1));
         faults.degrade_channel(NodeId(1), NodeId(2), 0.4).unwrap();
         let flows: Vec<Flow> = (0..16)
-            .map(|i| Flow { from: NodeId(i), to: NodeId((i * 7 + 3) % 32), bytes: 4096 })
+            .map(|i| Flow {
+                from: NodeId(i),
+                to: NodeId((i * 7 + 3) % 32),
+                bytes: 4096,
+            })
             .collect();
         let a = simulate_with_faults(&torus, &link(), &flows, &faults).unwrap();
         let b = simulate_with_faults(&torus, &link(), &flows, &faults).unwrap();

@@ -14,7 +14,6 @@
 //! delivery), and the issuing processor stalls only when every slot is in
 //! flight. A blocking T3D remote load is the degenerate single-slot case.
 
-
 use gasnub_memsim::rng::Rng;
 use gasnub_memsim::ConfigError;
 
@@ -83,7 +82,12 @@ impl NiLossModel {
     /// Propagates [`NiLossConfig::validate`] errors.
     pub fn new(config: NiLossConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        Ok(NiLossModel { config, operations: 0, retries: 0, dropped: 0 })
+        Ok(NiLossModel {
+            config,
+            operations: 0,
+            retries: 0,
+            dropped: 0,
+        })
     }
 
     /// The configuration this model was built from.
@@ -147,7 +151,11 @@ struct SlotPipeline {
 
 impl SlotPipeline {
     fn new(depth: usize, latency: f64) -> Self {
-        SlotPipeline { slots: vec![f64::NEG_INFINITY; depth.max(1)], next: 0, latency }
+        SlotPipeline {
+            slots: vec![f64::NEG_INFINITY; depth.max(1)],
+            next: 0,
+            latency,
+        }
     }
 
     /// Issues one operation at `now`; returns the stall the issuer observes
@@ -194,10 +202,16 @@ impl T3dNiConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.message.validate()?;
         if self.prefetch_fifo_depth == 0 {
-            return Err(ConfigError::new("T3D NI", "prefetch FIFO depth must be at least 1"));
+            return Err(ConfigError::new(
+                "T3D NI",
+                "prefetch FIFO depth must be at least 1",
+            ));
         }
         if self.remote_load_round_trip_cycles < 0.0 {
-            return Err(ConfigError::new("T3D NI", "round trip must be non-negative"));
+            return Err(ConfigError::new(
+                "T3D NI",
+                "round trip must be non-negative",
+            ));
         }
         Ok(())
     }
@@ -222,8 +236,18 @@ impl T3dNi {
     /// Propagates [`T3dNiConfig::validate`] errors.
     pub fn new(config: T3dNiConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        let fetch_pipeline = SlotPipeline::new(config.prefetch_fifo_depth, config.remote_load_round_trip_cycles);
-        Ok(T3dNi { config, fetch_pipeline, last_partner: None, packets: 0, fetched_words: 0, loss: None })
+        let fetch_pipeline = SlotPipeline::new(
+            config.prefetch_fifo_depth,
+            config.remote_load_round_trip_cycles,
+        );
+        Ok(T3dNi {
+            config,
+            fetch_pipeline,
+            last_partner: None,
+            packets: 0,
+            fetched_words: 0,
+            loss: None,
+        })
     }
 
     /// Attaches (or removes) a message-loss fault model. Every subsequent
@@ -270,7 +294,10 @@ impl T3dNi {
         self.packets += 1;
         let switched = self.last_partner.is_some() && self.last_partner != Some(partner);
         self.last_partner = Some(partner);
-        let penalty = self.loss.as_mut().map_or(0.0, NiLossModel::delivery_penalty);
+        let penalty = self
+            .loss
+            .as_mut()
+            .map_or(0.0, NiLossModel::delivery_penalty);
         self.config.message.message_cycles(bytes, switched) + penalty
     }
 
@@ -280,7 +307,10 @@ impl T3dNi {
     pub fn fetch_word(&mut self, now: f64) -> f64 {
         self.fetched_words += 1;
         let stall = self.fetch_pipeline.issue(now);
-        let penalty = self.loss.as_mut().map_or(0.0, NiLossModel::delivery_penalty);
+        let penalty = self
+            .loss
+            .as_mut()
+            .map_or(0.0, NiLossModel::delivery_penalty);
         // Issue cost of touching the FIFO, plus any pipeline stall.
         self.config.message.per_message_cycles + stall + penalty
     }
@@ -308,10 +338,19 @@ impl ERegistersConfig {
     /// Returns [`ConfigError`] for a zero register count or negative costs.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.count == 0 {
-            return Err(ConfigError::new("E-registers", "register count must be at least 1"));
+            return Err(ConfigError::new(
+                "E-registers",
+                "register count must be at least 1",
+            ));
         }
-        if self.word_issue_cycles < 0.0 || self.call_setup_cycles < 0.0 || self.round_trip_cycles < 0.0 {
-            return Err(ConfigError::new("E-registers", "cycle costs must be non-negative"));
+        if self.word_issue_cycles < 0.0
+            || self.call_setup_cycles < 0.0
+            || self.round_trip_cycles < 0.0
+        {
+            return Err(ConfigError::new(
+                "E-registers",
+                "cycle costs must be non-negative",
+            ));
         }
         Ok(())
     }
@@ -336,7 +375,13 @@ impl ERegisters {
     pub fn new(config: ERegistersConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         let pipeline = SlotPipeline::new(config.count, config.round_trip_cycles);
-        Ok(ERegisters { config, pipeline, words: 0, calls: 0, loss: None })
+        Ok(ERegisters {
+            config,
+            pipeline,
+            words: 0,
+            calls: 0,
+            loss: None,
+        })
     }
 
     /// Attaches (or removes) a message-loss fault model. Every subsequent
@@ -387,7 +432,10 @@ impl ERegisters {
     pub fn transfer_word(&mut self, now: f64) -> f64 {
         self.words += 1;
         let stall = self.pipeline.issue(now);
-        let penalty = self.loss.as_mut().map_or(0.0, NiLossModel::delivery_penalty);
+        let penalty = self
+            .loss
+            .as_mut()
+            .map_or(0.0, NiLossModel::delivery_penalty);
         self.config.word_issue_cycles + stall + penalty
     }
 }
@@ -494,7 +542,10 @@ mod tests {
             now += er.transfer_word(now);
         }
         let per_word = now / 64.0;
-        assert!(per_word > 100.0, "2 registers at 240-cycle RT must bottleneck: {per_word}");
+        assert!(
+            per_word > 100.0,
+            "2 registers at 240-cycle RT must bottleneck: {per_word}"
+        );
     }
 
     #[test]
@@ -542,9 +593,15 @@ mod tests {
     fn loss_model_is_deterministic() {
         let run = || {
             let mut model = NiLossModel::new(loss_cfg(0.2)).unwrap();
-            (0..2000).map(|_| model.delivery_penalty()).collect::<Vec<f64>>()
+            (0..2000)
+                .map(|_| model.delivery_penalty())
+                .collect::<Vec<f64>>()
         };
-        assert_eq!(run(), run(), "same seed must give an identical penalty stream");
+        assert_eq!(
+            run(),
+            run(),
+            "same seed must give an identical penalty stream"
+        );
     }
 
     #[test]
@@ -585,9 +642,16 @@ mod tests {
         };
         let clean_cycles = run(&mut clean);
         let lossy_cycles = run(&mut lossy);
-        assert!(lossy_cycles > clean_cycles, "{lossy_cycles} vs {clean_cycles}");
+        assert!(
+            lossy_cycles > clean_cycles,
+            "{lossy_cycles} vs {clean_cycles}"
+        );
         lossy.reset();
-        assert_eq!(run(&mut lossy), lossy_cycles, "reset must restore the loss stream");
+        assert_eq!(
+            run(&mut lossy),
+            lossy_cycles,
+            "reset must restore the loss stream"
+        );
     }
 
     #[test]
@@ -599,7 +663,10 @@ mod tests {
             now += er.transfer_word(now);
         }
         let clean_estimate = 512.0 * 6.0;
-        assert!(now > clean_estimate * 1.5, "losses must hurt: {now} vs {clean_estimate}");
+        assert!(
+            now > clean_estimate * 1.5,
+            "losses must hurt: {now} vs {clean_estimate}"
+        );
         assert!(er.loss_model().unwrap().retries() > 0);
     }
 

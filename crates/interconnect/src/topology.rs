@@ -59,7 +59,10 @@ impl ChannelFaults {
         factor: f64,
     ) -> Result<(), ConfigError> {
         if !(factor > 0.0 && factor <= 1.0) {
-            return Err(ConfigError::new("channel faults", "degradation factor must be in (0, 1]"));
+            return Err(ConfigError::new(
+                "channel faults",
+                "degradation factor must be in (0, 1]",
+            ));
         }
         if !self.failed.contains(&(from, to)) {
             self.degraded.insert((from, to), factor);
@@ -146,7 +149,12 @@ impl Torus3d {
     ///
     /// Panics if `node` is out of range.
     pub fn coords(&self, node: NodeId) -> [u32; 3] {
-        assert!(node.0 < self.nodes(), "node {} out of range for {} nodes", node.0, self.nodes());
+        assert!(
+            node.0 < self.nodes(),
+            "node {} out of range for {} nodes",
+            node.0,
+            self.nodes()
+        );
         let x = node.0 % self.dims[0];
         let y = (node.0 / self.dims[0]) % self.dims[1];
         let z = node.0 / (self.dims[0] * self.dims[1]);
@@ -176,7 +184,9 @@ impl Torus3d {
     pub fn hops(&self, from: NodeId, to: NodeId) -> u32 {
         let a = self.coords(from);
         let b = self.coords(to);
-        (0..3).map(|i| Self::dim_distance(self.dims[i], a[i], b[i])).sum()
+        (0..3)
+            .map(|i| Self::dim_distance(self.dims[i], a[i], b[i]))
+            .sum()
     }
 
     /// The directed channels a packet traverses under dimension-order
@@ -195,7 +205,11 @@ impl Torus3d {
                 let fwd = (goal[dim] + extent - at[dim]) % extent;
                 let step_up = fwd <= extent - fwd;
                 let here = self.node_at(at);
-                at[dim] = if step_up { (at[dim] + 1) % extent } else { (at[dim] + extent - 1) % extent };
+                at[dim] = if step_up {
+                    (at[dim] + 1) % extent
+                } else {
+                    (at[dim] + extent - 1) % extent
+                };
                 channels.push((here, self.node_at(at)));
             }
         }
@@ -326,7 +340,13 @@ impl Torus3d {
             .enumerate()
             .max_by_key(|(_, &d)| d)
             .expect("torus has three dimensions");
-        let cross_section: u32 = self.dims.iter().enumerate().filter(|&(i, _)| i != max_idx).map(|(_, &d)| d).product();
+        let cross_section: u32 = self
+            .dims
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != max_idx)
+            .map(|(_, &d)| d)
+            .product();
         // Wrap-around means two links per ring cross the cut (if the
         // dimension has more than two nodes; a 2-ring's links coincide).
         let per_ring = if self.dims[max_idx] > 2 { 2 } else { 1 };
@@ -393,7 +413,11 @@ mod tests {
         for from in 0..t.nodes() {
             for to in 0..t.nodes() {
                 let route = t.route(NodeId(from), NodeId(to));
-                assert_eq!(route.len() as u32, t.hops(NodeId(from), NodeId(to)), "{from}->{to}");
+                assert_eq!(
+                    route.len() as u32,
+                    t.hops(NodeId(from), NodeId(to)),
+                    "{from}->{to}"
+                );
             }
         }
     }
@@ -471,7 +495,10 @@ mod tests {
         assert_eq!(detour.first().unwrap().0, from);
         assert_eq!(detour.last().unwrap().1, to);
         for &(x, y) in &detour {
-            assert!(!faults.is_failed(x, y), "detour uses failed channel {x}->{y}");
+            assert!(
+                !faults.is_failed(x, y),
+                "detour uses failed channel {x}->{y}"
+            );
         }
         for pair in detour.windows(2) {
             assert_eq!(pair[0].1, pair[1].0, "channels must chain");
@@ -492,7 +519,9 @@ mod tests {
     #[test]
     fn route_avoiding_rejects_out_of_range_nodes() {
         let t = Torus3d::new([2, 2, 1]).unwrap();
-        let err = t.route_avoiding(NodeId(0), NodeId(9), &ChannelFaults::none()).unwrap_err();
+        let err = t
+            .route_avoiding(NodeId(0), NodeId(9), &ChannelFaults::none())
+            .unwrap_err();
         assert!(matches!(err, SimError::OutOfRange { .. }), "{err}");
     }
 

@@ -25,7 +25,9 @@ fn arb_faults(rng: &mut Rng, torus: &Torus3d) -> ChannelFaults {
             if roll < 0.15 {
                 faults.fail_channel(from, to);
             } else if roll < 0.35 {
-                faults.degrade_channel(from, to, 0.1 + 0.9 * rng.gen_f64()).unwrap();
+                faults
+                    .degrade_channel(from, to, 0.1 + 0.9 * rng.gen_f64())
+                    .unwrap();
             }
         }
     }
@@ -34,7 +36,10 @@ fn arb_faults(rng: &mut Rng, torus: &Torus3d) -> ChannelFaults {
 
 fn arb_pair(rng: &mut Rng, torus: &Torus3d) -> (NodeId, NodeId) {
     let n = u64::from(torus.nodes());
-    (NodeId(rng.gen_range(0, n) as u32), NodeId(rng.gen_range(0, n) as u32))
+    (
+        NodeId(rng.gen_range(0, n) as u32),
+        NodeId(rng.gen_range(0, n) as u32),
+    )
 }
 
 #[test]
@@ -63,7 +68,10 @@ fn routes_around_faults_are_loop_free_live_and_complete() {
                 }
                 // Live: every hop is an intact neighbor channel.
                 for &(a, b) in &path {
-                    assert!(!faults.is_failed(a, b), "route uses failed channel {a:?}->{b:?}");
+                    assert!(
+                        !faults.is_failed(a, b),
+                        "route uses failed channel {a:?}->{b:?}"
+                    );
                     assert!(
                         torus.neighbors(a).contains(&b),
                         "route teleports {a:?}->{b:?}"
@@ -82,7 +90,10 @@ fn routes_around_faults_are_loop_free_live_and_complete() {
                         }
                     }
                 }
-                assert!(!reached.contains(&to), "reported unroutable but a live path exists");
+                assert!(
+                    !reached.contains(&to),
+                    "reported unroutable but a live path exists"
+                );
             }
             Err(e) => panic!("unexpected error {e}"),
         }
@@ -94,14 +105,23 @@ fn healthy_routes_match_dimension_order() {
     run_cases(0xD10D, 100, |rng| {
         let torus = arb_torus(rng);
         let (from, to) = arb_pair(rng, &torus);
-        let route = torus.route_avoiding(from, to, &ChannelFaults::none()).unwrap();
-        assert_eq!(route, torus.route(from, to), "no faults must mean dimension order");
+        let route = torus
+            .route_avoiding(from, to, &ChannelFaults::none())
+            .unwrap();
+        assert_eq!(
+            route,
+            torus.route(from, to),
+            "no faults must mean dimension order"
+        );
     });
 }
 
 #[test]
 fn degraded_fabric_never_delivers_more_bandwidth() {
-    let link = LinkConfig { cycles_per_byte: 0.5, per_hop_cycles: 4.0 };
+    let link = LinkConfig {
+        cycles_per_byte: 0.5,
+        per_hop_cycles: 4.0,
+    };
     run_cases(0xBA_2D, 60, |rng| {
         let torus = arb_torus(rng);
         if torus.nodes() < 2 {
@@ -114,14 +134,20 @@ fn degraded_fabric_never_delivers_more_bandwidth() {
             let from = NodeId(node);
             for to in torus.neighbors(from) {
                 if rng.gen_bool(0.4) {
-                    faults.degrade_channel(from, to, 0.1 + 0.9 * rng.gen_f64()).unwrap();
+                    faults
+                        .degrade_channel(from, to, 0.1 + 0.9 * rng.gen_f64())
+                        .unwrap();
                 }
             }
         }
         let flows: Vec<Flow> = (0..4)
             .map(|_| {
                 let (from, to) = arb_pair(rng, &torus);
-                Flow { from, to, bytes: 1 + rng.gen_range(0, 1 << 16) }
+                Flow {
+                    from,
+                    to,
+                    bytes: 1 + rng.gen_range(0, 1 << 16),
+                }
             })
             .filter(|f| f.from != f.to)
             .collect();
@@ -142,16 +168,25 @@ fn degraded_fabric_never_delivers_more_bandwidth() {
 
 #[test]
 fn fault_simulation_is_reproducible() {
-    let link = LinkConfig { cycles_per_byte: 0.25, per_hop_cycles: 3.0 };
+    let link = LinkConfig {
+        cycles_per_byte: 0.25,
+        per_hop_cycles: 3.0,
+    };
     let torus = Torus3d::new([4, 4, 2]).unwrap();
     let mut rng = Rng::new(77);
     let faults = arb_faults(&mut rng, &torus);
-    let flows =
-        vec![Flow { from: NodeId(0), to: NodeId(9), bytes: 4096 }, Flow {
+    let flows = vec![
+        Flow {
+            from: NodeId(0),
+            to: NodeId(9),
+            bytes: 4096,
+        },
+        Flow {
             from: NodeId(3),
             to: NodeId(12),
             bytes: 1 << 20,
-        }];
+        },
+    ];
     let a = simulate_with_faults(&torus, &link, &flows, &faults);
     let b = simulate_with_faults(&torus, &link, &flows, &faults);
     match (a, b) {

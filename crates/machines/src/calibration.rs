@@ -6,7 +6,6 @@
 //! deliberately loose for values the paper itself gives approximately
 //! ("about", "up to"), tighter for exact plateau numbers.
 
-
 use gasnub_memsim::SimError;
 
 use crate::machine::{Machine, MachineId};
@@ -23,7 +22,11 @@ pub enum Probe {
     /// Local Load-Sum at (working set bytes, stride words).
     LocalLoad { ws: u64, stride: u64 },
     /// Local copy at (working set, load stride, store stride).
-    LocalCopy { ws: u64, load_stride: u64, store_stride: u64 },
+    LocalCopy {
+        ws: u64,
+        load_stride: u64,
+        store_stride: u64,
+    },
     /// Remote pure loads (8400 pull).
     RemoteLoad { ws: u64, stride: u64 },
     /// Remote fetch transfer.
@@ -83,17 +86,28 @@ impl CalibrationPoint {
             || SimError::unsupported(format!("calibration point {}: probe unsupported", self.id));
         let mb_s = match self.probe {
             Probe::LocalLoad { ws, stride } => machine.local_load(ws, stride).mb_s,
-            Probe::LocalCopy { ws, load_stride, store_stride } => {
-                machine.local_copy(ws, load_stride, store_stride).mb_s
-            }
+            Probe::LocalCopy {
+                ws,
+                load_stride,
+                store_stride,
+            } => machine.local_copy(ws, load_stride, store_stride).mb_s,
             Probe::RemoteLoad { ws, stride } => {
-                machine.remote_load(ws, stride).ok_or_else(unsupported)?.mb_s
+                machine
+                    .remote_load(ws, stride)
+                    .ok_or_else(unsupported)?
+                    .mb_s
             }
             Probe::RemoteFetch { ws, stride } => {
-                machine.remote_fetch(ws, stride).ok_or_else(unsupported)?.mb_s
+                machine
+                    .remote_fetch(ws, stride)
+                    .ok_or_else(unsupported)?
+                    .mb_s
             }
             Probe::RemoteDeposit { ws, stride } => {
-                machine.remote_deposit(ws, stride).ok_or_else(unsupported)?.mb_s
+                machine
+                    .remote_deposit(ws, stride)
+                    .ok_or_else(unsupported)?
+                    .mb_s
             }
         };
         Ok(mb_s)
@@ -360,7 +374,10 @@ mod tests {
     use crate::{Dec8400, T3d, T3e};
 
     fn check(machine: &mut dyn Machine) {
-        machine.set_limits(MeasureLimits { max_measure_words: 16 * 1024, max_prime_words: 2 * 1024 * 1024 });
+        machine.set_limits(MeasureLimits {
+            max_measure_words: 16 * 1024,
+            max_prime_words: 2 * 1024 * 1024,
+        });
         let mut failures = Vec::new();
         for (point, measured) in run_calibration(machine) {
             if !point.accepts(measured) {
@@ -373,7 +390,11 @@ mod tests {
                 ));
             }
         }
-        assert!(failures.is_empty(), "calibration failures:\n{}", failures.join("\n"));
+        assert!(
+            failures.is_empty(),
+            "calibration failures:\n{}",
+            failures.join("\n")
+        );
     }
 
     #[test]
@@ -395,7 +416,10 @@ mod tests {
     fn table_covers_all_machines() {
         let table = calibration_table();
         for id in [MachineId::Dec8400, MachineId::CrayT3d, MachineId::CrayT3e] {
-            assert!(table.iter().filter(|p| p.machine == id).count() >= 8, "{id} under-covered");
+            assert!(
+                table.iter().filter(|p| p.machine == id).count() >= 8,
+                "{id} under-covered"
+            );
         }
     }
 

@@ -8,6 +8,9 @@
 //! characterization the paper ran, including sweeps and the cost model's
 //! local strategies.
 //!
+//! The probe loops live in [`crate::engine::TransferEngine`]; this type is
+//! a thin shell over a custom [`crate::spec::MachineSpec`].
+//!
 //! ## Example
 //!
 //! ```rust
@@ -24,15 +27,11 @@
 //! ```
 
 use gasnub_memsim::config::NodeConfig;
-use gasnub_memsim::engine::MemoryEngine;
-use gasnub_memsim::trace::{shuffled_indices, CopyPass, IndexedPass, StorePass, StridedPass};
-use gasnub_memsim::{ConfigError, WORD_BYTES};
+use gasnub_memsim::ConfigError;
 
+use crate::engine::{delegate_machine, TransferEngine};
 use crate::limits::MeasureLimits;
-use crate::machine::{Machine, MachineId, Measurement};
-
-/// Byte offset separating source and destination regions for copies.
-const DST_REGION: u64 = 1 << 32;
+use crate::spec::MachineSpec;
 
 /// Builder for a [`CustomMachine`].
 #[derive(Debug, Clone)]
@@ -45,7 +44,11 @@ pub struct CustomMachineBuilder {
 impl CustomMachineBuilder {
     /// Starts a builder from a node description.
     pub fn new(name: impl Into<String>, node: NodeConfig) -> Self {
-        CustomMachineBuilder { name: name.into(), node, limits: MeasureLimits::new() }
+        CustomMachineBuilder {
+            name: name.into(),
+            node,
+            limits: MeasureLimits::new(),
+        }
     }
 
     /// Overrides the measurement caps.
@@ -59,14 +62,20 @@ impl CustomMachineBuilder {
         &mut self.node
     }
 
+    /// The immutable spec this builder describes (for engine spawning).
+    pub fn spec(&self) -> MachineSpec {
+        MachineSpec::custom(self.name.clone(), self.node.clone()).with_limits(self.limits)
+    }
+
     /// Validates the description and builds the machine.
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] when the node description is invalid.
     pub fn build(self) -> Result<CustomMachine, ConfigError> {
-        let engine = MemoryEngine::try_new(self.node)?;
-        Ok(CustomMachine { name: self.name, engine, limits: self.limits })
+        Ok(CustomMachine {
+            engine: self.spec().build()?,
+        })
     }
 }
 
@@ -77,101 +86,15 @@ impl CustomMachineBuilder {
 /// machines provide.
 #[derive(Debug)]
 pub struct CustomMachine {
-    name: String,
-    engine: MemoryEngine,
-    limits: MeasureLimits,
+    engine: TransferEngine,
 }
 
-impl CustomMachine {
-    fn clock(&self) -> f64 {
-        self.engine.cpu().clock_mhz
-    }
-
-    fn words_of(ws_bytes: u64) -> u64 {
-        (ws_bytes / WORD_BYTES).max(1)
-    }
-}
-
-impl Machine for CustomMachine {
-    fn id(&self) -> MachineId {
-        MachineId::Custom
-    }
-
-    fn name(&self) -> String {
-        format!("{} ({} MHz)", self.name, self.clock())
-    }
-
-    fn clock_mhz(&self) -> f64 {
-        self.clock()
-    }
-
-    fn limits(&self) -> MeasureLimits {
-        self.limits
-    }
-
-    fn set_limits(&mut self, limits: MeasureLimits) {
-        self.limits = limits;
-    }
-
-    fn local_load(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
-        self.engine.flush();
-        let words = Self::words_of(ws_bytes);
-        let prime = StridedPass::new(0, words, stride).take(self.limits.prime_words(words) as usize);
-        let measured = self.limits.measure_words(words);
-        let measure = StridedPass::new(0, words, stride).take(measured as usize);
-        let stats = self.engine.prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, self.clock())
-    }
-
-    fn local_store(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
-        self.engine.flush();
-        let words = Self::words_of(ws_bytes);
-        let prime = StorePass::new(0, words, stride).take(self.limits.prime_words(words) as usize);
-        let measured = self.limits.measure_words(words);
-        let measure = StorePass::new(0, words, stride).take(measured as usize);
-        let stats = self.engine.prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, self.clock())
-    }
-
-    fn local_copy(&mut self, ws_bytes: u64, load_stride: u64, store_stride: u64) -> Measurement {
-        self.engine.flush();
-        let words = Self::words_of(ws_bytes);
-        let measured = self.limits.measure_words(words);
-        let prime = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
-            .take(2 * self.limits.prime_words(words) as usize);
-        let measure = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
-            .take(2 * measured as usize);
-        let stats = self.engine.prime_and_measure(prime, measure);
-        Measurement::new(measured * WORD_BYTES, stats.cycles, self.clock())
-    }
-
-    fn local_gather(&mut self, ws_bytes: u64) -> Measurement {
-        self.engine.flush();
-        let words = Self::words_of(ws_bytes);
-        let measured = self.limits.measure_words(words);
-        let prime = StridedPass::new(0, words, 1).take(self.limits.prime_words(words) as usize);
-        let indices = shuffled_indices(words, measured as usize, 0xC05705);
-        let measure = IndexedPass::new(0, indices);
-        let stats = self.engine.prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, self.clock())
-    }
-
-    fn remote_load(&mut self, _ws_bytes: u64, _stride: u64) -> Option<Measurement> {
-        None
-    }
-
-    fn remote_fetch(&mut self, _ws_bytes: u64, _stride: u64) -> Option<Measurement> {
-        None
-    }
-
-    fn remote_deposit(&mut self, _ws_bytes: u64, _stride: u64) -> Option<Measurement> {
-        None
-    }
-}
+delegate_machine!(CustomMachine);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::machine::{Machine, MachineId};
     use gasnub_memsim::config::presets;
 
     fn machine() -> CustomMachine {
@@ -215,5 +138,18 @@ mod tests {
         let m = machine();
         assert!(m.name().contains("test node"));
         assert!(m.name().contains("100"));
+    }
+
+    #[test]
+    fn builder_spec_spawns_equivalent_engines() {
+        use crate::spec::SpawnEngine;
+        let builder = CustomMachineBuilder::new("test node", presets::tiny_test_node())
+            .limits(MeasureLimits::fast());
+        let spec = builder.spec();
+        let mut spawned = spec.spawn_engine().unwrap();
+        let mut built = builder.build().unwrap();
+        let a = spawned.local_load(1 << 20, 4);
+        let b = built.local_load(1 << 20, 4);
+        assert_eq!(a.cycles.to_bits(), b.cycles.to_bits());
     }
 }

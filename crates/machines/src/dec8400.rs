@@ -6,25 +6,21 @@
 //! have support for pushing data into memory or caches of a remote
 //! processor", §5.2), supplied either cache-to-cache by the dirty producer
 //! or by home memory.
+//!
+//! The probe loops live in [`crate::engine::TransferEngine`]; this type is
+//! a thin shell that keeps the calibrated constructors and ablations.
 
 use gasnub_coherence::smp::{SmpConfig, SnoopingSmp};
 use gasnub_faults::FaultPlan;
-use gasnub_memsim::trace::{CopyPass, StorePass, StridedPass};
-use gasnub_memsim::WORD_BYTES;
 
-use crate::limits::MeasureLimits;
-use crate::machine::{Machine, MachineId, Measurement};
+use crate::engine::{delegate_machine, TransferEngine};
 use crate::params;
-
-/// Byte offset separating the producer's region from the consumer's local
-/// destination region (keeps the two working sets in distinct lines/banks).
-const DST_REGION: u64 = 1 << 32;
+use crate::spec::MachineSpec;
 
 /// The DEC 8400 machine model.
 #[derive(Debug)]
 pub struct Dec8400 {
-    smp: SnoopingSmp,
-    limits: MeasureLimits,
+    engine: TransferEngine,
 }
 
 impl Dec8400 {
@@ -34,7 +30,8 @@ impl Dec8400 {
     ///
     /// Panics only if the built-in parameter table is inconsistent (a bug).
     pub fn new() -> Self {
-        Self::with_config(params::dec8400_smp()).expect("built-in DEC 8400 parameters must validate")
+        Self::with_config(params::dec8400_smp())
+            .expect("built-in DEC 8400 parameters must validate")
     }
 
     /// Builds an 8400 variant from an explicit configuration.
@@ -43,7 +40,9 @@ impl Dec8400 {
     ///
     /// Returns the underlying configuration error.
     pub fn with_config(config: SmpConfig) -> Result<Self, gasnub_memsim::ConfigError> {
-        Ok(Dec8400 { smp: SnoopingSmp::new(config)?, limits: MeasureLimits::new() })
+        Ok(Dec8400 {
+            engine: MachineSpec::dec8400_with(config).build()?,
+        })
     }
 
     /// Builds the §5.1 variant where all four processors access DRAM
@@ -66,9 +65,9 @@ impl Dec8400 {
     /// Returns [`gasnub_memsim::SimError`] when a derived configuration
     /// fails validation.
     pub fn with_faults(plan: &FaultPlan) -> Result<Self, gasnub_memsim::SimError> {
-        let mut machine = Self::with_config(params::dec8400_smp())?;
-        machine.smp.set_bus_jitter(Some(plan.bus_jitter()))?;
-        Ok(machine)
+        Ok(Dec8400 {
+            engine: MachineSpec::dec8400().with_faults(plan)?.build()?,
+        })
     }
 
     /// Builds an 8400 with a different processor count (the paper "repeated
@@ -86,15 +85,9 @@ impl Dec8400 {
 
     /// Access to the underlying SMP system (for coherence-level tests).
     pub fn smp(&self) -> &SnoopingSmp {
-        &self.smp
-    }
-
-    fn clock(&self) -> f64 {
-        self.smp.config().node.cpu.clock_mhz
-    }
-
-    fn words_of(ws_bytes: u64) -> u64 {
-        (ws_bytes / WORD_BYTES).max(1)
+        self.engine
+            .smp_system()
+            .expect("the 8400 backend is always bus-based")
     }
 }
 
@@ -104,154 +97,95 @@ impl Default for Dec8400 {
     }
 }
 
-impl Machine for Dec8400 {
-    fn id(&self) -> MachineId {
-        MachineId::Dec8400
-    }
-
-    fn clock_mhz(&self) -> f64 {
-        self.clock()
-    }
-
-    fn limits(&self) -> MeasureLimits {
-        self.limits
-    }
-
-    fn set_limits(&mut self, limits: MeasureLimits) {
-        self.limits = limits;
-    }
-
-    fn local_load(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
-        self.smp.flush();
-        let words = Self::words_of(ws_bytes);
-        let prime = StridedPass::new(0, words, stride).take(self.limits.prime_words(words) as usize);
-        let measured = self.limits.measure_words(words);
-        let measure = StridedPass::new(0, words, stride).take(measured as usize);
-        let engine = self.smp.engine_mut(0);
-        let stats = engine.prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, self.clock())
-    }
-
-    fn local_store(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
-        self.smp.flush();
-        let words = Self::words_of(ws_bytes);
-        let prime = StorePass::new(0, words, stride).take(self.limits.prime_words(words) as usize);
-        let measured = self.limits.measure_words(words);
-        let measure = StorePass::new(0, words, stride).take(measured as usize);
-        let engine = self.smp.engine_mut(0);
-        let stats = engine.prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, self.clock())
-    }
-
-    fn local_copy(&mut self, ws_bytes: u64, load_stride: u64, store_stride: u64) -> Measurement {
-        self.smp.flush();
-        let words = Self::words_of(ws_bytes);
-        let prime_words = self.limits.prime_words(words);
-        let measured = self.limits.measure_words(words);
-        let prime = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
-            .take(2 * prime_words as usize);
-        let measure = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
-            .take(2 * measured as usize);
-        let engine = self.smp.engine_mut(0);
-        let stats = engine.prime_and_measure(prime, measure);
-        // Copied payload counts once.
-        Measurement::new(measured * WORD_BYTES, stats.cycles, self.clock())
-    }
-
-    fn local_gather(&mut self, ws_bytes: u64) -> Measurement {
-        self.smp.flush();
-        let words = Self::words_of(ws_bytes);
-        let measured = self.limits.measure_words(words);
-        let prime = StridedPass::new(0, words, 1).take(self.limits.prime_words(words) as usize);
-        let indices = gasnub_memsim::trace::shuffled_indices(words, measured as usize, 0x8400);
-        let measure = gasnub_memsim::trace::IndexedPass::new(0, indices);
-        let engine = self.smp.engine_mut(0);
-        let stats = engine.prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, self.clock())
-    }
-
-    fn remote_load(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
-        self.smp.flush();
-        let words = Self::words_of(ws_bytes);
-        // Producer (P1) writes the data; consumer (P0) pulls after a
-        // synchronization point (§5.2).
-        let produce = StorePass::new(0, words, 1).take(self.limits.prime_words(words) as usize);
-        let _ = self.smp.producer_store(1, produce);
-        let measured = self.limits.measure_words(words);
-        let pull = StridedPass::new(0, words, stride).take(measured as usize);
-        let stats = self.smp.consumer_pull(0, pull);
-        Some(Measurement::new(stats.bytes, stats.cycles, self.clock()))
-    }
-
-    fn remote_fetch(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
-        self.smp.flush();
-        let words = Self::words_of(ws_bytes);
-        let produce = StorePass::new(0, words, 1).take(self.limits.prime_words(words) as usize);
-        let _ = self.smp.producer_store(1, produce);
-        let measured = self.limits.measure_words(words);
-        // Strided remote loads, contiguous local stores (fig 12).
-        let copy = CopyPass::new(0, DST_REGION, words, stride, 1).take(2 * measured as usize);
-        let stats = self.smp.consumer_pull(0, copy);
-        Some(Measurement::new(measured * WORD_BYTES, stats.cycles, self.clock()))
-    }
-
-    fn remote_deposit(&mut self, _ws_bytes: u64, _stride: u64) -> Option<Measurement> {
-        // "The DEC 8400 does not have support for pushing data into memory
-        // or caches of a remote processor." (§5.2)
-        None
-    }
-}
+delegate_machine!(Dec8400);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::limits::MeasureLimits;
+    use crate::machine::Machine;
 
     const MB: u64 = 1024 * 1024;
     const KB: u64 = 1024;
 
     fn machine() -> Dec8400 {
         let mut m = Dec8400::new();
-        m.set_limits(MeasureLimits { max_measure_words: 16 * 1024, max_prime_words: 2 * 1024 * 1024 });
+        m.set_limits(MeasureLimits {
+            max_measure_words: 16 * 1024,
+            max_prime_words: 2 * 1024 * 1024,
+        });
         m
     }
 
     #[test]
     fn l1_plateau_near_1100() {
         let m = machine().local_load(4 * KB, 1);
-        assert!((m.mb_s - 1100.0).abs() / 1100.0 < 0.15, "L1 plateau: got {}", m.mb_s);
+        assert!(
+            (m.mb_s - 1100.0).abs() / 1100.0 < 0.15,
+            "L1 plateau: got {}",
+            m.mb_s
+        );
     }
 
     #[test]
     fn l2_plateau_near_700() {
         let m = machine().local_load(64 * KB, 1);
-        assert!((m.mb_s - 700.0).abs() / 700.0 < 0.15, "L2 plateau: got {}", m.mb_s);
+        assert!(
+            (m.mb_s - 700.0).abs() / 700.0 < 0.15,
+            "L2 plateau: got {}",
+            m.mb_s
+        );
     }
 
     #[test]
     fn l3_contiguous_near_600_and_strided_near_120() {
         let mut mach = machine();
         let contig = mach.local_load(2 * MB, 1);
-        assert!((contig.mb_s - 600.0).abs() / 600.0 < 0.2, "L3 contig: got {}", contig.mb_s);
+        assert!(
+            (contig.mb_s - 600.0).abs() / 600.0 < 0.2,
+            "L3 contig: got {}",
+            contig.mb_s
+        );
         let strided = mach.local_load(2 * MB, 16);
-        assert!((strided.mb_s - 120.0).abs() / 120.0 < 0.25, "L3 strided: got {}", strided.mb_s);
+        assert!(
+            (strided.mb_s - 120.0).abs() / 120.0 < 0.25,
+            "L3 strided: got {}",
+            strided.mb_s
+        );
     }
 
     #[test]
     fn dram_contiguous_near_150_and_strided_near_28() {
         let mut mach = machine();
         let contig = mach.local_load(32 * MB, 1);
-        assert!((contig.mb_s - 150.0).abs() / 150.0 < 0.2, "DRAM contig: got {}", contig.mb_s);
+        assert!(
+            (contig.mb_s - 150.0).abs() / 150.0 < 0.2,
+            "DRAM contig: got {}",
+            contig.mb_s
+        );
         let strided = mach.local_load(32 * MB, 16);
-        assert!((strided.mb_s - 28.0).abs() / 28.0 < 0.35, "DRAM strided: got {}", strided.mb_s);
+        assert!(
+            (strided.mb_s - 28.0).abs() / 28.0 < 0.35,
+            "DRAM strided: got {}",
+            strided.mb_s
+        );
     }
 
     #[test]
     fn remote_pull_near_140_contig_22_strided() {
         let mut mach = machine();
         let contig = mach.remote_load(32 * MB, 1).unwrap();
-        assert!((contig.mb_s - 140.0).abs() / 140.0 < 0.25, "remote contig: got {}", contig.mb_s);
+        assert!(
+            (contig.mb_s - 140.0).abs() / 140.0 < 0.25,
+            "remote contig: got {}",
+            contig.mb_s
+        );
         let strided = mach.remote_load(32 * MB, 16).unwrap();
-        assert!((strided.mb_s - 22.0).abs() / 22.0 < 0.35, "remote strided: got {}", strided.mb_s);
+        assert!(
+            (strided.mb_s - 22.0).abs() / 22.0 < 0.35,
+            "remote strided: got {}",
+            strided.mb_s
+        );
     }
 
     #[test]
@@ -259,13 +193,20 @@ mod tests {
         let mut mach = machine();
         let local_peak = mach.local_load(4 * KB, 1).mb_s;
         let remote_peak = mach.remote_load(32 * MB, 1).unwrap().mb_s;
-        assert!(local_peak / remote_peak > 5.0, "{local_peak} vs {remote_peak}");
+        assert!(
+            local_peak / remote_peak > 5.0,
+            "{local_peak} vs {remote_peak}"
+        );
     }
 
     #[test]
     fn local_copy_near_57_contig() {
         let m = machine().local_copy(32 * MB, 1, 1);
-        assert!((m.mb_s - 57.0).abs() / 57.0 < 0.35, "copy contig: got {}", m.mb_s);
+        assert!(
+            (m.mb_s - 57.0).abs() / 57.0 < 0.35,
+            "copy contig: got {}",
+            m.mb_s
+        );
     }
 
     #[test]
@@ -301,7 +242,13 @@ mod tests {
         let load_strided = loaded.local_load(32 * MB, 16).mb_s;
         let contig_drop = 1.0 - load_contig / idle_contig;
         let strided_drop = 1.0 - load_strided / idle_strided;
-        assert!(contig_drop > 0.0 && contig_drop < 0.15, "contig drop {contig_drop}");
-        assert!(strided_drop > 0.15 && strided_drop < 0.40, "strided drop {strided_drop}");
+        assert!(
+            contig_drop > 0.0 && contig_drop < 0.15,
+            "contig drop {contig_drop}"
+        );
+        assert!(
+            strided_drop > 0.15 && strided_drop < 0.40,
+            "strided drop {strided_drop}"
+        );
     }
 }

@@ -1,0 +1,705 @@
+//! The shared transfer engine: one implementation of the paper's probes.
+//!
+//! Historically each machine model (`dec8400.rs`, `t3d.rs`, `t3e.rs`,
+//! `custom.rs`) carried its own copy of the local load/store/copy/gather
+//! loops and its own fetch/deposit inner loop. [`TransferEngine`] collapses
+//! them: it owns *all* mutable simulation state for one run (memory
+//! hierarchy, NI pipelines, link occupancy, destination DRAM rows) and
+//! implements every probe once, parameterized by the backend an immutable
+//! [`crate::spec::MachineSpec`] describes. Engines are cheap to construct,
+//! `Send`, and independent — a parallel sweep builds one per grid cell.
+
+use gasnub_coherence::smp::SnoopingSmp;
+use gasnub_interconnect::link::Link;
+use gasnub_interconnect::ni::{ERegisters, T3dNi};
+use gasnub_memsim::dram::Dram;
+use gasnub_memsim::engine::MemoryEngine;
+use gasnub_memsim::trace::{CopyPass, StorePass, StridedOrder, StridedPass};
+use gasnub_memsim::write_buffer::WriteBuffer;
+use gasnub_memsim::WORD_BYTES;
+
+use crate::limits::MeasureLimits;
+use crate::machine::{Machine, MachineId, Measurement};
+use crate::params::{T3dRemoteParams, T3eRemoteParams};
+
+/// Byte offset separating source and destination regions.
+pub(crate) const DST_REGION: u64 = 1 << 32;
+
+/// Destination PE number used for partner-switch accounting.
+const DEST_PE: u32 = 2;
+
+/// Working-set size in 64-bit words (at least one word).
+///
+/// The single shared copy of the helper every machine model used to
+/// duplicate.
+pub fn words_of(ws_bytes: u64) -> u64 {
+    (ws_bytes / WORD_BYTES).max(1)
+}
+
+/// Which side of a strided word transfer serializes on memory banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Puts: incoming words are stored in arrival order, so destination
+    /// bank busy windows stall the stream.
+    Deposit,
+    /// Gets: the deeply pipelined E-register reads reorder across banks.
+    Fetch,
+}
+
+/// Mutable state of the T3D remote path (fetch/deposit circuitry).
+#[derive(Debug)]
+pub(crate) struct T3dRemotePath {
+    params: T3dRemoteParams,
+    ni: T3dNi,
+    link: Link,
+    /// Destination-side write path driven by the deposit circuitry:
+    /// coalescing window per the WBQ shape, service time from the
+    /// destination DRAM's row state (large-stride deposits reopen a row
+    /// per word).
+    dest_write: WriteBuffer,
+    dest_dram: Dram,
+    dest_busy_until: f64,
+    /// Remote source DRAM as read by the fetch circuitry.
+    remote_dram: Dram,
+}
+
+impl T3dRemotePath {
+    pub(crate) fn new(
+        params: T3dRemoteParams,
+        ni: T3dNi,
+        link: Link,
+        dest_write: WriteBuffer,
+        dest_dram: Dram,
+        remote_dram: Dram,
+    ) -> Self {
+        T3dRemotePath {
+            params,
+            ni,
+            link,
+            dest_write,
+            dest_dram,
+            dest_busy_until: 0.0,
+            remote_dram,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.ni.reset();
+        self.link.reset();
+        self.dest_write.reset();
+        self.dest_dram.reset();
+        self.dest_busy_until = 0.0;
+        self.remote_dram.reset();
+    }
+
+    /// Runs a deposit transfer: contiguous local loads feed strided remote
+    /// stores, coalesced into packets by the write-back queue and injected
+    /// by the NI.
+    fn run_deposit(
+        &mut self,
+        engine: &mut MemoryEngine,
+        limits: MeasureLimits,
+        clock: f64,
+        ws_bytes: u64,
+        stride: u64,
+    ) -> Measurement {
+        engine.flush();
+        self.reset();
+        let words = words_of(ws_bytes);
+        let measured = limits.measure_words(words);
+
+        // Prime the source region so cache effects along the working-set
+        // axis match the paper's methodology.
+        let prime = StridedPass::new(0, words, 1).take(limits.prime_words(words) as usize);
+        let _ = engine.run_trace(prime);
+
+        let cpu = engine.cpu().clone();
+        let window = self.params.dest_write.entry_bytes;
+        let header = self.params.header_bytes;
+        let hops = self.params.hops;
+        let coalesce = self.params.dest_write.coalesce;
+
+        let mut now = engine.now();
+        let start = now;
+        let mut open_window: Option<u64> = None;
+        let mut open_bytes: u64 = 0;
+
+        for (k, idx) in StridedOrder::new(words, stride)
+            .take(measured as usize)
+            .enumerate()
+        {
+            // Contiguous local load of the outgoing word.
+            let local_addr = k as u64 * WORD_BYTES;
+            let load = engine.hierarchy_mut().load(local_addr, now);
+            now += cpu.load_issue_cycles + cpu.loop_overhead_cycles + load.cycles;
+
+            // Remote store: coalesce into packets of `window` bytes.
+            let remote_addr = DST_REGION + idx * WORD_BYTES;
+            now += cpu.store_issue_cycles;
+            let this_window = remote_addr / window;
+            let coalesced = coalesce && open_window == Some(this_window);
+            if coalesced {
+                open_bytes += WORD_BYTES;
+            } else {
+                if open_window.is_some() {
+                    now += self.flush_packet(open_bytes + header, hops, now);
+                }
+                open_window = Some(this_window);
+                open_bytes = WORD_BYTES;
+                // The deposit circuitry writes one entity into destination
+                // DRAM per window; page-mode keeps low-stride deposits
+                // cheap, but each large-stride word reopens a row. A busy
+                // destination back-pressures the sender.
+                let stall = (self.dest_busy_until - now).max(0.0);
+                let service = self.dest_dram.access(remote_addr, now + stall).cycles;
+                self.dest_busy_until = now + stall + service;
+                now += stall;
+            }
+        }
+        if open_window.is_some() {
+            now += self.flush_packet(open_bytes + header, hops, now);
+        }
+        now = now.max(self.dest_busy_until);
+        Measurement::new(measured * WORD_BYTES, now - start, clock)
+    }
+
+    /// Injects one packet; the sender observes injection cost plus link
+    /// back-pressure (transfer itself is fire-and-forget).
+    fn flush_packet(&mut self, wire_bytes: u64, hops: u32, now: f64) -> f64 {
+        let inject = self.ni.deposit_packet(wire_bytes, DEST_PE);
+        let link_total = self.link.send(wire_bytes, hops, now + inject);
+        let link_occupancy = self.link.config().transfer_cycles(wire_bytes, hops);
+        let link_stall = (link_total - link_occupancy).max(0.0);
+        inject + link_stall
+    }
+
+    /// Runs a fetch transfer: strided remote loads through the prefetch
+    /// FIFO, contiguous local stores through the write-back queue.
+    fn run_fetch(
+        &mut self,
+        engine: &mut MemoryEngine,
+        limits: MeasureLimits,
+        clock: f64,
+        ws_bytes: u64,
+        stride: u64,
+    ) -> Measurement {
+        engine.flush();
+        self.reset();
+        let words = words_of(ws_bytes);
+        let measured = limits.measure_words(words);
+        let cpu = engine.cpu().clone();
+        let row_hit = self.remote_dram.config().row_hit_cycles;
+
+        let mut now = engine.now();
+        let start = now;
+        for (k, idx) in StridedOrder::new(words, stride)
+            .take(measured as usize)
+            .enumerate()
+        {
+            let remote_addr = idx * WORD_BYTES;
+            // Remote load through the FIFO (round trip amortized by depth).
+            now += self.ni.fetch_word(now);
+            // Extra penalty when the remote DRAM row must be reopened.
+            let dram = self.remote_dram.access(remote_addr, now);
+            now += (dram.cycles - row_hit).max(0.0) + dram.bank_stall_cycles;
+            // Contiguous local store of the fetched word.
+            let local_addr = DST_REGION + k as u64 * WORD_BYTES;
+            let store = engine.hierarchy_mut().store(local_addr, now);
+            now += cpu.store_issue_cycles + cpu.loop_overhead_cycles + store.cycles;
+        }
+        now += engine.hierarchy_mut().drain_writes(now);
+        Measurement::new(measured * WORD_BYTES, now - start, clock)
+    }
+}
+
+/// Mutable state of the T3E remote path (E-registers + torus link).
+#[derive(Debug)]
+struct T3eRemotePath {
+    params: T3eRemoteParams,
+    eregs: ERegisters,
+    link: Link,
+    /// Destination memory banks as seen by incoming single-word puts.
+    dest_banks: Dram,
+}
+
+impl T3eRemotePath {
+    fn reset(&mut self) {
+        self.eregs.reset();
+        self.link.reset();
+        self.dest_banks.reset();
+    }
+
+    /// Runs one remote transfer of `words` words at `stride` through the
+    /// E-registers in the given direction. Unit-stride data moves as
+    /// coalesced blocks; non-unit strides move single words.
+    fn run_remote(
+        &mut self,
+        engine: &mut MemoryEngine,
+        limits: MeasureLimits,
+        clock: f64,
+        ws_bytes: u64,
+        stride: u64,
+        dir: Direction,
+    ) -> Measurement {
+        engine.flush();
+        self.reset();
+        let words = words_of(ws_bytes);
+        let measured = limits.measure_words(words);
+        let hops = self.params.hops;
+
+        let mut now = 0.0;
+        now += self.eregs.begin_call();
+        let start = now;
+
+        if stride == 1 {
+            // Block path: the E-registers gather/scatter whole cache-line
+            // sized blocks without per-word processor involvement.
+            let block_words = self.params.block_bytes / WORD_BYTES;
+            let blocks = measured.div_ceil(block_words);
+            for b in 0..blocks {
+                let wire = self.params.block_bytes + WORD_BYTES; // block + address
+                let link_total = self.link.send(wire, hops, now);
+                let occupancy = self.link.config().transfer_cycles(wire, hops);
+                let link_stall = (link_total - occupancy).max(0.0);
+                now += self.params.block_cycles + link_stall;
+                let _ = b;
+            }
+        } else {
+            for idx in StridedOrder::new(words, stride).take(measured as usize) {
+                let word_cost =
+                    self.eregs.transfer_word(now) + self.params.strided_word_extra_cycles;
+                now += word_cost;
+                if dir == Direction::Deposit {
+                    // Incoming words commit to destination banks in arrival
+                    // order; a busy bank stalls the stream (Fig. 8 ripples).
+                    let addr = DST_REGION + idx * WORD_BYTES;
+                    let out = self.dest_banks.access(addr, now);
+                    now += out.bank_stall_cycles;
+                }
+            }
+        }
+        Measurement::new(measured * WORD_BYTES, now - start, clock)
+    }
+}
+
+/// The remote paths a node-style backend may carry.
+#[derive(Debug)]
+enum RemotePath {
+    /// No remote capability (custom single-node machines).
+    None,
+    /// T3D fetch/deposit circuitry.
+    T3d(Box<T3dRemotePath>),
+    /// T3E E-registers.
+    T3e(Box<T3eRemotePath>),
+}
+
+/// The mutable simulation substrate behind an engine.
+#[derive(Debug)]
+enum Backend {
+    /// Bus-based SMP (DEC 8400): remote transfers are coherent pulls.
+    Smp(SnoopingSmp),
+    /// Single PE plus an explicit remote path (T3D, T3E, custom nodes).
+    Node {
+        engine: MemoryEngine,
+        remote: RemotePath,
+    },
+}
+
+/// A per-run transfer engine: all mutable state of one simulated machine.
+///
+/// Built from a [`crate::spec::MachineSpec`]; implements every probe of the
+/// [`Machine`] trait exactly once. The machine wrapper types ([`crate::T3d`]
+/// etc.) are thin shells around one of these.
+#[derive(Debug)]
+pub struct TransferEngine {
+    id: MachineId,
+    custom_name: Option<String>,
+    clock_mhz: f64,
+    gather_seed: u64,
+    limits: MeasureLimits,
+    backend: Backend,
+}
+
+impl TransferEngine {
+    pub(crate) fn new_smp(
+        id: MachineId,
+        smp: SnoopingSmp,
+        gather_seed: u64,
+        limits: MeasureLimits,
+    ) -> Self {
+        let clock_mhz = smp.config().node.cpu.clock_mhz;
+        TransferEngine {
+            id,
+            custom_name: None,
+            clock_mhz,
+            gather_seed,
+            limits,
+            backend: Backend::Smp(smp),
+        }
+    }
+
+    pub(crate) fn new_t3d(
+        engine: MemoryEngine,
+        path: T3dRemotePath,
+        limits: MeasureLimits,
+    ) -> Self {
+        let clock_mhz = engine.cpu().clock_mhz;
+        TransferEngine {
+            id: MachineId::CrayT3d,
+            custom_name: None,
+            clock_mhz,
+            gather_seed: 0x73d,
+            limits,
+            backend: Backend::Node {
+                engine,
+                remote: RemotePath::T3d(Box::new(path)),
+            },
+        }
+    }
+
+    pub(crate) fn new_t3e(
+        engine: MemoryEngine,
+        params: T3eRemoteParams,
+        eregs: ERegisters,
+        link: Link,
+        dest_banks: Dram,
+        limits: MeasureLimits,
+    ) -> Self {
+        let clock_mhz = engine.cpu().clock_mhz;
+        TransferEngine {
+            id: MachineId::CrayT3e,
+            custom_name: None,
+            clock_mhz,
+            gather_seed: 0x73e,
+            limits,
+            backend: Backend::Node {
+                engine,
+                remote: RemotePath::T3e(Box::new(T3eRemotePath {
+                    params,
+                    eregs,
+                    link,
+                    dest_banks,
+                })),
+            },
+        }
+    }
+
+    pub(crate) fn new_custom(name: String, engine: MemoryEngine, limits: MeasureLimits) -> Self {
+        let clock_mhz = engine.cpu().clock_mhz;
+        TransferEngine {
+            id: MachineId::Custom,
+            custom_name: Some(name),
+            clock_mhz,
+            gather_seed: 0xC05705,
+            limits,
+            backend: Backend::Node {
+                engine,
+                remote: RemotePath::None,
+            },
+        }
+    }
+
+    /// Access to the underlying SMP system when the backend is bus-based
+    /// (for coherence-level tests).
+    pub fn smp_system(&self) -> Option<&SnoopingSmp> {
+        match &self.backend {
+            Backend::Smp(smp) => Some(smp),
+            Backend::Node { .. } => None,
+        }
+    }
+
+    /// Applies a loss model to the backend's network interface (fault
+    /// plans); a no-op for backends without one.
+    pub(crate) fn set_ni_loss(&mut self, loss: gasnub_interconnect::ni::NiLossModel) {
+        if let Backend::Node { remote, .. } = &mut self.backend {
+            match remote {
+                RemotePath::T3d(path) => path.ni.set_loss_model(Some(loss)),
+                RemotePath::T3e(path) => path.eregs.set_loss_model(Some(loss)),
+                RemotePath::None => {}
+            }
+        }
+    }
+
+    /// Resets every piece of mutable state: caches, DRAM rows, NI
+    /// pipelines, link occupancy. Every probe starts from this state, which
+    /// is also the just-constructed state — the invariant that makes a
+    /// fresh engine per grid cell bit-identical to a reused one.
+    fn flush_all(&mut self) {
+        match &mut self.backend {
+            Backend::Smp(smp) => smp.flush(),
+            Backend::Node { engine, remote } => {
+                engine.flush();
+                match remote {
+                    RemotePath::None => {}
+                    RemotePath::T3d(path) => path.reset(),
+                    RemotePath::T3e(path) => path.reset(),
+                }
+            }
+        }
+    }
+
+    /// The memory engine the measuring processor drives.
+    fn mem(&mut self) -> &mut MemoryEngine {
+        match &mut self.backend {
+            Backend::Smp(smp) => smp.engine_mut(0),
+            Backend::Node { engine, .. } => engine,
+        }
+    }
+}
+
+impl Machine for TransferEngine {
+    fn id(&self) -> MachineId {
+        self.id
+    }
+
+    fn name(&self) -> String {
+        match &self.custom_name {
+            Some(name) => format!("{} ({} MHz)", name, self.clock_mhz),
+            None => format!("{} ({} MHz)", self.id, self.clock_mhz),
+        }
+    }
+
+    fn clock_mhz(&self) -> f64 {
+        self.clock_mhz
+    }
+
+    fn limits(&self) -> MeasureLimits {
+        self.limits
+    }
+
+    fn set_limits(&mut self, limits: MeasureLimits) {
+        self.limits = limits;
+    }
+
+    fn local_load(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
+        self.flush_all();
+        let (limits, clock) = (self.limits, self.clock_mhz);
+        let words = words_of(ws_bytes);
+        let prime = StridedPass::new(0, words, stride).take(limits.prime_words(words) as usize);
+        let measured = limits.measure_words(words);
+        let measure = StridedPass::new(0, words, stride).take(measured as usize);
+        let stats = self.mem().prime_and_measure(prime, measure);
+        Measurement::new(stats.bytes, stats.cycles, clock)
+    }
+
+    fn local_store(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
+        self.flush_all();
+        let (limits, clock) = (self.limits, self.clock_mhz);
+        let words = words_of(ws_bytes);
+        let prime = StorePass::new(0, words, stride).take(limits.prime_words(words) as usize);
+        let measured = limits.measure_words(words);
+        let measure = StorePass::new(0, words, stride).take(measured as usize);
+        let stats = self.mem().prime_and_measure(prime, measure);
+        Measurement::new(stats.bytes, stats.cycles, clock)
+    }
+
+    fn local_copy(&mut self, ws_bytes: u64, load_stride: u64, store_stride: u64) -> Measurement {
+        self.flush_all();
+        let (limits, clock) = (self.limits, self.clock_mhz);
+        let words = words_of(ws_bytes);
+        let measured = limits.measure_words(words);
+        let prime = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
+            .take(2 * limits.prime_words(words) as usize);
+        let measure = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
+            .take(2 * measured as usize);
+        let stats = self.mem().prime_and_measure(prime, measure);
+        // Copied payload counts once.
+        Measurement::new(measured * WORD_BYTES, stats.cycles, clock)
+    }
+
+    fn local_gather(&mut self, ws_bytes: u64) -> Measurement {
+        self.flush_all();
+        let (limits, clock) = (self.limits, self.clock_mhz);
+        let words = words_of(ws_bytes);
+        let measured = limits.measure_words(words);
+        let prime = StridedPass::new(0, words, 1).take(limits.prime_words(words) as usize);
+        let indices =
+            gasnub_memsim::trace::shuffled_indices(words, measured as usize, self.gather_seed);
+        let measure = gasnub_memsim::trace::IndexedPass::new(0, indices);
+        let stats = self.mem().prime_and_measure(prime, measure);
+        Measurement::new(stats.bytes, stats.cycles, clock)
+    }
+
+    fn remote_load(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
+        let (limits, clock) = (self.limits, self.clock_mhz);
+        match &mut self.backend {
+            Backend::Smp(smp) => {
+                smp.flush();
+                let words = words_of(ws_bytes);
+                // Producer (P1) writes the data; consumer (P0) pulls after a
+                // synchronization point (§5.2).
+                let produce = StorePass::new(0, words, 1).take(limits.prime_words(words) as usize);
+                let _ = smp.producer_store(1, produce);
+                let measured = limits.measure_words(words);
+                let pull = StridedPass::new(0, words, stride).take(measured as usize);
+                let stats = smp.consumer_pull(0, pull);
+                Some(Measurement::new(stats.bytes, stats.cycles, clock))
+            }
+            // Pure remote loads without a local destination are not one of
+            // the paper's torus benchmarks (fig 4 measures shmem_iget
+            // transfers).
+            Backend::Node { .. } => None,
+        }
+    }
+
+    fn remote_fetch(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
+        let (limits, clock) = (self.limits, self.clock_mhz);
+        match &mut self.backend {
+            Backend::Smp(smp) => {
+                smp.flush();
+                let words = words_of(ws_bytes);
+                let produce = StorePass::new(0, words, 1).take(limits.prime_words(words) as usize);
+                let _ = smp.producer_store(1, produce);
+                let measured = limits.measure_words(words);
+                // Strided remote loads, contiguous local stores (fig 12).
+                let copy =
+                    CopyPass::new(0, DST_REGION, words, stride, 1).take(2 * measured as usize);
+                let stats = smp.consumer_pull(0, copy);
+                Some(Measurement::new(measured * WORD_BYTES, stats.cycles, clock))
+            }
+            Backend::Node { engine, remote } => match remote {
+                RemotePath::None => None,
+                RemotePath::T3d(path) => {
+                    Some(path.run_fetch(engine, limits, clock, ws_bytes, stride))
+                }
+                RemotePath::T3e(path) => {
+                    Some(path.run_remote(engine, limits, clock, ws_bytes, stride, Direction::Fetch))
+                }
+            },
+        }
+    }
+
+    fn remote_deposit(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
+        let (limits, clock) = (self.limits, self.clock_mhz);
+        match &mut self.backend {
+            // "The DEC 8400 does not have support for pushing data into
+            // memory or caches of a remote processor." (§5.2)
+            Backend::Smp(_) => None,
+            Backend::Node { engine, remote } => match remote {
+                RemotePath::None => None,
+                RemotePath::T3d(path) => {
+                    Some(path.run_deposit(engine, limits, clock, ws_bytes, stride))
+                }
+                RemotePath::T3e(path) => Some(path.run_remote(
+                    engine,
+                    limits,
+                    clock,
+                    ws_bytes,
+                    stride,
+                    Direction::Deposit,
+                )),
+            },
+        }
+    }
+}
+
+/// Implements [`Machine`] for a wrapper struct whose `engine` field is a
+/// [`TransferEngine`]. The historical machine types (`Dec8400`, `T3d`,
+/// `T3e`, `CustomMachine`) are such shells: they keep their calibrated
+/// constructors and ablations but own no probe logic of their own.
+macro_rules! delegate_machine {
+    ($ty:ty) => {
+        impl $crate::machine::Machine for $ty {
+            fn id(&self) -> $crate::machine::MachineId {
+                $crate::machine::Machine::id(&self.engine)
+            }
+
+            fn name(&self) -> String {
+                $crate::machine::Machine::name(&self.engine)
+            }
+
+            fn clock_mhz(&self) -> f64 {
+                $crate::machine::Machine::clock_mhz(&self.engine)
+            }
+
+            fn limits(&self) -> $crate::limits::MeasureLimits {
+                $crate::machine::Machine::limits(&self.engine)
+            }
+
+            fn set_limits(&mut self, limits: $crate::limits::MeasureLimits) {
+                $crate::machine::Machine::set_limits(&mut self.engine, limits);
+            }
+
+            fn local_load(&mut self, ws_bytes: u64, stride: u64) -> $crate::machine::Measurement {
+                $crate::machine::Machine::local_load(&mut self.engine, ws_bytes, stride)
+            }
+
+            fn local_store(&mut self, ws_bytes: u64, stride: u64) -> $crate::machine::Measurement {
+                $crate::machine::Machine::local_store(&mut self.engine, ws_bytes, stride)
+            }
+
+            fn local_copy(
+                &mut self,
+                ws_bytes: u64,
+                load_stride: u64,
+                store_stride: u64,
+            ) -> $crate::machine::Measurement {
+                $crate::machine::Machine::local_copy(
+                    &mut self.engine,
+                    ws_bytes,
+                    load_stride,
+                    store_stride,
+                )
+            }
+
+            fn local_gather(&mut self, ws_bytes: u64) -> $crate::machine::Measurement {
+                $crate::machine::Machine::local_gather(&mut self.engine, ws_bytes)
+            }
+
+            fn remote_load(
+                &mut self,
+                ws_bytes: u64,
+                stride: u64,
+            ) -> Option<$crate::machine::Measurement> {
+                $crate::machine::Machine::remote_load(&mut self.engine, ws_bytes, stride)
+            }
+
+            fn remote_fetch(
+                &mut self,
+                ws_bytes: u64,
+                stride: u64,
+            ) -> Option<$crate::machine::Measurement> {
+                $crate::machine::Machine::remote_fetch(&mut self.engine, ws_bytes, stride)
+            }
+
+            fn remote_deposit(
+                &mut self,
+                ws_bytes: u64,
+                stride: u64,
+            ) -> Option<$crate::machine::Measurement> {
+                $crate::machine::Machine::remote_deposit(&mut self.engine, ws_bytes, stride)
+            }
+        }
+    };
+}
+pub(crate) use delegate_machine;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MachineSpec;
+
+    /// Parallel sweeps move engines across threads; the backends must stay
+    /// plain data.
+    #[test]
+    fn transfer_engine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<TransferEngine>();
+    }
+
+    #[test]
+    fn words_of_rounds_up_to_one() {
+        assert_eq!(words_of(0), 1);
+        assert_eq!(words_of(7), 1);
+        assert_eq!(words_of(8), 1);
+        assert_eq!(words_of(64), 8);
+    }
+
+    #[test]
+    fn smp_accessor_only_on_bus_backends() {
+        let dec = MachineSpec::dec8400().build().unwrap();
+        assert!(dec.smp_system().is_some());
+        let t3d = MachineSpec::t3d().build().unwrap();
+        assert!(t3d.smp_system().is_none());
+    }
+}

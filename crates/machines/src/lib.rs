@@ -21,6 +21,15 @@
 //! paths for a deterministically degraded installation — failed/degraded
 //! torus channels, lossy network interfaces, a jittery bus arbiter.
 //!
+//! The machine layer is split into an immutable description and a mutable
+//! runtime: a [`spec::MachineSpec`] holds clock, hierarchy, NI/topology and
+//! fault-plan parameters and is freely `Clone + Send + Sync`; its `build()`
+//! produces a fresh [`engine::TransferEngine`] owning all mutable
+//! simulation state and implementing every probe exactly once. The four
+//! named machine types are thin shells over a `TransferEngine`, and the
+//! [`spec::SpawnEngine`] factory trait lets the sweep layer hand each grid
+//! cell its own engine for parallel execution.
+//!
 //! Every machine implements the [`machine::Machine`] trait: the probe
 //! surface the characterization layer (`gasnub-core`) sweeps. Absolute
 //! cycle parameters are calibrated against the ~30 bandwidth figures quoted
@@ -44,21 +53,29 @@
 pub mod calibration;
 pub mod custom;
 pub mod dec8400;
+pub mod engine;
 pub mod limits;
 pub mod machine;
 pub mod params;
+pub mod spec;
 pub mod t3d;
 pub mod t3e;
 
 pub use custom::{CustomMachine, CustomMachineBuilder};
 pub use dec8400::Dec8400;
+pub use engine::{words_of, TransferEngine};
 pub use gasnub_faults::{FaultPlan, RouteImpact};
 pub use limits::MeasureLimits;
 pub use machine::{Machine, MachineId, Measurement};
+pub use spec::{MachineSpec, SpawnEngine};
 pub use t3d::T3d;
 pub use t3e::T3e;
 
 /// Builds all three machines with paper parameters and default limits.
 pub fn all_machines() -> Vec<Box<dyn Machine>> {
-    vec![Box::new(Dec8400::new()), Box::new(T3d::new()), Box::new(T3e::new())]
+    vec![
+        Box::new(Dec8400::new()),
+        Box::new(T3d::new()),
+        Box::new(T3e::new()),
+    ]
 }

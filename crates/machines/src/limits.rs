@@ -7,7 +7,6 @@
 //! cache completely and (b) the measured prefix runs long enough to reach
 //! steady state. Results remain deterministic.
 
-
 /// Caps on the simulated portion of a benchmark pass (in 64-bit words).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MeasureLimits {
@@ -22,14 +21,20 @@ impl MeasureLimits {
     /// Default limits: measure ≤ 256 Ki words (2 MB), prime ≤ 2 Mi words
     /// (16 MB) — 4x the largest cache in any modelled machine.
     pub fn new() -> Self {
-        MeasureLimits { max_measure_words: 256 * 1024, max_prime_words: 2 * 1024 * 1024 }
+        MeasureLimits {
+            max_measure_words: 256 * 1024,
+            max_prime_words: 2 * 1024 * 1024,
+        }
     }
 
     /// Small limits for fast unit tests (measure ≤ 32 Ki words, prime ≤
     /// 1 Mi words = 8 MB). The prime cap still covers the largest modelled
     /// cache (the 8400's 4 MB L3) with room to evict the measured region.
     pub fn fast() -> Self {
-        MeasureLimits { max_measure_words: 32 * 1024, max_prime_words: 1024 * 1024 }
+        MeasureLimits {
+            max_measure_words: 32 * 1024,
+            max_prime_words: 1024 * 1024,
+        }
     }
 
     /// Words actually simulated in the measured pass for a working set of

@@ -1,6 +1,5 @@
 //! The common probe surface of a characterized machine.
 
-
 use crate::limits::MeasureLimits;
 
 /// Which of the paper's three systems a model represents.
@@ -75,8 +74,16 @@ pub struct Measurement {
 impl Measurement {
     /// Builds a measurement, computing the bandwidth from the clock.
     pub fn new(bytes: u64, cycles: f64, clock_mhz: f64) -> Self {
-        let mb_s = if cycles > 0.0 { bytes as f64 * clock_mhz / cycles } else { 0.0 };
-        Measurement { bytes, cycles, mb_s }
+        let mb_s = if cycles > 0.0 {
+            bytes as f64 * clock_mhz / cycles
+        } else {
+            0.0
+        };
+        Measurement {
+            bytes,
+            cycles,
+            mb_s,
+        }
     }
 }
 

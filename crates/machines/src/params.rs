@@ -82,7 +82,10 @@ pub fn dec8400_node() -> NodeConfig {
                     // whole 64-byte line per used word (120 MB/s plateau).
                     fill_cycles: 12.9,
                     streamed_fill_cycles: 4.6,
-                    stream: Some(StreamConfig { slots: 2, train_length: 2 }),
+                    stream: Some(StreamConfig {
+                        slots: 2,
+                        train_length: 2,
+                    }),
                     write_back_cycles: 6.0,
                 },
                 LevelConfig {
@@ -116,7 +119,10 @@ pub fn dec8400_node() -> NodeConfig {
                 row_miss_extra_cycles: 60.0,
                 bank_busy_cycles: 30.0,
             },
-            dram_stream: Some(StreamConfig { slots: 2, train_length: 2 }),
+            dram_stream: Some(StreamConfig {
+                slots: 2,
+                train_length: 2,
+            }),
             dram_streamed_line_cycles: 96.0,
             dram_store_word_cycles: 40.0,
             write_buffer: None,
@@ -203,7 +209,10 @@ pub fn t3d_node() -> NodeConfig {
                 bank_busy_cycles: 16.0,
             },
             // The external read-ahead logic: one stream, trains fast.
-            dram_stream: Some(StreamConfig { slots: 1, train_length: 2 }),
+            dram_stream: Some(StreamConfig {
+                slots: 1,
+                train_length: 2,
+            }),
             // 16.6 cycles per 32-byte line = 290 MB/s raw read-ahead rate,
             // delivering the 195 MB/s contiguous plateau after issue costs.
             dram_streamed_line_cycles: 16.6,
@@ -256,7 +265,10 @@ pub fn t3d_remote() -> T3dRemoteParams {
             prefetch_fifo_depth: 8,
             shared_by_node_pair: true,
         },
-        link: LinkConfig { cycles_per_byte: 0.5, per_hop_cycles: 4.0 },
+        link: LinkConfig {
+            cycles_per_byte: 0.5,
+            per_hop_cycles: 4.0,
+        },
         header_bytes: 8,
         dest_write: WriteBufferConfig {
             entries: 8,
@@ -339,7 +351,10 @@ pub fn t3e_node() -> NodeConfig {
             },
             // Six stream buffers; 14 cycles per 64-byte line ≈ 1.37 GB/s raw
             // stream rate, delivering the ~430 MB/s contiguous plateau.
-            dram_stream: Some(StreamConfig { slots: 6, train_length: 2 }),
+            dram_stream: Some(StreamConfig {
+                slots: 6,
+                train_length: 2,
+            }),
             dram_streamed_line_cycles: 14.0,
             dram_store_word_cycles: 35.0,
             write_buffer: None,
@@ -381,7 +396,10 @@ pub fn t3e_remote() -> T3eRemoteParams {
             call_setup_cycles: 400.0,
             round_trip_cycles: 240.0,
         },
-        link: LinkConfig { cycles_per_byte: 0.25, per_hop_cycles: 3.0 },
+        link: LinkConfig {
+            cycles_per_byte: 0.25,
+            per_hop_cycles: 3.0,
+        },
         block_cycles: 55.0,
         block_bytes: 64,
         strided_word_extra_cycles: 10.2,
@@ -440,7 +458,11 @@ mod tests {
         assert_eq!(n.hierarchy.levels[1].cache.associativity, 3);
         assert_eq!(n.hierarchy.levels[2].cache.capacity_bytes, 4 * MB);
         let t = t3d_node();
-        assert_eq!(t.hierarchy.levels.len(), 1, "the T3D has only an on-chip L1");
+        assert_eq!(
+            t.hierarchy.levels.len(),
+            1,
+            "the T3D has only an on-chip L1"
+        );
         let e = t3e_node();
         assert_eq!(e.hierarchy.levels.len(), 2, "the T3E has no L3");
         assert_eq!(e.hierarchy.dram_stream.as_ref().unwrap().slots, 6);

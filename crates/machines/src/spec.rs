@@ -1,0 +1,389 @@
+//! Immutable machine specifications and the engine-spawning factory.
+//!
+//! A [`MachineSpec`] is the *description* of a machine: clock and hierarchy
+//! parameters, NI/topology configuration, and any fault plan already folded
+//! in. It owns no mutable simulation state, is `Clone + Send + Sync`, and
+//! can be shared freely across threads. [`MachineSpec::build`] turns it
+//! into a fresh [`TransferEngine`] — the cheap per-run object that owns all
+//! mutable state. The [`SpawnEngine`] trait abstracts that factory step so
+//! the sweep layer (`gasnub-core`) can hand every grid cell its own engine.
+
+use gasnub_coherence::smp::{SmpConfig, SnoopingSmp};
+use gasnub_faults::FaultPlan;
+use gasnub_interconnect::bus::BusJitterConfig;
+use gasnub_interconnect::link::Link;
+use gasnub_interconnect::ni::{ERegisters, NiLossConfig, NiLossModel, T3dNi};
+use gasnub_memsim::config::NodeConfig;
+use gasnub_memsim::dram::Dram;
+use gasnub_memsim::engine::MemoryEngine;
+use gasnub_memsim::write_buffer::WriteBuffer;
+use gasnub_memsim::{ConfigError, SimError};
+
+use crate::engine::{T3dRemotePath, TransferEngine};
+use crate::limits::MeasureLimits;
+use crate::machine::{Machine, MachineId};
+use crate::params::{self, T3dRemoteParams, T3eRemoteParams};
+
+/// Which machine a spec describes, plus its full parameterization.
+#[derive(Debug, Clone)]
+enum SpecKind {
+    /// DEC 8400: the SMP description plus optional bus-arbiter jitter.
+    Dec8400 {
+        smp: SmpConfig,
+        bus_jitter: Option<BusJitterConfig>,
+    },
+    /// Cray T3D: one PE plus the fetch/deposit remote path.
+    T3d {
+        node: NodeConfig,
+        remote: T3dRemoteParams,
+        ni_loss: Option<NiLossConfig>,
+    },
+    /// Cray T3E: one PE plus the E-register remote path.
+    T3e {
+        node: NodeConfig,
+        remote: T3eRemoteParams,
+        ni_loss: Option<NiLossConfig>,
+    },
+    /// A user-described single node without remote paths.
+    Custom { name: String, node: NodeConfig },
+}
+
+/// An immutable, thread-shareable machine description.
+///
+/// Construction is free of validation — errors surface when
+/// [`MachineSpec::build`] assembles the engine, mirroring the builder
+/// pattern of [`crate::custom::CustomMachineBuilder`].
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    kind: SpecKind,
+    limits: MeasureLimits,
+}
+
+impl MachineSpec {
+    /// The paper's four-processor DEC 8400.
+    pub fn dec8400() -> Self {
+        Self::dec8400_with(params::dec8400_smp())
+    }
+
+    /// A DEC 8400 variant from an explicit SMP configuration.
+    pub fn dec8400_with(smp: SmpConfig) -> Self {
+        MachineSpec {
+            kind: SpecKind::Dec8400 {
+                smp,
+                bus_jitter: None,
+            },
+            limits: MeasureLimits::new(),
+        }
+    }
+
+    /// The paper's Cray T3D PE.
+    pub fn t3d() -> Self {
+        Self::t3d_with(params::t3d_node(), params::t3d_remote())
+    }
+
+    /// A T3D variant from explicit node and remote-path parameters.
+    pub fn t3d_with(node: NodeConfig, remote: T3dRemoteParams) -> Self {
+        MachineSpec {
+            kind: SpecKind::T3d {
+                node,
+                remote,
+                ni_loss: None,
+            },
+            limits: MeasureLimits::new(),
+        }
+    }
+
+    /// The paper's Cray T3E PE.
+    pub fn t3e() -> Self {
+        Self::t3e_with(params::t3e_node(), params::t3e_remote())
+    }
+
+    /// A T3E variant from explicit node and remote-path parameters.
+    pub fn t3e_with(node: NodeConfig, remote: T3eRemoteParams) -> Self {
+        MachineSpec {
+            kind: SpecKind::T3e {
+                node,
+                remote,
+                ni_loss: None,
+            },
+            limits: MeasureLimits::new(),
+        }
+    }
+
+    /// A user-described single-node machine (local probes only).
+    pub fn custom(name: impl Into<String>, node: NodeConfig) -> Self {
+        MachineSpec {
+            kind: SpecKind::Custom {
+                name: name.into(),
+                node,
+            },
+            limits: MeasureLimits::new(),
+        }
+    }
+
+    /// The paper-parameter spec for a machine id. `Custom` resolves to the
+    /// reference node the test presets describe, so every id the CLI can
+    /// parse also names a machine that runs.
+    pub fn for_id(id: MachineId) -> Self {
+        match id {
+            MachineId::Dec8400 => Self::dec8400(),
+            MachineId::CrayT3d => Self::t3d(),
+            MachineId::CrayT3e => Self::t3e(),
+            MachineId::Custom => Self::custom(
+                "reference custom node",
+                gasnub_memsim::config::presets::tiny_test_node(),
+            ),
+        }
+    }
+
+    /// Which machine this spec describes.
+    pub fn id(&self) -> MachineId {
+        match &self.kind {
+            SpecKind::Dec8400 { .. } => MachineId::Dec8400,
+            SpecKind::T3d { .. } => MachineId::CrayT3d,
+            SpecKind::T3e { .. } => MachineId::CrayT3e,
+            SpecKind::Custom { .. } => MachineId::Custom,
+        }
+    }
+
+    /// Replaces the measurement caps every spawned engine starts with.
+    #[must_use]
+    pub fn with_limits(mut self, limits: MeasureLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The measurement caps spawned engines start with.
+    pub fn limits(&self) -> MeasureLimits {
+        self.limits
+    }
+
+    /// Folds a fault plan into the spec: failed/degraded torus channels
+    /// become more hops and a scaled per-byte link rate, network interfaces
+    /// pick up the plan's loss model, and the 8400's bus arbiter its
+    /// deterministic jitter. Same plan, same cycle counts — the transform
+    /// happens once here, not per engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the plan disconnects the canonical remote
+    /// pair, or for a custom machine (which has no remote path or shared
+    /// bus to degrade).
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Result<Self, SimError> {
+        match &mut self.kind {
+            SpecKind::Dec8400 { bus_jitter, .. } => {
+                *bus_jitter = Some(plan.bus_jitter());
+            }
+            SpecKind::T3d {
+                remote, ni_loss, ..
+            } => {
+                let impact = plan.remote_impact()?;
+                remote.hops = impact.hops.max(remote.hops);
+                remote.link.cycles_per_byte *= impact.per_byte_scale();
+                *ni_loss = Some(plan.ni_loss());
+            }
+            SpecKind::T3e {
+                remote, ni_loss, ..
+            } => {
+                let impact = plan.remote_impact()?;
+                remote.hops = impact.hops.max(remote.hops);
+                remote.link.cycles_per_byte *= impact.per_byte_scale();
+                // The coalesced block path is paced by the same bottleneck
+                // channel.
+                remote.block_cycles *= impact.per_byte_scale();
+                *ni_loss = Some(plan.ni_loss());
+            }
+            SpecKind::Custom { .. } => {
+                return Err(SimError::unsupported("fault plans on custom machines"));
+            }
+        }
+        Ok(self)
+    }
+
+    /// Validates the description and assembles a fresh engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when any component description is invalid.
+    pub fn build(self) -> Result<TransferEngine, ConfigError> {
+        let limits = self.limits;
+        match self.kind {
+            SpecKind::Dec8400 { smp, bus_jitter } => {
+                let mut system = SnoopingSmp::new(smp)?;
+                if let Some(jitter) = bus_jitter {
+                    system.set_bus_jitter(Some(jitter))?;
+                }
+                Ok(TransferEngine::new_smp(
+                    MachineId::Dec8400,
+                    system,
+                    0x8400,
+                    limits,
+                ))
+            }
+            SpecKind::T3d {
+                node,
+                remote,
+                ni_loss,
+            } => {
+                let engine = MemoryEngine::try_new(node.clone())?;
+                let ni = T3dNi::new(remote.ni.clone())?;
+                let link = Link::new(remote.link.clone())?;
+                let dest_write = WriteBuffer::new(remote.dest_write.clone())?;
+                let dest_dram = Dram::new(remote.dest_dram.clone())?;
+                let remote_dram = Dram::new(node.hierarchy.dram.clone())?;
+                let path = T3dRemotePath::new(remote, ni, link, dest_write, dest_dram, remote_dram);
+                let mut built = TransferEngine::new_t3d(engine, path, limits);
+                if let Some(loss) = ni_loss {
+                    built.set_ni_loss(NiLossModel::new(loss)?);
+                }
+                Ok(built)
+            }
+            SpecKind::T3e {
+                node,
+                remote,
+                ni_loss,
+            } => {
+                let engine = MemoryEngine::try_new(node)?;
+                let eregs = ERegisters::new(remote.eregs.clone())?;
+                let link = Link::new(remote.link.clone())?;
+                let dest_banks = Dram::new(remote.dest_word_banks.clone())?;
+                let mut built =
+                    TransferEngine::new_t3e(engine, remote, eregs, link, dest_banks, limits);
+                if let Some(loss) = ni_loss {
+                    built.set_ni_loss(NiLossModel::new(loss)?);
+                }
+                Ok(built)
+            }
+            SpecKind::Custom { name, node } => {
+                let engine = MemoryEngine::try_new(node)?;
+                Ok(TransferEngine::new_custom(name, engine, limits))
+            }
+        }
+    }
+}
+
+/// A thread-shareable factory of independent probe engines.
+///
+/// The sweep layer is generic over this: each grid cell spawns its own
+/// engine, so cells need no synchronization and can run on any thread.
+/// Because every probe starts by flushing all mutable state, a fresh engine
+/// measures exactly what a reused one would — parallel results are
+/// bit-identical to sequential ones.
+pub trait SpawnEngine: Sync {
+    /// The engine type this factory produces.
+    type Engine: Machine + Send;
+
+    /// Builds one independent engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the underlying description is invalid.
+    fn spawn_engine(&self) -> Result<Self::Engine, SimError>;
+}
+
+impl SpawnEngine for MachineSpec {
+    type Engine = TransferEngine;
+
+    fn spawn_engine(&self) -> Result<TransferEngine, SimError> {
+        Ok(self.clone().build()?)
+    }
+}
+
+/// Any `Sync` closure producing a machine is a factory; this keeps ad-hoc
+/// uses (tests, custom wrappers) free of boilerplate.
+impl<F, M> SpawnEngine for F
+where
+    F: Fn() -> M + Sync,
+    M: Machine + Send,
+{
+    type Engine = M;
+
+    fn spawn_engine(&self) -> Result<M, SimError> {
+        Ok(self())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_send_sync_and_clone() {
+        fn assert_bounds<T: Send + Sync + Clone>() {}
+        assert_bounds::<MachineSpec>();
+    }
+
+    #[test]
+    fn for_id_covers_every_label() {
+        for id in [
+            MachineId::Dec8400,
+            MachineId::CrayT3d,
+            MachineId::CrayT3e,
+            MachineId::Custom,
+        ] {
+            let spec = MachineSpec::for_id(id);
+            assert_eq!(spec.id(), id);
+            let engine = spec.build().expect("paper parameters must validate");
+            assert_eq!(engine.id(), id);
+        }
+    }
+
+    #[test]
+    fn spawned_engines_match_probes_of_wrapper_machines() {
+        use crate::{Machine, T3d};
+        let spec = MachineSpec::t3d().with_limits(MeasureLimits::fast());
+        let mut spawned = spec.spawn_engine().unwrap();
+        let mut wrapper = T3d::new();
+        wrapper.set_limits(MeasureLimits::fast());
+        let a = spawned.remote_deposit(1 << 20, 16).unwrap();
+        let b = wrapper.remote_deposit(1 << 20, 16).unwrap();
+        assert_eq!(a.cycles.to_bits(), b.cycles.to_bits());
+        let a = spawned.local_load(1 << 20, 2);
+        let b = wrapper.local_load(1 << 20, 2);
+        assert_eq!(a.cycles.to_bits(), b.cycles.to_bits());
+    }
+
+    #[test]
+    fn faults_on_custom_specs_are_unsupported() {
+        let plan = FaultPlan::new(1, 0.5).unwrap();
+        let spec = MachineSpec::for_id(MachineId::Custom);
+        assert!(spec.with_faults(&plan).is_err());
+    }
+
+    #[test]
+    fn fault_plans_fold_into_the_spec_deterministically() {
+        let plan = FaultPlan::new(7, 0.6).unwrap();
+        let a = MachineSpec::t3d()
+            .with_faults(&plan)
+            .unwrap()
+            .with_limits(MeasureLimits::fast());
+        let b = MachineSpec::t3d()
+            .with_faults(&plan)
+            .unwrap()
+            .with_limits(MeasureLimits::fast());
+        let ma = a
+            .spawn_engine()
+            .unwrap()
+            .remote_deposit(1 << 20, 8)
+            .unwrap();
+        let mb = b
+            .spawn_engine()
+            .unwrap()
+            .remote_deposit(1 << 20, 8)
+            .unwrap();
+        assert_eq!(ma.cycles.to_bits(), mb.cycles.to_bits());
+    }
+
+    #[test]
+    fn closures_are_spawners() {
+        fn takes_spawner<S: SpawnEngine>(s: &S) -> MachineId {
+            s.spawn_engine().unwrap().id()
+        }
+        let spawner = || {
+            let mut m = crate::T3e::new();
+            m.set_limits(MeasureLimits::fast());
+            m
+        };
+        assert_eq!(takes_spawner(&spawner), MachineId::CrayT3e);
+    }
+}

@@ -6,43 +6,20 @@
 //! back queues" and coalesced into 32-byte packets; remote loads either
 //! block for a full network round trip or pipeline through an external
 //! prefetch FIFO.
+//!
+//! The probe loops live in [`crate::engine::TransferEngine`]; this type is
+//! a thin shell that keeps the calibrated constructors and ablations.
 
 use gasnub_faults::FaultPlan;
-use gasnub_interconnect::link::Link;
-use gasnub_interconnect::ni::{NiLossModel, T3dNi};
-use gasnub_memsim::dram::Dram;
-use gasnub_memsim::engine::MemoryEngine;
-use gasnub_memsim::trace::{CopyPass, StorePass, StridedOrder, StridedPass};
-use gasnub_memsim::write_buffer::WriteBuffer;
-use gasnub_memsim::WORD_BYTES;
 
-use crate::limits::MeasureLimits;
-use crate::machine::{Machine, MachineId, Measurement};
+use crate::engine::{delegate_machine, TransferEngine};
 use crate::params::{self, T3dRemoteParams};
-
-/// Byte offset separating source and destination regions.
-const DST_REGION: u64 = 1 << 32;
-
-/// Destination PE number used for partner-switch accounting.
-const DEST_PE: u32 = 2;
+use crate::spec::MachineSpec;
 
 /// The Cray T3D machine model (one active PE plus the remote paths).
 #[derive(Debug)]
 pub struct T3d {
-    engine: MemoryEngine,
-    remote: T3dRemoteParams,
-    ni: T3dNi,
-    link: Link,
-    /// Destination-side write path driven by the deposit circuitry:
-    /// coalescing window per the WBQ shape, service time from the
-    /// destination DRAM's row state (large-stride deposits reopen a row
-    /// per word).
-    dest_write: WriteBuffer,
-    dest_dram: Dram,
-    dest_busy_until: f64,
-    /// Remote source DRAM as read by the fetch circuitry.
-    remote_dram: Dram,
-    limits: MeasureLimits,
+    engine: TransferEngine,
 }
 
 impl T3d {
@@ -65,22 +42,8 @@ impl T3d {
         node: gasnub_memsim::NodeConfig,
         remote: T3dRemoteParams,
     ) -> Result<Self, gasnub_memsim::ConfigError> {
-        let engine = MemoryEngine::try_new(node.clone())?;
-        let ni = T3dNi::new(remote.ni.clone())?;
-        let link = Link::new(remote.link.clone())?;
-        let dest_write = WriteBuffer::new(remote.dest_write.clone())?;
-        let dest_dram = Dram::new(remote.dest_dram.clone())?;
-        let remote_dram = Dram::new(node.hierarchy.dram.clone())?;
         Ok(T3d {
-            engine,
-            remote,
-            ni,
-            link,
-            dest_write,
-            dest_dram,
-            dest_busy_until: 0.0,
-            remote_dram,
-            limits: MeasureLimits::new(),
+            engine: MachineSpec::t3d_with(node, remote).build()?,
         })
     }
 
@@ -112,7 +75,8 @@ impl T3d {
         remote.link.cycles_per_byte *= 2.0;
         remote.ni.message.per_message_cycles *= 2.0;
         remote.ni.message.per_byte_cycles *= 2.0;
-        Self::with_params(params::t3d_node(), remote).expect("paired-traffic parameters must validate")
+        Self::with_params(params::t3d_node(), remote)
+            .expect("paired-traffic parameters must validate")
     }
 
     /// Builds a T3D degraded by `plan`: the remote path detours around the
@@ -125,13 +89,9 @@ impl T3d {
     /// Returns [`gasnub_memsim::SimError`] when the plan disconnects the
     /// canonical remote pair or a derived configuration fails validation.
     pub fn with_faults(plan: &FaultPlan) -> Result<Self, gasnub_memsim::SimError> {
-        let impact = plan.remote_impact()?;
-        let mut remote = params::t3d_remote();
-        remote.hops = impact.hops.max(remote.hops);
-        remote.link.cycles_per_byte *= impact.per_byte_scale();
-        let mut t3d = Self::with_params(params::t3d_node(), remote)?;
-        t3d.ni.set_loss_model(Some(NiLossModel::new(plan.ni_loss())?));
-        Ok(t3d)
+        Ok(T3d {
+            engine: MachineSpec::t3d().with_faults(plan)?.build()?,
+        })
     }
 
     /// The blocking-fetch variant (prefetch FIFO unused): "remote loads can
@@ -139,123 +99,8 @@ impl T3d {
     pub fn new_with_blocking_fetch() -> Self {
         let mut remote = params::t3d_remote();
         remote.ni.prefetch_fifo_depth = 1;
-        Self::with_params(params::t3d_node(), remote).expect("blocking-fetch parameters must validate")
-    }
-
-    fn clock(&self) -> f64 {
-        self.engine.cpu().clock_mhz
-    }
-
-    fn words_of(ws_bytes: u64) -> u64 {
-        (ws_bytes / WORD_BYTES).max(1)
-    }
-
-    fn reset_remote_paths(&mut self) {
-        self.ni.reset();
-        self.link.reset();
-        self.dest_write.reset();
-        self.dest_dram.reset();
-        self.dest_busy_until = 0.0;
-        self.remote_dram.reset();
-    }
-
-    /// Runs a deposit transfer: contiguous local loads feed strided remote
-    /// stores, coalesced into packets by the write-back queue and injected
-    /// by the NI.
-    fn run_deposit(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
-        self.engine.flush();
-        self.reset_remote_paths();
-        let words = Self::words_of(ws_bytes);
-        let measured = self.limits.measure_words(words);
-
-        // Prime the source region so cache effects along the working-set
-        // axis match the paper's methodology.
-        let prime = StridedPass::new(0, words, 1).take(self.limits.prime_words(words) as usize);
-        let _ = self.engine.run_trace(prime);
-
-        let cpu = self.engine.cpu().clone();
-        let window = self.remote.dest_write.entry_bytes;
-        let header = self.remote.header_bytes;
-        let hops = self.remote.hops;
-        let coalesce = self.remote.dest_write.coalesce;
-
-        let mut now = self.engine.now();
-        let start = now;
-        let mut open_window: Option<u64> = None;
-        let mut open_bytes: u64 = 0;
-
-        for (k, idx) in StridedOrder::new(words, stride).take(measured as usize).enumerate() {
-            // Contiguous local load of the outgoing word.
-            let local_addr = k as u64 * WORD_BYTES;
-            let load = self.engine.hierarchy_mut().load(local_addr, now);
-            now += cpu.load_issue_cycles + cpu.loop_overhead_cycles + load.cycles;
-
-            // Remote store: coalesce into packets of `window` bytes.
-            let remote_addr = DST_REGION + idx * WORD_BYTES;
-            now += cpu.store_issue_cycles;
-            let this_window = remote_addr / window;
-            let coalesced = coalesce && open_window == Some(this_window);
-            if coalesced {
-                open_bytes += WORD_BYTES;
-            } else {
-                if open_window.is_some() {
-                    now += self.flush_packet(open_bytes + header, hops, now);
-                }
-                open_window = Some(this_window);
-                open_bytes = WORD_BYTES;
-                // The deposit circuitry writes one entity into destination
-                // DRAM per window; page-mode keeps low-stride deposits
-                // cheap, but each large-stride word reopens a row. A busy
-                // destination back-pressures the sender.
-                let stall = (self.dest_busy_until - now).max(0.0);
-                let service = self.dest_dram.access(remote_addr, now + stall).cycles;
-                self.dest_busy_until = now + stall + service;
-                now += stall;
-            }
-        }
-        if open_window.is_some() {
-            now += self.flush_packet(open_bytes + header, hops, now);
-        }
-        now = now.max(self.dest_busy_until);
-        Measurement::new(measured * WORD_BYTES, now - start, self.clock())
-    }
-
-    /// Injects one packet; the sender observes injection cost plus link
-    /// back-pressure (transfer itself is fire-and-forget).
-    fn flush_packet(&mut self, wire_bytes: u64, hops: u32, now: f64) -> f64 {
-        let inject = self.ni.deposit_packet(wire_bytes, DEST_PE);
-        let link_total = self.link.send(wire_bytes, hops, now + inject);
-        let link_occupancy = self.link.config().transfer_cycles(wire_bytes, hops);
-        let link_stall = (link_total - link_occupancy).max(0.0);
-        inject + link_stall
-    }
-
-    /// Runs a fetch transfer: strided remote loads through the prefetch
-    /// FIFO, contiguous local stores through the write-back queue.
-    fn run_fetch(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
-        self.engine.flush();
-        self.reset_remote_paths();
-        let words = Self::words_of(ws_bytes);
-        let measured = self.limits.measure_words(words);
-        let cpu = self.engine.cpu().clone();
-        let row_hit = self.remote_dram.config().row_hit_cycles;
-
-        let mut now = self.engine.now();
-        let start = now;
-        for (k, idx) in StridedOrder::new(words, stride).take(measured as usize).enumerate() {
-            let remote_addr = idx * WORD_BYTES;
-            // Remote load through the FIFO (round trip amortized by depth).
-            now += self.ni.fetch_word(now);
-            // Extra penalty when the remote DRAM row must be reopened.
-            let dram = self.remote_dram.access(remote_addr, now);
-            now += (dram.cycles - row_hit).max(0.0) + dram.bank_stall_cycles;
-            // Contiguous local store of the fetched word.
-            let local_addr = DST_REGION + k as u64 * WORD_BYTES;
-            let store = self.engine.hierarchy_mut().store(local_addr, now);
-            now += cpu.store_issue_cycles + cpu.loop_overhead_cycles + store.cycles;
-        }
-        now += self.engine.hierarchy_mut().drain_writes(now);
-        Measurement::new(measured * WORD_BYTES, now - start, self.clock())
+        Self::with_params(params::t3d_node(), remote)
+            .expect("blocking-fetch parameters must validate")
     }
 }
 
@@ -265,91 +110,23 @@ impl Default for T3d {
     }
 }
 
-impl Machine for T3d {
-    fn id(&self) -> MachineId {
-        MachineId::CrayT3d
-    }
-
-    fn clock_mhz(&self) -> f64 {
-        self.clock()
-    }
-
-    fn limits(&self) -> MeasureLimits {
-        self.limits
-    }
-
-    fn set_limits(&mut self, limits: MeasureLimits) {
-        self.limits = limits;
-    }
-
-    fn local_load(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
-        self.engine.flush();
-        let words = Self::words_of(ws_bytes);
-        let prime = StridedPass::new(0, words, stride).take(self.limits.prime_words(words) as usize);
-        let measured = self.limits.measure_words(words);
-        let measure = StridedPass::new(0, words, stride).take(measured as usize);
-        let stats = self.engine.prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, self.clock())
-    }
-
-    fn local_store(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
-        self.engine.flush();
-        let words = Self::words_of(ws_bytes);
-        let prime = StorePass::new(0, words, stride).take(self.limits.prime_words(words) as usize);
-        let measured = self.limits.measure_words(words);
-        let measure = StorePass::new(0, words, stride).take(measured as usize);
-        let stats = self.engine.prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, self.clock())
-    }
-
-    fn local_copy(&mut self, ws_bytes: u64, load_stride: u64, store_stride: u64) -> Measurement {
-        self.engine.flush();
-        let words = Self::words_of(ws_bytes);
-        let measured = self.limits.measure_words(words);
-        let prime = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
-            .take(2 * self.limits.prime_words(words) as usize);
-        let measure = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
-            .take(2 * measured as usize);
-        let stats = self.engine.prime_and_measure(prime, measure);
-        Measurement::new(measured * WORD_BYTES, stats.cycles, self.clock())
-    }
-
-    fn local_gather(&mut self, ws_bytes: u64) -> Measurement {
-        self.engine.flush();
-        let words = Self::words_of(ws_bytes);
-        let measured = self.limits.measure_words(words);
-        let prime = StridedPass::new(0, words, 1).take(self.limits.prime_words(words) as usize);
-        let indices = gasnub_memsim::trace::shuffled_indices(words, measured as usize, 0x73d);
-        let measure = gasnub_memsim::trace::IndexedPass::new(0, indices);
-        let stats = self.engine.prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, self.clock())
-    }
-
-    fn remote_load(&mut self, _ws_bytes: u64, _stride: u64) -> Option<Measurement> {
-        // Pure remote loads without a local destination are not one of the
-        // paper's T3D benchmarks (fig 4 measures shmem_iget transfers).
-        None
-    }
-
-    fn remote_fetch(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
-        Some(self.run_fetch(ws_bytes, stride))
-    }
-
-    fn remote_deposit(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
-        Some(self.run_deposit(ws_bytes, stride))
-    }
-}
+delegate_machine!(T3d);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::limits::MeasureLimits;
+    use crate::machine::Machine;
 
     const MB: u64 = 1024 * 1024;
     const KB: u64 = 1024;
 
     fn machine() -> T3d {
         let mut m = T3d::new();
-        m.set_limits(MeasureLimits { max_measure_words: 16 * 1024, max_prime_words: 2 * 1024 * 1024 });
+        m.set_limits(MeasureLimits {
+            max_measure_words: 16 * 1024,
+            max_prime_words: 2 * 1024 * 1024,
+        });
         m
     }
 
@@ -362,13 +139,21 @@ mod tests {
     #[test]
     fn dram_contiguous_near_195() {
         let m = machine().local_load(8 * MB, 1);
-        assert!((m.mb_s - 195.0).abs() / 195.0 < 0.2, "DRAM contig: got {}", m.mb_s);
+        assert!(
+            (m.mb_s - 195.0).abs() / 195.0 < 0.2,
+            "DRAM contig: got {}",
+            m.mb_s
+        );
     }
 
     #[test]
     fn dram_strided_near_43() {
         let m = machine().local_load(8 * MB, 16);
-        assert!((m.mb_s - 43.0).abs() / 43.0 < 0.3, "DRAM strided: got {}", m.mb_s);
+        assert!(
+            (m.mb_s - 43.0).abs() / 43.0 < 0.3,
+            "DRAM strided: got {}",
+            m.mb_s
+        );
     }
 
     #[test]
@@ -377,10 +162,16 @@ mod tests {
         // about 30% faster than in the DEC 8400."
         let t3d = machine().local_load(8 * MB, 1).mb_s;
         let mut dec = crate::Dec8400::new();
-        dec.set_limits(MeasureLimits { max_measure_words: 16 * 1024, max_prime_words: 2 * 1024 * 1024 });
+        dec.set_limits(MeasureLimits {
+            max_measure_words: 16 * 1024,
+            max_prime_words: 2 * 1024 * 1024,
+        });
         let dec_bw = dec.local_load(32 * MB, 1).mb_s;
         let ratio = t3d / dec_bw;
-        assert!(ratio > 1.1 && ratio < 1.6, "T3D/8400 contiguous DRAM ratio {ratio}");
+        assert!(
+            ratio > 1.1 && ratio < 1.6,
+            "T3D/8400 contiguous DRAM ratio {ratio}"
+        );
     }
 
     #[test]
@@ -395,7 +186,11 @@ mod tests {
     #[test]
     fn local_copy_contiguous_near_100() {
         let m = machine().local_copy(8 * MB, 1, 1);
-        assert!((m.mb_s - 100.0).abs() / 100.0 < 0.25, "copy contig: got {}", m.mb_s);
+        assert!(
+            (m.mb_s - 100.0).abs() / 100.0 < 0.25,
+            "copy contig: got {}",
+            m.mb_s
+        );
     }
 
     #[test]
@@ -410,19 +205,30 @@ mod tests {
             strided_stores > 1.3 * strided_loads,
             "strided stores {strided_stores} vs strided loads {strided_loads}"
         );
-        assert!((strided_stores - 70.0).abs() / 70.0 < 0.3, "got {strided_stores}");
+        assert!(
+            (strided_stores - 70.0).abs() / 70.0 < 0.3,
+            "got {strided_stores}"
+        );
     }
 
     #[test]
     fn deposit_contiguous_near_120() {
         let m = machine().remote_deposit(8 * MB, 1).unwrap();
-        assert!((m.mb_s - 120.0).abs() / 120.0 < 0.25, "deposit contig: got {}", m.mb_s);
+        assert!(
+            (m.mb_s - 120.0).abs() / 120.0 < 0.25,
+            "deposit contig: got {}",
+            m.mb_s
+        );
     }
 
     #[test]
     fn deposit_strided_near_60() {
         let m = machine().remote_deposit(8 * MB, 16).unwrap();
-        assert!(m.mb_s > 45.0 && m.mb_s < 80.0, "deposit strided: got {}", m.mb_s);
+        assert!(
+            m.mb_s > 45.0 && m.mb_s < 80.0,
+            "deposit strided: got {}",
+            m.mb_s
+        );
     }
 
     #[test]
@@ -463,6 +269,9 @@ mod tests {
         paired.set_limits(single.limits());
         let s = single.remote_deposit(MB, 1).unwrap().mb_s;
         let p = paired.remote_deposit(MB, 1).unwrap().mb_s;
-        assert!(p < s, "paired traffic must reduce deposit bandwidth: {p} vs {s}");
+        assert!(
+            p < s,
+            "paired traffic must reduce deposit bandwidth: {p} vs {s}"
+        );
     }
 }

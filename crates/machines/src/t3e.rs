@@ -8,42 +8,20 @@
 //! ~350 MB/s, strided transfers move single words, and strided *deposits*
 //! additionally serialize on destination memory banks — the even-stride
 //! ripples of Fig. 8.
+//!
+//! The probe loops live in [`crate::engine::TransferEngine`]; this type is
+//! a thin shell that keeps the calibrated constructors and ablations.
 
 use gasnub_faults::FaultPlan;
-use gasnub_interconnect::link::Link;
-use gasnub_interconnect::ni::{ERegisters, NiLossModel};
-use gasnub_memsim::dram::Dram;
-use gasnub_memsim::engine::MemoryEngine;
-use gasnub_memsim::trace::{CopyPass, StorePass, StridedOrder, StridedPass};
-use gasnub_memsim::WORD_BYTES;
 
-use crate::limits::MeasureLimits;
-use crate::machine::{Machine, MachineId, Measurement};
+use crate::engine::{delegate_machine, TransferEngine};
 use crate::params::{self, T3eRemoteParams};
-
-/// Byte offset separating source and destination regions.
-const DST_REGION: u64 = 1 << 32;
-
-/// Which side of a strided word transfer serializes on memory banks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Direction {
-    /// Puts: incoming words are stored in arrival order, so destination
-    /// bank busy windows stall the stream.
-    Deposit,
-    /// Gets: the deeply pipelined E-register reads reorder across banks.
-    Fetch,
-}
+use crate::spec::MachineSpec;
 
 /// The Cray T3E machine model (one active PE plus the remote paths).
 #[derive(Debug)]
 pub struct T3e {
-    engine: MemoryEngine,
-    remote: T3eRemoteParams,
-    eregs: ERegisters,
-    link: Link,
-    /// Destination memory banks as seen by incoming single-word puts.
-    dest_banks: Dram,
-    limits: MeasureLimits,
+    engine: TransferEngine,
 }
 
 impl T3e {
@@ -66,11 +44,9 @@ impl T3e {
         node: gasnub_memsim::NodeConfig,
         remote: T3eRemoteParams,
     ) -> Result<Self, gasnub_memsim::ConfigError> {
-        let engine = MemoryEngine::try_new(node)?;
-        let eregs = ERegisters::new(remote.eregs.clone())?;
-        let link = Link::new(remote.link.clone())?;
-        let dest_banks = Dram::new(remote.dest_word_banks.clone())?;
-        Ok(T3e { engine, remote, eregs, link, dest_banks, limits: MeasureLimits::new() })
+        Ok(T3e {
+            engine: MachineSpec::t3e_with(node, remote).build()?,
+        })
     }
 
     /// Builds a T3E degraded by `plan`: the remote path detours around the
@@ -83,15 +59,9 @@ impl T3e {
     /// Returns [`gasnub_memsim::SimError`] when the plan disconnects the
     /// canonical remote pair or a derived configuration fails validation.
     pub fn with_faults(plan: &FaultPlan) -> Result<Self, gasnub_memsim::SimError> {
-        let impact = plan.remote_impact()?;
-        let mut remote = params::t3e_remote();
-        remote.hops = impact.hops.max(remote.hops);
-        remote.link.cycles_per_byte *= impact.per_byte_scale();
-        // The coalesced block path is paced by the same bottleneck channel.
-        remote.block_cycles *= impact.per_byte_scale();
-        let mut t3e = Self::with_params(params::t3e_node(), remote)?;
-        t3e.eregs.set_loss_model(Some(NiLossModel::new(plan.ni_loss())?));
-        Ok(t3e)
+        Ok(T3e {
+            engine: MachineSpec::t3e().with_faults(plan)?.build()?,
+        })
     }
 
     /// The footnote-3 ablation: the early T3E test vehicle with streaming
@@ -104,63 +74,6 @@ impl T3e {
         node.cpu.miss_overlap = 1.0;
         Self::with_params(node, params::t3e_remote()).expect("ablation parameters must validate")
     }
-
-    fn clock(&self) -> f64 {
-        self.engine.cpu().clock_mhz
-    }
-
-    fn words_of(ws_bytes: u64) -> u64 {
-        (ws_bytes / WORD_BYTES).max(1)
-    }
-
-    fn reset_remote_paths(&mut self) {
-        self.eregs.reset();
-        self.link.reset();
-        self.dest_banks.reset();
-    }
-
-    /// Runs one remote transfer of `words` words at `stride` through the
-    /// E-registers in the given direction. Unit-stride data moves as
-    /// coalesced blocks; non-unit strides move single words.
-    fn run_remote(&mut self, ws_bytes: u64, stride: u64, dir: Direction) -> Measurement {
-        self.engine.flush();
-        self.reset_remote_paths();
-        let words = Self::words_of(ws_bytes);
-        let measured = self.limits.measure_words(words);
-        let hops = self.remote.hops;
-
-        let mut now = 0.0;
-        now += self.eregs.begin_call();
-        let start = now;
-
-        if stride == 1 {
-            // Block path: the E-registers gather/scatter whole cache-line
-            // sized blocks without per-word processor involvement.
-            let block_words = self.remote.block_bytes / WORD_BYTES;
-            let blocks = measured.div_ceil(block_words);
-            for b in 0..blocks {
-                let wire = self.remote.block_bytes + WORD_BYTES; // block + address
-                let link_total = self.link.send(wire, hops, now);
-                let occupancy = self.link.config().transfer_cycles(wire, hops);
-                let link_stall = (link_total - occupancy).max(0.0);
-                now += self.remote.block_cycles + link_stall;
-                let _ = b;
-            }
-        } else {
-            for idx in StridedOrder::new(words, stride).take(measured as usize) {
-                let word_cost = self.eregs.transfer_word(now) + self.remote.strided_word_extra_cycles;
-                now += word_cost;
-                if dir == Direction::Deposit {
-                    // Incoming words commit to destination banks in arrival
-                    // order; a busy bank stalls the stream (Fig. 8 ripples).
-                    let addr = DST_REGION + idx * WORD_BYTES;
-                    let out = self.dest_banks.access(addr, now);
-                    now += out.bank_stall_cycles;
-                }
-            }
-        }
-        Measurement::new(measured * WORD_BYTES, now - start, self.clock())
-    }
 }
 
 impl Default for T3e {
@@ -169,89 +82,23 @@ impl Default for T3e {
     }
 }
 
-impl Machine for T3e {
-    fn id(&self) -> MachineId {
-        MachineId::CrayT3e
-    }
-
-    fn clock_mhz(&self) -> f64 {
-        self.clock()
-    }
-
-    fn limits(&self) -> MeasureLimits {
-        self.limits
-    }
-
-    fn set_limits(&mut self, limits: MeasureLimits) {
-        self.limits = limits;
-    }
-
-    fn local_load(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
-        self.engine.flush();
-        let words = Self::words_of(ws_bytes);
-        let prime = StridedPass::new(0, words, stride).take(self.limits.prime_words(words) as usize);
-        let measured = self.limits.measure_words(words);
-        let measure = StridedPass::new(0, words, stride).take(measured as usize);
-        let stats = self.engine.prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, self.clock())
-    }
-
-    fn local_store(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
-        self.engine.flush();
-        let words = Self::words_of(ws_bytes);
-        let prime = StorePass::new(0, words, stride).take(self.limits.prime_words(words) as usize);
-        let measured = self.limits.measure_words(words);
-        let measure = StorePass::new(0, words, stride).take(measured as usize);
-        let stats = self.engine.prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, self.clock())
-    }
-
-    fn local_copy(&mut self, ws_bytes: u64, load_stride: u64, store_stride: u64) -> Measurement {
-        self.engine.flush();
-        let words = Self::words_of(ws_bytes);
-        let measured = self.limits.measure_words(words);
-        let prime = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
-            .take(2 * self.limits.prime_words(words) as usize);
-        let measure = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
-            .take(2 * measured as usize);
-        let stats = self.engine.prime_and_measure(prime, measure);
-        Measurement::new(measured * WORD_BYTES, stats.cycles, self.clock())
-    }
-
-    fn local_gather(&mut self, ws_bytes: u64) -> Measurement {
-        self.engine.flush();
-        let words = Self::words_of(ws_bytes);
-        let measured = self.limits.measure_words(words);
-        let prime = StridedPass::new(0, words, 1).take(self.limits.prime_words(words) as usize);
-        let indices = gasnub_memsim::trace::shuffled_indices(words, measured as usize, 0x73e);
-        let measure = gasnub_memsim::trace::IndexedPass::new(0, indices);
-        let stats = self.engine.prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, self.clock())
-    }
-
-    fn remote_load(&mut self, _ws_bytes: u64, _stride: u64) -> Option<Measurement> {
-        None
-    }
-
-    fn remote_fetch(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
-        Some(self.run_remote(ws_bytes, stride, Direction::Fetch))
-    }
-
-    fn remote_deposit(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
-        Some(self.run_remote(ws_bytes, stride, Direction::Deposit))
-    }
-}
+delegate_machine!(T3e);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::limits::MeasureLimits;
+    use crate::machine::Machine;
 
     const MB: u64 = 1024 * 1024;
     const KB: u64 = 1024;
 
     fn machine() -> T3e {
         let mut m = T3e::new();
-        m.set_limits(MeasureLimits { max_measure_words: 16 * 1024, max_prime_words: 2 * 1024 * 1024 });
+        m.set_limits(MeasureLimits {
+            max_measure_words: 16 * 1024,
+            max_prime_words: 2 * 1024 * 1024,
+        });
         m
     }
 
@@ -269,7 +116,11 @@ mod tests {
     #[test]
     fn dram_contiguous_near_430() {
         let m = machine().local_load(8 * MB, 1);
-        assert!((m.mb_s - 430.0).abs() / 430.0 < 0.2, "DRAM contig: got {}", m.mb_s);
+        assert!(
+            (m.mb_s - 430.0).abs() / 430.0 < 0.2,
+            "DRAM contig: got {}",
+            m.mb_s
+        );
     }
 
     #[test]
@@ -282,7 +133,10 @@ mod tests {
         t3d.set_limits(machine().limits());
         let t3d_bw = t3d.local_load(8 * MB, 16).mb_s;
         let ratio = t3e / t3d_bw;
-        assert!(ratio > 0.7 && ratio < 1.4, "strided DRAM stuck across generations: {ratio}");
+        assert!(
+            ratio > 0.7 && ratio < 1.4,
+            "strided DRAM stuck across generations: {ratio}"
+        );
     }
 
     #[test]
@@ -309,7 +163,11 @@ mod tests {
     #[test]
     fn strided_fetch_near_140() {
         let m = machine().remote_fetch(8 * MB, 16).unwrap();
-        assert!((m.mb_s - 140.0).abs() / 140.0 < 0.2, "get strided: got {}", m.mb_s);
+        assert!(
+            (m.mb_s - 140.0).abs() / 140.0 < 0.2,
+            "get strided: got {}",
+            m.mb_s
+        );
     }
 
     #[test]
@@ -362,7 +220,11 @@ mod tests {
     #[test]
     fn local_copy_contiguous_near_200() {
         let m = machine().local_copy(8 * MB, 1, 1);
-        assert!((m.mb_s - 200.0).abs() / 200.0 < 0.3, "copy contig: got {}", m.mb_s);
+        assert!(
+            (m.mb_s - 200.0).abs() / 200.0 < 0.3,
+            "copy contig: got {}",
+            m.mb_s
+        );
     }
 
     #[test]
@@ -373,7 +235,10 @@ mod tests {
         let gather = mach.local_gather(8 * MB).mb_s;
         let strided = mach.local_load(8 * MB, 16).mb_s;
         let contig = mach.local_load(8 * MB, 1).mb_s;
-        assert!(gather <= strided * 1.05, "gather {gather} vs strided {strided}");
+        assert!(
+            gather <= strided * 1.05,
+            "gather {gather} vs strided {strided}"
+        );
         assert!(gather < contig / 5.0, "gather {gather} vs contig {contig}");
         // But cache-resident gathers run at the L1 plateau.
         let small = mach.local_gather(4 * KB).mb_s;

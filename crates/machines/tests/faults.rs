@@ -4,7 +4,10 @@
 use gasnub_machines::{Dec8400, FaultPlan, Machine, MeasureLimits, T3d, T3e};
 
 fn fast() -> MeasureLimits {
-    MeasureLimits { max_measure_words: 8 * 1024, max_prime_words: 64 * 1024 }
+    MeasureLimits {
+        max_measure_words: 8 * 1024,
+        max_prime_words: 64 * 1024,
+    }
 }
 
 const WS: u64 = 1 << 20;
@@ -32,7 +35,12 @@ fn degraded_t3d_is_never_faster() {
         for stride in [1_u64, 8] {
             let h = healthy.remote_deposit(WS, stride).unwrap();
             let d = degraded.remote_deposit(WS, stride).unwrap();
-            assert!(d.cycles >= h.cycles, "seed {seed} stride {stride}: {} < {}", d.cycles, h.cycles);
+            assert!(
+                d.cycles >= h.cycles,
+                "seed {seed} stride {stride}: {} < {}",
+                d.cycles,
+                h.cycles
+            );
             let h = healthy.remote_fetch(WS, stride).unwrap();
             let d = degraded.remote_fetch(WS, stride).unwrap();
             assert!(d.cycles >= h.cycles, "fetch seed {seed} stride {stride}");
@@ -65,7 +73,10 @@ fn degraded_dec8400_pull_is_never_faster() {
     degraded.set_limits(fast());
     let h = healthy.remote_load(WS, 1).unwrap();
     let d = degraded.remote_load(WS, 1).unwrap();
-    assert!(d.cycles > h.cycles, "jittered bus must slow the coherent pull");
+    assert!(
+        d.cycles > h.cycles,
+        "jittered bus must slow the coherent pull"
+    );
 }
 
 #[test]
@@ -84,7 +95,11 @@ fn same_plan_gives_identical_cycle_counts() {
         let d = dec.remote_load(WS, 1).unwrap().cycles;
         (a.to_bits(), b.to_bits(), c.to_bits(), d.to_bits())
     };
-    assert_eq!(run(&plan), run(&plan), "same FaultPlan must give bit-identical cycles");
+    assert_eq!(
+        run(&plan),
+        run(&plan),
+        "same FaultPlan must give bit-identical cycles"
+    );
 }
 
 #[test]

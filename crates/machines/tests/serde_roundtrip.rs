@@ -7,7 +7,12 @@ use gasnub_machines::params;
 
 #[test]
 fn machine_id_round_trips_through_labels() {
-    for id in [MachineId::Dec8400, MachineId::CrayT3d, MachineId::CrayT3e, MachineId::Custom] {
+    for id in [
+        MachineId::Dec8400,
+        MachineId::CrayT3d,
+        MachineId::CrayT3e,
+        MachineId::Custom,
+    ] {
         let label = id.label();
         let back = MachineId::from_label(label).expect("labels parse back");
         assert_eq!(back, id, "round trip through '{label}'");
@@ -33,7 +38,11 @@ fn measurement_is_a_value_type() {
 #[test]
 fn configs_are_cloneable_and_stable() {
     let node = params::t3e_node();
-    assert_eq!(node, node.clone(), "machine descriptions must be value types");
+    assert_eq!(
+        node,
+        node.clone(),
+        "machine descriptions must be value types"
+    );
     assert_eq!(params::dec8400_smp(), params::dec8400_smp().clone());
     assert_eq!(params::t3d_remote(), params::t3d_remote().clone());
     assert_eq!(params::t3e_remote(), params::t3e_remote().clone());
@@ -42,11 +51,23 @@ fn configs_are_cloneable_and_stable() {
 #[test]
 fn calibration_table_is_self_consistent() {
     let table = calibration_table();
-    assert!(table.len() >= 28, "the table covers the paper's quoted values");
+    assert!(
+        table.len() >= 28,
+        "the table covers the paper's quoted values"
+    );
     for p in &table {
         assert!(p.paper_mb_s > 0.0, "{}: paper value must be positive", p.id);
-        assert!(p.tolerance > 0.0 && p.tolerance < 1.0, "{}: tolerance sane", p.id);
+        assert!(
+            p.tolerance > 0.0 && p.tolerance < 1.0,
+            "{}: tolerance sane",
+            p.id
+        );
         assert!(!p.source.is_empty());
-        assert_eq!(table.iter().filter(|q| q.id == p.id).count(), 1, "duplicate id {}", p.id);
+        assert_eq!(
+            table.iter().filter(|q| q.id == p.id).count(),
+            1,
+            "duplicate id {}",
+            p.id
+        );
     }
 }

@@ -1,6 +1,5 @@
 //! Basic address and access types shared by every component.
 
-
 /// A physical byte address in the simulated node's memory.
 ///
 /// The simulator models physical = virtual (the paper's micro-benchmarks are
@@ -43,12 +42,18 @@ pub struct Access {
 impl Access {
     /// Creates a read access at `addr`.
     pub fn read(addr: Addr) -> Self {
-        Access { addr, kind: AccessKind::Read }
+        Access {
+            addr,
+            kind: AccessKind::Read,
+        }
     }
 
     /// Creates a write access at `addr`.
     pub fn write(addr: Addr) -> Self {
-        Access { addr, kind: AccessKind::Write }
+        Access {
+            addr,
+            kind: AccessKind::Write,
+        }
     }
 
     /// The cache-line index of this access for a given line size.

@@ -6,8 +6,7 @@
 //! tags, valid and dirty bits — because the paper's characterization depends
 //! only on hit/miss behaviour and transfer sizes.
 
-
-use crate::access::{Addr, AccessKind};
+use crate::access::{AccessKind, Addr};
 use crate::error::ConfigError;
 
 /// Write policy of a cache level.
@@ -62,21 +61,36 @@ impl CacheConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         let component = format!("cache {}", self.name);
         if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
-            return Err(ConfigError::new(component, "line size must be a non-zero power of two"));
+            return Err(ConfigError::new(
+                component,
+                "line size must be a non-zero power of two",
+            ));
         }
         if self.capacity_bytes == 0 || !self.capacity_bytes.is_multiple_of(self.line_bytes) {
-            return Err(ConfigError::new(component, "capacity must be a non-zero multiple of the line size"));
+            return Err(ConfigError::new(
+                component,
+                "capacity must be a non-zero multiple of the line size",
+            ));
         }
         let lines = self.capacity_bytes / self.line_bytes;
-        if self.associativity == 0 || self.associativity > lines || !lines.is_multiple_of(self.associativity) {
-            return Err(ConfigError::new(component, "associativity must be in 1..=lines and divide the line count"));
+        if self.associativity == 0
+            || self.associativity > lines
+            || !lines.is_multiple_of(self.associativity)
+        {
+            return Err(ConfigError::new(
+                component,
+                "associativity must be in 1..=lines and divide the line count",
+            ));
         }
         // Sets index the address with a modulo, so the *set count* must be a
         // power of two (the capacity itself need not be: the 21164's 96 KB
         // 3-way L2 has 512 sets).
         let sets = lines / self.associativity;
         if !sets.is_power_of_two() {
-            return Err(ConfigError::new(component, "the set count (lines / associativity) must be a power of two"));
+            return Err(ConfigError::new(
+                component,
+                "the set count (lines / associativity) must be a power of two",
+            ));
         }
         Ok(())
     }
@@ -139,7 +153,14 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         let slots = (config.num_sets() * config.associativity) as usize;
-        Ok(Cache { config, ways: vec![Way::default(); slots], tick: 0, hits: 0, misses: 0, write_backs: 0 })
+        Ok(Cache {
+            config,
+            ways: vec![Way::default(); slots],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            write_backs: 0,
+        })
     }
 
     /// The configuration this cache was built from.
@@ -258,7 +279,10 @@ impl Cache {
             (AccessKind::Write, AllocatePolicy::ReadAllocate) => false,
         };
         if !allocate {
-            return LookupOutcome::Miss { victim_dirty: false, allocated: false };
+            return LookupOutcome::Miss {
+                victim_dirty: false,
+                allocated: false,
+            };
         }
 
         // Choose victim: first invalid way, else LRU.
@@ -285,7 +309,10 @@ impl Cache {
             tag,
             lru: self.tick,
         };
-        LookupOutcome::Miss { victim_dirty, allocated: true }
+        LookupOutcome::Miss {
+            victim_dirty,
+            allocated: true,
+        }
     }
 }
 
@@ -293,7 +320,13 @@ impl Cache {
 mod tests {
     use super::*;
 
-    fn cfg(capacity: u64, line: u64, assoc: u64, wp: WritePolicy, ap: AllocatePolicy) -> CacheConfig {
+    fn cfg(
+        capacity: u64,
+        line: u64,
+        assoc: u64,
+        wp: WritePolicy,
+        ap: AllocatePolicy,
+    ) -> CacheConfig {
         CacheConfig {
             name: "test".to_string(),
             capacity_bytes: capacity,
@@ -306,22 +339,101 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_shapes() {
-        assert!(cfg(0, 32, 1, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate).validate().is_err());
-        assert!(cfg(1024, 0, 1, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate).validate().is_err());
-        assert!(cfg(1024, 48, 1, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate).validate().is_err());
-        assert!(cfg(1024, 2048, 1, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate).validate().is_err());
-        assert!(cfg(1024, 32, 0, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate).validate().is_err());
-        assert!(cfg(1024, 32, 64, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate).validate().is_err());
-        assert!(cfg(1024, 32, 2, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate).validate().is_ok());
+        assert!(cfg(
+            0,
+            32,
+            1,
+            WritePolicy::WriteThrough,
+            AllocatePolicy::ReadAllocate
+        )
+        .validate()
+        .is_err());
+        assert!(cfg(
+            1024,
+            0,
+            1,
+            WritePolicy::WriteThrough,
+            AllocatePolicy::ReadAllocate
+        )
+        .validate()
+        .is_err());
+        assert!(cfg(
+            1024,
+            48,
+            1,
+            WritePolicy::WriteThrough,
+            AllocatePolicy::ReadAllocate
+        )
+        .validate()
+        .is_err());
+        assert!(cfg(
+            1024,
+            2048,
+            1,
+            WritePolicy::WriteThrough,
+            AllocatePolicy::ReadAllocate
+        )
+        .validate()
+        .is_err());
+        assert!(cfg(
+            1024,
+            32,
+            0,
+            WritePolicy::WriteThrough,
+            AllocatePolicy::ReadAllocate
+        )
+        .validate()
+        .is_err());
+        assert!(cfg(
+            1024,
+            32,
+            64,
+            WritePolicy::WriteThrough,
+            AllocatePolicy::ReadAllocate
+        )
+        .validate()
+        .is_err());
+        assert!(cfg(
+            1024,
+            32,
+            2,
+            WritePolicy::WriteThrough,
+            AllocatePolicy::ReadAllocate
+        )
+        .validate()
+        .is_ok());
         // 96 KB 3-way with 64 B lines has 512 sets: valid (the 21164 L2).
-        assert!(cfg(96 * 1024, 64, 3, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate).validate().is_ok());
+        assert!(cfg(
+            96 * 1024,
+            64,
+            3,
+            WritePolicy::WriteBack,
+            AllocatePolicy::ReadWriteAllocate
+        )
+        .validate()
+        .is_ok());
         // 96 KB direct-mapped would need 1536 sets: invalid.
-        assert!(cfg(96 * 1024, 64, 1, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate).validate().is_err());
+        assert!(cfg(
+            96 * 1024,
+            64,
+            1,
+            WritePolicy::WriteBack,
+            AllocatePolicy::ReadWriteAllocate
+        )
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn direct_mapped_hit_and_miss() {
-        let mut c = Cache::new(cfg(256, 32, 1, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate)).unwrap();
+        let mut c = Cache::new(cfg(
+            256,
+            32,
+            1,
+            WritePolicy::WriteBack,
+            AllocatePolicy::ReadWriteAllocate,
+        ))
+        .unwrap();
         assert!(!c.access(0, AccessKind::Read).is_hit());
         assert!(c.access(8, AccessKind::Read).is_hit()); // same line
         assert!(c.access(16, AccessKind::Read).is_hit());
@@ -335,7 +447,14 @@ mod tests {
     #[test]
     fn lru_replacement_in_two_way_set() {
         // 2 ways, 2 sets, 32 B lines => capacity 128 B.
-        let mut c = Cache::new(cfg(128, 32, 2, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate)).unwrap();
+        let mut c = Cache::new(cfg(
+            128,
+            32,
+            2,
+            WritePolicy::WriteBack,
+            AllocatePolicy::ReadWriteAllocate,
+        ))
+        .unwrap();
         // Lines 0, 2, 4 all map to set 0 (line % 2 == 0).
         c.access(0, AccessKind::Read); // miss, fill way 0
         c.access(128, AccessKind::Read); // line 4 -> set 0, miss, fill way 1
@@ -348,12 +467,22 @@ mod tests {
 
     #[test]
     fn write_back_dirty_eviction_counted() {
-        let mut c = Cache::new(cfg(64, 32, 1, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate)).unwrap();
+        let mut c = Cache::new(cfg(
+            64,
+            32,
+            1,
+            WritePolicy::WriteBack,
+            AllocatePolicy::ReadWriteAllocate,
+        ))
+        .unwrap();
         c.access(0, AccessKind::Write); // allocate dirty (write-allocate)
         assert!(c.probe_dirty(0));
         let out = c.access(64, AccessKind::Read); // same set, evicts dirty line
         match out {
-            LookupOutcome::Miss { victim_dirty, allocated } => {
+            LookupOutcome::Miss {
+                victim_dirty,
+                allocated,
+            } => {
                 assert!(victim_dirty);
                 assert!(allocated);
             }
@@ -364,9 +493,22 @@ mod tests {
 
     #[test]
     fn write_through_store_miss_does_not_allocate() {
-        let mut c = Cache::new(cfg(64, 32, 1, WritePolicy::WriteThrough, AllocatePolicy::ReadAllocate)).unwrap();
+        let mut c = Cache::new(cfg(
+            64,
+            32,
+            1,
+            WritePolicy::WriteThrough,
+            AllocatePolicy::ReadAllocate,
+        ))
+        .unwrap();
         let out = c.access(0, AccessKind::Write);
-        assert_eq!(out, LookupOutcome::Miss { victim_dirty: false, allocated: false });
+        assert_eq!(
+            out,
+            LookupOutcome::Miss {
+                victim_dirty: false,
+                allocated: false
+            }
+        );
         assert!(!c.probe(0));
         // A read allocates; a subsequent store hits and stays clean.
         c.access(0, AccessKind::Read);
@@ -376,7 +518,14 @@ mod tests {
 
     #[test]
     fn invalidate_reports_dirtiness() {
-        let mut c = Cache::new(cfg(64, 32, 1, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate)).unwrap();
+        let mut c = Cache::new(cfg(
+            64,
+            32,
+            1,
+            WritePolicy::WriteBack,
+            AllocatePolicy::ReadWriteAllocate,
+        ))
+        .unwrap();
         c.access(0, AccessKind::Write);
         assert_eq!(c.invalidate(0), Some(true));
         assert_eq!(c.invalidate(0), None);
@@ -386,7 +535,14 @@ mod tests {
 
     #[test]
     fn flush_clears_everything() {
-        let mut c = Cache::new(cfg(64, 32, 2, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate)).unwrap();
+        let mut c = Cache::new(cfg(
+            64,
+            32,
+            2,
+            WritePolicy::WriteBack,
+            AllocatePolicy::ReadWriteAllocate,
+        ))
+        .unwrap();
         c.access(0, AccessKind::Read);
         c.flush();
         assert!(!c.probe(0));
@@ -397,7 +553,14 @@ mod tests {
     #[test]
     fn working_set_fits_iff_capacity() {
         // 1 KB, 32 B lines, 4-way. Touch exactly 1 KB twice: second pass all hits.
-        let mut c = Cache::new(cfg(1024, 32, 4, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate)).unwrap();
+        let mut c = Cache::new(cfg(
+            1024,
+            32,
+            4,
+            WritePolicy::WriteBack,
+            AllocatePolicy::ReadWriteAllocate,
+        ))
+        .unwrap();
         for pass in 0..2 {
             for w in 0..(1024 / 8) {
                 c.access(w * 8, AccessKind::Read);
@@ -406,9 +569,20 @@ mod tests {
                 c.reset_stats();
             }
         }
-        assert_eq!(c.misses(), 0, "primed working set equal to capacity must fully hit");
+        assert_eq!(
+            c.misses(),
+            0,
+            "primed working set equal to capacity must fully hit"
+        );
         // Now 2 KB: second pass must miss every line again (LRU over a looped pattern).
-        let mut c2 = Cache::new(cfg(1024, 32, 4, WritePolicy::WriteBack, AllocatePolicy::ReadWriteAllocate)).unwrap();
+        let mut c2 = Cache::new(cfg(
+            1024,
+            32,
+            4,
+            WritePolicy::WriteBack,
+            AllocatePolicy::ReadWriteAllocate,
+        ))
+        .unwrap();
         for pass in 0..2 {
             for w in 0..(2048 / 8) {
                 c2.access(w * 8, AccessKind::Read);
@@ -418,6 +592,9 @@ mod tests {
             }
         }
         assert_eq!(c2.hits() % 4, 0);
-        assert!(c2.misses() >= 2048 / 32, "2x-capacity loop must keep missing");
+        assert!(
+            c2.misses() >= 2048 / 32,
+            "2x-capacity loop must keep missing"
+        );
     }
 }

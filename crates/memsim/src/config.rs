@@ -4,7 +4,6 @@
 //! the `gasnub-machines` crate; this module only provides neutral test
 //! configurations so the simulator substrate can be exercised standalone.
 
-
 use crate::cpu::CpuConfig;
 use crate::error::ConfigError;
 use crate::hierarchy::HierarchyConfig;
@@ -93,7 +92,10 @@ pub mod presets {
                     row_miss_extra_cycles: 24.0,
                     bank_busy_cycles: 8.0,
                 },
-                dram_stream: Some(StreamConfig { slots: 2, train_length: 2 }),
+                dram_stream: Some(StreamConfig {
+                    slots: 2,
+                    train_length: 2,
+                }),
                 dram_streamed_line_cycles: 8.0,
                 dram_store_word_cycles: 6.0,
                 write_buffer: None,

@@ -9,7 +9,6 @@
 //! overhead is fractional), and a bounded-overlap factor for outstanding
 //! misses.
 
-
 use crate::error::ConfigError;
 
 /// Static description of the processor front end of a node.
@@ -42,11 +41,20 @@ impl CpuConfig {
         if self.clock_mhz.is_nan() || self.clock_mhz <= 0.0 {
             return Err(ConfigError::new(c, "clock must be positive"));
         }
-        if self.load_issue_cycles < 0.0 || self.store_issue_cycles < 0.0 || self.loop_overhead_cycles < 0.0 {
-            return Err(ConfigError::new(c, "issue and overhead cycles must be non-negative"));
+        if self.load_issue_cycles < 0.0
+            || self.store_issue_cycles < 0.0
+            || self.loop_overhead_cycles < 0.0
+        {
+            return Err(ConfigError::new(
+                c,
+                "issue and overhead cycles must be non-negative",
+            ));
         }
         if self.miss_overlap < 1.0 {
-            return Err(ConfigError::new(c, "miss overlap factor must be at least 1.0"));
+            return Err(ConfigError::new(
+                c,
+                "miss overlap factor must be at least 1.0",
+            ));
         }
         Ok(())
     }

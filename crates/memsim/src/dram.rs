@@ -11,7 +11,6 @@
 //!   the same bank is hit in consecutive receives" (§5.6) — modelled by
 //!   per-bank busy windows that stall same-bank back-to-back accesses.
 
-
 use crate::access::Addr;
 use crate::error::ConfigError;
 
@@ -47,18 +46,33 @@ impl DramConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         let c = "dram";
         if self.banks == 0 || !self.banks.is_power_of_two() {
-            return Err(ConfigError::new(c, "bank count must be a non-zero power of two"));
+            return Err(ConfigError::new(
+                c,
+                "bank count must be a non-zero power of two",
+            ));
         }
         if self.interleave_bytes == 0 || !self.interleave_bytes.is_power_of_two() {
-            return Err(ConfigError::new(c, "interleave granularity must be a non-zero power of two"));
+            return Err(ConfigError::new(
+                c,
+                "interleave granularity must be a non-zero power of two",
+            ));
         }
         if self.row_bytes == 0 || !self.row_bytes.is_power_of_two() {
-            return Err(ConfigError::new(c, "row size must be a non-zero power of two"));
+            return Err(ConfigError::new(
+                c,
+                "row size must be a non-zero power of two",
+            ));
         }
         if self.row_bytes < self.interleave_bytes {
-            return Err(ConfigError::new(c, "row size must be at least the interleave granularity"));
+            return Err(ConfigError::new(
+                c,
+                "row size must be at least the interleave granularity",
+            ));
         }
-        if self.row_hit_cycles < 0.0 || self.row_miss_extra_cycles < 0.0 || self.bank_busy_cycles < 0.0 {
+        if self.row_hit_cycles < 0.0
+            || self.row_miss_extra_cycles < 0.0
+            || self.bank_busy_cycles < 0.0
+        {
             return Err(ConfigError::new(c, "cycle costs must be non-negative"));
         }
         Ok(())
@@ -117,7 +131,13 @@ impl Dram {
     pub fn new(config: DramConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         let banks = vec![BankState::default(); config.banks as usize];
-        Ok(Dram { config, banks, row_hits: 0, row_misses: 0, bank_conflicts: 0 })
+        Ok(Dram {
+            config,
+            banks,
+            row_hits: 0,
+            row_misses: 0,
+            bank_conflicts: 0,
+        })
     }
 
     /// The configuration this model was built from.
@@ -173,7 +193,11 @@ impl Dram {
         bank.open_row = Some(row);
         bank.busy_until = start + self.config.bank_busy_cycles.max(service);
 
-        DramOutcome { cycles: stall + service, row_hit, bank_stall_cycles: stall }
+        DramOutcome {
+            cycles: stall + service,
+            row_hit,
+            bank_stall_cycles: stall,
+        }
     }
 }
 

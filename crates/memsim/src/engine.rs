@@ -42,7 +42,11 @@ impl MemoryEngine {
     pub fn try_new(node: NodeConfig) -> Result<Self, ConfigError> {
         node.validate()?;
         let hierarchy = MemoryHierarchy::new(node.hierarchy, node.cpu.miss_overlap)?;
-        Ok(MemoryEngine { cpu: node.cpu, hierarchy, now: 0.0 })
+        Ok(MemoryEngine {
+            cpu: node.cpu,
+            hierarchy,
+            now: 0.0,
+        })
     }
 
     /// The CPU configuration (for clock/bandwidth conversions).
@@ -179,7 +183,10 @@ mod tests {
         let stats = e.prime_and_measure(pass.clone(), pass);
         assert!(stats.dram_accesses > 0);
         let bw = e.bandwidth_mb_s(&stats);
-        assert!(bw < 800.0, "DRAM-bound run must be slower than L1, got {bw}");
+        assert!(
+            bw < 800.0,
+            "DRAM-bound run must be slower than L1, got {bw}"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct ConfigError {
 impl ConfigError {
     /// Creates a new error for `component` describing `problem`.
     pub fn new(component: impl Into<String>, problem: impl Into<String>) -> Self {
-        ConfigError { component: component.into(), problem: problem.into() }
+        ConfigError {
+            component: component.into(),
+            problem: problem.into(),
+        }
     }
 
     /// The component (e.g. `"cache L1"`) whose configuration is invalid.
@@ -33,7 +36,11 @@ impl ConfigError {
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid configuration for {}: {}", self.component, self.problem)
+        write!(
+            f,
+            "invalid configuration for {}: {}",
+            self.component, self.problem
+        )
     }
 }
 
@@ -82,27 +89,38 @@ pub enum SimError {
 impl SimError {
     /// Convenience constructor for [`SimError::OutOfRange`].
     pub fn out_of_range(component: impl Into<String>, detail: impl Into<String>) -> Self {
-        SimError::OutOfRange { component: component.into(), detail: detail.into() }
+        SimError::OutOfRange {
+            component: component.into(),
+            detail: detail.into(),
+        }
     }
 
     /// Convenience constructor for [`SimError::Unroutable`].
     pub fn unroutable(detail: impl Into<String>) -> Self {
-        SimError::Unroutable { detail: detail.into() }
+        SimError::Unroutable {
+            detail: detail.into(),
+        }
     }
 
     /// Convenience constructor for [`SimError::Unsupported`].
     pub fn unsupported(detail: impl Into<String>) -> Self {
-        SimError::Unsupported { detail: detail.into() }
+        SimError::Unsupported {
+            detail: detail.into(),
+        }
     }
 
     /// Convenience constructor for [`SimError::Malformed`].
     pub fn malformed(detail: impl Into<String>) -> Self {
-        SimError::Malformed { detail: detail.into() }
+        SimError::Malformed {
+            detail: detail.into(),
+        }
     }
 
     /// Convenience constructor for [`SimError::Io`].
     pub fn io(detail: impl Into<String>) -> Self {
-        SimError::Io { detail: detail.into() }
+        SimError::Io {
+            detail: detail.into(),
+        }
     }
 }
 
@@ -161,9 +179,17 @@ mod tests {
 
     #[test]
     fn sim_error_variants_display_their_detail() {
-        assert!(SimError::out_of_range("torus", "node 99").to_string().contains("node 99"));
-        assert!(SimError::unroutable("0 -> 5").to_string().contains("0 -> 5"));
-        assert!(SimError::unsupported("negative stride").to_string().contains("stride"));
-        assert!(SimError::malformed("bad checkpoint").to_string().contains("checkpoint"));
+        assert!(SimError::out_of_range("torus", "node 99")
+            .to_string()
+            .contains("node 99"));
+        assert!(SimError::unroutable("0 -> 5")
+            .to_string()
+            .contains("0 -> 5"));
+        assert!(SimError::unsupported("negative stride")
+            .to_string()
+            .contains("stride"));
+        assert!(SimError::malformed("bad checkpoint")
+            .to_string()
+            .contains("checkpoint"));
     }
 }

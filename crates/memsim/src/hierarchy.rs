@@ -22,7 +22,6 @@
 //! in the write buffer when one is configured (T3D), otherwise directly in
 //! DRAM.
 
-
 use crate::access::{line_index, AccessKind, Addr};
 use crate::cache::{Cache, CacheConfig, LookupOutcome, WritePolicy};
 use crate::dram::{Dram, DramConfig};
@@ -59,8 +58,12 @@ impl LevelConfig {
         if let Some(s) = &self.stream {
             s.validate()?;
         }
-        if self.fill_cycles < 0.0 || self.streamed_fill_cycles < 0.0 || self.write_back_cycles < 0.0 {
-            return Err(ConfigError::new(format!("cache {}", self.cache.name), "cycle costs must be non-negative"));
+        if self.fill_cycles < 0.0 || self.streamed_fill_cycles < 0.0 || self.write_back_cycles < 0.0
+        {
+            return Err(ConfigError::new(
+                format!("cache {}", self.cache.name),
+                "cycle costs must be non-negative",
+            ));
         }
         Ok(())
     }
@@ -112,10 +115,16 @@ impl HierarchyConfig {
             w.validate()?;
         }
         if self.dram_streamed_line_cycles < 0.0 || self.dram_store_word_cycles < 0.0 {
-            return Err(ConfigError::new("hierarchy", "cycle costs must be non-negative"));
+            return Err(ConfigError::new(
+                "hierarchy",
+                "cycle costs must be non-negative",
+            ));
         }
         if self.dram_contention < 1.0 || self.dram_stream_contention < 1.0 {
-            return Err(ConfigError::new("hierarchy", "DRAM contention factors must be at least 1.0"));
+            return Err(ConfigError::new(
+                "hierarchy",
+                "DRAM contention factors must be at least 1.0",
+            ));
         }
         Ok(())
     }
@@ -123,7 +132,10 @@ impl HierarchyConfig {
     /// Line size of the last cache level (the DRAM transfer granularity), or
     /// one word for a cacheless hierarchy.
     pub fn last_level_line_bytes(&self) -> u64 {
-        self.levels.last().map(|l| l.cache.line_bytes).unwrap_or(crate::access::WORD_BYTES)
+        self.levels
+            .last()
+            .map(|l| l.cache.line_bytes)
+            .unwrap_or(crate::access::WORD_BYTES)
     }
 
     /// Total cache capacity in bytes across all levels.
@@ -204,7 +216,10 @@ impl MemoryHierarchy {
     pub fn new(config: HierarchyConfig, miss_overlap: f64) -> Result<Self, ConfigError> {
         config.validate()?;
         if miss_overlap < 1.0 {
-            return Err(ConfigError::new("hierarchy", "miss overlap factor must be at least 1.0"));
+            return Err(ConfigError::new(
+                "hierarchy",
+                "miss overlap factor must be at least 1.0",
+            ));
         }
         let caches = config
             .levels
@@ -216,9 +231,17 @@ impl MemoryHierarchy {
             .iter()
             .map(|l| l.stream.clone().map(StreamDetector::new).transpose())
             .collect::<Result<Vec<_>, _>>()?;
-        let dram_stream = config.dram_stream.clone().map(StreamDetector::new).transpose()?;
+        let dram_stream = config
+            .dram_stream
+            .clone()
+            .map(StreamDetector::new)
+            .transpose()?;
         let dram = Dram::new(config.dram.clone())?;
-        let write_buffer = config.write_buffer.clone().map(WriteBuffer::new).transpose()?;
+        let write_buffer = config
+            .write_buffer
+            .clone()
+            .map(WriteBuffer::new)
+            .transpose()?;
         let n = config.levels.len();
         Ok(MemoryHierarchy {
             config,
@@ -324,10 +347,18 @@ impl MemoryHierarchy {
             self.mixed_countdown = self.mixed_countdown.saturating_sub(1);
         }
         self.last_fill_origin = Some(origin);
-        let overlap = if self.mixed_countdown > 0 { 1.0 } else { self.miss_overlap };
+        let overlap = if self.mixed_countdown > 0 {
+            1.0
+        } else {
+            self.miss_overlap
+        };
         let line_bytes = self.config.last_level_line_bytes();
         let line = line_index(addr, line_bytes);
-        let streamed = self.dram_stream.as_mut().map(|s| s.observe(line)).unwrap_or(false);
+        let streamed = self
+            .dram_stream
+            .as_mut()
+            .map(|s| s.observe(line))
+            .unwrap_or(false);
         debt + if streamed {
             self.dram_streamed_fills += 1;
             // The prefetch pipeline still occupies the bank, so row/bank
@@ -496,9 +527,18 @@ impl MemoryHierarchy {
                 (WritePolicy::WriteBack, LookupOutcome::Hit) => {
                     // Absorbed: line dirtied in place.
                     self.level_stats[i].hits += 1;
-                    return AccessCost { cycles, served_by: ServedBy::Level(i) };
+                    return AccessCost {
+                        cycles,
+                        served_by: ServedBy::Level(i),
+                    };
                 }
-                (WritePolicy::WriteBack, LookupOutcome::Miss { victim_dirty, allocated }) => {
+                (
+                    WritePolicy::WriteBack,
+                    LookupOutcome::Miss {
+                        victim_dirty,
+                        allocated,
+                    },
+                ) => {
                     self.level_stats[i].misses += 1;
                     if victim_dirty {
                         self.level_stats[i].write_backs += 1;
@@ -508,7 +548,10 @@ impl MemoryHierarchy {
                         // Read-modify-write: fetch the line from below, then
                         // the store is absorbed here.
                         cycles += self.fill_chain(i, addr, now + cycles);
-                        return AccessCost { cycles, served_by: ServedBy::Level(i) };
+                        return AccessCost {
+                            cycles,
+                            served_by: ServedBy::Level(i),
+                        };
                     }
                     // Non-allocating store miss continues downward.
                 }
@@ -534,10 +577,16 @@ impl MemoryHierarchy {
                 let cap = wb.config().entries as f64 * drain;
                 self.write_debt = (self.write_debt + drain).min(cap);
             }
-            return AccessCost { cycles, served_by: ServedBy::WriteBuffer };
+            return AccessCost {
+                cycles,
+                served_by: ServedBy::WriteBuffer,
+            };
         }
         cycles += self.config.dram_store_word_cycles * self.config.dram_contention;
-        AccessCost { cycles, served_by: ServedBy::Dram }
+        AccessCost {
+            cycles,
+            served_by: ServedBy::Dram,
+        }
     }
 
     /// Cost of bringing the line containing `addr` into level `i` from the
@@ -728,7 +777,11 @@ mod tests {
         let mut h = MemoryHierarchy::new(two_level(), 1.0).unwrap();
         let c = h.store(1 << 20, 0.0);
         assert_eq!(c.served_by, ServedBy::Level(1));
-        assert!(c.cycles >= 50.0, "RMW must fetch the line from DRAM, got {}", c.cycles);
+        assert!(
+            c.cycles >= 50.0,
+            "RMW must fetch the line from DRAM, got {}",
+            c.cycles
+        );
     }
 
     #[test]

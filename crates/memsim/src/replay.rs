@@ -43,10 +43,16 @@ pub fn parse_trace(text: &str) -> Result<Vec<Access>, ConfigError> {
             ConfigError::new("trace", format!("line {}: missing address", lineno + 1))
         })?;
         if parts.next().is_some() {
-            return Err(ConfigError::new("trace", format!("line {}: trailing tokens", lineno + 1)));
+            return Err(ConfigError::new(
+                "trace",
+                format!("line {}: trailing tokens", lineno + 1),
+            ));
         }
         let addr = parse_addr(addr_text).ok_or_else(|| {
-            ConfigError::new("trace", format!("line {}: bad address {addr_text:?}", lineno + 1))
+            ConfigError::new(
+                "trace",
+                format!("line {}: bad address {addr_text:?}", lineno + 1),
+            )
         })?;
         let access = match kind {
             "R" | "r" => Access::read(addr),
@@ -110,9 +116,15 @@ mod tests {
     #[test]
     fn rejects_malformed_lines_with_line_numbers() {
         assert!(parse_trace("R").unwrap_err().problem().contains("line 1"));
-        assert!(parse_trace("R 1 2").unwrap_err().problem().contains("line 1"));
+        assert!(parse_trace("R 1 2")
+            .unwrap_err()
+            .problem()
+            .contains("line 1"));
         assert!(parse_trace("X 1").unwrap_err().problem().contains("line 1"));
-        assert!(parse_trace("\n\nR zzz").unwrap_err().problem().contains("line 3"));
+        assert!(parse_trace("\n\nR zzz")
+            .unwrap_err()
+            .problem()
+            .contains("line 3"));
     }
 
     #[test]

@@ -140,7 +140,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
-        assert_ne!(v, sorted, "a 100-element shuffle is never identity in practice");
+        assert_ne!(
+            v, sorted,
+            "a 100-element shuffle is never identity in practice"
+        );
     }
 
     #[test]

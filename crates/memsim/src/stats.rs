@@ -1,6 +1,5 @@
 //! Run statistics produced by the trace engine.
 
-
 /// Per-cache-level counters for one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LevelStats {
@@ -139,7 +138,8 @@ impl RunStats {
         self.cycles += other.cycles;
         self.bytes += other.bytes;
         if self.levels.len() < other.levels.len() {
-            self.levels.resize(other.levels.len(), LevelStats::default());
+            self.levels
+                .resize(other.levels.len(), LevelStats::default());
         }
         for (mine, theirs) in self.levels.iter_mut().zip(other.levels.iter()) {
             mine.hits += theirs.hits;
@@ -164,7 +164,11 @@ mod tests {
     #[test]
     fn hit_rate_handles_empty() {
         assert_eq!(LevelStats::default().hit_rate(), 0.0);
-        let s = LevelStats { hits: 3, misses: 1, ..Default::default() };
+        let s = LevelStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 
@@ -219,7 +223,11 @@ mod tests {
             reads: 10,
             cycles: 100.0,
             bytes: 80,
-            levels: vec![LevelStats { hits: 5, misses: 5, ..Default::default() }],
+            levels: vec![LevelStats {
+                hits: 5,
+                misses: 5,
+                ..Default::default()
+            }],
             ..Default::default()
         };
         let b = RunStats {
@@ -228,8 +236,16 @@ mod tests {
             cycles: 30.0,
             bytes: 48,
             levels: vec![
-                LevelStats { hits: 1, misses: 5, ..Default::default() },
-                LevelStats { hits: 2, misses: 3, ..Default::default() },
+                LevelStats {
+                    hits: 1,
+                    misses: 5,
+                    ..Default::default()
+                },
+                LevelStats {
+                    hits: 2,
+                    misses: 3,
+                    ..Default::default()
+                },
             ],
             ..Default::default()
         };

@@ -13,7 +13,6 @@
 //! consecutive lines to train. Streamed fills are charged the pipelined
 //! transfer cost instead of the full access latency.
 
-
 use crate::error::ConfigError;
 
 /// Static description of a stream detector at one hierarchy boundary.
@@ -36,10 +35,16 @@ impl StreamConfig {
     /// zero (a zero train length would classify every access as streamed).
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.slots == 0 {
-            return Err(ConfigError::new("stream detector", "must have at least one slot"));
+            return Err(ConfigError::new(
+                "stream detector",
+                "must have at least one slot",
+            ));
         }
         if self.train_length == 0 {
-            return Err(ConfigError::new("stream detector", "train length must be at least 1"));
+            return Err(ConfigError::new(
+                "stream detector",
+                "train length must be at least 1",
+            ));
         }
         Ok(())
     }
@@ -49,7 +54,10 @@ impl Default for StreamConfig {
     /// One slot, trains after two consecutive lines — the minimal useful
     /// read-ahead unit (T3D-like).
     fn default() -> Self {
-        StreamConfig { slots: 1, train_length: 2 }
+        StreamConfig {
+            slots: 1,
+            train_length: 2,
+        }
     }
 }
 
@@ -80,8 +88,22 @@ impl StreamDetector {
     /// Propagates [`StreamConfig::validate`] errors.
     pub fn new(config: StreamConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        let slots = vec![Slot { last_line: 0, run: 0, lru: 0, valid: false }; config.slots];
-        Ok(StreamDetector { config, slots, tick: 0, streamed: 0, unstreamed: 0 })
+        let slots = vec![
+            Slot {
+                last_line: 0,
+                run: 0,
+                lru: 0,
+                valid: false
+            };
+            config.slots
+        ];
+        Ok(StreamDetector {
+            config,
+            slots,
+            tick: 0,
+            streamed: 0,
+            unstreamed: 0,
+        })
     }
 
     /// The configuration this detector was built from.
@@ -156,7 +178,12 @@ impl StreamDetector {
                 victim = i;
             }
         }
-        self.slots[victim] = Slot { last_line: line_index, run: 1, lru: self.tick, valid: true };
+        self.slots[victim] = Slot {
+            last_line: line_index,
+            run: 1,
+            lru: self.tick,
+            valid: true,
+        };
         self.unstreamed += 1;
         false
     }
@@ -168,8 +195,18 @@ mod tests {
 
     #[test]
     fn validate_rejects_degenerate_configs() {
-        assert!(StreamConfig { slots: 0, train_length: 2 }.validate().is_err());
-        assert!(StreamConfig { slots: 1, train_length: 0 }.validate().is_err());
+        assert!(StreamConfig {
+            slots: 0,
+            train_length: 2
+        }
+        .validate()
+        .is_err());
+        assert!(StreamConfig {
+            slots: 1,
+            train_length: 0
+        }
+        .validate()
+        .is_err());
         assert!(StreamConfig::default().validate().is_ok());
     }
 
@@ -177,18 +214,32 @@ mod tests {
     fn sequential_lines_train_then_stream() {
         // First observation starts the stream (run = 1, not streamed); the
         // second consecutive line reaches the train length and is streamed.
-        let mut d = StreamDetector::new(StreamConfig { slots: 1, train_length: 2 }).unwrap();
+        let mut d = StreamDetector::new(StreamConfig {
+            slots: 1,
+            train_length: 2,
+        })
+        .unwrap();
         assert!(!d.observe(10));
-        assert!(d.observe(11), "second consecutive line reaches train length 2");
+        assert!(
+            d.observe(11),
+            "second consecutive line reaches train length 2"
+        );
         assert!(d.observe(12));
         assert_eq!(d.streamed(), 2);
     }
 
     #[test]
     fn non_sequential_lines_never_stream() {
-        let mut d = StreamDetector::new(StreamConfig { slots: 1, train_length: 2 }).unwrap();
+        let mut d = StreamDetector::new(StreamConfig {
+            slots: 1,
+            train_length: 2,
+        })
+        .unwrap();
         for i in 0..20 {
-            assert!(!d.observe(i * 7), "stride-7 lines must not be classified as streamed");
+            assert!(
+                !d.observe(i * 7),
+                "stride-7 lines must not be classified as streamed"
+            );
         }
         assert_eq!(d.streamed(), 0);
         assert_eq!(d.unstreamed(), 20);
@@ -196,7 +247,11 @@ mod tests {
 
     #[test]
     fn multiple_slots_track_interleaved_streams() {
-        let mut d = StreamDetector::new(StreamConfig { slots: 2, train_length: 2 }).unwrap();
+        let mut d = StreamDetector::new(StreamConfig {
+            slots: 2,
+            train_length: 2,
+        })
+        .unwrap();
         // Interleave two sequential streams; both should train.
         d.observe(100);
         d.observe(500);
@@ -208,7 +263,11 @@ mod tests {
 
     #[test]
     fn one_slot_thrashes_on_interleaved_streams() {
-        let mut d = StreamDetector::new(StreamConfig { slots: 1, train_length: 2 }).unwrap();
+        let mut d = StreamDetector::new(StreamConfig {
+            slots: 1,
+            train_length: 2,
+        })
+        .unwrap();
         d.observe(100);
         d.observe(500); // evicts stream at 100
         assert!(!d.observe(101), "single slot cannot hold two streams");
@@ -216,7 +275,11 @@ mod tests {
 
     #[test]
     fn repeated_line_keeps_stream_alive() {
-        let mut d = StreamDetector::new(StreamConfig { slots: 1, train_length: 2 }).unwrap();
+        let mut d = StreamDetector::new(StreamConfig {
+            slots: 1,
+            train_length: 2,
+        })
+        .unwrap();
         d.observe(7);
         assert!(d.observe(8));
         assert!(d.observe(8), "re-request of current line stays streamed");

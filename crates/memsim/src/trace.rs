@@ -30,7 +30,13 @@ impl StridedOrder {
     /// Panics if `stride` is zero.
     pub fn new(words: u64, stride: u64) -> Self {
         assert!(stride > 0, "stride must be non-zero");
-        StridedOrder { words, stride, offset: 0, index: 0, emitted: 0 }
+        StridedOrder {
+            words,
+            stride,
+            offset: 0,
+            index: 0,
+            emitted: 0,
+        }
     }
 }
 
@@ -77,7 +83,10 @@ impl StridedPass {
     ///
     /// Panics if `stride` is zero.
     pub fn new(base: Addr, words: u64, stride: u64) -> Self {
-        StridedPass { base, order: StridedOrder::new(words, stride) }
+        StridedPass {
+            base,
+            order: StridedOrder::new(words, stride),
+        }
     }
 }
 
@@ -85,7 +94,9 @@ impl Iterator for StridedPass {
     type Item = Access;
 
     fn next(&mut self) -> Option<Access> {
-        self.order.next().map(|w| Access::read(self.base + w * WORD_BYTES))
+        self.order
+            .next()
+            .map(|w| Access::read(self.base + w * WORD_BYTES))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -107,7 +118,10 @@ impl StorePass {
     ///
     /// Panics if `stride` is zero.
     pub fn new(base: Addr, words: u64, stride: u64) -> Self {
-        StorePass { base, order: StridedOrder::new(words, stride) }
+        StorePass {
+            base,
+            order: StridedOrder::new(words, stride),
+        }
     }
 }
 
@@ -115,7 +129,9 @@ impl Iterator for StorePass {
     type Item = Access;
 
     fn next(&mut self) -> Option<Access> {
-        self.order.next().map(|w| Access::write(self.base + w * WORD_BYTES))
+        self.order
+            .next()
+            .map(|w| Access::write(self.base + w * WORD_BYTES))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -150,8 +166,17 @@ impl CopyPass {
     /// # Panics
     ///
     /// Panics if either stride is zero.
-    pub fn new(src_base: Addr, dst_base: Addr, words: u64, load_stride: u64, store_stride: u64) -> Self {
-        assert!(load_stride > 0 && store_stride > 0, "strides must be non-zero");
+    pub fn new(
+        src_base: Addr,
+        dst_base: Addr,
+        words: u64,
+        load_stride: u64,
+        store_stride: u64,
+    ) -> Self {
+        assert!(
+            load_stride > 0 && store_stride > 0,
+            "strides must be non-zero"
+        );
         let strided = load_stride.max(store_stride);
         CopyPass {
             src_base,
@@ -178,9 +203,23 @@ impl Iterator for CopyPass {
         // The side with the larger stride follows the strided order; the
         // other side walks sequentially.
         let (load_idx, store_idx) = if self.load_stride >= self.store_stride {
-            (strided_idx, if self.store_stride == 1 { seq_idx } else { strided_idx })
+            (
+                strided_idx,
+                if self.store_stride == 1 {
+                    seq_idx
+                } else {
+                    strided_idx
+                },
+            )
         } else {
-            (if self.load_stride == 1 { seq_idx } else { strided_idx }, strided_idx)
+            (
+                if self.load_stride == 1 {
+                    seq_idx
+                } else {
+                    strided_idx
+                },
+                strided_idx,
+            )
         };
         self.pending_store = Some(self.dst_base + store_idx * WORD_BYTES);
         Some(Access::read(self.src_base + load_idx * WORD_BYTES))
@@ -240,7 +279,11 @@ pub struct IndexedPass {
 impl IndexedPass {
     /// A read pass that visits `base + indices[k] * 8` in order.
     pub fn new(base: Addr, indices: Vec<u64>) -> Self {
-        IndexedPass { base, indices, pos: 0 }
+        IndexedPass {
+            base,
+            indices,
+            pos: 0,
+        }
     }
 }
 
@@ -316,11 +359,19 @@ mod tests {
             assert!(pair[1].addr >= 1 << 20);
         }
         // Stores are contiguous (store_stride == 1).
-        let stores: Vec<Addr> = accs.iter().filter(|a| a.kind.is_write()).map(|a| a.addr).collect();
+        let stores: Vec<Addr> = accs
+            .iter()
+            .filter(|a| a.kind.is_write())
+            .map(|a| a.addr)
+            .collect();
         let expect: Vec<Addr> = (0..8).map(|k| (1 << 20) + k * 8).collect();
         assert_eq!(stores, expect);
         // Loads follow the strided order.
-        let loads: Vec<Addr> = accs.iter().filter(|a| a.kind.is_read()).map(|a| a.addr).collect();
+        let loads: Vec<Addr> = accs
+            .iter()
+            .filter(|a| a.kind.is_read())
+            .map(|a| a.addr)
+            .collect();
         assert_eq!(loads[0], 0);
         assert_eq!(loads[1], 32);
     }
@@ -328,9 +379,17 @@ mod tests {
     #[test]
     fn copy_pass_strided_stores() {
         let accs: Vec<Access> = CopyPass::new(0, 4096, 8, 1, 4).collect();
-        let loads: Vec<Addr> = accs.iter().filter(|a| a.kind.is_read()).map(|a| a.addr).collect();
+        let loads: Vec<Addr> = accs
+            .iter()
+            .filter(|a| a.kind.is_read())
+            .map(|a| a.addr)
+            .collect();
         assert_eq!(loads, (0..8).map(|k| k * 8).collect::<Vec<_>>());
-        let stores: Vec<Addr> = accs.iter().filter(|a| a.kind.is_write()).map(|a| a.addr).collect();
+        let stores: Vec<Addr> = accs
+            .iter()
+            .filter(|a| a.kind.is_write())
+            .map(|a| a.addr)
+            .collect();
         assert_eq!(stores[0], 4096);
         assert_eq!(stores[1], 4096 + 32);
     }
@@ -338,7 +397,10 @@ mod tests {
     #[test]
     fn indexed_pass_follows_permutation() {
         let accs: Vec<Access> = IndexedPass::new(0, vec![5, 0, 3]).collect();
-        assert_eq!(accs.iter().map(|a| a.addr).collect::<Vec<_>>(), vec![40, 0, 24]);
+        assert_eq!(
+            accs.iter().map(|a| a.addr).collect::<Vec<_>>(),
+            vec![40, 0, 24]
+        );
     }
 
     #[test]
@@ -361,7 +423,13 @@ mod tests {
 
     #[test]
     fn shuffled_indices_is_deterministic() {
-        assert_eq!(shuffled_indices(500, 4096, 9), shuffled_indices(500, 4096, 9));
-        assert_ne!(shuffled_indices(500, 4096, 9), shuffled_indices(500, 4096, 10));
+        assert_eq!(
+            shuffled_indices(500, 4096, 9),
+            shuffled_indices(500, 4096, 9)
+        );
+        assert_ne!(
+            shuffled_indices(500, 4096, 9),
+            shuffled_indices(500, 4096, 10)
+        );
     }
 }

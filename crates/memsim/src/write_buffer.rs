@@ -12,7 +12,6 @@
 //! what gives the T3D its strided-store advantage (contiguous stores share a
 //! 32-byte entry, strided stores each pay for a full entry drain).
 
-
 use crate::access::{line_index, Addr};
 use crate::error::ConfigError;
 
@@ -45,7 +44,10 @@ impl WriteBufferConfig {
             return Err(ConfigError::new(c, "must have at least one entry"));
         }
         if self.entry_bytes == 0 || !self.entry_bytes.is_power_of_two() {
-            return Err(ConfigError::new(c, "entry window must be a non-zero power of two"));
+            return Err(ConfigError::new(
+                c,
+                "entry window must be a non-zero power of two",
+            ));
         }
         if self.drain_cycles_per_entry < 0.0 {
             return Err(ConfigError::new(c, "drain cost must be non-negative"));
@@ -166,7 +168,10 @@ impl WriteBuffer {
         let window = line_index(addr, self.config.entry_bytes);
         if self.config.coalesce && self.open_window == Some(window) {
             self.coalesced_stores += 1;
-            return PushOutcome { stall_cycles: 0.0, coalesced: true };
+            return PushOutcome {
+                stall_cycles: 0.0,
+                coalesced: true,
+            };
         }
 
         // Need a new entry: stall if full.
@@ -184,7 +189,10 @@ impl WriteBuffer {
         }
         self.occupancy += 1;
         self.open_window = Some(window);
-        PushOutcome { stall_cycles: stall, coalesced: false }
+        PushOutcome {
+            stall_cycles: stall,
+            coalesced: false,
+        }
     }
 
     /// Drains all remaining entries, returning the cycles needed beyond `now`.
@@ -209,7 +217,12 @@ mod tests {
     use super::*;
 
     fn cfg(entries: usize, coalesce: bool) -> WriteBufferConfig {
-        WriteBufferConfig { entries, entry_bytes: 32, drain_cycles_per_entry: 10.0, coalesce }
+        WriteBufferConfig {
+            entries,
+            entry_bytes: 32,
+            drain_cycles_per_entry: 10.0,
+            coalesce,
+        }
     }
 
     #[test]
@@ -271,7 +284,10 @@ mod tests {
             total_stall += out.stall_cycles;
             now += 1.0 + out.stall_cycles;
         }
-        assert!(total_stall > 0.0, "a saturated queue must throttle the processor");
+        assert!(
+            total_stall > 0.0,
+            "a saturated queue must throttle the processor"
+        );
         // Steady state cost per store approaches the drain cost.
         assert!(wb.total_stall_cycles() > 0.0);
     }
@@ -294,7 +310,10 @@ mod tests {
         wb.push(64, 0.0);
         wb.push(128, 0.0);
         let cost = wb.flush(0.0);
-        assert!(cost >= 20.0, "three entries at 10 cycles each need >= 20 cycles beyond now, got {cost}");
+        assert!(
+            cost >= 20.0,
+            "three entries at 10 cycles each need >= 20 cycles beyond now, got {cost}"
+        );
         assert_eq!(wb.flush(1_000.0), 0.0);
     }
 }

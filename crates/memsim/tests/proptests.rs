@@ -70,7 +70,11 @@ fn arb_cache_config(rng: &mut Rng) -> CacheConfig {
         capacity_bytes: sets * assoc * line,
         line_bytes: line,
         associativity: assoc,
-        write_policy: if wb { WritePolicy::WriteBack } else { WritePolicy::WriteThrough },
+        write_policy: if wb {
+            WritePolicy::WriteBack
+        } else {
+            WritePolicy::WriteThrough
+        },
         allocate_policy: if wb {
             AllocatePolicy::ReadWriteAllocate
         } else {
@@ -88,10 +92,17 @@ fn cache_matches_reference_model() {
         let mut reference = ReferenceCache::new(&cfg);
         for _ in 0..rng.gen_range(1, 400) {
             let addr = rng.gen_range(0, 4096) * 8;
-            let kind = if rng.gen_bool(0.5) { AccessKind::Write } else { AccessKind::Read };
+            let kind = if rng.gen_bool(0.5) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let got = cache.access(addr, kind).is_hit();
             let want = reference.access(addr, kind);
-            assert_eq!(got, want, "divergence at addr {addr} ({kind:?}) with {cfg:?}");
+            assert_eq!(
+                got, want,
+                "divergence at addr {addr} ({kind:?}) with {cfg:?}"
+            );
         }
     });
 }
@@ -120,7 +131,10 @@ fn strided_order_is_always_a_permutation() {
         let mut count = 0u64;
         for idx in StridedOrder::new(words, stride) {
             assert!(idx < words);
-            assert!(!seen[idx as usize], "index {idx} visited twice (words {words}, stride {stride})");
+            assert!(
+                !seen[idx as usize],
+                "index {idx} visited twice (words {words}, stride {stride})"
+            );
             seen[idx as usize] = true;
             count += 1;
         }
@@ -155,7 +169,11 @@ fn write_buffer_conserves_entries() {
         assert_eq!(wb.stores(), n);
         assert_eq!(wb.coalesced_stores() + opened, n);
         let _ = wb.flush(now);
-        assert_eq!(wb.entries_drained(), opened, "flush must drain every opened entry");
+        assert_eq!(
+            wb.entries_drained(),
+            opened,
+            "flush must drain every opened entry"
+        );
         if !coalesce {
             assert_eq!(wb.coalesced_stores(), 0u64);
         }
@@ -225,7 +243,10 @@ fn flush_restores_cold_state() {
         let warm = e.run_trace(StridedPass::new(0, words, stride)).cycles;
         e.flush();
         let again = e.run_trace(StridedPass::new(0, words, stride)).cycles;
-        assert_eq!(cold, again, "flush must reproduce the cold run (words {words}, stride {stride})");
+        assert_eq!(
+            cold, again,
+            "flush must reproduce the cold run (words {words}, stride {stride})"
+        );
         assert!(warm <= cold, "a warm run is never slower than a cold one");
     });
 }

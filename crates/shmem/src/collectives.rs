@@ -60,7 +60,8 @@ pub fn broadcast<C: TransferCost>(
         }
     }
     // The root's own copy is a local move.
-    ctx.heap_mut().copy_strided(root, src_off, 1, root, dst_off, 1, n);
+    ctx.heap_mut()
+        .copy_strided(root, src_off, 1, root, dst_off, 1, n);
     ctx.barrier();
 }
 
@@ -84,7 +85,15 @@ pub fn alltoall<C: TransferCost>(
         for other in 0..npes {
             let (src, dst) = (src_off + other * block_words, dst_off + me * block_words);
             if other == me {
-                ctx.heap_mut().copy_strided(Pe(me), src, 1, Pe(me), dst_off + me * block_words, 1, block_words);
+                ctx.heap_mut().copy_strided(
+                    Pe(me),
+                    src,
+                    1,
+                    Pe(me),
+                    dst_off + me * block_words,
+                    1,
+                    block_words,
+                );
                 continue;
             }
             match style {
@@ -148,8 +157,7 @@ mod tests {
             for q in 0..npes {
                 for w in 0..block {
                     // Value encodes (sender, receiver, word).
-                    c.heap_mut().local_mut(Pe(p))[q * block + w] =
-                        (p * 100 + q * 10 + w) as f64;
+                    c.heap_mut().local_mut(Pe(p))[q * block + w] = (p * 100 + q * 10 + w) as f64;
                 }
             }
         }

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use gasnub_machines::{Machine, MachineId, MeasureLimits};
+use gasnub_machines::{Machine, MachineId, MachineSpec, MeasureLimits, SpawnEngine};
 use gasnub_memsim::{SimError, WORD_BYTES};
 
 /// Which direction a transfer moves relative to the initiating PE.
@@ -48,7 +48,12 @@ pub struct UniformCost {
 impl UniformCost {
     /// A convenient 100 MHz model: 1 cycle/word, 10 cycles/call.
     pub fn new() -> Self {
-        UniformCost { clock_mhz: 100.0, per_word_cycles: 1.0, per_call_cycles: 10.0, barrier: 5.0 }
+        UniformCost {
+            clock_mhz: 100.0,
+            per_word_cycles: 1.0,
+            per_call_cycles: 10.0,
+            barrier: 5.0,
+        }
     }
 }
 
@@ -92,16 +97,28 @@ impl CallOverheads {
         match id {
             // Software synchronization over the coherent bus; no special
             // transfer call (the consumer's copy loop just runs).
-            MachineId::Dec8400 => CallOverheads { per_call_cycles: 60.0, barrier_cycles: 1500.0 },
+            MachineId::Dec8400 => CallOverheads {
+                per_call_cycles: 60.0,
+                barrier_cycles: 1500.0,
+            },
             // Dedicated hardware barrier network; deposits are captured
             // straight from the write-back queue but switching partners
             // costs ("per message overhead for switching partners").
-            MachineId::CrayT3d => CallOverheads { per_call_cycles: 100.0, barrier_cycles: 150.0 },
+            MachineId::CrayT3d => CallOverheads {
+                per_call_cycles: 100.0,
+                barrier_cycles: 150.0,
+            },
             // First-generation shmem_iput/iget library on the T3E.
-            MachineId::CrayT3e => CallOverheads { per_call_cycles: 400.0, barrier_cycles: 200.0 },
+            MachineId::CrayT3e => CallOverheads {
+                per_call_cycles: 400.0,
+                barrier_cycles: 200.0,
+            },
             // No measured library for user-defined machines: a neutral,
             // modest software overhead.
-            MachineId::Custom => CallOverheads { per_call_cycles: 200.0, barrier_cycles: 500.0 },
+            MachineId::Custom => CallOverheads {
+                per_call_cycles: 200.0,
+                barrier_cycles: 500.0,
+            },
         }
     }
 }
@@ -141,9 +158,29 @@ impl MeasuredCost {
     /// machines up front instead.
     pub fn new(mut machine: Box<dyn Machine>) -> Self {
         // Probing needs steady state, not the full default sweep budget.
-        machine.set_limits(MeasureLimits { max_measure_words: 16 * 1024, max_prime_words: 256 * 1024 });
+        machine.set_limits(MeasureLimits {
+            max_measure_words: 16 * 1024,
+            max_prime_words: 256 * 1024,
+        });
         let overheads = CallOverheads::for_machine(machine.id());
-        MeasuredCost { machine, overheads, cycles_per_word: HashMap::new() }
+        MeasuredCost {
+            machine,
+            overheads,
+            cycles_per_word: HashMap::new(),
+        }
+    }
+
+    /// Builds a measured cost model by spawning a fresh engine from `spec`
+    /// — the convenient path now that machine descriptions are separate
+    /// from their mutable runtime state.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`SimError`] from building the spec, and
+    /// [`SimError::Unsupported`] when the machine supports neither remote
+    /// transfer direction (same check as [`MeasuredCost::try_new`]).
+    pub fn from_spec(spec: &MachineSpec) -> Result<Self, SimError> {
+        Self::try_new(Box::new(spec.spawn_engine()?))
     }
 
     /// Builds a measured cost model, verifying the machine can actually
@@ -262,21 +299,44 @@ mod tests {
         let dep = c.call_cycles(TransferKind::Deposit, 10_000, 1);
         let fetch = c.call_cycles(TransferKind::Fetch, 10_000, 1);
         let ratio = dep / fetch;
-        assert!((ratio - 1.0).abs() < 0.2, "8400 deposit ≈ fetch, got ratio {ratio}");
+        assert!(
+            (ratio - 1.0).abs() < 0.2,
+            "8400 deposit ≈ fetch, got ratio {ratio}"
+        );
     }
 
     #[test]
     fn per_call_overheads_match_machine() {
-        assert!(CallOverheads::for_machine(MachineId::CrayT3e).per_call_cycles
-            > CallOverheads::for_machine(MachineId::CrayT3d).per_call_cycles);
-        assert!(CallOverheads::for_machine(MachineId::Dec8400).barrier_cycles
-            > CallOverheads::for_machine(MachineId::CrayT3d).barrier_cycles);
+        assert!(
+            CallOverheads::for_machine(MachineId::CrayT3e).per_call_cycles
+                > CallOverheads::for_machine(MachineId::CrayT3d).per_call_cycles
+        );
+        assert!(
+            CallOverheads::for_machine(MachineId::Dec8400).barrier_cycles
+                > CallOverheads::for_machine(MachineId::CrayT3d).barrier_cycles
+        );
     }
 
     #[test]
     fn zero_element_calls_are_free() {
         let mut c = MeasuredCost::new(Box::new(T3e::new()));
         assert_eq!(c.call_cycles(TransferKind::Fetch, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_spec_prices_like_a_hand_built_machine() {
+        let mut from_spec = MeasuredCost::from_spec(&MachineSpec::t3d()).unwrap();
+        let mut direct = MeasuredCost::new(Box::new(T3d::new()));
+        assert_eq!(
+            from_spec.call_cycles(TransferKind::Deposit, 1000, 1),
+            direct.call_cycles(TransferKind::Deposit, 1000, 1)
+        );
+        // A local-only spec is rejected just like a local-only machine.
+        let local_only = MachineSpec::custom(
+            "local-only".to_string(),
+            gasnub_memsim::config::presets::tiny_test_node(),
+        );
+        assert!(MeasuredCost::from_spec(&local_only).is_err());
     }
 
     #[test]

@@ -125,8 +125,11 @@ impl<C: TransferCost> ShmemCtx<C> {
         n: usize,
     ) {
         assert!(dst_stride > 0 && src_stride > 0, "strides must be non-zero");
-        self.heap.copy_strided(from, src_off, src_stride, dst, dst_off, dst_stride, n);
-        let cycles = self.cost.call_cycles(TransferKind::Deposit, n as u64, dst_stride as u64);
+        self.heap
+            .copy_strided(from, src_off, src_stride, dst, dst_off, dst_stride, n);
+        let cycles = self
+            .cost
+            .call_cycles(TransferKind::Deposit, n as u64, dst_stride as u64);
         self.clocks[from.0] += cycles;
         self.comm_cycles[from.0] += cycles;
     }
@@ -159,8 +162,11 @@ impl<C: TransferCost> ShmemCtx<C> {
         n: usize,
     ) {
         assert!(dst_stride > 0 && src_stride > 0, "strides must be non-zero");
-        self.heap.copy_strided(src, src_off, src_stride, on, dst_off, dst_stride, n);
-        let cycles = self.cost.call_cycles(TransferKind::Fetch, n as u64, src_stride as u64);
+        self.heap
+            .copy_strided(src, src_off, src_stride, on, dst_off, dst_stride, n);
+        let cycles = self
+            .cost
+            .call_cycles(TransferKind::Fetch, n as u64, src_stride as u64);
         self.clocks[on.0] += cycles;
         self.comm_cycles[on.0] += cycles;
     }
@@ -186,9 +192,20 @@ impl<C: TransferCost> ShmemCtx<C> {
         block_words: usize,
         nblocks: usize,
     ) {
-        self.heap.copy_blocks(from, src_off, src_stride, dst, dst_off, dst_stride, block_words, nblocks);
+        self.heap.copy_blocks(
+            from,
+            src_off,
+            src_stride,
+            dst,
+            dst_off,
+            dst_stride,
+            block_words,
+            nblocks,
+        );
         let words = (nblocks * block_words) as u64;
-        let cycles = self.cost.call_cycles(TransferKind::Deposit, words, dst_stride as u64);
+        let cycles = self
+            .cost
+            .call_cycles(TransferKind::Deposit, words, dst_stride as u64);
         self.clocks[from.0] += cycles;
         self.comm_cycles[from.0] += cycles;
     }
@@ -211,9 +228,20 @@ impl<C: TransferCost> ShmemCtx<C> {
         block_words: usize,
         nblocks: usize,
     ) {
-        self.heap.copy_blocks(src, src_off, src_stride, on, dst_off, dst_stride, block_words, nblocks);
+        self.heap.copy_blocks(
+            src,
+            src_off,
+            src_stride,
+            on,
+            dst_off,
+            dst_stride,
+            block_words,
+            nblocks,
+        );
         let words = (nblocks * block_words) as u64;
-        let cycles = self.cost.call_cycles(TransferKind::Fetch, words, src_stride as u64);
+        let cycles = self
+            .cost
+            .call_cycles(TransferKind::Fetch, words, src_stride as u64);
         self.clocks[on.0] += cycles;
         self.comm_cycles[on.0] += cycles;
     }
@@ -246,7 +274,11 @@ mod tests {
         c.put(Pe(0), Pe(1), 8, 0, 4);
         assert_eq!(&c.heap().local(Pe(1))[8..12], &[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(c.clock_cycles(Pe(0)), 14.0); // 10 per call + 4 words
-        assert_eq!(c.clock_cycles(Pe(1)), 0.0, "the receiver does not participate");
+        assert_eq!(
+            c.clock_cycles(Pe(1)),
+            0.0,
+            "the receiver does not participate"
+        );
         assert_eq!(c.comm_cycles(Pe(0)), 14.0);
     }
 

@@ -4,7 +4,6 @@
 //! the same object exists at the same offset on every PE. The heap models
 //! exactly that — word offsets are valid on every PE.
 
-
 /// Identifies a processing element within a [`SymmetricHeap`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pe(pub usize);
@@ -30,7 +29,10 @@ impl SymmetricHeap {
     /// Panics if `npes` is zero.
     pub fn new(npes: usize, words_per_pe: usize) -> Self {
         assert!(npes > 0, "a heap needs at least one PE");
-        SymmetricHeap { words_per_pe, data: vec![vec![0.0; words_per_pe]; npes] }
+        SymmetricHeap {
+            words_per_pe,
+            data: vec![vec![0.0; words_per_pe]; npes],
+        }
     }
 
     /// Number of PEs.
@@ -124,8 +126,9 @@ impl SymmetricHeap {
         }
         if src == dst {
             // Local rearrangement; gather then scatter to allow overlap.
-            let gathered: Vec<f64> =
-                (0..n).map(|k| self.data[src.0][src_off + k * src_stride]).collect();
+            let gathered: Vec<f64> = (0..n)
+                .map(|k| self.data[src.0][src_off + k * src_stride])
+                .collect();
             for (k, v) in gathered.into_iter().enumerate() {
                 self.data[dst.0][dst_off + k * dst_stride] = v;
             }
@@ -187,7 +190,8 @@ mod tests {
     #[test]
     fn local_rearrangement_works() {
         let mut h = SymmetricHeap::new(1, 8);
-        h.local_mut(Pe(0)).copy_from_slice(&[0.0, 1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0]);
+        h.local_mut(Pe(0))
+            .copy_from_slice(&[0.0, 1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0]);
         h.copy_strided(Pe(0), 0, 1, Pe(0), 4, 1, 4);
         assert_eq!(&h.local(Pe(0))[4..], &[0.0, 1.0, 2.0, 3.0]);
     }

@@ -41,7 +41,7 @@ pub mod heap;
 pub mod redistribute;
 
 pub use collectives::{alltoall, broadcast, CollectiveStyle};
-pub use redistribute::{block_to_cyclic, cyclic_to_block, RedistStyle};
 pub use cost::{MeasuredCost, TransferCost, TransferKind, UniformCost};
 pub use ctx::ShmemCtx;
 pub use heap::{Pe, SymmetricHeap};
+pub use redistribute::{block_to_cyclic, cyclic_to_block, RedistStyle};

@@ -47,7 +47,11 @@ pub fn block_to_cyclic<C: TransferCost>(
     n: usize,
 ) {
     let p = ctx.npes();
-    assert!(n.is_multiple_of(p * p), "n ({n}) must be divisible by npes^2 ({})", p * p);
+    assert!(
+        n.is_multiple_of(p * p),
+        "n ({n}) must be divisible by npes^2 ({})",
+        p * p
+    );
     let block = n / p;
     for owner in 0..p {
         for target in 0..p {
@@ -86,7 +90,11 @@ pub fn cyclic_to_block<C: TransferCost>(
     n: usize,
 ) {
     let p = ctx.npes();
-    assert!(n.is_multiple_of(p * p), "n ({n}) must be divisible by npes^2 ({})", p * p);
+    assert!(
+        n.is_multiple_of(p * p),
+        "n ({n}) must be divisible by npes^2 ({})",
+        p * p
+    );
     let block = n / p;
     for owner in 0..p {
         // `owner` holds the cyclic elements ≡ owner (mod P).

@@ -11,10 +11,19 @@ fn main() {
     let limits = MeasureLimits::fast();
     let ws = 8 << 20;
 
-    println!("{:<44}{:>10}{:>10}{:>9}", "mechanism", "with", "without", "worth");
+    println!(
+        "{:<44}{:>10}{:>10}{:>9}",
+        "mechanism", "with", "without", "worth"
+    );
 
     let row = |name: &str, with: f64, without: f64| {
-        println!("{:<44}{:>10.0}{:>10.0}{:>8.2}x", name, with, without, with / without);
+        println!(
+            "{:<44}{:>10.0}{:>10.0}{:>8.2}x",
+            name,
+            with,
+            without,
+            with / without
+        );
     };
 
     {

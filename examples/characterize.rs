@@ -31,12 +31,22 @@ fn main() {
     } else {
         machine.set_limits(MeasureLimits::fast());
         (
-            Grid { strides: vec![1, 2, 4, 8, 16, 64], working_sets: Grid::paper_working_sets(16 << 20) },
-            Grid { strides: vec![1, 2, 4, 8, 16, 64], working_sets: Grid::paper_working_sets(8 << 20) },
+            Grid {
+                strides: vec![1, 2, 4, 8, 16, 64],
+                working_sets: Grid::paper_working_sets(16 << 20),
+            },
+            Grid {
+                strides: vec![1, 2, 4, 8, 16, 64],
+                working_sets: Grid::paper_working_sets(8 << 20),
+            },
         )
     };
 
-    eprintln!("characterizing {} ({} cells per surface) …", machine.name(), local_grid.cells());
+    eprintln!(
+        "characterizing {} ({} cells per surface) …",
+        machine.name(),
+        local_grid.cells()
+    );
     let profile = MachineProfile::measure(machine.as_mut(), &local_grid, &remote_grid);
     println!("{}", profile.report());
 }

@@ -15,10 +15,16 @@ use gasnub::machines::{Dec8400, Machine, MeasureLimits, T3d, T3e};
 fn main() {
     let strides = [1u64, 2, 8, 15, 16, 64];
     let words = 1 << 20; // 8 MB transfer
-    let mut machines: Vec<Box<dyn Machine>> =
-        vec![Box::new(Dec8400::new()), Box::new(T3d::new()), Box::new(T3e::new())];
+    let mut machines: Vec<Box<dyn Machine>> = vec![
+        Box::new(Dec8400::new()),
+        Box::new(T3d::new()),
+        Box::new(T3e::new()),
+    ];
 
-    println!("Cheapest strategy for moving {words} words ({} MB) at each stride:\n", (words * 8) >> 20);
+    println!(
+        "Cheapest strategy for moving {words} words ({} MB) at each stride:\n",
+        (words * 8) >> 20
+    );
     for m in &mut machines {
         m.set_limits(MeasureLimits::fast());
         let model = CostModel::characterize(m.as_mut(), &strides, 32 << 20);

@@ -33,7 +33,10 @@ fn main() {
         },
         fill_cycles: 10.0,
         streamed_fill_cycles: 5.0,
-        stream: Some(StreamConfig { slots: 2, train_length: 2 }),
+        stream: Some(StreamConfig {
+            slots: 2,
+            train_length: 2,
+        }),
         write_back_cycles: 8.0,
     });
 

@@ -28,7 +28,10 @@ fn serial_2d(n: usize, data: &mut [Complex]) {
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(256);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(256);
 
     // 1. Correctness: the distributed kernel computes the same transform as
     //    a serial 2D FFT (checked at a small size for speed).

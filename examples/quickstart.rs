@@ -10,8 +10,11 @@ use gasnub::core::sweep::Grid;
 use gasnub::machines::{Dec8400, Machine, MeasureLimits, T3d, T3e};
 
 fn main() {
-    let mut machines: Vec<Box<dyn Machine>> =
-        vec![Box::new(Dec8400::new()), Box::new(T3d::new()), Box::new(T3e::new())];
+    let mut machines: Vec<Box<dyn Machine>> = vec![
+        Box::new(Dec8400::new()),
+        Box::new(T3d::new()),
+        Box::new(T3e::new()),
+    ];
 
     println!("== Local load bandwidth (MB/s), 8 MB working set ==");
     println!("{:<22}{:>12}{:>12}", "machine", "stride 1", "stride 16");

@@ -45,7 +45,14 @@ fn main() {
     let n = 1 << 20; // 8 MB array
 
     println!("HPF redistribution of a 1M-word array on 4 PEs (max per-PE comm time, ms):\n");
-    println!("{:<12}{:>22}{:>22}{:>22}{:>22}", "machine", "block->cyclic push", "block->cyclic pull", "cyclic->block push", "cyclic->block pull");
+    println!(
+        "{:<12}{:>22}{:>22}{:>22}{:>22}",
+        "machine",
+        "block->cyclic push",
+        "block->cyclic pull",
+        "cyclic->block push",
+        "cyclic->block pull"
+    );
     for id in [MachineId::CrayT3d, MachineId::Dec8400, MachineId::CrayT3e] {
         let bc_push = run(id, true, RedistStyle::Push, n);
         let bc_pull = run(id, true, RedistStyle::Pull, n);

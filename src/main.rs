@@ -17,13 +17,12 @@
 use std::time::Duration;
 
 use gasnub::core::compare::Comparison;
-use gasnub::core::{Grid, ResilientSweep};
+use gasnub::core::{auto_threads, run_indexed, Grid, ResilientSweep, SweepOp};
 use gasnub::fft::run_benchmark;
 use gasnub::fft::scalability;
 use gasnub::machines::{
-    Dec8400, FaultPlan, Machine, MachineId, MeasureLimits, T3d, T3e,
+    Dec8400, FaultPlan, Machine, MachineId, MachineSpec, MeasureLimits, SpawnEngine, T3d, T3e,
 };
-use gasnub::memsim::SimError;
 
 fn usage() -> ! {
     eprintln!(
@@ -33,12 +32,14 @@ fn usage() -> ! {
          compare                                 the §9 cross-machine table\n\
          fft [n]                                 2D-FFT benchmark (figs 15-17) at size n\n\
          scale <t3d|t3e> <n> <npes>              §8 scalability projection\n\
-         report <dec8400|t3d|t3e>                full markdown characterization report\n\
-         faults <machine> [--seed N] [--severity S]\n\
+         report <dec8400|t3d|t3e|custom>         full markdown characterization report\n\
+         faults <machine> [--seed N] [--severity S] [--threads N]\n\
          \x20                                        healthy-vs-degraded remote bandwidth\n\
          sweep <machine> <op> --checkpoint FILE [--max-cells N] [--budget-secs N]\n\
          \x20       [--seed N] [--severity S]        checkpointed/resumable surface sweep\n\
-         \x20                                        (op: load, store, pull, fetch, deposit)\n\
+         \x20       [--threads N]                    (op: load, store, copy-loads,\n\
+         \x20                                        copy-stores, pull, fetch, deposit;\n\
+         \x20                                        --threads 0 = all cores)\n\
          \n\
          (see also: cargo run -p gasnub-bench --bin figures / --bin experiments)"
     );
@@ -53,8 +54,11 @@ fn fail(message: impl std::fmt::Display) -> ! {
 }
 
 fn all_machines() -> Vec<Box<dyn Machine>> {
-    let mut v: Vec<Box<dyn Machine>> =
-        vec![Box::new(Dec8400::new()), Box::new(T3d::new()), Box::new(T3e::new())];
+    let mut v: Vec<Box<dyn Machine>> = vec![
+        Box::new(Dec8400::new()),
+        Box::new(T3d::new()),
+        Box::new(T3e::new()),
+    ];
     for m in &mut v {
         m.set_limits(MeasureLimits::fast());
     }
@@ -72,7 +76,8 @@ fn machine_id(label: &str) -> MachineId {
 
 /// Parses a required numeric argument, failing with exit code 2 on garbage.
 fn parse_num<T: std::str::FromStr>(what: &str, text: &str) -> T {
-    text.parse().unwrap_or_else(|_| fail(format!("{what}: malformed number {text:?}")))
+    text.parse()
+        .unwrap_or_else(|_| fail(format!("{what}: malformed number {text:?}")))
 }
 
 /// Minimal flag parser: `--flag value` pairs plus positional arguments.
@@ -86,7 +91,9 @@ fn split_flags(args: &[String], known: &[&str]) -> (Vec<String>, Vec<(String, St
             if !known.contains(&name) {
                 fail(format!("unknown flag --{name}"));
             }
-            let Some(value) = it.next() else { fail(format!("--{name} needs a value")) };
+            let Some(value) = it.next() else {
+                fail(format!("--{name} needs a value"))
+            };
             flags.push((name.to_string(), value.clone()));
         } else {
             positional.push(arg.clone());
@@ -96,22 +103,38 @@ fn split_flags(args: &[String], known: &[&str]) -> (Vec<String>, Vec<(String, St
 }
 
 fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
-    flags.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    flags
+        .iter()
+        .rev()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
 }
 
-/// Builds one machine, healthy or degraded by `plan`, with fast limits.
-fn build_machine(id: MachineId, plan: Option<&FaultPlan>) -> Result<Box<dyn Machine>, SimError> {
-    let mut machine: Box<dyn Machine> = match (id, plan) {
-        (MachineId::Dec8400, None) => Box::new(Dec8400::new()),
-        (MachineId::Dec8400, Some(p)) => Box::new(Dec8400::with_faults(p)?),
-        (MachineId::CrayT3d, None) => Box::new(T3d::new()),
-        (MachineId::CrayT3d, Some(p)) => Box::new(T3d::with_faults(p)?),
-        (MachineId::CrayT3e, None) => Box::new(T3e::new()),
-        (MachineId::CrayT3e, Some(p)) => Box::new(T3e::with_faults(p)?),
-        (MachineId::Custom, _) => return Err(SimError::unsupported("custom machine in CLI")),
+/// The spec of the machine named on the command line, with fast limits and
+/// the fault plan (if any) folded in. `custom` resolves to the reference
+/// custom node; a fault plan on it is a usage error (exit 2).
+fn build_spec(label: &str, plan: Option<&FaultPlan>) -> MachineSpec {
+    let Some(id) = MachineId::from_label(label) else {
+        fail(format!(
+            "unknown machine {label:?} (expected dec8400, t3d, t3e or custom)"
+        ))
     };
-    machine.set_limits(MeasureLimits::fast());
-    Ok(machine)
+    let mut spec = MachineSpec::for_id(id).with_limits(MeasureLimits::fast());
+    if let Some(plan) = plan {
+        spec = spec.with_faults(plan).unwrap_or_else(|e| fail(e));
+    }
+    spec
+}
+
+/// The worker count requested by `--threads` (default 1; 0 means all cores).
+fn threads_from_flags(flags: &[(String, String)]) -> usize {
+    match flag(flags, "threads") {
+        None => 1,
+        Some(v) => match parse_num::<usize>("--threads", v) {
+            0 => auto_threads(),
+            n => n,
+        },
+    }
 }
 
 /// The plan described by `--seed` / `--severity` flags (defaults 0 / 0.5).
@@ -121,31 +144,20 @@ fn plan_from_flags(flags: &[(String, String)]) -> FaultPlan {
     FaultPlan::new(seed, severity).unwrap_or_else(|e| fail(e))
 }
 
-/// Probes one remote operation at (working set, stride), in MB/s.
-type RemoteProbe = fn(&mut dyn Machine, u64, u64) -> Option<f64>;
-
-/// The remote operations of the `faults` comparison table.
-fn remote_ops() -> Vec<(&'static str, RemoteProbe)> {
-    vec![
-        ("pull", |m, ws, s| m.remote_load(ws, s).map(|r| r.mb_s)),
-        ("fetch", |m, ws, s| m.remote_fetch(ws, s).map(|r| r.mb_s)),
-        ("deposit", |m, ws, s| m.remote_deposit(ws, s).map(|r| r.mb_s)),
-    ]
-}
-
 fn faults_cmd(args: &[String]) {
-    let (positional, flags) = split_flags(args, &["seed", "severity"]);
+    let (positional, flags) = split_flags(args, &["seed", "severity", "threads"]);
     let [label] = positional.as_slice() else {
         fail("faults takes exactly one machine argument");
     };
-    let id = machine_id(label);
     let plan = plan_from_flags(&flags);
+    let threads = threads_from_flags(&flags);
 
     let torus = gasnub::faults::canonical_torus();
     let channel_faults = plan.channel_faults_for(&torus);
     let impact = plan.remote_impact().unwrap_or_else(|e| fail(e));
-    let mut healthy = build_machine(id, None).unwrap_or_else(|e| fail(e));
-    let mut degraded = build_machine(id, Some(&plan)).unwrap_or_else(|e| fail(e));
+    let healthy_spec = build_spec(label, None);
+    let degraded_spec = build_spec(label, Some(&plan));
+    let healthy = healthy_spec.spawn_engine().unwrap_or_else(|e| fail(e));
 
     println!(
         "Fault plan seed={} severity={:.2}: {} failed / {} degraded channels on the 8x8x8 torus,",
@@ -161,40 +173,76 @@ fn faults_cmd(args: &[String]) {
         impact.min_capacity_factor * 100.0,
         plan.ni_loss().loss_probability * 100.0,
     );
-    println!("{} remote bandwidth, healthy vs degraded (MB/s):\n", healthy.name());
+    println!(
+        "{} remote bandwidth, healthy vs degraded (MB/s):\n",
+        healthy.name()
+    );
     println!(
         "{:<9}{:>10}{:>8}{:>12}{:>12}{:>10}",
         "op", "ws", "stride", "healthy", "degraded", "ratio"
     );
     let ws = 4 << 20;
-    for (op, probe) in remote_ops() {
-        for stride in [1u64, 8, 64] {
-            let h = probe(healthy.as_mut(), ws, stride);
-            let d = probe(degraded.as_mut(), ws, stride);
-            let (Some(h), Some(d)) = (h, d) else { continue };
-            println!(
-                "{op:<9}{:>9}M{stride:>8}{h:>12.1}{d:>12.1}{:>10.2}",
-                ws >> 20,
-                if h > 0.0 { d / h } else { 0.0 }
-            );
-        }
+    let ops = [
+        SweepOp::RemoteLoad,
+        SweepOp::RemoteFetch,
+        SweepOp::RemoteDeposit,
+    ];
+    let strides = [1u64, 8, 64];
+    let jobs: Vec<(SweepOp, u64)> = ops
+        .iter()
+        .flat_map(|&op| strides.iter().map(move |&s| (op, s)))
+        .collect();
+    // Every probe starts on a fresh engine (identical to a flushed one), so
+    // the table is bit-identical for any worker count.
+    let cells = run_indexed(threads, jobs.len(), |i| {
+        let (op, stride) = jobs[i];
+        let pair = |spec: &MachineSpec| {
+            spec.spawn_engine()
+                .map(|mut m| op.probe(&mut m, ws, stride))
+        };
+        pair(&healthy_spec).and_then(|h| pair(&degraded_spec).map(|d| (h, d)))
+    });
+    for ((op, stride), cell) in jobs.iter().zip(cells) {
+        let (h, d) = cell.unwrap_or_else(|e| fail(e));
+        let (Some(h), Some(d)) = (h, d) else { continue };
+        println!(
+            "{:<9}{:>9}M{stride:>8}{h:>12.1}{d:>12.1}{:>10.2}",
+            op.label(),
+            ws >> 20,
+            if h > 0.0 { d / h } else { 0.0 }
+        );
     }
 }
 
 fn sweep_cmd(args: &[String]) {
-    let (positional, flags) =
-        split_flags(args, &["checkpoint", "max-cells", "budget-secs", "seed", "severity"]);
+    let (positional, flags) = split_flags(
+        args,
+        &[
+            "checkpoint",
+            "max-cells",
+            "budget-secs",
+            "seed",
+            "severity",
+            "threads",
+        ],
+    );
     let [label, op] = positional.as_slice() else {
-        fail("sweep takes a machine and an operation (load, store, pull, fetch, deposit)");
+        fail(
+            "sweep takes a machine and an operation \
+             (load, store, copy-loads, copy-stores, pull, fetch, deposit)",
+        );
     };
-    let id = machine_id(label);
+    let Some(op) = SweepOp::parse(op) else {
+        fail(format!("unknown operation {op:?}"))
+    };
     let Some(checkpoint) = flag(&flags, "checkpoint") else {
         fail("sweep needs --checkpoint FILE (re-run with the same file to resume)");
     };
 
     let plan = (flag(&flags, "seed").is_some() || flag(&flags, "severity").is_some())
         .then(|| plan_from_flags(&flags));
-    let mut machine = build_machine(id, plan.as_ref()).unwrap_or_else(|e| fail(e));
+    let spec = build_spec(label, plan.as_ref());
+    let threads = threads_from_flags(&flags);
 
     let mut runner = ResilientSweep::new(checkpoint);
     if let Some(n) = flag(&flags, "max-cells") {
@@ -204,23 +252,19 @@ fn sweep_cmd(args: &[String]) {
         runner = runner.with_budget(Duration::from_secs(parse_num("--budget-secs", secs)));
     }
 
+    let name = spec.spawn_engine().unwrap_or_else(|e| fail(e)).name();
     let title = format!(
-        "{} {} {op}",
-        machine.name(),
-        if plan.is_some() { "degraded" } else { "healthy" }
+        "{name} {} {}",
+        if plan.is_some() {
+            "degraded"
+        } else {
+            "healthy"
+        },
+        op.label()
     );
     let grid = Grid::quick();
-    type Probe = fn(&mut dyn Machine, u64, u64) -> Option<f64>;
-    let probe: Probe = match op.as_str() {
-        "load" => |m, ws, s| Some(m.local_load(ws, s).mb_s),
-        "store" => |m, ws, s| Some(m.local_store(ws, s).mb_s),
-        "pull" => |m, ws, s| m.remote_load(ws, s).map(|r| r.mb_s),
-        "fetch" => |m, ws, s| m.remote_fetch(ws, s).map(|r| r.mb_s),
-        "deposit" => |m, ws, s| m.remote_deposit(ws, s).map(|r| r.mb_s),
-        other => fail(format!("unknown operation {other:?}")),
-    };
     let outcome = runner
-        .run(&title, &grid, |ws, s| probe(machine.as_mut(), ws, s))
+        .run_parallel(&title, &grid, threads, &spec, |m, ws, s| op.probe(m, ws, s))
         .unwrap_or_else(|e| fail(e));
 
     println!("{}", outcome.surface.render());
@@ -232,7 +276,10 @@ fn sweep_cmd(args: &[String]) {
         outcome.pending
     );
     for f in &outcome.failed {
-        println!("  failed ws={} stride={}: {}", f.ws_bytes, f.stride, f.error);
+        println!(
+            "  failed ws={} stride={}: {}",
+            f.ws_bytes, f.stride, f.error
+        );
     }
     if outcome.is_complete() {
         println!("sweep complete (checkpoint kept at {checkpoint})");
@@ -250,8 +297,11 @@ fn main() {
             // Delegate to the bench harness logic by shelling through its
             // library API.
             let quick = args.iter().any(|a| a == "--quick");
-            let rest: Vec<&String> =
-                args.iter().skip(1).filter(|a| !a.starts_with("--")).collect();
+            let rest: Vec<&String> = args
+                .iter()
+                .skip(1)
+                .filter(|a| !a.starts_with("--"))
+                .collect();
             if rest.iter().any(|s| s.as_str() == "list") || rest.is_empty() {
                 for f in gasnub_bench_figures() {
                     println!("{:<7} {}", f.0, f.1);
@@ -299,10 +349,11 @@ fn main() {
         }
         "report" => {
             let Some(label) = args.get(1) else { usage() };
-            let mid = machine_id(label);
             use gasnub::core::report::{machine_report, ReportOptions};
-            let mut machine = build_machine(mid, None).unwrap_or_else(|e| fail(e));
-            println!("{}", machine_report(machine.as_mut(), &ReportOptions::quick()));
+            let mut machine = build_spec(label, None)
+                .spawn_engine()
+                .unwrap_or_else(|e| fail(e));
+            println!("{}", machine_report(&mut machine, &ReportOptions::quick()));
         }
         "scale" => {
             let (Some(label), Some(n), Some(p)) = (args.get(1), args.get(2), args.get(3)) else {
@@ -320,7 +371,11 @@ fn main() {
                 p,
                 point.gflops_total,
                 point.mflops_per_pe,
-                if point.bisection_limited { " (bisection limited)" } else { "" }
+                if point.bisection_limited {
+                    " (bisection limited)"
+                } else {
+                    ""
+                }
             );
         }
         "faults" => faults_cmd(&args[1..]),
@@ -332,7 +387,10 @@ fn main() {
 // Thin wrappers so the binary does not need gasnub-bench as a public
 // dependency of the facade library (it is a dev-style tool dependency).
 fn gasnub_bench_figures() -> Vec<(&'static str, &'static str)> {
-    gasnub_bench::all_figures().into_iter().map(|f| (f.id, f.title)).collect()
+    gasnub_bench::all_figures()
+        .into_iter()
+        .map(|f| (f.id, f.title))
+        .collect()
 }
 
 fn gasnub_bench_run_all(quick: bool) -> Vec<(&'static str, &'static str, String)> {

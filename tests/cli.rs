@@ -15,8 +15,15 @@ fn gasnub(args: &[&str]) -> Output {
 fn assert_usage_error(args: &[&str]) {
     let out = gasnub(args);
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2, stderr: {stderr}");
-    assert!(!stderr.contains("panicked"), "{args:?} must not panic: {stderr}");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} must exit 2, stderr: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{args:?} must not panic: {stderr}"
+    );
     assert!(
         stderr.contains("usage") || stderr.contains("gasnub:"),
         "{args:?} must print a usage error: {stderr}"
@@ -40,6 +47,56 @@ fn bad_invocations_exit_2_without_panicking() {
     assert_usage_error(&["sweep", "t3d"]);
     assert_usage_error(&["sweep", "t3d", "deposit"]); // missing --checkpoint
     assert_usage_error(&["sweep", "t3d", "teleport", "--checkpoint", "/tmp/x.json"]);
+    assert_usage_error(&[
+        "sweep",
+        "t3d",
+        "deposit",
+        "--checkpoint",
+        "/tmp/x.json",
+        "--threads",
+    ]);
+    assert_usage_error(&[
+        "sweep",
+        "t3d",
+        "deposit",
+        "--checkpoint",
+        "/tmp/x.json",
+        "--threads",
+        "lots",
+    ]);
+    assert_usage_error(&["faults", "t3d", "--threads", "-1"]);
+    // Fault plans only model the three reference systems.
+    assert_usage_error(&["faults", "custom"]);
+    // Custom machines are not in the scalability model either.
+    assert_usage_error(&["scale", "custom", "512", "512"]);
+}
+
+#[test]
+fn custom_machines_sweep_end_to_end() {
+    let ckpt = std::env::temp_dir().join(format!("gasnub-cli-custom-{}.json", std::process::id()));
+    let out = gasnub(&[
+        "sweep",
+        "custom",
+        "load",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "custom sweep must succeed: {stderr}"
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("reference custom node"),
+        "custom machine name missing: {text}"
+    );
+    assert!(
+        text.contains("sweep complete"),
+        "custom sweep must finish: {text}"
+    );
+    let _ = std::fs::remove_file(&ckpt);
 }
 
 #[test]
@@ -48,7 +105,10 @@ fn faults_tables_are_byte_identical_across_runs() {
     let a = gasnub(&args);
     let b = gasnub(&args);
     assert_eq!(a.status.code(), Some(0));
-    assert_eq!(a.stdout, b.stdout, "same seed must print a byte-identical table");
+    assert_eq!(
+        a.stdout, b.stdout,
+        "same seed must print a byte-identical table"
+    );
     let text = String::from_utf8_lossy(&a.stdout);
     assert!(text.contains("healthy"), "table header missing: {text}");
     assert!(text.contains("deposit"), "T3D deposit rows missing: {text}");
@@ -57,13 +117,21 @@ fn faults_tables_are_byte_identical_across_runs() {
 #[test]
 fn interrupted_sweep_resumes_to_the_same_surface() {
     let scratch = |tag: &str| -> PathBuf {
-        std::env::temp_dir().join(format!("gasnub-cli-sweep-{}-{tag}.json", std::process::id()))
+        std::env::temp_dir().join(format!(
+            "gasnub-cli-sweep-{}-{tag}.json",
+            std::process::id()
+        ))
     };
     let direct_ckpt = scratch("direct");
     let resumed_ckpt = scratch("resumed");
     let run = |ckpt: &PathBuf, extra: &[&str]| -> Output {
-        let mut args =
-            vec!["sweep", "t3d", "deposit", "--checkpoint", ckpt.to_str().unwrap()];
+        let mut args = vec![
+            "sweep",
+            "t3d",
+            "deposit",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ];
         args.extend_from_slice(extra);
         gasnub(&args)
     };
@@ -80,7 +148,10 @@ fn interrupted_sweep_resumes_to_the_same_surface() {
     let surface_of = |out: &Output| -> String {
         let text = String::from_utf8_lossy(&out.stdout).to_string();
         // Everything up to the cell-accounting line is the rendered surface.
-        text.split("\ncells:").next().unwrap_or_default().to_string()
+        text.split("\ncells:")
+            .next()
+            .unwrap_or_default()
+            .to_string()
     };
     assert_eq!(
         surface_of(&direct),

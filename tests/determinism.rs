@@ -47,10 +47,16 @@ fn repeated_probes_on_one_machine_are_stable() {
 
 #[test]
 fn surfaces_are_deterministic() {
-    let grid = Grid { strides: vec![1, 8], working_sets: vec![64 << 10, 4 << 20] };
+    let grid = Grid {
+        strides: vec![1, 8],
+        working_sets: vec![64 << 10, 4 << 20],
+    };
     let mut a = fast(T3d::new());
     let mut b = fast(T3d::new());
-    assert_eq!(local_load_surface(&mut a, &grid), local_load_surface(&mut b, &grid));
+    assert_eq!(
+        local_load_surface(&mut a, &grid),
+        local_load_surface(&mut b, &grid)
+    );
 }
 
 #[test]
@@ -67,4 +73,77 @@ fn fft_benchmark_is_deterministic() {
     let a = run_benchmark(MachineId::CrayT3d, 64, 4);
     let b = run_benchmark(MachineId::CrayT3d, 64, 4);
     assert_eq!(a, b);
+}
+
+#[test]
+fn parallel_sweeps_match_sequential_ones_bit_for_bit() {
+    use gasnub::core::{sweep_surface_par, SweepOp};
+    use gasnub::machines::MachineSpec;
+    let grid = Grid {
+        strides: vec![1, 8],
+        working_sets: vec![64 << 10, 4 << 20],
+    };
+    let mut m = fast(T3d::new());
+    let sequential = local_load_surface(&mut m, &grid);
+    let spec = MachineSpec::t3d().with_limits(MeasureLimits::fast());
+    let parallel = sweep_surface_par(&spec, SweepOp::LocalLoad, &grid, 4)
+        .unwrap()
+        .unwrap();
+    assert_eq!(parallel, sequential);
+}
+
+/// The acceptance bar for parallel execution: a `--threads 4` sweep leaves
+/// a checkpoint file byte-identical to a `--threads 1` sweep of the same
+/// grid, for every reference machine.
+#[test]
+fn parallel_cli_sweeps_write_byte_identical_checkpoints() {
+    let scratch = |tag: &str| {
+        std::env::temp_dir().join(format!("gasnub-det-par-{}-{tag}.json", std::process::id()))
+    };
+    for (machine, op) in [("dec8400", "pull"), ("t3d", "deposit"), ("t3e", "fetch")] {
+        let seq_ckpt = scratch(&format!("{machine}-seq"));
+        let par_ckpt = scratch(&format!("{machine}-par"));
+        let mut outputs = Vec::new();
+        for (ckpt, threads) in [(&seq_ckpt, "1"), (&par_ckpt, "4")] {
+            let out = std::process::Command::new(env!("CARGO_BIN_EXE_gasnub"))
+                .args([
+                    "sweep",
+                    machine,
+                    op,
+                    "--checkpoint",
+                    ckpt.to_str().unwrap(),
+                    "--threads",
+                    threads,
+                ])
+                .output()
+                .expect("the gasnub binary must spawn");
+            assert_eq!(
+                out.status.code(),
+                Some(0),
+                "{machine} {op} --threads {threads}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            // Everything before the cell-accounting line is the rendered
+            // surface (the tail names the per-run checkpoint path).
+            let text = String::from_utf8_lossy(&out.stdout).to_string();
+            outputs.push(
+                text.split("\ncells:")
+                    .next()
+                    .unwrap_or_default()
+                    .to_string(),
+            );
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "{machine} {op}: parallel run must render the same surface"
+        );
+        let seq = std::fs::read(&seq_ckpt).unwrap();
+        let par = std::fs::read(&par_ckpt).unwrap();
+        assert_eq!(
+            seq, par,
+            "{machine} {op}: checkpoints must be byte-identical"
+        );
+        let _ = std::fs::remove_file(&seq_ckpt);
+        let _ = std::fs::remove_file(&par_ckpt);
+    }
 }

@@ -22,10 +22,16 @@ fn finding_1_plateaus_track_the_hierarchy() {
     let l2 = dec.local_load(64 * KB, 1).mb_s;
     let l3 = dec.local_load(2 * MB, 1).mb_s;
     let dram = dec.local_load(32 * MB, 1).mb_s;
-    assert!(l1 > l2 && l2 > l3 && l3 > dram, "{l1} > {l2} > {l3} > {dram} expected");
+    assert!(
+        l1 > l2 && l2 > l3 && l3 > dram,
+        "{l1} > {l2} > {l3} > {dram} expected"
+    );
 
     let dram_strided = dec.local_load(32 * MB, 16).mb_s;
-    assert!(dram / dram_strided > 4.0, "strided collapse: {dram} vs {dram_strided}");
+    assert!(
+        dram / dram_strided > 4.0,
+        "strided collapse: {dram} vs {dram_strided}"
+    );
 
     // The T3D has only two tiers.
     let mut t3d = fast(T3d::new());
@@ -42,7 +48,10 @@ fn finding_2_remote_is_an_order_of_magnitude_below_local() {
     let local_peak = dec.local_load(4 * KB, 1).mb_s;
     let remote_peak = dec.remote_load(32 * MB, 1).unwrap().mb_s;
     let ratio = local_peak / remote_peak;
-    assert!(ratio > 5.0 && ratio < 12.0, "local/remote ratio {ratio} (paper: 1100/140 ≈ 7.9)");
+    assert!(
+        ratio > 5.0 && ratio < 12.0,
+        "local/remote ratio {ratio} (paper: 1100/140 ≈ 7.9)"
+    );
 }
 
 /// Finding 3: the T3D's streams-focused design beats the cache-focused
@@ -61,7 +70,10 @@ fn finding_3_t3d_streams_beat_8400_caches_for_strided_transfers() {
 
     let deposit = t3d.remote_deposit(8 * MB, 1).unwrap().mb_s;
     let fetch = t3d.remote_fetch(8 * MB, 1).unwrap().mb_s;
-    assert!(deposit > 3.0 * fetch, "deposit {deposit} must dominate naive fetch {fetch}");
+    assert!(
+        deposit > 3.0 * fetch,
+        "deposit {deposit} must dominate naive fetch {fetch}"
+    );
 }
 
 /// Finding 4: the T3E's E-registers make fetch and deposit symmetric at
@@ -81,7 +93,10 @@ fn finding_4_t3e_eregisters() {
 
     let even = t3e.remote_deposit(8 * MB, 16).unwrap().mb_s;
     let odd = t3e.remote_deposit(8 * MB, 15).unwrap().mb_s;
-    assert!(odd > 1.5 * even, "even-stride ripples: odd {odd} vs even {even}");
+    assert!(
+        odd > 1.5 * even,
+        "even-stride ripples: odd {odd} vs even {even}"
+    );
 }
 
 /// Finding 5: strided DRAM load bandwidth is stuck across Cray generations
@@ -93,11 +108,17 @@ fn finding_5_strided_dram_stuck_across_generations() {
     let t3d_strided = t3d.local_load(8 * MB, 16).mb_s;
     let t3e_strided = t3e.local_load(8 * MB, 16).mb_s;
     let stuck_ratio = t3e_strided / t3d_strided;
-    assert!(stuck_ratio > 0.7 && stuck_ratio < 1.4, "stuck: {t3d_strided} -> {t3e_strided}");
+    assert!(
+        stuck_ratio > 0.7 && stuck_ratio < 1.4,
+        "stuck: {t3d_strided} -> {t3e_strided}"
+    );
 
     let t3d_contig = t3d.local_load(8 * MB, 1).mb_s;
     let t3e_contig = t3e.local_load(8 * MB, 1).mb_s;
-    assert!(t3e_contig / t3d_contig > 1.8, "contiguous doubled: {t3d_contig} -> {t3e_contig}");
+    assert!(
+        t3e_contig / t3d_contig > 1.8,
+        "contiguous doubled: {t3d_contig} -> {t3e_contig}"
+    );
 }
 
 /// Finding 6: in the 2D-FFT the 8400's ~2.5x compute advantage over the T3D
@@ -110,7 +131,10 @@ fn finding_6_fft_compute_advantage_shrinks() {
     let t3e = run_benchmark(MachineId::CrayT3e, 256, 4);
 
     let compute_ratio = dec.compute_mflops_total / t3d.compute_mflops_total;
-    assert!(compute_ratio > 2.0, "compute advantage {compute_ratio} (paper: >2.5)");
+    assert!(
+        compute_ratio > 2.0,
+        "compute advantage {compute_ratio} (paper: >2.5)"
+    );
 
     let overall_ratio = dec.total_mflops / t3d.total_mflops;
     assert!(
@@ -120,7 +144,10 @@ fn finding_6_fft_compute_advantage_shrinks() {
 
     // Communication: "approximately the same performance level".
     let comm_ratio = dec.comm_mb_s_total / t3d.comm_mb_s_total;
-    assert!(comm_ratio > 0.5 && comm_ratio < 2.0, "8400 ≈ T3D comm: {comm_ratio}");
+    assert!(
+        comm_ratio > 0.5 && comm_ratio < 2.0,
+        "8400 ≈ T3D comm: {comm_ratio}"
+    );
 
     // The T3E wins overall.
     assert!(t3e.total_mflops > dec.total_mflops);
@@ -136,12 +163,20 @@ fn cost_model_reproduces_section_9_guidance() {
     let mut t3d = fast(T3d::new());
     let model = CostModel::characterize(&mut t3d, &strides, 32 * MB);
     for &s in &strides {
-        assert_eq!(model.best(words, s).strategy, Strategy::Deposit, "T3D pushes");
+        assert_eq!(
+            model.best(words, s).strategy,
+            Strategy::Deposit,
+            "T3D pushes"
+        );
     }
 
     let mut t3e = fast(T3e::new());
     let model = CostModel::characterize(&mut t3e, &strides, 32 * MB);
-    assert_eq!(model.best(words, 16).strategy, Strategy::Fetch, "T3E pulls even strides");
+    assert_eq!(
+        model.best(words, 16).strategy,
+        Strategy::Fetch,
+        "T3E pulls even strides"
+    );
 
     let mut dec = fast(Dec8400::new());
     let model = CostModel::characterize(&mut dec, &strides, 32 * MB);

@@ -6,19 +6,28 @@ use gasnub_memsim::rng::run_cases;
 
 fn fast_t3d() -> T3d {
     let mut m = T3d::new();
-    m.set_limits(MeasureLimits { max_measure_words: 8 * 1024, max_prime_words: 64 * 1024 });
+    m.set_limits(MeasureLimits {
+        max_measure_words: 8 * 1024,
+        max_prime_words: 64 * 1024,
+    });
     m
 }
 
 fn fast_t3e() -> T3e {
     let mut m = T3e::new();
-    m.set_limits(MeasureLimits { max_measure_words: 8 * 1024, max_prime_words: 64 * 1024 });
+    m.set_limits(MeasureLimits {
+        max_measure_words: 8 * 1024,
+        max_prime_words: 64 * 1024,
+    });
     m
 }
 
 fn fast_dec() -> Dec8400 {
     let mut m = Dec8400::new();
-    m.set_limits(MeasureLimits { max_measure_words: 8 * 1024, max_prime_words: 64 * 1024 });
+    m.set_limits(MeasureLimits {
+        max_measure_words: 8 * 1024,
+        max_prime_words: 64 * 1024,
+    });
     m
 }
 
@@ -48,7 +57,10 @@ fn t3d_contiguous_dominates_strided() {
         let mut m = fast_t3d();
         let contig = m.local_load(ws_mb << 20, 1).mb_s;
         let strided = m.local_load(ws_mb << 20, stride).mb_s;
-        assert!(contig >= strided * 0.95, "contig {contig} vs stride-{stride} {strided}");
+        assert!(
+            contig >= strided * 0.95,
+            "contig {contig} vs stride-{stride} {strided}"
+        );
     });
 }
 
@@ -62,7 +74,10 @@ fn copy_never_beats_loads() {
         let ws = 4 << 20;
         let load = m.local_load(ws, stride).mb_s;
         let copy = m.local_copy(ws, stride, 1).mb_s;
-        assert!(copy <= load * 1.05, "copy {copy} vs load {load} at stride {stride}");
+        assert!(
+            copy <= load * 1.05,
+            "copy {copy} vs load {load} at stride {stride}"
+        );
     });
 }
 
@@ -76,7 +91,10 @@ fn remote_peak_is_at_unit_stride() {
         let ws = 4 << 20;
         let peak = m.remote_deposit(ws, 1).unwrap().mb_s;
         let strided = m.remote_deposit(ws, stride).unwrap().mb_s;
-        assert!(strided <= peak * 1.05, "stride {stride}: {strided} vs peak {peak}");
+        assert!(
+            strided <= peak * 1.05,
+            "stride {stride}: {strided} vs peak {peak}"
+        );
     });
 }
 
@@ -89,7 +107,10 @@ fn dec8400_pull_below_bus_ceiling() {
         let mut m = fast_dec();
         let bw = m.remote_load(ws_mb << 20, stride).unwrap().mb_s;
         assert!(bw > 0.0);
-        assert!(bw < 1600.0, "pulls cannot exceed the 1.6 GB/s burst ceiling: {bw}");
+        assert!(
+            bw < 1600.0,
+            "pulls cannot exceed the 1.6 GB/s burst ceiling: {bw}"
+        );
     });
 }
 

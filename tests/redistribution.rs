@@ -33,12 +33,18 @@ fn t3e_best_style_flips_with_direction() {
     // block->cyclic: deposits land contiguously -> push wins.
     let push = comm_ms(MachineId::CrayT3e, true, RedistStyle::Push, N);
     let pull = comm_ms(MachineId::CrayT3e, true, RedistStyle::Pull, N);
-    assert!(push < pull, "block->cyclic: push {push} must beat pull {pull}");
+    assert!(
+        push < pull,
+        "block->cyclic: push {push} must beat pull {pull}"
+    );
 
     // cyclic->block: the pattern mirrors -> pull wins.
     let push = comm_ms(MachineId::CrayT3e, false, RedistStyle::Push, N);
     let pull = comm_ms(MachineId::CrayT3e, false, RedistStyle::Pull, N);
-    assert!(pull < push, "cyclic->block: pull {pull} must beat push {push}");
+    assert!(
+        pull < push,
+        "cyclic->block: pull {pull} must beat push {push}"
+    );
 }
 
 #[test]
@@ -49,6 +55,9 @@ fn t3d_deposits_win_both_directions() {
     for to_cyclic in [true, false] {
         let push = comm_ms(MachineId::CrayT3d, to_cyclic, RedistStyle::Push, N);
         let pull = comm_ms(MachineId::CrayT3d, to_cyclic, RedistStyle::Pull, N);
-        assert!(push < pull, "to_cyclic={to_cyclic}: push {push} must beat pull {pull}");
+        assert!(
+            push < pull,
+            "to_cyclic={to_cyclic}: push {push} must beat pull {pull}"
+        );
     }
 }

@@ -7,8 +7,11 @@ use gasnub::core::sweep::Grid;
 use gasnub::machines::{Dec8400, Machine, MachineId, MeasureLimits, T3d, T3e};
 
 fn machines() -> Vec<Box<dyn Machine>> {
-    let mut v: Vec<Box<dyn Machine>> =
-        vec![Box::new(Dec8400::new()), Box::new(T3d::new()), Box::new(T3e::new())];
+    let mut v: Vec<Box<dyn Machine>> = vec![
+        Box::new(Dec8400::new()),
+        Box::new(T3d::new()),
+        Box::new(T3e::new()),
+    ];
     for m in &mut v {
         m.set_limits(MeasureLimits::fast());
     }
