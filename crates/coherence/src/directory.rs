@@ -8,8 +8,9 @@
 use std::collections::HashMap;
 
 use gasnub_memsim::Addr;
+use gasnub_trace::CounterSet;
 
-use crate::mesi::{MesiState, SnoopOp};
+use crate::mesi::{MesiState, ProcessorOp, SnoopOp, TransitionTally};
 
 /// Per-line sharing state across `n` processors.
 #[derive(Debug, Clone)]
@@ -18,6 +19,8 @@ pub struct Directory {
     line_bytes: u64,
     /// line index -> per-node MESI states (absent = all Invalid).
     lines: HashMap<u64, Vec<MesiState>>,
+    tally: TransitionTally,
+    invalidations: u64,
 }
 
 impl Directory {
@@ -36,6 +39,8 @@ impl Directory {
             nodes,
             line_bytes,
             lines: HashMap::new(),
+            tally: TransitionTally::new(),
+            invalidations: 0,
         }
     }
 
@@ -78,19 +83,16 @@ impl Directory {
         }
     }
 
-    fn entry(&mut self, addr: Addr) -> &mut Vec<MesiState> {
-        let line = self.line_of(addr);
-        let nodes = self.nodes;
-        self.lines
-            .entry(line)
-            .or_insert_with(|| vec![MesiState::Invalid; nodes])
-    }
-
     /// Records that `node` completed a read of the line, snooping all peers.
     /// Returns `true` when a dirty peer supplied the data.
     pub fn record_read(&mut self, node: usize, addr: Addr) -> bool {
         let others = self.others_have_copy(node, addr);
-        let states = self.entry(addr);
+        let line = self.line_of(addr);
+        let nodes = self.nodes;
+        let states = self
+            .lines
+            .entry(line)
+            .or_insert_with(|| vec![MesiState::Invalid; nodes]);
         let mut supplied = false;
         for (i, s) in states.iter_mut().enumerate() {
             if i == node {
@@ -98,9 +100,11 @@ impl Directory {
             }
             let r = s.on_snoop(SnoopOp::BusRead);
             supplied |= r.supplies_data;
+            self.tally.record(*s, r.next);
             *s = r.next;
         }
-        let (next, _) = states[node].on_processor_op(crate::mesi::ProcessorOp::Read, others);
+        let (next, _) = states[node].on_processor_op(ProcessorOp::Read, others);
+        self.tally.record(states[node], next);
         states[node] = next;
         supplied
     }
@@ -108,7 +112,12 @@ impl Directory {
     /// Records that `node` completed a write of the line, invalidating all
     /// peers. Returns `true` when a dirty peer had to flush first.
     pub fn record_write(&mut self, node: usize, addr: Addr) -> bool {
-        let states = self.entry(addr);
+        let line = self.line_of(addr);
+        let nodes = self.nodes;
+        let states = self
+            .lines
+            .entry(line)
+            .or_insert_with(|| vec![MesiState::Invalid; nodes]);
         let mut supplied = false;
         for (i, s) in states.iter_mut().enumerate() {
             if i == node {
@@ -116,8 +125,13 @@ impl Directory {
             }
             let r = s.on_snoop(SnoopOp::BusReadExclusive);
             supplied |= r.supplies_data;
+            if *s != MesiState::Invalid {
+                self.invalidations += 1;
+            }
+            self.tally.record(*s, r.next);
             *s = r.next;
         }
+        self.tally.record(states[node], MesiState::Modified);
         states[node] = MesiState::Modified;
         supplied
     }
@@ -126,6 +140,7 @@ impl Directory {
     pub fn record_eviction(&mut self, node: usize, addr: Addr) {
         let line = self.line_of(addr);
         if let Some(v) = self.lines.get_mut(&line) {
+            self.tally.record(v[node], MesiState::Invalid);
             v[node] = MesiState::Invalid;
         }
     }
@@ -138,9 +153,28 @@ impl Directory {
             .count()
     }
 
-    /// Forgets all sharing state.
+    /// Tally of MESI state changes observed so far.
+    pub fn tally(&self) -> &TransitionTally {
+        &self.tally
+    }
+
+    /// Peer copies invalidated by coherent writes so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Exports directory statistics into `out`: the non-zero MESI transition
+    /// counts plus the peer-invalidation total.
+    pub fn export_counters(&self, out: &mut CounterSet) {
+        self.tally.export_counters(out);
+        out.add("directory_invalidations", self.invalidations);
+    }
+
+    /// Forgets all sharing state and statistics.
     pub fn clear(&mut self) {
         self.lines.clear();
+        self.tally.clear();
+        self.invalidations = 0;
     }
 }
 
@@ -219,5 +253,22 @@ mod tests {
         d.record_write(0, 0);
         d.clear();
         assert_eq!(d.state(0, 0), MesiState::Invalid);
+        assert_eq!(d.tally().total(), 0);
+        assert_eq!(d.invalidations(), 0);
+    }
+
+    #[test]
+    fn counters_track_transitions_and_invalidations() {
+        let mut d = Directory::new(2, 64);
+        d.record_read(0, 0); // I -> E
+        assert_eq!(d.tally().count(MesiState::Invalid, MesiState::Exclusive), 1);
+        d.record_write(1, 0); // peer E -> I (one invalidation), own I -> M
+        assert_eq!(d.invalidations(), 1);
+        assert_eq!(d.tally().count(MesiState::Exclusive, MesiState::Invalid), 1);
+        assert_eq!(d.tally().count(MesiState::Invalid, MesiState::Modified), 1);
+        let mut out = CounterSet::new();
+        d.export_counters(&mut out);
+        assert_eq!(out.get("directory_invalidations"), 1);
+        assert_eq!(out.get("mesi_i_to_e"), 1);
     }
 }

@@ -43,5 +43,5 @@ pub mod mesi;
 pub mod smp;
 
 pub use directory::Directory;
-pub use mesi::{BusAction, MesiState, ProcessorOp, SnoopOp};
+pub use mesi::{BusAction, MesiState, ProcessorOp, SnoopOp, TransitionTally};
 pub use smp::{ProtocolConfig, SmpConfig, SnoopingSmp};

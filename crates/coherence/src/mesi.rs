@@ -6,6 +6,8 @@
 //! decide who supplies a line and what bus traffic a processor operation
 //! generates, and the unit tests double as the protocol's specification.
 
+use gasnub_trace::CounterSet;
+
 /// The four MESI states of a cache line in one processor's cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MesiState {
@@ -136,10 +138,107 @@ impl MesiState {
     }
 }
 
+impl MesiState {
+    fn index(self) -> usize {
+        match self {
+            MesiState::Modified => 0,
+            MesiState::Exclusive => 1,
+            MesiState::Shared => 2,
+            MesiState::Invalid => 3,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            MesiState::Modified => "m",
+            MesiState::Exclusive => "e",
+            MesiState::Shared => "s",
+            MesiState::Invalid => "i",
+        }
+    }
+}
+
+const ALL_STATES: [MesiState; 4] = [
+    MesiState::Modified,
+    MesiState::Exclusive,
+    MesiState::Shared,
+    MesiState::Invalid,
+];
+
+/// Counts of observed MESI state *changes* (self-transitions are not
+/// interesting and are skipped). This is the coherence layer's contribution
+/// to the observability counters: it answers "how many lines were demoted
+/// Shared, how many upgrades invalidated peers" for a pull run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransitionTally {
+    counts: [[u64; 4]; 4],
+}
+
+impl TransitionTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        TransitionTally::default()
+    }
+
+    /// Records one transition; `from == to` is ignored.
+    pub fn record(&mut self, from: MesiState, to: MesiState) {
+        if from != to {
+            self.counts[from.index()][to.index()] += 1;
+        }
+    }
+
+    /// Count of `from -> to` transitions recorded.
+    pub fn count(&self, from: MesiState, to: MesiState) -> u64 {
+        self.counts[from.index()][to.index()]
+    }
+
+    /// Total transitions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Forgets all recorded transitions.
+    pub fn clear(&mut self) {
+        self.counts = [[0; 4]; 4];
+    }
+
+    /// Exports the non-zero transition counts into `out`, keyed
+    /// `mesi_<from>_to_<to>` with single-letter states (e.g. `mesi_i_to_e`).
+    pub fn export_counters(&self, out: &mut CounterSet) {
+        for from in ALL_STATES {
+            for to in ALL_STATES {
+                let n = self.count(from, to);
+                if n > 0 {
+                    out.add(&format!("mesi_{}_to_{}", from.letter(), to.letter()), n);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use MesiState::*;
+
+    #[test]
+    fn tally_counts_changes_only() {
+        let mut t = TransitionTally::new();
+        t.record(Invalid, Exclusive);
+        t.record(Invalid, Exclusive);
+        t.record(Shared, Shared); // self-transition: ignored
+        t.record(Modified, Shared);
+        assert_eq!(t.count(Invalid, Exclusive), 2);
+        assert_eq!(t.count(Shared, Shared), 0);
+        assert_eq!(t.total(), 3);
+        let mut out = CounterSet::new();
+        t.export_counters(&mut out);
+        assert_eq!(out.get("mesi_i_to_e"), 2);
+        assert_eq!(out.get("mesi_m_to_s"), 1);
+        assert!(!out.contains("mesi_s_to_i"), "zero counts are omitted");
+        t.clear();
+        assert_eq!(t.total(), 0);
+    }
 
     #[test]
     fn hit_predicate() {

@@ -16,6 +16,7 @@ use gasnub_memsim::dram::{Dram, DramConfig};
 use gasnub_memsim::engine::MemoryEngine;
 use gasnub_memsim::stats::RunStats;
 use gasnub_memsim::{Addr, ConfigError, WORD_BYTES};
+use gasnub_trace::CounterSet;
 
 use crate::directory::Directory;
 
@@ -160,6 +161,13 @@ impl SnoopingSmp {
     /// Total coherent bus transactions so far.
     pub fn bus_transactions(&self) -> u64 {
         self.bus.transactions()
+    }
+
+    /// Exports the shared-fabric counters into `out`: bus transactions and
+    /// stalls plus directory MESI transitions and peer invalidations.
+    pub fn export_counters(&self, out: &mut CounterSet) {
+        self.bus.export_counters(out);
+        self.directory.export_counters(out);
     }
 
     /// Attaches (or removes) deterministic arbitration-stall jitter on the

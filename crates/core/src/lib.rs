@@ -34,6 +34,11 @@
 //!   grid order so parallel sweeps are bit-identical to sequential ones;
 //! * [`surface`] — the 2D bandwidth surface (figs 1-8) with CSV and
 //!   terminal rendering;
+//! * [`counters`] — per-cell counter reports (cache misses, bus
+//!   transactions, NI packets, MESI transitions) harvested through
+//!   `gasnub-trace` recorders: the *mechanism* behind every bandwidth
+//!   number, rendered as canonical JSON (the golden-trace fixture format)
+//!   or counter-annotated CSV;
 //! * [`resilient`] — a checkpointed, resumable, panic-isolating sweep
 //!   runner (with [`json`] as its dependency-free persistence format) for
 //!   long or degraded-machine sweeps;
@@ -61,6 +66,7 @@
 pub mod bench;
 pub mod compare;
 pub mod cost;
+pub mod counters;
 pub mod json;
 pub mod pool;
 pub mod profile;
@@ -75,6 +81,7 @@ pub use bench::{
 };
 pub use compare::{Comparison, MachineSummary};
 pub use cost::{CostModel, Strategy, TransferEstimate};
+pub use counters::{collect_counters, CellReport, CounterReport};
 pub use pool::{auto_threads, run_indexed};
 pub use profile::MachineProfile;
 pub use resilient::{FailedCell, ResilientSweep, SweepOutcome};

@@ -31,6 +31,7 @@ use gasnub_interconnect::ni::NiLossConfig;
 use gasnub_interconnect::topology::{ChannelFaults, NodeId, Torus3d};
 use gasnub_memsim::rng::Rng;
 use gasnub_memsim::{ConfigError, SimError};
+use gasnub_trace::CounterSet;
 
 /// Stream tags separating the per-subsystem random streams derived from one
 /// plan seed (mixed through splitmix64, so related seeds stay uncorrelated).
@@ -84,6 +85,22 @@ impl RouteImpact {
     /// channel paces the whole pipelined transfer.
     pub fn per_byte_scale(&self) -> f64 {
         1.0 / self.min_capacity_factor
+    }
+
+    /// Exports the route's shape into `out`: healthy and actual hop counts,
+    /// the detour hops forced by faults, and the bottleneck capacity in
+    /// parts per million (so the counter domain stays integral).
+    pub fn export_counters(&self, out: &mut CounterSet) {
+        out.add("route_healthy_hops", u64::from(self.healthy_hops));
+        out.add("route_hops", u64::from(self.hops));
+        out.add(
+            "route_detour_hops",
+            u64::from(self.hops.saturating_sub(self.healthy_hops)),
+        );
+        out.set(
+            "route_capacity_ppm",
+            (self.min_capacity_factor * 1_000_000.0).round() as u64,
+        );
     }
 }
 
@@ -300,6 +317,21 @@ mod tests {
                 assert!(impact.per_byte_scale() >= 1.0);
             }
         }
+    }
+
+    #[test]
+    fn route_impact_exports_counters() {
+        let healthy = RouteImpact {
+            healthy_hops: 1,
+            hops: 3,
+            min_capacity_factor: 0.5,
+        };
+        let mut out = CounterSet::new();
+        healthy.export_counters(&mut out);
+        assert_eq!(out.get("route_healthy_hops"), 1);
+        assert_eq!(out.get("route_hops"), 3);
+        assert_eq!(out.get("route_detour_hops"), 2);
+        assert_eq!(out.get("route_capacity_ppm"), 500_000);
     }
 
     #[test]

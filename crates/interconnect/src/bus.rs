@@ -13,6 +13,7 @@
 
 use gasnub_memsim::rng::Rng;
 use gasnub_memsim::ConfigError;
+use gasnub_trace::CounterSet;
 
 /// Deterministic arbitration-stall jitter: a degraded arbiter (or a bus
 /// shared with unmodelled agents) adds a pseudo-random extra stall of up to
@@ -195,6 +196,13 @@ impl Bus {
         self.busy_until = 0.0;
         self.stall_total = 0.0;
         self.transactions = 0;
+    }
+
+    /// Exports bus statistics into `out` (stall cycles rounded to whole
+    /// cycles).
+    pub fn export_counters(&self, out: &mut CounterSet) {
+        out.add("bus_transactions", self.transactions);
+        out.add("bus_stall_cycles", self.stall_total.round() as u64);
     }
 
     /// Performs one coherent transaction moving `bytes` at CPU time `now`,

@@ -7,6 +7,7 @@
 //! speed seen by each of the two processors falls back to 70 MByte/s".
 
 use gasnub_memsim::ConfigError;
+use gasnub_trace::CounterSet;
 
 /// Static description of a link (all costs in *CPU* cycles of the machine
 /// under test, so they compose directly with the memory model).
@@ -92,6 +93,13 @@ impl Link {
         self.busy_until = 0.0;
         self.stall_total = 0.0;
         self.transfers = 0;
+    }
+
+    /// Exports link statistics into `out` (stall cycles rounded to whole
+    /// cycles).
+    pub fn export_counters(&self, out: &mut CounterSet) {
+        out.add("link_transfers", self.transfers);
+        out.add("link_stall_cycles", self.stall_total.round() as u64);
     }
 
     /// Sends `bytes` over `hops` hops starting no earlier than `now`,

@@ -16,6 +16,7 @@
 
 use gasnub_memsim::rng::Rng;
 use gasnub_memsim::ConfigError;
+use gasnub_trace::CounterSet;
 
 use crate::message::MessageCostModel;
 
@@ -301,6 +302,17 @@ impl T3dNi {
         self.config.message.message_cycles(bytes, switched) + penalty
     }
 
+    /// Exports NI statistics into `out`, including retry/drop counts of an
+    /// attached loss model.
+    pub fn export_counters(&self, out: &mut CounterSet) {
+        out.add("ni_packets", self.packets);
+        out.add("ni_fetched_words", self.fetched_words);
+        if let Some(loss) = &self.loss {
+            out.add("ni_retries", loss.retries());
+            out.add("ni_dropped", loss.dropped());
+        }
+    }
+
     /// Issues one remote load word through the pre-fetch FIFO at `now`,
     /// returning the cycles the processor observes. With depth 1 this is the
     /// blocking mode (full round trip per word); deeper FIFOs pipeline.
@@ -417,6 +429,17 @@ impl ERegisters {
         self.calls = 0;
         if let Some(loss) = &mut self.loss {
             loss.reset();
+        }
+    }
+
+    /// Exports E-register statistics into `out`, including retry/drop counts
+    /// of an attached loss model.
+    pub fn export_counters(&self, out: &mut CounterSet) {
+        out.add("ereg_words", self.words);
+        out.add("ereg_calls", self.calls);
+        if let Some(loss) = &self.loss {
+            out.add("ni_retries", loss.retries());
+            out.add("ni_dropped", loss.dropped());
         }
     }
 

@@ -14,9 +14,11 @@ use gasnub_interconnect::link::Link;
 use gasnub_interconnect::ni::{ERegisters, T3dNi};
 use gasnub_memsim::dram::Dram;
 use gasnub_memsim::engine::MemoryEngine;
+use gasnub_memsim::stats::RunStats;
 use gasnub_memsim::trace::{CopyPass, StorePass, StridedOrder, StridedPass};
 use gasnub_memsim::write_buffer::WriteBuffer;
 use gasnub_memsim::WORD_BYTES;
+use gasnub_trace::{CounterSet, Event, NullRecorder, Recorder};
 
 use crate::limits::MeasureLimits;
 use crate::machine::{Machine, MachineId, Measurement};
@@ -112,6 +114,9 @@ impl T3dRemotePath {
         // axis match the paper's methodology.
         let prime = StridedPass::new(0, words, 1).take(limits.prime_words(words) as usize);
         let _ = engine.run_trace(prime);
+        // Scope the hierarchy's statistics window to the measured pass (the
+        // window is observational only; costs are unaffected).
+        engine.hierarchy_mut().reset_window_stats();
 
         let cpu = engine.cpu().clone();
         let window = self.params.dest_write.entry_bytes;
@@ -318,6 +323,11 @@ pub struct TransferEngine {
     gather_seed: u64,
     limits: MeasureLimits,
     backend: Backend,
+    /// Event sink of the observability layer. The default [`NullRecorder`]
+    /// is disabled, so probes skip the whole harvest path.
+    recorder: Box<dyn Recorder>,
+    /// Counters harvested by the most recent observed probe.
+    last_counters: Option<CounterSet>,
 }
 
 impl TransferEngine {
@@ -335,6 +345,8 @@ impl TransferEngine {
             gather_seed,
             limits,
             backend: Backend::Smp(smp),
+            recorder: Box::new(NullRecorder),
+            last_counters: None,
         }
     }
 
@@ -354,6 +366,8 @@ impl TransferEngine {
                 engine,
                 remote: RemotePath::T3d(Box::new(path)),
             },
+            recorder: Box::new(NullRecorder),
+            last_counters: None,
         }
     }
 
@@ -381,6 +395,8 @@ impl TransferEngine {
                     dest_banks,
                 })),
             },
+            recorder: Box::new(NullRecorder),
+            last_counters: None,
         }
     }
 
@@ -396,6 +412,8 @@ impl TransferEngine {
                 engine,
                 remote: RemotePath::None,
             },
+            recorder: Box::new(NullRecorder),
+            last_counters: None,
         }
     }
 
@@ -445,6 +463,90 @@ impl TransferEngine {
             Backend::Node { engine, .. } => engine,
         }
     }
+
+    /// Gathers every component's counters for the probe that just ran.
+    ///
+    /// `stats` is the measured pass's [`RunStats`] when the probe produced
+    /// one; probes that drive the hierarchy directly (the T3D/T3E remote
+    /// inner loops) leave it `None` and the hierarchy's statistics window is
+    /// read instead. `pull_provenance` marks the SMP consumer-pull stats,
+    /// whose DRAM fields are repurposed as supplier provenance — those are
+    /// exported as `smp_*_supplies` counters rather than DRAM traffic.
+    fn harvest_counters(&self, stats: Option<&RunStats>, pull_provenance: bool) -> CounterSet {
+        let mut out = CounterSet::new();
+        match &self.backend {
+            Backend::Smp(smp) => {
+                if let Some(stats) = stats {
+                    if pull_provenance {
+                        let mut plain = stats.clone();
+                        let total = plain.dram_accesses;
+                        let cache = plain.dram_streamed_fills;
+                        plain.dram_accesses = 0;
+                        plain.dram_row_hits = 0;
+                        plain.dram_bank_conflicts = 0;
+                        plain.dram_streamed_fills = 0;
+                        plain.export_counters(&mut out);
+                        out.set("smp_supplies_total", total);
+                        out.set("smp_cache_supplies", cache);
+                        out.set("smp_home_supplies", total - cache);
+                    } else {
+                        stats.export_counters(&mut out);
+                    }
+                }
+                smp.export_counters(&mut out);
+            }
+            Backend::Node { engine, remote } => {
+                match stats {
+                    Some(stats) => stats.export_counters(&mut out),
+                    None => {
+                        let mut window = RunStats::default();
+                        engine.hierarchy().export_stats(&mut window);
+                        window.export_counters(&mut out);
+                    }
+                }
+                match remote {
+                    RemotePath::None => {}
+                    RemotePath::T3d(path) => {
+                        path.ni.export_counters(&mut out);
+                        path.link.export_counters(&mut out);
+                    }
+                    RemotePath::T3e(path) => {
+                        path.eregs.export_counters(&mut out);
+                        path.link.export_counters(&mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Observes one finished probe: when the recorder is enabled, harvests
+    /// all component counters, stamps the payload/cycle totals, records one
+    /// `probe.<op>` event and stores the counter set for
+    /// [`Machine::take_counters`]. With the default [`NullRecorder`] this is
+    /// a single branch.
+    fn observe(
+        &mut self,
+        op: &'static str,
+        ws_bytes: u64,
+        stride: u64,
+        measurement: &Measurement,
+        stats: Option<&RunStats>,
+        pull_provenance: bool,
+    ) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let mut counters = self.harvest_counters(stats, pull_provenance);
+        counters.set("payload_bytes", measurement.bytes);
+        counters.set("cycles", measurement.cycles.round() as u64);
+        let event = Event::new(format!("probe.{op}"))
+            .with("ws_bytes", ws_bytes)
+            .with("stride", stride)
+            .with_counters(&counters);
+        self.recorder.record(event);
+        self.last_counters = Some(counters);
+    }
 }
 
 impl Machine for TransferEngine {
@@ -479,7 +581,9 @@ impl Machine for TransferEngine {
         let measured = limits.measure_words(words);
         let measure = StridedPass::new(0, words, stride).take(measured as usize);
         let stats = self.mem().prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, clock)
+        let m = Measurement::new(stats.bytes, stats.cycles, clock);
+        self.observe("local_load", ws_bytes, stride, &m, Some(&stats), false);
+        m
     }
 
     fn local_store(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
@@ -490,7 +594,9 @@ impl Machine for TransferEngine {
         let measured = limits.measure_words(words);
         let measure = StorePass::new(0, words, stride).take(measured as usize);
         let stats = self.mem().prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, clock)
+        let m = Measurement::new(stats.bytes, stats.cycles, clock);
+        self.observe("local_store", ws_bytes, stride, &m, Some(&stats), false);
+        m
     }
 
     fn local_copy(&mut self, ws_bytes: u64, load_stride: u64, store_stride: u64) -> Measurement {
@@ -504,7 +610,9 @@ impl Machine for TransferEngine {
             .take(2 * measured as usize);
         let stats = self.mem().prime_and_measure(prime, measure);
         // Copied payload counts once.
-        Measurement::new(measured * WORD_BYTES, stats.cycles, clock)
+        let m = Measurement::new(measured * WORD_BYTES, stats.cycles, clock);
+        self.observe("local_copy", ws_bytes, load_stride, &m, Some(&stats), false);
+        m
     }
 
     fn local_gather(&mut self, ws_bytes: u64) -> Measurement {
@@ -517,12 +625,14 @@ impl Machine for TransferEngine {
             gasnub_memsim::trace::shuffled_indices(words, measured as usize, self.gather_seed);
         let measure = gasnub_memsim::trace::IndexedPass::new(0, indices);
         let stats = self.mem().prime_and_measure(prime, measure);
-        Measurement::new(stats.bytes, stats.cycles, clock)
+        let m = Measurement::new(stats.bytes, stats.cycles, clock);
+        self.observe("local_gather", ws_bytes, 0, &m, Some(&stats), false);
+        m
     }
 
     fn remote_load(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
         let (limits, clock) = (self.limits, self.clock_mhz);
-        match &mut self.backend {
+        let pulled = match &mut self.backend {
             Backend::Smp(smp) => {
                 smp.flush();
                 let words = words_of(ws_bytes);
@@ -533,18 +643,22 @@ impl Machine for TransferEngine {
                 let measured = limits.measure_words(words);
                 let pull = StridedPass::new(0, words, stride).take(measured as usize);
                 let stats = smp.consumer_pull(0, pull);
-                Some(Measurement::new(stats.bytes, stats.cycles, clock))
+                let m = Measurement::new(stats.bytes, stats.cycles, clock);
+                Some((m, stats))
             }
             // Pure remote loads without a local destination are not one of
             // the paper's torus benchmarks (fig 4 measures shmem_iget
             // transfers).
             Backend::Node { .. } => None,
-        }
+        };
+        let (m, stats) = pulled?;
+        self.observe("remote_load", ws_bytes, stride, &m, Some(&stats), true);
+        Some(m)
     }
 
     fn remote_fetch(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
         let (limits, clock) = (self.limits, self.clock_mhz);
-        match &mut self.backend {
+        let fetched = match &mut self.backend {
             Backend::Smp(smp) => {
                 smp.flush();
                 let words = words_of(ws_bytes);
@@ -555,23 +669,37 @@ impl Machine for TransferEngine {
                 let copy =
                     CopyPass::new(0, DST_REGION, words, stride, 1).take(2 * measured as usize);
                 let stats = smp.consumer_pull(0, copy);
-                Some(Measurement::new(measured * WORD_BYTES, stats.cycles, clock))
+                let m = Measurement::new(measured * WORD_BYTES, stats.cycles, clock);
+                Some((m, Some(stats)))
             }
             Backend::Node { engine, remote } => match remote {
                 RemotePath::None => None,
-                RemotePath::T3d(path) => {
-                    Some(path.run_fetch(engine, limits, clock, ws_bytes, stride))
-                }
-                RemotePath::T3e(path) => {
-                    Some(path.run_remote(engine, limits, clock, ws_bytes, stride, Direction::Fetch))
-                }
+                RemotePath::T3d(path) => Some((
+                    path.run_fetch(engine, limits, clock, ws_bytes, stride),
+                    None,
+                )),
+                RemotePath::T3e(path) => Some((
+                    path.run_remote(engine, limits, clock, ws_bytes, stride, Direction::Fetch),
+                    None,
+                )),
             },
-        }
+        };
+        let (m, stats) = fetched?;
+        let pull_provenance = stats.is_some();
+        self.observe(
+            "remote_fetch",
+            ws_bytes,
+            stride,
+            &m,
+            stats.as_ref(),
+            pull_provenance,
+        );
+        Some(m)
     }
 
     fn remote_deposit(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
         let (limits, clock) = (self.limits, self.clock_mhz);
-        match &mut self.backend {
+        let deposited = match &mut self.backend {
             // "The DEC 8400 does not have support for pushing data into
             // memory or caches of a remote processor." (§5.2)
             Backend::Smp(_) => None,
@@ -589,7 +717,23 @@ impl Machine for TransferEngine {
                     Direction::Deposit,
                 )),
             },
-        }
+        };
+        let m = deposited?;
+        self.observe("remote_deposit", ws_bytes, stride, &m, None, false);
+        Some(m)
+    }
+
+    fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = recorder;
+        self.last_counters = None;
+    }
+
+    fn take_counters(&mut self) -> Option<CounterSet> {
+        self.last_counters.take()
+    }
+
+    fn drain_events(&mut self) -> Vec<Event> {
+        self.recorder.drain()
     }
 }
 
@@ -669,6 +813,18 @@ macro_rules! delegate_machine {
             ) -> Option<$crate::machine::Measurement> {
                 $crate::machine::Machine::remote_deposit(&mut self.engine, ws_bytes, stride)
             }
+
+            fn set_recorder(&mut self, recorder: Box<dyn gasnub_trace::Recorder>) {
+                $crate::machine::Machine::set_recorder(&mut self.engine, recorder);
+            }
+
+            fn take_counters(&mut self) -> Option<gasnub_trace::CounterSet> {
+                $crate::machine::Machine::take_counters(&mut self.engine)
+            }
+
+            fn drain_events(&mut self) -> Vec<gasnub_trace::Event> {
+                $crate::machine::Machine::drain_events(&mut self.engine)
+            }
         }
     };
 }
@@ -701,5 +857,42 @@ mod tests {
         assert!(dec.smp_system().is_some());
         let t3d = MachineSpec::t3d().build().unwrap();
         assert!(t3d.smp_system().is_none());
+    }
+
+    /// Without a recorder, probes leave no counters behind; with a
+    /// `RingRecorder` installed, each probe harvests counters and records
+    /// one event, and the observation does not change the measurement.
+    #[test]
+    fn recorder_harvests_counters_without_changing_measurements() {
+        use gasnub_trace::RingRecorder;
+
+        let mut quiet = MachineSpec::t3d().build().unwrap();
+        quiet.set_limits(MeasureLimits::fast());
+        let baseline = quiet.local_load(64 << 10, 8);
+        assert!(quiet.take_counters().is_none());
+        assert!(quiet.drain_events().is_empty());
+
+        let mut observed = MachineSpec::t3d().build().unwrap();
+        observed.set_limits(MeasureLimits::fast());
+        observed.set_recorder(Box::new(RingRecorder::new(16)));
+        let measured = observed.local_load(64 << 10, 8);
+        assert_eq!(measured.bytes, baseline.bytes);
+        assert_eq!(measured.cycles, baseline.cycles);
+
+        let counters = observed.take_counters().expect("harvested counters");
+        assert_eq!(counters.get("payload_bytes"), measured.bytes);
+        assert!(counters.get("accesses") > 0);
+        let events = observed.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].label, "probe.local_load");
+        assert_eq!(events[0].field("stride"), Some(8));
+
+        let deposit = observed
+            .remote_deposit(64 << 10, 8)
+            .expect("t3d deposits remotely");
+        let counters = observed.take_counters().expect("remote counters");
+        assert_eq!(counters.get("payload_bytes"), deposit.bytes);
+        assert!(counters.get("ni_packets") > 0);
+        assert!(counters.get("link_transfers") > 0);
     }
 }

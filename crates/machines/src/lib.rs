@@ -65,6 +65,7 @@ pub use custom::{CustomMachine, CustomMachineBuilder};
 pub use dec8400::Dec8400;
 pub use engine::{words_of, TransferEngine};
 pub use gasnub_faults::{FaultPlan, RouteImpact};
+pub use gasnub_trace::{CounterSet, Event, NullRecorder, Recorder, RingRecorder};
 pub use limits::MeasureLimits;
 pub use machine::{Machine, MachineId, Measurement};
 pub use spec::{MachineSpec, SpawnEngine};

@@ -1,5 +1,7 @@
 //! The common probe surface of a characterized machine.
 
+use gasnub_trace::{CounterSet, Event, Recorder};
+
 use crate::limits::MeasureLimits;
 
 /// Which of the paper's three systems a model represents.
@@ -142,6 +144,24 @@ pub trait Machine {
     /// DEC 8400, which "does not have support for pushing data into memory
     /// or caches of a remote processor" (§5.2).
     fn remote_deposit(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement>;
+
+    /// Installs an event recorder. While the recorder is enabled, every
+    /// probe harvests its component counters and records one `probe.*`
+    /// event; the default [`gasnub_trace::NullRecorder`] keeps the probes on
+    /// their unobserved fast path. The default implementation ignores the
+    /// recorder (for machines without instrumentation).
+    fn set_recorder(&mut self, _recorder: Box<dyn Recorder>) {}
+
+    /// Takes the counter set harvested by the most recent probe, if any.
+    /// Returns `None` when no enabled recorder observed a probe.
+    fn take_counters(&mut self) -> Option<CounterSet> {
+        None
+    }
+
+    /// Drains all events buffered by the installed recorder.
+    fn drain_events(&mut self) -> Vec<Event> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,7 @@
 //! Run statistics produced by the trace engine.
 
+use gasnub_trace::CounterSet;
+
 /// Per-cache-level counters for one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LevelStats {
@@ -155,6 +157,36 @@ impl RunStats {
         self.write_buffer_stall_cycles += other.write_buffer_stall_cycles;
         self.latency.merge(&other.latency);
     }
+
+    /// Exports the run's counters into `out` for the observability layer.
+    ///
+    /// Cycle quantities are rounded to whole cycles so the export stays in
+    /// the integer counter domain; level counters are keyed `l1_*`, `l2_*`,
+    /// ... top level first, matching the configured hierarchy order.
+    pub fn export_counters(&self, out: &mut CounterSet) {
+        out.add("accesses", self.accesses);
+        out.add("reads", self.reads);
+        out.add("writes", self.writes);
+        for (i, level) in self.levels.iter().enumerate() {
+            let prefix = format!("l{}", i + 1);
+            out.add(&format!("{prefix}_hits"), level.hits);
+            out.add(&format!("{prefix}_misses"), level.misses);
+            out.add(&format!("{prefix}_streamed_fills"), level.streamed_fills);
+            out.add(
+                &format!("{prefix}_unstreamed_fills"),
+                level.unstreamed_fills,
+            );
+            out.add(&format!("{prefix}_write_backs"), level.write_backs);
+        }
+        out.add("dram_accesses", self.dram_accesses);
+        out.add("dram_row_hits", self.dram_row_hits);
+        out.add("dram_bank_conflicts", self.dram_bank_conflicts);
+        out.add("dram_streamed_fills", self.dram_streamed_fills);
+        out.add(
+            "write_buffer_stall_cycles",
+            self.write_buffer_stall_cycles.round() as u64,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +246,38 @@ mod tests {
         b.record(50.0);
         a.merge(&b);
         assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn export_counters_names_levels_top_first() {
+        let stats = RunStats {
+            accesses: 10,
+            reads: 7,
+            writes: 3,
+            levels: vec![
+                LevelStats {
+                    hits: 5,
+                    misses: 5,
+                    ..Default::default()
+                },
+                LevelStats {
+                    hits: 4,
+                    misses: 1,
+                    write_backs: 2,
+                    ..Default::default()
+                },
+            ],
+            dram_accesses: 1,
+            write_buffer_stall_cycles: 2.6,
+            ..Default::default()
+        };
+        let mut out = CounterSet::new();
+        stats.export_counters(&mut out);
+        assert_eq!(out.get("accesses"), 10);
+        assert_eq!(out.get("l1_hits"), 5);
+        assert_eq!(out.get("l2_write_backs"), 2);
+        assert_eq!(out.get("dram_accesses"), 1);
+        assert_eq!(out.get("write_buffer_stall_cycles"), 3);
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! * [`shmem`] — global-address-space layer (put/get/iput/iget, barriers);
 //! * [`core`] — the extended copy-transfer model: micro-benchmarks, sweep
 //!   driver, characterization surfaces and the transfer cost model;
-//! * [`fft`] — the 2D-FFT application kernel of the paper's §7.
+//! * [`fft`] — the 2D-FFT application kernel of the paper's §7;
+//! * [`trace`] — dependency-free structured event tracing and counters
+//!   (the observability layer behind `trace` / `--counters`).
 //!
 //! See the repository README for a tour and `DESIGN.md` for the experiment
 //! index mapping every figure of the paper to a reproduction target.
@@ -33,3 +35,4 @@ pub use gasnub_interconnect as interconnect;
 pub use gasnub_machines as machines;
 pub use gasnub_memsim as memsim;
 pub use gasnub_shmem as shmem;
+pub use gasnub_trace as trace;

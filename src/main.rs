@@ -8,6 +8,8 @@
 //! gasnub scale t3d 2048 512
 //! gasnub faults t3d --seed 7 --severity 0.5
 //! gasnub sweep t3e deposit --checkpoint /tmp/t3e.json --max-cells 10
+//! gasnub trace t3d deposit --ws 4194304 --stride 8
+//! gasnub sweep dec8400 pull --checkpoint /tmp/pull.json --counters -
 //! ```
 //!
 //! Every usage error (unknown subcommand, unknown figure or machine,
@@ -17,11 +19,14 @@
 use std::time::Duration;
 
 use gasnub::core::compare::Comparison;
+use gasnub::core::counters::collect_counters;
+use gasnub::core::json::Json;
 use gasnub::core::{auto_threads, run_indexed, Grid, ResilientSweep, SweepOp};
 use gasnub::fft::run_benchmark;
 use gasnub::fft::scalability;
 use gasnub::machines::{
-    Dec8400, FaultPlan, Machine, MachineId, MachineSpec, MeasureLimits, SpawnEngine, T3d, T3e,
+    CounterSet, Dec8400, FaultPlan, Machine, MachineId, MachineSpec, MeasureLimits, RingRecorder,
+    SpawnEngine, T3d, T3e,
 };
 
 fn usage() -> ! {
@@ -33,13 +38,17 @@ fn usage() -> ! {
          fft [n]                                 2D-FFT benchmark (figs 15-17) at size n\n\
          scale <t3d|t3e> <n> <npes>              §8 scalability projection\n\
          report <dec8400|t3d|t3e|custom>         full markdown characterization report\n\
-         faults <machine> [--seed N] [--severity S] [--threads N]\n\
+         faults <machine> [--seed N] [--severity S] [--threads N] [--counters FILE]\n\
          \x20                                        healthy-vs-degraded remote bandwidth\n\
          sweep <machine> <op> --checkpoint FILE [--max-cells N] [--budget-secs N]\n\
          \x20       [--seed N] [--severity S]        checkpointed/resumable surface sweep\n\
          \x20       [--threads N]                    (op: load, store, copy-loads,\n\
-         \x20                                        copy-stores, pull, fetch, deposit;\n\
-         \x20                                        --threads 0 = all cores)\n\
+         \x20       [--counters FILE]                copy-stores, pull, fetch, deposit;\n\
+         \x20       [--counters-csv FILE]            --threads 0 = all cores; FILE '-'\n\
+         \x20                                        writes to stdout)\n\
+         trace <machine> <op> [--ws BYTES] [--stride WORDS] [--seed N] [--severity S]\n\
+         \x20                                        one probe's harvested counters and\n\
+         \x20                                        trace events, as canonical JSON\n\
          \n\
          (see also: cargo run -p gasnub-bench --bin figures / --bin experiments)"
     );
@@ -144,8 +153,83 @@ fn plan_from_flags(flags: &[(String, String)]) -> FaultPlan {
     FaultPlan::new(seed, severity).unwrap_or_else(|e| fail(e))
 }
 
+/// Writes a report to `path`, with `-` meaning stdout.
+fn write_output(path: &str, text: &str) {
+    if path == "-" {
+        print!("{text}");
+    } else {
+        std::fs::write(path, text).unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
+        println!("counter report written to {path}");
+    }
+}
+
+/// A [`CounterSet`] as a canonical JSON object.
+fn counters_to_json(counters: &CounterSet) -> Json {
+    Json::Object(
+        counters
+            .iter()
+            .map(|(name, value)| (name.to_string(), Json::U64(value)))
+            .collect(),
+    )
+}
+
+fn trace_cmd(args: &[String]) {
+    let (positional, flags) = split_flags(args, &["ws", "stride", "seed", "severity"]);
+    let [label, op] = positional.as_slice() else {
+        fail(
+            "trace takes a machine and an operation \
+             (load, store, copy-loads, copy-stores, pull, fetch, deposit)",
+        );
+    };
+    let Some(op) = SweepOp::parse(op) else {
+        fail(format!("unknown operation {op:?}"))
+    };
+    let ws: u64 = flag(&flags, "ws").map_or(4 << 20, |v| parse_num("--ws", v));
+    let stride: u64 = flag(&flags, "stride").map_or(1, |v| parse_num("--stride", v));
+    let plan = (flag(&flags, "seed").is_some() || flag(&flags, "severity").is_some())
+        .then(|| plan_from_flags(&flags));
+    let spec = build_spec(label, plan.as_ref());
+    let mut engine = spec.spawn_engine().unwrap_or_else(|e| fail(e));
+    engine.set_recorder(Box::new(RingRecorder::new(8)));
+    let Some(mb_s) = op.probe(&mut engine, ws, stride) else {
+        fail(format!("{} does not support {}", engine.name(), op.label()))
+    };
+    let counters = engine.take_counters().unwrap_or_default();
+    let events = Json::Array(
+        engine
+            .drain_events()
+            .iter()
+            .map(|event| {
+                Json::object([
+                    ("label", Json::Str(event.label.clone())),
+                    (
+                        "fields",
+                        Json::Object(
+                            event
+                                .fields
+                                .iter()
+                                .map(|(name, value)| (name.clone(), Json::U64(*value)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let doc = Json::object([
+        ("machine", Json::Str(engine.id().label().to_string())),
+        ("op", Json::Str(op.label().to_string())),
+        ("ws_bytes", Json::U64(ws)),
+        ("stride", Json::U64(stride)),
+        ("mb_s_bits", Json::U64(mb_s.to_bits())),
+        ("counters", counters_to_json(&counters)),
+        ("events", events),
+    ]);
+    println!("{}", doc.render());
+}
+
 fn faults_cmd(args: &[String]) {
-    let (positional, flags) = split_flags(args, &["seed", "severity", "threads"]);
+    let (positional, flags) = split_flags(args, &["seed", "severity", "threads", "counters"]);
     let [label] = positional.as_slice() else {
         fail("faults takes exactly one machine argument");
     };
@@ -212,6 +296,56 @@ fn faults_cmd(args: &[String]) {
             if h > 0.0 { d / h } else { 0.0 }
         );
     }
+
+    // With --counters, re-measure each cell with a recorder installed and
+    // report the healthy/degraded mechanism counters side by side (fresh
+    // engines, gathered in job order: deterministic for any worker count).
+    if let Some(path) = flag(&flags, "counters") {
+        let observed = run_indexed(threads, jobs.len(), |i| {
+            let (op, stride) = jobs[i];
+            let side = |spec: &MachineSpec| {
+                spec.spawn_engine().map(|mut m| {
+                    m.set_recorder(Box::new(RingRecorder::new(8)));
+                    op.probe(&mut m, ws, stride)
+                        .map(|mb_s| (mb_s, m.take_counters().unwrap_or_default()))
+                })
+            };
+            side(&healthy_spec).and_then(|h| side(&degraded_spec).map(|d| (h, d)))
+        });
+        let mut rows = Vec::new();
+        for ((op, stride), cell) in jobs.iter().zip(observed) {
+            let (h, d) = cell.unwrap_or_else(|e| fail(e));
+            let side = |s: Option<(f64, CounterSet)>| match s {
+                None => Json::Null,
+                Some((mb_s, counters)) => Json::object([
+                    ("mb_s_bits", Json::U64(mb_s.to_bits())),
+                    ("counters", counters_to_json(&counters)),
+                ]),
+            };
+            rows.push(Json::object([
+                ("op", Json::Str(op.label().to_string())),
+                ("ws_bytes", Json::U64(ws)),
+                ("stride", Json::U64(*stride)),
+                ("healthy", side(h)),
+                ("degraded", side(d)),
+            ]));
+        }
+        let mut route = CounterSet::new();
+        impact.export_counters(&mut route);
+        let doc = Json::object([
+            ("machine", Json::Str(healthy.id().label().to_string())),
+            ("seed", Json::U64(plan.seed())),
+            (
+                "severity_ppm",
+                Json::U64((plan.severity() * 1_000_000.0).round() as u64),
+            ),
+            ("route", counters_to_json(&route)),
+            ("cells", Json::Array(rows)),
+        ]);
+        let mut text = doc.render();
+        text.push('\n');
+        write_output(path, &text);
+    }
 }
 
 fn sweep_cmd(args: &[String]) {
@@ -224,6 +358,8 @@ fn sweep_cmd(args: &[String]) {
             "seed",
             "severity",
             "threads",
+            "counters",
+            "counters-csv",
         ],
     );
     let [label, op] = positional.as_slice() else {
@@ -285,6 +421,23 @@ fn sweep_cmd(args: &[String]) {
         println!("sweep complete (checkpoint kept at {checkpoint})");
     } else {
         println!("sweep interrupted; re-run the same command to resume from {checkpoint}");
+    }
+
+    // With --counters / --counters-csv, sweep the same grid again with
+    // recorders installed and emit the per-cell counter report (JSON is the
+    // golden-trace format; CSV is the counter-annotated figure form).
+    let json_path = flag(&flags, "counters");
+    let csv_path = flag(&flags, "counters-csv");
+    if json_path.is_some() || csv_path.is_some() {
+        let report = collect_counters(&spec, op, &grid, threads)
+            .unwrap_or_else(|e| fail(e))
+            .unwrap_or_else(|| fail(format!("{label} does not support {}", op.label())));
+        if let Some(path) = json_path {
+            write_output(path, &report.render_json());
+        }
+        if let Some(path) = csv_path {
+            write_output(path, &report.to_csv());
+        }
     }
 }
 
@@ -380,6 +533,7 @@ fn main() {
         }
         "faults" => faults_cmd(&args[1..]),
         "sweep" => sweep_cmd(&args[1..]),
+        "trace" => trace_cmd(&args[1..]),
         _ => usage(),
     }
 }

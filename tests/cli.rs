@@ -69,6 +69,107 @@ fn bad_invocations_exit_2_without_panicking() {
     assert_usage_error(&["faults", "custom"]);
     // Custom machines are not in the scalability model either.
     assert_usage_error(&["scale", "custom", "512", "512"]);
+    // The trace subcommand follows the same conventions.
+    assert_usage_error(&["trace"]);
+    assert_usage_error(&["trace", "t3d"]);
+    assert_usage_error(&["trace", "paragon", "load"]);
+    assert_usage_error(&["trace", "t3d", "teleport"]);
+    assert_usage_error(&["trace", "t3d", "load", "--ws", "huge"]);
+    assert_usage_error(&["trace", "t3d", "load", "--stride"]);
+    assert_usage_error(&["trace", "t3d", "load", "--frob", "1"]);
+    // Unsupported machine/op combinations are usage errors, not panics.
+    assert_usage_error(&["trace", "dec8400", "deposit"]);
+    assert_usage_error(&["trace", "t3d", "pull"]);
+    // --counters reports inherit the conventions too.
+    assert_usage_error(&["sweep", "t3d", "load", "--counters"]);
+    assert_usage_error(&["faults", "t3d", "--counters"]);
+}
+
+#[test]
+fn trace_prints_counters_and_events_as_json() {
+    let out = gasnub(&["trace", "t3d", "deposit", "--ws", "262144", "--stride", "8"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "trace must succeed: {stderr}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Canonical JSON: one object, sorted keys, counters and events present.
+    assert!(text.starts_with("{\"counters\":"), "doc shape: {text}");
+    assert!(text.contains("\"machine\":\"t3d\""), "machine: {text}");
+    assert!(text.contains("\"op\":\"deposit\""), "op: {text}");
+    assert!(text.contains("\"ni_packets\":"), "NI counters: {text}");
+    assert!(
+        text.contains("\"label\":\"probe.remote_deposit\""),
+        "probe event: {text}"
+    );
+
+    let again = gasnub(&["trace", "t3d", "deposit", "--ws", "262144", "--stride", "8"]);
+    assert_eq!(out.stdout, again.stdout, "traces must be deterministic");
+}
+
+#[test]
+fn trace_observes_degraded_machines() {
+    let healthy = gasnub(&["trace", "t3d", "deposit", "--ws", "262144"]);
+    let degraded = gasnub(&[
+        "trace",
+        "t3d",
+        "deposit",
+        "--ws",
+        "262144",
+        "--seed",
+        "7",
+        "--severity",
+        "0.5",
+    ]);
+    assert_eq!(degraded.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&degraded.stdout);
+    assert!(
+        text.contains("\"ni_retries\":"),
+        "a lossy NI must report retries: {text}"
+    );
+    assert!(
+        !String::from_utf8_lossy(&healthy.stdout).contains("\"ni_retries\":"),
+        "a healthy NI has no loss model and no retry counter"
+    );
+}
+
+#[test]
+fn sweep_counter_reports_parse_and_annotate() {
+    let scratch = |tag: &str| {
+        std::env::temp_dir().join(format!("gasnub-cli-ctr-{}-{tag}", std::process::id()))
+    };
+    let json_path = scratch("report.json");
+    let csv_path = scratch("report.csv");
+    let ckpt = scratch("ckpt.json");
+    let out = gasnub(&[
+        "sweep",
+        "t3e",
+        "fetch",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--counters",
+        json_path.to_str().unwrap(),
+        "--counters-csv",
+        csv_path.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "sweep must succeed: {stderr}");
+
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    let report = gasnub::core::counters::CounterReport::parse(&json)
+        .expect("the CLI writes parseable counter reports");
+    assert_eq!(report.machine, "t3e");
+    assert_eq!(report.op, "fetch");
+    assert!(!report.cells.is_empty());
+    assert!(report.cells.iter().all(|c| c.counters.get("cycles") > 0));
+
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    let header = csv.lines().next().unwrap();
+    assert!(header.starts_with("ws_bytes,stride,mb_s,"), "{header}");
+    assert!(header.contains("ereg_words"), "annotated columns: {header}");
+    assert_eq!(csv.lines().count(), report.cells.len() + 1);
+
+    for f in [&json_path, &csv_path, &ckpt] {
+        let _ = std::fs::remove_file(f);
+    }
 }
 
 #[test]

@@ -93,8 +93,8 @@ fn parallel_sweeps_match_sequential_ones_bit_for_bit() {
 }
 
 /// The acceptance bar for parallel execution: a `--threads 4` sweep leaves
-/// a checkpoint file byte-identical to a `--threads 1` sweep of the same
-/// grid, for every reference machine.
+/// a checkpoint file *and* a `--counters` report byte-identical to a
+/// `--threads 1` sweep of the same grid, for every reference machine.
 #[test]
 fn parallel_cli_sweeps_write_byte_identical_checkpoints() {
     let scratch = |tag: &str| {
@@ -103,8 +103,13 @@ fn parallel_cli_sweeps_write_byte_identical_checkpoints() {
     for (machine, op) in [("dec8400", "pull"), ("t3d", "deposit"), ("t3e", "fetch")] {
         let seq_ckpt = scratch(&format!("{machine}-seq"));
         let par_ckpt = scratch(&format!("{machine}-par"));
+        let seq_counters = scratch(&format!("{machine}-seq-counters"));
+        let par_counters = scratch(&format!("{machine}-par-counters"));
         let mut outputs = Vec::new();
-        for (ckpt, threads) in [(&seq_ckpt, "1"), (&par_ckpt, "4")] {
+        for (ckpt, counters, threads) in [
+            (&seq_ckpt, &seq_counters, "1"),
+            (&par_ckpt, &par_counters, "4"),
+        ] {
             let out = std::process::Command::new(env!("CARGO_BIN_EXE_gasnub"))
                 .args([
                     "sweep",
@@ -114,6 +119,8 @@ fn parallel_cli_sweeps_write_byte_identical_checkpoints() {
                     ckpt.to_str().unwrap(),
                     "--threads",
                     threads,
+                    "--counters",
+                    counters.to_str().unwrap(),
                 ])
                 .output()
                 .expect("the gasnub binary must spawn");
@@ -143,7 +150,37 @@ fn parallel_cli_sweeps_write_byte_identical_checkpoints() {
             seq, par,
             "{machine} {op}: checkpoints must be byte-identical"
         );
-        let _ = std::fs::remove_file(&seq_ckpt);
-        let _ = std::fs::remove_file(&par_ckpt);
+        let seq = std::fs::read(&seq_counters).unwrap();
+        let par = std::fs::read(&par_counters).unwrap();
+        assert_eq!(
+            seq, par,
+            "{machine} {op}: counter reports must be byte-identical"
+        );
+        for f in [&seq_ckpt, &par_ckpt, &seq_counters, &par_counters] {
+            let _ = std::fs::remove_file(f);
+        }
     }
+}
+
+/// Counter collection gathers cells in grid order whatever the worker
+/// count, so the library-level report is identical too (the CLI test above
+/// pins the rendered bytes; this pins the structured value).
+#[test]
+fn counter_reports_are_thread_count_invariant() {
+    use gasnub::core::counters::collect_counters;
+    use gasnub::core::SweepOp;
+    use gasnub::machines::MachineSpec;
+    let grid = Grid {
+        strides: vec![1, 8],
+        working_sets: vec![64 << 10, 4 << 20],
+    };
+    let spec = MachineSpec::t3d().with_limits(MeasureLimits::fast());
+    let sequential = collect_counters(&spec, SweepOp::RemoteDeposit, &grid, 1)
+        .unwrap()
+        .unwrap();
+    let parallel = collect_counters(&spec, SweepOp::RemoteDeposit, &grid, 4)
+        .unwrap()
+        .unwrap();
+    assert_eq!(sequential, parallel);
+    assert_eq!(sequential.render_json(), parallel.render_json());
 }

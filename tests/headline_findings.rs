@@ -154,6 +154,74 @@ fn finding_6_fft_compute_advantage_shrinks() {
     assert!(t3e.total_mflops > 2.0 * t3d.total_mflops);
 }
 
+/// The counter layer ties the findings to their mechanisms. Finding 2's
+/// slow 8400 pull: every remote cache line crosses the shared bus at least
+/// once, supplied cache-to-cache out of the producer's modified lines.
+/// Finding 3's slow naive T3D fetch: every single word comes back through
+/// the NI's fetch circuitry — no read-ahead or coalescing can batch it,
+/// unlike the deposit path, which streams packets without fetch requests.
+#[test]
+fn finding_mechanisms_show_in_the_counters() {
+    use gasnub::machines::RingRecorder;
+
+    let mut dec = fast(Dec8400::new());
+    dec.set_recorder(Box::new(RingRecorder::new(4)));
+    let pull = dec.remote_load(4 * MB, 1).unwrap();
+    let counters = dec.take_counters().expect("the pull must harvest counters");
+    let lines = pull.bytes / 64;
+    assert!(
+        counters.get("bus_transactions") >= lines,
+        "every pulled 64-byte line is at least one bus transaction: {} < {lines}",
+        counters.get("bus_transactions")
+    );
+
+    // A cache-resident set stays dirty in the producer's cache, so the pull
+    // is supplied cache-to-cache, downgrading Modified lines to Shared.
+    let pull = dec.remote_load(32 * KB, 1).unwrap();
+    let counters = dec.take_counters().expect("the pull must harvest counters");
+    assert!(
+        counters.get("bus_transactions") >= pull.bytes / 64,
+        "cache-to-cache supplies still cross the bus"
+    );
+    assert!(
+        counters.get("smp_cache_supplies") > 0,
+        "the producer's dirty lines must be supplied cache-to-cache"
+    );
+    assert!(
+        counters.get("mesi_m_to_s") > 0,
+        "coherent pulls must downgrade the producer's Modified lines"
+    );
+
+    let mut t3d = fast(T3d::new());
+    t3d.set_recorder(Box::new(RingRecorder::new(4)));
+    let fetch = t3d.remote_fetch(4 * MB, 16).unwrap();
+    let counters = t3d
+        .take_counters()
+        .expect("the fetch must harvest counters");
+    assert_eq!(
+        counters.get("ni_fetched_words"),
+        fetch.bytes / 8,
+        "a strided fetch pulls every 64-bit word through the NI individually"
+    );
+
+    let deposit = t3d.remote_deposit(4 * MB, 1).unwrap();
+    let counters = t3d
+        .take_counters()
+        .expect("the deposit must harvest counters");
+    let words = deposit.bytes / 8;
+    let packets = counters.get("ni_packets");
+    assert!(
+        packets > 0 && packets < words,
+        "a contiguous deposit coalesces words into fewer packets: \
+         {packets} packets for {words} words"
+    );
+    assert_eq!(
+        counters.get("ni_fetched_words"),
+        0,
+        "the deposit path never issues fetch requests"
+    );
+}
+
 /// §9's compiler guidance falls out of the measured cost model.
 #[test]
 fn cost_model_reproduces_section_9_guidance() {

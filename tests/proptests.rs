@@ -114,6 +114,52 @@ fn dec8400_pull_below_bus_ceiling() {
     });
 }
 
+/// Observation is free: installing a `RingRecorder` (versus the default
+/// `NullRecorder`) never changes a measured bandwidth, for any machine,
+/// operation, stride or working set. The recorder only *harvests* counters
+/// the components already keep — it must not perturb the simulation.
+#[test]
+fn recorders_never_change_measurements() {
+    use gasnub::machines::RingRecorder;
+    run_cases(0x0B5E4E, 24, |rng| {
+        let ws_kb = rng.gen_range(8, 8192);
+        let stride = rng.gen_range(1, 128);
+        let machine_pick = rng.gen_range(0, 3);
+        let op_pick = rng.gen_range(0, 4);
+        let probe = |m: &mut dyn Machine| match op_pick {
+            0 => Some(m.local_load(ws_kb * 1024, stride)),
+            1 => Some(m.local_copy(ws_kb * 1024, stride, 1)),
+            2 => m.remote_fetch(ws_kb * 1024, stride),
+            _ => m.remote_deposit(ws_kb * 1024, stride),
+        };
+        let mut quiet: Box<dyn Machine> = match machine_pick {
+            0 => Box::new(fast_t3d()),
+            1 => Box::new(fast_t3e()),
+            _ => Box::new(fast_dec()),
+        };
+        let mut observed: Box<dyn Machine> = match machine_pick {
+            0 => Box::new(fast_t3d()),
+            1 => Box::new(fast_t3e()),
+            _ => Box::new(fast_dec()),
+        };
+        observed.set_recorder(Box::new(RingRecorder::new(4)));
+        let baseline = probe(quiet.as_mut());
+        let traced = probe(observed.as_mut());
+        match (baseline, traced) {
+            (None, None) => {}
+            (Some(b), Some(t)) => {
+                assert_eq!(
+                    (b.bytes, b.cycles.to_bits()),
+                    (t.bytes, t.cycles.to_bits()),
+                    "machine {machine_pick} op {op_pick} ws {ws_kb}K stride {stride}: \
+                     recording must not change the measurement"
+                );
+            }
+            (b, t) => panic!("support must not depend on the recorder: {b:?} vs {t:?}"),
+        }
+    });
+}
+
 /// Measurements scale: the cycle count grows with the measured words
 /// (same stride, larger working set ⇒ at least as many cycles until the
 /// measure cap).
