@@ -1,0 +1,147 @@
+//! Records the repository's performance baseline as machine-readable JSON
+//! (`BENCH_<n>.json`, ROADMAP item 5).
+//!
+//! Two families of numbers:
+//!
+//! * **Sweep throughput** — cells/sec for the reference grid
+//!   ([`Grid::quick`], the `gasnub sweep` grid) on each machine, at one
+//!   thread and at all available cores, through the full resilient runner
+//!   (checkpoint write + fsync after every cell — the real sweep path).
+//! * **Checkpoint-write overhead** — microseconds per durable write of a
+//!   real completed-sweep payload, with and without fsync, isolating the
+//!   durability tax from the simulation cost.
+//!
+//! Usage: `perf_baseline [OUT.json]` (stdout when no path is given).
+//! Wall-clock timings vary by host; each `BENCH_<n>.json` is a snapshot of
+//! one machine, committed so later PRs can compare shapes, not a CI gate.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use gasnub_core::json::Json;
+use gasnub_core::{auto_threads, storage, Grid, ResilientSweep, SweepOp};
+use gasnub_machines::{MachineSpec, MeasureLimits};
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gasnub-perf-{}-{tag}.json", std::process::id()))
+}
+
+/// One complete resilient sweep of `grid` on a fresh checkpoint; returns
+/// cells/sec including the per-cell checkpoint write + fsync.
+fn sweep_rate(spec: &MachineSpec, grid: &Grid, threads: usize) -> f64 {
+    let path = scratch(&format!("sweep-{threads}"));
+    let _ = std::fs::remove_file(&path);
+    let start = Instant::now();
+    let outcome = ResilientSweep::new(&path)
+        .run_parallel("perf baseline", grid, threads, spec, |m, ws, s| {
+            SweepOp::LocalLoad.probe(m, ws, s)
+        })
+        .expect("the baseline sweep must succeed");
+    let secs = start.elapsed().as_secs_f64();
+    assert!(outcome.is_complete(), "the baseline sweep must complete");
+    let _ = std::fs::remove_file(&path);
+    grid.cells() as f64 / secs
+}
+
+/// Mean microseconds per durable checkpoint write of `payload`.
+fn write_micros(payload: &str, fsync: bool) -> f64 {
+    let path = scratch(if fsync { "fsync" } else { "nofsync" });
+    let rounds = 64u32;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        storage::write_durable(&path, payload, fsync).expect("baseline write must succeed");
+    }
+    let micros = start.elapsed().as_secs_f64() * 1e6 / f64::from(rounds);
+    let _ = std::fs::remove_file(&path);
+    micros
+}
+
+/// A real completed-sweep checkpoint payload for the write benchmark.
+fn reference_payload(grid: &Grid) -> String {
+    let path = scratch("payload");
+    let _ = std::fs::remove_file(&path);
+    ResilientSweep::new(&path)
+        .with_fsync(false)
+        .run("perf baseline", grid, |ws, s| {
+            Some((ws as f64).sqrt() / s as f64)
+        })
+        .expect("the payload sweep must succeed");
+    let payload = storage::read_verified(&path)
+        .expect("the payload checkpoint must verify")
+        .expect("the payload checkpoint must exist");
+    let _ = std::fs::remove_file(&path);
+    payload
+}
+
+/// Fixed-precision decimal for the JSON snapshot (the checkpoint JSON
+/// subset has no float type, and full float precision is noise here).
+fn rate(value: f64) -> Json {
+    Json::Str(format!("{value:.1}"))
+}
+
+fn main() {
+    let out = std::env::args().nth(1);
+    let grid = Grid::quick();
+    let threads = auto_threads();
+
+    let mut machines = std::collections::BTreeMap::new();
+    for (label, spec) in [
+        ("dec8400", MachineSpec::dec8400()),
+        ("t3d", MachineSpec::t3d()),
+        ("t3e", MachineSpec::t3e()),
+    ] {
+        let spec = spec.with_limits(MeasureLimits::fast());
+        eprintln!("measuring {label} ({} cells) ...", grid.cells());
+        let single = sweep_rate(&spec, &grid, 1);
+        let multi = sweep_rate(&spec, &grid, threads);
+        machines.insert(
+            label.to_string(),
+            Json::object([
+                ("cells_per_sec_1_thread", rate(single)),
+                ("cells_per_sec_n_threads", rate(multi)),
+                ("speedup", Json::Str(format!("{:.2}", multi / single))),
+            ]),
+        );
+    }
+
+    let payload = reference_payload(&grid);
+    let fsync_on = write_micros(&payload, true);
+    let fsync_off = write_micros(&payload, false);
+
+    let report = Json::object([
+        ("bench", Json::U64(6)),
+        (
+            "grid",
+            Json::object([
+                ("cells", Json::U64(grid.cells() as u64)),
+                (
+                    "strides",
+                    Json::Array(grid.strides.iter().map(|&s| Json::U64(s)).collect()),
+                ),
+                (
+                    "working_sets",
+                    Json::Array(grid.working_sets.iter().map(|&w| Json::U64(w)).collect()),
+                ),
+            ]),
+        ),
+        ("threads", Json::U64(threads as u64)),
+        ("machines", Json::Object(machines)),
+        (
+            "checkpoint_write",
+            Json::object([
+                ("payload_bytes", Json::U64(payload.len() as u64)),
+                ("micros_per_write_fsync", rate(fsync_on)),
+                ("micros_per_write_no_fsync", rate(fsync_off)),
+            ]),
+        ),
+    ]);
+
+    let rendered = format!("{}\n", report.render());
+    match out {
+        Some(path) => {
+            std::fs::write(&path, rendered).expect("baseline output must be writable");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}

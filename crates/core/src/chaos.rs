@@ -1,0 +1,263 @@
+//! Seeded chaos injection for checkpoint storage.
+//!
+//! The durability claims of [`crate::storage`] are only worth what the
+//! tests that attack them are worth. This module provides the attacker: a
+//! [`FaultInjector`] that implements [`crate::storage::WriteFaults`] and,
+//! on a deterministic seeded schedule, makes checkpoint writes go wrong in
+//! the three ways disks actually fail:
+//!
+//! * **short write** — the tail of the file is missing (crash mid-write);
+//! * **bit flip** — one bit somewhere in the file differs (media rot,
+//!   RAM-to-disk corruption);
+//! * **rename failure** — the atomic publish step itself errors.
+//!
+//! Short writes and bit flips *report success* to the writer — exactly like
+//! a real disk — so the corruption is only discoverable at the next
+//! verified read. Rename failures surface immediately as
+//! [`crate::storage::CheckpointError::Io`].
+//!
+//! Every decision the injector makes is appended to a log
+//! ([`FaultInjector::log`]); when a chaos proptest fails, the harness
+//! writes [`FaultInjector::render_log`] to disk so CI can upload the exact
+//! failing schedule as an artifact.
+
+use std::fmt;
+
+use gasnub_memsim::rng::Rng;
+
+use crate::storage::WriteFaults;
+
+/// One way a checkpoint write can be sabotaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// Drop this many bytes from the end of the file (crash mid-write).
+    ShortWrite {
+        /// Bytes removed from the tail.
+        dropped: u64,
+    },
+    /// Flip exactly one bit at this absolute bit offset.
+    BitFlip {
+        /// Bit index into the file (`byte * 8 + bit`).
+        bit: u64,
+    },
+    /// Make the temp→final rename fail.
+    FailRename,
+}
+
+impl fmt::Display for StorageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageFault::ShortWrite { dropped } => write!(f, "short-write dropped={dropped}"),
+            StorageFault::BitFlip { bit } => write!(f, "bit-flip bit={bit}"),
+            StorageFault::FailRename => write!(f, "fail-rename"),
+        }
+    }
+}
+
+/// A fault the injector actually applied, tagged with which write it hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppliedFault {
+    /// Zero-based index of the checkpoint write this fault corrupted.
+    pub write_index: u64,
+    /// What was done to it.
+    pub fault: StorageFault,
+}
+
+/// A seeded schedule of storage faults.
+///
+/// Each checkpoint write independently suffers a fault with probability
+/// `fault_pct`/100; the fault kind and its parameters come from a
+/// [`Rng`] forked off `seed`, so the same `(seed, fault_pct)` pair always
+/// produces the same schedule against the same write sequence — a failing
+/// chaos run is replayable from two numbers.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: Rng,
+    fault_pct: u32,
+    writes: u64,
+    rename_pending: bool,
+    log: Vec<AppliedFault>,
+}
+
+impl FaultInjector {
+    /// A new injector faulting roughly `fault_pct`% of writes.
+    pub fn new(seed: u64, fault_pct: u32) -> Self {
+        FaultInjector {
+            rng: Rng::new(seed).fork(0xC4A0),
+            fault_pct: fault_pct.min(100),
+            writes: 0,
+            rename_pending: false,
+            log: Vec::new(),
+        }
+    }
+
+    /// An injector that never faults (for differential runs).
+    pub fn clean(seed: u64) -> Self {
+        FaultInjector::new(seed, 0)
+    }
+
+    /// How many writes have passed through the injector.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Every fault applied so far, in write order.
+    pub fn log(&self) -> &[AppliedFault] {
+        &self.log
+    }
+
+    /// Renders the applied-fault schedule as one line per fault —
+    /// the artifact CI uploads when a chaos test goes red.
+    pub fn render_log(&self) -> String {
+        let mut out = format!(
+            "# chaos schedule: {} writes, {} faults\n",
+            self.writes,
+            self.log.len()
+        );
+        for f in &self.log {
+            out.push_str(&format!("write {}: {}\n", f.write_index, f.fault));
+        }
+        out
+    }
+
+    fn draw_fault(&mut self, file_len: u64) -> Option<StorageFault> {
+        if self.fault_pct == 0 || !self.rng.gen_bool(self.fault_pct as f64 / 100.0) {
+            return None;
+        }
+        Some(match self.rng.gen_range(0, 3) {
+            0 => StorageFault::ShortWrite {
+                // At least one byte, at most the whole footer and change —
+                // enough to tear the tail without always emptying the file.
+                dropped: self.rng.gen_range(1, file_len.clamp(2, 80)),
+            },
+            1 => StorageFault::BitFlip {
+                bit: self.rng.gen_range(0, (file_len * 8).max(1)),
+            },
+            _ => StorageFault::FailRename,
+        })
+    }
+}
+
+impl WriteFaults for FaultInjector {
+    fn corrupt_file_bytes(&mut self, mut bytes: Vec<u8>) -> Vec<u8> {
+        let idx = self.writes;
+        self.writes += 1;
+        let Some(fault) = self.draw_fault(bytes.len() as u64) else {
+            return bytes;
+        };
+        self.log.push(AppliedFault {
+            write_index: idx,
+            fault,
+        });
+        match fault {
+            StorageFault::ShortWrite { dropped } => {
+                let keep = bytes.len().saturating_sub(dropped as usize);
+                bytes.truncate(keep);
+            }
+            StorageFault::BitFlip { bit } => {
+                let byte = (bit / 8) as usize;
+                if byte < bytes.len() {
+                    bytes[byte] ^= 1 << (bit % 8);
+                }
+            }
+            StorageFault::FailRename => self.rename_pending = true,
+        }
+        bytes
+    }
+
+    fn fail_rename(&mut self) -> bool {
+        std::mem::take(&mut self.rename_pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{read_verified, write_durable_with, CheckpointError};
+    use std::path::PathBuf;
+
+    fn tdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gasnub-chaos-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let payload = vec![0u8; 400];
+        let mut a = FaultInjector::new(7, 50);
+        let mut b = FaultInjector::new(7, 50);
+        for _ in 0..32 {
+            let fa = a.corrupt_file_bytes(payload.clone());
+            let fb = b.corrupt_file_bytes(payload.clone());
+            assert_eq!(fa, fb);
+            assert_eq!(a.fail_rename(), b.fail_rename());
+        }
+        assert_eq!(a.log(), b.log());
+    }
+
+    #[test]
+    fn clean_injector_never_faults() {
+        let mut inj = FaultInjector::clean(99);
+        for _ in 0..64 {
+            let bytes = inj.corrupt_file_bytes(vec![1, 2, 3, 4]);
+            assert_eq!(bytes, vec![1, 2, 3, 4]);
+            assert!(!inj.fail_rename());
+        }
+        assert!(inj.log().is_empty());
+        assert_eq!(inj.writes(), 64);
+    }
+
+    #[test]
+    fn every_applied_fault_is_detected_or_errors() {
+        // Drive real writes through an aggressive injector: each write
+        // either (a) errors immediately (rename), or (b) succeeds and then
+        // read_verified either verifies clean bytes or names the corruption.
+        let dir = tdir("detect");
+        let path = dir.join("ck.json");
+        let payload = "{\"version\":2,\"cells\":[[0,0,4607182418800017408]]}";
+        let mut inj = FaultInjector::new(12345, 100);
+        let mut detected = 0;
+        for i in 0..40 {
+            let faults_before = inj.log().len();
+            match write_durable_with(&path, payload, false, &mut inj) {
+                Err(CheckpointError::Io { op, .. }) => assert_eq!(op, "rename"),
+                Err(other) => panic!("write {i}: unexpected error {other}"),
+                Ok(()) => {
+                    let faulted = inj.log().len() > faults_before
+                        && !matches!(inj.log().last().unwrap().fault, StorageFault::FailRename);
+                    match read_verified(&path) {
+                        Ok(Some(p)) => {
+                            // Only a clean write may verify: CRC32 catches
+                            // every single-bit flip, and the mandatory
+                            // trailing newline catches every short write.
+                            assert!(!faulted, "write {i}: corruption went undetected");
+                            assert_eq!(p, payload);
+                        }
+                        Ok(None) => panic!("write {i}: file vanished"),
+                        Err(CheckpointError::Corrupt { .. }) => {
+                            assert!(faulted, "write {i}: clean write reported corrupt");
+                            detected += 1;
+                        }
+                        Err(other) => panic!("write {i}: unexpected error {other}"),
+                    }
+                }
+            }
+            // Reset for the next round so each write is independent.
+            let _ = std::fs::remove_file(&path);
+        }
+        assert!(detected > 5, "injector too tame: {detected} detections");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn render_log_lists_each_fault() {
+        let mut inj = FaultInjector::new(3, 100);
+        let _ = inj.corrupt_file_bytes(vec![0u8; 200]);
+        let _ = inj.fail_rename();
+        let log = inj.render_log();
+        assert!(log.starts_with("# chaos schedule"));
+        assert!(log.contains("write 0:"), "{log}");
+    }
+}

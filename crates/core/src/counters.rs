@@ -59,6 +59,12 @@ pub struct CounterReport {
     pub title: String,
     /// Cells in grid order (working sets outer, strides inner).
     pub cells: Vec<CellReport>,
+    /// Run-level robustness counters (retries, quarantines, timeouts,
+    /// force-restart recoveries — the [`gasnub_trace::robustness`] names),
+    /// filled in by the resilient sweep runner's outcome. Omitted from the
+    /// JSON rendering when empty, so reports from untroubled runs keep
+    /// their historical bytes.
+    pub robustness: CounterSet,
 }
 
 impl CounterReport {
@@ -82,12 +88,24 @@ impl CounterReport {
                 ])
             })
             .collect();
-        Json::object([
+        let mut pairs = vec![
             ("machine", Json::Str(self.machine.clone())),
             ("op", Json::Str(self.op.clone())),
             ("title", Json::Str(self.title.clone())),
             ("cells", Json::Array(cells)),
-        ])
+        ];
+        if !self.robustness.is_empty() {
+            pairs.push((
+                "robustness",
+                Json::Object(
+                    self.robustness
+                        .iter()
+                        .map(|(name, value)| (name.to_string(), Json::U64(value)))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::object(pairs)
     }
 
     /// Renders the report as one line of canonical JSON plus a trailing
@@ -146,11 +164,25 @@ impl CounterReport {
                 counters,
             });
         }
+        let mut robustness = CounterSet::new();
+        match doc.get("robustness") {
+            None => {}
+            Some(Json::Object(map)) => {
+                for (name, value) in map {
+                    let value = value.as_u64().ok_or_else(|| {
+                        SimError::malformed(format!("robustness '{name}' is not a number"))
+                    })?;
+                    robustness.set(name, value);
+                }
+            }
+            Some(_) => return Err(SimError::malformed("'robustness' is not an object")),
+        }
         Ok(CounterReport {
             machine: string("machine")?,
             op: string("op")?,
             title: string("title")?,
             cells,
+            robustness,
         })
     }
 
@@ -231,6 +263,7 @@ pub fn collect_counters<S: SpawnEngine>(
         op: op.label().to_string(),
         title,
         cells: Vec::with_capacity(grid.cells()),
+        robustness: CounterSet::new(),
     };
     for cell in cells {
         match cell? {
@@ -305,6 +338,7 @@ mod tests {
             machine: "t3d".into(),
             op: "load".into(),
             title: "t".into(),
+            robustness: CounterSet::new(),
             cells: vec![
                 CellReport {
                     ws_bytes: 1024,
@@ -333,6 +367,28 @@ mod tests {
         assert_eq!(lines[0], "ws_bytes,stride,mb_s,alpha,beta");
         assert_eq!(lines[1], "1024,1,800.0,0,2");
         assert_eq!(lines[2], "1024,8,100.0,7,0");
+    }
+
+    #[test]
+    fn robustness_counters_render_only_when_present_and_round_trip() {
+        let mut report = CounterReport {
+            machine: "t3d".into(),
+            op: "load".into(),
+            title: "t".into(),
+            cells: Vec::new(),
+            robustness: CounterSet::new(),
+        };
+        // Empty: the key is omitted, preserving pre-robustness bytes.
+        assert!(!report.render_json().contains("robustness"));
+        let back = CounterReport::parse(&report.render_json()).unwrap();
+        assert!(back.robustness.is_empty());
+        // Non-empty: rendered and round-tripped.
+        report.robustness.add("sweep.retries", 3);
+        report.robustness.add("sweep.quarantines", 1);
+        let text = report.render_json();
+        assert!(text.contains("\"robustness\":{\"sweep.quarantines\":1,\"sweep.retries\":3}"));
+        let back = CounterReport::parse(&text).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -64,6 +64,7 @@
 //! ```
 
 pub mod bench;
+pub mod chaos;
 pub mod compare;
 pub mod cost;
 pub mod counters;
@@ -72,8 +73,12 @@ pub mod pool;
 pub mod profile;
 pub mod report;
 pub mod resilient;
+pub mod storage;
 pub mod surface;
 pub mod sweep;
+
+pub use chaos::{AppliedFault, FaultInjector, StorageFault};
+pub use storage::{read_verified, write_durable, CheckpointError};
 
 pub use bench::{
     local_copy_surface, local_load_surface, local_store_surface, remote_deposit_surface,
@@ -82,8 +87,8 @@ pub use bench::{
 pub use compare::{Comparison, MachineSummary};
 pub use cost::{CostModel, Strategy, TransferEstimate};
 pub use counters::{collect_counters, CellReport, CounterReport};
-pub use pool::{auto_threads, run_indexed};
+pub use pool::{auto_threads, run_indexed, run_indexed_while};
 pub use profile::MachineProfile;
-pub use resilient::{FailedCell, ResilientSweep, SweepOutcome};
+pub use resilient::{FailedCell, FailureKind, ResilientSweep, SweepError, SweepOutcome};
 pub use surface::Surface;
 pub use sweep::Grid;

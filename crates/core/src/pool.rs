@@ -12,6 +12,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+use gasnub_machines::CancelToken;
+
 /// Runs `f(0..n)` across `threads` workers, returning results indexed by
 /// job number — byte-for-byte the same `Vec` a sequential loop would build,
 /// as long as `f` itself is deterministic per index.
@@ -62,6 +64,60 @@ where
         .collect()
 }
 
+/// Like [`run_indexed`], but workers stop *claiming* new jobs once `token`
+/// is cancelled (by flag or deadline). Jobs already claimed run to
+/// completion — the pool never abandons work mid-flight — and every
+/// unclaimed job's slot comes back as `None`, so the caller can count
+/// exactly what was skipped.
+///
+/// The resilient sweep runner uses this to enforce its run-wide wall-clock
+/// budget and to drain the pool cleanly after a fatal error (cancel the
+/// token, let in-flight cells finish, return).
+pub fn run_indexed_while<T, F>(
+    threads: usize,
+    n: usize,
+    token: &CancelToken,
+    f: F,
+) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n)
+            .map(|i| (!token.is_cancelled()).then(|| f(i)))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                if token.is_cancelled() {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, value) in rx {
+        slots[i] = Some(value);
+    }
+    slots
+}
+
 /// The number of worker threads a `--threads 0`-style "auto" request maps
 /// to: the machine's available parallelism, or 1 if unknown.
 pub fn auto_threads() -> usize {
@@ -107,5 +163,42 @@ mod tests {
     #[test]
     fn auto_threads_is_at_least_one() {
         assert!(auto_threads() >= 1);
+    }
+
+    #[test]
+    fn run_indexed_while_with_a_live_token_matches_run_indexed() {
+        let token = CancelToken::new();
+        for threads in [1, 4] {
+            let out = run_indexed_while(threads, 20, &token, |i| i * 3);
+            assert_eq!(
+                out,
+                (0..20).map(|i| Some(i * 3)).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_indexed_while_skips_everything_once_cancelled() {
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 4] {
+            let out = run_indexed_while(threads, 10, &token, |i| i);
+            assert!(out.iter().all(Option::is_none), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_while_mid_run_cancel_reports_skipped_slots() {
+        let token = CancelToken::new();
+        let out = run_indexed_while(2, 50, &token, |i| {
+            if i == 5 {
+                token.cancel();
+            }
+            i
+        });
+        // The cancelling job itself completes; later claims stop.
+        assert_eq!(out[5], Some(5));
+        assert!(out.iter().any(Option::is_none));
     }
 }

@@ -1,44 +1,142 @@
-//! A resilient sweep runner: checkpointed, resumable, panic-isolating.
+//! A self-healing sweep runner: checkpointed, resumable, panic-isolating,
+//! with durable checksummed checkpoints and per-cell retry / timeout /
+//! quarantine policies.
 //!
 //! The paper's surfaces are thousands of simulated measurements; on a
 //! degraded machine model (or a buggy experimental one) a single cell can
-//! panic, and a long sweep can outlive a batch-queue time slot. This runner
-//! makes the sweep loop of [`crate::bench`] robust:
+//! panic or hang, and a long sweep can outlive a batch-queue time slot.
+//! This runner makes the sweep loop of [`crate::bench`] robust:
 //!
-//! * **Checkpointing** — after every measured cell the partial surface is
-//!   written to a JSON checkpoint (atomically: temp file + rename), so an
-//!   interrupted sweep loses at most one cell.
-//! * **Resume** — re-running with the same checkpoint path skips every cell
-//!   already recorded and produces a surface *bit-identical* to an
-//!   uninterrupted run: bandwidths are persisted as `f64::to_bits`.
-//! * **Panic isolation** — a cell that panics is caught with
-//!   `catch_unwind`, recorded as failed (its cell renders as `NaN`), and
-//!   the sweep moves on.
-//! * **Wall-clock budget** — an optional time budget stops the sweep
-//!   between cells and reports the remainder as pending instead of running
-//!   past a deadline.
+//! * **Durable checkpointing** — after every attempted cell the partial
+//!   surface is written through [`crate::storage`]: atomically (temp file +
+//!   optional fsync + rename) and with a CRC32 checksum footer, so an
+//!   interrupted sweep loses at most one cell and a torn or bit-rotted file
+//!   is *detected*, never silently treated as empty.
+//! * **Resume** — re-running with the same checkpoint path verifies the
+//!   file's integrity and identity (schema version, title, grid axes),
+//!   skips every cell already recorded, and produces a surface
+//!   *bit-identical* to an uninterrupted run: bandwidths are persisted as
+//!   `f64::to_bits`. A checkpoint that fails verification is a structured
+//!   [`CheckpointError`] — the `--force-restart` escape hatch
+//!   ([`ResilientSweep::with_force_restart`]) moves it aside to
+//!   `<path>.corrupt` and starts fresh, preserving the evidence.
+//! * **Retry with seeded backoff** — a panicking cell is re-attempted up to
+//!   [`ResilientSweep::with_retries`] times with exponential, seeded-jitter
+//!   backoff; a cell that exhausts its budget is **quarantined**: recorded
+//!   as a [`FailureKind::Panic`] hole (its cell renders as `NaN`), skipped
+//!   on resume, never aborting the run.
+//! * **Per-cell wall-clock budgets** — [`ResilientSweep::with_cell_timeout`]
+//!   derives a [`CancelToken`] per attempt and installs it on the cell's
+//!   engine; instrumented engines bail out of their probe loops
+//!   cooperatively and the cell is recorded as [`FailureKind::Timeout`].
+//! * **Robustness counters** — retries, quarantines, timeouts and
+//!   force-restart recoveries accumulate into the
+//!   [`gasnub_trace::CounterSet`] on [`SweepOutcome::robustness`], under
+//!   the canonical [`gasnub_trace::robustness`] names. Because each cell's
+//!   verdict depends only on its own (deterministic) probe, the counts are
+//!   identical across thread counts.
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use gasnub_machines::SpawnEngine;
+use gasnub_machines::{CancelToken, CellCancelled, Machine, SpawnEngine};
+use gasnub_memsim::rng::Rng;
 use gasnub_memsim::SimError;
+use gasnub_trace::{robustness, CounterSet};
 
 use crate::json::Json;
+use crate::storage::{self, CheckpointError, WriteFaults};
 use crate::surface::Surface;
 use crate::sweep::Grid;
 
-/// A cell whose probe panicked or reported the operation unsupported.
+/// The checkpoint schema version this binary reads and writes.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Why a sweep run failed outright (as opposed to individual cells, which
+/// degrade to holes in the surface).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// The checkpoint could not be read, verified, or written.
+    Checkpoint(CheckpointError),
+    /// The engine factory failed; no cells can run without engines.
+    Spawn(SimError),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Checkpoint(e) => e.fmt(f),
+            SweepError::Spawn(e) => write!(f, "spawning an engine failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<CheckpointError> for SweepError {
+    fn from(e: CheckpointError) -> Self {
+        SweepError::Checkpoint(e)
+    }
+}
+
+impl From<SweepError> for SimError {
+    fn from(e: SweepError) -> Self {
+        match e {
+            SweepError::Checkpoint(c) => c.into(),
+            SweepError::Spawn(s) => s,
+        }
+    }
+}
+
+/// How a cell failed. Serialized into the checkpoint (`kind` field), so a
+/// resumed run knows which holes were timeouts vs. quarantined panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The probe reported the operation unsupported on this machine
+    /// (deterministic — never retried).
+    Unsupported,
+    /// The probe panicked on every allowed attempt; the cell is
+    /// quarantined.
+    Panic,
+    /// The cell's wall-clock budget expired before the probe finished.
+    Timeout,
+}
+
+impl FailureKind {
+    /// The checkpoint serialization of this kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::Unsupported => "unsupported",
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+        }
+    }
+
+    /// Parses [`FailureKind::label`] output.
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "unsupported" => Some(FailureKind::Unsupported),
+            "panic" => Some(FailureKind::Panic),
+            "timeout" => Some(FailureKind::Timeout),
+            _ => None,
+        }
+    }
+}
+
+/// A cell recorded as a hole in the surface.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailedCell {
     /// The cell's working set in bytes.
     pub ws_bytes: u64,
     /// The cell's stride in words.
     pub stride: u64,
+    /// How the cell failed.
+    pub kind: FailureKind,
+    /// Probe attempts spent on the cell (1 = no retries).
+    pub attempts: u32,
     /// The panic message or failure reason.
     pub error: String,
 }
@@ -48,14 +146,19 @@ pub struct FailedCell {
 pub struct SweepOutcome {
     /// The (possibly partial) surface. Failed and pending cells are `NaN`.
     pub surface: Surface,
-    /// Cells measured during *this* run.
+    /// Cells attempted during *this* run (measured, quarantined, timed out
+    /// or unsupported — everything that got a verdict).
     pub measured: usize,
     /// Cells restored from the checkpoint instead of re-measured.
     pub resumed: usize,
-    /// Cells whose probe panicked or was unsupported (never retried).
+    /// Cells recorded as holes: quarantined panics, timeouts, unsupported.
     pub failed: Vec<FailedCell>,
     /// Cells not attempted because the budget or cell cap ran out.
     pub pending: usize,
+    /// Robustness counters for this run (retries, quarantines, timeouts,
+    /// force-restart recoveries), under [`gasnub_trace::robustness`] names.
+    /// Empty when nothing went wrong.
+    pub robustness: CounterSet,
 }
 
 impl SweepOutcome {
@@ -66,11 +169,47 @@ impl SweepOutcome {
 }
 
 /// Checkpointed sweep driver; see the module docs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ResilientSweep {
     checkpoint: PathBuf,
     budget: Option<Duration>,
     max_cells: Option<usize>,
+    retries: u32,
+    retry_backoff: Duration,
+    retry_seed: u64,
+    cell_timeout: Option<Duration>,
+    force_restart: bool,
+    fsync: bool,
+    faults: Option<Arc<Mutex<dyn WriteFaults + Send>>>,
+}
+
+impl std::fmt::Debug for ResilientSweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientSweep")
+            .field("checkpoint", &self.checkpoint)
+            .field("budget", &self.budget)
+            .field("max_cells", &self.max_cells)
+            .field("retries", &self.retries)
+            .field("cell_timeout", &self.cell_timeout)
+            .field("force_restart", &self.force_restart)
+            .field("fsync", &self.fsync)
+            .field("faults", &self.faults.as_ref().map(|_| "<injected>"))
+            .finish()
+    }
+}
+
+/// One cell's verdict after the retry loop.
+enum Verdict {
+    Done(f64),
+    Failed(FailureKind, String),
+}
+
+/// What a pool job reports back.
+enum JobDone {
+    /// The cell got a verdict and the checkpoint was updated.
+    Recorded,
+    /// A fatal error was raised; the run is over.
+    Fatal,
 }
 
 impl ResilientSweep {
@@ -80,11 +219,20 @@ impl ResilientSweep {
             checkpoint: checkpoint.into(),
             budget: None,
             max_cells: None,
+            retries: 0,
+            retry_backoff: Duration::ZERO,
+            retry_seed: 0x5EED,
+            cell_timeout: None,
+            force_restart: false,
+            fsync: true,
+            faults: None,
         }
     }
 
-    /// Limits the wall-clock time spent measuring. The budget is checked
-    /// *between* cells: a sweep never abandons a cell mid-measurement.
+    /// Limits the wall-clock time spent measuring. Expiry stops workers
+    /// from *claiming* new cells; with a cell timeout configured it also
+    /// caps each in-flight cell's token, so instrumented engines wind down
+    /// cooperatively.
     pub fn with_budget(mut self, budget: Duration) -> Self {
         self.budget = Some(budget);
         self
@@ -94,6 +242,63 @@ impl ResilientSweep {
     /// chunks of a long sweep, and for testing resume).
     pub fn with_max_cells(mut self, max_cells: usize) -> Self {
         self.max_cells = Some(max_cells);
+        self
+    }
+
+    /// Re-attempts a panicking cell up to `retries` extra times before
+    /// quarantining it. Unsupported cells and timeouts are never retried
+    /// (the former is deterministic, the latter has already spent its
+    /// budget).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Base delay of the exponential retry backoff (attempt `n` sleeps
+    /// roughly `base * 2^(n-1)`, jittered). Zero (the default) retries
+    /// immediately — right for deterministic simulations, where a retry
+    /// only helps if the probe is flaky by construction.
+    pub fn with_retry_backoff(mut self, base: Duration) -> Self {
+        self.retry_backoff = base;
+        self
+    }
+
+    /// Seeds the backoff jitter, so a replayed run sleeps the same
+    /// schedule.
+    pub fn with_retry_seed(mut self, seed: u64) -> Self {
+        self.retry_seed = seed;
+        self
+    }
+
+    /// Gives every cell attempt a wall-clock budget. The token is checked
+    /// once *before* the attempt (so an expired budget is deterministic)
+    /// and cooperatively inside instrumented probe loops; expiry records
+    /// the cell as [`FailureKind::Timeout`].
+    pub fn with_cell_timeout(mut self, timeout: Duration) -> Self {
+        self.cell_timeout = Some(timeout);
+        self
+    }
+
+    /// When resume finds a corrupt, schema-mismatched or foreign
+    /// checkpoint, move it aside to `<path>.corrupt` and start fresh
+    /// instead of failing. I/O errors are never bulldozed.
+    pub fn with_force_restart(mut self, force: bool) -> Self {
+        self.force_restart = force;
+        self
+    }
+
+    /// Whether checkpoint writes fsync before renaming (default `true`).
+    /// Turning it off trades crash-durability for write latency — the
+    /// checksum footer still catches the resulting torn files.
+    pub fn with_fsync(mut self, fsync: bool) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Routes every checkpoint write through a fault-injection hook — the
+    /// chaos harness' entry point ([`crate::chaos::FaultInjector`]).
+    pub fn with_write_faults(mut self, faults: Arc<Mutex<dyn WriteFaults + Send>>) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -122,20 +327,23 @@ impl ResilientSweep {
     ///
     /// `probe` returns the cell's bandwidth in MB/s, or `None` when the
     /// operation is unsupported on this machine (recorded as failed).
-    /// The checkpoint is rewritten after every attempted cell.
+    /// The checkpoint is rewritten after every attempted cell. Without an
+    /// engine to install a token on, the cell timeout is only checked
+    /// before each attempt — use [`ResilientSweep::run_parallel`] for
+    /// cooperative mid-probe cancellation.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Malformed`] when an existing checkpoint does not
-    /// parse or belongs to a different sweep (title or axes differ), and
-    /// [`SimError::Io`] when the checkpoint cannot be read or written.
+    /// Returns [`SweepError::Checkpoint`] when an existing checkpoint fails
+    /// verification (corrupt bytes, wrong schema version, foreign
+    /// title/grid) or cannot be read or written.
     pub fn run(
         &self,
         title: &str,
         grid: &Grid,
         mut probe: impl FnMut(u64, u64) -> Option<f64>,
-    ) -> Result<SweepOutcome, SimError> {
-        let mut state = self.load_state(title, grid)?;
+    ) -> Result<SweepOutcome, SweepError> {
+        let (mut state, mut counters) = self.load_state(title, grid)?;
         let resumed = state.done.len();
         let started = Instant::now();
         let mut measured = 0usize;
@@ -153,23 +361,50 @@ impl ResilientSweep {
                     pending += 1;
                     continue;
                 }
-                match catch_unwind(AssertUnwindSafe(|| probe(ws, stride))) {
-                    Ok(Some(mb_s)) => {
-                        state.done.insert(key, mb_s.to_bits());
+                let mut rng = self.cell_rng(ws, stride);
+                let mut attempts = 0u32;
+                let verdict = loop {
+                    attempts += 1;
+                    if self
+                        .cell_timeout
+                        .is_some_and(|t| CancelToken::with_deadline(t).is_cancelled())
+                    {
+                        break Verdict::Failed(FailureKind::Timeout, CELL_TIMEOUT.to_string());
                     }
-                    Ok(None) => {
-                        state.failed.insert(key, UNSUPPORTED.to_string());
+                    match catch_unwind(AssertUnwindSafe(|| probe(ws, stride))) {
+                        Ok(Some(mb_s)) => break Verdict::Done(mb_s),
+                        Ok(None) => {
+                            break Verdict::Failed(
+                                FailureKind::Unsupported,
+                                UNSUPPORTED.to_string(),
+                            )
+                        }
+                        Err(panic) => {
+                            if panic.downcast_ref::<CellCancelled>().is_some() {
+                                break Verdict::Failed(
+                                    FailureKind::Timeout,
+                                    CELL_TIMEOUT.to_string(),
+                                );
+                            }
+                            if attempts > self.retries {
+                                break Verdict::Failed(
+                                    FailureKind::Panic,
+                                    panic_text(panic.as_ref()),
+                                );
+                            }
+                            self.backoff(&mut rng, attempts);
+                        }
                     }
-                    Err(panic) => {
-                        state.failed.insert(key, panic_text(panic.as_ref()));
-                    }
-                }
+                };
+                record_verdict(&mut state, &mut counters, key, attempts, verdict);
                 measured += 1;
-                self.save_state(title, grid, &state)?;
+                if self.save_state(title, grid, &state)? {
+                    counters.add(robustness::CHECKPOINT_WRITE_RETRIES, 1);
+                }
             }
         }
 
-        Ok(self.outcome(title, grid, state, measured, resumed, pending))
+        Ok(self.outcome(title, grid, state, measured, resumed, pending, counters))
     }
 
     /// Runs (or resumes) the sweep of `grid` across `threads` workers, each
@@ -177,21 +412,25 @@ impl ResilientSweep {
     ///
     /// Because every cell gets its own engine and each probe is
     /// deterministic, the outcome — surface values, checkpoint bytes, failed
-    /// cells — is bit-identical to [`ResilientSweep::run`] with the
-    /// equivalent probe, regardless of thread count or completion order:
-    /// the checkpoint keeps cells in a `BTreeMap` and the surface is
-    /// assembled in grid order after the pool drains. `threads <= 1` still
-    /// measures every cell on a fresh engine, sequentially.
+    /// cells, robustness counters — is bit-identical to
+    /// [`ResilientSweep::run`] with the equivalent probe, regardless of
+    /// thread count or completion order: the checkpoint keeps cells in a
+    /// `BTreeMap` and the surface is assembled in grid order after the pool
+    /// drains. `threads <= 1` still measures every cell on a fresh engine,
+    /// sequentially.
     ///
-    /// A wall-clock budget is checked when a worker *claims* a cell, so an
-    /// over-budget sweep finishes only the cells already in flight; a cell
-    /// cap bounds the cells claimed in total across all workers.
+    /// The run-wide budget stops workers from claiming new cells
+    /// ([`crate::pool::run_indexed_while`]); the per-cell timeout is
+    /// installed on each engine as a [`CancelToken`], so instrumented
+    /// probes stop cooperatively mid-loop and the cell records as a
+    /// [`FailureKind::Timeout`] hole.
     ///
     /// # Errors
     ///
-    /// Everything [`ResilientSweep::run`] returns, plus any [`SimError`]
-    /// from `spawner` — a spawn failure stops the pool and fails the sweep
-    /// (the checkpoint keeps all cells finished before the failure).
+    /// Everything [`ResilientSweep::run`] returns, plus
+    /// [`SweepError::Spawn`] when `spawner` fails — a spawn failure cancels
+    /// the pool's claim token and fails the sweep (the checkpoint keeps all
+    /// cells finished before the failure).
     pub fn run_parallel<S, P>(
         &self,
         title: &str,
@@ -199,14 +438,13 @@ impl ResilientSweep {
         threads: usize,
         spawner: &S,
         probe: P,
-    ) -> Result<SweepOutcome, SimError>
+    ) -> Result<SweepOutcome, SweepError>
     where
         S: SpawnEngine,
         P: Fn(&mut S::Engine, u64, u64) -> Option<f64> + Sync,
     {
-        let state = self.load_state(title, grid)?;
+        let (state, counters) = self.load_state(title, grid)?;
         let resumed = state.done.len();
-        let started = Instant::now();
 
         // The cells left to measure, in grid order. The cell cap splits off
         // the tail up front — unlike the budget, it is deterministic.
@@ -218,73 +456,119 @@ impl ResilientSweep {
         let (attempt, capped) = work.split_at(allowed);
 
         let state = Mutex::new(state);
-        let fatal: Mutex<Option<SimError>> = Mutex::new(None);
-        let stop = AtomicBool::new(false);
-        let next = AtomicUsize::new(0);
-        // Cells claimed after the budget expired: pending, not measured.
-        let deferred = AtomicUsize::new(0);
+        let counters = Mutex::new(counters);
+        let fatal: Mutex<Option<SweepError>> = Mutex::new(None);
+        // Budget expiry and fatal errors both stop further claims; cells
+        // already in flight finish (and their tokens, derived from this
+        // one, pick up the cancellation cooperatively).
+        let claim = match self.budget {
+            Some(b) => CancelToken::with_deadline(b),
+            None => CancelToken::new(),
+        };
 
-        let workers = threads.max(1).min(attempt.len().max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
+        let slots = crate::pool::run_indexed_while(threads, attempt.len(), &claim, |i| {
+            let (ws, stride) = attempt[i];
+            let mut rng = self.cell_rng(ws, stride);
+            let mut attempts = 0u32;
+            let verdict = loop {
+                attempts += 1;
+                let token = match self.cell_timeout {
+                    Some(t) => claim.child_with_deadline(t),
+                    None => claim.clone(),
+                };
+                if token.is_cancelled() {
+                    break Verdict::Failed(FailureKind::Timeout, CELL_TIMEOUT.to_string());
+                }
+                let mut engine = match spawner.spawn_engine() {
+                    Ok(engine) => engine,
+                    Err(err) => {
+                        *lock_or_recover(&fatal) = Some(SweepError::Spawn(err));
+                        claim.cancel();
+                        return JobDone::Fatal;
                     }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= attempt.len() {
-                        break;
+                };
+                engine.set_cancel_token(token.clone());
+                match catch_unwind(AssertUnwindSafe(|| probe(&mut engine, ws, stride))) {
+                    Ok(Some(mb_s)) => break Verdict::Done(mb_s),
+                    Ok(None) => {
+                        break Verdict::Failed(FailureKind::Unsupported, UNSUPPORTED.to_string())
                     }
-                    if self.budget.is_some_and(|b| started.elapsed() >= b) {
-                        // Keep claiming so every remaining cell is counted.
-                        deferred.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                    let (ws, stride) = attempt[i];
-                    let mut engine = match spawner.spawn_engine() {
-                        Ok(engine) => engine,
-                        Err(err) => {
-                            *fatal.lock().unwrap() = Some(err);
-                            stop.store(true, Ordering::Relaxed);
-                            break;
+                    Err(panic) => {
+                        if panic.downcast_ref::<CellCancelled>().is_some() {
+                            break Verdict::Failed(FailureKind::Timeout, CELL_TIMEOUT.to_string());
                         }
-                    };
-                    let result = catch_unwind(AssertUnwindSafe(|| probe(&mut engine, ws, stride)));
-                    let mut state = state.lock().unwrap();
-                    match result {
-                        Ok(Some(mb_s)) => {
-                            state.done.insert((ws, stride), mb_s.to_bits());
+                        if attempts > self.retries {
+                            break Verdict::Failed(FailureKind::Panic, panic_text(panic.as_ref()));
                         }
-                        Ok(None) => {
-                            state.failed.insert((ws, stride), UNSUPPORTED.to_string());
-                        }
-                        Err(panic) => {
-                            state
-                                .failed
-                                .insert((ws, stride), panic_text(panic.as_ref()));
-                        }
+                        self.backoff(&mut rng, attempts);
                     }
-                    if let Err(err) = self.save_state(title, grid, &state) {
-                        drop(state);
-                        *fatal.lock().unwrap() = Some(err);
-                        stop.store(true, Ordering::Relaxed);
-                        break;
+                }
+            };
+            if matches!(verdict, Verdict::Failed(FailureKind::Timeout, _))
+                && lock_or_recover(&fatal).is_some()
+            {
+                // The cell was cancelled by a fatal error, not its own
+                // budget — don't poison the checkpoint with a bogus
+                // timeout record.
+                return JobDone::Fatal;
+            }
+            let mut st = lock_or_recover(&state);
+            let mut rc = lock_or_recover(&counters);
+            record_verdict(&mut st, &mut rc, (ws, stride), attempts, verdict);
+            // Saving under the state lock serializes checkpoint writes.
+            match self.save_state(title, grid, &st) {
+                Ok(retried) => {
+                    if retried {
+                        rc.add(robustness::CHECKPOINT_WRITE_RETRIES, 1);
                     }
-                });
+                    JobDone::Recorded
+                }
+                Err(err) => {
+                    drop(st);
+                    drop(rc);
+                    *lock_or_recover(&fatal) = Some(err.into());
+                    claim.cancel();
+                    JobDone::Fatal
+                }
             }
         });
 
-        if let Some(err) = fatal.into_inner().unwrap() {
+        if let Some(err) = lock_or_recover(&fatal).take() {
             return Err(err);
         }
-        let deferred = deferred.into_inner();
-        let measured = attempt.len() - deferred;
-        let pending = capped.len() + deferred;
-        let state = state.into_inner().unwrap();
-        Ok(self.outcome(title, grid, state, measured, resumed, pending))
+        let measured = slots
+            .iter()
+            .filter(|s| matches!(s, Some(JobDone::Recorded)))
+            .count();
+        let skipped = slots.iter().filter(|s| s.is_none()).count();
+        let pending = capped.len() + skipped;
+        let state = state.into_inner().unwrap_or_else(|p| p.into_inner());
+        let counters = counters.into_inner().unwrap_or_else(|p| p.into_inner());
+        Ok(self.outcome(title, grid, state, measured, resumed, pending, counters))
+    }
+
+    /// A per-cell RNG for backoff jitter, independent of thread schedule.
+    fn cell_rng(&self, ws: u64, stride: u64) -> Rng {
+        Rng::new(self.retry_seed ^ ws.rotate_left(17) ^ stride)
+    }
+
+    /// Sleeps the exponential, jittered backoff before retry `attempt`.
+    fn backoff(&self, rng: &mut Rng, attempt: u32) {
+        if self.retry_backoff.is_zero() {
+            return;
+        }
+        let exp = self
+            .retry_backoff
+            .saturating_mul(1 << (attempt - 1).min(10));
+        let nanos = exp.as_nanos().min(u64::MAX as u128) as u64;
+        // Jitter uniformly within [base/2, base]: decorrelates retry storms
+        // without ever collapsing the delay to zero.
+        let jittered = nanos / 2 + rng.gen_range(0, nanos / 2 + 1);
+        std::thread::sleep(Duration::from_nanos(jittered));
     }
 
     /// Assembles the surface and outcome from the final checkpoint state.
+    #[allow(clippy::too_many_arguments)]
     fn outcome(
         &self,
         title: &str,
@@ -293,6 +577,7 @@ impl ResilientSweep {
         measured: usize,
         resumed: usize,
         pending: usize,
+        robustness: CounterSet,
     ) -> SweepOutcome {
         let values = grid
             .working_sets
@@ -318,10 +603,12 @@ impl ResilientSweep {
         let failed = state
             .failed
             .iter()
-            .map(|(&(ws_bytes, stride), error)| FailedCell {
+            .map(|(&(ws_bytes, stride), rec)| FailedCell {
                 ws_bytes,
                 stride,
-                error: error.clone(),
+                kind: rec.kind,
+                attempts: rec.attempts,
+                error: rec.error.clone(),
             })
             .collect();
         SweepOutcome {
@@ -330,45 +617,80 @@ impl ResilientSweep {
             resumed,
             failed,
             pending,
+            robustness,
         }
     }
 
-    fn load_state(&self, title: &str, grid: &Grid) -> Result<SweepState, SimError> {
-        let text = match std::fs::read_to_string(&self.checkpoint) {
-            Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok(SweepState::default());
+    /// Loads and verifies the checkpoint; on failure, either recovers via
+    /// `--force-restart` (quarantining the file, counting the recovery) or
+    /// fails with the structured error.
+    fn load_state(&self, title: &str, grid: &Grid) -> Result<(SweepState, CounterSet), SweepError> {
+        let mut recovery = CounterSet::new();
+        match self.try_load(title, grid) {
+            Ok(state) => Ok((state, recovery)),
+            Err(err) if self.force_restart && err.force_restart_recoverable() => {
+                let torn = matches!(&err, CheckpointError::Corrupt { detail, .. }
+                    if detail.contains("torn"));
+                storage::quarantine_file(&self.checkpoint)?;
+                recovery.add(robustness::FORCE_RESTARTS, 1);
+                if torn {
+                    recovery.add(robustness::TORN_TAIL_RECOVERIES, 1);
+                }
+                Ok((SweepState::default(), recovery))
             }
-            Err(e) => {
-                return Err(SimError::io(format!(
-                    "reading {}: {e}",
-                    self.checkpoint.display()
-                )))
-            }
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    /// The strict load path: verified bytes, schema check, identity check,
+    /// structurally complete `cells`/`failed` arrays.
+    fn try_load(&self, title: &str, grid: &Grid) -> Result<SweepState, CheckpointError> {
+        let corrupt = |detail: String| CheckpointError::Corrupt {
+            path: self.checkpoint.clone(),
+            detail,
         };
-        let doc = Json::parse(&text)?;
+        let payload = match storage::read_verified(&self.checkpoint)? {
+            Some(payload) => payload,
+            None => return Ok(SweepState::default()),
+        };
+        let doc = Json::parse(&payload)
+            .map_err(|e| corrupt(format!("verified payload is not valid JSON: {e}")))?;
+        let version = doc.get("version").and_then(Json::as_u64).unwrap_or(1);
+        if version != SCHEMA_VERSION {
+            return Err(CheckpointError::SchemaMismatch {
+                path: self.checkpoint.clone(),
+                found: version,
+                expected: SCHEMA_VERSION,
+            });
+        }
         let stored_title = doc.get("title").and_then(Json::as_str);
         if stored_title != Some(title) {
-            return Err(SimError::malformed(format!(
-                "checkpoint {} belongs to sweep {:?}, not {title:?}",
-                self.checkpoint.display(),
-                stored_title.unwrap_or("<missing>")
-            )));
+            return Err(CheckpointError::GridMismatch {
+                path: self.checkpoint.clone(),
+                detail: format!(
+                    "titled {:?}, not {title:?}",
+                    stored_title.unwrap_or("<missing>")
+                ),
+            });
         }
-        let axis = |key: &str| -> Result<Vec<u64>, SimError> {
+        let axis = |key: &str| -> Result<Vec<u64>, CheckpointError> {
             doc.get(key)
                 .and_then(Json::as_array)
                 .map(|items| items.iter().filter_map(Json::as_u64).collect::<Vec<_>>())
-                .ok_or_else(|| SimError::malformed(format!("checkpoint missing axis {key:?}")))
+                .ok_or_else(|| corrupt(format!("axis {key:?} missing or not an array")))
         };
         if axis("strides")? != grid.strides || axis("working_sets")? != grid.working_sets {
-            return Err(SimError::malformed(format!(
-                "checkpoint {} was taken on a different grid",
-                self.checkpoint.display()
-            )));
+            return Err(CheckpointError::GridMismatch {
+                path: self.checkpoint.clone(),
+                detail: "taken on different grid axes".to_string(),
+            });
         }
         let mut state = SweepState::default();
-        for cell in doc.get("cells").and_then(Json::as_array).unwrap_or(&[]) {
+        let cells = doc
+            .get("cells")
+            .and_then(Json::as_array)
+            .ok_or_else(|| corrupt("\"cells\" missing or not an array".to_string()))?;
+        for cell in cells {
             let (ws, stride, bits) = (
                 cell.get("ws").and_then(Json::as_u64),
                 cell.get("stride").and_then(Json::as_u64),
@@ -378,26 +700,38 @@ impl ResilientSweep {
                 (Some(ws), Some(stride), Some(bits)) => {
                     state.done.insert((ws, stride), bits);
                 }
-                _ => {
-                    return Err(SimError::malformed(
-                        "checkpoint cell missing ws/stride/bits",
-                    ))
-                }
+                _ => return Err(corrupt("cell entry missing ws/stride/bits".to_string())),
             }
         }
-        for cell in doc.get("failed").and_then(Json::as_array).unwrap_or(&[]) {
-            let (ws, stride, error) = (
+        let failed = doc
+            .get("failed")
+            .and_then(Json::as_array)
+            .ok_or_else(|| corrupt("\"failed\" missing or not an array".to_string()))?;
+        for cell in failed {
+            let (ws, stride, kind, attempts, error) = (
                 cell.get("ws").and_then(Json::as_u64),
                 cell.get("stride").and_then(Json::as_u64),
+                cell.get("kind").and_then(Json::as_str),
+                cell.get("attempts").and_then(Json::as_u64),
                 cell.get("error").and_then(Json::as_str),
             );
-            match (ws, stride, error) {
-                (Some(ws), Some(stride), Some(error)) => {
-                    state.failed.insert((ws, stride), error.to_string());
+            match (ws, stride, kind, attempts, error) {
+                (Some(ws), Some(stride), Some(kind), Some(attempts), Some(error)) => {
+                    let kind = FailureKind::from_label(kind).ok_or_else(|| {
+                        corrupt(format!("failure entry has unknown kind {kind:?}"))
+                    })?;
+                    state.failed.insert(
+                        (ws, stride),
+                        FailureRecord {
+                            kind,
+                            attempts: attempts.min(u32::MAX as u64) as u32,
+                            error: error.to_string(),
+                        },
+                    );
                 }
                 _ => {
-                    return Err(SimError::malformed(
-                        "checkpoint failure missing ws/stride/error",
+                    return Err(corrupt(
+                        "failure entry missing ws/stride/kind/attempts/error".to_string(),
                     ))
                 }
             }
@@ -405,7 +739,8 @@ impl ResilientSweep {
         Ok(state)
     }
 
-    fn save_state(&self, title: &str, grid: &Grid, state: &SweepState) -> Result<(), SimError> {
+    /// Renders the canonical v2 checkpoint payload.
+    fn render_state(&self, title: &str, grid: &Grid, state: &SweepState) -> String {
         let cells = state
             .done
             .iter()
@@ -420,15 +755,18 @@ impl ResilientSweep {
         let failed = state
             .failed
             .iter()
-            .map(|(&(ws, stride), error)| {
+            .map(|(&(ws, stride), rec)| {
                 Json::object([
                     ("ws", Json::U64(ws)),
                     ("stride", Json::U64(stride)),
-                    ("error", Json::Str(error.clone())),
+                    ("kind", Json::Str(rec.kind.label().to_string())),
+                    ("attempts", Json::U64(rec.attempts as u64)),
+                    ("error", Json::Str(rec.error.clone())),
                 ])
             })
             .collect();
-        let doc = Json::object([
+        Json::object([
+            ("version", Json::U64(SCHEMA_VERSION)),
             ("title", Json::Str(title.to_string())),
             (
                 "strides",
@@ -440,23 +778,102 @@ impl ResilientSweep {
             ),
             ("cells", Json::Array(cells)),
             ("failed", Json::Array(failed)),
-        ]);
-        let tmp = self.checkpoint.with_extension("tmp");
-        std::fs::write(&tmp, doc.render())
-            .map_err(|e| SimError::io(format!("writing {}: {e}", tmp.display())))?;
-        std::fs::rename(&tmp, &self.checkpoint)
-            .map_err(|e| SimError::io(format!("renaming into {}: {e}", self.checkpoint.display())))
+        ])
+        .render()
+    }
+
+    /// Writes the checkpoint durably; one immediate retry on failure (the
+    /// temp+rename discipline makes a retry always safe). Returns whether
+    /// the retry was needed.
+    fn save_state(
+        &self,
+        title: &str,
+        grid: &Grid,
+        state: &SweepState,
+    ) -> Result<bool, CheckpointError> {
+        let payload = self.render_state(title, grid, state);
+        match self.write_checkpoint(&payload) {
+            Ok(()) => Ok(false),
+            Err(_first) => {
+                self.write_checkpoint(&payload)?;
+                Ok(true)
+            }
+        }
+    }
+
+    fn write_checkpoint(&self, payload: &str) -> Result<(), CheckpointError> {
+        match &self.faults {
+            Some(faults) => {
+                let mut injector = faults.lock().unwrap_or_else(|p| p.into_inner());
+                storage::write_durable_with(&self.checkpoint, payload, self.fsync, &mut *injector)
+            }
+            None => storage::write_durable(&self.checkpoint, payload, self.fsync),
+        }
+    }
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock: a worker that
+/// panicked while holding the state left it in a consistent snapshot (the
+/// BTreeMaps are updated atomically per cell), so the sweep carries on
+/// instead of cascading the panic into a runner abort.
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Applies a cell's verdict to the state and counters.
+fn record_verdict(
+    state: &mut SweepState,
+    counters: &mut CounterSet,
+    key: (u64, u64),
+    attempts: u32,
+    verdict: Verdict,
+) {
+    if attempts > 1 {
+        counters.add(robustness::RETRIES, (attempts - 1) as u64);
+    }
+    match verdict {
+        Verdict::Done(mb_s) => {
+            state.done.insert(key, mb_s.to_bits());
+        }
+        Verdict::Failed(kind, error) => {
+            match kind {
+                FailureKind::Panic => counters.add(robustness::QUARANTINES, 1),
+                FailureKind::Timeout => counters.add(robustness::TIMEOUTS, 1),
+                FailureKind::Unsupported => {}
+            }
+            state.failed.insert(
+                key,
+                FailureRecord {
+                    kind,
+                    attempts,
+                    error,
+                },
+            );
+        }
     }
 }
 
 /// The failure reason recorded for a probe returning `None`.
 const UNSUPPORTED: &str = "operation unsupported on this machine";
 
+/// The failure reason recorded for a cell stopped by its wall-clock budget.
+const CELL_TIMEOUT: &str = "cell wall-clock budget expired";
+
+/// One recorded failure: how, after how many attempts, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FailureRecord {
+    kind: FailureKind,
+    attempts: u32,
+    error: String,
+}
+
 /// In-memory checkpoint state: measured bandwidths (as bits) and failures.
 #[derive(Debug, Default)]
 struct SweepState {
     done: BTreeMap<(u64, u64), u64>,
-    failed: BTreeMap<(u64, u64), String>,
+    failed: BTreeMap<(u64, u64), FailureRecord>,
 }
 
 fn panic_text(panic: &(dyn std::any::Any + Send)) -> String {
@@ -493,6 +910,15 @@ mod tests {
         (ws as f64).sqrt() / stride as f64 + 1.0 / 3.0
     }
 
+    /// Silences the default panic hook for the duration of `f`.
+    fn quietly<T>(f: impl FnOnce() -> T) -> T {
+        let prior = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prior);
+        out
+    }
+
     #[test]
     fn complete_run_matches_direct_sweep() {
         let runner = ResilientSweep::new(scratch("complete"));
@@ -503,6 +929,7 @@ mod tests {
         assert_eq!(out.measured, grid().cells());
         assert_eq!(out.resumed, 0);
         assert!(out.failed.is_empty());
+        assert!(out.robustness.is_empty());
         assert_eq!(out.surface.value(2048, 4), Some(model(2048, 4)));
         runner.clear_checkpoint().unwrap();
     }
@@ -542,31 +969,100 @@ mod tests {
     #[test]
     fn panicking_cell_is_recorded_and_isolated() {
         let runner = ResilientSweep::new(scratch("panic"));
-        // Silence the default panic hook's backtrace chatter for this test.
-        let prior = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let out = runner
-            .run("t", &grid(), |ws, s| {
-                assert!(!(ws == 2048 && s == 2), "injected failure");
-                Some(model(ws, s))
-            })
-            .unwrap();
-        std::panic::set_hook(prior);
+        let out = quietly(|| {
+            runner
+                .run("t", &grid(), |ws, s| {
+                    assert!(!(ws == 2048 && s == 2), "injected failure");
+                    Some(model(ws, s))
+                })
+                .unwrap()
+        });
         assert!(out.is_complete());
         assert_eq!(out.failed.len(), 1);
         assert_eq!((out.failed[0].ws_bytes, out.failed[0].stride), (2048, 2));
+        assert_eq!(out.failed[0].kind, FailureKind::Panic);
+        assert_eq!(out.failed[0].attempts, 1);
         assert!(
             out.failed[0].error.contains("injected failure"),
             "got {:?}",
             out.failed[0].error
         );
+        assert_eq!(out.robustness.get(gasnub_trace::robustness::QUARANTINES), 1);
         assert!(out.surface.value(2048, 2).unwrap().is_nan());
         assert_eq!(out.surface.value(2048, 4), Some(model(2048, 4)));
-        // A resumed run does not retry the failed cell.
+        // A resumed run does not retry the quarantined cell.
         let again = runner
             .run("t", &grid(), |ws, s| Some(model(ws, s)))
             .unwrap();
         assert_eq!(again.failed.len(), 1);
+        assert_eq!(again.failed[0].kind, FailureKind::Panic);
+        assert_eq!(again.measured, 0);
+        runner.clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn retries_heal_a_transient_panic() {
+        let runner = ResilientSweep::new(scratch("retry-heal")).with_retries(2);
+        let flaky_calls = AtomicUsize::new(0);
+        let out = quietly(|| {
+            runner
+                .run("t", &grid(), |ws, s| {
+                    if ws == 2048 && s == 2 {
+                        // Panic on the first two attempts, succeed on the
+                        // third.
+                        if flaky_calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                            panic!("transient failure");
+                        }
+                    }
+                    Some(model(ws, s))
+                })
+                .unwrap()
+        });
+        assert!(out.is_complete());
+        assert!(out.failed.is_empty());
+        assert_eq!(out.surface.value(2048, 2), Some(model(2048, 2)));
+        assert_eq!(out.robustness.get(gasnub_trace::robustness::RETRIES), 2);
+        assert_eq!(out.robustness.get(gasnub_trace::robustness::QUARANTINES), 0);
+        runner.clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn persistent_panic_exhausts_retries_and_quarantines() {
+        let runner = ResilientSweep::new(scratch("retry-exhaust")).with_retries(2);
+        let out = quietly(|| {
+            runner
+                .run("t", &grid(), |ws, s| {
+                    assert!(!(ws == 2048 && s == 2), "poison cell");
+                    Some(model(ws, s))
+                })
+                .unwrap()
+        });
+        assert!(out.is_complete());
+        assert_eq!(out.failed.len(), 1);
+        assert_eq!(out.failed[0].kind, FailureKind::Panic);
+        assert_eq!(out.failed[0].attempts, 3);
+        assert_eq!(out.robustness.get(gasnub_trace::robustness::RETRIES), 2);
+        assert_eq!(out.robustness.get(gasnub_trace::robustness::QUARANTINES), 1);
+        runner.clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn zero_cell_timeout_records_deterministic_timeouts() {
+        let runner = ResilientSweep::new(scratch("cell-timeout")).with_cell_timeout(Duration::ZERO);
+        let out = runner
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap();
+        assert!(out.is_complete());
+        assert_eq!(out.failed.len(), grid().cells());
+        assert!(out.failed.iter().all(|f| f.kind == FailureKind::Timeout));
+        assert_eq!(
+            out.robustness.get(gasnub_trace::robustness::TIMEOUTS),
+            grid().cells() as u64
+        );
+        // Timed-out cells are holes, skipped on resume.
+        let again = ResilientSweep::new(runner.checkpoint_path())
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap();
         assert_eq!(again.measured, 0);
         runner.clear_checkpoint().unwrap();
     }
@@ -577,6 +1073,12 @@ mod tests {
         let out = runner.run("t", &grid(), |_, _| None).unwrap();
         assert_eq!(out.failed.len(), grid().cells());
         assert!(out.failed.iter().all(|f| f.error.contains("unsupported")));
+        assert!(out
+            .failed
+            .iter()
+            .all(|f| f.kind == FailureKind::Unsupported));
+        // Unsupported is not a robustness event: nothing to report.
+        assert!(out.robustness.is_empty());
         runner.clear_checkpoint().unwrap();
     }
 
@@ -591,7 +1093,7 @@ mod tests {
         runner.clear_checkpoint().unwrap();
     }
 
-    use gasnub_machines::{Machine, MachineId, MeasureLimits, Measurement};
+    use gasnub_machines::{MachineId, MeasureLimits, Measurement};
 
     /// A trivial deterministic machine whose every probe reports the
     /// synthetic [`model`] bandwidth; lets the parallel tests exercise the
@@ -693,26 +1195,84 @@ mod tests {
     #[test]
     fn parallel_panics_are_isolated_per_cell() {
         let runner = ResilientSweep::new(scratch("par-panic"));
-        let prior = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let out = runner
-            .run_parallel(
-                "t",
-                &grid(),
-                3,
-                &(|| Synthetic),
-                |m: &mut Synthetic, ws, s| {
-                    assert!(!(ws == 2048 && s == 2), "injected parallel failure");
-                    synthetic_probe(m, ws, s)
-                },
-            )
-            .unwrap();
-        std::panic::set_hook(prior);
+        let out = quietly(|| {
+            runner
+                .run_parallel(
+                    "t",
+                    &grid(),
+                    3,
+                    &(|| Synthetic),
+                    |m: &mut Synthetic, ws, s| {
+                        assert!(!(ws == 2048 && s == 2), "injected parallel failure");
+                        synthetic_probe(m, ws, s)
+                    },
+                )
+                .unwrap()
+        });
         assert!(out.is_complete());
         assert_eq!(out.failed.len(), 1);
         assert_eq!((out.failed[0].ws_bytes, out.failed[0].stride), (2048, 2));
+        assert_eq!(out.failed[0].kind, FailureKind::Panic);
         assert!(out.surface.value(2048, 2).unwrap().is_nan());
         runner.clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn robustness_counters_are_identical_across_thread_counts() {
+        let mut baseline: Option<CounterSet> = None;
+        for threads in [1, 2, 4] {
+            let runner = ResilientSweep::new(scratch("par-counters")).with_retries(1);
+            let out = quietly(|| {
+                runner
+                    .run_parallel(
+                        "t",
+                        &grid(),
+                        threads,
+                        &(|| Synthetic),
+                        |m: &mut Synthetic, ws, s| {
+                            // Two poison cells that panic deterministically
+                            // on every attempt.
+                            assert!(s != 2, "poison stride");
+                            synthetic_probe(m, ws, s)
+                        },
+                    )
+                    .unwrap()
+            });
+            assert_eq!(
+                out.robustness.get(gasnub_trace::robustness::RETRIES),
+                2,
+                "threads={threads}"
+            );
+            assert_eq!(
+                out.robustness.get(gasnub_trace::robustness::QUARANTINES),
+                2,
+                "threads={threads}"
+            );
+            match &baseline {
+                None => baseline = Some(out.robustness.clone()),
+                Some(b) => assert_eq!(b, &out.robustness, "threads={threads}"),
+            }
+            runner.clear_checkpoint().unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_zero_cell_timeout_is_deterministic() {
+        for threads in [1, 4] {
+            let runner =
+                ResilientSweep::new(scratch("par-cell-timeout")).with_cell_timeout(Duration::ZERO);
+            let out = runner
+                .run_parallel("t", &grid(), threads, &(|| Synthetic), synthetic_probe)
+                .unwrap();
+            assert!(out.is_complete());
+            assert_eq!(
+                out.robustness.get(gasnub_trace::robustness::TIMEOUTS),
+                grid().cells() as u64,
+                "threads={threads}"
+            );
+            assert!(out.failed.iter().all(|f| f.kind == FailureKind::Timeout));
+            runner.clear_checkpoint().unwrap();
+        }
     }
 
     #[test]
@@ -754,37 +1314,223 @@ mod tests {
         }
         let runner = ResilientSweep::new(scratch("par-spawn-fail"));
         let got = runner.run_parallel("t", &grid(), 2, &FailingSpawner, synthetic_probe);
-        assert!(matches!(got, Err(SimError::Malformed { .. })));
+        assert!(matches!(got, Err(SweepError::Spawn(_))));
         runner.clear_checkpoint().unwrap();
     }
 
+    /// The corruption table of ISSUE 6: every way a checkpoint can be bad
+    /// maps to a named error variant, and `--force-restart` recovers from
+    /// each (preserving the evidence as `<path>.corrupt`).
     #[test]
-    fn foreign_checkpoints_are_rejected() {
+    fn corruption_table_names_each_failure_and_force_restart_recovers() {
+        let grid = grid();
+        let complete =
+            |runner: &ResilientSweep| runner.run("t", &grid, |ws, s| Some(model(ws, s))).unwrap();
+
+        type Sabotage = Box<dyn Fn(&PathBuf)>;
+        let cases: Vec<(&str, Sabotage, &str)> = vec![
+            (
+                "torn-tail",
+                Box::new(|p: &PathBuf| {
+                    // Chop mid-footer: the crash-mid-write signature.
+                    let text = std::fs::read_to_string(p).unwrap();
+                    std::fs::write(p, &text[..text.len() - 7]).unwrap();
+                }),
+                "corrupt",
+            ),
+            (
+                "truncated-cell",
+                Box::new(|p: &PathBuf| {
+                    // Surgically remove a cell's "bits" field, then re-seal
+                    // with a valid footer: structural damage the checksum
+                    // cannot catch, only strict parsing can.
+                    let payload = storage::read_verified(p).unwrap().unwrap();
+                    let broken = payload.replacen("\"bits\":", "\"bots\":", 1);
+                    storage::write_durable(p, &broken, false).unwrap();
+                }),
+                "corrupt",
+            ),
+            (
+                "bad-checksum",
+                Box::new(|p: &PathBuf| {
+                    let mut bytes = std::fs::read(p).unwrap();
+                    bytes[10] ^= 0x01;
+                    std::fs::write(p, bytes).unwrap();
+                }),
+                "corrupt",
+            ),
+            (
+                "wrong-schema",
+                Box::new(|p: &PathBuf| {
+                    let payload = storage::read_verified(p).unwrap().unwrap();
+                    let old = payload.replacen("\"version\":2", "\"version\":7", 1);
+                    storage::write_durable(p, &old, false).unwrap();
+                }),
+                "schema-mismatch",
+            ),
+        ];
+
+        for (name, sabotage, expected_kind) in cases {
+            let path = scratch(&format!("corrupt-{name}"));
+            let runner = ResilientSweep::new(&path);
+            complete(&runner);
+            sabotage(&path);
+
+            // Without force-restart: the named error, no silent restart.
+            let err = runner
+                .run("t", &grid, |ws, s| Some(model(ws, s)))
+                .unwrap_err();
+            let SweepError::Checkpoint(ck) = &err else {
+                panic!("{name}: expected checkpoint error, got {err:?}");
+            };
+            assert_eq!(ck.kind(), expected_kind, "{name}: {ck}");
+
+            // With force-restart: full recovery, evidence preserved,
+            // recovery counted.
+            let healed = ResilientSweep::new(&path)
+                .with_force_restart(true)
+                .run("t", &grid, |ws, s| Some(model(ws, s)))
+                .unwrap();
+            assert!(healed.is_complete(), "{name}");
+            assert_eq!(healed.measured, grid.cells(), "{name}");
+            assert_eq!(
+                healed
+                    .robustness
+                    .get(gasnub_trace::robustness::FORCE_RESTARTS),
+                1,
+                "{name}"
+            );
+            assert!(
+                storage::corrupt_path(&path).exists(),
+                "{name}: corrupt file not preserved"
+            );
+            if name == "torn-tail" {
+                assert_eq!(
+                    healed
+                        .robustness
+                        .get(gasnub_trace::robustness::TORN_TAIL_RECOVERIES),
+                    1
+                );
+            }
+            let _ = std::fs::remove_file(storage::corrupt_path(&path));
+            runner.clear_checkpoint().unwrap();
+        }
+    }
+
+    #[test]
+    fn wrong_grid_is_a_grid_mismatch() {
         let path = scratch("foreign");
         let runner = ResilientSweep::new(&path);
         runner
             .run("t", &grid(), |ws, s| Some(model(ws, s)))
             .unwrap();
         // Different title.
+        let err = runner
+            .run("other", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap_err();
         assert!(matches!(
-            runner.run("other", &grid(), |ws, s| Some(model(ws, s))),
-            Err(SimError::Malformed { .. })
+            err,
+            SweepError::Checkpoint(CheckpointError::GridMismatch { .. })
         ));
-        // Different grid.
+        // Different grid axes.
         let other = Grid {
             strides: vec![1],
             working_sets: vec![1024],
         };
+        let err = runner
+            .run("t", &other, |ws, s| Some(model(ws, s)))
+            .unwrap_err();
         assert!(matches!(
-            runner.run("t", &other, |ws, s| Some(model(ws, s))),
-            Err(SimError::Malformed { .. })
+            err,
+            SweepError::Checkpoint(CheckpointError::GridMismatch { .. })
         ));
-        // Corrupt file.
+        // A pre-checksum (v1-era) file has no footer: corrupt, not silently
+        // restarted.
         std::fs::write(&path, "not json").unwrap();
+        let err = runner
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap_err();
         assert!(matches!(
-            runner.run("t", &grid(), |ws, s| Some(model(ws, s))),
-            Err(SimError::Malformed { .. })
+            err,
+            SweepError::Checkpoint(CheckpointError::Corrupt { .. })
         ));
+        runner.clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn missing_cells_array_is_corrupt_not_empty() {
+        // The regression at the heart of satellite (a): a verified payload
+        // whose "cells" key is missing (or not an array) must be a named
+        // Corrupt error, never an implicit restart-from-scratch.
+        for broken in [
+            r#"{"failed":[],"strides":[1,2,4],"title":"t","version":2,"working_sets":[1024,2048]}"#,
+            r#"{"cells":7,"failed":[],"strides":[1,2,4],"title":"t","version":2,"working_sets":[1024,2048]}"#,
+            r#"{"cells":[],"strides":[1,2,4],"title":"t","version":2,"working_sets":[1024,2048]}"#,
+            r#"{"cells":[{"stride":1,"ws":1024}],"failed":[],"strides":[1,2,4],"title":"t","version":2,"working_sets":[1024,2048]}"#,
+        ] {
+            let path = scratch("missing-cells");
+            storage::write_durable(&path, broken, false).unwrap();
+            let runner = ResilientSweep::new(&path);
+            let err = runner
+                .run("t", &grid(), |ws, s| Some(model(ws, s)))
+                .unwrap_err();
+            assert!(
+                matches!(err, SweepError::Checkpoint(CheckpointError::Corrupt { .. })),
+                "payload {broken:?} gave {err:?}"
+            );
+            runner.clear_checkpoint().unwrap();
+        }
+    }
+
+    #[test]
+    fn force_restart_leaves_healthy_checkpoints_alone() {
+        let path = scratch("force-noop");
+        let first = ResilientSweep::new(&path)
+            .with_max_cells(3)
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap();
+        assert_eq!(first.measured, 3);
+        // force_restart on a *valid* checkpoint must still resume.
+        let second = ResilientSweep::new(&path)
+            .with_force_restart(true)
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap();
+        assert_eq!(second.resumed, 3);
+        assert!(second.robustness.is_empty());
+        ResilientSweep::new(&path).clear_checkpoint().unwrap();
+    }
+
+    #[test]
+    fn failure_kinds_round_trip_through_the_checkpoint() {
+        let path = scratch("kind-roundtrip");
+        let runner = ResilientSweep::new(&path).with_retries(1);
+        let out = quietly(|| {
+            runner
+                .run("t", &grid(), |ws, s| match (ws, s) {
+                    (1024, 1) => panic!("poison"),
+                    (1024, 2) => None,
+                    _ => Some(model(ws, s)),
+                })
+                .unwrap()
+        });
+        assert_eq!(out.failed.len(), 2);
+        // Reload and verify kinds and attempts survived serialization.
+        let again = ResilientSweep::new(&path)
+            .run("t", &grid(), |ws, s| Some(model(ws, s)))
+            .unwrap();
+        let poison = again
+            .failed
+            .iter()
+            .find(|f| (f.ws_bytes, f.stride) == (1024, 1))
+            .unwrap();
+        assert_eq!(poison.kind, FailureKind::Panic);
+        assert_eq!(poison.attempts, 2);
+        let unsup = again
+            .failed
+            .iter()
+            .find(|f| (f.ws_bytes, f.stride) == (1024, 2))
+            .unwrap();
+        assert_eq!(unsup.kind, FailureKind::Unsupported);
         runner.clear_checkpoint().unwrap();
     }
 }

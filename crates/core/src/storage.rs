@@ -1,0 +1,512 @@
+//! Durable, checksummed checkpoint storage.
+//!
+//! ROADMAP item 1 promotes [`crate::resilient`] checkpoints from test
+//! conveniences to the cache backing store of a long-running
+//! characterization server, so this module gives them service-level
+//! durability semantics:
+//!
+//! * **Atomic writes** — payload goes to a `<path>.tmp` sibling, is
+//!   `fsync`ed (optional, on by default), and is renamed over the target.
+//!   Readers never observe a half-written file; a crash leaves either the
+//!   old checkpoint or the new one.
+//! * **Checksum footer** — every file ends with a one-line footer carrying
+//!   a hand-rolled CRC32 (IEEE polynomial, zero-dep) and the payload byte
+//!   length. [`read_verified`] recomputes both before handing the payload
+//!   to the parser.
+//! * **Torn-tail detection** — a file whose footer is missing, malformed,
+//!   or inconsistent with the payload is reported as
+//!   [`CheckpointError::Corrupt`] with a named cause, never silently
+//!   treated as empty.
+//!
+//! The error taxonomy ([`CheckpointError`]) distinguishes the four ways a
+//! resume can fail — I/O, corruption, schema version drift, and grid
+//! mismatch — so callers (and the CLI) can decide which ones
+//! `--force-restart` may bulldoze.
+//!
+//! Writes accept a [`WriteFaults`] hook so the chaos harness
+//! ([`crate::chaos`]) can inject short writes, bit flips and rename
+//! failures on a seeded schedule without this module knowing about it.
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use gasnub_memsim::SimError;
+
+/// Magic prefix of the checksum footer line.
+pub const FOOTER_MAGIC: &str = "#gasnub-checkpoint";
+
+/// Why a checkpoint could not be written or resumed.
+///
+/// Every variant names the file it concerns; `Display` output is what the
+/// CLI prints before exiting, so the messages lead with the actionable
+/// cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// The checkpoint path involved.
+        path: PathBuf,
+        /// Which operation failed (`"write"`, `"fsync"`, `"rename"`, ...).
+        op: String,
+        /// The OS error text.
+        detail: String,
+    },
+    /// The file's bytes fail integrity verification (torn tail, missing or
+    /// malformed footer, checksum or length mismatch, unparseable payload,
+    /// or structurally invalid state arrays).
+    Corrupt {
+        /// The checkpoint path involved.
+        path: PathBuf,
+        /// What exactly failed to verify.
+        detail: String,
+    },
+    /// The file verifies but was written by a different checkpoint schema
+    /// version.
+    SchemaMismatch {
+        /// The checkpoint path involved.
+        path: PathBuf,
+        /// The version the file declares.
+        found: u64,
+        /// The version this binary writes.
+        expected: u64,
+    },
+    /// The file verifies but belongs to a different sweep (different title,
+    /// machine, op, or grid axes).
+    GridMismatch {
+        /// The checkpoint path involved.
+        path: PathBuf,
+        /// Which identity field differs and how.
+        detail: String,
+    },
+}
+
+impl CheckpointError {
+    /// The checkpoint path the error concerns.
+    pub fn path(&self) -> &Path {
+        match self {
+            CheckpointError::Io { path, .. }
+            | CheckpointError::Corrupt { path, .. }
+            | CheckpointError::SchemaMismatch { path, .. }
+            | CheckpointError::GridMismatch { path, .. } => path,
+        }
+    }
+
+    /// Short machine-readable name of the variant (`"io"`, `"corrupt"`,
+    /// `"schema-mismatch"`, `"grid-mismatch"`), used in test tables and
+    /// chaos schedule logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CheckpointError::Io { .. } => "io",
+            CheckpointError::Corrupt { .. } => "corrupt",
+            CheckpointError::SchemaMismatch { .. } => "schema-mismatch",
+            CheckpointError::GridMismatch { .. } => "grid-mismatch",
+        }
+    }
+
+    /// Whether `--force-restart` is allowed to discard the file and start
+    /// fresh. True for everything except I/O errors: when the disk itself
+    /// is failing, restarting would lose work *and* likely fail again.
+    pub fn force_restart_recoverable(&self) -> bool {
+        !matches!(self, CheckpointError::Io { .. })
+    }
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, op, detail } => {
+                write!(f, "checkpoint {}: {op} failed: {detail}", path.display())
+            }
+            CheckpointError::Corrupt { path, detail } => {
+                write!(f, "checkpoint {} is corrupt: {detail}", path.display())
+            }
+            CheckpointError::SchemaMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint {} has schema version {found}, this binary expects {expected}",
+                path.display()
+            ),
+            CheckpointError::GridMismatch { path, detail } => {
+                write!(
+                    f,
+                    "checkpoint {} belongs to a different sweep: {detail}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<CheckpointError> for SimError {
+    fn from(e: CheckpointError) -> Self {
+        match &e {
+            CheckpointError::Io { .. } => SimError::io(e.to_string()),
+            _ => SimError::malformed(e.to_string()),
+        }
+    }
+}
+
+/// CRC32 (IEEE 802.3 polynomial, reflected), computed bytewise from a
+/// lazily built lookup table. Standard test vector:
+/// `crc32(b"123456789") == 0xCBF4_3926`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // const-evaluated once; no lazy_static / OnceLock needed.
+    const TABLE: [u32; 256] = {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Renders the footer line for `payload` (without trailing newline).
+fn footer_for(payload: &[u8]) -> String {
+    format!(
+        "{FOOTER_MAGIC} crc32={:08x} len={}",
+        crc32(payload),
+        payload.len()
+    )
+}
+
+/// Fault-injection hook consulted by [`write_durable_with`].
+///
+/// The production implementation is [`NoFaults`]; the chaos harness
+/// ([`crate::chaos::FaultInjector`]) substitutes seeded corruption.
+pub trait WriteFaults {
+    /// Possibly corrupts the exact bytes about to hit the temp file
+    /// (footer included). Returning them unchanged means a clean write.
+    fn corrupt_file_bytes(&mut self, bytes: Vec<u8>) -> Vec<u8>;
+
+    /// Whether the rename step should fail this time.
+    fn fail_rename(&mut self) -> bool;
+}
+
+/// The no-op fault hook: clean writes, renames always succeed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl WriteFaults for NoFaults {
+    fn corrupt_file_bytes(&mut self, bytes: Vec<u8>) -> Vec<u8> {
+        bytes
+    }
+    fn fail_rename(&mut self) -> bool {
+        false
+    }
+}
+
+/// Atomically writes `payload` + checksum footer to `path`.
+///
+/// Equivalent to [`write_durable_with`] with [`NoFaults`].
+pub fn write_durable(path: &Path, payload: &str, fsync: bool) -> Result<(), CheckpointError> {
+    write_durable_with(path, payload, fsync, &mut NoFaults)
+}
+
+/// Atomically writes `payload` + checksum footer to `path`, routing the
+/// physical bytes and the rename decision through `faults`.
+///
+/// The sequence is write-temp → (optional) fsync → rename; a failure at
+/// any step leaves the previous checkpoint (if any) untouched. Injected
+/// *corruption* still reports success — that is the point: silent disk
+/// corruption is only detectable at the next [`read_verified`].
+pub fn write_durable_with(
+    path: &Path,
+    payload: &str,
+    fsync: bool,
+    faults: &mut dyn WriteFaults,
+) -> Result<(), CheckpointError> {
+    let io = |op: &str, e: std::io::Error| CheckpointError::Io {
+        path: path.to_path_buf(),
+        op: op.to_string(),
+        detail: e.to_string(),
+    };
+    let mut bytes = Vec::with_capacity(payload.len() + 64);
+    bytes.extend_from_slice(payload.as_bytes());
+    bytes.push(b'\n');
+    bytes.extend_from_slice(footer_for(payload.as_bytes()).as_bytes());
+    bytes.push(b'\n');
+    let bytes = faults.corrupt_file_bytes(bytes);
+
+    let tmp = tmp_path(path);
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| io("create temp", e))?;
+        f.write_all(&bytes).map_err(|e| io("write", e))?;
+        if fsync {
+            f.sync_all().map_err(|e| io("fsync", e))?;
+        }
+    }
+    if faults.fail_rename() {
+        let _ = fs::remove_file(&tmp);
+        return Err(CheckpointError::Io {
+            path: path.to_path_buf(),
+            op: "rename".to_string(),
+            detail: "injected rename failure".to_string(),
+        });
+    }
+    fs::rename(&tmp, path).map_err(|e| io("rename", e))
+}
+
+/// The temp sibling `write_durable` stages into before the rename.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Where [`quarantine_file`] moves a corrupt checkpoint.
+pub fn corrupt_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".corrupt");
+    path.with_file_name(name)
+}
+
+/// Moves a corrupt checkpoint aside to `<path>.corrupt` (overwriting any
+/// previous quarantined file) so `--force-restart` preserves the evidence
+/// instead of deleting it.
+pub fn quarantine_file(path: &Path) -> Result<PathBuf, CheckpointError> {
+    let dest = corrupt_path(path);
+    fs::rename(path, &dest).map_err(|e| CheckpointError::Io {
+        path: path.to_path_buf(),
+        op: "quarantine rename".to_string(),
+        detail: e.to_string(),
+    })?;
+    Ok(dest)
+}
+
+/// Reads `path` and verifies its checksum footer; returns the payload
+/// (without footer) on success, `Ok(None)` when the file does not exist.
+///
+/// Every way the bytes can be wrong maps to [`CheckpointError::Corrupt`]
+/// with a distinct detail string:
+/// * no footer line at the tail → torn tail (the classic crash-mid-write
+///   signature, or a pre-footer legacy file);
+/// * footer present but unparseable → torn footer;
+/// * declared length ≠ payload length → short write;
+/// * declared CRC ≠ recomputed CRC → bit rot / flip.
+pub fn read_verified(path: &Path) -> Result<Option<String>, CheckpointError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(CheckpointError::Io {
+                path: path.to_path_buf(),
+                op: "read".to_string(),
+                detail: e.to_string(),
+            })
+        }
+    };
+    let corrupt = |detail: &str| CheckpointError::Corrupt {
+        path: path.to_path_buf(),
+        detail: detail.to_string(),
+    };
+    let text = String::from_utf8(bytes).map_err(|_| corrupt("file is not valid UTF-8"))?;
+    // The trailing newline is part of the on-disk format: a file cut off
+    // anywhere — even one byte short — fails this check.
+    let Some(stripped) = text.strip_suffix('\n') else {
+        return Err(corrupt("file does not end in a newline (torn tail)"));
+    };
+    let (payload, footer) = match stripped.rfind('\n') {
+        Some(idx) => (&stripped[..idx], &stripped[idx + 1..]),
+        None => (stripped, ""),
+    };
+    let Some(fields) = footer.strip_prefix(FOOTER_MAGIC) else {
+        return Err(corrupt(
+            "checksum footer missing (torn tail or pre-checksum file)",
+        ));
+    };
+    let mut crc_decl: Option<u32> = None;
+    let mut len_decl: Option<usize> = None;
+    for field in fields.split_whitespace() {
+        if let Some(v) = field.strip_prefix("crc32=") {
+            crc_decl = u32::from_str_radix(v, 16).ok();
+        } else if let Some(v) = field.strip_prefix("len=") {
+            len_decl = v.parse().ok();
+        }
+    }
+    let (Some(crc_decl), Some(len_decl)) = (crc_decl, len_decl) else {
+        return Err(corrupt("checksum footer is malformed (torn footer)"));
+    };
+    if payload.len() != len_decl {
+        return Err(corrupt(&format!(
+            "payload is {} bytes but footer declares {len_decl} (short write)",
+            payload.len()
+        )));
+    }
+    let actual = crc32(payload.as_bytes());
+    if actual != crc_decl {
+        return Err(corrupt(&format!(
+            "crc32 mismatch: computed {actual:08x}, footer declares {crc_decl:08x}"
+        )));
+    }
+    Ok(Some(payload.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gasnub-storage-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_test_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let dir = tdir("roundtrip");
+        let path = dir.join("ck.json");
+        write_durable(&path, "{\"a\":1}", true).unwrap();
+        assert_eq!(read_verified(&path).unwrap().unwrap(), "{\"a\":1}");
+        // No stray temp file.
+        assert!(!tmp_path(&path).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_ok_none() {
+        let dir = tdir("missing");
+        assert_eq!(read_verified(&dir.join("nope.json")).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn footerless_file_is_a_torn_tail() {
+        let dir = tdir("torn");
+        let path = dir.join("ck.json");
+        fs::write(&path, "{\"a\":1}\n").unwrap();
+        let err = read_verified(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }));
+        assert!(err.to_string().contains("torn tail"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_bit_is_a_crc_mismatch() {
+        let dir = tdir("flip");
+        let path = dir.join("ck.json");
+        write_durable(&path, "{\"a\":1}", false).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[2] ^= 0x40;
+        fs::write(&path, bytes).unwrap();
+        let err = read_verified(&path).unwrap_err();
+        assert!(err.to_string().contains("crc32 mismatch"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_payload_is_a_short_write() {
+        let dir = tdir("trunc");
+        let path = dir.join("ck.json");
+        write_durable(&path, "{\"cells\":[1,2,3]}", false).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        // Drop bytes from the payload but keep the newline + footer line
+        // intact, so the length check (not the footer parse) must catch it.
+        let newline_at = text.rfind(FOOTER_MAGIC).unwrap() - 1;
+        let torn = format!("{}{}", &text[..newline_at - 5], &text[newline_at..]);
+        fs::write(&path, torn).unwrap();
+        let err = read_verified(&path).unwrap_err();
+        assert!(err.to_string().contains("short write"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_rename_failure_keeps_the_old_checkpoint() {
+        struct RenameBomb;
+        impl WriteFaults for RenameBomb {
+            fn corrupt_file_bytes(&mut self, b: Vec<u8>) -> Vec<u8> {
+                b
+            }
+            fn fail_rename(&mut self) -> bool {
+                true
+            }
+        }
+        let dir = tdir("rename");
+        let path = dir.join("ck.json");
+        write_durable(&path, "old", false).unwrap();
+        let err = write_durable_with(&path, "new", false, &mut RenameBomb).unwrap_err();
+        assert_eq!(err.kind(), "io");
+        assert!(!err.force_restart_recoverable());
+        assert_eq!(read_verified(&path).unwrap().unwrap(), "old");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_moves_the_file_aside() {
+        let dir = tdir("quarantine");
+        let path = dir.join("ck.json");
+        fs::write(&path, "garbage").unwrap();
+        let dest = quarantine_file(&path).unwrap();
+        assert!(!path.exists());
+        assert_eq!(fs::read_to_string(dest).unwrap(), "garbage");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_convert_into_sim_errors() {
+        let c = CheckpointError::Corrupt {
+            path: PathBuf::from("x"),
+            detail: "d".into(),
+        };
+        assert!(matches!(SimError::from(c), SimError::Malformed { .. }));
+        let i = CheckpointError::Io {
+            path: PathBuf::from("x"),
+            op: "write".into(),
+            detail: "d".into(),
+        };
+        assert!(matches!(SimError::from(i), SimError::Io { .. }));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let p = PathBuf::from("x");
+        assert_eq!(
+            CheckpointError::SchemaMismatch {
+                path: p.clone(),
+                found: 1,
+                expected: 2
+            }
+            .kind(),
+            "schema-mismatch"
+        );
+        assert_eq!(
+            CheckpointError::GridMismatch {
+                path: p,
+                detail: "t".into()
+            }
+            .kind(),
+            "grid-mismatch"
+        );
+    }
+}

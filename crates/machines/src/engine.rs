@@ -20,6 +20,7 @@ use gasnub_memsim::write_buffer::WriteBuffer;
 use gasnub_memsim::WORD_BYTES;
 use gasnub_trace::{CounterSet, Event, NullRecorder, Recorder};
 
+use crate::cancel::{CancelToken, Guarded};
 use crate::limits::MeasureLimits;
 use crate::machine::{Machine, MachineId, Measurement};
 use crate::params::{T3dRemoteParams, T3eRemoteParams};
@@ -104,6 +105,7 @@ impl T3dRemotePath {
         clock: f64,
         ws_bytes: u64,
         stride: u64,
+        cancel: Option<CancelToken>,
     ) -> Measurement {
         engine.flush();
         self.reset();
@@ -129,7 +131,7 @@ impl T3dRemotePath {
         let mut open_window: Option<u64> = None;
         let mut open_bytes: u64 = 0;
 
-        for (k, idx) in StridedOrder::new(words, stride)
+        for (k, idx) in Guarded::new(StridedOrder::new(words, stride), cancel)
             .take(measured as usize)
             .enumerate()
         {
@@ -187,6 +189,7 @@ impl T3dRemotePath {
         clock: f64,
         ws_bytes: u64,
         stride: u64,
+        cancel: Option<CancelToken>,
     ) -> Measurement {
         engine.flush();
         self.reset();
@@ -197,7 +200,7 @@ impl T3dRemotePath {
 
         let mut now = engine.now();
         let start = now;
-        for (k, idx) in StridedOrder::new(words, stride)
+        for (k, idx) in Guarded::new(StridedOrder::new(words, stride), cancel)
             .take(measured as usize)
             .enumerate()
         {
@@ -237,6 +240,7 @@ impl T3eRemotePath {
     /// Runs one remote transfer of `words` words at `stride` through the
     /// E-registers in the given direction. Unit-stride data moves as
     /// coalesced blocks; non-unit strides move single words.
+    #[allow(clippy::too_many_arguments)]
     fn run_remote(
         &mut self,
         engine: &mut MemoryEngine,
@@ -245,6 +249,7 @@ impl T3eRemotePath {
         ws_bytes: u64,
         stride: u64,
         dir: Direction,
+        cancel: Option<CancelToken>,
     ) -> Measurement {
         engine.flush();
         self.reset();
@@ -261,7 +266,7 @@ impl T3eRemotePath {
             // sized blocks without per-word processor involvement.
             let block_words = self.params.block_bytes / WORD_BYTES;
             let blocks = measured.div_ceil(block_words);
-            for b in 0..blocks {
+            for b in Guarded::new(0..blocks, cancel) {
                 let wire = self.params.block_bytes + WORD_BYTES; // block + address
                 let link_total = self.link.send(wire, hops, now);
                 let occupancy = self.link.config().transfer_cycles(wire, hops);
@@ -270,7 +275,9 @@ impl T3eRemotePath {
                 let _ = b;
             }
         } else {
-            for idx in StridedOrder::new(words, stride).take(measured as usize) {
+            for idx in
+                Guarded::new(StridedOrder::new(words, stride), cancel).take(measured as usize)
+            {
                 let word_cost =
                     self.eregs.transfer_word(now) + self.params.strided_word_extra_cycles;
                 now += word_cost;
@@ -328,6 +335,9 @@ pub struct TransferEngine {
     recorder: Box<dyn Recorder>,
     /// Counters harvested by the most recent observed probe.
     last_counters: Option<CounterSet>,
+    /// Cooperative cancellation token consulted inside probe loops. `None`
+    /// (the default) means probes run to completion.
+    cancel: Option<CancelToken>,
 }
 
 impl TransferEngine {
@@ -347,6 +357,7 @@ impl TransferEngine {
             backend: Backend::Smp(smp),
             recorder: Box::new(NullRecorder),
             last_counters: None,
+            cancel: None,
         }
     }
 
@@ -368,6 +379,7 @@ impl TransferEngine {
             },
             recorder: Box::new(NullRecorder),
             last_counters: None,
+            cancel: None,
         }
     }
 
@@ -397,6 +409,7 @@ impl TransferEngine {
             },
             recorder: Box::new(NullRecorder),
             last_counters: None,
+            cancel: None,
         }
     }
 
@@ -414,6 +427,7 @@ impl TransferEngine {
             },
             recorder: Box::new(NullRecorder),
             last_counters: None,
+            cancel: None,
         }
     }
 
@@ -547,6 +561,12 @@ impl TransferEngine {
         self.recorder.record(event);
         self.last_counters = Some(counters);
     }
+
+    /// Wraps a pass iterator so it consults this engine's cancellation
+    /// token (if any) every [`crate::cancel::CHECK_INTERVAL`] accesses.
+    fn guard<I: Iterator>(&self, pass: I) -> Guarded<I> {
+        Guarded::new(pass, self.cancel.clone())
+    }
 }
 
 impl Machine for TransferEngine {
@@ -577,9 +597,10 @@ impl Machine for TransferEngine {
         self.flush_all();
         let (limits, clock) = (self.limits, self.clock_mhz);
         let words = words_of(ws_bytes);
-        let prime = StridedPass::new(0, words, stride).take(limits.prime_words(words) as usize);
+        let prime =
+            self.guard(StridedPass::new(0, words, stride).take(limits.prime_words(words) as usize));
         let measured = limits.measure_words(words);
-        let measure = StridedPass::new(0, words, stride).take(measured as usize);
+        let measure = self.guard(StridedPass::new(0, words, stride).take(measured as usize));
         let stats = self.mem().prime_and_measure(prime, measure);
         let m = Measurement::new(stats.bytes, stats.cycles, clock);
         self.observe("local_load", ws_bytes, stride, &m, Some(&stats), false);
@@ -590,9 +611,10 @@ impl Machine for TransferEngine {
         self.flush_all();
         let (limits, clock) = (self.limits, self.clock_mhz);
         let words = words_of(ws_bytes);
-        let prime = StorePass::new(0, words, stride).take(limits.prime_words(words) as usize);
+        let prime =
+            self.guard(StorePass::new(0, words, stride).take(limits.prime_words(words) as usize));
         let measured = limits.measure_words(words);
-        let measure = StorePass::new(0, words, stride).take(measured as usize);
+        let measure = self.guard(StorePass::new(0, words, stride).take(measured as usize));
         let stats = self.mem().prime_and_measure(prime, measure);
         let m = Measurement::new(stats.bytes, stats.cycles, clock);
         self.observe("local_store", ws_bytes, stride, &m, Some(&stats), false);
@@ -604,10 +626,14 @@ impl Machine for TransferEngine {
         let (limits, clock) = (self.limits, self.clock_mhz);
         let words = words_of(ws_bytes);
         let measured = limits.measure_words(words);
-        let prime = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
-            .take(2 * limits.prime_words(words) as usize);
-        let measure = CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
-            .take(2 * measured as usize);
+        let prime = self.guard(
+            CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
+                .take(2 * limits.prime_words(words) as usize),
+        );
+        let measure = self.guard(
+            CopyPass::new(0, DST_REGION, words, load_stride, store_stride)
+                .take(2 * measured as usize),
+        );
         let stats = self.mem().prime_and_measure(prime, measure);
         // Copied payload counts once.
         let m = Measurement::new(measured * WORD_BYTES, stats.cycles, clock);
@@ -620,10 +646,11 @@ impl Machine for TransferEngine {
         let (limits, clock) = (self.limits, self.clock_mhz);
         let words = words_of(ws_bytes);
         let measured = limits.measure_words(words);
-        let prime = StridedPass::new(0, words, 1).take(limits.prime_words(words) as usize);
+        let prime =
+            self.guard(StridedPass::new(0, words, 1).take(limits.prime_words(words) as usize));
         let indices =
             gasnub_memsim::trace::shuffled_indices(words, measured as usize, self.gather_seed);
-        let measure = gasnub_memsim::trace::IndexedPass::new(0, indices);
+        let measure = self.guard(gasnub_memsim::trace::IndexedPass::new(0, indices));
         let stats = self.mem().prime_and_measure(prime, measure);
         let m = Measurement::new(stats.bytes, stats.cycles, clock);
         self.observe("local_gather", ws_bytes, 0, &m, Some(&stats), false);
@@ -632,6 +659,7 @@ impl Machine for TransferEngine {
 
     fn remote_load(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
         let (limits, clock) = (self.limits, self.clock_mhz);
+        let cancel = self.cancel.clone();
         let pulled = match &mut self.backend {
             Backend::Smp(smp) => {
                 smp.flush();
@@ -639,10 +667,10 @@ impl Machine for TransferEngine {
                 // Producer (P1) writes the data; consumer (P0) pulls after a
                 // synchronization point (§5.2).
                 let produce = StorePass::new(0, words, 1).take(limits.prime_words(words) as usize);
-                let _ = smp.producer_store(1, produce);
+                let _ = smp.producer_store(1, Guarded::new(produce, cancel.clone()));
                 let measured = limits.measure_words(words);
                 let pull = StridedPass::new(0, words, stride).take(measured as usize);
-                let stats = smp.consumer_pull(0, pull);
+                let stats = smp.consumer_pull(0, Guarded::new(pull, cancel));
                 let m = Measurement::new(stats.bytes, stats.cycles, clock);
                 Some((m, stats))
             }
@@ -658,28 +686,37 @@ impl Machine for TransferEngine {
 
     fn remote_fetch(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
         let (limits, clock) = (self.limits, self.clock_mhz);
+        let cancel = self.cancel.clone();
         let fetched = match &mut self.backend {
             Backend::Smp(smp) => {
                 smp.flush();
                 let words = words_of(ws_bytes);
                 let produce = StorePass::new(0, words, 1).take(limits.prime_words(words) as usize);
-                let _ = smp.producer_store(1, produce);
+                let _ = smp.producer_store(1, Guarded::new(produce, cancel.clone()));
                 let measured = limits.measure_words(words);
                 // Strided remote loads, contiguous local stores (fig 12).
                 let copy =
                     CopyPass::new(0, DST_REGION, words, stride, 1).take(2 * measured as usize);
-                let stats = smp.consumer_pull(0, copy);
+                let stats = smp.consumer_pull(0, Guarded::new(copy, cancel));
                 let m = Measurement::new(measured * WORD_BYTES, stats.cycles, clock);
                 Some((m, Some(stats)))
             }
             Backend::Node { engine, remote } => match remote {
                 RemotePath::None => None,
                 RemotePath::T3d(path) => Some((
-                    path.run_fetch(engine, limits, clock, ws_bytes, stride),
+                    path.run_fetch(engine, limits, clock, ws_bytes, stride, cancel),
                     None,
                 )),
                 RemotePath::T3e(path) => Some((
-                    path.run_remote(engine, limits, clock, ws_bytes, stride, Direction::Fetch),
+                    path.run_remote(
+                        engine,
+                        limits,
+                        clock,
+                        ws_bytes,
+                        stride,
+                        Direction::Fetch,
+                        cancel,
+                    ),
                     None,
                 )),
             },
@@ -699,6 +736,7 @@ impl Machine for TransferEngine {
 
     fn remote_deposit(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
         let (limits, clock) = (self.limits, self.clock_mhz);
+        let cancel = self.cancel.clone();
         let deposited = match &mut self.backend {
             // "The DEC 8400 does not have support for pushing data into
             // memory or caches of a remote processor." (§5.2)
@@ -706,7 +744,7 @@ impl Machine for TransferEngine {
             Backend::Node { engine, remote } => match remote {
                 RemotePath::None => None,
                 RemotePath::T3d(path) => {
-                    Some(path.run_deposit(engine, limits, clock, ws_bytes, stride))
+                    Some(path.run_deposit(engine, limits, clock, ws_bytes, stride, cancel))
                 }
                 RemotePath::T3e(path) => Some(path.run_remote(
                     engine,
@@ -715,6 +753,7 @@ impl Machine for TransferEngine {
                     ws_bytes,
                     stride,
                     Direction::Deposit,
+                    cancel,
                 )),
             },
         };
@@ -734,6 +773,10 @@ impl Machine for TransferEngine {
 
     fn drain_events(&mut self) -> Vec<Event> {
         self.recorder.drain()
+    }
+
+    fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 }
 
@@ -824,6 +867,10 @@ macro_rules! delegate_machine {
 
             fn drain_events(&mut self) -> Vec<gasnub_trace::Event> {
                 $crate::machine::Machine::drain_events(&mut self.engine)
+            }
+
+            fn set_cancel_token(&mut self, token: $crate::cancel::CancelToken) {
+                $crate::machine::Machine::set_cancel_token(&mut self.engine, token);
             }
         }
     };

@@ -51,6 +51,7 @@
 //! ```
 
 pub mod calibration;
+pub mod cancel;
 pub mod custom;
 pub mod dec8400;
 pub mod engine;
@@ -61,6 +62,7 @@ pub mod spec;
 pub mod t3d;
 pub mod t3e;
 
+pub use cancel::{CancelToken, CellCancelled};
 pub use custom::{CustomMachine, CustomMachineBuilder};
 pub use dec8400::Dec8400;
 pub use engine::{words_of, TransferEngine};

@@ -2,6 +2,7 @@
 
 use gasnub_trace::{CounterSet, Event, Recorder};
 
+use crate::cancel::CancelToken;
 use crate::limits::MeasureLimits;
 
 /// Which of the paper's three systems a model represents.
@@ -162,6 +163,15 @@ pub trait Machine {
     fn drain_events(&mut self) -> Vec<Event> {
         Vec::new()
     }
+
+    /// Installs a cooperative cancellation token. Instrumented machines
+    /// ([`crate::engine::TransferEngine`]) consult it periodically inside
+    /// their probe loops and unwind with
+    /// [`crate::cancel::CellCancelled`] once it is cancelled — the hook the
+    /// resilient sweep runner uses to enforce per-cell wall-clock budgets.
+    /// The default implementation ignores the token (such machines simply
+    /// cannot be interrupted mid-probe).
+    fn set_cancel_token(&mut self, _token: CancelToken) {}
 }
 
 #[cfg(test)]

@@ -128,6 +128,29 @@ impl Event {
     }
 }
 
+/// Canonical counter names for sweep-execution robustness events.
+///
+/// The resilient sweep runner (`gasnub-core`) accumulates these into the
+/// [`CounterSet`] it returns per run, and `--counters` reports them. They
+/// live here — next to the counter type — so the runner, the CLI and the
+/// tests agree on one spelling.
+pub mod robustness {
+    /// Extra probe attempts spent re-running panicking cells.
+    pub const RETRIES: &str = "sweep.retries";
+    /// Cells that exhausted their retry budget and were quarantined
+    /// (rendered as an explicit `NaN` hole, skipped on resume).
+    pub const QUARANTINES: &str = "sweep.quarantines";
+    /// Cells stopped by their per-cell wall-clock budget.
+    pub const TIMEOUTS: &str = "sweep.timeouts";
+    /// Corrupt checkpoints recovered by `--force-restart` (the file is
+    /// preserved as `<path>.corrupt`).
+    pub const FORCE_RESTARTS: &str = "sweep.force_restarts";
+    /// The subset of force-restarts whose corruption was a torn tail.
+    pub const TORN_TAIL_RECOVERIES: &str = "sweep.torn_tail_recoveries";
+    /// Checkpoint writes that failed once and succeeded on the retry.
+    pub const CHECKPOINT_WRITE_RETRIES: &str = "sweep.checkpoint_write_retries";
+}
+
 /// A sink for structured events.
 ///
 /// The machine layer holds a `Box<dyn Recorder>` and consults

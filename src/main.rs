@@ -45,7 +45,10 @@ fn usage() -> ! {
          \x20       [--threads N]                    (op: load, store, copy-loads,\n\
          \x20       [--counters FILE]                copy-stores, pull, fetch, deposit;\n\
          \x20       [--counters-csv FILE]            --threads 0 = all cores; FILE '-'\n\
-         \x20                                        writes to stdout)\n\
+         \x20       [--retries N]                    writes to stdout; retry panicking\n\
+         \x20       [--cell-timeout-ms N]            cells N times; cap each cell's wall\n\
+         \x20       [--force-restart]                clock; move a corrupt checkpoint to\n\
+         \x20                                        FILE.corrupt and start fresh)\n\
          trace <machine> <op> [--ws BYTES] [--stride WORDS] [--seed N] [--severity S]\n\
          \x20                                        one probe's harvested counters and\n\
          \x20                                        trace events, as canonical JSON\n\
@@ -89,14 +92,23 @@ fn parse_num<T: std::str::FromStr>(what: &str, text: &str) -> T {
         .unwrap_or_else(|_| fail(format!("{what}: malformed number {text:?}")))
 }
 
-/// Minimal flag parser: `--flag value` pairs plus positional arguments.
-/// Unknown flags are usage errors.
-fn split_flags(args: &[String], known: &[&str]) -> (Vec<String>, Vec<(String, String)>) {
+/// Minimal flag parser: `--flag value` pairs, bare `--flag` booleans
+/// (listed in `known_bool`, recorded with value `"true"`), plus positional
+/// arguments. Unknown flags are usage errors.
+fn split_flags(
+    args: &[String],
+    known: &[&str],
+    known_bool: &[&str],
+) -> (Vec<String>, Vec<(String, String)>) {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(name) = arg.strip_prefix("--") {
+            if known_bool.contains(&name) {
+                flags.push((name.to_string(), "true".to_string()));
+                continue;
+            }
             if !known.contains(&name) {
                 fail(format!("unknown flag --{name}"));
             }
@@ -174,7 +186,7 @@ fn counters_to_json(counters: &CounterSet) -> Json {
 }
 
 fn trace_cmd(args: &[String]) {
-    let (positional, flags) = split_flags(args, &["ws", "stride", "seed", "severity"]);
+    let (positional, flags) = split_flags(args, &["ws", "stride", "seed", "severity"], &[]);
     let [label, op] = positional.as_slice() else {
         fail(
             "trace takes a machine and an operation \
@@ -229,7 +241,7 @@ fn trace_cmd(args: &[String]) {
 }
 
 fn faults_cmd(args: &[String]) {
-    let (positional, flags) = split_flags(args, &["seed", "severity", "threads", "counters"]);
+    let (positional, flags) = split_flags(args, &["seed", "severity", "threads", "counters"], &[]);
     let [label] = positional.as_slice() else {
         fail("faults takes exactly one machine argument");
     };
@@ -355,12 +367,15 @@ fn sweep_cmd(args: &[String]) {
             "checkpoint",
             "max-cells",
             "budget-secs",
+            "retries",
+            "cell-timeout-ms",
             "seed",
             "severity",
             "threads",
             "counters",
             "counters-csv",
         ],
+        &["force-restart"],
     );
     let [label, op] = positional.as_slice() else {
         fail(
@@ -387,6 +402,16 @@ fn sweep_cmd(args: &[String]) {
     if let Some(secs) = flag(&flags, "budget-secs") {
         runner = runner.with_budget(Duration::from_secs(parse_num("--budget-secs", secs)));
     }
+    if let Some(n) = flag(&flags, "retries") {
+        runner = runner.with_retries(parse_num("--retries", n));
+    }
+    if let Some(ms) = flag(&flags, "cell-timeout-ms") {
+        runner =
+            runner.with_cell_timeout(Duration::from_millis(parse_num("--cell-timeout-ms", ms)));
+    }
+    if flag(&flags, "force-restart").is_some() {
+        runner = runner.with_force_restart(true);
+    }
 
     let name = spec.spawn_engine().unwrap_or_else(|e| fail(e)).name();
     let title = format!(
@@ -401,7 +426,12 @@ fn sweep_cmd(args: &[String]) {
     let grid = Grid::quick();
     let outcome = runner
         .run_parallel(&title, &grid, threads, &spec, |m, ws, s| op.probe(m, ws, s))
-        .unwrap_or_else(|e| fail(e));
+        .unwrap_or_else(|e| match e {
+            gasnub::core::SweepError::Checkpoint(ck) if ck.force_restart_recoverable() => fail(
+                format!("{ck}\n(re-run with --force-restart to move it aside and start fresh)"),
+            ),
+            other => fail(other),
+        });
 
     println!("{}", outcome.surface.render());
     println!(
@@ -413,9 +443,22 @@ fn sweep_cmd(args: &[String]) {
     );
     for f in &outcome.failed {
         println!(
-            "  failed ws={} stride={}: {}",
-            f.ws_bytes, f.stride, f.error
+            "  failed ws={} stride={} [{} after {} attempt{}]: {}",
+            f.ws_bytes,
+            f.stride,
+            f.kind.label(),
+            f.attempts,
+            if f.attempts == 1 { "" } else { "s" },
+            f.error
         );
+    }
+    if !outcome.robustness.is_empty() {
+        let parts: Vec<String> = outcome
+            .robustness
+            .iter()
+            .map(|(name, value)| format!("{name}={value}"))
+            .collect();
+        println!("robustness: {}", parts.join(" "));
     }
     if outcome.is_complete() {
         println!("sweep complete (checkpoint kept at {checkpoint})");
@@ -429,9 +472,13 @@ fn sweep_cmd(args: &[String]) {
     let json_path = flag(&flags, "counters");
     let csv_path = flag(&flags, "counters-csv");
     if json_path.is_some() || csv_path.is_some() {
-        let report = collect_counters(&spec, op, &grid, threads)
+        let mut report = collect_counters(&spec, op, &grid, threads)
             .unwrap_or_else(|e| fail(e))
             .unwrap_or_else(|| fail(format!("{label} does not support {}", op.label())));
+        // The sweep's robustness counters ride along in the report, so a
+        // troubled run's retries/quarantines/timeouts are visible next to
+        // the mechanism counters they disturbed.
+        report.robustness = outcome.robustness.clone();
         if let Some(path) = json_path {
             write_output(path, &report.render_json());
         }

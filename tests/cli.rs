@@ -83,6 +83,115 @@ fn bad_invocations_exit_2_without_panicking() {
     // --counters reports inherit the conventions too.
     assert_usage_error(&["sweep", "t3d", "load", "--counters"]);
     assert_usage_error(&["faults", "t3d", "--counters"]);
+    // The robustness flags inherit the exit-2 conventions.
+    fn with_ck<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+        let mut args = vec!["sweep", "t3d", "load", "--checkpoint", "/tmp/x.json"];
+        args.extend_from_slice(extra);
+        args
+    }
+    assert_usage_error(&with_ck(&["--retries"]));
+    assert_usage_error(&with_ck(&["--retries", "lots"]));
+    assert_usage_error(&with_ck(&["--cell-timeout-ms", "soon"]));
+    // --force-restart is boolean: a stray value becomes a positional arg.
+    assert_usage_error(&with_ck(&["--force-restart", "yes"]));
+}
+
+#[test]
+fn corrupt_checkpoints_exit_2_and_force_restart_recovers() {
+    let ckpt = std::env::temp_dir().join(format!("gasnub-cli-corrupt-{}.json", std::process::id()));
+    let corrupt_copy = ckpt.with_extension("json.corrupt");
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&corrupt_copy);
+    let run = |extra: &[&str]| -> Output {
+        let mut args = vec![
+            "sweep",
+            "t3d",
+            "load",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        gasnub(&args)
+    };
+
+    let clean = run(&[]);
+    assert_eq!(clean.status.code(), Some(0));
+    let good = std::fs::read(&ckpt).unwrap();
+
+    // Tear the tail off the checkpoint: the next run must refuse loudly —
+    // a named corruption error with exit 2, not a silent restart.
+    std::fs::write(&ckpt, &good[..good.len() - 9]).unwrap();
+    let refused = run(&[]);
+    let stderr = String::from_utf8_lossy(&refused.stderr);
+    assert_eq!(refused.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("corrupt") && stderr.contains("--force-restart"),
+        "refusal must name the corruption and the escape hatch: {stderr}"
+    );
+
+    // --force-restart: recovers, preserves the evidence, reports the event.
+    let healed = run(&["--force-restart"]);
+    let stderr = String::from_utf8_lossy(&healed.stderr);
+    assert_eq!(healed.status.code(), Some(0), "stderr: {stderr}");
+    let text = String::from_utf8_lossy(&healed.stdout);
+    assert!(
+        text.contains("robustness:") && text.contains("sweep.force_restarts=1"),
+        "recovery must be counted: {text}"
+    );
+    assert!(
+        corrupt_copy.exists(),
+        "the corrupt checkpoint must be preserved as {}",
+        corrupt_copy.display()
+    );
+    assert_eq!(
+        std::fs::read(&ckpt).unwrap(),
+        good,
+        "the healed run must converge to the original checkpoint bytes"
+    );
+
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&corrupt_copy);
+}
+
+#[test]
+fn sweep_robustness_counters_are_deterministic_across_threads() {
+    // A zero cell budget times out every cell — deterministically, because
+    // the runner checks the expired token before each attempt. The recorded
+    // counters must be identical for any worker count.
+    let scratch = |threads: usize| {
+        std::env::temp_dir().join(format!(
+            "gasnub-cli-timeout-{}-t{threads}.json",
+            std::process::id()
+        ))
+    };
+    let mut lines = Vec::new();
+    for threads in [1, 4] {
+        let ckpt = scratch(threads);
+        let _ = std::fs::remove_file(&ckpt);
+        let out = gasnub(&[
+            "sweep",
+            "t3d",
+            "load",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--cell-timeout-ms",
+            "0",
+            "--threads",
+            &threads.to_string(),
+        ]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("robustness:"))
+            .unwrap_or_else(|| panic!("no robustness line in: {text}"))
+            .to_string();
+        assert!(line.contains("sweep.timeouts="), "{line}");
+        lines.push(line);
+        let _ = std::fs::remove_file(&ckpt);
+    }
+    assert_eq!(lines[0], lines[1], "counters must not depend on --threads");
 }
 
 #[test]
