@@ -337,7 +337,80 @@ fn main() {
     println!();
 
     // ---------------------------------------------------------------- 7
-    println!("## 7. Known deviations");
+    println!("## 7. Modern machines (beyond the paper)");
+    println!();
+    println!("The machine zoo (`machines/zoo/`) extends the characterization to two");
+    println!("modern designs described purely as spec files — no Rust changed to add");
+    println!("either. Both reuse the paper-era model families: the NUMA node is a");
+    println!("\"torus\" machine whose remote socket is one hop over the processor");
+    println!("interconnect, and the many-core SMP is an \"smp\" machine with a wider,");
+    println!("faster snooping bus.");
+    println!();
+    println!("`cargo run --release --example zoo_probe` (32 MB working set, past every");
+    println!("cache in the zoo; contiguous and stride-8 word loads):");
+    println!();
+    println!("| machine | local MB/s | remote MB/s | ratio | local s=8 | remote s=8 |");
+    println!("|---|---:|---:|---:|---:|---:|");
+    let zoo_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../machines/zoo");
+    let mut numa_ratio = None;
+    for name in ["dec8400", "t3d", "t3e", "custom", "numa2s", "smp16"] {
+        let text =
+            std::fs::read_to_string(format!("{zoo_dir}/{name}.toml")).expect("zoo spec readable");
+        let spec = MachineSpec::from_spec_str(&text).expect("zoo spec parses");
+        let mut m = spec
+            .with_limits(MeasureLimits::new())
+            .build()
+            .expect("zoo spec builds");
+        let ws = 32 << 20;
+        let local = m.local_load(ws, 1).mb_s;
+        let local8 = m.local_load(ws, 8).mb_s;
+        match (m.remote_fetch(ws, 1), m.remote_fetch(ws, 8)) {
+            (Some(remote), Some(remote8)) => {
+                if name == "numa2s" {
+                    numa_ratio = Some(local / remote.mb_s);
+                }
+                println!(
+                    "| {name} | {local:.0} | {:.0} | {:.2}x | {local8:.0} | {:.0} |",
+                    remote.mb_s,
+                    local / remote.mb_s,
+                    remote8.mb_s
+                );
+            }
+            _ => println!("| {name} | {local:.0} | - | - | {local8:.0} | - |"),
+        }
+    }
+    println!();
+    let ratio = numa_ratio.expect("numa2s has a remote path");
+    println!("**numa2s** (two-socket NUMA node, circa-2011 Nehalem/Westmere class) is");
+    println!("calibrated against the STREAM characterization in Bergstrom, *\"Measuring");
+    println!("NUMA effects with the STREAM benchmark\"* (arXiv:1103.3225): one global");
+    println!("address space, but a thread reads the other socket's memory at a modest");
+    println!("fraction of its local bandwidth. The measured remote/local fraction of");
+    println!(
+        "{:.2} (ratio {ratio:.2}x) sits inside Bergstrom's reported 0.4–0.8 band, and",
+        1.0 / ratio
+    );
+    println!("`tests/zoo.rs` asserts the ratio stays in [1.3, 2.5]. Two paper echoes");
+    println!("reproduce on 2011-era parameters:");
+    println!();
+    println!("* *Non-uniform bandwidth under a uniform address space* — the paper's");
+    println!("  thesis — survives three decades: the gap shrank from the T3D's ~6x to");
+    println!("  {ratio:.2}x, but it did not close.");
+    println!("* *Strided remote beats strided local* (the paper's T3D finding 3");
+    println!("  inversion): at stride 8 the remote fetch path outruns the local");
+    println!("  hierarchy, because word-granular fetches through the deep request");
+    println!("  window skip the local line-fill penalty.");
+    println!();
+    println!("**smp16** (many-core single-board SMP in the spirit of the SPARC T3-4's");
+    println!("throughput cores) stresses the 8400's model family at 4x the node count:");
+    println!("sixteen in-order cores on one snooping bus. The bus stays far closer to");
+    println!("uniform than any distributed machine in the zoo — which is exactly why");
+    println!("the paper filed bus-based SMPs under \"global address space\" rather than");
+    println!("\"message passing\".");
+    println!();
+
+    // ---------------------------------------------------------------- 8
+    println!("## 8. Known deviations");
     println!();
     println!("* The DEC 8400 contiguous local copy measures ~76 MB/s against the paper's");
     println!("  ~57 MB/s (tolerance ±35%): the model under-charges the write-back traffic");

@@ -240,7 +240,7 @@ pub fn collect_counters<S: SpawnEngine>(
     threads: usize,
 ) -> Result<Option<CounterReport>, SimError> {
     let probe = spawner.spawn_engine()?;
-    let (machine, title) = (probe.id().label().to_string(), op.title_for(&probe.name()));
+    let (machine, title) = (probe.label(), op.title_for(&probe.name()));
     drop(probe);
     let cells = run_indexed(threads, grid.cells(), |idx| {
         let (ws, stride) = grid.cell(idx);

@@ -180,6 +180,7 @@ pub struct ResilientSweep {
     cell_timeout: Option<Duration>,
     force_restart: bool,
     fsync: bool,
+    spec_hash: Option<u64>,
     faults: Option<Arc<Mutex<dyn WriteFaults + Send>>>,
 }
 
@@ -225,6 +226,7 @@ impl ResilientSweep {
             cell_timeout: None,
             force_restart: false,
             fsync: true,
+            spec_hash: None,
             faults: None,
         }
     }
@@ -284,6 +286,19 @@ impl ResilientSweep {
     /// instead of failing. I/O errors are never bulldozed.
     pub fn with_force_restart(mut self, force: bool) -> Self {
         self.force_restart = force;
+        self
+    }
+
+    /// Ties the checkpoint to a machine description
+    /// (`MachineSpec::spec_hash`). When set, the hash is written into
+    /// every checkpoint and verified on resume: a checkpoint written by a
+    /// different machine description — a different spec file, a different
+    /// fault plan, an edited zoo entry — is rejected as a grid mismatch
+    /// instead of silently mixing measurements. Unset (the default), the
+    /// title/axes identity check alone applies, and checkpoints written
+    /// without a hash stay loadable.
+    pub fn with_spec_hash(mut self, hash: u64) -> Self {
+        self.spec_hash = Some(hash);
         self
     }
 
@@ -673,6 +688,21 @@ impl ResilientSweep {
                 ),
             });
         }
+        if let Some(expected) = self.spec_hash {
+            let stored = doc.get("spec_hash").and_then(Json::as_u64);
+            if stored != Some(expected) {
+                return Err(CheckpointError::GridMismatch {
+                    path: self.checkpoint.clone(),
+                    detail: match stored {
+                        Some(found) => format!(
+                            "written by a different machine description \
+                             (spec hash {found:#x}, expected {expected:#x})"
+                        ),
+                        None => "carries no machine spec hash".to_string(),
+                    },
+                });
+            }
+        }
         let axis = |key: &str| -> Result<Vec<u64>, CheckpointError> {
             doc.get(key)
                 .and_then(Json::as_array)
@@ -765,9 +795,14 @@ impl ResilientSweep {
                 ])
             })
             .collect();
-        Json::object([
+        let mut fields = vec![
             ("version", Json::U64(SCHEMA_VERSION)),
             ("title", Json::Str(title.to_string())),
+        ];
+        if let Some(hash) = self.spec_hash {
+            fields.push(("spec_hash", Json::U64(hash)));
+        }
+        fields.extend([
             (
                 "strides",
                 Json::Array(grid.strides.iter().map(|&s| Json::U64(s)).collect()),
@@ -778,8 +813,8 @@ impl ResilientSweep {
             ),
             ("cells", Json::Array(cells)),
             ("failed", Json::Array(failed)),
-        ])
-        .render()
+        ]);
+        Json::object(fields).render()
     }
 
     /// Writes the checkpoint durably; one immediate retry on failure (the

@@ -325,7 +325,10 @@ enum Backend {
 #[derive(Debug)]
 pub struct TransferEngine {
     id: MachineId,
-    custom_name: Option<String>,
+    /// Registry label ("t3d", "numa2s", …) reported by [`Machine::label`].
+    label: String,
+    /// Resolved display name ("Cray T3D", "reference custom node", …).
+    display: String,
     clock_mhz: f64,
     gather_seed: u64,
     limits: MeasureLimits,
@@ -350,7 +353,8 @@ impl TransferEngine {
         let clock_mhz = smp.config().node.cpu.clock_mhz;
         TransferEngine {
             id,
-            custom_name: None,
+            label: id.label().to_string(),
+            display: id.to_string(),
             clock_mhz,
             gather_seed,
             limits,
@@ -361,17 +365,20 @@ impl TransferEngine {
         }
     }
 
-    pub(crate) fn new_t3d(
+    pub(crate) fn new_torus(
+        id: MachineId,
         engine: MemoryEngine,
         path: T3dRemotePath,
+        gather_seed: u64,
         limits: MeasureLimits,
     ) -> Self {
         let clock_mhz = engine.cpu().clock_mhz;
         TransferEngine {
-            id: MachineId::CrayT3d,
-            custom_name: None,
+            id,
+            label: id.label().to_string(),
+            display: id.to_string(),
             clock_mhz,
-            gather_seed: 0x73d,
+            gather_seed,
             limits,
             backend: Backend::Node {
                 engine,
@@ -383,20 +390,24 @@ impl TransferEngine {
         }
     }
 
-    pub(crate) fn new_t3e(
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new_eregs(
+        id: MachineId,
         engine: MemoryEngine,
         params: T3eRemoteParams,
         eregs: ERegisters,
         link: Link,
         dest_banks: Dram,
+        gather_seed: u64,
         limits: MeasureLimits,
     ) -> Self {
         let clock_mhz = engine.cpu().clock_mhz;
         TransferEngine {
-            id: MachineId::CrayT3e,
-            custom_name: None,
+            id,
+            label: id.label().to_string(),
+            display: id.to_string(),
             clock_mhz,
-            gather_seed: 0x73e,
+            gather_seed,
             limits,
             backend: Backend::Node {
                 engine,
@@ -413,13 +424,19 @@ impl TransferEngine {
         }
     }
 
-    pub(crate) fn new_custom(name: String, engine: MemoryEngine, limits: MeasureLimits) -> Self {
+    pub(crate) fn new_node(
+        id: MachineId,
+        engine: MemoryEngine,
+        gather_seed: u64,
+        limits: MeasureLimits,
+    ) -> Self {
         let clock_mhz = engine.cpu().clock_mhz;
         TransferEngine {
-            id: MachineId::Custom,
-            custom_name: Some(name),
+            id,
+            label: id.label().to_string(),
+            display: id.to_string(),
             clock_mhz,
-            gather_seed: 0xC05705,
+            gather_seed,
             limits,
             backend: Backend::Node {
                 engine,
@@ -429,6 +446,19 @@ impl TransferEngine {
             last_counters: None,
             cancel: None,
         }
+    }
+
+    /// Installs the spec's identity: the registry label this engine reports
+    /// and its display name. For paper machines the display stays the
+    /// canonical machine name; for everything else the explicit `display`
+    /// (or the label) wins.
+    pub(crate) fn set_identity(&mut self, label: String, display: Option<String>) {
+        self.display = match (display, self.id) {
+            (Some(d), _) => d,
+            (None, MachineId::Custom) => label.clone(),
+            (None, id) => id.to_string(),
+        };
+        self.label = label;
     }
 
     /// Access to the underlying SMP system when the backend is bus-based
@@ -575,10 +605,11 @@ impl Machine for TransferEngine {
     }
 
     fn name(&self) -> String {
-        match &self.custom_name {
-            Some(name) => format!("{} ({} MHz)", name, self.clock_mhz),
-            None => format!("{} ({} MHz)", self.id, self.clock_mhz),
-        }
+        format!("{} ({} MHz)", self.display, self.clock_mhz)
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
     }
 
     fn clock_mhz(&self) -> f64 {
@@ -793,6 +824,10 @@ macro_rules! delegate_machine {
 
             fn name(&self) -> String {
                 $crate::machine::Machine::name(&self.engine)
+            }
+
+            fn label(&self) -> String {
+                $crate::machine::Machine::label(&self.engine)
             }
 
             fn clock_mhz(&self) -> f64 {

@@ -58,7 +58,9 @@ pub mod engine;
 pub mod limits;
 pub mod machine;
 pub mod params;
+pub mod registry;
 pub mod spec;
+pub mod specfile;
 pub mod t3d;
 pub mod t3e;
 
@@ -70,7 +72,9 @@ pub use gasnub_faults::{FaultPlan, RouteImpact};
 pub use gasnub_trace::{CounterSet, Event, NullRecorder, Recorder, RingRecorder};
 pub use limits::MeasureLimits;
 pub use machine::{Machine, MachineId, Measurement};
+pub use registry::{BrokenSpec, MachineRegistry, ResolveError};
 pub use spec::{MachineSpec, SpawnEngine};
+pub use specfile::SpecError;
 pub use t3d::T3d;
 pub use t3e::T3e;
 

@@ -105,6 +105,13 @@ pub trait Machine {
         format!("{} ({} MHz)", self.id(), self.clock_mhz())
     }
 
+    /// Short registry label used in tables, CSV and report output. For
+    /// spec-defined machines this is the spec's `name` field; the default
+    /// falls back to the model-family id's label.
+    fn label(&self) -> String {
+        self.id().label().to_string()
+    }
+
     /// Processor clock in MHz.
     fn clock_mhz(&self) -> f64;
 

@@ -7,6 +7,15 @@
 //! into a fresh [`TransferEngine`] — the cheap per-run object that owns all
 //! mutable state. The [`SpawnEngine`] trait abstracts that factory step so
 //! the sweep layer (`gasnub-core`) can hand every grid cell its own engine.
+//!
+//! Machine *identity* is data, not code: a spec is defined by a spec file
+//! (see [`crate::specfile`] for the dialect) and the built-in machines are
+//! embedded spec files parsed through the same loader. The
+//! [`MachineId`] enum survives only as a *model-family tag* — a handful of
+//! consumers (shmem call overheads, FFT scalability models, figure
+//! renderers) model the three paper machines specifically and key off it;
+//! everything else identifies a machine by its [`MachineSpec::label`] and
+//! [`MachineSpec::spec_hash`].
 
 use gasnub_coherence::smp::{SmpConfig, SnoopingSmp};
 use gasnub_faults::FaultPlan;
@@ -22,53 +31,125 @@ use gasnub_memsim::{ConfigError, SimError};
 use crate::engine::{T3dRemotePath, TransferEngine};
 use crate::limits::MeasureLimits;
 use crate::machine::{Machine, MachineId};
-use crate::params::{self, T3dRemoteParams, T3eRemoteParams};
+use crate::params::{T3dRemoteParams, T3eRemoteParams};
+use crate::specfile::{self, SpecError};
 
-/// Which machine a spec describes, plus its full parameterization.
-#[derive(Debug, Clone)]
-enum SpecKind {
-    /// DEC 8400: the SMP description plus optional bus-arbiter jitter.
-    Dec8400 {
+/// The model family of a spec, plus its full parameterization.
+///
+/// The family selects the simulation backend; it deliberately does *not*
+/// name a machine. A two-socket NUMA node is a `Torus` (the remote socket
+/// is one hop over the processor interconnect), a many-core server is an
+/// `Smp` — same models, different parameter files.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum SpecKind {
+    /// A snooping-bus SMP; remote transfers are coherent consumer pulls.
+    Smp {
         smp: SmpConfig,
         bus_jitter: Option<BusJitterConfig>,
     },
-    /// Cray T3D: one PE plus the fetch/deposit remote path.
-    T3d {
+    /// One node plus NI fetch/deposit circuitry over point-to-point links.
+    Torus {
         node: NodeConfig,
         remote: T3dRemoteParams,
         ni_loss: Option<NiLossConfig>,
     },
-    /// Cray T3E: one PE plus the E-register remote path.
-    T3e {
+    /// One node plus an E-register block/word remote path.
+    Eregs {
         node: NodeConfig,
         remote: T3eRemoteParams,
         ni_loss: Option<NiLossConfig>,
     },
-    /// A user-described single node without remote paths.
-    Custom { name: String, node: NodeConfig },
+    /// A single node without remote paths (local probes only).
+    Node { node: NodeConfig },
+}
+
+impl SpecKind {
+    /// The deterministic seed for the gather probe's index permutation.
+    /// Keyed by model family so a zoo-loaded paper machine shuffles
+    /// identically to its built-in twin.
+    fn gather_seed(&self) -> u64 {
+        match self {
+            SpecKind::Smp { .. } => 0x8400,
+            SpecKind::Torus { .. } => 0x73d,
+            SpecKind::Eregs { .. } => 0x73e,
+            SpecKind::Node { .. } => 0xC05705,
+        }
+    }
 }
 
 /// An immutable, thread-shareable machine description.
 ///
 /// Construction is free of validation — errors surface when
 /// [`MachineSpec::build`] assembles the engine, mirroring the builder
-/// pattern of [`crate::custom::CustomMachineBuilder`].
-#[derive(Debug, Clone)]
+/// pattern of [`crate::custom::CustomMachineBuilder`]. Specs loaded from
+/// files ([`MachineSpec::from_spec_str`]) *are* validated at load time,
+/// because a file's errors should point at the file.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineSpec {
+    /// Model-family tag; `Custom` for everything but the paper machines.
+    id: MachineId,
+    /// Short registry label ("t3d", "numa2s", …) — the name the CLI
+    /// resolves and tables report.
+    label: String,
+    /// Optional human-readable display name; `None` falls back to the
+    /// canonical id display ("Cray T3D") or the label.
+    display: Option<String>,
+    /// Alternative labels the registry also resolves.
+    aliases: Vec<String>,
+    /// One-line description for machine listings.
+    summary: String,
+    /// Relative tolerance for calibration assertions, when the spec
+    /// carries calibrated bandwidth expectations.
+    calibration_tolerance: Option<f64>,
     kind: SpecKind,
     limits: MeasureLimits,
+}
+
+/// Embedded spec files: the built-in machines are ordinary zoo files,
+/// parsed through the same loader as everything under `machines/zoo/`.
+macro_rules! zoo_file {
+    ($name:literal) => {
+        include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../machines/zoo/",
+            $name
+        ))
+    };
+}
+
+/// The embedded spec text of the built-in machines, in registry order.
+pub(crate) const BUILTIN_SPECS: &[(&str, &str)] = &[
+    ("dec8400", zoo_file!("dec8400.toml")),
+    ("t3d", zoo_file!("t3d.toml")),
+    ("t3e", zoo_file!("t3e.toml")),
+    ("custom", zoo_file!("custom.toml")),
+];
+
+fn builtin(label: &str) -> MachineSpec {
+    let text = BUILTIN_SPECS
+        .iter()
+        .find(|(name, _)| *name == label)
+        .map(|(_, text)| *text)
+        .expect("builtin spec table covers every builtin label");
+    MachineSpec::from_spec_str(text).expect("embedded builtin specs must parse")
 }
 
 impl MachineSpec {
     /// The paper's four-processor DEC 8400.
     pub fn dec8400() -> Self {
-        Self::dec8400_with(params::dec8400_smp())
+        builtin("dec8400")
     }
 
     /// A DEC 8400 variant from an explicit SMP configuration.
     pub fn dec8400_with(smp: SmpConfig) -> Self {
         MachineSpec {
-            kind: SpecKind::Dec8400 {
+            id: MachineId::Dec8400,
+            label: "dec8400".to_string(),
+            display: None,
+            aliases: Vec::new(),
+            summary: String::new(),
+            calibration_tolerance: None,
+            kind: SpecKind::Smp {
                 smp,
                 bus_jitter: None,
             },
@@ -78,13 +159,19 @@ impl MachineSpec {
 
     /// The paper's Cray T3D PE.
     pub fn t3d() -> Self {
-        Self::t3d_with(params::t3d_node(), params::t3d_remote())
+        builtin("t3d")
     }
 
     /// A T3D variant from explicit node and remote-path parameters.
     pub fn t3d_with(node: NodeConfig, remote: T3dRemoteParams) -> Self {
         MachineSpec {
-            kind: SpecKind::T3d {
+            id: MachineId::CrayT3d,
+            label: "t3d".to_string(),
+            display: None,
+            aliases: Vec::new(),
+            summary: String::new(),
+            calibration_tolerance: None,
+            kind: SpecKind::Torus {
                 node,
                 remote,
                 ni_loss: None,
@@ -95,13 +182,19 @@ impl MachineSpec {
 
     /// The paper's Cray T3E PE.
     pub fn t3e() -> Self {
-        Self::t3e_with(params::t3e_node(), params::t3e_remote())
+        builtin("t3e")
     }
 
     /// A T3E variant from explicit node and remote-path parameters.
     pub fn t3e_with(node: NodeConfig, remote: T3eRemoteParams) -> Self {
         MachineSpec {
-            kind: SpecKind::T3e {
+            id: MachineId::CrayT3e,
+            label: "t3e".to_string(),
+            display: None,
+            aliases: Vec::new(),
+            summary: String::new(),
+            calibration_tolerance: None,
+            kind: SpecKind::Eregs {
                 node,
                 remote,
                 ni_loss: None,
@@ -113,10 +206,13 @@ impl MachineSpec {
     /// A user-described single-node machine (local probes only).
     pub fn custom(name: impl Into<String>, node: NodeConfig) -> Self {
         MachineSpec {
-            kind: SpecKind::Custom {
-                name: name.into(),
-                node,
-            },
+            id: MachineId::Custom,
+            label: "custom".to_string(),
+            display: Some(name.into()),
+            aliases: Vec::new(),
+            summary: String::new(),
+            calibration_tolerance: None,
+            kind: SpecKind::Node { node },
             limits: MeasureLimits::new(),
         }
     }
@@ -129,21 +225,139 @@ impl MachineSpec {
             MachineId::Dec8400 => Self::dec8400(),
             MachineId::CrayT3d => Self::t3d(),
             MachineId::CrayT3e => Self::t3e(),
-            MachineId::Custom => Self::custom(
-                "reference custom node",
-                gasnub_memsim::config::presets::tiny_test_node(),
-            ),
+            MachineId::Custom => builtin("custom"),
         }
     }
 
-    /// Which machine this spec describes.
-    pub fn id(&self) -> MachineId {
-        match &self.kind {
-            SpecKind::Dec8400 { .. } => MachineId::Dec8400,
-            SpecKind::T3d { .. } => MachineId::CrayT3d,
-            SpecKind::T3e { .. } => MachineId::CrayT3e,
-            SpecKind::Custom { .. } => MachineId::Custom,
+    /// Assembles a spec from decoded parts (the loader's constructor).
+    pub(crate) fn from_parts(
+        id: MachineId,
+        label: String,
+        display: Option<String>,
+        aliases: Vec<String>,
+        summary: String,
+        calibration_tolerance: Option<f64>,
+        kind: SpecKind,
+    ) -> Self {
+        MachineSpec {
+            id,
+            label,
+            display,
+            aliases,
+            summary,
+            calibration_tolerance,
+            kind,
+            limits: MeasureLimits::new(),
         }
+    }
+
+    /// Parses a machine spec file (see [`crate::specfile`] for the
+    /// dialect). The three paper machines keep their canonical
+    /// [`MachineId`]; any other spec is [`MachineId::Custom`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`SpecError`] locating the offending line/key
+    /// for syntax errors, unknown or missing keys, type mismatches, and
+    /// out-of-range values.
+    pub fn from_spec_str(text: &str) -> Result<Self, SpecError> {
+        specfile::parse_spec(text)
+    }
+
+    /// Serializes this spec to the file dialect [`from_spec_str`] reads.
+    /// The round trip is exact: `from_spec_str(to_spec_string(s)) == s`
+    /// (measurement limits are runtime caps, not part of the description,
+    /// and are not serialized).
+    ///
+    /// [`from_spec_str`]: MachineSpec::from_spec_str
+    pub fn to_spec_string(&self) -> String {
+        specfile::render_spec(self)
+    }
+
+    /// A stable 64-bit identity hash (FNV-1a over the canonical
+    /// serialization). Two specs hash equal iff they describe the same
+    /// machine — checkpoint headers store this so a resumed sweep can
+    /// refuse a checkpoint written by a different machine description.
+    pub fn spec_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in self.to_spec_string().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
+    /// The model-family tag (paper machines keep their canonical id; every
+    /// other spec is `Custom`).
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// The short registry label ("t3d", "numa2s", …).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The human-readable display name: the spec's `display` field, the
+    /// canonical machine name for paper machines, or the label.
+    pub fn display_name(&self) -> String {
+        match (&self.display, self.id) {
+            (Some(d), _) => d.clone(),
+            (None, MachineId::Custom) => self.label.clone(),
+            (None, id) => id.to_string(),
+        }
+    }
+
+    /// Optional explicit display name from the spec file.
+    pub(crate) fn display(&self) -> Option<&str> {
+        self.display.as_deref()
+    }
+
+    /// Alternative labels the registry resolves to this spec.
+    pub fn aliases(&self) -> &[String] {
+        &self.aliases
+    }
+
+    /// One-line description for machine listings.
+    pub fn summary(&self) -> &str {
+        &self.summary
+    }
+
+    /// Relative tolerance for calibration assertions, if the spec sets one.
+    pub fn calibration_tolerance(&self) -> Option<f64> {
+        self.calibration_tolerance
+    }
+
+    /// The processor clock in MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        match &self.kind {
+            SpecKind::Smp { smp, .. } => smp.node.cpu.clock_mhz,
+            SpecKind::Torus { node, .. }
+            | SpecKind::Eregs { node, .. }
+            | SpecKind::Node { node } => node.cpu.clock_mhz,
+        }
+    }
+
+    /// Whether this spec's model family has a remote path (so `faults`,
+    /// `remote_fetch` and friends apply).
+    pub fn has_remote_path(&self) -> bool {
+        !matches!(self.kind, SpecKind::Node { .. })
+    }
+
+    /// The model family name ("smp", "torus", "eregs", "node").
+    pub fn model_family(&self) -> &'static str {
+        match &self.kind {
+            SpecKind::Smp { .. } => "smp",
+            SpecKind::Torus { .. } => "torus",
+            SpecKind::Eregs { .. } => "eregs",
+            SpecKind::Node { .. } => "node",
+        }
+    }
+
+    pub(crate) fn kind(&self) -> &SpecKind {
+        &self.kind
     }
 
     /// Replaces the measurement caps every spawned engine starts with.
@@ -160,21 +374,21 @@ impl MachineSpec {
 
     /// Folds a fault plan into the spec: failed/degraded torus channels
     /// become more hops and a scaled per-byte link rate, network interfaces
-    /// pick up the plan's loss model, and the 8400's bus arbiter its
-    /// deterministic jitter. Same plan, same cycle counts — the transform
-    /// happens once here, not per engine.
+    /// pick up the plan's loss model, and bus-based machines give their
+    /// arbiter deterministic jitter. Same plan, same cycle counts — the
+    /// transform happens once here, not per engine.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] when the plan disconnects the canonical remote
-    /// pair, or for a custom machine (which has no remote path or shared
+    /// pair, or for a node-only machine (which has no remote path or shared
     /// bus to degrade).
     pub fn with_faults(mut self, plan: &FaultPlan) -> Result<Self, SimError> {
         match &mut self.kind {
-            SpecKind::Dec8400 { bus_jitter, .. } => {
+            SpecKind::Smp { bus_jitter, .. } => {
                 *bus_jitter = Some(plan.bus_jitter());
             }
-            SpecKind::T3d {
+            SpecKind::Torus {
                 remote, ni_loss, ..
             } => {
                 let impact = plan.remote_impact()?;
@@ -182,7 +396,7 @@ impl MachineSpec {
                 remote.link.cycles_per_byte *= impact.per_byte_scale();
                 *ni_loss = Some(plan.ni_loss());
             }
-            SpecKind::T3e {
+            SpecKind::Eregs {
                 remote, ni_loss, ..
             } => {
                 let impact = plan.remote_impact()?;
@@ -193,8 +407,10 @@ impl MachineSpec {
                 remote.block_cycles *= impact.per_byte_scale();
                 *ni_loss = Some(plan.ni_loss());
             }
-            SpecKind::Custom { .. } => {
-                return Err(SimError::unsupported("fault plans on custom machines"));
+            SpecKind::Node { .. } => {
+                return Err(SimError::unsupported(
+                    "fault plans on machines without a remote path or shared bus",
+                ));
             }
         }
         Ok(self)
@@ -207,20 +423,17 @@ impl MachineSpec {
     /// Returns [`ConfigError`] when any component description is invalid.
     pub fn build(self) -> Result<TransferEngine, ConfigError> {
         let limits = self.limits;
-        match self.kind {
-            SpecKind::Dec8400 { smp, bus_jitter } => {
+        let seed = self.kind.gather_seed();
+        let (id, label, display) = (self.id, self.label, self.display);
+        let mut built = match self.kind {
+            SpecKind::Smp { smp, bus_jitter } => {
                 let mut system = SnoopingSmp::new(smp)?;
                 if let Some(jitter) = bus_jitter {
                     system.set_bus_jitter(Some(jitter))?;
                 }
-                Ok(TransferEngine::new_smp(
-                    MachineId::Dec8400,
-                    system,
-                    0x8400,
-                    limits,
-                ))
+                TransferEngine::new_smp(id, system, seed, limits)
             }
-            SpecKind::T3d {
+            SpecKind::Torus {
                 node,
                 remote,
                 ni_loss,
@@ -232,13 +445,13 @@ impl MachineSpec {
                 let dest_dram = Dram::new(remote.dest_dram.clone())?;
                 let remote_dram = Dram::new(node.hierarchy.dram.clone())?;
                 let path = T3dRemotePath::new(remote, ni, link, dest_write, dest_dram, remote_dram);
-                let mut built = TransferEngine::new_t3d(engine, path, limits);
+                let mut built = TransferEngine::new_torus(id, engine, path, seed, limits);
                 if let Some(loss) = ni_loss {
                     built.set_ni_loss(NiLossModel::new(loss)?);
                 }
-                Ok(built)
+                built
             }
-            SpecKind::T3e {
+            SpecKind::Eregs {
                 node,
                 remote,
                 ni_loss,
@@ -247,18 +460,21 @@ impl MachineSpec {
                 let eregs = ERegisters::new(remote.eregs.clone())?;
                 let link = Link::new(remote.link.clone())?;
                 let dest_banks = Dram::new(remote.dest_word_banks.clone())?;
-                let mut built =
-                    TransferEngine::new_t3e(engine, remote, eregs, link, dest_banks, limits);
+                let mut built = TransferEngine::new_eregs(
+                    id, engine, remote, eregs, link, dest_banks, seed, limits,
+                );
                 if let Some(loss) = ni_loss {
                     built.set_ni_loss(NiLossModel::new(loss)?);
                 }
-                Ok(built)
+                built
             }
-            SpecKind::Custom { name, node } => {
+            SpecKind::Node { node } => {
                 let engine = MemoryEngine::try_new(node)?;
-                Ok(TransferEngine::new_custom(name, engine, limits))
+                TransferEngine::new_node(id, engine, seed, limits)
             }
-        }
+        };
+        built.set_identity(label, display);
+        Ok(built)
     }
 }
 
@@ -306,6 +522,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params;
 
     #[test]
     fn spec_is_send_sync_and_clone() {
@@ -323,9 +540,52 @@ mod tests {
         ] {
             let spec = MachineSpec::for_id(id);
             assert_eq!(spec.id(), id);
+            assert_eq!(spec.label(), id.label());
             let engine = spec.build().expect("paper parameters must validate");
             assert_eq!(engine.id(), id);
+            assert_eq!(engine.label(), id.label());
         }
+    }
+
+    #[test]
+    fn builtin_specs_match_the_parameter_tables() {
+        // The embedded spec files are the same machines the parameter
+        // tables describe — the files are the single source of truth, and
+        // this pins them to the paper's §3 numbers.
+        assert_eq!(
+            *MachineSpec::dec8400().kind(),
+            SpecKind::Smp {
+                smp: params::dec8400_smp(),
+                bus_jitter: None
+            }
+        );
+        assert_eq!(
+            *MachineSpec::t3d().kind(),
+            SpecKind::Torus {
+                node: params::t3d_node(),
+                remote: params::t3d_remote(),
+                ni_loss: None
+            }
+        );
+        assert_eq!(
+            *MachineSpec::t3e().kind(),
+            SpecKind::Eregs {
+                node: params::t3e_node(),
+                remote: params::t3e_remote(),
+                ni_loss: None
+            }
+        );
+    }
+
+    #[test]
+    fn display_names_keep_their_canonical_form() {
+        assert_eq!(MachineSpec::dec8400().display_name(), "DEC 8400");
+        assert_eq!(MachineSpec::t3d().display_name(), "Cray T3D");
+        assert_eq!(MachineSpec::t3e().display_name(), "Cray T3E");
+        assert_eq!(
+            MachineSpec::for_id(MachineId::Custom).display_name(),
+            "reference custom node"
+        );
     }
 
     #[test]
@@ -344,7 +604,7 @@ mod tests {
     }
 
     #[test]
-    fn faults_on_custom_specs_are_unsupported() {
+    fn faults_on_node_only_specs_are_unsupported() {
         let plan = FaultPlan::new(1, 0.5).unwrap();
         let spec = MachineSpec::for_id(MachineId::Custom);
         assert!(spec.with_faults(&plan).is_err());
@@ -372,6 +632,28 @@ mod tests {
             .remote_deposit(1 << 20, 8)
             .unwrap();
         assert_eq!(ma.cycles.to_bits(), mb.cycles.to_bits());
+    }
+
+    #[test]
+    fn spec_hash_distinguishes_machines_and_is_stable() {
+        let hashes: Vec<u64> = [
+            MachineSpec::dec8400(),
+            MachineSpec::t3d(),
+            MachineSpec::t3e(),
+            MachineSpec::for_id(MachineId::Custom),
+        ]
+        .iter()
+        .map(MachineSpec::spec_hash)
+        .collect();
+        for (i, a) in hashes.iter().enumerate() {
+            for b in &hashes[i + 1..] {
+                assert_ne!(a, b, "distinct machines must hash differently");
+            }
+        }
+        assert_eq!(
+            MachineSpec::t3d().spec_hash(),
+            MachineSpec::t3d().spec_hash()
+        );
     }
 
     #[test]

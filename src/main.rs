@@ -25,19 +25,22 @@ use gasnub::core::{auto_threads, run_indexed, Grid, ResilientSweep, SweepOp};
 use gasnub::fft::run_benchmark;
 use gasnub::fft::scalability;
 use gasnub::machines::{
-    CounterSet, Dec8400, FaultPlan, Machine, MachineId, MachineSpec, MeasureLimits, RingRecorder,
-    SpawnEngine, T3d, T3e,
+    CounterSet, Dec8400, FaultPlan, Machine, MachineId, MachineRegistry, MachineSpec,
+    MeasureLimits, RingRecorder, SpawnEngine, T3d, T3e,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: gasnub <command> [args]\n\
          \n\
+         machines [--check]                      list every resolvable machine (built-in\n\
+         \x20                                        + machines/zoo specs; --check builds\n\
+         \x20                                        and smoke-probes each one)\n\
          figures <list|all|figNN...> [--quick]   regenerate paper figures\n\
          compare                                 the §9 cross-machine table\n\
          fft [n]                                 2D-FFT benchmark (figs 15-17) at size n\n\
          scale <t3d|t3e> <n> <npes>              §8 scalability projection\n\
-         report <dec8400|t3d|t3e|custom>         full markdown characterization report\n\
+         report <machine>                        full markdown characterization report\n\
          faults <machine> [--seed N] [--severity S] [--threads N] [--counters FILE]\n\
          \x20                                        healthy-vs-degraded remote bandwidth\n\
          sweep <machine> <op> --checkpoint FILE [--max-cells N] [--budget-secs N]\n\
@@ -52,6 +55,9 @@ fn usage() -> ! {
          trace <machine> <op> [--ws BYTES] [--stride WORDS] [--seed N] [--severity S]\n\
          \x20                                        one probe's harvested counters and\n\
          \x20                                        trace events, as canonical JSON\n\
+         \n\
+         <machine> is any name `gasnub machines` lists: built-ins plus spec\n\
+         files under machines/zoo/ (override the directory with $GASNUB_ZOO)\n\
          \n\
          (see also: cargo run -p gasnub-bench --bin figures / --bin experiments)"
     );
@@ -77,12 +83,20 @@ fn all_machines() -> Vec<Box<dyn Machine>> {
     v
 }
 
-fn machine_id(label: &str) -> MachineId {
-    match MachineId::from_label(label) {
-        Some(MachineId::Custom) | None => fail(format!(
-            "unknown machine {label:?} (expected dec8400, t3d or t3e)"
+/// Resolves a machine that the §8 scalability projection can model. Any
+/// registry name is accepted; names that resolve to a machine outside the
+/// paper's three systems are a precise capability error, and unknown names
+/// get the registry's full "expected ..." list — the same list every other
+/// subcommand uses.
+fn paper_machine_id(registry: &MachineRegistry, label: &str) -> MachineId {
+    let spec = registry.resolve(label).unwrap_or_else(|e| fail(e));
+    match spec.id() {
+        MachineId::Custom => fail(format!(
+            "machine {:?} has no scalability model (the §8 projection covers \
+             dec8400, t3d and t3e)",
+            spec.label()
         )),
-        Some(id) => id,
+        id => id,
     }
 }
 
@@ -131,16 +145,17 @@ fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .map(|(_, v)| v.as_str())
 }
 
-/// The spec of the machine named on the command line, with fast limits and
-/// the fault plan (if any) folded in. `custom` resolves to the reference
-/// custom node; a fault plan on it is a usage error (exit 2).
-fn build_spec(label: &str, plan: Option<&FaultPlan>) -> MachineSpec {
-    let Some(id) = MachineId::from_label(label) else {
-        fail(format!(
-            "unknown machine {label:?} (expected dec8400, t3d, t3e or custom)"
-        ))
-    };
-    let mut spec = MachineSpec::for_id(id).with_limits(MeasureLimits::fast());
+/// The spec of the machine named on the command line, resolved through the
+/// registry (built-ins + zoo files), with fast limits and the fault plan
+/// (if any) folded in. Unknown names fail with the registry's full list of
+/// resolvable machines; a fault plan on a machine without a remote path or
+/// shared bus is a usage error (exit 2).
+fn build_spec(registry: &MachineRegistry, label: &str, plan: Option<&FaultPlan>) -> MachineSpec {
+    let mut spec = registry
+        .resolve(label)
+        .unwrap_or_else(|e| fail(e))
+        .clone()
+        .with_limits(MeasureLimits::fast());
     if let Some(plan) = plan {
         spec = spec.with_faults(plan).unwrap_or_else(|e| fail(e));
     }
@@ -185,7 +200,7 @@ fn counters_to_json(counters: &CounterSet) -> Json {
     )
 }
 
-fn trace_cmd(args: &[String]) {
+fn trace_cmd(registry: &MachineRegistry, args: &[String]) {
     let (positional, flags) = split_flags(args, &["ws", "stride", "seed", "severity"], &[]);
     let [label, op] = positional.as_slice() else {
         fail(
@@ -200,7 +215,7 @@ fn trace_cmd(args: &[String]) {
     let stride: u64 = flag(&flags, "stride").map_or(1, |v| parse_num("--stride", v));
     let plan = (flag(&flags, "seed").is_some() || flag(&flags, "severity").is_some())
         .then(|| plan_from_flags(&flags));
-    let spec = build_spec(label, plan.as_ref());
+    let spec = build_spec(registry, label, plan.as_ref());
     let mut engine = spec.spawn_engine().unwrap_or_else(|e| fail(e));
     engine.set_recorder(Box::new(RingRecorder::new(8)));
     let Some(mb_s) = op.probe(&mut engine, ws, stride) else {
@@ -229,7 +244,7 @@ fn trace_cmd(args: &[String]) {
             .collect(),
     );
     let doc = Json::object([
-        ("machine", Json::Str(engine.id().label().to_string())),
+        ("machine", Json::Str(engine.label())),
         ("op", Json::Str(op.label().to_string())),
         ("ws_bytes", Json::U64(ws)),
         ("stride", Json::U64(stride)),
@@ -240,7 +255,7 @@ fn trace_cmd(args: &[String]) {
     println!("{}", doc.render());
 }
 
-fn faults_cmd(args: &[String]) {
+fn faults_cmd(registry: &MachineRegistry, args: &[String]) {
     let (positional, flags) = split_flags(args, &["seed", "severity", "threads", "counters"], &[]);
     let [label] = positional.as_slice() else {
         fail("faults takes exactly one machine argument");
@@ -251,8 +266,8 @@ fn faults_cmd(args: &[String]) {
     let torus = gasnub::faults::canonical_torus();
     let channel_faults = plan.channel_faults_for(&torus);
     let impact = plan.remote_impact().unwrap_or_else(|e| fail(e));
-    let healthy_spec = build_spec(label, None);
-    let degraded_spec = build_spec(label, Some(&plan));
+    let healthy_spec = build_spec(registry, label, None);
+    let degraded_spec = build_spec(registry, label, Some(&plan));
     let healthy = healthy_spec.spawn_engine().unwrap_or_else(|e| fail(e));
 
     println!(
@@ -345,7 +360,7 @@ fn faults_cmd(args: &[String]) {
         let mut route = CounterSet::new();
         impact.export_counters(&mut route);
         let doc = Json::object([
-            ("machine", Json::Str(healthy.id().label().to_string())),
+            ("machine", Json::Str(healthy.label())),
             ("seed", Json::U64(plan.seed())),
             (
                 "severity_ppm",
@@ -360,7 +375,7 @@ fn faults_cmd(args: &[String]) {
     }
 }
 
-fn sweep_cmd(args: &[String]) {
+fn sweep_cmd(registry: &MachineRegistry, args: &[String]) {
     let (positional, flags) = split_flags(
         args,
         &[
@@ -392,10 +407,13 @@ fn sweep_cmd(args: &[String]) {
 
     let plan = (flag(&flags, "seed").is_some() || flag(&flags, "severity").is_some())
         .then(|| plan_from_flags(&flags));
-    let spec = build_spec(label, plan.as_ref());
+    let spec = build_spec(registry, label, plan.as_ref());
     let threads = threads_from_flags(&flags);
 
-    let mut runner = ResilientSweep::new(checkpoint);
+    // The checkpoint carries the machine description's hash, so resuming
+    // against an edited zoo file (or a different fault plan) is caught
+    // instead of silently mixing measurements.
+    let mut runner = ResilientSweep::new(checkpoint).with_spec_hash(spec.spec_hash());
     if let Some(n) = flag(&flags, "max-cells") {
         runner = runner.with_max_cells(parse_num("--max-cells", n));
     }
@@ -488,11 +506,128 @@ fn sweep_cmd(args: &[String]) {
     }
 }
 
+/// Lists every resolvable machine; with `--check`, also parses, builds and
+/// smoke-probes each one (the CI gate for `machines/zoo/`). Broken zoo
+/// files and failed checks exit 2 like every other usage error.
+fn machines_cmd(registry: &MachineRegistry, args: &[String]) {
+    let (positional, flags) = split_flags(args, &[], &["check"]);
+    if !positional.is_empty() {
+        fail(format!(
+            "machines takes no positional arguments, got {positional:?}"
+        ));
+    }
+    let check = flag(&flags, "check").is_some();
+
+    println!("{:<10}{:<7}{:>10}  summary", "name", "model", "clock");
+    for spec in registry.specs() {
+        println!(
+            "{:<10}{:<7}{:>6} MHz  {}",
+            spec.label(),
+            spec.model_family(),
+            spec.clock_mhz(),
+            if spec.summary().is_empty() {
+                spec.display_name()
+            } else {
+                spec.summary().to_string()
+            }
+        );
+    }
+    for broken in registry.broken() {
+        eprintln!(
+            "gasnub: broken spec {}: {}",
+            broken.path.display(),
+            broken.message
+        );
+    }
+
+    // A bare listing stays usable with broken zoo files (they are already
+    // surfaced above); --check treats them as failures.
+    let mut failures = if check { registry.broken().len() } else { 0 };
+    if check {
+        println!();
+        for spec in registry.specs() {
+            // Round-trip sanity first: the serialized form must describe
+            // the same machine.
+            let text = spec.to_spec_string();
+            match MachineSpec::from_spec_str(&text) {
+                Ok(back) if back == *spec => {}
+                Ok(_) => {
+                    println!(
+                        "{:<10} FAIL: serialization round trip drifted",
+                        spec.label()
+                    );
+                    failures += 1;
+                    continue;
+                }
+                Err(e) => {
+                    println!(
+                        "{:<10} FAIL: serialized form does not parse: {e}",
+                        spec.label()
+                    );
+                    failures += 1;
+                    continue;
+                }
+            }
+            // Then a fast-limits smoke probe: build an engine and take one
+            // local (and, where supported, one remote) measurement.
+            let fast = spec.clone().with_limits(MeasureLimits::fast());
+            let mut engine = match fast.spawn_engine() {
+                Ok(engine) => engine,
+                Err(e) => {
+                    println!("{:<10} FAIL: does not build: {e}", spec.label());
+                    failures += 1;
+                    continue;
+                }
+            };
+            let local = engine.local_load(1 << 20, 1);
+            let remote = engine.remote_fetch(1 << 20, 1);
+            if !(local.mb_s.is_finite() && local.mb_s > 0.0) {
+                println!(
+                    "{:<10} FAIL: local probe returned {} MB/s",
+                    spec.label(),
+                    local.mb_s
+                );
+                failures += 1;
+                continue;
+            }
+            match remote {
+                Some(r) if !(r.mb_s.is_finite() && r.mb_s > 0.0) => {
+                    println!(
+                        "{:<10} FAIL: remote probe returned {} MB/s",
+                        spec.label(),
+                        r.mb_s
+                    );
+                    failures += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            match remote {
+                Some(r) => println!(
+                    "{:<10} ok: local {:.0} MB/s, remote {:.0} MB/s",
+                    spec.label(),
+                    local.mb_s,
+                    r.mb_s
+                ),
+                None => println!("{:<10} ok: local {:.0} MB/s", spec.label(), local.mb_s),
+            }
+        }
+    }
+    if failures > 0 {
+        fail(format!(
+            "{failures} machine spec{} failed",
+            if failures == 1 { "" } else { "s" }
+        ));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
+    let registry = MachineRegistry::discover();
 
     match command.as_str() {
+        "machines" => machines_cmd(&registry, &args[1..]),
         "figures" => {
             // Delegate to the bench harness logic by shelling through its
             // library API.
@@ -550,7 +685,7 @@ fn main() {
         "report" => {
             let Some(label) = args.get(1) else { usage() };
             use gasnub::core::report::{machine_report, ReportOptions};
-            let mut machine = build_spec(label, None)
+            let mut machine = build_spec(&registry, label, None)
                 .spawn_engine()
                 .unwrap_or_else(|e| fail(e));
             println!("{}", machine_report(&mut machine, &ReportOptions::quick()));
@@ -559,7 +694,7 @@ fn main() {
             let (Some(label), Some(n), Some(p)) = (args.get(1), args.get(2), args.get(3)) else {
                 usage()
             };
-            let mid = machine_id(label);
+            let mid = paper_machine_id(&registry, label);
             let n: u64 = parse_num("scale size", n);
             let p: u64 = parse_num("scale PE count", p);
             let point = scalability::project(mid, n, p);
@@ -578,9 +713,9 @@ fn main() {
                 }
             );
         }
-        "faults" => faults_cmd(&args[1..]),
-        "sweep" => sweep_cmd(&args[1..]),
-        "trace" => trace_cmd(&args[1..]),
+        "faults" => faults_cmd(&registry, &args[1..]),
+        "sweep" => sweep_cmd(&registry, &args[1..]),
+        "trace" => trace_cmd(&registry, &args[1..]),
         _ => usage(),
     }
 }

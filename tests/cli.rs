@@ -94,6 +94,30 @@ fn bad_invocations_exit_2_without_panicking() {
     assert_usage_error(&with_ck(&["--cell-timeout-ms", "soon"]));
     // --force-restart is boolean: a stray value becomes a positional arg.
     assert_usage_error(&with_ck(&["--force-restart", "yes"]));
+    // The machines subcommand inherits the exit-2 conventions.
+    assert_usage_error(&["machines", "extra"]);
+    assert_usage_error(&["machines", "--frob"]);
+}
+
+#[test]
+fn unknown_machine_errors_enumerate_the_registry() {
+    // Every subcommand resolves names through the one registry, so every
+    // unknown-machine error lists the same resolvable names.
+    for args in [
+        vec!["sweep", "paragon", "load", "--checkpoint", "/tmp/x.json"],
+        vec!["faults", "paragon"],
+        vec!["trace", "paragon", "load"],
+    ] {
+        let out = gasnub(&args);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {stderr}");
+        for name in ["dec8400", "t3d", "t3e", "custom"] {
+            assert!(
+                stderr.contains(name),
+                "{args:?} must enumerate {name}: {stderr}"
+            );
+        }
+    }
 }
 
 #[test]
