@@ -213,12 +213,13 @@ fn main() {
     println!("## 5. Parallel sweep execution (beyond the paper)");
     println!();
     println!("The machine layer separates an immutable `MachineSpec` from the mutable");
-    println!("`TransferEngine` it builds, so a sweep can hand every grid cell its own");
-    println!("fresh engine and run cells on a work-stealing pool. Because each probe");
-    println!("flushes first and every stochastic draw is keyed by (operation, attempt),");
-    println!("a fresh engine is indistinguishable from a flushed one — the parallel");
-    println!("surface and its checkpoint are bit-identical to a sequential run's for");
-    println!("any thread count (asserted in `tests/determinism.rs`).");
+    println!("`TransferEngine` it builds, so a sweep can group same-stride cells into");
+    println!("runs, walk each run on one warm engine, and schedule whole runs on a");
+    println!("work-stealing pool (DESIGN \u{a7}5e). Because each probe flushes first and");
+    println!("every stochastic draw is keyed by (operation, attempt), a flushed engine");
+    println!("is indistinguishable from a fresh one — the parallel surface and its");
+    println!("checkpoint are bit-identical to a sequential run's for any thread count");
+    println!("(asserted in `tests/determinism.rs`).");
     println!();
     let workers = auto_threads();
     let grid = Grid::paper_remote();
@@ -235,6 +236,10 @@ fn main() {
     println!("|---:|---:|---:|---|");
     let spec = MachineSpec::t3d().with_limits(MeasureLimits::fast());
     let time_sweep = |threads: usize| {
+        // Both timings are warm-first passes: the probe memo is cleared so
+        // the second run re-simulates instead of replaying the first
+        // (steady-state memo throughput is BENCH_8's column, not this one).
+        gasnub_machines::memo::clear();
         let start = std::time::Instant::now();
         let surface = sweep_surface_par(&spec, SweepOp::RemoteDeposit, &grid, threads)
             .expect("spec builds")
@@ -410,7 +415,70 @@ fn main() {
     println!();
 
     // ---------------------------------------------------------------- 8
-    println!("## 8. Known deviations");
+    println!("## 8. Warm-path sweep throughput (BENCH_8, beyond the paper)");
+    println!();
+    println!("The warm execution path (DESIGN \u{a7}5e) \u{2014} run-granular scheduling with");
+    println!("engine reuse, a per-process probe memo, and batched checkpoint fsyncs \u{2014}");
+    println!("against the `--cold` path (fresh engine and full simulation per cell,");
+    println!("fsync per write) on the reference `Grid::quick` (25 cells, fast limits),");
+    println!("one thread, this host. Cells/sec, best-of-N, from `BENCH_8.json`");
+    println!("(regenerate with `perf_baseline BENCH_8.json`):");
+    println!();
+    println!("| machine | cold | warm, first pass | warm, memoized | first-pass speedup | memoized speedup |");
+    println!("|---|---:|---:|---:|---:|---:|");
+    let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+    let bench = std::fs::read_to_string(bench_path)
+        .ok()
+        .and_then(|t| gasnub_core::json::Json::parse(&t).ok())
+        .expect("committed BENCH_8.json parses");
+    for name in ["dec8400", "t3d", "t3e"] {
+        let col = |key: &str| -> String {
+            bench
+                .get("machines")
+                .and_then(|m| m.get(name))
+                .and_then(|m| m.get(key))
+                .and_then(|v| v.as_str())
+                .expect("BENCH_8 column present")
+                .to_string()
+        };
+        println!(
+            "| {name} | {} | {} | {} | {}x | {}x |",
+            col("cold_cells_per_sec_1t"),
+            col("warm_first_cells_per_sec_1t"),
+            col("warm_memo_cells_per_sec_1t"),
+            col("warm_first_speedup_vs_cold"),
+            col("warm_memo_speedup_vs_cold"),
+        );
+    }
+    println!();
+    println!("Three honest columns, because they answer different questions. *Cold* is");
+    println!("the reproducibility anchor \u{2014} what a from-scratch survey costs. *Warm");
+    println!("first pass* is the first sweep of a new spec in a process: every cell");
+    println!("still simulates, the gain is engine reuse (the dec8400 spawn alone is");
+    println!("~3 ms of tag-array construction) plus the stats-free measurement path.");
+    println!("*Warm memoized* is every later pass \u{2014} `faults` and `trace` sessions");
+    println!("revisiting grid cells, repeated sweeps in one process \u{2014} where probes");
+    println!("are table lookups and throughput is bounded by checkpoint writes, not");
+    println!("simulation. Versus the BENCH_7 baseline (per-cell fsync, cold-only");
+    println!("engine-per-cell loop: 16.8 / 25.7 / 27.7 cells/s on this host class),");
+    println!("even the first-pass column clears 4-7x and the steady state clears two");
+    println!("orders of magnitude.");
+    println!();
+    println!("Identity is asserted, not assumed: warm checkpoints are byte-identical");
+    println!("to `--cold` checkpoints at `--threads {{1,2,4}}` on every zoo machine");
+    println!("(`tests/determinism.rs`), and installing a trace recorder bypasses the");
+    println!("memo, costing ~3% per probe (the `trace_overhead_pct` column, measured");
+    println!("paired at probe level) for a genuine re-simulation. The CI `perf-smoke`");
+    println!("job re-measures the warm columns and fails on a >20% drop below the");
+    println!("committed baseline; a failing check is re-measured up to twice so only a");
+    println!(
+        "drop that survives every attempt \u{2014} a real regression, not host noise \u{2014}"
+    );
+    println!("fails the job.");
+    println!();
+
+    // ---------------------------------------------------------------- 9
+    println!("## 9. Known deviations");
     println!();
     println!("* The DEC 8400 contiguous local copy measures ~76 MB/s against the paper's");
     println!("  ~57 MB/s (tolerance ±35%): the model under-charges the write-back traffic");

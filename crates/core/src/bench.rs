@@ -8,7 +8,7 @@
 //! stride." A third **Store Constant** benchmark evaluates store
 //! performance.
 
-use gasnub_machines::{Machine, SpawnEngine};
+use gasnub_machines::{Machine, SpawnEngine, WarmState};
 use gasnub_memsim::SimError;
 
 use crate::pool::run_indexed;
@@ -119,10 +119,14 @@ impl SweepOp {
     }
 }
 
-/// Sweeps `op` over `grid` with one fresh engine per cell, cells running on
-/// `threads` workers. Results are gathered in grid order, so the surface is
-/// bit-identical to a sequential sweep of the same spec (every probe starts
-/// from flushed state, so a fresh engine measures what a reused one would).
+/// Sweeps `op` over `grid` on `threads` workers using the warm execution
+/// path: the grid is partitioned into *runs* (chains of working sets at
+/// fixed stride, [`Grid::runs_of`]), each worker claims whole runs and
+/// reuses one spawned engine ([`WarmState`]) across a run's cells. Results
+/// are scattered back into grid order, and every probe starts from flushed
+/// state (≡ just-constructed state), so the surface is bit-identical to a
+/// sequential fresh-engine-per-cell sweep of the same spec for any thread
+/// count.
 ///
 /// Returns `Ok(None)` when the machine does not support `op`.
 ///
@@ -136,20 +140,24 @@ pub fn sweep_surface_par<S: SpawnEngine>(
     threads: usize,
 ) -> Result<Option<Surface>, SimError> {
     let title = op.title_for(&spawner.spawn_engine()?.name());
-    let cells = run_indexed(threads, grid.cells(), |idx| {
-        let (ws, stride) = grid.cell(idx);
-        let mut engine = spawner.spawn_engine()?;
-        Ok::<Option<f64>, SimError>(op.probe(&mut engine, ws, stride))
-    });
-    let mut values = Vec::with_capacity(grid.working_sets.len());
-    let mut row = Vec::with_capacity(grid.strides.len());
-    for cell in cells {
-        match cell? {
-            Some(mb_s) => row.push(mb_s),
-            None => return Ok(None),
+    let cells: Vec<(u64, u64)> = (0..grid.cells()).map(|i| grid.cell(i)).collect();
+    let runs = Grid::runs_of(&cells);
+    let per_run = run_indexed(threads, runs.len(), |r| {
+        let mut warm = WarmState::new();
+        let mut column = Vec::with_capacity(runs[r].len());
+        for &(ws, stride) in &runs[r] {
+            column.push(op.probe(warm.engine(spawner)?, ws, stride));
         }
-        if row.len() == grid.strides.len() {
-            values.push(std::mem::take(&mut row));
+        Ok::<Vec<Option<f64>>, SimError>(column)
+    });
+    // Run r is stride column r; its k-th cell sits in working-set row k.
+    let mut values = vec![vec![0.0; grid.strides.len()]; grid.working_sets.len()];
+    for (r, column) in per_run.into_iter().enumerate() {
+        for (k, cell) in column?.into_iter().enumerate() {
+            match cell {
+                Some(mb_s) => values[k][r] = mb_s,
+                None => return Ok(None),
+            }
         }
     }
     Ok(Some(Surface::new(

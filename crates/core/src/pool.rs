@@ -29,25 +29,53 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_chunked(threads, n, auto_chunk(threads, n), f)
+}
+
+/// The chunk size [`run_indexed`] claims per atomic increment: small enough
+/// that every worker sees at least ~32 claims (dynamic load balancing keeps
+/// working when job costs vary), large enough that for huge `n` the
+/// per-claim overhead — one `fetch_add` plus one channel send — amortizes
+/// over the chunk instead of dominating micro-jobs.
+fn auto_chunk(threads: usize, n: usize) -> usize {
+    (n / (threads.max(1) * 32)).max(1)
+}
+
+/// Like [`run_indexed`], but workers claim `chunk` consecutive indices per
+/// atomic increment and send one batched result per chunk. `chunk = 1` is
+/// exactly the classic per-item pool; results are identical for any chunk
+/// size (only scheduling granularity changes).
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after the remaining workers drain.
+pub fn run_indexed_chunked<T, F>(threads: usize, n: usize, chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if threads <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
+    let chunk = chunk.max(1);
     let next = AtomicUsize::new(0);
-    let workers = threads.min(n);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let workers = threads.min(n.div_ceil(chunk));
+    let (tx, rx) = mpsc::channel::<(usize, Vec<T>)>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
             scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
+                let end = (start + chunk).min(n);
+                let batch: Vec<T> = (start..end).map(f).collect();
                 // The receiver outlives the scope; a send only fails if the
                 // parent panicked, in which case unwinding is underway.
-                if tx.send((i, f(i))).is_err() {
+                if tx.send((start, batch)).is_err() {
                     break;
                 }
             });
@@ -55,8 +83,10 @@ where
         drop(tx);
     });
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (i, value) in rx {
-        slots[i] = Some(value);
+    for (start, batch) in rx {
+        for (offset, value) in batch.into_iter().enumerate() {
+            slots[start + offset] = Some(value);
+        }
     }
     slots
         .into_iter()
@@ -163,6 +193,28 @@ mod tests {
     #[test]
     fn auto_threads_is_at_least_one() {
         assert!(auto_threads() >= 1);
+    }
+
+    #[test]
+    fn chunked_claiming_matches_per_item_claiming() {
+        let expected: Vec<usize> = (0..101).map(|i| i * 7).collect();
+        for threads in [2, 4] {
+            for chunk in [1, 2, 13, 101, 1000] {
+                let out = run_indexed_chunked(threads, 101, chunk, |i| i * 7);
+                assert_eq!(out, expected, "threads={threads} chunk={chunk}");
+            }
+        }
+        // chunk 0 is clamped to 1 rather than spinning forever.
+        assert_eq!(run_indexed_chunked(2, 5, 0, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn auto_chunk_balances_small_grids_and_amortizes_large_ones() {
+        // A 25-cell sweep on 4 threads must keep per-cell claiming (cells
+        // are expensive; balance matters).
+        assert_eq!(auto_chunk(4, 25), 1);
+        // A million micro-jobs must not pay a send per job.
+        assert!(auto_chunk(4, 1_000_000) >= 1_000);
     }
 
     #[test]

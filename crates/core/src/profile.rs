@@ -53,9 +53,10 @@ impl MachineProfile {
     }
 
     /// Measures the same profile as [`MachineProfile::measure`], but with
-    /// each grid cell on a fresh engine spawned from `spawner` and the
-    /// cells of every surface spread across `threads` workers. Because each
-    /// probe is deterministic on a fresh engine, the profile is
+    /// every surface's cells grouped into same-stride runs, each run walked
+    /// on a warm engine spawned from `spawner` ([`gasnub_machines::WarmState`])
+    /// and the runs spread across `threads` workers. Because a flushed
+    /// engine is indistinguishable from a fresh one, the profile is
     /// bit-identical to the sequential one for any thread count.
     ///
     /// # Errors

@@ -204,6 +204,10 @@ pub trait WriteFaults {
 
     /// Whether the rename step should fail this time.
     fn fail_rename(&mut self) -> bool;
+
+    /// Observes whether this write will fsync before renaming. The
+    /// fsync-batching tests count these; the default ignores them.
+    fn observe_fsync(&mut self, _durable: bool) {}
 }
 
 /// The no-op fault hook: clean writes, renames always succeed.
@@ -244,6 +248,7 @@ pub fn write_durable_with(
         op: op.to_string(),
         detail: e.to_string(),
     };
+    faults.observe_fsync(fsync);
     let mut bytes = Vec::with_capacity(payload.len() + 64);
     bytes.extend_from_slice(payload.as_bytes());
     bytes.push(b'\n');

@@ -77,6 +77,30 @@ impl Grid {
         let stride = self.strides[idx % self.strides.len()];
         (ws, stride)
     }
+
+    /// Groups `cells` (given as `(working_set, stride)` pairs, typically the
+    /// remaining work of a sweep in grid order) into **runs**: chains of
+    /// cells sharing a stride, in ascending working-set order. Runs are the
+    /// scheduling unit of the warm-path sweep engine — a worker takes a
+    /// whole run, spawns one engine for it and walks the chain, so each
+    /// cell's working set is a prefix extension of the previous one at the
+    /// same stride (the engine's allocations, and the host's caches, stay
+    /// hot). Runs are ordered by first appearance of their stride; cells
+    /// inside a run keep their input order.
+    pub fn runs_of(cells: &[(u64, u64)]) -> Vec<Vec<(u64, u64)>> {
+        let mut order: Vec<u64> = Vec::new();
+        let mut runs: Vec<Vec<(u64, u64)>> = Vec::new();
+        for &(ws, stride) in cells {
+            match order.iter().position(|&s| s == stride) {
+                Some(i) => runs[i].push((ws, stride)),
+                None => {
+                    order.push(stride);
+                    runs.push(vec![(ws, stride)]);
+                }
+            }
+        }
+        runs
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +131,34 @@ mod tests {
     fn cells_is_the_product() {
         let g = Grid::quick();
         assert_eq!(g.cells(), g.strides.len() * g.working_sets.len());
+    }
+
+    #[test]
+    fn runs_partition_the_grid_by_stride() {
+        let g = Grid::quick();
+        let cells: Vec<(u64, u64)> = (0..g.cells()).map(|i| g.cell(i)).collect();
+        let runs = Grid::runs_of(&cells);
+        assert_eq!(runs.len(), g.strides.len());
+        let total: usize = runs.iter().map(Vec::len).sum();
+        assert_eq!(total, g.cells());
+        for (run, &stride) in runs.iter().zip(&g.strides) {
+            assert!(run.iter().all(|&(_, s)| s == stride));
+            // Working sets ascend within a run: each cell extends the
+            // previous cell's address chain.
+            assert!(run.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn runs_of_a_sparse_work_list_preserve_order() {
+        // A resumed sweep attempts only the remaining cells.
+        let cells = [(2048, 8), (4096, 1), (4096, 8), (8192, 1)];
+        let runs = Grid::runs_of(&cells);
+        assert_eq!(
+            runs,
+            vec![vec![(2048, 8), (4096, 8)], vec![(4096, 1), (8192, 1)],]
+        );
+        assert!(Grid::runs_of(&[]).is_empty());
     }
 
     #[test]

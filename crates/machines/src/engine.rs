@@ -23,6 +23,7 @@ use gasnub_trace::{CounterSet, Event, NullRecorder, Recorder};
 use crate::cancel::{CancelToken, Guarded};
 use crate::limits::MeasureLimits;
 use crate::machine::{Machine, MachineId, Measurement};
+use crate::memo::{self, MemoKey, ProbeOp};
 use crate::params::{T3dRemoteParams, T3eRemoteParams};
 
 /// Byte offset separating source and destination regions.
@@ -113,9 +114,14 @@ impl T3dRemotePath {
         let measured = limits.measure_words(words);
 
         // Prime the source region so cache effects along the working-set
-        // axis match the paper's methodology.
+        // axis match the paper's methodology. The warm path skips the
+        // per-access statistics the next line discards anyway.
         let prime = StridedPass::new(0, words, 1).take(limits.prime_words(words) as usize);
-        let _ = engine.run_trace(prime);
+        if gasnub_memsim::cold_path() {
+            let _ = engine.run_trace(prime);
+        } else {
+            engine.prime_trace(prime);
+        }
         // Scope the hierarchy's statistics window to the measured pass (the
         // window is observational only; costs are unaffected).
         engine.hierarchy_mut().reset_window_stats();
@@ -341,6 +347,11 @@ pub struct TransferEngine {
     /// Cooperative cancellation token consulted inside probe loops. `None`
     /// (the default) means probes run to completion.
     cancel: Option<CancelToken>,
+    /// Identity hash of the spec this engine was built from, the machine
+    /// half of every memo key (see [`crate::memo`]). `None` (engines built
+    /// outside [`crate::spec::MachineSpec::build`], which today is only
+    /// test scaffolding) disables memoization.
+    spec_hash: Option<u64>,
 }
 
 impl TransferEngine {
@@ -362,6 +373,7 @@ impl TransferEngine {
             recorder: Box::new(NullRecorder),
             last_counters: None,
             cancel: None,
+            spec_hash: None,
         }
     }
 
@@ -387,6 +399,7 @@ impl TransferEngine {
             recorder: Box::new(NullRecorder),
             last_counters: None,
             cancel: None,
+            spec_hash: None,
         }
     }
 
@@ -421,6 +434,7 @@ impl TransferEngine {
             recorder: Box::new(NullRecorder),
             last_counters: None,
             cancel: None,
+            spec_hash: None,
         }
     }
 
@@ -445,6 +459,7 @@ impl TransferEngine {
             recorder: Box::new(NullRecorder),
             last_counters: None,
             cancel: None,
+            spec_hash: None,
         }
     }
 
@@ -459,6 +474,31 @@ impl TransferEngine {
             (None, id) => id.to_string(),
         };
         self.label = label;
+    }
+
+    /// Installs the identity hash of the originating spec, enabling the
+    /// probe memo (see [`crate::memo`]).
+    pub(crate) fn set_spec_hash(&mut self, hash: u64) {
+        self.spec_hash = Some(hash);
+    }
+
+    /// The memo key for a probe about to run, or `None` when memoization
+    /// does not apply: no spec hash, an enabled recorder (component
+    /// counters and events must be recomputed), or the `--cold` escape
+    /// hatch ([`gasnub_memsim::cold_path`]).
+    fn memo_key(&self, op: ProbeOp, ws_bytes: u64, stride: u64, stride2: u64) -> Option<MemoKey> {
+        if self.recorder.enabled() || gasnub_memsim::cold_path() {
+            return None;
+        }
+        Some(MemoKey {
+            spec_hash: self.spec_hash?,
+            op,
+            ws_bytes,
+            stride,
+            stride2,
+            max_measure_words: self.limits.max_measure_words,
+            max_prime_words: self.limits.max_prime_words,
+        })
     }
 
     /// Access to the underlying SMP system when the backend is bus-based
@@ -625,6 +665,12 @@ impl Machine for TransferEngine {
     }
 
     fn local_load(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
+        let key = self.memo_key(ProbeOp::LocalLoad, ws_bytes, stride, 0);
+        if let Some(k) = &key {
+            if let Some(Some(m)) = memo::lookup(k) {
+                return m;
+            }
+        }
         self.flush_all();
         let (limits, clock) = (self.limits, self.clock_mhz);
         let words = words_of(ws_bytes);
@@ -635,10 +681,19 @@ impl Machine for TransferEngine {
         let stats = self.mem().prime_and_measure(prime, measure);
         let m = Measurement::new(stats.bytes, stats.cycles, clock);
         self.observe("local_load", ws_bytes, stride, &m, Some(&stats), false);
+        if let Some(k) = key {
+            memo::insert(k, Some(m));
+        }
         m
     }
 
     fn local_store(&mut self, ws_bytes: u64, stride: u64) -> Measurement {
+        let key = self.memo_key(ProbeOp::LocalStore, ws_bytes, stride, 0);
+        if let Some(k) = &key {
+            if let Some(Some(m)) = memo::lookup(k) {
+                return m;
+            }
+        }
         self.flush_all();
         let (limits, clock) = (self.limits, self.clock_mhz);
         let words = words_of(ws_bytes);
@@ -649,10 +704,19 @@ impl Machine for TransferEngine {
         let stats = self.mem().prime_and_measure(prime, measure);
         let m = Measurement::new(stats.bytes, stats.cycles, clock);
         self.observe("local_store", ws_bytes, stride, &m, Some(&stats), false);
+        if let Some(k) = key {
+            memo::insert(k, Some(m));
+        }
         m
     }
 
     fn local_copy(&mut self, ws_bytes: u64, load_stride: u64, store_stride: u64) -> Measurement {
+        let key = self.memo_key(ProbeOp::LocalCopy, ws_bytes, load_stride, store_stride);
+        if let Some(k) = &key {
+            if let Some(Some(m)) = memo::lookup(k) {
+                return m;
+            }
+        }
         self.flush_all();
         let (limits, clock) = (self.limits, self.clock_mhz);
         let words = words_of(ws_bytes);
@@ -669,10 +733,19 @@ impl Machine for TransferEngine {
         // Copied payload counts once.
         let m = Measurement::new(measured * WORD_BYTES, stats.cycles, clock);
         self.observe("local_copy", ws_bytes, load_stride, &m, Some(&stats), false);
+        if let Some(k) = key {
+            memo::insert(k, Some(m));
+        }
         m
     }
 
     fn local_gather(&mut self, ws_bytes: u64) -> Measurement {
+        let key = self.memo_key(ProbeOp::LocalGather, ws_bytes, 0, 0);
+        if let Some(k) = &key {
+            if let Some(Some(m)) = memo::lookup(k) {
+                return m;
+            }
+        }
         self.flush_all();
         let (limits, clock) = (self.limits, self.clock_mhz);
         let words = words_of(ws_bytes);
@@ -685,10 +758,19 @@ impl Machine for TransferEngine {
         let stats = self.mem().prime_and_measure(prime, measure);
         let m = Measurement::new(stats.bytes, stats.cycles, clock);
         self.observe("local_gather", ws_bytes, 0, &m, Some(&stats), false);
+        if let Some(k) = key {
+            memo::insert(k, Some(m));
+        }
         m
     }
 
     fn remote_load(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
+        let key = self.memo_key(ProbeOp::RemoteLoad, ws_bytes, stride, 0);
+        if let Some(k) = &key {
+            if let Some(cached) = memo::lookup(k) {
+                return cached;
+            }
+        }
         let (limits, clock) = (self.limits, self.clock_mhz);
         let cancel = self.cancel.clone();
         let pulled = match &mut self.backend {
@@ -710,12 +792,23 @@ impl Machine for TransferEngine {
             // transfers).
             Backend::Node { .. } => None,
         };
-        let (m, stats) = pulled?;
-        self.observe("remote_load", ws_bytes, stride, &m, Some(&stats), true);
-        Some(m)
+        let result = pulled.map(|(m, stats)| {
+            self.observe("remote_load", ws_bytes, stride, &m, Some(&stats), true);
+            m
+        });
+        if let Some(k) = key {
+            memo::insert(k, result);
+        }
+        result
     }
 
     fn remote_fetch(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
+        let key = self.memo_key(ProbeOp::RemoteFetch, ws_bytes, stride, 0);
+        if let Some(k) = &key {
+            if let Some(cached) = memo::lookup(k) {
+                return cached;
+            }
+        }
         let (limits, clock) = (self.limits, self.clock_mhz);
         let cancel = self.cancel.clone();
         let fetched = match &mut self.backend {
@@ -752,20 +845,31 @@ impl Machine for TransferEngine {
                 )),
             },
         };
-        let (m, stats) = fetched?;
-        let pull_provenance = stats.is_some();
-        self.observe(
-            "remote_fetch",
-            ws_bytes,
-            stride,
-            &m,
-            stats.as_ref(),
-            pull_provenance,
-        );
-        Some(m)
+        let result = fetched.map(|(m, stats)| {
+            let pull_provenance = stats.is_some();
+            self.observe(
+                "remote_fetch",
+                ws_bytes,
+                stride,
+                &m,
+                stats.as_ref(),
+                pull_provenance,
+            );
+            m
+        });
+        if let Some(k) = key {
+            memo::insert(k, result);
+        }
+        result
     }
 
     fn remote_deposit(&mut self, ws_bytes: u64, stride: u64) -> Option<Measurement> {
+        let key = self.memo_key(ProbeOp::RemoteDeposit, ws_bytes, stride, 0);
+        if let Some(k) = &key {
+            if let Some(cached) = memo::lookup(k) {
+                return cached;
+            }
+        }
         let (limits, clock) = (self.limits, self.clock_mhz);
         let cancel = self.cancel.clone();
         let deposited = match &mut self.backend {
@@ -788,9 +892,13 @@ impl Machine for TransferEngine {
                 )),
             },
         };
-        let m = deposited?;
-        self.observe("remote_deposit", ws_bytes, stride, &m, None, false);
-        Some(m)
+        if let Some(m) = &deposited {
+            self.observe("remote_deposit", ws_bytes, stride, m, None, false);
+        }
+        if let Some(k) = key {
+            memo::insert(k, deposited);
+        }
+        deposited
     }
 
     fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
@@ -976,5 +1084,37 @@ mod tests {
         assert_eq!(counters.get("payload_bytes"), deposit.bytes);
         assert!(counters.get("ni_packets") > 0);
         assert!(counters.get("link_transfers") > 0);
+    }
+
+    /// Repeated cells hit the per-process memo instead of re-simulating,
+    /// and memoized results are bit-identical to computed ones. Observed
+    /// engines (enabled recorder) bypass the memo entirely so counters and
+    /// events stay faithful.
+    #[test]
+    fn repeated_probes_hit_the_memo_with_identical_results() {
+        use crate::memo;
+        let _guard = memo::TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+
+        let mut engine = MachineSpec::t3e()
+            .with_limits(MeasureLimits::fast())
+            .build()
+            .unwrap();
+        let first = engine.local_load(48 << 10, 3);
+        let (hits0, _) = memo::stats();
+        let second = engine.local_load(48 << 10, 3);
+        let (hits1, _) = memo::stats();
+        assert_eq!(first.cycles.to_bits(), second.cycles.to_bits());
+        assert!(hits1 > hits0, "second probe must be served by the memo");
+
+        // Unsupported outcomes memoize too (pure remote loads on a torus).
+        assert!(engine.remote_load(48 << 10, 3).is_none());
+        assert!(engine.remote_load(48 << 10, 3).is_none());
+
+        // An enabled recorder turns memoization off: the probe recomputes
+        // and harvests real counters.
+        engine.set_recorder(Box::new(gasnub_trace::RingRecorder::new(4)));
+        let observed = engine.local_load(48 << 10, 3);
+        assert_eq!(observed.cycles.to_bits(), first.cycles.to_bits());
+        assert!(engine.take_counters().is_some());
     }
 }

@@ -57,12 +57,14 @@ pub mod dec8400;
 pub mod engine;
 pub mod limits;
 pub mod machine;
+pub mod memo;
 pub mod params;
 pub mod registry;
 pub mod spec;
 pub mod specfile;
 pub mod t3d;
 pub mod t3e;
+pub mod warm;
 
 pub use cancel::{CancelToken, CellCancelled};
 pub use custom::{CustomMachine, CustomMachineBuilder};
@@ -77,6 +79,7 @@ pub use spec::{MachineSpec, SpawnEngine};
 pub use specfile::SpecError;
 pub use t3d::T3d;
 pub use t3e::T3e;
+pub use warm::WarmState;
 
 /// Builds all three machines with paper parameters and default limits.
 pub fn all_machines() -> Vec<Box<dyn Machine>> {

@@ -1,0 +1,169 @@
+//! Per-process probe memoization: the warm path's repeat-cell shortcut.
+//!
+//! Probes are pure functions of the machine description and the cell
+//! parameters: every probe starts from the flushed (≡ just-constructed)
+//! state, so an engine built from the same [`crate::spec::MachineSpec`]
+//! produces bit-identical [`Measurement`]s for the same `(op, working set,
+//! stride)` cell — a property the determinism suite asserts. This module
+//! exploits that purity with a process-wide memo table in front of
+//! [`crate::engine::TransferEngine`]'s probes: repeated cells across
+//! `faults`/`trace`/`sweep` invocations (and across threads) skip the
+//! simulation entirely.
+//!
+//! The key covers everything a probe result depends on:
+//!
+//! * the **spec hash** ([`crate::spec::MachineSpec::spec_hash`]) — fault
+//!   plans fold into the spec deterministically, so degraded installations
+//!   hash (and therefore memoize) separately;
+//! * the **operation** and its `(working set, stride, second stride)` cell;
+//! * the **measurement caps** ([`crate::limits::MeasureLimits`]), which are
+//!   runtime state an engine can change after construction.
+//!
+//! Lookups are bypassed whenever a probe's side effects matter: an enabled
+//! recorder must observe real component counters, and the `--cold` escape
+//! hatch ([`gasnub_memsim::cold_path`]) forces full re-execution.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::machine::Measurement;
+
+/// Which probe produced a memoized result. Part of the memo key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum ProbeOp {
+    /// [`crate::machine::Machine::local_load`].
+    LocalLoad,
+    /// [`crate::machine::Machine::local_store`].
+    LocalStore,
+    /// [`crate::machine::Machine::local_copy`].
+    LocalCopy,
+    /// [`crate::machine::Machine::local_gather`].
+    LocalGather,
+    /// [`crate::machine::Machine::remote_load`].
+    RemoteLoad,
+    /// [`crate::machine::Machine::remote_fetch`].
+    RemoteFetch,
+    /// [`crate::machine::Machine::remote_deposit`].
+    RemoteDeposit,
+}
+
+/// Everything a probe's result is a pure function of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct MemoKey {
+    pub spec_hash: u64,
+    pub op: ProbeOp,
+    pub ws_bytes: u64,
+    /// Primary stride (load stride for copies; 0 for gathers).
+    pub stride: u64,
+    /// Secondary stride (store stride for copies; 0 elsewhere).
+    pub stride2: u64,
+    pub max_measure_words: u64,
+    pub max_prime_words: u64,
+}
+
+/// Entry cap: a hard bound on table growth for long-lived processes. At
+/// ~80 bytes per entry the table tops out around 20 MB; past the cap new
+/// results simply stop being inserted (lookups keep working).
+const MAX_ENTRIES: usize = 1 << 18;
+
+/// The table. `Option` values memoize *unsupported* outcomes too (e.g. the
+/// 8400's missing deposit path), which are just as deterministic.
+static TABLE: Mutex<Option<HashMap<MemoKey, Option<Measurement>>>> = Mutex::new(None);
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn with_table<R>(f: impl FnOnce(&mut HashMap<MemoKey, Option<Measurement>>) -> R) -> R {
+    let mut guard = match TABLE.lock() {
+        Ok(g) => g,
+        // A panic while holding the lock cannot leave the map torn (all
+        // mutations are single HashMap calls); keep serving.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(guard.get_or_insert_with(HashMap::new))
+}
+
+/// Returns the memoized outcome for `key`, if any probe has produced it.
+pub(crate) fn lookup(key: &MemoKey) -> Option<Option<Measurement>> {
+    let found = with_table(|t| t.get(key).copied());
+    match found {
+        Some(_) => HITS.fetch_add(1, Ordering::Relaxed),
+        None => MISSES.fetch_add(1, Ordering::Relaxed),
+    };
+    found
+}
+
+/// Records the outcome of a completed probe.
+pub(crate) fn insert(key: MemoKey, value: Option<Measurement>) {
+    with_table(|t| {
+        if t.len() < MAX_ENTRIES || t.contains_key(&key) {
+            t.insert(key, value);
+        }
+    });
+}
+
+/// Empties the table and zeroes the hit/miss counters. Benchmarks call this
+/// between phases to measure first-pass (memo-cold) and steady-state
+/// (memoized) rates separately.
+pub fn clear() {
+    with_table(HashMap::clear);
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// `(hits, misses)` since process start or the last [`clear`].
+pub fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Number of memoized outcomes currently held.
+pub fn len() -> usize {
+    with_table(|t| t.len())
+}
+
+/// Serializes tests that clear the (process-global) table or assert on its
+/// counters; probes running in unrelated concurrent tests only ever *add*
+/// traffic, which such tests must tolerate.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(ws: u64) -> MemoKey {
+        MemoKey {
+            // A spec hash no real machine produces.
+            spec_hash: 0xdead_beef_0bad_f00d,
+            op: ProbeOp::LocalLoad,
+            ws_bytes: ws,
+            stride: 1,
+            stride2: 0,
+            max_measure_words: 32 * 1024,
+            max_prime_words: 1024 * 1024,
+        }
+    }
+
+    #[test]
+    fn round_trips_and_counts() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let (hits0, misses0) = stats();
+        assert_eq!(lookup(&key(1)), None);
+        insert(key(1), Some(Measurement::new(8, 2.0, 300.0)));
+        let hit = lookup(&key(1)).expect("inserted");
+        assert_eq!(hit.unwrap().bytes, 8);
+        let (hits, misses) = stats();
+        assert!(hits > hits0, "hit must count: {hits0} -> {hits}");
+        assert!(misses > misses0, "miss must count: {misses0} -> {misses}");
+        clear();
+        assert_eq!(lookup(&key(1)), None, "clear must empty the table");
+    }
+
+    #[test]
+    fn memoizes_unsupported_outcomes() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        insert(key(3), None);
+        assert_eq!(lookup(&key(3)), Some(None));
+    }
+}

@@ -422,6 +422,7 @@ impl MachineSpec {
     ///
     /// Returns [`ConfigError`] when any component description is invalid.
     pub fn build(self) -> Result<TransferEngine, ConfigError> {
+        let spec_hash = self.spec_hash();
         let limits = self.limits;
         let seed = self.kind.gather_seed();
         let (id, label, display) = (self.id, self.label, self.display);
@@ -474,6 +475,7 @@ impl MachineSpec {
             }
         };
         built.set_identity(label, display);
+        built.set_spec_hash(spec_hash);
         Ok(built)
     }
 }

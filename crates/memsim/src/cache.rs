@@ -138,6 +138,14 @@ struct Way {
 pub struct Cache {
     config: CacheConfig,
     ways: Vec<Way>, // sets * associativity, row-major by set
+    /// `log2(line_bytes)`; the line size is a validated power of two, so
+    /// `addr >> line_shift` is exactly `addr / line_bytes`.
+    line_shift: u32,
+    /// `num_sets - 1`; the set count is a validated power of two, so
+    /// `line & set_mask` is exactly `line % num_sets`.
+    set_mask: u64,
+    /// `log2(num_sets)`; `line >> set_shift` is exactly `line / num_sets`.
+    set_shift: u32,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -153,7 +161,11 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         let slots = (config.num_sets() * config.associativity) as usize;
+        let num_sets = config.num_sets();
         Ok(Cache {
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: num_sets - 1,
+            set_shift: num_sets.trailing_zeros(),
             config,
             ways: vec![Way::default(); slots],
             tick: 0,
@@ -240,10 +252,19 @@ impl Cache {
         })
     }
 
+    /// Line index of `addr` in this level's geometry (`addr / line_bytes`).
+    #[inline]
+    pub fn line_of(&self, addr: Addr) -> u64 {
+        addr >> self.line_shift
+    }
+
+    #[inline]
     fn locate(&self, addr: Addr) -> (usize, u64) {
-        let line = addr / self.config.line_bytes;
-        let set = (line % self.config.num_sets()) as usize;
-        let tag = line / self.config.num_sets();
+        // Line size and set count are validated powers of two, so shifts and
+        // masks compute exactly the same set/tag as the division form.
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
         (set, tag)
     }
 
@@ -252,6 +273,7 @@ impl Cache {
     /// On a miss the LRU way of the set is replaced (when the policy
     /// allocates). The caller is responsible for charging fill and
     /// write-back costs based on the returned [`LookupOutcome`].
+    #[inline]
     pub fn access(&mut self, addr: Addr, kind: AccessKind) -> LookupOutcome {
         self.tick += 1;
         let (set, tag) = self.locate(addr);

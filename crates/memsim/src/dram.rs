@@ -117,6 +117,15 @@ struct BankState {
 pub struct Dram {
     config: DramConfig,
     banks: Vec<BankState>,
+    /// `log2(interleave_bytes)`; interleave is a validated power of two.
+    interleave_shift: u32,
+    /// `banks - 1`; the bank count is a validated power of two.
+    bank_mask: u64,
+    /// `log2(banks) + log2(row_bytes)`. Because `row_bytes >=
+    /// interleave_bytes` (validated) and all three are powers of two,
+    /// `addr >> row_shift` equals
+    /// `(addr / (interleave * banks)) * interleave / row_bytes` exactly.
+    row_shift: u32,
     row_hits: u64,
     row_misses: u64,
     bank_conflicts: u64,
@@ -132,6 +141,9 @@ impl Dram {
         config.validate()?;
         let banks = vec![BankState::default(); config.banks as usize];
         Ok(Dram {
+            interleave_shift: config.interleave_bytes.trailing_zeros(),
+            bank_mask: config.banks - 1,
+            row_shift: config.banks.trailing_zeros() + config.row_bytes.trailing_zeros(),
             config,
             banks,
             row_hits: 0,
@@ -171,9 +183,12 @@ impl Dram {
     }
 
     /// Performs one burst access at simulated time `now`, returning the cost.
+    #[inline]
     pub fn access(&mut self, addr: Addr, now: f64) -> DramOutcome {
-        let bank_idx = self.config.bank_of(addr) as usize;
-        let row = self.config.row_of(addr);
+        // Shift/mask forms of [`DramConfig::bank_of`] / [`DramConfig::row_of`]
+        // (exact: the geometry is validated powers of two).
+        let bank_idx = ((addr >> self.interleave_shift) & self.bank_mask) as usize;
+        let row = addr >> self.row_shift;
         let bank = &mut self.banks[bank_idx];
 
         let stall = (bank.busy_until - now).max(0.0);

@@ -1,11 +1,31 @@
 //! The trace engine: runs access streams through a node and accounts cycles.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use crate::access::{Access, AccessKind, WORD_BYTES};
 use crate::config::NodeConfig;
 use crate::cpu::CpuConfig;
 use crate::error::ConfigError;
 use crate::hierarchy::MemoryHierarchy;
 use crate::stats::RunStats;
+
+/// Process-wide switch forcing the *cold* (fully-instrumented) execution
+/// path: priming passes run through [`MemoryEngine::run_trace`] with window
+/// statistics and latency-histogram recording instead of the stats-free
+/// [`MemoryEngine::prime_trace`]. The two paths evolve identical state and
+/// clocks, so results are bit-identical either way; the switch exists as an
+/// escape hatch (`--cold`) and for A/B verification in tests and benches.
+static COLD_PATH: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the process-wide cold execution path.
+pub fn set_cold_path(on: bool) {
+    COLD_PATH.store(on, Ordering::Relaxed);
+}
+
+/// Whether the process-wide cold execution path is enabled.
+pub fn cold_path() -> bool {
+    COLD_PATH.load(Ordering::Relaxed)
+}
 
 /// A complete simulated node: CPU issue model + memory hierarchy, with a
 /// monotonically advancing simulated clock.
@@ -113,6 +133,33 @@ impl MemoryEngine {
         stats
     }
 
+    /// Runs every access of `trace` for its *state effects only*: tags, LRU
+    /// stamps, stream detectors, DRAM row/bank state, write-buffer occupancy
+    /// and the simulated clock advance exactly as in
+    /// [`MemoryEngine::run_trace`], but no [`RunStats`] (and in particular no
+    /// latency histogram, whose per-access `log2` dominates the priming
+    /// pass's cost) is assembled. Window counters the measured pass would
+    /// discard anyway are skipped.
+    pub fn prime_trace<I>(&mut self, trace: I)
+    where
+        I: IntoIterator<Item = Access>,
+    {
+        self.hierarchy.reset_window_stats();
+        for access in trace {
+            let issue = match access.kind {
+                AccessKind::Read => self.cpu.load_issue_cycles,
+                AccessKind::Write => self.cpu.store_issue_cycles,
+            } + self.cpu.loop_overhead_cycles;
+            let cost = match access.kind {
+                AccessKind::Read => self.hierarchy.prime_load(access.addr, self.now),
+                AccessKind::Write => self.hierarchy.prime_store(access.addr, self.now),
+            };
+            self.now += issue + cost.cycles;
+        }
+        let drain = self.hierarchy.drain_writes(self.now);
+        self.now += drain;
+    }
+
     /// Convenience wrapper for load-only traces.
     pub fn run_loads<I>(&mut self, trace: I) -> RunStats
     where
@@ -130,7 +177,11 @@ impl MemoryEngine {
         P: IntoIterator<Item = Access>,
         M: IntoIterator<Item = Access>,
     {
-        let _ = self.run_trace(prime);
+        if cold_path() {
+            let _ = self.run_trace(prime);
+        } else {
+            self.prime_trace(prime);
+        }
         self.run_trace(measure)
     }
 

@@ -22,7 +22,7 @@
 //! in the write buffer when one is configured (T3D), otherwise directly in
 //! DRAM.
 
-use crate::access::{line_index, AccessKind, Addr};
+use crate::access::{AccessKind, Addr};
 use crate::cache::{Cache, CacheConfig, LookupOutcome, WritePolicy};
 use crate::dram::{Dram, DramConfig};
 use crate::error::ConfigError;
@@ -174,6 +174,10 @@ pub struct MemoryHierarchy {
     dram: Dram,
     write_buffer: Option<WriteBuffer>,
     miss_overlap: f64,
+    /// `log2` of the last cache level's line size (the DRAM transfer
+    /// granularity) — a validated power of two, so `addr >> last_line_shift`
+    /// is exactly `addr / last_level_line_bytes()`.
+    last_line_shift: u32,
     /// Scratch per-level stats for the current measurement window.
     level_stats: Vec<LevelStats>,
     dram_accesses: u64,
@@ -244,6 +248,7 @@ impl MemoryHierarchy {
             .transpose()?;
         let n = config.levels.len();
         Ok(MemoryHierarchy {
+            last_line_shift: config.last_level_line_bytes().trailing_zeros(),
             config,
             caches,
             streams,
@@ -302,6 +307,11 @@ impl MemoryHierarchy {
             w.reset();
         }
         self.write_debt = 0.0;
+        // Mixed-traffic tracking is state too: leaving it set would make a
+        // flushed hierarchy differ from a just-constructed one (the
+        // invariant warm engine reuse relies on).
+        self.last_fill_origin = None;
+        self.mixed_countdown = 0;
         self.reset_window_stats();
     }
 
@@ -330,8 +340,22 @@ impl MemoryHierarchy {
 
     /// Cost of fetching one last-level line from DRAM at simulated time
     /// `now`, applying stream detection, overlap and contention.
-    fn dram_fill_cost(&mut self, addr: Addr, now: f64, origin: FillOrigin) -> f64 {
-        self.dram_accesses += 1;
+    ///
+    /// With `STATS == false` the window statistics (`dram_accesses`,
+    /// `dram_row_hits`, ...) are left untouched; every state mutation and
+    /// every floating-point operation is identical. The priming pass uses
+    /// this: its window counters are discarded by the measured pass's
+    /// [`MemoryHierarchy::reset_window_stats`] anyway.
+    #[inline]
+    fn dram_fill_cost_inner<const STATS: bool>(
+        &mut self,
+        addr: Addr,
+        now: f64,
+        origin: FillOrigin,
+    ) -> f64 {
+        if STATS {
+            self.dram_accesses += 1;
+        }
         // Pay for any write-buffer drains queued ahead of this read: DRAM
         // serves one stream at a time (this is what keeps the T3D's copy
         // bandwidth at ~100 MB/s although reads alone sustain ~195 MB/s).
@@ -352,26 +376,29 @@ impl MemoryHierarchy {
         } else {
             self.miss_overlap
         };
-        let line_bytes = self.config.last_level_line_bytes();
-        let line = line_index(addr, line_bytes);
+        let line = addr >> self.last_line_shift;
         let streamed = self
             .dram_stream
             .as_mut()
             .map(|s| s.observe(line))
             .unwrap_or(false);
         debt + if streamed {
-            self.dram_streamed_fills += 1;
+            if STATS {
+                self.dram_streamed_fills += 1;
+            }
             // The prefetch pipeline still occupies the bank, so row/bank
             // state advances, but the processor sees the pipelined rate.
             let _ = self.dram.access(addr, now);
             self.dram_streamed_line_cycles() * self.config.dram_stream_contention
         } else {
             let out = self.dram.access(addr, now);
-            if out.row_hit {
-                self.dram_row_hits += 1;
-            }
-            if out.bank_stall_cycles > 0.0 {
-                self.dram_bank_conflicts += 1;
+            if STATS {
+                if out.row_hit {
+                    self.dram_row_hits += 1;
+                }
+                if out.bank_stall_cycles > 0.0 {
+                    self.dram_bank_conflicts += 1;
+                }
             }
             out.cycles / overlap * self.config.dram_contention
         }
@@ -381,8 +408,12 @@ impl MemoryHierarchy {
         self.config.dram_streamed_line_cycles
     }
 
-    /// Charges one load at simulated time `now`.
-    pub fn load(&mut self, addr: Addr, now: f64) -> AccessCost {
+    /// The load walk, monomorphized over whether window statistics are
+    /// recorded. `STATS == false` performs exactly the same state mutations
+    /// and floating-point operations, skipping only the `level_stats` /
+    /// `dram_*` window counters (which the measured pass resets anyway).
+    #[inline]
+    fn load_inner<const STATS: bool>(&mut self, addr: Addr, now: f64) -> AccessCost {
         let mut cycles = 0.0;
         let n = self.caches.len();
         let mut supplier: Option<usize> = None; // level that hit
@@ -392,14 +423,20 @@ impl MemoryHierarchy {
             let outcome = self.caches[i].access(addr, AccessKind::Read);
             match outcome {
                 LookupOutcome::Hit => {
-                    self.level_stats[i].hits += 1;
+                    if STATS {
+                        self.level_stats[i].hits += 1;
+                    }
                     supplier = Some(i);
                     break;
                 }
                 LookupOutcome::Miss { victim_dirty, .. } => {
-                    self.level_stats[i].misses += 1;
+                    if STATS {
+                        self.level_stats[i].misses += 1;
+                    }
                     if victim_dirty {
-                        self.level_stats[i].write_backs += 1;
+                        if STATS {
+                            self.level_stats[i].write_backs += 1;
+                        }
                         cycles += self.config.levels[i].write_back_cycles;
                     }
                     missed_through = i + 1;
@@ -411,20 +448,24 @@ impl MemoryHierarchy {
         // delivered by level i+1 (or DRAM for the last level).
         for i in (0..missed_through).rev() {
             let level_cfg = &self.config.levels[i];
-            let line = line_index(addr, level_cfg.cache.line_bytes);
+            let line = self.caches[i].line_of(addr);
             let fills_from_dram = i + 1 == n && supplier.is_none();
             if fills_from_dram {
-                cycles += self.dram_fill_cost(addr, now + cycles, FillOrigin::Load);
+                cycles += self.dram_fill_cost_inner::<STATS>(addr, now + cycles, FillOrigin::Load);
             } else {
                 let streamed = match &mut self.streams[i] {
                     Some(det) => det.observe(line),
                     None => false,
                 };
                 if streamed {
-                    self.level_stats[i].streamed_fills += 1;
+                    if STATS {
+                        self.level_stats[i].streamed_fills += 1;
+                    }
                     cycles += level_cfg.streamed_fill_cycles;
                 } else {
-                    self.level_stats[i].unstreamed_fills += 1;
+                    if STATS {
+                        self.level_stats[i].unstreamed_fills += 1;
+                    }
                     cycles += level_cfg.fill_cycles;
                 }
             }
@@ -435,12 +476,25 @@ impl MemoryHierarchy {
             None => {
                 if n == 0 {
                     // Cacheless node: the load itself is a DRAM word access.
-                    cycles += self.dram_fill_cost(addr, now, FillOrigin::Load);
+                    cycles += self.dram_fill_cost_inner::<STATS>(addr, now, FillOrigin::Load);
                 }
                 ServedBy::Dram
             }
         };
         AccessCost { cycles, served_by }
+    }
+
+    /// Charges one load at simulated time `now`.
+    pub fn load(&mut self, addr: Addr, now: f64) -> AccessCost {
+        self.load_inner::<true>(addr, now)
+    }
+
+    /// [`MemoryHierarchy::load`] without window-statistics recording: the
+    /// priming pass's fast path. State evolution (tags, LRU stamps, stream
+    /// detectors, DRAM rows, write buffer) and the returned cost are
+    /// bit-identical to `load`.
+    pub fn prime_load(&mut self, addr: Addr, now: f64) -> AccessCost {
+        self.load_inner::<false>(addr, now)
     }
 
     /// Charges one load whose last-level fill is supplied *remotely* (over a
@@ -484,7 +538,7 @@ impl MemoryHierarchy {
 
         for i in (0..missed_through).rev() {
             let level_cfg = &self.config.levels[i];
-            let line = line_index(addr, level_cfg.cache.line_bytes);
+            let line = self.caches[i].line_of(addr);
             let fills_remotely = i + 1 == n && supplier.is_none();
             if fills_remotely {
                 cycles += remote_fill(now + cycles);
@@ -515,8 +569,9 @@ impl MemoryHierarchy {
         AccessCost { cycles, served_by }
     }
 
-    /// Charges one store at simulated time `now`.
-    pub fn store(&mut self, addr: Addr, now: f64) -> AccessCost {
+    /// The store walk, monomorphized like [`MemoryHierarchy::load_inner`].
+    #[inline]
+    fn store_inner<const STATS: bool>(&mut self, addr: Addr, now: f64) -> AccessCost {
         let mut cycles = 0.0;
         let n = self.caches.len();
 
@@ -526,7 +581,9 @@ impl MemoryHierarchy {
             match (policy, outcome) {
                 (WritePolicy::WriteBack, LookupOutcome::Hit) => {
                     // Absorbed: line dirtied in place.
-                    self.level_stats[i].hits += 1;
+                    if STATS {
+                        self.level_stats[i].hits += 1;
+                    }
                     return AccessCost {
                         cycles,
                         served_by: ServedBy::Level(i),
@@ -539,15 +596,19 @@ impl MemoryHierarchy {
                         allocated,
                     },
                 ) => {
-                    self.level_stats[i].misses += 1;
+                    if STATS {
+                        self.level_stats[i].misses += 1;
+                    }
                     if victim_dirty {
-                        self.level_stats[i].write_backs += 1;
+                        if STATS {
+                            self.level_stats[i].write_backs += 1;
+                        }
                         cycles += self.config.levels[i].write_back_cycles;
                     }
                     if allocated {
                         // Read-modify-write: fetch the line from below, then
                         // the store is absorbed here.
-                        cycles += self.fill_chain(i, addr, now + cycles);
+                        cycles += self.fill_chain_inner::<STATS>(i, addr, now + cycles);
                         return AccessCost {
                             cycles,
                             served_by: ServedBy::Level(i),
@@ -557,10 +618,14 @@ impl MemoryHierarchy {
                 }
                 (WritePolicy::WriteThrough, LookupOutcome::Hit) => {
                     // Updated in place but still forwarded downward.
-                    self.level_stats[i].hits += 1;
+                    if STATS {
+                        self.level_stats[i].hits += 1;
+                    }
                 }
                 (WritePolicy::WriteThrough, LookupOutcome::Miss { .. }) => {
-                    self.level_stats[i].misses += 1;
+                    if STATS {
+                        self.level_stats[i].misses += 1;
+                    }
                 }
             }
         }
@@ -568,7 +633,9 @@ impl MemoryHierarchy {
         // The store fell through every cache level.
         if let Some(wb) = &mut self.write_buffer {
             let out = wb.push(addr, now + cycles);
-            self.wb_stalls += out.stall_cycles;
+            if STATS {
+                self.wb_stalls += out.stall_cycles;
+            }
             cycles += out.stall_cycles;
             if !out.coalesced {
                 // A new entry means one more drain the DRAM pipe owes; the
@@ -589,9 +656,21 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Charges one store at simulated time `now`.
+    pub fn store(&mut self, addr: Addr, now: f64) -> AccessCost {
+        self.store_inner::<true>(addr, now)
+    }
+
+    /// [`MemoryHierarchy::store`] without window-statistics recording (see
+    /// [`MemoryHierarchy::prime_load`]).
+    pub fn prime_store(&mut self, addr: Addr, now: f64) -> AccessCost {
+        self.store_inner::<false>(addr, now)
+    }
+
     /// Cost of bringing the line containing `addr` into level `i` from the
     /// levels below, walking tags downward (used by store write-allocate).
-    fn fill_chain(&mut self, i: usize, addr: Addr, now: f64) -> f64 {
+    #[inline]
+    fn fill_chain_inner<const STATS: bool>(&mut self, i: usize, addr: Addr, now: f64) -> f64 {
         let n = self.caches.len();
         let mut cycles = 0.0;
         let mut supplier: Option<usize> = None;
@@ -600,14 +679,20 @@ impl MemoryHierarchy {
             let outcome = self.caches[j].access(addr, AccessKind::Read);
             match outcome {
                 LookupOutcome::Hit => {
-                    self.level_stats[j].hits += 1;
+                    if STATS {
+                        self.level_stats[j].hits += 1;
+                    }
                     supplier = Some(j);
                     break;
                 }
                 LookupOutcome::Miss { victim_dirty, .. } => {
-                    self.level_stats[j].misses += 1;
+                    if STATS {
+                        self.level_stats[j].misses += 1;
+                    }
                     if victim_dirty {
-                        self.level_stats[j].write_backs += 1;
+                        if STATS {
+                            self.level_stats[j].write_backs += 1;
+                        }
                         cycles += self.config.levels[j].write_back_cycles;
                     }
                     missed_through = j + 1;
@@ -616,20 +701,24 @@ impl MemoryHierarchy {
         }
         for j in (i..missed_through).rev() {
             let level_cfg = &self.config.levels[j];
-            let line = line_index(addr, level_cfg.cache.line_bytes);
+            let line = self.caches[j].line_of(addr);
             let fills_from_dram = j + 1 == n && supplier.is_none();
             if fills_from_dram {
-                cycles += self.dram_fill_cost(addr, now + cycles, FillOrigin::Store);
+                cycles += self.dram_fill_cost_inner::<STATS>(addr, now + cycles, FillOrigin::Store);
             } else {
                 let streamed = match &mut self.streams[j] {
                     Some(det) => det.observe(line),
                     None => false,
                 };
                 if streamed {
-                    self.level_stats[j].streamed_fills += 1;
+                    if STATS {
+                        self.level_stats[j].streamed_fills += 1;
+                    }
                     cycles += level_cfg.streamed_fill_cycles;
                 } else {
-                    self.level_stats[j].unstreamed_fills += 1;
+                    if STATS {
+                        self.level_stats[j].unstreamed_fills += 1;
+                    }
                     cycles += level_cfg.fill_cycles;
                 }
             }

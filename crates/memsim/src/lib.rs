@@ -62,6 +62,6 @@ pub mod write_buffer;
 
 pub use access::{Access, AccessKind, Addr, WORD_BYTES};
 pub use config::NodeConfig;
-pub use engine::MemoryEngine;
+pub use engine::{cold_path, set_cold_path, MemoryEngine};
 pub use error::{ConfigError, SimError};
 pub use stats::{LevelStats, RunStats};

@@ -12,7 +12,7 @@
 //! what gives the T3D its strided-store advantage (contiguous stores share a
 //! 32-byte entry, strided stores each pay for a full entry drain).
 
-use crate::access::{line_index, Addr};
+use crate::access::Addr;
 use crate::error::ConfigError;
 
 /// Static description of a write buffer.
@@ -73,6 +73,9 @@ pub struct PushOutcome {
 #[derive(Debug, Clone)]
 pub struct WriteBuffer {
     config: WriteBufferConfig,
+    /// `log2(entry_bytes)`; the window is a validated power of two, so
+    /// `addr >> entry_shift` is exactly `addr / entry_bytes`.
+    entry_shift: u32,
     /// Window index of the entry currently open for coalescing.
     open_window: Option<u64>,
     /// Number of entries logically occupied (including the open one).
@@ -94,6 +97,7 @@ impl WriteBuffer {
     pub fn new(config: WriteBufferConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         Ok(WriteBuffer {
+            entry_shift: config.entry_bytes.trailing_zeros(),
             config,
             open_window: None,
             occupancy: 0,
@@ -165,7 +169,7 @@ impl WriteBuffer {
         self.stores += 1;
         self.catch_up_drain(now);
 
-        let window = line_index(addr, self.config.entry_bytes);
+        let window = addr >> self.entry_shift;
         if self.config.coalesce && self.open_window == Some(window) {
             self.coalesced_stores += 1;
             return PushOutcome {

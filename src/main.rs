@@ -42,7 +42,7 @@ fn usage() -> ! {
          scale <t3d|t3e> <n> <npes>              §8 scalability projection\n\
          report <machine>                        full markdown characterization report\n\
          faults <machine> [--seed N] [--severity S] [--threads N] [--counters FILE]\n\
-         \x20                                        healthy-vs-degraded remote bandwidth\n\
+         \x20       [--cold]                         healthy-vs-degraded remote bandwidth\n\
          sweep <machine> <op> --checkpoint FILE [--max-cells N] [--budget-secs N]\n\
          \x20       [--seed N] [--severity S]        checkpointed/resumable surface sweep\n\
          \x20       [--threads N]                    (op: load, store, copy-loads,\n\
@@ -51,9 +51,12 @@ fn usage() -> ! {
          \x20       [--retries N]                    writes to stdout; retry panicking\n\
          \x20       [--cell-timeout-ms N]            cells N times; cap each cell's wall\n\
          \x20       [--force-restart]                clock; move a corrupt checkpoint to\n\
-         \x20                                        FILE.corrupt and start fresh)\n\
+         \x20       [--cold] [--fsync-every N]       FILE.corrupt and start fresh; --cold\n\
+         \x20                                        disables the warm path (memoized\n\
+         \x20                                        probes + fast priming); fsync the\n\
+         \x20                                        checkpoint every N cells (default 16)\n\
          trace <machine> <op> [--ws BYTES] [--stride WORDS] [--seed N] [--severity S]\n\
-         \x20                                        one probe's harvested counters and\n\
+         \x20       [--cold]                         one probe's harvested counters and\n\
          \x20                                        trace events, as canonical JSON\n\
          \n\
          <machine> is any name `gasnub machines` lists: built-ins plus spec\n\
@@ -162,6 +165,16 @@ fn build_spec(registry: &MachineRegistry, label: &str, plan: Option<&FaultPlan>)
     spec
 }
 
+/// Applies `--cold`: disables the warm execution path process-wide (probe
+/// memoization and the stats-free priming pass), forcing every probe to run
+/// the full cold simulation. The escape hatch for validating the warm path
+/// and for timing the real simulation cost.
+fn apply_cold_flag(flags: &[(String, String)]) {
+    if flag(flags, "cold").is_some() {
+        gasnub::memsim::set_cold_path(true);
+    }
+}
+
 /// The worker count requested by `--threads` (default 1; 0 means all cores).
 fn threads_from_flags(flags: &[(String, String)]) -> usize {
     match flag(flags, "threads") {
@@ -201,7 +214,7 @@ fn counters_to_json(counters: &CounterSet) -> Json {
 }
 
 fn trace_cmd(registry: &MachineRegistry, args: &[String]) {
-    let (positional, flags) = split_flags(args, &["ws", "stride", "seed", "severity"], &[]);
+    let (positional, flags) = split_flags(args, &["ws", "stride", "seed", "severity"], &["cold"]);
     let [label, op] = positional.as_slice() else {
         fail(
             "trace takes a machine and an operation \
@@ -211,6 +224,7 @@ fn trace_cmd(registry: &MachineRegistry, args: &[String]) {
     let Some(op) = SweepOp::parse(op) else {
         fail(format!("unknown operation {op:?}"))
     };
+    apply_cold_flag(&flags);
     let ws: u64 = flag(&flags, "ws").map_or(4 << 20, |v| parse_num("--ws", v));
     let stride: u64 = flag(&flags, "stride").map_or(1, |v| parse_num("--stride", v));
     let plan = (flag(&flags, "seed").is_some() || flag(&flags, "severity").is_some())
@@ -256,10 +270,15 @@ fn trace_cmd(registry: &MachineRegistry, args: &[String]) {
 }
 
 fn faults_cmd(registry: &MachineRegistry, args: &[String]) {
-    let (positional, flags) = split_flags(args, &["seed", "severity", "threads", "counters"], &[]);
+    let (positional, flags) = split_flags(
+        args,
+        &["seed", "severity", "threads", "counters"],
+        &["cold"],
+    );
     let [label] = positional.as_slice() else {
         fail("faults takes exactly one machine argument");
     };
+    apply_cold_flag(&flags);
     let plan = plan_from_flags(&flags);
     let threads = threads_from_flags(&flags);
 
@@ -389,8 +408,9 @@ fn sweep_cmd(registry: &MachineRegistry, args: &[String]) {
             "threads",
             "counters",
             "counters-csv",
+            "fsync-every",
         ],
-        &["force-restart"],
+        &["force-restart", "cold"],
     );
     let [label, op] = positional.as_slice() else {
         fail(
@@ -405,6 +425,7 @@ fn sweep_cmd(registry: &MachineRegistry, args: &[String]) {
         fail("sweep needs --checkpoint FILE (re-run with the same file to resume)");
     };
 
+    apply_cold_flag(&flags);
     let plan = (flag(&flags, "seed").is_some() || flag(&flags, "severity").is_some())
         .then(|| plan_from_flags(&flags));
     let spec = build_spec(registry, label, plan.as_ref());
@@ -429,6 +450,9 @@ fn sweep_cmd(registry: &MachineRegistry, args: &[String]) {
     }
     if flag(&flags, "force-restart").is_some() {
         runner = runner.with_force_restart(true);
+    }
+    if let Some(n) = flag(&flags, "fsync-every") {
+        runner = runner.with_fsync_every(parse_num("--fsync-every", n));
     }
 
     let name = spec.spawn_engine().unwrap_or_else(|e| fail(e)).name();

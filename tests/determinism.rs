@@ -162,6 +162,58 @@ fn parallel_cli_sweeps_write_byte_identical_checkpoints() {
     }
 }
 
+/// The warm path's acceptance bar: a default (warm) sweep — memoized
+/// probes, stats-free priming, run-granular scheduling, batched fsync —
+/// leaves a checkpoint byte-identical to a `--cold` sweep (full cold
+/// simulation, fsync per cell) at every thread count, for every reference
+/// machine. The warm path is an optimization, never a different answer.
+#[test]
+fn warm_sweeps_write_byte_identical_checkpoints_to_cold_sweeps() {
+    let scratch = |tag: &str| {
+        std::env::temp_dir().join(format!("gasnub-det-warm-{}-{tag}.json", std::process::id()))
+    };
+    let sweep = |machine: &str, ckpt: &std::path::Path, extra: &[&str]| {
+        let mut args = vec![
+            "sweep",
+            machine,
+            "load",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_gasnub"))
+            .args(&args)
+            .output()
+            .expect("the gasnub binary must spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{machine} {extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    for machine in ["dec8400", "t3d", "t3e"] {
+        let cold_ckpt = scratch(&format!("{machine}-cold"));
+        sweep(
+            machine,
+            &cold_ckpt,
+            &["--cold", "--fsync-every", "1", "--threads", "1"],
+        );
+        let cold = std::fs::read(&cold_ckpt).unwrap();
+        for threads in ["1", "2", "4"] {
+            let warm_ckpt = scratch(&format!("{machine}-warm-{threads}"));
+            sweep(machine, &warm_ckpt, &["--threads", threads]);
+            let warm = std::fs::read(&warm_ckpt).unwrap();
+            assert_eq!(
+                cold, warm,
+                "{machine} --threads {threads}: warm checkpoint must match --cold"
+            );
+            let _ = std::fs::remove_file(&warm_ckpt);
+        }
+        let _ = std::fs::remove_file(&cold_ckpt);
+    }
+}
+
 /// Counter collection gathers cells in grid order whatever the worker
 /// count, so the library-level report is identical too (the CLI test above
 /// pins the rendered bytes; this pins the structured value).

@@ -160,6 +160,73 @@ fn recorders_never_change_measurements() {
     });
 }
 
+/// Warm-path engine reuse is invisible: walking a random (stride, working
+/// set) chain on *one* reused engine produces bit-identical measurements
+/// and identical counters to spawning a fresh engine for every cell, on
+/// every machine in the built-in zoo. This is the flushed ≡
+/// just-constructed invariant the warm sweep scheduler
+/// ([`gasnub::machines::WarmState`]) relies on. Both sides carry a
+/// recorder, which bypasses the probe memo — each comparison is a genuine
+/// recomputation, and the harvested counters must agree too.
+#[test]
+fn warm_engine_chains_match_fresh_engines() {
+    use gasnub::machines::{
+        MachineRegistry, MeasureLimits, RingRecorder, SpawnEngine, TransferEngine, WarmState,
+    };
+    let registry = MachineRegistry::builtin();
+    let limits = MeasureLimits {
+        max_measure_words: 8 * 1024,
+        max_prime_words: 64 * 1024,
+    };
+    run_cases(0x3A44, 8, |rng| {
+        for spec in registry.specs() {
+            let mut warm = WarmState::new();
+            let chain = rng.gen_range(2, 6);
+            for _ in 0..chain {
+                let ws = rng.gen_range(4, 2048) * 1024;
+                let stride = rng.gen_range(1, 128);
+                let op = rng.gen_range(0, 6);
+                let probe = |m: &mut TransferEngine| match op {
+                    0 => Some(m.local_load(ws, stride)),
+                    1 => Some(m.local_store(ws, stride)),
+                    2 => Some(m.local_copy(ws, stride, 1)),
+                    3 => m.remote_load(ws, stride),
+                    4 => m.remote_fetch(ws, stride),
+                    _ => m.remote_deposit(ws, stride),
+                };
+                let engine = warm.engine(spec).unwrap();
+                engine.set_limits(limits);
+                engine.set_recorder(Box::new(RingRecorder::new(4)));
+                let warm_meas = probe(engine);
+                let warm_counters = engine.take_counters();
+
+                let mut fresh = spec.spawn_engine().unwrap();
+                fresh.set_limits(limits);
+                fresh.set_recorder(Box::new(RingRecorder::new(4)));
+                let fresh_meas = probe(&mut fresh);
+                let fresh_counters = fresh.take_counters();
+
+                let ctx = format!("{} op {op} ws {ws} stride {stride}", spec.label());
+                match (warm_meas, fresh_meas) {
+                    (None, None) => {}
+                    (Some(w), Some(f)) => assert_eq!(
+                        (w.bytes, w.cycles.to_bits(), w.mb_s.to_bits()),
+                        (f.bytes, f.cycles.to_bits(), f.mb_s.to_bits()),
+                        "{ctx}: warm reuse must not change the measurement"
+                    ),
+                    (w, f) => panic!("{ctx}: support diverged: {w:?} vs {f:?}"),
+                }
+                assert_eq!(
+                    warm_counters, fresh_counters,
+                    "{ctx}: warm reuse must not change the counters"
+                );
+            }
+            assert!(warm.is_warm());
+            assert_eq!(warm.spawns(), 1, "one spawn must serve the whole chain");
+        }
+    });
+}
+
 /// Measurements scale: the cycle count grows with the measured words
 /// (same stride, larger working set ⇒ at least as many cycles until the
 /// measure cap).
