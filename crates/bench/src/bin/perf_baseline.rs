@@ -1,8 +1,9 @@
 //! Records the repository's performance baseline as machine-readable JSON
 //! (`BENCH_<n>.json`, ROADMAP item 5).
 //!
-//! BENCH_8 measures the warm-path sweep engine (DESIGN §5e) and reports,
-//! per zoo machine, three honest cells/sec columns:
+//! BENCH_9 measures the warm-path sweep engine (DESIGN §5e) and the
+//! analytic fast path (DESIGN §5f), reporting per zoo machine four honest
+//! cells/sec columns:
 //!
 //! * **cold** — `--cold` semantics: fresh simulation per cell, no memo, no
 //!   fast paths; the BENCH_7-comparable number.
@@ -12,6 +13,10 @@
 //!   of a new spec" speed.
 //! * **warm memoized** — steady state: every cell hits the per-process
 //!   probe memo, as in repeated `faults`/`trace`/`sweep` invocations.
+//! * **analytic** — the `--tier auto` fast path on its calibration-trusted
+//!   cells, measured at probe level on a pre-calibrated model (no runner,
+//!   no checkpoint IO: the column isolates the model's answer cost, which
+//!   a per-cell checkpoint write would otherwise dominate).
 //!
 //! Plus golden-trace overhead (a `RingRecorder` per probe, which also
 //! bypasses the memo — genuine recomputation), checkpoint-write costs
@@ -30,11 +35,13 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use gasnub_analytic::TieredSpec;
 use gasnub_core::json::Json;
 use gasnub_core::pool::run_indexed_chunked;
 use gasnub_core::{auto_threads, run_indexed, storage, Grid, ResilientSweep, SweepOp};
 use gasnub_machines::{
-    Machine, MachineSpec, MeasureLimits, RingRecorder, SpawnEngine, TransferEngine,
+    dispatch, Machine, MachineSpec, MeasureLimits, ProbePath, ProbeTier, RingRecorder, SpawnEngine,
+    TransferEngine,
 };
 
 /// The CI gate: fail `--check` when a guarded column drops below this
@@ -89,12 +96,49 @@ where
 }
 
 fn plain_probe(m: &mut TransferEngine, ws: u64, s: u64) -> Option<f64> {
-    SweepOp::LocalLoad.probe(m, ws, s)
+    SweepOp::LocalLoad.measure(m, ws, s)
 }
 
 fn traced_probe(m: &mut TransferEngine, ws: u64, s: u64) -> Option<f64> {
     m.set_recorder(Box::new(RingRecorder::new(64)));
-    SweepOp::LocalLoad.probe(m, ws, s)
+    SweepOp::LocalLoad.measure(m, ws, s)
+}
+
+/// Cells/sec answering the grid's calibration-trusted cells through the
+/// analytic tier, plus how many of the grid's cells are trusted. The model
+/// is calibrated by the discovery pass, so the timed rounds measure the
+/// steady state a `--tier auto` sweep sees on every trusted cell.
+fn analytic_rate(spec: &MachineSpec, grid: &Grid) -> (f64, usize) {
+    let tiered = TieredSpec::new(spec.clone(), ProbeTier::Auto)
+        .expect("zoo machines always carry an analytic model");
+    let mut machine = tiered.spawn_engine().expect("zoo machines always build");
+    let mut trusted = Vec::new();
+    for &ws in &grid.working_sets {
+        for &stride in &grid.strides {
+            let req = SweepOp::LocalLoad.request(ws, stride);
+            if dispatch(&mut machine, &req).measurement.is_some()
+                && machine.last_path() == ProbePath::Analytic
+            {
+                trusted.push(req);
+            }
+        }
+    }
+    if trusted.is_empty() {
+        return (0.0, 0);
+    }
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut cells = 0u64;
+        while start.elapsed().as_secs_f64() < 0.05 {
+            for req in &trusted {
+                assert!(dispatch(&mut machine, req).measurement.is_some());
+                cells += 1;
+            }
+        }
+        best = best.max(cells as f64 / start.elapsed().as_secs_f64());
+    }
+    (best, trusted.len())
 }
 
 /// Mean microseconds per checkpoint write of `payload`. `fsync_every = 0`
@@ -198,7 +242,11 @@ fn ratio(value: f64) -> Json {
 /// column is the slow reference and the trace column is measured against
 /// the warm one, so gating the warm columns covers the sweep path users
 /// actually run).
-const GUARDED: [&str; 2] = ["warm_first_cells_per_sec_1t", "warm_memo_cells_per_sec_1t"];
+const GUARDED: [&str; 3] = [
+    "warm_first_cells_per_sec_1t",
+    "warm_memo_cells_per_sec_1t",
+    "analytic_cells_per_sec_1t",
+];
 
 /// Compares `report` against a committed baseline; returns the number of
 /// regressions (guarded columns below [`CHECK_FLOOR`] of the baseline).
@@ -293,7 +341,7 @@ fn main() {
     }
 }
 
-/// Measures the full BENCH_8 report for `grid` at the given thread count.
+/// Measures the full BENCH_9 report for `grid` at the given thread count.
 fn measure_report(grid: &Grid, threads: usize) -> Json {
     let grid = grid.clone();
     let cold = || gasnub_memsim::set_cold_path(true);
@@ -319,6 +367,7 @@ fn measure_report(grid: &Grid, threads: usize) -> Json {
         // The memo is populated by the warm-first rounds above; these
         // rounds are all steady-state hits.
         let warm_memo_1 = best_rate(4, &spec, &grid, 1, warm_memo, plain_probe);
+        let (analytic_1, analytic_trusted) = analytic_rate(&spec, &grid);
         // On a single-core host the n-thread sweep *is* the 1-thread
         // sweep; re-measuring it would only record scheduler noise.
         let (cold_n, warm_first_n, warm_memo_n) = if threads > 1 {
@@ -340,6 +389,9 @@ fn measure_report(grid: &Grid, threads: usize) -> Json {
                 ("warm_first_cells_per_sec_nt", rate(warm_first_n)),
                 ("warm_memo_cells_per_sec_1t", rate(warm_memo_1)),
                 ("warm_memo_cells_per_sec_nt", rate(warm_memo_n)),
+                ("analytic_cells_per_sec_1t", rate(analytic_1)),
+                ("analytic_trusted_cells", Json::U64(analytic_trusted as u64)),
+                ("analytic_speedup_vs_memo", ratio(analytic_1 / warm_memo_1)),
                 ("trace_cells_per_sec_1t", rate(trace_1)),
                 ("warm_first_speedup_vs_cold", ratio(warm_first_1 / cold_1)),
                 ("warm_memo_speedup_vs_cold", ratio(warm_memo_1 / cold_1)),
@@ -370,7 +422,7 @@ fn measure_report(grid: &Grid, threads: usize) -> Json {
     let chunked = pool_rate(pool_threads, pool_jobs, 0);
 
     Json::object([
-        ("bench", Json::U64(8)),
+        ("bench", Json::U64(9)),
         (
             "grid",
             Json::object([

@@ -8,7 +8,7 @@
 //! stride." A third **Store Constant** benchmark evaluates store
 //! performance.
 
-use gasnub_machines::{Machine, SpawnEngine, WarmState};
+use gasnub_machines::{dispatch, Machine, ProbeOp, ProbeRequest, SpawnEngine, WarmState};
 use gasnub_memsim::SimError;
 
 use crate::pool::run_indexed;
@@ -104,18 +104,51 @@ impl SweepOp {
         }
     }
 
+    /// The [`ProbeOp`] this benchmark drives.
+    pub fn probe_op(self) -> ProbeOp {
+        match self {
+            SweepOp::LocalLoad => ProbeOp::LocalLoad,
+            SweepOp::LocalStore => ProbeOp::LocalStore,
+            SweepOp::CopyStridedLoads | SweepOp::CopyStridedStores => ProbeOp::LocalCopy,
+            SweepOp::RemoteLoad => ProbeOp::RemoteLoad,
+            SweepOp::RemoteFetch => ProbeOp::RemoteFetch,
+            SweepOp::RemoteDeposit => ProbeOp::RemoteDeposit,
+        }
+    }
+
+    /// The [`ProbeRequest`] for one grid cell of this benchmark — the
+    /// single place the grid's `stride` maps onto an operation's stride
+    /// pair (strided-load copies stride the load side, strided-store
+    /// copies the store side). Tier and measurement caps are left at
+    /// their defaults; chain [`ProbeRequest::with_tier`] /
+    /// [`ProbeRequest::with_limits`] to set them.
+    pub fn request(self, ws_bytes: u64, stride: u64) -> ProbeRequest {
+        match self {
+            SweepOp::CopyStridedStores => {
+                ProbeRequest::new(ProbeOp::LocalCopy, ws_bytes, 1).with_stride2(stride)
+            }
+            SweepOp::CopyStridedLoads => {
+                ProbeRequest::new(ProbeOp::LocalCopy, ws_bytes, stride).with_stride2(1)
+            }
+            other => ProbeRequest::new(other.probe_op(), ws_bytes, stride),
+        }
+    }
+
+    /// Measures one cell on `machine` through the unified probe API.
+    /// `None` when the operation is unsupported there.
+    pub fn measure(self, machine: &mut dyn Machine, ws_bytes: u64, stride: u64) -> Option<f64> {
+        dispatch(machine, &self.request(ws_bytes, stride)).mb_s()
+    }
+
     /// Measures one cell on `machine`. `None` when the operation is
     /// unsupported there.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `measure`, or build a `ProbeRequest` via `request` and hand it to a \
+                `ProbeBackend` / `gasnub_machines::dispatch`"
+    )]
     pub fn probe(self, machine: &mut dyn Machine, ws_bytes: u64, stride: u64) -> Option<f64> {
-        match self {
-            SweepOp::LocalLoad => Some(machine.local_load(ws_bytes, stride).mb_s),
-            SweepOp::LocalStore => Some(machine.local_store(ws_bytes, stride).mb_s),
-            SweepOp::CopyStridedLoads => Some(machine.local_copy(ws_bytes, stride, 1).mb_s),
-            SweepOp::CopyStridedStores => Some(machine.local_copy(ws_bytes, 1, stride).mb_s),
-            SweepOp::RemoteLoad => machine.remote_load(ws_bytes, stride).map(|m| m.mb_s),
-            SweepOp::RemoteFetch => machine.remote_fetch(ws_bytes, stride).map(|m| m.mb_s),
-            SweepOp::RemoteDeposit => machine.remote_deposit(ws_bytes, stride).map(|m| m.mb_s),
-        }
+        self.measure(machine, ws_bytes, stride)
     }
 }
 
@@ -146,7 +179,7 @@ pub fn sweep_surface_par<S: SpawnEngine>(
         let mut warm = WarmState::new();
         let mut column = Vec::with_capacity(runs[r].len());
         for &(ws, stride) in &runs[r] {
-            column.push(op.probe(warm.engine(spawner)?, ws, stride));
+            column.push(op.measure(warm.engine(spawner)?, ws, stride));
         }
         Ok::<Vec<Option<f64>>, SimError>(column)
     });

@@ -246,7 +246,7 @@ pub fn collect_counters<S: SpawnEngine>(
         let (ws, stride) = grid.cell(idx);
         let mut engine = spawner.spawn_engine()?;
         engine.set_recorder(Box::new(RingRecorder::new(RING_CAPACITY)));
-        let mb_s = match op.probe(&mut engine, ws, stride) {
+        let mb_s = match op.measure(&mut engine, ws, stride) {
             Some(mb_s) => mb_s,
             None => return Ok(None),
         };

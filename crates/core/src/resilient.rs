@@ -643,6 +643,32 @@ impl ResilientSweep {
         Ok(self.outcome(title, grid, state, measured, resumed, pending, counters))
     }
 
+    /// [`ResilientSweep::run_parallel`] with the probe closure derived
+    /// from a [`SweepOp`] through the unified probe API — the common case
+    /// for CLI sweeps, where the operation (not an arbitrary closure)
+    /// names the work. Tier selection rides on the spawner: hand a
+    /// `gasnub_analytic::TieredSpec` here and trusted cells take the
+    /// analytic fast path while the rest simulate.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ResilientSweep::run_parallel`] returns.
+    pub fn run_parallel_op<S>(
+        &self,
+        title: &str,
+        grid: &Grid,
+        threads: usize,
+        spawner: &S,
+        op: crate::bench::SweepOp,
+    ) -> Result<SweepOutcome, SweepError>
+    where
+        S: SpawnEngine,
+    {
+        self.run_parallel(title, grid, threads, spawner, |machine, ws, stride| {
+            op.measure(machine, ws, stride)
+        })
+    }
+
     /// A per-cell RNG for backoff jitter, independent of thread schedule.
     fn cell_rng(&self, ws: u64, stride: u64) -> Rng {
         Rng::new(self.retry_seed ^ ws.rotate_left(17) ^ stride)

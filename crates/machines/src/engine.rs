@@ -23,8 +23,10 @@ use gasnub_trace::{CounterSet, Event, NullRecorder, Recorder};
 use crate::cancel::{CancelToken, Guarded};
 use crate::limits::MeasureLimits;
 use crate::machine::{Machine, MachineId, Measurement};
-use crate::memo::{self, MemoKey, ProbeOp};
+use crate::memo::{self, MemoKey};
 use crate::params::{T3dRemoteParams, T3eRemoteParams};
+use crate::probe::{dispatch, ProbeBackend, ProbeOp, ProbeOutcome, ProbeRequest, Provenance};
+use gasnub_memsim::SimError;
 
 /// Byte offset separating source and destination regions.
 pub(crate) const DST_REGION: u64 = 1 << 32;
@@ -347,11 +349,11 @@ pub struct TransferEngine {
     /// Cooperative cancellation token consulted inside probe loops. `None`
     /// (the default) means probes run to completion.
     cancel: Option<CancelToken>,
-    /// Identity hash of the spec this engine was built from, the machine
-    /// half of every memo key (see [`crate::memo`]). `None` (engines built
-    /// outside [`crate::spec::MachineSpec::build`], which today is only
-    /// test scaffolding) disables memoization.
-    spec_hash: Option<u64>,
+    /// Where this engine's results come from — the machine half of every
+    /// memo key (see [`crate::memo`]). Engines built outside
+    /// [`crate::spec::MachineSpec::build`] are [`Provenance::HandBuilt`]
+    /// and bypass memoization explicitly.
+    provenance: Provenance,
 }
 
 impl TransferEngine {
@@ -373,7 +375,7 @@ impl TransferEngine {
             recorder: Box::new(NullRecorder),
             last_counters: None,
             cancel: None,
-            spec_hash: None,
+            provenance: Provenance::HandBuilt,
         }
     }
 
@@ -399,7 +401,7 @@ impl TransferEngine {
             recorder: Box::new(NullRecorder),
             last_counters: None,
             cancel: None,
-            spec_hash: None,
+            provenance: Provenance::HandBuilt,
         }
     }
 
@@ -434,7 +436,7 @@ impl TransferEngine {
             recorder: Box::new(NullRecorder),
             last_counters: None,
             cancel: None,
-            spec_hash: None,
+            provenance: Provenance::HandBuilt,
         }
     }
 
@@ -459,7 +461,7 @@ impl TransferEngine {
             recorder: Box::new(NullRecorder),
             last_counters: None,
             cancel: None,
-            spec_hash: None,
+            provenance: Provenance::HandBuilt,
         }
     }
 
@@ -479,19 +481,26 @@ impl TransferEngine {
     /// Installs the identity hash of the originating spec, enabling the
     /// probe memo (see [`crate::memo`]).
     pub(crate) fn set_spec_hash(&mut self, hash: u64) {
-        self.spec_hash = Some(hash);
+        self.provenance = Provenance::Spec(hash);
+    }
+
+    /// Where this engine's results come from: [`Provenance::Spec`] for
+    /// engines built through [`crate::spec::MachineSpec::build`] (which
+    /// memoize), [`Provenance::HandBuilt`] otherwise (which bypass).
+    pub fn provenance(&self) -> Provenance {
+        self.provenance
     }
 
     /// The memo key for a probe about to run, or `None` when memoization
-    /// does not apply: no spec hash, an enabled recorder (component
-    /// counters and events must be recomputed), or the `--cold` escape
-    /// hatch ([`gasnub_memsim::cold_path`]).
+    /// does not apply: hand-built provenance, an enabled recorder
+    /// (component counters and events must be recomputed), or the `--cold`
+    /// escape hatch ([`gasnub_memsim::cold_path`]).
     fn memo_key(&self, op: ProbeOp, ws_bytes: u64, stride: u64, stride2: u64) -> Option<MemoKey> {
         if self.recorder.enabled() || gasnub_memsim::cold_path() {
             return None;
         }
         Some(MemoKey {
-            spec_hash: self.spec_hash?,
+            spec_hash: self.provenance.spec_hash()?,
             op,
             ws_bytes,
             stride,
@@ -499,6 +508,13 @@ impl TransferEngine {
             max_measure_words: self.limits.max_measure_words,
             max_prime_words: self.limits.max_prime_words,
         })
+    }
+
+    /// Whether an enabled recorder is installed, i.e. probe side effects
+    /// (counters, events) matter. Tiered wrappers consult this to force
+    /// real simulation for observed probes.
+    pub fn recorder_enabled(&self) -> bool {
+        self.recorder.enabled()
     }
 
     /// Access to the underlying SMP system when the backend is bus-based
@@ -916,6 +932,16 @@ impl Machine for TransferEngine {
 
     fn set_cancel_token(&mut self, token: CancelToken) {
         self.cancel = Some(token);
+    }
+}
+
+impl ProbeBackend for TransferEngine {
+    /// Full-simulation backend: every request runs through the per-op
+    /// probes (which consult the memo internally under this engine's
+    /// [`Provenance`]). The request's tier is ignored — an engine without
+    /// an analytic model has only one tier to offer.
+    fn probe(&mut self, req: &ProbeRequest) -> Result<ProbeOutcome, SimError> {
+        Ok(dispatch(self, req))
     }
 }
 

@@ -59,6 +59,7 @@ pub mod limits;
 pub mod machine;
 pub mod memo;
 pub mod params;
+pub mod probe;
 pub mod registry;
 pub mod spec;
 pub mod specfile;
@@ -74,6 +75,10 @@ pub use gasnub_faults::{FaultPlan, RouteImpact};
 pub use gasnub_trace::{CounterSet, Event, NullRecorder, Recorder, RingRecorder};
 pub use limits::MeasureLimits;
 pub use machine::{Machine, MachineId, Measurement};
+pub use probe::{
+    dispatch, Memoized, ProbeBackend, ProbeOp, ProbeOutcome, ProbePath, ProbeRequest, ProbeTier,
+    Provenance, WarmBackend,
+};
 pub use registry::{BrokenSpec, MachineRegistry, ResolveError};
 pub use spec::{MachineSpec, SpawnEngine};
 pub use specfile::SpecError;

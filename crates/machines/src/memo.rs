@@ -28,25 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::machine::Measurement;
-
-/// Which probe produced a memoized result. Part of the memo key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) enum ProbeOp {
-    /// [`crate::machine::Machine::local_load`].
-    LocalLoad,
-    /// [`crate::machine::Machine::local_store`].
-    LocalStore,
-    /// [`crate::machine::Machine::local_copy`].
-    LocalCopy,
-    /// [`crate::machine::Machine::local_gather`].
-    LocalGather,
-    /// [`crate::machine::Machine::remote_load`].
-    RemoteLoad,
-    /// [`crate::machine::Machine::remote_fetch`].
-    RemoteFetch,
-    /// [`crate::machine::Machine::remote_deposit`].
-    RemoteDeposit,
-}
+use crate::probe::ProbeOp;
 
 /// Everything a probe's result is a pure function of.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -346,6 +346,18 @@ impl MachineSpec {
         !matches!(self.kind, SpecKind::Node { .. })
     }
 
+    /// The node-level memory configuration (caches, DRAM, CPU issue
+    /// costs) this spec builds its processing element from. For SMP
+    /// specs this is the per-node configuration behind the shared bus.
+    pub fn node_config(&self) -> &NodeConfig {
+        match &self.kind {
+            SpecKind::Smp { smp, .. } => &smp.node,
+            SpecKind::Torus { node, .. }
+            | SpecKind::Eregs { node, .. }
+            | SpecKind::Node { node } => node,
+        }
+    }
+
     /// The model family name ("smp", "torus", "eregs", "node").
     pub fn model_family(&self) -> &'static str {
         match &self.kind {

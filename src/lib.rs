@@ -22,11 +22,14 @@
 //!   driver, characterization surfaces and the transfer cost model;
 //! * [`fft`] — the 2D-FFT application kernel of the paper's §7;
 //! * [`trace`] — dependency-free structured event tracing and counters
-//!   (the observability layer behind `trace` / `--counters`).
+//!   (the observability layer behind `trace` / `--counters`);
+//! * [`analytic`] — the ECM-style closed-form bandwidth model and the
+//!   tiered `auto`/`analytic`/`sim` dispatch behind `--tier`.
 //!
 //! See the repository README for a tour and `DESIGN.md` for the experiment
 //! index mapping every figure of the paper to a reproduction target.
 
+pub use gasnub_analytic as analytic;
 pub use gasnub_coherence as coherence;
 pub use gasnub_core as core;
 pub use gasnub_faults as faults;

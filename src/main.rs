@@ -18,6 +18,7 @@
 
 use std::time::Duration;
 
+use gasnub::analytic::TieredSpec;
 use gasnub::core::compare::Comparison;
 use gasnub::core::counters::collect_counters;
 use gasnub::core::json::Json;
@@ -26,7 +27,7 @@ use gasnub::fft::run_benchmark;
 use gasnub::fft::scalability;
 use gasnub::machines::{
     CounterSet, Dec8400, FaultPlan, Machine, MachineId, MachineRegistry, MachineSpec,
-    MeasureLimits, RingRecorder, SpawnEngine, T3d, T3e,
+    MeasureLimits, ProbeTier, RingRecorder, SpawnEngine, T3d, T3e,
 };
 
 fn usage() -> ! {
@@ -52,11 +53,14 @@ fn usage() -> ! {
          \x20       [--cell-timeout-ms N]            cells N times; cap each cell's wall\n\
          \x20       [--force-restart]                clock; move a corrupt checkpoint to\n\
          \x20       [--cold] [--fsync-every N]       FILE.corrupt and start fresh; --cold\n\
-         \x20                                        disables the warm path (memoized\n\
+         \x20       [--tier auto|analytic|sim]       disables the warm path (memoized\n\
          \x20                                        probes + fast priming); fsync the\n\
-         \x20                                        checkpoint every N cells (default 16)\n\
+         \x20                                        checkpoint every N cells (default 16);\n\
+         \x20                                        --tier auto answers calibration-trusted\n\
+         \x20                                        cells analytically, simulates the rest\n\
+         \x20                                        (default sim; fault plans force sim)\n\
          trace <machine> <op> [--ws BYTES] [--stride WORDS] [--seed N] [--severity S]\n\
-         \x20       [--cold]                         one probe's harvested counters and\n\
+         \x20       [--cold] [--tier auto|sim]       one probe's harvested counters and\n\
          \x20                                        trace events, as canonical JSON\n\
          \n\
          <machine> is any name `gasnub machines` lists: built-ins plus spec\n\
@@ -165,32 +169,102 @@ fn build_spec(registry: &MachineRegistry, label: &str, plan: Option<&FaultPlan>)
     spec
 }
 
-/// Applies `--cold`: disables the warm execution path process-wide (probe
-/// memoization and the stats-free priming pass), forcing every probe to run
-/// the full cold simulation. The escape hatch for validating the warm path
-/// and for timing the real simulation cost.
-fn apply_cold_flag(flags: &[(String, String)]) {
-    if flag(flags, "cold").is_some() {
-        gasnub::memsim::set_cold_path(true);
-    }
-}
-
-/// The worker count requested by `--threads` (default 1; 0 means all cores).
-fn threads_from_flags(flags: &[(String, String)]) -> usize {
-    match flag(flags, "threads") {
-        None => 1,
-        Some(v) => match parse_num::<usize>("--threads", v) {
-            0 => auto_threads(),
-            n => n,
-        },
-    }
-}
-
 /// The plan described by `--seed` / `--severity` flags (defaults 0 / 0.5).
 fn plan_from_flags(flags: &[(String, String)]) -> FaultPlan {
     let seed: u64 = flag(flags, "seed").map_or(0, |v| parse_num("--seed", v));
     let severity: f64 = flag(flags, "severity").map_or(0.5, |v| parse_num("--severity", v));
     FaultPlan::new(seed, severity).unwrap_or_else(|e| fail(e))
+}
+
+/// Options every probing subcommand (`sweep`, `faults`, `trace`) shares,
+/// parsed in one place with the single exit-2 usage path: worker count,
+/// execution tier, fault plan, counter outputs, checkpoint fsync cadence
+/// and the `--cold` escape hatch.
+struct CommonOpts {
+    threads: usize,
+    tier: ProbeTier,
+    /// Present iff `--seed` / `--severity` appeared (the `faults`
+    /// subcommand applies its own 0 / 0.5 defaults on top).
+    plan: Option<FaultPlan>,
+    counters: Option<String>,
+    counters_csv: Option<String>,
+    fsync_every: Option<u64>,
+}
+
+impl CommonOpts {
+    /// The value-taking flags shared by the probing subcommands.
+    const VALUE_FLAGS: [&'static str; 7] = [
+        "threads",
+        "tier",
+        "seed",
+        "severity",
+        "counters",
+        "counters-csv",
+        "fsync-every",
+    ];
+
+    /// The boolean flags shared by the probing subcommands.
+    const BOOL_FLAGS: [&'static str; 1] = ["cold"];
+
+    /// The shared value flags plus a subcommand's own.
+    fn value_flags(extra: &[&'static str]) -> Vec<&'static str> {
+        let mut all = Self::VALUE_FLAGS.to_vec();
+        all.extend_from_slice(extra);
+        all
+    }
+
+    /// The shared boolean flags plus a subcommand's own.
+    fn bool_flags(extra: &[&'static str]) -> Vec<&'static str> {
+        let mut all = Self::BOOL_FLAGS.to_vec();
+        all.extend_from_slice(extra);
+        all
+    }
+
+    /// Parses the shared options out of an already-split flag list and
+    /// applies the process-wide ones (`--cold` disables the warm execution
+    /// path: probe memoization, fast priming, and every analytic shortcut).
+    fn parse(flags: &[(String, String)]) -> CommonOpts {
+        if flag(flags, "cold").is_some() {
+            gasnub::memsim::set_cold_path(true);
+        }
+        let tier = match flag(flags, "tier") {
+            None => ProbeTier::Simulate,
+            Some(v) => ProbeTier::parse(v).unwrap_or_else(|| {
+                fail(format!("--tier must be auto, analytic or sim, got {v:?}"))
+            }),
+        };
+        let threads = match flag(flags, "threads") {
+            None => 1,
+            Some(v) => match parse_num::<usize>("--threads", v) {
+                0 => auto_threads(),
+                n => n,
+            },
+        };
+        CommonOpts {
+            threads,
+            tier,
+            plan: (flag(flags, "seed").is_some() || flag(flags, "severity").is_some())
+                .then(|| plan_from_flags(flags)),
+            counters: flag(flags, "counters").map(str::to_string),
+            counters_csv: flag(flags, "counters-csv").map(str::to_string),
+            fsync_every: flag(flags, "fsync-every").map(|v| parse_num("--fsync-every", v)),
+        }
+    }
+
+    /// The tier probes actually run at: a fault plan forces `sim`, since
+    /// analytic models are calibrated against the healthy installation
+    /// only. Prints the downgrade once so the choice is visible.
+    fn effective_tier(&self) -> ProbeTier {
+        if self.plan.is_some() && self.tier != ProbeTier::Simulate {
+            eprintln!(
+                "gasnub: fault plan active, --tier {} downgraded to sim \
+                 (analytic models cover healthy installations only)",
+                self.tier.label()
+            );
+            return ProbeTier::Simulate;
+        }
+        self.tier
+    }
 }
 
 /// Writes a report to `path`, with `-` meaning stdout.
@@ -214,7 +288,11 @@ fn counters_to_json(counters: &CounterSet) -> Json {
 }
 
 fn trace_cmd(registry: &MachineRegistry, args: &[String]) {
-    let (positional, flags) = split_flags(args, &["ws", "stride", "seed", "severity"], &["cold"]);
+    let (positional, flags) = split_flags(
+        args,
+        &CommonOpts::value_flags(&["ws", "stride"]),
+        &CommonOpts::bool_flags(&[]),
+    );
     let [label, op] = positional.as_slice() else {
         fail(
             "trace takes a machine and an operation \
@@ -224,15 +302,20 @@ fn trace_cmd(registry: &MachineRegistry, args: &[String]) {
     let Some(op) = SweepOp::parse(op) else {
         fail(format!("unknown operation {op:?}"))
     };
-    apply_cold_flag(&flags);
+    let opts = CommonOpts::parse(&flags);
+    if opts.tier == ProbeTier::Analytic {
+        fail(
+            "trace needs a real simulation to harvest events and counters; \
+             the analytic tier has none (use --tier sim, or auto — observed \
+             probes always simulate)",
+        );
+    }
     let ws: u64 = flag(&flags, "ws").map_or(4 << 20, |v| parse_num("--ws", v));
     let stride: u64 = flag(&flags, "stride").map_or(1, |v| parse_num("--stride", v));
-    let plan = (flag(&flags, "seed").is_some() || flag(&flags, "severity").is_some())
-        .then(|| plan_from_flags(&flags));
-    let spec = build_spec(registry, label, plan.as_ref());
+    let spec = build_spec(registry, label, opts.plan.as_ref());
     let mut engine = spec.spawn_engine().unwrap_or_else(|e| fail(e));
     engine.set_recorder(Box::new(RingRecorder::new(8)));
-    let Some(mb_s) = op.probe(&mut engine, ws, stride) else {
+    let Some(mb_s) = op.measure(&mut engine, ws, stride) else {
         fail(format!("{} does not support {}", engine.name(), op.label()))
     };
     let counters = engine.take_counters().unwrap_or_default();
@@ -272,15 +355,22 @@ fn trace_cmd(registry: &MachineRegistry, args: &[String]) {
 fn faults_cmd(registry: &MachineRegistry, args: &[String]) {
     let (positional, flags) = split_flags(
         args,
-        &["seed", "severity", "threads", "counters"],
-        &["cold"],
+        &CommonOpts::value_flags(&[]),
+        &CommonOpts::bool_flags(&[]),
     );
     let [label] = positional.as_slice() else {
         fail("faults takes exactly one machine argument");
     };
-    apply_cold_flag(&flags);
+    let opts = CommonOpts::parse(&flags);
+    if opts.tier != ProbeTier::Simulate {
+        eprintln!(
+            "gasnub: faults always simulates (degraded installations are \
+             outside the analytic calibration); ignoring --tier {}",
+            opts.tier.label()
+        );
+    }
     let plan = plan_from_flags(&flags);
-    let threads = threads_from_flags(&flags);
+    let threads = opts.threads;
 
     let torus = gasnub::faults::canonical_torus();
     let channel_faults = plan.channel_faults_for(&torus);
@@ -328,7 +418,7 @@ fn faults_cmd(registry: &MachineRegistry, args: &[String]) {
         let (op, stride) = jobs[i];
         let pair = |spec: &MachineSpec| {
             spec.spawn_engine()
-                .map(|mut m| op.probe(&mut m, ws, stride))
+                .map(|mut m| op.measure(&mut m, ws, stride))
         };
         pair(&healthy_spec).and_then(|h| pair(&degraded_spec).map(|d| (h, d)))
     });
@@ -346,13 +436,13 @@ fn faults_cmd(registry: &MachineRegistry, args: &[String]) {
     // With --counters, re-measure each cell with a recorder installed and
     // report the healthy/degraded mechanism counters side by side (fresh
     // engines, gathered in job order: deterministic for any worker count).
-    if let Some(path) = flag(&flags, "counters") {
+    if let Some(path) = opts.counters.as_deref() {
         let observed = run_indexed(threads, jobs.len(), |i| {
             let (op, stride) = jobs[i];
             let side = |spec: &MachineSpec| {
                 spec.spawn_engine().map(|mut m| {
                     m.set_recorder(Box::new(RingRecorder::new(8)));
-                    op.probe(&mut m, ws, stride)
+                    op.measure(&mut m, ws, stride)
                         .map(|mb_s| (mb_s, m.take_counters().unwrap_or_default()))
                 })
             };
@@ -397,20 +487,14 @@ fn faults_cmd(registry: &MachineRegistry, args: &[String]) {
 fn sweep_cmd(registry: &MachineRegistry, args: &[String]) {
     let (positional, flags) = split_flags(
         args,
-        &[
+        &CommonOpts::value_flags(&[
             "checkpoint",
             "max-cells",
             "budget-secs",
             "retries",
             "cell-timeout-ms",
-            "seed",
-            "severity",
-            "threads",
-            "counters",
-            "counters-csv",
-            "fsync-every",
-        ],
-        &["force-restart", "cold"],
+        ]),
+        &CommonOpts::bool_flags(&["force-restart"]),
     );
     let [label, op] = positional.as_slice() else {
         fail(
@@ -425,11 +509,11 @@ fn sweep_cmd(registry: &MachineRegistry, args: &[String]) {
         fail("sweep needs --checkpoint FILE (re-run with the same file to resume)");
     };
 
-    apply_cold_flag(&flags);
-    let plan = (flag(&flags, "seed").is_some() || flag(&flags, "severity").is_some())
-        .then(|| plan_from_flags(&flags));
+    let opts = CommonOpts::parse(&flags);
+    let tier = opts.effective_tier();
+    let plan = opts.plan;
     let spec = build_spec(registry, label, plan.as_ref());
-    let threads = threads_from_flags(&flags);
+    let threads = opts.threads;
 
     // The checkpoint carries the machine description's hash, so resuming
     // against an edited zoo file (or a different fault plan) is caught
@@ -451,13 +535,20 @@ fn sweep_cmd(registry: &MachineRegistry, args: &[String]) {
     if flag(&flags, "force-restart").is_some() {
         runner = runner.with_force_restart(true);
     }
-    if let Some(n) = flag(&flags, "fsync-every") {
-        runner = runner.with_fsync_every(parse_num("--fsync-every", n));
+    if let Some(n) = opts.fsync_every {
+        runner = runner.with_fsync_every(n);
     }
 
     let name = spec.spawn_engine().unwrap_or_else(|e| fail(e)).name();
+    // The tier rides in the title so a checkpoint started under one tier
+    // refuses to resume under another (the foreign-title check fires),
+    // keeping every checkpoint's provenance uniform.
+    let tier_marker = match tier {
+        ProbeTier::Simulate => String::new(),
+        other => format!(" [tier {}]", other.label()),
+    };
     let title = format!(
-        "{name} {} {}",
+        "{name} {} {}{tier_marker}",
         if plan.is_some() {
             "degraded"
         } else {
@@ -466,14 +557,19 @@ fn sweep_cmd(registry: &MachineRegistry, args: &[String]) {
         op.label()
     );
     let grid = Grid::quick();
-    let outcome = runner
-        .run_parallel(&title, &grid, threads, &spec, |m, ws, s| op.probe(m, ws, s))
-        .unwrap_or_else(|e| match e {
-            gasnub::core::SweepError::Checkpoint(ck) if ck.force_restart_recoverable() => fail(
-                format!("{ck}\n(re-run with --force-restart to move it aside and start fresh)"),
-            ),
-            other => fail(other),
-        });
+    let run = |runner: &ResilientSweep| match tier {
+        ProbeTier::Simulate => runner.run_parallel_op(&title, &grid, threads, &spec, op),
+        tier => {
+            let spawner = TieredSpec::new(spec.clone(), tier).unwrap_or_else(|e| fail(e));
+            runner.run_parallel_op(&title, &grid, threads, &spawner, op)
+        }
+    };
+    let outcome = run(&runner).unwrap_or_else(|e| match e {
+        gasnub::core::SweepError::Checkpoint(ck) if ck.force_restart_recoverable() => fail(
+            format!("{ck}\n(re-run with --force-restart to move it aside and start fresh)"),
+        ),
+        other => fail(other),
+    });
 
     println!("{}", outcome.surface.render());
     println!(
@@ -511,8 +607,8 @@ fn sweep_cmd(registry: &MachineRegistry, args: &[String]) {
     // With --counters / --counters-csv, sweep the same grid again with
     // recorders installed and emit the per-cell counter report (JSON is the
     // golden-trace format; CSV is the counter-annotated figure form).
-    let json_path = flag(&flags, "counters");
-    let csv_path = flag(&flags, "counters-csv");
+    let json_path = opts.counters.as_deref();
+    let csv_path = opts.counters_csv.as_deref();
     if json_path.is_some() || csv_path.is_some() {
         let mut report = collect_counters(&spec, op, &grid, threads)
             .unwrap_or_else(|e| fail(e))
