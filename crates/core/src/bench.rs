@@ -8,7 +8,9 @@
 //! stride." A third **Store Constant** benchmark evaluates store
 //! performance.
 
-use gasnub_machines::{dispatch, Machine, ProbeOp, ProbeRequest, SpawnEngine, WarmState};
+use gasnub_machines::{
+    dispatch, Machine, ProbeOp, ProbeRequest, ProbeTier, SpawnEngine, WarmState,
+};
 use gasnub_memsim::SimError;
 
 use crate::pool::run_indexed;
@@ -102,6 +104,27 @@ impl SweepOp {
             SweepOp::RemoteFetch => format!("{name} remote fetch"),
             SweepOp::RemoteDeposit => format!("{name} remote deposit"),
         }
+    }
+
+    /// The checkpoint title of one `(machine, health, op, tier)` surface —
+    /// the single spelling shared by the offline `sweep` subcommand and the
+    /// serving layer. The title is embedded in the durable checkpoint
+    /// payload (a foreign title refuses to resume), and served sweep bodies
+    /// are required to be byte-identical to offline checkpoints, so both
+    /// sides must build it from the same function. `name` is the engine's
+    /// full [`Machine::name`]; the tier rides in a ` [tier …]` marker
+    /// except for the default `sim` tier, which stays unmarked for
+    /// compatibility with pre-tier checkpoints.
+    pub fn checkpoint_title(self, name: &str, degraded: bool, tier: ProbeTier) -> String {
+        let marker = match tier {
+            ProbeTier::Simulate => String::new(),
+            other => format!(" [tier {}]", other.label()),
+        };
+        format!(
+            "{name} {} {}{marker}",
+            if degraded { "degraded" } else { "healthy" },
+            self.label()
+        )
     }
 
     /// The [`ProbeOp`] this benchmark drives.

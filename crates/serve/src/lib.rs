@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # gasnub-serve
+//!
+//! Characterization-as-a-service: a zero-dependency HTTP/1.1 server for
+//! GASNUB probe and sweep surfaces.
+//!
+//! The server exposes the same warm sweep machinery the CLI drives —
+//! machine registry, tiered probe dispatch, resilient checkpoints — over a
+//! small JSON API:
+//!
+//! | Endpoint            | Method | Purpose                                      |
+//! |---------------------|--------|----------------------------------------------|
+//! | `/v1/sweep`         | POST   | A full bandwidth surface (cached, coalesced) |
+//! | `/v1/probe`         | POST   | One `(op, ws, stride)` cell                  |
+//! | `/v1/machines`      | GET    | The machine zoo                              |
+//! | `/v1/status`        | GET    | Liveness and cache occupancy                 |
+//! | `/metrics`          | GET    | Serving + memo + robustness counters         |
+//! | `/v1/shutdown`      | POST   | Stop, returning the shutdown report          |
+//!
+//! Three properties define the service contract:
+//!
+//! 1. **Byte identity.** A sweep response body is the durable checkpoint
+//!    payload verbatim, so served and offline surfaces of the same
+//!    `(machine, grid, fault plan, tier)` compare equal byte for byte.
+//! 2. **Compute once.** Identical concurrent requests coalesce onto one
+//!    in-flight computation; completed surfaces live in an in-memory cache
+//!    backed by checkpoints on disk, so a restarted server resumes warm.
+//! 3. **Warm observability.** Counters are request-boundary atomics, never
+//!    engine recorders — observing the server does not force its probes
+//!    down the cold path (see [`counters`]).
+//!
+//! Everything is hand-rolled over [`std::net`]; the crate adds no
+//! dependencies beyond the workspace.
+
+pub mod counters;
+pub mod http;
+pub mod server;
+
+pub use counters::ServeCounters;
+pub use server::{ApiError, ServeConfig, Server};

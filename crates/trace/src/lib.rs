@@ -151,6 +151,45 @@ pub mod robustness {
     pub const CHECKPOINT_WRITE_RETRIES: &str = "sweep.checkpoint_write_retries";
 }
 
+/// Canonical counter names for the characterization server (`gasnub-serve`).
+///
+/// The serving layer accumulates these with cheap per-request atomics —
+/// *not* by installing a [`Recorder`] on the probing engines, which would
+/// bypass the per-process probe memo and force every served probe onto the
+/// cold path. `/metrics` and the shutdown report render them through a
+/// [`CounterSet`], so they sort canonically next to the
+/// [`robustness`] counters the backing sweeps produce.
+pub mod serving {
+    /// HTTP requests accepted (all endpoints, before routing).
+    pub const REQUESTS: &str = "serve.requests";
+    /// Responses in the 2xx class.
+    pub const RESPONSES_2XX: &str = "serve.responses_2xx";
+    /// Responses in the 4xx class (structured client errors).
+    pub const RESPONSES_4XX: &str = "serve.responses_4xx";
+    /// Responses in the 5xx class.
+    pub const RESPONSES_5XX: &str = "serve.responses_5xx";
+    /// `POST /v1/probe` requests answered.
+    pub const PROBES: &str = "serve.probes";
+    /// `POST /v1/sweep` requests answered.
+    pub const SWEEPS: &str = "serve.sweeps";
+    /// Sweep surfaces actually computed by this process (cache misses).
+    pub const SWEEPS_COMPUTED: &str = "serve.sweeps_computed";
+    /// Sweep requests answered from the in-memory payload cache.
+    pub const SWEEP_CACHE_HITS_MEMORY: &str = "serve.sweep_cache_hits_memory";
+    /// Sweep requests answered by resuming a durable checkpoint on disk
+    /// (the warm-restart path: no cell was re-measured).
+    pub const SWEEP_CACHE_HITS_DISK: &str = "serve.sweep_cache_hits_disk";
+    /// Sweep requests that piggybacked on an identical in-flight
+    /// computation instead of starting their own.
+    pub const SWEEPS_COALESCED: &str = "serve.sweeps_coalesced";
+    /// TCP connections accepted.
+    pub const CONNECTIONS: &str = "serve.connections";
+    /// Highest number of requests ever in flight at once.
+    pub const QUEUE_DEPTH_PEAK: &str = "serve.queue_depth_peak";
+    /// Surfaces currently held in the in-memory payload cache.
+    pub const CACHED_SURFACES: &str = "serve.cached_surfaces";
+}
+
 /// A sink for structured events.
 ///
 /// The machine layer holds a `Box<dyn Recorder>` and consults

@@ -24,7 +24,10 @@
 //! * [`trace`] — dependency-free structured event tracing and counters
 //!   (the observability layer behind `trace` / `--counters`);
 //! * [`analytic`] — the ECM-style closed-form bandwidth model and the
-//!   tiered `auto`/`analytic`/`sim` dispatch behind `--tier`.
+//!   tiered `auto`/`analytic`/`sim` dispatch behind `--tier`;
+//! * [`serve`] — characterization-as-a-service: the zero-dependency
+//!   HTTP/1.1 server behind `gasnub serve`, with cached, coalesced,
+//!   byte-identical sweep surfaces.
 //!
 //! See the repository README for a tour and `DESIGN.md` for the experiment
 //! index mapping every figure of the paper to a reproduction target.
@@ -37,5 +40,6 @@ pub use gasnub_fft as fft;
 pub use gasnub_interconnect as interconnect;
 pub use gasnub_machines as machines;
 pub use gasnub_memsim as memsim;
+pub use gasnub_serve as serve;
 pub use gasnub_shmem as shmem;
 pub use gasnub_trace as trace;

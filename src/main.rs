@@ -62,6 +62,13 @@ fn usage() -> ! {
          trace <machine> <op> [--ws BYTES] [--stride WORDS] [--seed N] [--severity S]\n\
          \x20       [--cold] [--tier auto|sim]       one probe's harvested counters and\n\
          \x20                                        trace events, as canonical JSON\n\
+         serve [--addr HOST:PORT] [--state-dir DIR] [--threads N]\n\
+         \x20       [--tier auto|analytic|sim]       characterization-as-a-service: JSON\n\
+         \x20                                        API over HTTP (POST /v1/sweep,\n\
+         \x20                                        POST /v1/probe, GET /v1/machines,\n\
+         \x20                                        GET /metrics); sweeps are cached,\n\
+         \x20                                        coalesced and resume warm from DIR\n\
+         \x20                                        (default 127.0.0.1:7177, .gasnub-serve)\n\
          \n\
          <machine> is any name `gasnub machines` lists: built-ins plus spec\n\
          files under machines/zoo/ (override the directory with $GASNUB_ZOO)\n\
@@ -542,20 +549,10 @@ fn sweep_cmd(registry: &MachineRegistry, args: &[String]) {
     let name = spec.spawn_engine().unwrap_or_else(|e| fail(e)).name();
     // The tier rides in the title so a checkpoint started under one tier
     // refuses to resume under another (the foreign-title check fires),
-    // keeping every checkpoint's provenance uniform.
-    let tier_marker = match tier {
-        ProbeTier::Simulate => String::new(),
-        other => format!(" [tier {}]", other.label()),
-    };
-    let title = format!(
-        "{name} {} {}{tier_marker}",
-        if plan.is_some() {
-            "degraded"
-        } else {
-            "healthy"
-        },
-        op.label()
-    );
+    // keeping every checkpoint's provenance uniform. The spelling is shared
+    // with `gasnub serve`, whose sweep bodies must be byte-identical to
+    // these offline checkpoints.
+    let title = op.checkpoint_title(&name, plan.is_some(), tier);
     let grid = Grid::quick();
     let run = |runner: &ResilientSweep| match tier {
         ProbeTier::Simulate => runner.run_parallel_op(&title, &grid, threads, &spec, op),
@@ -741,6 +738,41 @@ fn machines_cmd(registry: &MachineRegistry, args: &[String]) {
     }
 }
 
+/// The `serve` subcommand: boots the characterization server, prints one
+/// parseable `serving on http://…` line (the actual port when `:0` was
+/// requested), blocks until `POST /v1/shutdown`, and prints the shutdown
+/// counter report.
+fn serve_cmd(args: &[String]) {
+    let (positional, flags) = split_flags(args, &["addr", "state-dir", "threads", "tier"], &[]);
+    if let Some(extra) = positional.first() {
+        fail(format!(
+            "serve takes no positional arguments, got {extra:?}"
+        ));
+    }
+    let addr = flag(&flags, "addr").unwrap_or("127.0.0.1:7177");
+    let state_dir = flag(&flags, "state-dir").unwrap_or(".gasnub-serve");
+    let threads = match flag(&flags, "threads") {
+        None => 1,
+        Some(v) => match parse_num::<usize>("--threads", v) {
+            0 => auto_threads(),
+            n => n,
+        },
+    };
+    let tier = match flag(&flags, "tier") {
+        None => ProbeTier::Simulate,
+        Some(v) => ProbeTier::parse(v)
+            .unwrap_or_else(|| fail(format!("--tier must be auto, analytic or sim, got {v:?}"))),
+    };
+    let config = gasnub::serve::ServeConfig::new(addr, state_dir)
+        .with_threads(threads)
+        .with_tier(tier);
+    let server = gasnub::serve::Server::bind(config).unwrap_or_else(|e| fail(e));
+    println!("gasnub: serving on http://{}", server.local_addr());
+    let report = server.run();
+    let pairs: Vec<String> = report.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!("serving: {}", pairs.join(" "));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
@@ -836,6 +868,7 @@ fn main() {
         "faults" => faults_cmd(&registry, &args[1..]),
         "sweep" => sweep_cmd(&registry, &args[1..]),
         "trace" => trace_cmd(&registry, &args[1..]),
+        "serve" => serve_cmd(&args[1..]),
         _ => usage(),
     }
 }

@@ -47,6 +47,11 @@ fn bad_invocations_exit_2_without_panicking() {
     assert_usage_error(&["sweep", "t3d"]);
     assert_usage_error(&["sweep", "t3d", "deposit"]); // missing --checkpoint
     assert_usage_error(&["sweep", "t3d", "teleport", "--checkpoint", "/tmp/x.json"]);
+    assert_usage_error(&["serve", "extra-positional"]);
+    assert_usage_error(&["serve", "--addr"]); // missing value
+    assert_usage_error(&["serve", "--tier", "warp"]);
+    assert_usage_error(&["serve", "--port", "80"]); // unknown flag
+    assert_usage_error(&["serve", "--addr", "256.256.256.256:99999"]); // unbindable
     assert_usage_error(&[
         "sweep",
         "t3d",

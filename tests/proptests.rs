@@ -227,6 +227,131 @@ fn warm_engine_chains_match_fresh_engines() {
     });
 }
 
+/// Serving determinism: for random small grids and random interleavings
+/// of 2–4 concurrent clients, every response body from the
+/// characterization server equals the single-threaded offline oracle —
+/// the checkpoint payload a plain [`gasnub::core::ResilientSweep`]
+/// produces for the same (machine, grid, tier). Coalescing, caching and
+/// thread scheduling may change *who* computes a surface, never its
+/// bytes.
+#[test]
+fn served_sweeps_match_single_threaded_oracle() {
+    use gasnub::core::json::Json;
+    use gasnub::core::storage::read_verified;
+    use gasnub::core::{Grid, ResilientSweep, SweepOp};
+    use gasnub::machines::{MachineRegistry, ProbeTier, SpawnEngine};
+    use gasnub::serve::{ServeConfig, Server};
+    use std::io::{Read, Write};
+    use std::sync::{Arc, Barrier};
+
+    let mut root = std::env::temp_dir();
+    root.push(format!("gasnub-serve-prop-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+
+    let server = Server::bind(ServeConfig::new("127.0.0.1:0", root.join("state"))).unwrap();
+    let addr = server.local_addr();
+    std::thread::spawn(move || server.run());
+
+    let registry = MachineRegistry::builtin();
+    const MACHINES: [&str; 3] = ["t3d", "t3e", "dec8400"];
+    const OPS: [&str; 4] = ["load", "store", "fetch", "deposit"];
+    const STRIDES: [u64; 4] = [1, 2, 8, 64];
+    const WORKING_SETS: [u64; 3] = [2048, 32768, 524288];
+
+    let mut case = 0u64;
+    run_cases(0x5E4E, 6, |rng| {
+        case += 1;
+        let machine = MACHINES[rng.gen_range(0, MACHINES.len() as u64) as usize];
+        let op = SweepOp::parse(OPS[rng.gen_range(0, OPS.len() as u64) as usize]).unwrap();
+        // An ascending subset of each axis: drop a random prefix/suffix.
+        let strides = STRIDES[..rng.gen_range(2, STRIDES.len() as u64 + 1) as usize].to_vec();
+        let ws_lo = rng.gen_range(0, 2) as usize;
+        let working_sets = WORKING_SETS[ws_lo..].to_vec();
+        let grid = Grid {
+            strides: strides.clone(),
+            working_sets: working_sets.clone(),
+        };
+
+        // The single-threaded offline oracle, through the same resilient
+        // sweep machinery the server runs.
+        let spec = registry
+            .resolve(machine)
+            .unwrap()
+            .clone()
+            .with_limits(gasnub::machines::MeasureLimits::fast());
+        let name = spec.spawn_engine().unwrap().name();
+        let title = op.checkpoint_title(&name, false, ProbeTier::Simulate);
+        let oracle_path = root.join(format!("oracle-{case}.json"));
+        ResilientSweep::new(&oracle_path)
+            .with_spec_hash(spec.spec_hash())
+            .run_parallel_op(&title, &grid, 1, &spec, op)
+            .unwrap();
+        let oracle = read_verified(&oracle_path).unwrap().unwrap();
+
+        let body = Json::object([
+            (
+                "grid",
+                Json::object([
+                    (
+                        "strides",
+                        Json::Array(strides.iter().map(|&s| Json::U64(s)).collect()),
+                    ),
+                    (
+                        "working_sets",
+                        Json::Array(working_sets.iter().map(|&w| Json::U64(w)).collect()),
+                    ),
+                ]),
+            ),
+            ("machine", Json::Str(machine.to_string())),
+            ("op", Json::Str(op.label().to_string())),
+        ])
+        .render();
+
+        let clients = rng.gen_range(2, 5) as usize;
+        let barrier = Arc::new(Barrier::new(clients));
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                let body = body.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                    let request = format!(
+                        "POST /v1/sweep HTTP/1.1\r\nHost: gasnub\r\nConnection: close\r\n\
+                         Content-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                    stream.write_all(request.as_bytes()).unwrap();
+                    let mut raw = Vec::new();
+                    stream.read_to_end(&mut raw).unwrap();
+                    String::from_utf8(raw).unwrap()
+                })
+            })
+            .collect();
+        for worker in workers {
+            let response = worker.join().unwrap();
+            let (head, served) = response.split_once("\r\n\r\n").unwrap();
+            assert!(
+                head.starts_with("HTTP/1.1 200"),
+                "{machine} {} must serve: {response}",
+                op.label()
+            );
+            assert_eq!(
+                served,
+                oracle,
+                "{machine} {} with {clients} interleaved clients must match \
+                 the single-threaded oracle",
+                op.label()
+            );
+        }
+    });
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let _ = stream
+        .write_all(b"POST /v1/shutdown HTTP/1.1\r\nHost: gasnub\r\nContent-Length: 0\r\n\r\n");
+}
+
 /// Measurements scale: the cycle count grows with the measured words
 /// (same stride, larger working set ⇒ at least as many cycles until the
 /// measure cap).

@@ -1,0 +1,202 @@
+//! Restart semantics of the characterization server: a new process over
+//! the same state directory resumes warm from durable checkpoints, and a
+//! checkpoint torn mid-write is quarantined, recomputed and counted —
+//! never served corrupt.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+
+use gasnub::core::chaos::{FaultInjector, StorageFault};
+use gasnub::core::storage::{read_verified, write_durable_with};
+use gasnub::serve::{ServeConfig, Server};
+
+fn scratch(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("gasnub-serve-restart-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn boot(state_dir: &Path) -> SocketAddr {
+    let server = Server::bind(ServeConfig::new("127.0.0.1:0", state_dir)).expect("server binds");
+    let addr = server.local_addr();
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+fn shutdown(addr: SocketAddr) {
+    let _ = http(addr, "POST", "/v1/shutdown", "");
+}
+
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("server accepts connections");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: gasnub\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .expect("request writes");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("response reads");
+    let text = String::from_utf8(raw).expect("response is UTF-8");
+    let (head, body) = text.split_once("\r\n\r\n").expect("response has a head");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line parses");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn source(headers: &[(String, String)]) -> &str {
+    headers
+        .iter()
+        .find(|(k, _)| k == "x-gasnub-source")
+        .map(|(_, v)| v.as_str())
+        .expect("sweep responses carry X-Gasnub-Source")
+}
+
+fn counter(metrics_body: &str, name: &str) -> u64 {
+    let doc = gasnub::core::json::Json::parse(metrics_body).expect("metrics is valid JSON");
+    doc.get(name)
+        .and_then(gasnub::core::json::Json::as_u64)
+        .unwrap_or_else(|| panic!("metrics must carry {name}: {metrics_body}"))
+}
+
+/// The single `sweep-*.json` checkpoint a one-surface server left behind.
+fn only_checkpoint(state_dir: &Path) -> PathBuf {
+    let mut found: Vec<PathBuf> = std::fs::read_dir(state_dir)
+        .expect("state dir lists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name.starts_with("sweep-") && name.ends_with(".json")
+        })
+        .collect();
+    assert_eq!(found.len(), 1, "expected exactly one checkpoint: {found:?}");
+    found.remove(0)
+}
+
+const SWEEP: &str =
+    r#"{"machine":"t3d","op":"deposit","grid":{"strides":[1,8,64],"working_sets":[2048,32768]}}"#;
+
+/// A restarted server over the same state directory serves the same bytes
+/// without re-measuring a single cell.
+#[test]
+fn restarted_server_serves_from_durable_cache() {
+    let dir = scratch("warm");
+
+    let first = boot(&dir);
+    let (status, headers, cold_body) = http(first, "POST", "/v1/sweep", SWEEP);
+    assert_eq!(status, 200, "first sweep must succeed: {cold_body}");
+    assert_eq!(source(&headers), "computed");
+    shutdown(first);
+
+    let second = boot(&dir);
+    let (status, headers, warm_body) = http(second, "POST", "/v1/sweep", SWEEP);
+    assert_eq!(status, 200, "post-restart sweep must succeed: {warm_body}");
+    assert_eq!(
+        source(&headers),
+        "disk",
+        "a restarted server must resume the surface from its checkpoint"
+    );
+    assert_eq!(
+        warm_body, cold_body,
+        "warm and cold responses must be byte-identical"
+    );
+
+    let (_, _, metrics) = http(second, "GET", "/metrics", "");
+    assert_eq!(counter(&metrics, "serve.sweep_cache_hits_disk"), 1);
+    assert_eq!(
+        counter(&metrics, "serve.sweeps_computed"),
+        0,
+        "nothing may be recomputed on a warm restart: {metrics}"
+    );
+    shutdown(second);
+}
+
+/// A checkpoint torn mid-write (via the chaos injector) is detected on
+/// restart, quarantined, recomputed to the same bytes, and surfaced in the
+/// robustness counters on `/metrics`.
+#[test]
+fn torn_checkpoint_recovers_with_counters() {
+    let dir = scratch("torn");
+
+    let first = boot(&dir);
+    let (status, _, original) = http(first, "POST", "/v1/sweep", SWEEP);
+    assert_eq!(status, 200, "first sweep must succeed: {original}");
+    shutdown(first);
+
+    // Replay the last checkpoint write through the chaos injector until a
+    // seed draws a short write — the crash-mid-write shape — leaving a
+    // file that fails verification as a torn tail.
+    let checkpoint = only_checkpoint(&dir);
+    let payload = read_verified(&checkpoint)
+        .expect("intact checkpoint verifies")
+        .expect("checkpoint exists");
+    let mut torn = false;
+    for seed in 0..64 {
+        let mut injector = FaultInjector::new(seed, 100);
+        if write_durable_with(&checkpoint, &payload, false, &mut injector).is_err() {
+            continue; // drew FailRename: the old file survived intact
+        }
+        let short_write = injector
+            .log()
+            .iter()
+            .any(|f| matches!(f.fault, StorageFault::ShortWrite { .. }));
+        if short_write && read_verified(&checkpoint).is_err() {
+            torn = true;
+            break;
+        }
+    }
+    assert!(
+        torn,
+        "64 seeds at 100% fault rate must include a short write"
+    );
+
+    let second = boot(&dir);
+    let (status, headers, recovered) = http(second, "POST", "/v1/sweep", SWEEP);
+    assert_eq!(status, 200, "recovery sweep must succeed: {recovered}");
+    assert_eq!(
+        source(&headers),
+        "computed",
+        "a torn checkpoint must be recomputed, not resumed"
+    );
+    assert_eq!(
+        recovered, original,
+        "the recomputed surface must match the original bytes"
+    );
+
+    let (_, _, metrics) = http(second, "GET", "/metrics", "");
+    assert!(
+        counter(&metrics, "sweep.torn_tail_recoveries") >= 1,
+        "the torn-tail recovery must be counted: {metrics}"
+    );
+    assert!(
+        counter(&metrics, "sweep.force_restarts") >= 1,
+        "the forced restart must be counted: {metrics}"
+    );
+    assert!(
+        checkpoint.with_extension("json.corrupt").exists()
+            || std::fs::read_dir(&dir)
+                .expect("state dir lists")
+                .filter_map(|e| e.ok())
+                .any(|e| e.file_name().to_string_lossy().ends_with(".corrupt")),
+        "the torn checkpoint must be quarantined, not deleted"
+    );
+    shutdown(second);
+}
